@@ -1,0 +1,27 @@
+//! # baseline — a conventional digital perceptron for comparison
+//!
+//! The paper's Section IV argues the PWM approach is dramatically simpler
+//! than a conventional digital perceptron: "the proposed approach uses
+//! only one gate per bit for every input. Thus, for the 3×3 weighted adder
+//! we used only 54 transistors." This crate makes the other side of that
+//! comparison concrete: a gate-level fixed-point multiply–accumulate
+//! perceptron datapath ([`DigitalPerceptron`]) built from the
+//! [`gatesim::blocks`] standard cells, with transistor counting and
+//! activity-based power estimation.
+//!
+//! ```
+//! use baseline::{BaselineSpec, DigitalPerceptron};
+//!
+//! let p = DigitalPerceptron::new(BaselineSpec::new(3, 8, 3));
+//! // A 3-input, 8-bit-sample, 3-bit-weight MAC costs thousands of
+//! // transistors, versus the paper's 54 for the PWM adder.
+//! assert!(p.transistor_count() > 1000);
+//! assert!(p.classify(&[200, 10, 10], &[7, 1, 1], 800));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod perceptron;
+
+pub use perceptron::{BaselineSpec, DigitalPerceptron};

@@ -1,0 +1,365 @@
+//! Gate-level fixed-point perceptron datapath.
+
+use gatesim::blocks::{self, drive_word, read_word};
+use gatesim::{NetId, Netlist, PowerModel, PowerReport, Simulator};
+use rand_like::XorShift64;
+
+/// Dimensions of the digital baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineSpec {
+    /// Number of inputs `m`.
+    pub inputs: usize,
+    /// Input sample width in bits.
+    pub input_bits: u32,
+    /// Weight width in bits.
+    pub weight_bits: u32,
+}
+
+impl BaselineSpec {
+    /// Creates a spec, validating dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs == 0` or either width is outside `1..=16`.
+    pub fn new(inputs: usize, input_bits: u32, weight_bits: u32) -> Self {
+        assert!(inputs > 0, "perceptron needs at least one input");
+        assert!(
+            (1..=16).contains(&input_bits) && (1..=16).contains(&weight_bits),
+            "bit widths must be 1..=16"
+        );
+        BaselineSpec {
+            inputs,
+            input_bits,
+            weight_bits,
+        }
+    }
+
+    /// The configuration matched to the paper's 3×3 case study: 3 inputs
+    /// with 3-bit weights, 8-bit input samples (a typical micro-edge ADC
+    /// resolution standing in for the continuous PWM duty cycle).
+    pub fn matched_to_paper() -> Self {
+        BaselineSpec::new(3, 8, 3)
+    }
+
+    /// Width of the accumulated dot product in bits.
+    pub fn sum_bits(self) -> u32 {
+        let product = self.input_bits + self.weight_bits;
+        let tree = (self.inputs as f64).log2().ceil() as u32;
+        product + tree
+    }
+}
+
+/// A combinational fixed-point perceptron: `m` array multipliers, a
+/// ripple adder tree, and a magnitude comparator producing
+/// `f = (Σ xᵢ·wᵢ) > threshold`.
+///
+/// The threshold plays the role of the (negated) bias in the paper's
+/// Eq. 1, matching the reference comparison of Fig. 1.
+#[derive(Debug)]
+pub struct DigitalPerceptron {
+    spec: BaselineSpec,
+    netlist: Netlist,
+    /// Input buses, `[input][bit]`, LSB-first.
+    pub inputs: Vec<Vec<NetId>>,
+    /// Weight buses, `[input][bit]`, LSB-first.
+    pub weights: Vec<Vec<NetId>>,
+    /// Threshold bus (same width as the sum), LSB-first.
+    pub threshold: Vec<NetId>,
+    /// Accumulated dot-product bus.
+    pub sum: Vec<NetId>,
+    /// Decision output: high when the dot product exceeds the threshold.
+    pub output: NetId,
+}
+
+impl DigitalPerceptron {
+    /// Builds the datapath.
+    pub fn new(spec: BaselineSpec) -> Self {
+        let mut nl = Netlist::new();
+        let mut inputs = Vec::with_capacity(spec.inputs);
+        let mut weights = Vec::with_capacity(spec.inputs);
+        let mut products: Vec<Vec<NetId>> = Vec::with_capacity(spec.inputs);
+        for i in 0..spec.inputs {
+            let x: Vec<NetId> = (0..spec.input_bits)
+                .map(|b| nl.net(&format!("x{i}_{b}")))
+                .collect();
+            let w: Vec<NetId> = (0..spec.weight_bits)
+                .map(|b| nl.net(&format!("w{i}_{b}")))
+                .collect();
+            let p = blocks::array_multiplier(&mut nl, &x, &w);
+            inputs.push(x);
+            weights.push(w);
+            products.push(p);
+        }
+
+        // Adder tree by sequential folding with zero extension.
+        let sum_bits = spec.sum_bits() as usize;
+        let extend = |nl: &mut Netlist, bus: &[NetId], width: usize| -> Vec<NetId> {
+            let mut v = bus.to_vec();
+            while v.len() < width {
+                v.push(blocks::const_zero(nl));
+            }
+            v
+        };
+        let mut acc = extend(&mut nl, &products[0], sum_bits);
+        for p in &products[1..] {
+            let rhs = extend(&mut nl, p, sum_bits);
+            let (s, _carry) = blocks::ripple_adder(&mut nl, &acc, &rhs, None);
+            acc = s;
+        }
+
+        let threshold: Vec<NetId> = (0..sum_bits).map(|b| nl.net(&format!("th{b}"))).collect();
+        // f = threshold < sum  ⇔  sum > threshold.
+        let output = blocks::less_than(&mut nl, &threshold, &acc);
+
+        DigitalPerceptron {
+            spec,
+            netlist: nl,
+            inputs,
+            weights,
+            threshold,
+            sum: acc,
+            output,
+        }
+    }
+
+    /// The datapath dimensions.
+    pub fn spec(&self) -> BaselineSpec {
+        self.spec
+    }
+
+    /// The underlying gate netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Total transistor count — the paper's area/simplicity metric.
+    pub fn transistor_count(&self) -> usize {
+        self.netlist.transistor_count()
+    }
+
+    /// Worst-case settling allowance for one evaluation, in picoseconds.
+    fn settle_ps(&self) -> u64 {
+        // Generous: gate count on the critical path is far below this.
+        let depth = (self.spec.sum_bits() as u64 + 4)
+            * (self.spec.inputs as u64 + self.spec.weight_bits as u64 + 4);
+        depth * 4 * blocks::BLOCK_DELAY_PS
+    }
+
+    /// Evaluates the dot product for one input/weight assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the spec or values exceed the
+    /// configured bit widths.
+    pub fn dot_product(&self, x: &[u64], w: &[u64]) -> u64 {
+        let mut sim = Simulator::new(&self.netlist);
+        self.drive(&mut sim, x, w, 0);
+        let t = sim.time() + self.settle_ps();
+        sim.run_until(t);
+        read_word(&sim, &self.sum)
+    }
+
+    /// Classifies one sample: `Σ xᵢ·wᵢ > threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the spec or values exceed the
+    /// configured bit widths.
+    pub fn classify(&self, x: &[u64], w: &[u64], threshold: u64) -> bool {
+        let mut sim = Simulator::new(&self.netlist);
+        self.drive(&mut sim, x, w, threshold);
+        let t = sim.time() + self.settle_ps();
+        sim.run_until(t);
+        sim.value(self.output)
+    }
+
+    /// Streams `samples` random input vectors through the datapath at one
+    /// vector per `period_ps` and reports the activity-based power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn measure_power(
+        &self,
+        weights: &[u64],
+        samples: usize,
+        period_ps: u64,
+        model: &PowerModel,
+        seed: u64,
+    ) -> PowerReport {
+        assert!(samples > 0, "need at least one sample");
+        let mut rng = XorShift64::new(seed);
+        let mut sim = Simulator::new(&self.netlist);
+        let x_max = (1u64 << self.spec.input_bits) - 1;
+        // Warm-up vector, then measure.
+        let x0: Vec<u64> = (0..self.spec.inputs)
+            .map(|_| rng.next() % (x_max + 1))
+            .collect();
+        self.drive(&mut sim, &x0, weights, 0);
+        sim.run_until(sim.time() + self.settle_ps());
+        sim.reset_activity();
+        let t_start = sim.time();
+        for _ in 0..samples {
+            let x: Vec<u64> = (0..self.spec.inputs)
+                .map(|_| rng.next() % (x_max + 1))
+                .collect();
+            for (bus, &value) in self.inputs.iter().zip(&x) {
+                drive_word(&mut sim, bus, value);
+            }
+            sim.run_until(sim.time() + period_ps);
+        }
+        let duration = sim.time() - t_start;
+        model.estimate(&self.netlist, &sim, duration.max(1))
+    }
+
+    fn drive(&self, sim: &mut Simulator<'_>, x: &[u64], w: &[u64], threshold: u64) {
+        assert_eq!(x.len(), self.spec.inputs, "one sample per input");
+        assert_eq!(w.len(), self.spec.inputs, "one weight per input");
+        let x_max = (1u64 << self.spec.input_bits) - 1;
+        let w_max = (1u64 << self.spec.weight_bits) - 1;
+        for (&xi, &wi) in x.iter().zip(w) {
+            assert!(
+                xi <= x_max,
+                "input {xi} exceeds {} bits",
+                self.spec.input_bits
+            );
+            assert!(
+                wi <= w_max,
+                "weight {wi} exceeds {} bits",
+                self.spec.weight_bits
+            );
+        }
+        for (bus, &value) in self.inputs.iter().zip(x) {
+            drive_word(sim, bus, value);
+        }
+        for (bus, &value) in self.weights.iter().zip(w) {
+            drive_word(sim, bus, value);
+        }
+        drive_word(sim, &self.threshold, threshold);
+    }
+}
+
+/// Minimal deterministic RNG so the crate does not depend on `rand` in the
+/// library path (dev-dependencies still use `rand` for richer tests).
+mod rand_like {
+    /// XorShift64* pseudo-random generator.
+    #[derive(Debug, Clone)]
+    pub struct XorShift64 {
+        state: u64,
+    }
+
+    impl XorShift64 {
+        /// Creates a generator; a zero seed is remapped to a fixed
+        /// non-zero constant.
+        pub fn new(seed: u64) -> Self {
+            XorShift64 {
+                state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+            }
+        }
+
+        /// Next pseudo-random value.
+        pub fn next(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation_and_paper_match() {
+        let s = BaselineSpec::matched_to_paper();
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.input_bits, 8);
+        assert_eq!(s.weight_bits, 3);
+        assert_eq!(s.sum_bits(), 8 + 3 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_inputs_panics() {
+        let _ = BaselineSpec::new(0, 8, 3);
+    }
+
+    #[test]
+    fn dot_product_exhaustive_small() {
+        // 2 inputs × 2-bit samples × 2-bit weights: fully exhaustive.
+        let p = DigitalPerceptron::new(BaselineSpec::new(2, 2, 2));
+        for x0 in 0..4u64 {
+            for x1 in 0..4u64 {
+                for w0 in 0..4u64 {
+                    for w1 in 0..4u64 {
+                        let got = p.dot_product(&[x0, x1], &[w0, w1]);
+                        assert_eq!(got, x0 * w0 + x1 * w1, "{x0}*{w0} + {x1}*{w1}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classify_thresholds_correctly() {
+        let p = DigitalPerceptron::new(BaselineSpec::new(3, 4, 3));
+        let x = [10u64, 3, 7];
+        let w = [2u64, 5, 1];
+        let dot = 10 * 2 + 3 * 5 + 7; // 42
+        assert_eq!(p.dot_product(&x, &w), dot);
+        assert!(p.classify(&x, &w, dot - 1));
+        assert!(!p.classify(&x, &w, dot));
+        assert!(!p.classify(&x, &w, dot + 5));
+    }
+
+    #[test]
+    fn transistor_count_dwarfs_the_pwm_adder() {
+        let p = DigitalPerceptron::new(BaselineSpec::matched_to_paper());
+        let t = p.transistor_count();
+        // The paper's PWM adder does the same weighted sum in 54.
+        assert!(t > 20 * 54, "digital MAC = {t} transistors");
+    }
+
+    #[test]
+    fn transistor_count_grows_with_precision() {
+        let small = DigitalPerceptron::new(BaselineSpec::new(3, 4, 3)).transistor_count();
+        let large = DigitalPerceptron::new(BaselineSpec::new(3, 8, 3)).transistor_count();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn power_measurement_is_positive_and_deterministic() {
+        let p = DigitalPerceptron::new(BaselineSpec::new(2, 4, 2));
+        let model = PowerModel::umc65_like();
+        let r1 = p.measure_power(&[3, 1], 20, 10_000, &model, 42);
+        let r2 = p.measure_power(&[3, 1], 20, 10_000, &model, 42);
+        assert!(r1.dynamic_watts > 0.0);
+        assert_eq!(r1.total_toggles, r2.total_toggles);
+        assert_eq!(r1.transistors, p.transistor_count());
+    }
+
+    #[test]
+    fn power_scales_with_rate() {
+        let p = DigitalPerceptron::new(BaselineSpec::new(2, 4, 2));
+        let model = PowerModel::umc65_like();
+        let slow = p.measure_power(&[3, 1], 30, 40_000, &model, 7);
+        let fast = p.measure_power(&[3, 1], 30, 10_000, &model, 7);
+        assert!(
+            fast.dynamic_watts > 2.0 * slow.dynamic_watts,
+            "fast {} vs slow {}",
+            fast.dynamic_watts,
+            slow.dynamic_watts
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_input_panics() {
+        let p = DigitalPerceptron::new(BaselineSpec::new(2, 2, 2));
+        let _ = p.dot_product(&[4, 0], &[1, 1]);
+    }
+}

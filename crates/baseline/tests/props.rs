@@ -1,0 +1,35 @@
+//! Property-based tests: the gate-level datapath against integer
+//! arithmetic.
+
+use baseline::{BaselineSpec, DigitalPerceptron};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dot product equals the integer reference for random vectors.
+    #[test]
+    fn dot_product_matches_integers(
+        x in prop::collection::vec(0u64..16, 3),
+        w in prop::collection::vec(0u64..8, 3),
+    ) {
+        let p = DigitalPerceptron::new(BaselineSpec::new(3, 4, 3));
+        let expect: u64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+        prop_assert_eq!(p.dot_product(&x, &w), expect);
+    }
+
+    /// classify ⇔ dot > threshold, for thresholds bracketing the value.
+    #[test]
+    fn classify_is_threshold_comparison(
+        x in prop::collection::vec(0u64..16, 2),
+        w in prop::collection::vec(0u64..8, 2),
+        offset in 0u64..5,
+    ) {
+        let p = DigitalPerceptron::new(BaselineSpec::new(2, 4, 3));
+        let dot: u64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+        prop_assert_eq!(p.classify(&x, &w, dot + offset), false);
+        if dot > offset {
+            prop_assert_eq!(p.classify(&x, &w, dot - offset - 1), true);
+        }
+    }
+}

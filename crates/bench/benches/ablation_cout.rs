@@ -1,0 +1,20 @@
+//! A2 bench: the Cout ripple/settling measurement at one capacitor value.
+//! Full sweep: `repro ablation-cout`.
+
+use bench::experiments::ablation_cout;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwmcell::{SimQuality, Technology};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::umc65_like();
+    let quality = SimQuality::fast();
+    let mut group = c.benchmark_group("ablation_cout");
+    group.sample_size(10);
+    group.bench_function("ripple_at_1pF", |b| {
+        b.iter(|| ablation_cout(&tech, &quality, &[std::hint::black_box(1e-12)]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! A1 bench: the Rout linearity metric at one resistor value.
+//! Full sweep: `repro ablation-rout`.
+
+use bench::experiments::ablation_rout;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwmcell::{SimQuality, Technology};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::umc65_like();
+    let quality = SimQuality::fast();
+    let mut group = c.benchmark_group("ablation_rout_linearity");
+    group.sample_size(10);
+    group.bench_function("inl_at_20k", |b| {
+        b.iter(|| ablation_rout(&tech, &quality, &[std::hint::black_box(20e3)], 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

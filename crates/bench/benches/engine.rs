@@ -1,0 +1,100 @@
+//! Simulator-engine microbenchmarks: the primitives every experiment
+//! above is built from. Useful for tracking performance regressions of
+//! the substrate itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mssim::prelude::*;
+use pwmcell::{PwmNode, Technology};
+
+/// Fixed-step transient throughput on the 3×3 adder circuit (the
+/// workhorse of Table II / Fig. 8).
+fn transient_steps(c: &mut Criterion) {
+    let tech = Technology::umc65_like();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+    let adder = pwmcell::WeightedAdder::build(
+        &mut ckt,
+        &tech,
+        "a",
+        vdd,
+        &[7, 7, 7],
+        pwmcell::AdderSpec::paper_3x3(),
+    );
+    for (i, d) in [0.7, 0.8, 0.9].into_iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            adder.inputs[i],
+            Circuit::GND,
+            Waveform::pwm(2.5, 500e6, d),
+        );
+    }
+    let steps = 2000usize;
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(steps as u64));
+    group.sample_size(10);
+    group.bench_function("adder_transient_steps", |b| {
+        b.iter(|| {
+            Transient::new(10e-12, steps as f64 * 10e-12)
+                .use_initial_conditions()
+                .record_every(50)
+                .run(&ckt)
+                .expect("transient converges")
+        })
+    });
+    group.finish();
+}
+
+/// Periodic-steady-state solves per second (the training-loop primitive).
+fn pss_solves(c: &mut Criterion) {
+    let tech = Technology::umc65_like();
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("adder_pss_solve", |b| {
+        b.iter(|| {
+            PwmNode::weighted_adder(
+                &tech,
+                &std::hint::black_box([0.2, 0.6, 0.8]),
+                &[5, 6, 7],
+                3,
+                500e6,
+                2.5,
+                10e-12,
+            )
+            .steady_state_average()
+        })
+    });
+    group.finish();
+}
+
+/// DC operating point of the full 62-transistor perceptron.
+fn dc_solve(c: &mut Criterion) {
+    let tech = Technology::umc65_like();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+    let dut = pwmcell::perceptron_circuit::PerceptronCircuit::build(
+        &mut ckt,
+        &tech,
+        "p",
+        vdd,
+        &[7, 7, 7],
+        pwmcell::AdderSpec::paper_3x3(),
+        0.5,
+    );
+    for (i, lv) in [2.5, 0.0, 2.5].into_iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            dut.adder.inputs[i],
+            Circuit::GND,
+            Waveform::dc(lv),
+        );
+    }
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("full_perceptron_dcop", |b| {
+        b.iter(|| dc_operating_point(std::hint::black_box(&ckt)).expect("op converges"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, transient_steps, pss_solves, dc_solve);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 5 bench: inverter measurement at the low and high ends of the
+//! paper's frequency sweep. Full series: `repro fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mssim::units::Hertz;
+use pwmcell::{InverterTestbench, MeasureSpec, SimQuality, Technology};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::umc65_like();
+    let quality = SimQuality::fast();
+    let tb = InverterTestbench::new(&tech);
+    let mut group = c.benchmark_group("fig5_frequency_resilience");
+    group.sample_size(10);
+    for (name, freq) in [("1MHz", 1e6), ("500MHz", 500e6)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                tb.measure(
+                    &MeasureSpec::duty(0.25).with_frequency(Hertz(std::hint::black_box(freq))),
+                    &quality,
+                )
+                .expect("measurement converges")
+                .vout
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 6 bench: inverter measurement at low / nominal / high supply.
+//! Full series: `repro fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mssim::units::Volts;
+use pwmcell::{InverterTestbench, MeasureSpec, SimQuality, Technology};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::umc65_like();
+    let quality = SimQuality::fast();
+    let tb = InverterTestbench::new(&tech);
+    let mut group = c.benchmark_group("fig6_supply_sweep");
+    group.sample_size(10);
+    for (name, vdd) in [("0.5V", 0.5), ("2.5V", 2.5), ("5V", 5.0)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                tb.measure(
+                    &MeasureSpec::duty(0.5).with_vdd(Volts(std::hint::black_box(vdd))),
+                    &quality,
+                )
+                .expect("measurement converges")
+                .vout
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 7 bench: the Vout/Vdd ratio computation over the supply sweep
+//! (switch-level, which is what makes dense Fig. 7 grids affordable).
+//! Full series: `repro fig7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwm_perceptron::elasticity::{inverter_ratio_sweep, ratio_flatness};
+use pwmcell::Technology;
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::umc65_like();
+    let vdds: Vec<f64> = (1..=10).map(|i| 0.5 * i as f64).collect();
+    let mut group = c.benchmark_group("fig7_relative_output");
+    group.bench_function("ratio_sweep_10pts", |b| {
+        b.iter(|| {
+            let pts = inverter_ratio_sweep(&tech, std::hint::black_box(0.25), &vdds);
+            ratio_flatness(&pts)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

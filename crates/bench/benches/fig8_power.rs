@@ -1,0 +1,34 @@
+//! Fig. 8 bench: one adder supply-power measurement at the low and high
+//! ends of the paper's frequency range. Full series: `repro fig8`.
+
+use bench::experiments::{FIG8_DUTIES, FIG8_WEIGHTS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mssim::units::Hertz;
+use pwmcell::{AdderTestbench, SimQuality, Technology};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::umc65_like();
+    let quality = SimQuality::fast();
+    let tb = AdderTestbench::paper(&tech);
+    let mut group = c.benchmark_group("fig8_power");
+    group.sample_size(10);
+    for (name, freq) in [("100MHz", 100e6), ("1GHz", 1e9)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                tb.measure_at(
+                    &FIG8_DUTIES,
+                    &FIG8_WEIGHTS,
+                    Hertz(std::hint::black_box(freq)),
+                    tech.vdd,
+                    &quality,
+                )
+                .expect("measurement converges")
+                .supply_power
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

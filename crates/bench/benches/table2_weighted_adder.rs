@@ -1,0 +1,41 @@
+//! Table II bench: one transistor-level 3×3 adder measurement (row 1) and
+//! the switch-level equivalent, showing the cost gap between the two
+//! fidelity tiers. Full table: `repro table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwmcell::{AdderTestbench, PwmNode, SimQuality, Technology};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::umc65_like();
+    let quality = SimQuality::fast();
+    let duties = [0.70, 0.80, 0.90];
+    let weights = [7u32, 7, 7];
+    let mut group = c.benchmark_group("table2_weighted_adder");
+    group.sample_size(10);
+    group.bench_function("transistor_level_row1", |b| {
+        let tb = AdderTestbench::paper(&tech);
+        b.iter(|| {
+            tb.measure(&std::hint::black_box(duties), &weights, &quality)
+                .expect("measurement converges")
+                .vout
+        })
+    });
+    group.bench_function("switch_level_row1", |b| {
+        b.iter(|| {
+            PwmNode::weighted_adder(
+                &tech,
+                &std::hint::black_box(duties),
+                &weights,
+                3,
+                tech.frequency.value(),
+                tech.vdd.value(),
+                tech.cout_adder.value(),
+            )
+            .steady_state_average()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,719 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p bench --release --bin repro -- all
+//! cargo run -p bench --release --bin repro -- fig4 table2 ...
+//! cargo run -p bench --release --bin repro -- --fast all
+//! ```
+//!
+//! Prints the paper's tables/series and writes CSVs into `results/`.
+
+use std::time::Instant;
+
+use bench::experiments as ex;
+use bench::output::{f, render_table, results_dir, write_csv};
+use pwmcell::{SimQuality, Technology};
+
+const EXPERIMENTS: &[&str] = &[
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table2",
+    "fig8",
+    "ablation-rout",
+    "ablation-cout",
+    "mc",
+    "table2-freq",
+    "baseline",
+    "kessels",
+    "xval",
+    "train",
+    "ablation-bits",
+    "scaling",
+    "full-perceptron",
+    "temperature",
+    "spice",
+    "noise",
+    "map",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    if selected.is_empty() || selected.contains(&"all") {
+        selected = EXPERIMENTS.to_vec();
+    }
+    for s in &selected {
+        if !EXPERIMENTS.contains(s) {
+            eprintln!("unknown experiment '{s}'. known: all {EXPERIMENTS:?}");
+            std::process::exit(2);
+        }
+    }
+
+    let tech = Technology::umc65_like();
+    let quality = if fast {
+        SimQuality::fast()
+    } else {
+        SimQuality::paper()
+    };
+    println!("PWM mixed-signal perceptron — paper reproduction harness");
+    println!(
+        "Table I parameters: Vdd={}, n={:.0}nm / p={:.0}nm x L={:.1}um, Cout(inv)={}, Cout(adder)={}, Rout={}, f={}",
+        tech.vdd,
+        tech.nmos.w * 1e9,
+        tech.pmos.w * 1e9,
+        tech.nmos.l * 1e6,
+        tech.cout_inverter,
+        tech.cout_adder,
+        tech.rout,
+        tech.frequency,
+    );
+    println!(
+        "quality: {} ({} steps/period, settle {}τ)",
+        if fast { "fast" } else { "paper" },
+        quality.steps_per_period,
+        quality.settle_time_constants
+    );
+
+    for name in selected {
+        let t0 = Instant::now();
+        match name {
+            "fig4" => fig4(&tech, &quality, fast),
+            "fig5" => fig5(&tech, &quality, fast),
+            "fig6" | "fig7" => fig6_fig7(&tech, &quality, fast, name),
+            "table2" => table2(&tech, &quality),
+            "fig8" => fig8(&tech, &quality, fast),
+            "ablation-rout" => ablation_rout(&tech, &quality, fast),
+            "ablation-cout" => ablation_cout(&tech, &quality),
+            "mc" => mc(&tech, &quality, fast),
+            "table2-freq" => table2_freq(&tech),
+            "baseline" => baseline(),
+            "kessels" => kessels(),
+            "xval" => xval(&tech, &quality),
+            "train" => train_demo(),
+            "ablation-bits" => ablation_bits(),
+            "scaling" => scaling(&tech),
+            "full-perceptron" => full_perceptron(&tech, &quality),
+            "temperature" => temperature(&tech),
+            "spice" => spice(&tech),
+            "noise" => noise(&tech),
+            "map" => map(&tech),
+            _ => unreachable!(),
+        }
+        eprintln!("  [{name} took {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn fig4(tech: &Technology, q: &SimQuality, fast: bool) {
+    let points = if fast { 6 } else { 11 };
+    let rows = ex::fig4(tech, q, points);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                f(r.duty * 100.0, 0),
+                f(r.vout_no_load, 3),
+                f(r.vout_5k, 3),
+                f(r.vout_100k, 3),
+                f(r.ideal, 3),
+            ]
+        })
+        .collect();
+    let header = ["DC %", "no load V", "5kOhm V", "100kOhm V", "ideal V"];
+    println!(
+        "{}",
+        render_table("Fig. 4 — inverter Vout vs duty cycle", &header, &table)
+    );
+    write_csv(&results_dir().join("fig4.csv"), &header, &table);
+}
+
+fn fig5(tech: &Technology, q: &SimQuality, fast: bool) {
+    let freqs = ex::fig5_frequencies(if fast { 4 } else { 9 });
+    let rows = ex::fig5(tech, q, &freqs);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                f(r.frequency / 1e6, 0),
+                f(r.vout_dc25, 3),
+                f(r.vout_dc50, 3),
+                f(r.vout_dc75, 3),
+            ]
+        })
+        .collect();
+    let header = ["f MHz", "DC=25%", "DC=50%", "DC=75%"];
+    println!(
+        "{}",
+        render_table("Fig. 5 — inverter Vout vs input frequency", &header, &table)
+    );
+    write_csv(&results_dir().join("fig5.csv"), &header, &table);
+}
+
+fn fig6_fig7(tech: &Technology, q: &SimQuality, fast: bool, which: &str) {
+    let vdds = ex::fig6_vdds(if fast { 5 } else { 10 });
+    let rows = ex::fig6_fig7(tech, q, &vdds);
+    if which == "fig6" {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    f(r.vdd, 2),
+                    f(r.vout[0], 3),
+                    f(r.vout[1], 3),
+                    f(r.vout[2], 3),
+                ]
+            })
+            .collect();
+        let header = ["Vdd V", "DC=25%", "DC=50%", "DC=75%"];
+        println!(
+            "{}",
+            render_table(
+                "Fig. 6 — inverter Vout (absolute) vs supply",
+                &header,
+                &table
+            )
+        );
+        write_csv(&results_dir().join("fig6.csv"), &header, &table);
+    } else {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    f(r.vdd, 2),
+                    f(r.ratio[0], 3),
+                    f(r.ratio[1], 3),
+                    f(r.ratio[2], 3),
+                ]
+            })
+            .collect();
+        let header = ["Vdd V", "DC=25%", "DC=50%", "DC=75%"];
+        println!(
+            "{}",
+            render_table("Fig. 7 — inverter Vout/Vdd vs supply", &header, &table)
+        );
+        write_csv(&results_dir().join("fig7.csv"), &header, &table);
+    }
+}
+
+fn table2(tech: &Technology, q: &SimQuality) {
+    let rows = ex::table2(tech, q);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!(
+                    "{}%/{} {}%/{} {}%/{}",
+                    (r.duties[0] * 100.0) as u32,
+                    r.weights[0],
+                    (r.duties[1] * 100.0) as u32,
+                    r.weights[1],
+                    (r.duties[2] * 100.0) as u32,
+                    r.weights[2]
+                ),
+                f(r.v_theory, 3),
+                f(r.v_sim, 3),
+                f(r.error, 3),
+                f(r.paper.0, 2),
+                f(r.paper.1, 2),
+            ]
+        })
+        .collect();
+    let header = [
+        "DC/W per input",
+        "Eq.2 V",
+        "sim V",
+        "err V",
+        "paper th.",
+        "paper sim",
+    ];
+    println!(
+        "{}",
+        render_table("Table II — 3×3 weighted adder", &header, &table)
+    );
+    write_csv(&results_dir().join("table2.csv"), &header, &table);
+}
+
+fn fig8(tech: &Technology, q: &SimQuality, fast: bool) {
+    let freqs = ex::fig8_frequencies(if fast { 4 } else { 10 });
+    let rows = ex::fig8(tech, q, &freqs);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![f(r.frequency / 1e6, 0), f(r.power * 1e6, 1)])
+        .collect();
+    let header = ["f MHz", "power uW"];
+    println!(
+        "{}",
+        render_table(
+            "Fig. 8 — adder average supply power vs input frequency",
+            &header,
+            &table
+        )
+    );
+    write_csv(&results_dir().join("fig8.csv"), &header, &table);
+}
+
+fn ablation_rout(tech: &Technology, q: &SimQuality, fast: bool) {
+    let routs: Vec<f64> = if fast {
+        vec![2e3, 20e3, 200e3]
+    } else {
+        vec![1e3, 2e3, 5e3, 10e3, 20e3, 50e3, 100e3, 200e3, 500e3]
+    };
+    let rows = ex::ablation_rout(tech, q, &routs, if fast { 3 } else { 7 });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![f(r.rout / 1e3, 0), f(r.max_inl * 1e3, 1)])
+        .collect();
+    let header = ["Rout kOhm", "max INL mV"];
+    println!(
+        "{}",
+        render_table("A1 — linearity vs output resistor", &header, &table)
+    );
+    write_csv(&results_dir().join("ablation_rout.csv"), &header, &table);
+}
+
+fn ablation_cout(tech: &Technology, q: &SimQuality) {
+    let couts = vec![100e-15, 300e-15, 1e-12, 3e-12, 10e-12];
+    let rows = ex::ablation_cout(tech, q, &couts);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                f(r.cout * 1e12, 2),
+                f(r.ripple * 1e3, 2),
+                f(r.settle * 1e9, 0),
+            ]
+        })
+        .collect();
+    let header = ["Cout pF", "ripple mV", "settle ns"];
+    println!(
+        "{}",
+        render_table("A2 — ripple vs settling trade-off", &header, &table)
+    );
+    write_csv(&results_dir().join("ablation_cout.csv"), &header, &table);
+}
+
+fn mc(tech: &Technology, q: &SimQuality, fast: bool) {
+    let trials_switch = if fast { 64 } else { 512 };
+    let rows = ex::mc_switch_level(tech, trials_switch, 0xC0FFEE);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(i, s)| {
+            vec![
+                format!("{}", i + 1),
+                f(s.mean, 3),
+                f(s.std * 1e3, 1),
+                f(s.relative_std() * 100.0, 2),
+                f(s.min, 3),
+                f(s.max, 3),
+            ]
+        })
+        .collect();
+    let header = ["row", "mean V", "std mV", "cv %", "min V", "max V"];
+    println!(
+        "{}",
+        render_table(
+            &format!("A3 — switch-level Monte Carlo ({trials_switch} trials/row, global corners)"),
+            &header,
+            &table
+        )
+    );
+    write_csv(&results_dir().join("mc_switch.csv"), &header, &table);
+
+    let trials_ckt = if fast { 8 } else { 24 };
+    let s = ex::mc_circuit_level(tech, q, 2, trials_ckt, 0xBEEF);
+    println!(
+        "A3 — transistor-level per-device MC, Table II row 3, {trials_ckt} trials: mean {:.3} V, std {:.1} mV, cv {:.2}%",
+        s.mean,
+        s.std * 1e3,
+        s.relative_std() * 100.0
+    );
+}
+
+fn table2_freq(tech: &Technology) {
+    let freqs = [1e6, 10e6, 100e6, 500e6, 1e9];
+    let rows = ex::table2_frequency_invariance(tech, &freqs);
+    let mut table = Vec::new();
+    for (i, _) in ex::TABLE2_CONFIGS.iter().enumerate() {
+        let mut cells = vec![format!("{}", i + 1)];
+        for &freq in &freqs {
+            let v = rows
+                .iter()
+                .find(|(fq, ri, _)| *ri == i && (*fq - freq).abs() < 1.0)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(f64::NAN);
+            cells.push(f(v, 3));
+        }
+        table.push(cells);
+    }
+    let header = ["row", "1MHz", "10MHz", "100MHz", "500MHz", "1GHz"];
+    println!(
+        "{}",
+        render_table(
+            "A4 — Table II output vs frequency (switch-level)",
+            &header,
+            &table
+        )
+    );
+    write_csv(&results_dir().join("table2_freq.csv"), &header, &table);
+}
+
+fn baseline() {
+    let c = ex::baseline_comparison(10e6, 50);
+    println!("\n== A5 — PWM adder vs conventional digital perceptron ==");
+    println!(
+        "PWM 3×3 weighted adder:      {:>6} transistors",
+        c.pwm_transistors
+    );
+    println!(
+        "Digital MAC (3×8b×3b):       {:>6} transistors ({:.1}× more)",
+        c.digital_transistors,
+        c.digital_transistors as f64 / c.pwm_transistors as f64
+    );
+    println!(
+        "Digital dynamic power at {:.0} Meval/s: {:.1} µW",
+        c.eval_rate / 1e6,
+        c.digital_power * 1e6
+    );
+}
+
+fn kessels() {
+    let rows = ex::kessels_duty_table(4);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(m, expect, meas)| vec![format!("{m}"), f(*expect * 100.0, 2), f(*meas * 100.0, 2)])
+        .collect();
+    let header = ["M", "expected %", "measured %"];
+    println!(
+        "{}",
+        render_table(
+            "A6 — Kessels-style counter PWM generator duty accuracy",
+            &header,
+            &table
+        )
+    );
+    write_csv(&results_dir().join("kessels.csv"), &header, &table);
+
+    // Generator cost at two clock rates: the PWM source is cheap next to
+    // the digital MAC and its power scales with the clock, as expected.
+    for (label, period_ps) in [("100 MHz", 10_000u64), ("500 MHz", 2_000)] {
+        let r = ex::kessels_power(8, period_ps, 4);
+        println!(
+            "8-bit generator at {label}: {} transistors, {:.1} µW dynamic",
+            r.transistors,
+            r.dynamic_watts * 1e6
+        );
+    }
+
+    // Waveform artefact: two counter wraps as a GTKWave-compatible VCD.
+    let vcd = ex::kessels_waveform_vcd(4, 5);
+    let path = results_dir().join("kessels.vcd");
+    match std::fs::write(&path, &vcd) {
+        Ok(()) => println!("wrote {} ({} bytes)", path.display(), vcd.len()),
+        Err(e) => eprintln!("  warning: could not write {}: {e}", path.display()),
+    }
+}
+
+fn xval(tech: &Technology, q: &SimQuality) {
+    let rows = ex::evaluator_cross_validation(tech, q);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(i, va, vs, vc)| {
+            vec![
+                format!("{}", i + 1),
+                f(*va, 3),
+                f(*vs, 3),
+                f(*vc, 3),
+                f((vs - va) * 1e3, 1),
+                f((vc - va) * 1e3, 1),
+            ]
+        })
+        .collect();
+    let header = [
+        "row",
+        "analytic V",
+        "switch V",
+        "circuit V",
+        "Δsw mV",
+        "Δckt mV",
+    ];
+    println!(
+        "{}",
+        render_table("A7 — evaluator cross-validation", &header, &table)
+    );
+    write_csv(&results_dir().join("xval.csv"), &header, &table);
+}
+
+fn train_demo() {
+    let (train_acc, test_acc) = ex::train_demo(2024);
+    println!("\n== End-to-end — hardware-in-the-loop training (switch-level) ==");
+    println!("train accuracy: {:.1}%", train_acc * 100.0);
+    println!("test accuracy:  {:.1}%", test_acc * 100.0);
+}
+
+fn ablation_bits() {
+    let rows = ex::ablation_weight_bits(31337, &[1, 2, 3, 4, 5, 6]);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.bits),
+                f(r.train_accuracy * 100.0, 1),
+                f(r.test_accuracy * 100.0, 1),
+                format!("{}", r.transistors),
+            ]
+        })
+        .collect();
+    let header = ["bits", "train %", "test %", "transistors"];
+    println!(
+        "{}",
+        render_table(
+            "A8 — accuracy vs weight precision (4 inputs, 1% margin, switch-level HIL)",
+            &header,
+            &table
+        )
+    );
+    write_csv(&results_dir().join("ablation_bits.csv"), &header, &table);
+}
+
+fn map(tech: &Technology) {
+    let weights = [7u32, 3];
+    let reference = 0.35;
+    let grid = 41;
+    let pts = ex::decision_map(tech, &weights, reference, grid);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                f(p.d0, 3),
+                f(p.d1, 3),
+                f(p.ratio, 4),
+                format!("{}", p.fires as u8),
+            ]
+        })
+        .collect();
+    let header = ["d0", "d1", "ratio", "fires"];
+    write_csv(&results_dir().join("decision_map.csv"), &header, &rows);
+    // Console: a coarse ASCII rendering of the boundary.
+    println!(
+        "\n== Decision map — weights {weights:?}, reference {reference}·Vdd (switch-level) =="
+    );
+    let coarse = 21;
+    let coarse_pts = ex::decision_map(tech, &weights, reference, coarse);
+    for row in 0..coarse {
+        let d1 = 1.0 - row as f64 / (coarse - 1) as f64;
+        let line: String = (0..coarse)
+            .map(|col| {
+                let d0 = col as f64 / (coarse - 1) as f64;
+                let p = coarse_pts
+                    .iter()
+                    .min_by(|a, b| {
+                        let da = (a.d0 - d0).abs() + (a.d1 - d1).abs();
+                        let db = (b.d0 - d0).abs() + (b.d1 - d1).abs();
+                        da.partial_cmp(&db).expect("finite")
+                    })
+                    .expect("grid non-empty");
+                if p.fires {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        println!("  {line}");
+    }
+    println!("  (d0 →, d1 ↑; '#' fires — the boundary is the line 7·d0 + 3·d1 = 7.35)");
+}
+
+fn noise(tech: &Technology) {
+    let couts = [0.1e-12, 1e-12, 10e-12];
+    let rows = ex::noise_budget(tech, &couts);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                f(r.cout * 1e12, 1),
+                f(r.rms_noise * 1e6, 1),
+                f(r.ktc * 1e6, 1),
+                f(r.lsb_over_noise, 0),
+            ]
+        })
+        .collect();
+    let header = ["Cout pF", "RMS noise µV", "kT/C µV", "LSB/noise"];
+    println!(
+        "{}",
+        render_table(
+            "A12 — adder output thermal-noise budget (adjoint .NOISE)",
+            &header,
+            &table
+        )
+    );
+    write_csv(&results_dir().join("noise.csv"), &header, &table);
+    println!("noise sits at the kT/C bound, orders below the 119 mV LSB —");
+    println!("mismatch (A3), not thermal noise, limits the architecture's precision.");
+}
+
+fn spice(tech: &Technology) {
+    use mssim::export::to_spice;
+    use mssim::prelude::*;
+
+    println!("\n== SPICE export — cross-validation decks ==");
+    let dir = results_dir();
+
+    // Fig. 2 inverter at the paper's operating point.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("in");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    ckt.vsource(
+        "VIN",
+        inp,
+        Circuit::GND,
+        Waveform::pwm(tech.vdd.value(), tech.frequency.value(), 0.25),
+    );
+    pwmcell::Inverter::build(
+        &mut ckt,
+        tech,
+        "inv",
+        inp,
+        vdd,
+        Some(tech.rout),
+        tech.cout_inverter,
+    );
+    let deck = to_spice(&ckt, "Fig.2 transcoding inverter, DC=25%, 500MHz");
+    std::fs::write(dir.join("inverter.sp"), &deck).expect("write deck");
+    println!(
+        "  wrote {} ({} lines)",
+        dir.join("inverter.sp").display(),
+        deck.lines().count()
+    );
+
+    // Full 62-transistor perceptron, Table II row 1.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    let dut = pwmcell::perceptron_circuit::PerceptronCircuit::build(
+        &mut ckt,
+        tech,
+        "p",
+        vdd,
+        &[7, 7, 7],
+        pwmcell::AdderSpec::paper_3x3(),
+        0.5,
+    );
+    for (i, d) in [0.7, 0.8, 0.9].into_iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            dut.adder.inputs[i],
+            Circuit::GND,
+            Waveform::pwm(tech.vdd.value(), tech.frequency.value(), d),
+        );
+    }
+    let deck = to_spice(&ckt, "Full Fig.1 perceptron, Table II row 1");
+    std::fs::write(dir.join("full_perceptron.sp"), &deck).expect("write deck");
+    println!(
+        "  wrote {} ({} lines)",
+        dir.join("full_perceptron.sp").display(),
+        deck.lines().count()
+    );
+}
+
+fn temperature(tech: &Technology) {
+    let temps = [-40.0, 0.0, 27.0, 85.0, 125.0];
+    let rows = ex::temperature_sweep(tech, &temps);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![f(r.celsius, 0)];
+            cells.extend(r.vouts.iter().map(|v| f(*v, 3)));
+            cells.push(f(r.max_shift * 1e3, 1));
+            cells
+        })
+        .collect();
+    let header = [
+        "T °C",
+        "row1 V",
+        "row2 V",
+        "row3 V",
+        "row4 V",
+        "row5 V",
+        "row6 V",
+        "max Δ mV",
+    ];
+    println!(
+        "{}",
+        render_table(
+            "A11 — Table II outputs across -40..125 °C (switch-level)",
+            &header,
+            &table
+        )
+    );
+    write_csv(&results_dir().join("temperature.csv"), &header, &table);
+}
+
+fn full_perceptron(tech: &Technology, q: &SimQuality) {
+    let rows = ex::full_perceptron(tech, q);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.row + 1),
+                f(r.ratio, 3),
+                format!("{}", r.expected as u8),
+                format!("{}", r.fires_nominal as u8),
+                format!("{}", r.fires_low_vdd as u8),
+            ]
+        })
+        .collect();
+    let header = ["row", "Eq.2/Vdd", "ideal", "2.5V", "1.8V"];
+    println!(
+        "{}",
+        render_table(
+            "A10 — full 62-transistor perceptron (adder + reference + comparator)",
+            &header,
+            &table
+        )
+    );
+    write_csv(&results_dir().join("full_perceptron.csv"), &header, &table);
+    let agree = rows
+        .iter()
+        .filter(|r| r.fires_nominal == r.expected && r.fires_low_vdd == r.expected)
+        .count();
+    println!("decisions matching the ideal comparator at both supplies: {agree}/6");
+}
+
+fn scaling(tech: &Technology) {
+    let shapes = [
+        (3usize, 3u32),
+        (5, 3),
+        (8, 3),
+        (16, 3),
+        (3, 5),
+        (3, 8),
+        (8, 8),
+    ];
+    let rows = ex::adder_scaling(tech, &shapes);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}x{}", r.inputs, r.bits),
+                format!("{}", r.transistors),
+                f(r.lsb_voltage * 1e3, 2),
+                f(r.ripple * 1e3, 2),
+                f(r.tau * 1e9, 1),
+            ]
+        })
+        .collect();
+    let header = ["k x n", "transistors", "LSB mV", "ripple mV", "tau ns"];
+    println!(
+        "{}",
+        render_table("A9 — architecture scaling", &header, &table)
+    );
+    write_csv(&results_dir().join("scaling.csv"), &header, &table);
+}

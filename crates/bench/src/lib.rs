@@ -1,0 +1,11 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! Each experiment is a pure function returning row structs; the `repro`
+//! binary renders them as the paper's tables/series and writes CSVs, and
+//! the Criterion benches time reduced variants. See DESIGN.md §3 for the
+//! experiment ↔ module index.
+
+pub mod experiments;
+pub mod output;
+
+pub use experiments::*;

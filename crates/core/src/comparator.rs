@@ -1,0 +1,143 @@
+//! Comparator models — the decision element of Fig. 1.
+//!
+//! The perceptron's analog sum is turned into a binary decision by
+//! comparing against a reference. An ideal comparator is a strict
+//! greater-than; real ones add input-referred offset and hysteresis,
+//! both of which matter for robustness studies.
+
+use mssim::units::Volts;
+
+/// A comparator with optional offset and hysteresis.
+///
+/// With hysteresis `h`, the effective threshold is `ref + h/2` while the
+/// output is low and `ref − h/2` while it is high (a Schmitt trigger), so
+/// the model is stateful — [`Comparator::compare`] takes `&mut self`.
+///
+/// # Examples
+///
+/// ```
+/// use mssim::units::Volts;
+/// use pwm_perceptron::Comparator;
+///
+/// let mut c = Comparator::ideal();
+/// assert!(c.compare(Volts(1.3), Volts(1.25)));
+/// assert!(!c.compare(Volts(1.2), Volts(1.25)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparator {
+    offset: Volts,
+    hysteresis: Volts,
+    state: bool,
+}
+
+impl Comparator {
+    /// Ideal comparator: zero offset, zero hysteresis.
+    pub fn ideal() -> Self {
+        Comparator {
+            offset: Volts(0.0),
+            hysteresis: Volts(0.0),
+            state: false,
+        }
+    }
+
+    /// Comparator with a fixed input-referred offset (added to the
+    /// reference).
+    pub fn with_offset(mut self, offset: Volts) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Comparator with hysteresis of total width `hysteresis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is negative.
+    pub fn with_hysteresis(mut self, hysteresis: Volts) -> Self {
+        assert!(hysteresis.value() >= 0.0, "hysteresis must be non-negative");
+        self.hysteresis = hysteresis;
+        self
+    }
+
+    /// The configured offset.
+    pub fn offset(&self) -> Volts {
+        self.offset
+    }
+
+    /// The configured hysteresis width.
+    pub fn hysteresis(&self) -> Volts {
+        self.hysteresis
+    }
+
+    /// Current output state (last decision).
+    pub fn state(&self) -> bool {
+        self.state
+    }
+
+    /// Compares `input` against `reference`, updating the internal state.
+    pub fn compare(&mut self, input: Volts, reference: Volts) -> bool {
+        let half = self.hysteresis.value() * 0.5;
+        let threshold =
+            reference.value() + self.offset.value() + if self.state { -half } else { half };
+        self.state = input.value() > threshold;
+        self.state
+    }
+
+    /// Resets the hysteresis state to low.
+    pub fn reset(&mut self) {
+        self.state = false;
+    }
+}
+
+impl Default for Comparator {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_strict_greater_than() {
+        let mut c = Comparator::ideal();
+        assert!(!c.compare(Volts(1.0), Volts(1.0)));
+        assert!(c.compare(Volts(1.0 + 1e-12), Volts(1.0)));
+    }
+
+    #[test]
+    fn offset_shifts_the_threshold() {
+        let mut c = Comparator::ideal().with_offset(Volts(0.1));
+        assert!(!c.compare(Volts(1.05), Volts(1.0)));
+        assert!(c.compare(Volts(1.15), Volts(1.0)));
+        assert_eq!(c.offset(), Volts(0.1));
+    }
+
+    #[test]
+    fn hysteresis_creates_a_dead_band() {
+        let mut c = Comparator::ideal().with_hysteresis(Volts(0.2));
+        // From low state the threshold is ref + 0.1.
+        assert!(!c.compare(Volts(1.05), Volts(1.0)));
+        assert!(c.compare(Volts(1.15), Volts(1.0)));
+        // Now high: threshold drops to ref − 0.1; 1.05 stays high.
+        assert!(c.compare(Volts(1.05), Volts(1.0)));
+        // Falls below ref − 0.1 → low.
+        assert!(!c.compare(Volts(0.85), Volts(1.0)));
+        assert!(!c.state());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = Comparator::ideal().with_hysteresis(Volts(0.2));
+        c.compare(Volts(2.0), Volts(1.0));
+        assert!(c.state());
+        c.reset();
+        assert!(!c.state());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_hysteresis_panics() {
+        let _ = Comparator::ideal().with_hysteresis(Volts(-0.1));
+    }
+}

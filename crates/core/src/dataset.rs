@@ -1,0 +1,387 @@
+//! Synthetic classification tasks for the micro-edge scenarios the
+//! paper's introduction motivates (sensing, data filtering).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use self::analytic_label::ideal_ratio;
+use crate::duty::DutyCycle;
+use crate::error::CoreError;
+use crate::weight::WeightVector;
+
+/// One labelled sample: duty-cycle-encoded inputs and a binary label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Duty-cycle-encoded inputs.
+    pub duties: Vec<DutyCycle>,
+    /// Target class.
+    pub label: bool,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub fn new(duties: Vec<DutyCycle>, label: bool) -> Self {
+        Sample { duties, label }
+    }
+}
+
+/// A labelled dataset of equal-dimension samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that all samples share one dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyDataset`] for no samples, or
+    /// [`CoreError::DimensionMismatch`] for ragged samples.
+    pub fn new(samples: Vec<Sample>) -> Result<Self, CoreError> {
+        let dim = samples.first().map_or(0, |s| s.duties.len());
+        if dim == 0 {
+            return Err(CoreError::EmptyDataset);
+        }
+        for s in &samples {
+            if s.duties.len() != dim {
+                return Err(CoreError::DimensionMismatch {
+                    expected: dim,
+                    got: s.duties.len(),
+                });
+            }
+        }
+        Ok(Dataset { samples, dim })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if there are no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        self.samples.iter().filter(|s| s.label).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Deterministic shuffled split into `(train, test)` with the given
+    /// training fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not in `(0, 1)` or either split would
+    /// be empty.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0,1)"
+        );
+        let mut idx: Vec<usize> = (0..self.samples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Fisher–Yates.
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let n_train = ((self.samples.len() as f64) * train_fraction).round() as usize;
+        assert!(
+            n_train > 0 && n_train < self.samples.len(),
+            "split would leave an empty side"
+        );
+        let train: Vec<Sample> = idx[..n_train]
+            .iter()
+            .map(|&i| self.samples[i].clone())
+            .collect();
+        let test: Vec<Sample> = idx[n_train..]
+            .iter()
+            .map(|&i| self.samples[i].clone())
+            .collect();
+        (
+            Dataset::new(train).expect("train split is non-empty"),
+            Dataset::new(test).expect("test split is non-empty"),
+        )
+    }
+
+    /// Random samples labelled by a hidden *positive-weight* teacher —
+    /// guaranteed learnable by the single-ended hardware. Returns the
+    /// dataset together with the teacher weights and the ratiometric
+    /// threshold that generated the labels.
+    ///
+    /// A margin of 3 % of the supply is enforced around the decision
+    /// boundary so the task is cleanly separable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `dim == 0`.
+    pub fn linearly_separable(
+        n: usize,
+        dim: usize,
+        bits: u32,
+        seed: u64,
+    ) -> (Dataset, WeightVector, f64) {
+        Self::linearly_separable_with_margin(n, dim, bits, seed, 0.03)
+    }
+
+    /// [`Dataset::linearly_separable`] with an explicit separation margin
+    /// (fraction of the supply). Small margins make the task demand more
+    /// weight precision — used by the weight-quantisation ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `dim == 0`, or `margin` is not in `[0, 0.2]`.
+    pub fn linearly_separable_with_margin(
+        n: usize,
+        dim: usize,
+        bits: u32,
+        seed: u64,
+        margin: f64,
+    ) -> (Dataset, WeightVector, f64) {
+        assert!(n > 0 && dim > 0, "need at least one sample and dimension");
+        assert!(
+            (0.0..=0.2).contains(&margin),
+            "margin must be a small fraction of full scale"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max = (1u32 << bits) - 1;
+        // Teacher: random non-trivial positive weights.
+        let weights: Vec<u32> = loop {
+            let w: Vec<u32> = (0..dim).map(|_| rng.gen_range(0..=max)).collect();
+            if w.iter().any(|&x| x > 0) {
+                break w;
+            }
+        };
+        let teacher = WeightVector::new(weights, bits).expect("teacher weights in range");
+        let threshold =
+            rng.gen_range(0.25..0.75) * teacher.total() as f64 / (dim as f64 * max as f64);
+
+        let mut samples = Vec::with_capacity(n);
+        while samples.len() < n {
+            let duties: Vec<DutyCycle> = (0..dim)
+                .map(|_| DutyCycle::new(rng.gen_range(0.0..1.0)))
+                .collect();
+            let ratio = ideal_ratio(&duties, &teacher);
+            if (ratio - threshold).abs() < margin {
+                continue; // too close to the boundary
+            }
+            samples.push(Sample::new(duties, ratio > threshold));
+        }
+        (
+            Dataset::new(samples).expect("generated dataset is valid"),
+            teacher,
+            threshold,
+        )
+    }
+
+    /// The `dim`-input majority function on near-rail duty cycles
+    /// (0.15 / 0.85): fires when more than half the inputs are high.
+    /// Learnable with equal weights and a mid reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `dim > 16`.
+    pub fn majority(dim: usize) -> Dataset {
+        assert!(dim > 0 && dim <= 16, "majority dimension must be 1..=16");
+        let mut samples = Vec::with_capacity(1 << dim);
+        for pattern in 0..(1u32 << dim) {
+            let duties: Vec<DutyCycle> = (0..dim)
+                .map(|i| {
+                    if pattern & (1 << i) != 0 {
+                        DutyCycle::new(0.85)
+                    } else {
+                        DutyCycle::new(0.15)
+                    }
+                })
+                .collect();
+            let ones = pattern.count_ones() as usize;
+            samples.push(Sample::new(duties, 2 * ones > dim));
+        }
+        Dataset::new(samples).expect("majority dataset is valid")
+    }
+
+    /// The `dim`-input AND function on near-rail duty cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `dim > 16`.
+    pub fn boolean_and(dim: usize) -> Dataset {
+        Self::boolean(dim, |ones, d| ones == d)
+    }
+
+    /// The `dim`-input OR function on near-rail duty cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `dim > 16`.
+    pub fn boolean_or(dim: usize) -> Dataset {
+        Self::boolean(dim, |ones, _| ones > 0)
+    }
+
+    fn boolean(dim: usize, label: impl Fn(usize, usize) -> bool) -> Dataset {
+        assert!(dim > 0 && dim <= 16, "boolean dimension must be 1..=16");
+        let mut samples = Vec::with_capacity(1 << dim);
+        for pattern in 0..(1u32 << dim) {
+            let duties: Vec<DutyCycle> = (0..dim)
+                .map(|i| {
+                    if pattern & (1 << i) != 0 {
+                        DutyCycle::new(0.85)
+                    } else {
+                        DutyCycle::new(0.15)
+                    }
+                })
+                .collect();
+            samples.push(Sample::new(
+                duties,
+                label(pattern.count_ones() as usize, dim),
+            ));
+        }
+        Dataset::new(samples).expect("boolean dataset is valid")
+    }
+
+    /// A micro-edge *sensor event filter*: three correlated channels
+    /// (e.g. accelerometer axes) where an event raises all channels; the
+    /// label marks event frames. Channel noise makes the task realistic
+    /// but it remains linearly separable with positive weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sensor_events(n: usize, seed: u64) -> Dataset {
+        assert!(n > 0, "need at least one sample");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let event = rng.gen_bool(0.5);
+            let base: f64 = if event {
+                rng.gen_range(0.62..0.92)
+            } else {
+                rng.gen_range(0.08..0.38)
+            };
+            let duties: Vec<DutyCycle> = (0..3)
+                .map(|_| DutyCycle::clamped(base + rng.gen_range(-0.06..0.06)))
+                .collect();
+            samples.push(Sample::new(duties, event));
+        }
+        Dataset::new(samples).expect("sensor dataset is valid")
+    }
+}
+
+/// Shared label helper (kept in a private module so `dataset` and tests
+/// agree on the teacher model).
+pub(crate) mod analytic_label {
+    use crate::duty::DutyCycle;
+    use crate::weight::WeightVector;
+
+    /// Eq. 2 output as a fraction of Vdd.
+    pub(crate) fn ideal_ratio(duties: &[DutyCycle], weights: &WeightVector) -> f64 {
+        let acc: f64 = duties
+            .iter()
+            .zip(weights.iter())
+            .map(|(d, &w)| d.value() * w as f64)
+            .sum();
+        acc / (weights.len() as f64 * weights.max_weight() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(Dataset::new(vec![]), Err(CoreError::EmptyDataset)));
+        let ragged = vec![
+            Sample::new(vec![DutyCycle::new(0.5)], true),
+            Sample::new(vec![DutyCycle::new(0.5), DutyCycle::new(0.1)], false),
+        ];
+        assert!(matches!(
+            Dataset::new(ragged),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn separable_generator_is_consistent_with_its_teacher() {
+        let (data, teacher, threshold) = Dataset::linearly_separable(200, 3, 3, 42);
+        assert_eq!(data.dim(), 3);
+        assert_eq!(data.len(), 200);
+        for s in data.samples() {
+            let ratio = ideal_ratio(&s.duties, &teacher);
+            assert_eq!(ratio > threshold, s.label, "teacher must agree");
+            assert!((ratio - threshold).abs() >= 0.03, "margin enforced");
+        }
+        // Non-degenerate label mix.
+        let rate = data.positive_rate();
+        assert!(rate > 0.05 && rate < 0.95, "positive rate {rate}");
+    }
+
+    #[test]
+    fn separable_generator_is_deterministic() {
+        let (a, wa, ta) = Dataset::linearly_separable(50, 3, 3, 7);
+        let (b, wb, tb) = Dataset::linearly_separable(50, 3, 3, 7);
+        assert_eq!(a, b);
+        assert_eq!(wa, wb);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn majority_truth_table() {
+        let data = Dataset::majority(3);
+        assert_eq!(data.len(), 8);
+        for s in data.samples() {
+            let ones = s.duties.iter().filter(|d| d.value() > 0.5).count();
+            assert_eq!(s.label, ones >= 2);
+        }
+    }
+
+    #[test]
+    fn boolean_generators() {
+        let and = Dataset::boolean_and(2);
+        assert_eq!(and.samples().iter().filter(|s| s.label).count(), 1);
+        let or = Dataset::boolean_or(2);
+        assert_eq!(or.samples().iter().filter(|s| s.label).count(), 3);
+    }
+
+    #[test]
+    fn sensor_events_are_separable_by_mean() {
+        let data = Dataset::sensor_events(300, 3);
+        for s in data.samples() {
+            let mean: f64 = s.duties.iter().map(|d| d.value()).sum::<f64>() / s.duties.len() as f64;
+            assert_eq!(s.label, mean > 0.5, "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let (data, _, _) = Dataset::linearly_separable(100, 2, 3, 1);
+        let (train, test) = data.split(0.7, 9);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(train.len(), 70);
+        assert_eq!(train.dim(), 2);
+        // Deterministic.
+        let (train2, _) = data.split(0.7, 9);
+        assert_eq!(train, train2);
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn bad_split_fraction_panics() {
+        let (data, _, _) = Dataset::linearly_separable(10, 2, 3, 1);
+        let _ = data.split(1.0, 0);
+    }
+}

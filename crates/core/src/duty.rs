@@ -1,0 +1,182 @@
+//! Duty-cycle values — the temporal information carrier.
+
+use std::fmt;
+
+use crate::error::CoreError;
+
+/// A PWM duty cycle in `0.0..=1.0`.
+///
+/// This is the perceptron's input alphabet: information rides on the
+/// *fraction of the period spent high*, which no supply-amplitude or
+/// frequency disturbance can corrupt — the root of the design's power
+/// elasticity.
+///
+/// # Examples
+///
+/// ```
+/// use pwm_perceptron::DutyCycle;
+///
+/// let d = DutyCycle::new(0.3);
+/// assert_eq!(d.value(), 0.3);
+/// assert_eq!(d.complement().value(), 0.7);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct DutyCycle(f64);
+
+impl DutyCycle {
+    /// Always-low signal.
+    pub const ZERO: DutyCycle = DutyCycle(0.0);
+    /// Always-high signal.
+    pub const ONE: DutyCycle = DutyCycle(1.0);
+
+    /// Creates a duty cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `0.0..=1.0` or not finite. Use
+    /// [`DutyCycle::try_new`] for fallible construction.
+    pub fn new(value: f64) -> Self {
+        Self::try_new(value).unwrap_or_else(|_| panic!("duty cycle {value} outside 0..=1"))
+    }
+
+    /// Creates a duty cycle, returning an error for out-of-range values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDuty`] if `value` is outside
+    /// `0.0..=1.0` or not finite.
+    pub fn try_new(value: f64) -> Result<Self, CoreError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(DutyCycle(value))
+        } else {
+            Err(CoreError::InvalidDuty { value })
+        }
+    }
+
+    /// Creates a duty cycle, clamping out-of-range values into `0..=1`
+    /// (NaN clamps to 0).
+    pub fn clamped(value: f64) -> Self {
+        if value.is_nan() {
+            DutyCycle(0.0)
+        } else {
+            DutyCycle(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The raw fraction in `0.0..=1.0`.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `1 − duty`: what the transcoding inverter outputs (relative to
+    /// Vdd).
+    pub fn complement(self) -> Self {
+        DutyCycle(1.0 - self.0)
+    }
+
+    /// Quantises to `levels` equidistant values (inclusive of both rails).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn quantized(self, levels: u32) -> Self {
+        assert!(levels >= 2, "need at least two quantisation levels");
+        let steps = (levels - 1) as f64;
+        DutyCycle((self.0 * steps).round() / steps)
+    }
+
+    /// Converts a slice of raw fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDuty`] on the first out-of-range value.
+    pub fn try_from_slice(values: &[f64]) -> Result<Vec<Self>, CoreError> {
+        values.iter().map(|&v| Self::try_new(v)).collect()
+    }
+
+    /// Extracts raw fractions from a slice of duty cycles.
+    pub fn to_raw(duties: &[Self]) -> Vec<f64> {
+        duties.iter().map(|d| d.0).collect()
+    }
+}
+
+impl fmt::Display for DutyCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+impl From<DutyCycle> for f64 {
+    fn from(d: DutyCycle) -> f64 {
+        d.0
+    }
+}
+
+impl TryFrom<f64> for DutyCycle {
+    type Error = CoreError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::try_new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_bounds() {
+        assert_eq!(DutyCycle::new(0.5).value(), 0.5);
+        assert_eq!(DutyCycle::ZERO.value(), 0.0);
+        assert_eq!(DutyCycle::ONE.value(), 1.0);
+        assert!(DutyCycle::try_new(1.0001).is_err());
+        assert!(DutyCycle::try_new(-0.0001).is_err());
+        assert!(DutyCycle::try_new(f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 0..=1")]
+    fn new_panics_out_of_range() {
+        let _ = DutyCycle::new(2.0);
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(DutyCycle::clamped(-3.0).value(), 0.0);
+        assert_eq!(DutyCycle::clamped(7.0).value(), 1.0);
+        assert_eq!(DutyCycle::clamped(0.4).value(), 0.4);
+        assert_eq!(DutyCycle::clamped(f64::NAN).value(), 0.0);
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let d = DutyCycle::new(0.3);
+        assert!((d.complement().complement().value() - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantisation() {
+        // 5 levels: 0, 0.25, 0.5, 0.75, 1.
+        assert_eq!(DutyCycle::new(0.3).quantized(5).value(), 0.25);
+        assert_eq!(DutyCycle::new(0.4).quantized(5).value(), 0.5);
+        assert_eq!(DutyCycle::new(0.99).quantized(5).value(), 1.0);
+        assert_eq!(DutyCycle::new(0.5).quantized(2).value(), 1.0); // round half up
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let v = DutyCycle::try_from_slice(&[0.1, 0.9]).unwrap();
+        assert_eq!(DutyCycle::to_raw(&v), vec![0.1, 0.9]);
+        assert!(DutyCycle::try_from_slice(&[0.1, 1.9]).is_err());
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        assert_eq!(DutyCycle::new(0.25).to_string(), "25.0%");
+        let f: f64 = DutyCycle::new(0.75).into();
+        assert_eq!(f, 0.75);
+        let d: DutyCycle = 0.5f64.try_into().unwrap();
+        assert_eq!(d.value(), 0.5);
+    }
+}

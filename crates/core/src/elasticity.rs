@@ -1,0 +1,295 @@
+//! Power-elasticity analysis — the paper's Figs. 6 and 7, generalised.
+//!
+//! The core claim: because information is carried by duty cycle, the
+//! *ratio* `Vout/Vdd` is supply-independent above ~1–1.5 V (Fig. 7), so a
+//! classifier whose reference is **ratiometric** keeps its accuracy under
+//! arbitrary supply variation. This module provides the sweeps that
+//! quantify both halves of that claim.
+
+use mssim::units::Volts;
+use pwmcell::{PwmNode, Technology};
+
+use crate::dataset::Dataset;
+use crate::error::CoreError;
+use crate::eval::SwitchLevelEvaluator;
+use crate::perceptron::{PwmPerceptron, Reference};
+use crate::weight::WeightVector;
+
+/// One point of a supply sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioPoint {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Absolute output voltage.
+    pub vout: f64,
+    /// `Vout/Vdd` — the power-elastic quantity.
+    pub ratio: f64,
+}
+
+/// Sweeps the transcoding inverter's output over supply voltages at a
+/// fixed duty cycle (switch-level model; the transistor-level version is
+/// the `fig6`/`fig7` bench).
+///
+/// Validity: the switch-level model has no threshold physics, so it is
+/// accurate **above ~1.5 V**; the sub-threshold collapse the paper's
+/// Fig. 7 shows below ~1 V only appears at the transistor-level tier.
+///
+/// # Panics
+///
+/// Panics if `duty` is outside `0..=1` or any supply is not positive.
+pub fn inverter_ratio_sweep(tech: &Technology, duty: f64, vdds: &[f64]) -> Vec<RatioPoint> {
+    assert!((0.0..=1.0).contains(&duty), "duty must be in 0..=1");
+    vdds.iter()
+        .map(|&vdd| {
+            assert!(vdd > 0.0, "supply must be positive");
+            let node = PwmNode::inverter(
+                tech,
+                Some(tech.rout.value()),
+                tech.cout_inverter.value(),
+                duty,
+                tech.frequency.value(),
+                vdd,
+            );
+            let vout = node.steady_state_average();
+            RatioPoint {
+                vdd,
+                vout,
+                ratio: vout / vdd,
+            }
+        })
+        .collect()
+}
+
+/// Maximum deviation of `Vout/Vdd` across the sweep — 0 means perfectly
+/// power-elastic.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn ratio_flatness(points: &[RatioPoint]) -> f64 {
+    assert!(!points.is_empty(), "need at least one point");
+    let lo = points.iter().map(|p| p.ratio).fold(f64::INFINITY, f64::min);
+    let hi = points
+        .iter()
+        .map(|p| p.ratio)
+        .fold(f64::NEG_INFINITY, f64::max);
+    hi - lo
+}
+
+/// One point of an accuracy-vs-supply sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyPoint {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Classification accuracy at that supply.
+    pub accuracy: f64,
+}
+
+/// Evaluates a trained weight/reference pair across supply voltages
+/// using the switch-level evaluator. A [`Reference::Ratiometric`]
+/// classifier should stay flat; a [`Reference::Absolute`] one collapses
+/// away from its training supply — the design argument for deriving the
+/// comparator reference from the supply rail.
+///
+/// # Errors
+///
+/// Propagates evaluator/dataset errors.
+///
+/// # Panics
+///
+/// Panics if any supply is not positive.
+pub fn accuracy_vs_vdd(
+    tech: &Technology,
+    weights: &WeightVector,
+    reference: Reference,
+    data: &Dataset,
+    vdds: &[f64],
+) -> Result<Vec<AccuracyPoint>, CoreError> {
+    let mut out = Vec::with_capacity(vdds.len());
+    for &vdd in vdds {
+        assert!(vdd > 0.0, "supply must be positive");
+        let eval = SwitchLevelEvaluator::new(tech.clone()).with_vdd(Volts(vdd));
+        let mut p = PwmPerceptron::new(eval, weights.clone(), reference);
+        let accuracy = p.accuracy(data)?;
+        out.push(AccuracyPoint { vdd, accuracy });
+    }
+    Ok(out)
+}
+
+/// Time-varying supply profiles of typical energy harvesters, for
+/// end-to-end "classify while the supply moves" demonstrations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum HarvesterProfile {
+    /// Photovoltaic under moving clouds: slow large-amplitude sine.
+    Solar {
+        /// Mean supply in volts.
+        mean: f64,
+        /// Peak deviation in volts.
+        swing: f64,
+        /// Variation period in seconds.
+        period: f64,
+    },
+    /// Vibration harvester: mid supply with fast ripple.
+    Vibration {
+        /// Base supply in volts.
+        base: f64,
+        /// Ripple amplitude in volts.
+        ripple: f64,
+        /// Ripple frequency in hertz.
+        frequency: f64,
+    },
+    /// Storage capacitor discharging between recharge bursts.
+    Decay {
+        /// Voltage at the start of the window.
+        v0: f64,
+        /// Discharge time constant in seconds.
+        tau: f64,
+        /// Floor the supply never drops below.
+        floor: f64,
+    },
+}
+
+impl HarvesterProfile {
+    /// Supply voltage at time `t` (seconds from the window start).
+    pub fn vdd_at(&self, t: f64) -> f64 {
+        match *self {
+            HarvesterProfile::Solar {
+                mean,
+                swing,
+                period,
+            } => mean + swing * (2.0 * std::f64::consts::PI * t / period).sin(),
+            HarvesterProfile::Vibration {
+                base,
+                ripple,
+                frequency,
+            } => base + ripple * (2.0 * std::f64::consts::PI * frequency * t).sin(),
+            HarvesterProfile::Decay { v0, tau, floor } => floor + (v0 - floor) * (-t / tau).exp(),
+        }
+    }
+
+    /// Samples the profile at `n` evenly spaced times across `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `duration <= 0`.
+    pub fn sample(&self, duration: f64, n: usize) -> Vec<f64> {
+        assert!(n > 0 && duration > 0.0, "empty profile window");
+        (0..n)
+            .map(|i| self.vdd_at(duration * i as f64 / n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_flat_above_one_and_a_half_volts() {
+        // The paper's Fig. 7 observation.
+        let tech = Technology::umc65_like();
+        let points = inverter_ratio_sweep(&tech, 0.25, &[1.5, 2.0, 2.5, 3.5, 5.0]);
+        let flat = ratio_flatness(&points);
+        assert!(flat < 0.05, "ratio varies by {flat}");
+        // And the ratio is near 1 − duty.
+        for p in &points {
+            assert!((p.ratio - 0.75).abs() < 0.05, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn absolute_vout_scales_with_vdd() {
+        // The paper's Fig. 6 observation: absolute output is NOT stable.
+        let tech = Technology::umc65_like();
+        let points = inverter_ratio_sweep(&tech, 0.5, &[2.0, 4.0]);
+        assert!(
+            points[1].vout > 1.8 * points[0].vout,
+            "vout should track vdd: {points:?}"
+        );
+    }
+
+    #[test]
+    fn ratiometric_reference_survives_supply_variation() {
+        let tech = Technology::umc65_like();
+        let data = Dataset::majority(3);
+        let weights = WeightVector::maxed(3, 3);
+        let pts = accuracy_vs_vdd(
+            &tech,
+            &weights,
+            Reference::ratiometric(0.5),
+            &data,
+            &[1.5, 2.5, 4.0],
+        )
+        .unwrap();
+        for p in &pts {
+            assert!(
+                p.accuracy == 1.0,
+                "ratiometric reference must hold at {} V, got {}",
+                p.vdd,
+                p.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn absolute_reference_collapses_away_from_nominal() {
+        let tech = Technology::umc65_like();
+        let data = Dataset::majority(3);
+        let weights = WeightVector::maxed(3, 3);
+        // Absolute 1.25 V reference, correct at 2.5 V.
+        let pts = accuracy_vs_vdd(
+            &tech,
+            &weights,
+            Reference::absolute(Volts(1.25)),
+            &data,
+            &[1.2, 2.5, 5.0],
+        )
+        .unwrap();
+        let at = |v: f64| {
+            pts.iter()
+                .find(|p| (p.vdd - v).abs() < 1e-9)
+                .expect("point exists")
+                .accuracy
+        };
+        assert!(at(2.5) == 1.0, "nominal supply works: {}", at(2.5));
+        assert!(
+            at(1.2) < 1.0 || at(5.0) < 1.0,
+            "absolute reference should fail off-nominal: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn harvester_profiles_are_sane() {
+        let solar = HarvesterProfile::Solar {
+            mean: 2.5,
+            swing: 1.0,
+            period: 10.0,
+        };
+        assert!((solar.vdd_at(0.0) - 2.5).abs() < 1e-12);
+        assert!((solar.vdd_at(2.5) - 3.5).abs() < 1e-9);
+
+        let decay = HarvesterProfile::Decay {
+            v0: 3.0,
+            tau: 1.0,
+            floor: 1.0,
+        };
+        assert!((decay.vdd_at(0.0) - 3.0).abs() < 1e-12);
+        assert!(decay.vdd_at(100.0) - 1.0 < 1e-9);
+
+        let vib = HarvesterProfile::Vibration {
+            base: 2.0,
+            ripple: 0.3,
+            frequency: 50.0,
+        };
+        let samples = vib.sample(1.0, 100);
+        assert_eq!(samples.len(), 100);
+        assert!(samples.iter().all(|&v| (1.69..=2.31).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn flatness_of_empty_sweep_panics() {
+        let _ = ratio_flatness(&[]);
+    }
+}

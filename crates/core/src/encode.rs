@@ -1,0 +1,138 @@
+//! Input encoders: real-valued sensor samples → duty cycles.
+
+use crate::duty::DutyCycle;
+use crate::error::CoreError;
+
+/// Affine encoder mapping a sensor range `[min, max]` onto duty cycles
+/// `[0, 1]`, clamping out-of-range samples.
+///
+/// # Examples
+///
+/// ```
+/// use pwm_perceptron::encode::LinearEncoder;
+///
+/// let enc = LinearEncoder::new(-40.0, 85.0); // a temperature sensor
+/// let d = enc.encode(22.5);
+/// assert!((d.value() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearEncoder {
+    min: f64,
+    max: f64,
+}
+
+impl LinearEncoder {
+    /// Creates an encoder for the sample range `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max` or either bound is not finite.
+    pub fn new(min: f64, max: f64) -> Self {
+        assert!(
+            min.is_finite() && max.is_finite() && min < max,
+            "encoder range must be finite with min < max"
+        );
+        LinearEncoder { min, max }
+    }
+
+    /// The unit range `[0, 1]` (identity with clamping).
+    pub fn unit() -> Self {
+        LinearEncoder::new(0.0, 1.0)
+    }
+
+    /// Lower bound of the sample range.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the sample range.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Encodes one sample, clamping into range.
+    pub fn encode(&self, sample: f64) -> DutyCycle {
+        DutyCycle::clamped((sample - self.min) / (self.max - self.min))
+    }
+
+    /// Encodes a slice of samples.
+    pub fn encode_slice(&self, samples: &[f64]) -> Vec<DutyCycle> {
+        samples.iter().map(|&s| self.encode(s)).collect()
+    }
+
+    /// Decodes a duty cycle back into the sample range (the inverse of
+    /// [`LinearEncoder::encode`] for in-range samples).
+    pub fn decode(&self, duty: DutyCycle) -> f64 {
+        self.min + duty.value() * (self.max - self.min)
+    }
+
+    /// Encodes with quantisation to `levels` duty steps — what a
+    /// counter-based PWM generator with `log2(levels)` bits produces
+    /// (see `gatesim::kessels`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn encode_quantized(&self, sample: f64, levels: u32) -> DutyCycle {
+        self.encode(sample).quantized(levels)
+    }
+}
+
+/// Encodes a strictly-validated slice (no clamping): errors on any sample
+/// outside `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidDuty`] on the first out-of-range sample.
+pub fn encode_unit_strict(samples: &[f64]) -> Result<Vec<DutyCycle>, CoreError> {
+    DutyCycle::try_from_slice(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_mapping_and_inverse() {
+        let enc = LinearEncoder::new(10.0, 20.0);
+        assert!((enc.encode(15.0).value() - 0.5).abs() < 1e-12);
+        assert_eq!(enc.encode(5.0).value(), 0.0); // clamped
+        assert_eq!(enc.encode(25.0).value(), 1.0); // clamped
+        let d = enc.encode(17.5);
+        assert!((enc.decode(d) - 17.5).abs() < 1e-12);
+        assert_eq!(enc.min(), 10.0);
+        assert_eq!(enc.max(), 20.0);
+    }
+
+    #[test]
+    fn unit_encoder_is_identity() {
+        let enc = LinearEncoder::unit();
+        assert_eq!(enc.encode(0.3).value(), 0.3);
+    }
+
+    #[test]
+    fn slice_encoding() {
+        let enc = LinearEncoder::new(0.0, 100.0);
+        let ds = enc.encode_slice(&[0.0, 50.0, 100.0]);
+        assert_eq!(DutyCycle::to_raw(&ds), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn quantized_encoding() {
+        let enc = LinearEncoder::unit();
+        let d = enc.encode_quantized(0.33, 5);
+        assert_eq!(d.value(), 0.25);
+    }
+
+    #[test]
+    fn strict_encoding_errors() {
+        assert!(encode_unit_strict(&[0.2, 0.8]).is_ok());
+        assert!(encode_unit_strict(&[0.2, 1.2]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "min < max")]
+    fn inverted_range_panics() {
+        let _ = LinearEncoder::new(5.0, 5.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Energy-per-decision accounting.
+//!
+//! The paper reports average power (Fig. 8); a micro-edge designer cares
+//! about the energy of one classification: power × the time until the
+//! output capacitor has settled close enough for the comparator to
+//! decide. This module converts the measured quantities into that metric
+//! and provides the settling-time model.
+
+use mssim::units::{Joules, Seconds, Watts};
+
+/// Energy budget of one classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionEnergy {
+    /// Average supply power during evaluation.
+    pub power: Watts,
+    /// Time from input application to a valid comparator decision.
+    pub decision_time: Seconds,
+    /// `power × decision_time`.
+    pub energy: Joules,
+}
+
+impl DecisionEnergy {
+    /// Combines a measured power with a decision time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either quantity is negative.
+    pub fn new(power: Watts, decision_time: Seconds) -> Self {
+        assert!(
+            power.value() >= 0.0 && decision_time.value() >= 0.0,
+            "power and time must be non-negative"
+        );
+        DecisionEnergy {
+            power,
+            decision_time,
+            energy: power * decision_time,
+        }
+    }
+}
+
+/// Time for the adder output to settle within `tolerance` (fraction of
+/// the final value): `τ·ln(1/tol)`, rounded **up to whole PWM periods**
+/// (the comparator should sample cycle-aligned to dodge ripple).
+///
+/// # Panics
+///
+/// Panics if `tau`/`period` are not positive or `tolerance` is not in
+/// `(0, 1)`.
+pub fn decision_time(tau: Seconds, period: Seconds, tolerance: f64) -> Seconds {
+    assert!(
+        tau.value() > 0.0 && period.value() > 0.0,
+        "tau and period must be positive"
+    );
+    assert!(
+        tolerance > 0.0 && tolerance < 1.0,
+        "tolerance must be in (0,1)"
+    );
+    let raw = tau.value() * (1.0 / tolerance).ln();
+    let periods = (raw / period.value()).ceil().max(1.0);
+    Seconds(periods * period.value())
+}
+
+/// Energy efficiency comparison between two implementations of the same
+/// decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyComparison {
+    /// Energy per decision of the PWM mixed-signal design.
+    pub pwm: DecisionEnergy,
+    /// Energy per decision of the digital baseline.
+    pub digital: DecisionEnergy,
+}
+
+impl EnergyComparison {
+    /// `digital / pwm` energy ratio (> 1 means the PWM design wins).
+    pub fn ratio(&self) -> f64 {
+        if self.pwm.energy.value() <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.digital.energy.value() / self.pwm.energy.value()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let d = DecisionEnergy::new(Watts(400e-6), Seconds(200e-9));
+        assert!((d.energy.value() - 80e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn decision_time_rounds_to_periods() {
+        // τ = 47.6 ns, T = 2 ns, 1 % tolerance → 4.6·τ ≈ 219 ns → 110 T.
+        let t = decision_time(Seconds(47.6e-9), Seconds(2e-9), 0.01);
+        let periods = t.value() / 2e-9;
+        assert!((periods.fract()).abs() < 1e-9, "whole periods");
+        assert!((109.0..=111.0).contains(&periods), "periods = {periods}");
+    }
+
+    #[test]
+    fn decision_time_is_at_least_one_period() {
+        let t = decision_time(Seconds(1e-12), Seconds(1e-6), 0.5);
+        assert_eq!(t, Seconds(1e-6));
+    }
+
+    #[test]
+    fn comparison_ratio() {
+        let cmp = EnergyComparison {
+            pwm: DecisionEnergy::new(Watts(100e-6), Seconds(100e-9)),
+            digital: DecisionEnergy::new(Watts(500e-6), Seconds(100e-9)),
+        };
+        assert!((cmp.ratio() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be in (0,1)")]
+    fn bad_tolerance_panics() {
+        let _ = decision_time(Seconds(1e-9), Seconds(1e-9), 1.5);
+    }
+}

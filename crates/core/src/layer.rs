@@ -1,0 +1,316 @@
+//! Multi-layer composition — the paper's deep-network motivation.
+//!
+//! The paper opens with "Perceptron is the basic building block of deep
+//! neural networks". This module composes the mixed-signal perceptron
+//! into multi-layer networks the way the hardware naturally allows:
+//!
+//! * each neuron is a **differential** pair of weighted adders (signed
+//!   weights) plus a comparator — exactly the paper's cell fabric,
+//! * the comparator's binary decision is **re-encoded as a near-rail duty
+//!   cycle** for the next layer (a 1-bit PWM DAC: logic high → 85 % duty,
+//!   logic low → 15 %), so every inter-layer signal is again a
+//!   supply-robust temporal code,
+//! * a constant always-high input provides each neuron's bias weight.
+//!
+//! The result is a classic hard-threshold MLP. [`Mlp::xor`] ships the
+//! canonical non-linearly-separable demo (OR ∧ NAND), verified at every
+//! evaluator tier by the test-suite.
+
+use crate::duty::DutyCycle;
+use crate::error::CoreError;
+use crate::eval::Evaluator;
+use crate::weight::SignedWeightVector;
+
+/// Duty cycle used to encode logic low between layers.
+pub const ENCODE_LOW: f64 = 0.15;
+/// Duty cycle used to encode logic high between layers.
+pub const ENCODE_HIGH: f64 = 0.85;
+
+/// One layer of hard-threshold differential neurons sharing the same
+/// inputs.
+///
+/// Every neuron's weight vector must have length `inputs + 1`: the last
+/// weight multiplies an implicit constant always-high input and acts as
+/// the bias `b` of the paper's Eq. 1.
+#[derive(Debug, Clone)]
+pub struct HardLayer {
+    neurons: Vec<SignedWeightVector>,
+    inputs: usize,
+}
+
+impl HardLayer {
+    /// Creates a layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if the neurons disagree on
+    /// input dimension, or [`CoreError::EmptyDataset`]-style error for an
+    /// empty layer.
+    pub fn new(neurons: Vec<SignedWeightVector>) -> Result<Self, CoreError> {
+        let Some(first) = neurons.first() else {
+            return Err(CoreError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
+        };
+        let with_bias = first.len();
+        if with_bias < 2 {
+            return Err(CoreError::DimensionMismatch {
+                expected: 2,
+                got: with_bias,
+            });
+        }
+        for n in &neurons {
+            if n.len() != with_bias {
+                return Err(CoreError::DimensionMismatch {
+                    expected: with_bias,
+                    got: n.len(),
+                });
+            }
+        }
+        Ok(HardLayer {
+            inputs: with_bias - 1,
+            neurons,
+        })
+    }
+
+    /// Number of (external) inputs, excluding the bias.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of neurons (= outputs).
+    pub fn outputs(&self) -> usize {
+        self.neurons.len()
+    }
+
+    /// The neurons' signed weight vectors (bias weight last).
+    pub fn neurons(&self) -> &[SignedWeightVector] {
+        &self.neurons
+    }
+
+    /// Evaluates the layer: one comparator decision per neuron.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `duties.len()` differs
+    /// from [`HardLayer::inputs`], and propagates evaluator errors.
+    pub fn forward<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        duties: &[DutyCycle],
+    ) -> Result<Vec<bool>, CoreError> {
+        if duties.len() != self.inputs {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.inputs,
+                got: duties.len(),
+            });
+        }
+        let mut extended = duties.to_vec();
+        extended.push(DutyCycle::ONE); // the bias input
+        let mut out = Vec::with_capacity(self.neurons.len());
+        for neuron in &self.neurons {
+            let (pos, neg) = neuron.split();
+            let vp = evaluator.vout(&extended, &pos)?;
+            let vn = evaluator.vout(&extended, &neg)?;
+            out.push(vp.value() > vn.value());
+        }
+        Ok(out)
+    }
+
+    /// Evaluates the layer and re-encodes the decisions as near-rail duty
+    /// cycles for the next layer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HardLayer::forward`].
+    pub fn forward_encoded<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        duties: &[DutyCycle],
+    ) -> Result<Vec<DutyCycle>, CoreError> {
+        Ok(self
+            .forward(evaluator, duties)?
+            .into_iter()
+            .map(|b| DutyCycle::new(if b { ENCODE_HIGH } else { ENCODE_LOW }))
+            .collect())
+    }
+}
+
+/// A two-layer hard-threshold network: one hidden [`HardLayer`] and one
+/// output neuron, all built from the paper's differential adder cells.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    hidden: HardLayer,
+    output: HardLayer,
+}
+
+impl Mlp {
+    /// Creates a two-layer network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if the output layer does
+    /// not have exactly one neuron taking `hidden.outputs()` inputs.
+    pub fn new(hidden: HardLayer, output: HardLayer) -> Result<Self, CoreError> {
+        if output.outputs() != 1 {
+            return Err(CoreError::DimensionMismatch {
+                expected: 1,
+                got: output.outputs(),
+            });
+        }
+        if output.inputs() != hidden.outputs() {
+            return Err(CoreError::DimensionMismatch {
+                expected: hidden.outputs(),
+                got: output.inputs(),
+            });
+        }
+        Ok(Mlp { hidden, output })
+    }
+
+    /// The canonical XOR network: hidden neurons OR and NAND, output AND.
+    /// Weight derivation (3-bit magnitudes, Eq.-2 semantics, near-rail
+    /// encoding 0.15/0.85) is spelled out in the module tests.
+    pub fn xor() -> Self {
+        let hidden = HardLayer::new(vec![
+            // OR: fires if either input is high.
+            SignedWeightVector::new(vec![7, 7, -4], 3).expect("valid weights"),
+            // NAND: fires unless both inputs are high.
+            SignedWeightVector::new(vec![-5, -5, 7], 3).expect("valid weights"),
+        ])
+        .expect("layer is consistent");
+        let output = HardLayer::new(vec![
+            // AND of the two hidden outputs.
+            SignedWeightVector::new(vec![6, 6, -7], 3).expect("valid weights"),
+        ])
+        .expect("layer is consistent");
+        Mlp::new(hidden, output).expect("shapes match")
+    }
+
+    /// The hidden layer.
+    pub fn hidden(&self) -> &HardLayer {
+        &self.hidden
+    }
+
+    /// The output layer.
+    pub fn output(&self) -> &HardLayer {
+        &self.output
+    }
+
+    /// End-to-end classification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and evaluator errors.
+    pub fn classify<E: Evaluator>(
+        &self,
+        evaluator: &E,
+        duties: &[DutyCycle],
+    ) -> Result<bool, CoreError> {
+        let hidden = self.hidden.forward_encoded(evaluator, duties)?;
+        let out = self.output.forward(evaluator, &hidden)?;
+        Ok(out[0])
+    }
+
+    /// Total transistor count: every signed weight costs two unsigned
+    /// adder columns (positive and negative half), 6 transistors per bit.
+    pub fn transistor_count(&self) -> usize {
+        let count_layer = |l: &HardLayer| -> usize {
+            l.neurons()
+                .iter()
+                .map(|n| 2 * n.len() * n.bits() as usize * 6)
+                .sum()
+        };
+        count_layer(&self.hidden) + count_layer(&self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{AnalyticEvaluator, SwitchLevelEvaluator};
+
+    fn logic(b: bool) -> DutyCycle {
+        DutyCycle::new(if b { ENCODE_HIGH } else { ENCODE_LOW })
+    }
+
+    #[test]
+    fn xor_truth_table_analytic() {
+        let mlp = Mlp::xor();
+        let e = AnalyticEvaluator::paper();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let y = mlp.classify(&e, &[logic(a), logic(b)]).unwrap();
+            assert_eq!(y, a ^ b, "XOR({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn xor_truth_table_switch_level() {
+        // The same network evaluated with real on-resistances and PSS.
+        let mlp = Mlp::xor();
+        let e = SwitchLevelEvaluator::paper();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let y = mlp.classify(&e, &[logic(a), logic(b)]).unwrap();
+            assert_eq!(y, a ^ b, "XOR({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn hidden_neurons_compute_or_and_nand() {
+        let mlp = Mlp::xor();
+        let e = AnalyticEvaluator::paper();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let h = mlp.hidden().forward(&e, &[logic(a), logic(b)]).unwrap();
+            assert_eq!(h[0], a || b, "OR({a}, {b})");
+            assert_eq!(h[1], !(a && b), "NAND({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn layer_validation() {
+        assert!(HardLayer::new(vec![]).is_err());
+        // Ragged neurons rejected.
+        let n1 = SignedWeightVector::new(vec![1, 2, 3], 3).unwrap();
+        let n2 = SignedWeightVector::new(vec![1, 2], 3).unwrap();
+        assert!(HardLayer::new(vec![n1.clone(), n2]).is_err());
+        // Input-count bookkeeping excludes the bias.
+        let layer = HardLayer::new(vec![n1]).unwrap();
+        assert_eq!(layer.inputs(), 2);
+        assert_eq!(layer.outputs(), 1);
+    }
+
+    #[test]
+    fn mlp_shape_validation() {
+        let hidden = HardLayer::new(vec![
+            SignedWeightVector::new(vec![1, 0, 0], 3).unwrap(),
+            SignedWeightVector::new(vec![0, 1, 0], 3).unwrap(),
+        ])
+        .unwrap();
+        // Output expecting three hidden inputs ≠ two hidden outputs.
+        let bad_output =
+            HardLayer::new(vec![SignedWeightVector::new(vec![1, 1, 1, 0], 3).unwrap()]).unwrap();
+        assert!(Mlp::new(hidden.clone(), bad_output).is_err());
+        // Two output neurons rejected.
+        let two_outputs = HardLayer::new(vec![
+            SignedWeightVector::new(vec![1, 1, 0], 3).unwrap(),
+            SignedWeightVector::new(vec![1, 1, 0], 3).unwrap(),
+        ])
+        .unwrap();
+        assert!(Mlp::new(hidden, two_outputs).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_on_forward() {
+        let mlp = Mlp::xor();
+        let e = AnalyticEvaluator::paper();
+        let err = mlp.classify(&e, &[logic(true)]).unwrap_err();
+        assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn transistor_count_scales_with_network() {
+        let mlp = Mlp::xor();
+        // 3 neurons × 3 signed weights × 2 halves × 3 bits × 6 T = 324.
+        assert_eq!(mlp.transistor_count(), 324);
+    }
+}

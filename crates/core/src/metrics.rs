@@ -1,0 +1,210 @@
+//! Binary classification metrics.
+//!
+//! Accuracy alone hides class imbalance — a sensor event filter that
+//! never fires scores 50 % on a balanced stream and 95 % on a rare-event
+//! stream. This module provides the standard confusion-matrix metrics
+//! for evaluating trained perceptrons on the [`crate::Dataset`] tasks.
+
+use crate::dataset::Dataset;
+use crate::error::CoreError;
+use crate::eval::Evaluator;
+use crate::perceptron::PwmPerceptron;
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Positive samples classified positive.
+    pub true_positives: usize,
+    /// Negative samples classified positive.
+    pub false_positives: usize,
+    /// Negative samples classified negative.
+    pub true_negatives: usize,
+    /// Positive samples classified negative.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Accumulates one `(prediction, truth)` observation.
+    pub fn record(&mut self, prediction: bool, truth: bool) {
+        match (prediction, truth) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (false, true) => self.false_negatives += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / total as f64
+    }
+
+    /// `TP / (TP + FP)` — how trustworthy a positive decision is.
+    /// Returns 1.0 when the classifier never fired (vacuous precision).
+    pub fn precision(&self) -> f64 {
+        let fired = self.true_positives + self.false_positives;
+        if fired == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / fired as f64
+        }
+    }
+
+    /// `TP / (TP + FN)` — how many real events are caught.
+    /// Returns 1.0 when there were no positive samples.
+    pub fn recall(&self) -> f64 {
+        let positives = self.true_positives + self.false_negatives;
+        if positives == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / positives as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Matthews correlation coefficient — balanced even when the classes
+    /// are not; in `[-1, 1]`, 0 for a coin flip.
+    pub fn mcc(&self) -> f64 {
+        let tp = self.true_positives as f64;
+        let fp = self.false_positives as f64;
+        let tn = self.true_negatives as f64;
+        let fn_ = self.false_negatives as f64;
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+}
+
+/// Runs a perceptron over a dataset and collects the confusion matrix.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyDataset`] for an empty dataset and
+/// propagates evaluator errors.
+pub fn evaluate<E: Evaluator>(
+    perceptron: &mut PwmPerceptron<E>,
+    data: &Dataset,
+) -> Result<ConfusionMatrix, CoreError> {
+    if data.is_empty() {
+        return Err(CoreError::EmptyDataset);
+    }
+    let mut cm = ConfusionMatrix::default();
+    for sample in data.samples() {
+        let pred = perceptron.classify(&sample.duties)?;
+        cm.record(pred, sample.label);
+    }
+    Ok(cm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::AnalyticEvaluator;
+    use crate::{Reference, WeightVector};
+
+    #[test]
+    fn hand_counted_matrix() {
+        let mut cm = ConfusionMatrix::default();
+        // 3 TP, 1 FP, 4 TN, 2 FN.
+        for _ in 0..3 {
+            cm.record(true, true);
+        }
+        cm.record(true, false);
+        for _ in 0..4 {
+            cm.record(false, false);
+        }
+        for _ in 0..2 {
+            cm.record(false, true);
+        }
+        assert_eq!(cm.total(), 10);
+        assert!((cm.accuracy() - 0.7).abs() < 1e-12);
+        assert!((cm.precision() - 0.75).abs() < 1e-12);
+        assert!((cm.recall() - 0.6).abs() < 1e-12);
+        let f1 = 2.0 * 0.75 * 0.6 / 1.35;
+        assert!((cm.f1() - f1).abs() < 1e-12);
+        assert!(cm.mcc() > 0.0 && cm.mcc() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+        assert_eq!(empty.mcc(), 0.0);
+
+        // Perfect classifier.
+        let mut perfect = ConfusionMatrix::default();
+        perfect.record(true, true);
+        perfect.record(false, false);
+        assert_eq!(perfect.accuracy(), 1.0);
+        assert_eq!(perfect.f1(), 1.0);
+        assert!((perfect.mcc() - 1.0).abs() < 1e-12);
+
+        // Always-wrong classifier.
+        let mut inverted = ConfusionMatrix::default();
+        inverted.record(true, false);
+        inverted.record(false, true);
+        assert!((inverted.mcc() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_firing_on_rare_events_has_high_accuracy_low_recall() {
+        // The motivating case: 9 negatives, 1 positive, classifier silent.
+        let mut cm = ConfusionMatrix::default();
+        for _ in 0..9 {
+            cm.record(false, false);
+        }
+        cm.record(false, true);
+        assert!((cm.accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_a_perceptron_end_to_end() {
+        let data = Dataset::majority(3);
+        let mut p = PwmPerceptron::new(
+            AnalyticEvaluator::paper(),
+            WeightVector::maxed(3, 3),
+            Reference::ratiometric(0.5),
+        );
+        let cm = evaluate(&mut p, &data).unwrap();
+        assert_eq!(cm.total(), 8);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.mcc(), 1.0);
+
+        // A broken reference fires always → recall 1, precision = base
+        // rate.
+        let mut always = PwmPerceptron::new(
+            AnalyticEvaluator::paper(),
+            WeightVector::maxed(3, 3),
+            Reference::ratiometric(0.0),
+        );
+        let cm = evaluate(&mut always, &data).unwrap();
+        assert_eq!(cm.recall(), 1.0);
+        assert!((cm.precision() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,328 @@
+//! Multi-class classification by winner-take-all.
+//!
+//! The paper's architecture generalises beyond binary decisions without
+//! new circuit ideas: instantiate one weighted adder per class and let a
+//! comparator tree pick the largest output (an analog winner-take-all).
+//! Because every adder output is ratiometric in `Vdd`, the *argmax* is
+//! supply-independent just like the binary decision.
+
+use mssim::units::Volts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::duty::DutyCycle;
+use crate::error::CoreError;
+use crate::eval::Evaluator;
+use crate::weight::WeightVector;
+
+/// A winner-take-all classifier: one unsigned weight vector per class,
+/// decision = class of the largest adder output.
+#[derive(Debug, Clone)]
+pub struct WtaClassifier<E> {
+    evaluator: E,
+    classes: Vec<WeightVector>,
+}
+
+impl<E: Evaluator> WtaClassifier<E> {
+    /// Creates a classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if fewer than two classes
+    /// are given or the weight vectors disagree on dimension.
+    pub fn new(evaluator: E, classes: Vec<WeightVector>) -> Result<Self, CoreError> {
+        if classes.len() < 2 {
+            return Err(CoreError::DimensionMismatch {
+                expected: 2,
+                got: classes.len(),
+            });
+        }
+        let dim = classes[0].len();
+        for c in &classes {
+            if c.len() != dim {
+                return Err(CoreError::DimensionMismatch {
+                    expected: dim,
+                    got: c.len(),
+                });
+            }
+        }
+        Ok(WtaClassifier { evaluator, classes })
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of inputs.
+    pub fn input_len(&self) -> usize {
+        self.classes[0].len()
+    }
+
+    /// Per-class weight vectors.
+    pub fn classes(&self) -> &[WeightVector] {
+        &self.classes
+    }
+
+    /// Mutable access for training.
+    pub fn classes_mut(&mut self) -> &mut [WeightVector] {
+        &mut self.classes
+    }
+
+    /// All class adder outputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors.
+    pub fn scores(&self, duties: &[DutyCycle]) -> Result<Vec<Volts>, CoreError> {
+        self.classes
+            .iter()
+            .map(|w| self.evaluator.vout(duties, w))
+            .collect()
+    }
+
+    /// The winning class index (ties broken toward the lower index, as a
+    /// comparator tree would).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors.
+    pub fn classify(&self, duties: &[DutyCycle]) -> Result<usize, CoreError> {
+        let scores = self.scores(duties)?;
+        let mut best = 0usize;
+        for (i, s) in scores.iter().enumerate().skip(1) {
+            if s.value() > scores[best].value() {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Fraction of `(duties, class)` pairs classified correctly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyDataset`] for no samples and propagates
+    /// evaluator errors.
+    pub fn accuracy(&self, samples: &[(Vec<DutyCycle>, usize)]) -> Result<f64, CoreError> {
+        if samples.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let mut correct = 0usize;
+        for (duties, label) in samples {
+            if self.classify(duties)? == *label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / samples.len() as f64)
+    }
+}
+
+/// One-vs-rest perceptron training for the WTA bank: on a mistake, the
+/// correct class's weights grow along the input and the winning wrong
+/// class's weights shrink — the classic multi-class perceptron rule, with
+/// shadow weights quantised to the hardware integers every update.
+///
+/// Returns the final training accuracy.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyDataset`]/[`CoreError::DimensionMismatch`]
+/// on malformed input and propagates evaluator errors.
+pub fn train_wta<E: Evaluator>(
+    classifier: &mut WtaClassifier<E>,
+    samples: &[(Vec<DutyCycle>, usize)],
+    epochs: usize,
+    learning_rate: f64,
+    seed: u64,
+) -> Result<f64, CoreError> {
+    if samples.is_empty() {
+        return Err(CoreError::EmptyDataset);
+    }
+    for (duties, label) in samples {
+        if duties.len() != classifier.input_len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: classifier.input_len(),
+                got: duties.len(),
+            });
+        }
+        if *label >= classifier.class_count() {
+            return Err(CoreError::DimensionMismatch {
+                expected: classifier.class_count(),
+                got: *label,
+            });
+        }
+    }
+    let bits = classifier.classes()[0].bits();
+    let w_max = classifier.classes()[0].max_weight() as f64;
+    let mut shadow: Vec<Vec<f64>> = classifier
+        .classes()
+        .iter()
+        .map(|w| w.iter().map(|&x| x as f64).collect())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+
+    let mut best_acc = classifier.accuracy(samples)?;
+    let mut best = classifier.classes().to_vec();
+    for _ in 0..epochs {
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            let (duties, label) = &samples[i];
+            let pred = classifier.classify(duties)?;
+            if pred == *label {
+                continue;
+            }
+            for (k, d) in duties.iter().enumerate() {
+                shadow[*label][k] =
+                    (shadow[*label][k] + learning_rate * d.value()).clamp(0.0, w_max);
+                shadow[pred][k] = (shadow[pred][k] - learning_rate * d.value()).clamp(0.0, w_max);
+            }
+            for (class, sh) in shadow.iter().enumerate() {
+                let quantised: Vec<u32> = sh.iter().map(|&w| w.round() as u32).collect();
+                classifier.classes_mut()[class] =
+                    WeightVector::new(quantised, bits).expect("clamped weights fit");
+            }
+        }
+        let acc = classifier.accuracy(samples)?;
+        if acc > best_acc {
+            best_acc = acc;
+            best = classifier.classes().to_vec();
+        }
+        if best_acc >= 1.0 {
+            break;
+        }
+    }
+    for (class, w) in best.into_iter().enumerate() {
+        classifier.classes_mut()[class] = w;
+    }
+    Ok(best_acc)
+}
+
+/// Generates a `k`-class dataset where class `c` concentrates its energy
+/// in input band `c` (a toy spectral classifier): linearly separable by
+/// one-hot-ish positive weights.
+///
+/// # Panics
+///
+/// Panics if `classes < 2`, `classes > dim`, or `n == 0`.
+pub fn banded_dataset(
+    n: usize,
+    dim: usize,
+    classes: usize,
+    seed: u64,
+) -> Vec<(Vec<DutyCycle>, usize)> {
+    assert!(classes >= 2 && classes <= dim, "need 2..=dim classes");
+    assert!(n > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let band = dim / classes;
+    (0..n)
+        .map(|i| {
+            let class = i % classes;
+            let duties: Vec<DutyCycle> = (0..dim)
+                .map(|k| {
+                    let in_band =
+                        k / band == class || (class == classes - 1 && k / band >= classes);
+                    let base = if in_band { 0.75 } else { 0.2 };
+                    DutyCycle::clamped(base + rng.gen_range(-0.1..0.1))
+                })
+                .collect();
+            (duties, class)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{AnalyticEvaluator, SwitchLevelEvaluator};
+
+    #[test]
+    fn construction_validation() {
+        let e = AnalyticEvaluator::paper();
+        let w = WeightVector::maxed(3, 3);
+        assert!(WtaClassifier::new(e, vec![w.clone()]).is_err());
+        let e = AnalyticEvaluator::paper();
+        let ragged = WeightVector::maxed(2, 3);
+        assert!(WtaClassifier::new(e, vec![w, ragged]).is_err());
+    }
+
+    #[test]
+    fn hand_built_wta_picks_the_hot_band() {
+        let e = AnalyticEvaluator::paper();
+        // Class 0 looks at inputs {0,1}, class 1 at {2,3}.
+        let c0 = WeightVector::new(vec![7, 7, 0, 0], 3).unwrap();
+        let c1 = WeightVector::new(vec![0, 0, 7, 7], 3).unwrap();
+        let wta = WtaClassifier::new(e, vec![c0, c1]).unwrap();
+        let low_hot: Vec<DutyCycle> = [0.9, 0.8, 0.1, 0.2].map(DutyCycle::new).to_vec();
+        let high_hot: Vec<DutyCycle> = [0.1, 0.2, 0.9, 0.8].map(DutyCycle::new).to_vec();
+        assert_eq!(wta.classify(&low_hot).unwrap(), 0);
+        assert_eq!(wta.classify(&high_hot).unwrap(), 1);
+        let scores = wta.scores(&low_hot).unwrap();
+        assert!(scores[0].value() > scores[1].value());
+    }
+
+    #[test]
+    fn training_learns_three_bands() {
+        let samples = banded_dataset(120, 6, 3, 5);
+        let e = AnalyticEvaluator::paper();
+        let mut wta = WtaClassifier::new(
+            e,
+            vec![
+                WeightVector::zeros(6, 3),
+                WeightVector::zeros(6, 3),
+                WeightVector::zeros(6, 3),
+            ],
+        )
+        .unwrap();
+        let acc = train_wta(&mut wta, &samples, 40, 1.0, 9).unwrap();
+        assert!(acc > 0.95, "training accuracy {acc}");
+        // Held-out data from the same generator.
+        let test = banded_dataset(60, 6, 3, 77);
+        let test_acc = wta.accuracy(&test).unwrap();
+        assert!(test_acc > 0.9, "test accuracy {test_acc}");
+    }
+
+    #[test]
+    fn argmax_is_supply_independent() {
+        // Same trained bank evaluated at half supply with the hardware
+        // model: the winner never changes.
+        let samples = banded_dataset(40, 4, 2, 3);
+        let mut nominal = WtaClassifier::new(
+            SwitchLevelEvaluator::paper(),
+            vec![WeightVector::zeros(4, 3), WeightVector::zeros(4, 3)],
+        )
+        .unwrap();
+        train_wta(&mut nominal, &samples, 30, 1.0, 4).unwrap();
+        let low = WtaClassifier::new(
+            SwitchLevelEvaluator::paper().with_vdd(Volts(1.25)),
+            nominal.classes().to_vec(),
+        )
+        .unwrap();
+        for (duties, _) in &samples {
+            assert_eq!(
+                nominal.classify(duties).unwrap(),
+                low.classify(duties).unwrap(),
+                "argmax must survive the supply drop"
+            );
+        }
+    }
+
+    #[test]
+    fn training_rejects_bad_labels() {
+        let e = AnalyticEvaluator::paper();
+        let mut wta = WtaClassifier::new(
+            e,
+            vec![WeightVector::zeros(2, 3), WeightVector::zeros(2, 3)],
+        )
+        .unwrap();
+        let bad = vec![(vec![DutyCycle::new(0.5); 2], 5usize)];
+        assert!(matches!(
+            train_wta(&mut wta, &bad, 5, 1.0, 0),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,334 @@
+//! The perceptron: weighted adder + comparator (paper Fig. 1 / Eq. 1).
+
+use mssim::units::Volts;
+
+use crate::comparator::Comparator;
+use crate::dataset::Dataset;
+use crate::duty::DutyCycle;
+use crate::error::CoreError;
+use crate::eval::Evaluator;
+use crate::weight::{SignedWeightVector, WeightVector};
+
+/// The comparator reference of Fig. 1.
+///
+/// A **ratiometric** reference (a fixed fraction of the supply, e.g. from
+/// a resistive divider) is what makes the whole classifier power-elastic:
+/// both the adder output (paper Fig. 7) and the reference then scale with
+/// `Vdd` and the *decision* is supply-independent. An **absolute**
+/// reference (a bandgap) breaks that property — quantified by
+/// [`crate::elasticity::accuracy_vs_vdd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Reference {
+    /// Fixed voltage, independent of the supply.
+    Absolute(Volts),
+    /// Fraction of the supply voltage, `0.0..=1.0`.
+    Ratiometric(f64),
+}
+
+impl Reference {
+    /// An absolute reference.
+    pub fn absolute(v: Volts) -> Self {
+        Reference::Absolute(v)
+    }
+
+    /// A ratiometric reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `0.0..=1.0`.
+    pub fn ratiometric(fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "reference fraction must be in 0..=1"
+        );
+        Reference::Ratiometric(fraction)
+    }
+
+    /// The threshold voltage at a given supply.
+    pub fn resolve(&self, vdd: Volts) -> Volts {
+        match *self {
+            Reference::Absolute(v) => v,
+            Reference::Ratiometric(f) => Volts(vdd.value() * f),
+        }
+    }
+}
+
+/// A single-ended PWM perceptron: unsigned weights, one weighted adder,
+/// one comparator (exactly the paper's architecture).
+///
+/// Generic over the [`Evaluator`] fidelity tier.
+#[derive(Debug, Clone)]
+pub struct PwmPerceptron<E> {
+    evaluator: E,
+    weights: WeightVector,
+    reference: Reference,
+    comparator: Comparator,
+}
+
+impl<E: Evaluator> PwmPerceptron<E> {
+    /// Creates a perceptron with an ideal comparator.
+    pub fn new(evaluator: E, weights: WeightVector, reference: Reference) -> Self {
+        PwmPerceptron {
+            evaluator,
+            weights,
+            reference,
+            comparator: Comparator::ideal(),
+        }
+    }
+
+    /// Replaces the comparator model.
+    pub fn with_comparator(mut self, comparator: Comparator) -> Self {
+        self.comparator = comparator;
+        self
+    }
+
+    /// Number of inputs.
+    pub fn input_len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The current weights.
+    pub fn weights(&self) -> &WeightVector {
+        &self.weights
+    }
+
+    /// Mutable access to the weights (training).
+    pub fn weights_mut(&mut self) -> &mut WeightVector {
+        &mut self.weights
+    }
+
+    /// Replaces the weights.
+    pub fn set_weights(&mut self, weights: WeightVector) {
+        self.weights = weights;
+    }
+
+    /// The comparator reference.
+    pub fn reference(&self) -> Reference {
+        self.reference
+    }
+
+    /// Replaces the reference.
+    pub fn set_reference(&mut self, reference: Reference) {
+        self.reference = reference;
+    }
+
+    /// The evaluator.
+    pub fn evaluator(&self) -> &E {
+        &self.evaluator
+    }
+
+    /// The analog weighted sum (before the comparator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors (dimension mismatch, simulation
+    /// failure).
+    pub fn forward(&self, duties: &[DutyCycle]) -> Result<Volts, CoreError> {
+        self.evaluator.vout(duties, &self.weights)
+    }
+
+    /// Classifies one sample: `vout > reference`.
+    ///
+    /// Takes `&mut self` because a hysteretic comparator is stateful.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors.
+    pub fn classify(&mut self, duties: &[DutyCycle]) -> Result<bool, CoreError> {
+        let v = self.forward(duties)?;
+        let vref = self.reference.resolve(self.evaluator.vdd());
+        Ok(self.comparator.compare(v, vref))
+    }
+
+    /// Fraction of `data` classified correctly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyDataset`] for an empty dataset, and
+    /// propagates evaluator errors.
+    pub fn accuracy(&mut self, data: &Dataset) -> Result<f64, CoreError> {
+        if data.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let mut correct = 0usize;
+        for sample in data.samples() {
+            self.comparator.reset();
+            if self.classify(&sample.duties)? == sample.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+}
+
+/// A differential PWM perceptron: **signed** weights realised as two
+/// weighted adders (positive and negative halves) feeding the two
+/// comparator inputs. This is the natural extension the paper's
+/// architecture admits for general linear classifiers, at twice the cell
+/// cost.
+#[derive(Debug, Clone)]
+pub struct DifferentialPerceptron<E> {
+    evaluator: E,
+    weights: SignedWeightVector,
+    comparator: Comparator,
+}
+
+impl<E: Evaluator> DifferentialPerceptron<E> {
+    /// Creates a differential perceptron with an ideal comparator.
+    pub fn new(evaluator: E, weights: SignedWeightVector) -> Self {
+        DifferentialPerceptron {
+            evaluator,
+            weights,
+            comparator: Comparator::ideal(),
+        }
+    }
+
+    /// Replaces the comparator model.
+    pub fn with_comparator(mut self, comparator: Comparator) -> Self {
+        self.comparator = comparator;
+        self
+    }
+
+    /// Number of inputs.
+    pub fn input_len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The signed weights.
+    pub fn weights(&self) -> &SignedWeightVector {
+        &self.weights
+    }
+
+    /// Mutable access to the weights (training).
+    pub fn weights_mut(&mut self) -> &mut SignedWeightVector {
+        &mut self.weights
+    }
+
+    /// The evaluator.
+    pub fn evaluator(&self) -> &E {
+        &self.evaluator
+    }
+
+    /// The differential analog sum `v⁺ − v⁻`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors.
+    pub fn forward(&self, duties: &[DutyCycle]) -> Result<Volts, CoreError> {
+        let (pos, neg) = self.weights.split();
+        let vp = self.evaluator.vout(duties, &pos)?;
+        let vn = self.evaluator.vout(duties, &neg)?;
+        Ok(vp - vn)
+    }
+
+    /// Classifies one sample: `v⁺ > v⁻` (through the comparator model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors.
+    pub fn classify(&mut self, duties: &[DutyCycle]) -> Result<bool, CoreError> {
+        let (pos, neg) = self.weights.split();
+        let vp = self.evaluator.vout(duties, &pos)?;
+        let vn = self.evaluator.vout(duties, &neg)?;
+        Ok(self.comparator.compare(vp, vn))
+    }
+
+    /// Fraction of `data` classified correctly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyDataset`] for an empty dataset, and
+    /// propagates evaluator errors.
+    pub fn accuracy(&mut self, data: &Dataset) -> Result<f64, CoreError> {
+        if data.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let mut correct = 0usize;
+        for sample in data.samples() {
+            self.comparator.reset();
+            if self.classify(&sample.duties)? == sample.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::AnalyticEvaluator;
+
+    fn duties(raw: &[f64]) -> Vec<DutyCycle> {
+        raw.iter().map(|&d| DutyCycle::new(d)).collect()
+    }
+
+    #[test]
+    fn reference_resolution() {
+        let vdd = Volts(2.5);
+        assert_eq!(Reference::absolute(Volts(1.0)).resolve(vdd), Volts(1.0));
+        assert_eq!(Reference::ratiometric(0.4).resolve(vdd), Volts(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in 0..=1")]
+    fn bad_ratiometric_panics() {
+        let _ = Reference::ratiometric(1.5);
+    }
+
+    #[test]
+    fn classify_against_ratiometric_reference() {
+        let w = WeightVector::maxed(3, 3);
+        let mut p = PwmPerceptron::new(AnalyticEvaluator::paper(), w, Reference::ratiometric(0.5));
+        // Eq. 2 with max weights: vout/vdd = mean duty.
+        assert!(p.classify(&duties(&[0.9, 0.8, 0.7])).unwrap());
+        assert!(!p.classify(&duties(&[0.1, 0.2, 0.3])).unwrap());
+        assert_eq!(p.input_len(), 3);
+    }
+
+    #[test]
+    fn forward_exposes_the_analog_sum() {
+        let w = WeightVector::new(vec![7, 7, 7], 3).unwrap();
+        let p = PwmPerceptron::new(AnalyticEvaluator::paper(), w, Reference::ratiometric(0.5));
+        let v = p.forward(&duties(&[0.7, 0.8, 0.9])).unwrap();
+        assert!((v.value() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn weight_and_reference_updates() {
+        let w = WeightVector::zeros(2, 3);
+        let mut p = PwmPerceptron::new(AnalyticEvaluator::paper(), w, Reference::ratiometric(0.9));
+        assert!(!p.classify(&duties(&[1.0, 1.0])).unwrap());
+        p.set_weights(WeightVector::maxed(2, 3));
+        assert!(p.classify(&duties(&[1.0, 1.0])).unwrap());
+        p.set_reference(Reference::absolute(Volts(3.0)));
+        assert!(!p.classify(&duties(&[1.0, 1.0])).unwrap());
+        assert_eq!(p.weights().as_slice(), &[7, 7]);
+    }
+
+    #[test]
+    fn differential_classifies_signed_problems() {
+        // w = [+7, −7]: fires when duty0 > duty1 — impossible for the
+        // single-ended perceptron with any fixed reference.
+        let s = SignedWeightVector::new(vec![7, -7], 3).unwrap();
+        let mut p = DifferentialPerceptron::new(AnalyticEvaluator::paper(), s);
+        assert!(p.classify(&duties(&[0.8, 0.2])).unwrap());
+        assert!(!p.classify(&duties(&[0.2, 0.8])).unwrap());
+        let v = p.forward(&duties(&[0.8, 0.2])).unwrap();
+        assert!(v.value() > 0.0);
+    }
+
+    #[test]
+    fn accuracy_on_a_toy_dataset() {
+        use crate::dataset::Sample;
+        let data = Dataset::new(vec![
+            Sample::new(duties(&[0.9, 0.9]), true),
+            Sample::new(duties(&[0.1, 0.1]), false),
+            Sample::new(duties(&[0.8, 0.9]), true),
+        ])
+        .unwrap();
+        let w = WeightVector::maxed(2, 3);
+        let mut p = PwmPerceptron::new(AnalyticEvaluator::paper(), w, Reference::ratiometric(0.5));
+        assert!((p.accuracy(&data).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

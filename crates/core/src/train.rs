@@ -1,0 +1,384 @@
+//! Hardware-in-the-loop perceptron training.
+//!
+//! The paper's Fig. 1 shows the training loop: the adder output is
+//! compared against a reference and the weights are updated until the
+//! reference is matched. This module implements that loop as a pocket
+//! perceptron algorithm: floating-point *shadow weights* accumulate the
+//! classic `Δw = η·err·x` updates, are quantised to the hardware's `n`-bit
+//! integers for every forward pass (which runs through whichever
+//! [`Evaluator`] tier you picked — including the transistor-level one),
+//! and the best-scoring quantised weights are kept ("pocketed").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::error::CoreError;
+use crate::eval::Evaluator;
+use crate::perceptron::{DifferentialPerceptron, PwmPerceptron, Reference};
+use crate::weight::{SignedWeightVector, WeightVector};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Maximum number of passes over the data.
+    pub epochs: usize,
+    /// Learning rate for the shadow weights (in weight LSBs per unit
+    /// duty-cycle error).
+    pub learning_rate: f64,
+    /// Step applied to a ratiometric reference per misclassification, as
+    /// a fraction of the supply. Ignored for absolute references.
+    pub reference_rate: f64,
+    /// Whether the reference is adapted during training.
+    pub adapt_reference: bool,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Stop early once training accuracy reaches this value.
+    pub target_accuracy: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 60,
+            learning_rate: 0.75,
+            reference_rate: 0.01,
+            adapt_reference: true,
+            seed: 0xDA7E,
+            target_accuracy: 1.0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Epochs actually executed.
+    pub epochs_run: usize,
+    /// Best training accuracy seen (the pocketed weights).
+    pub best_accuracy: f64,
+    /// Accuracy of the final (pocketed) state.
+    pub final_accuracy: f64,
+    /// Per-epoch training accuracy.
+    pub history: Vec<f64>,
+}
+
+/// Trains a single-ended perceptron in place; on return the perceptron
+/// holds the best (pocketed) weights and reference.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyDataset`] for an empty dataset,
+/// [`CoreError::DimensionMismatch`] if the data does not match the
+/// perceptron, and propagates evaluator errors.
+pub fn train<E: Evaluator>(
+    perceptron: &mut PwmPerceptron<E>,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, CoreError> {
+    if data.is_empty() {
+        return Err(CoreError::EmptyDataset);
+    }
+    if data.dim() != perceptron.input_len() {
+        return Err(CoreError::DimensionMismatch {
+            expected: perceptron.input_len(),
+            got: data.dim(),
+        });
+    }
+    let bits = perceptron.weights().bits();
+    let w_max = perceptron.weights().max_weight() as f64;
+    let mut shadow: Vec<f64> = perceptron.weights().iter().map(|&w| w as f64).collect();
+    let mut ref_frac = match perceptron.reference() {
+        Reference::Ratiometric(f) => f,
+        Reference::Absolute(v) => v.value() / perceptron.evaluator().vdd().value(),
+    };
+    let ratiometric = matches!(perceptron.reference(), Reference::Ratiometric(_));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut best_accuracy = perceptron.accuracy(data)?;
+    let mut best_weights = perceptron.weights().clone();
+    let mut best_ref = ref_frac;
+
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    for _epoch in 0..cfg.epochs {
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            let sample = &data.samples()[i];
+            let pred = perceptron.classify(&sample.duties)?;
+            if pred == sample.label {
+                continue;
+            }
+            let err = if sample.label { 1.0 } else { -1.0 };
+            for (k, d) in sample.duties.iter().enumerate() {
+                shadow[k] = (shadow[k] + cfg.learning_rate * err * d.value()).clamp(0.0, w_max);
+            }
+            if cfg.adapt_reference {
+                ref_frac = (ref_frac - err * cfg.reference_rate).clamp(0.0, 1.0);
+            }
+            apply(perceptron, &shadow, bits, ref_frac, ratiometric);
+        }
+        let acc = perceptron.accuracy(data)?;
+        history.push(acc);
+        if acc > best_accuracy {
+            best_accuracy = acc;
+            best_weights = perceptron.weights().clone();
+            best_ref = ref_frac;
+        }
+        if best_accuracy >= cfg.target_accuracy {
+            break;
+        }
+    }
+
+    // Restore the pocketed state.
+    perceptron.set_weights(best_weights);
+    set_ref(perceptron, best_ref, ratiometric);
+    let final_accuracy = perceptron.accuracy(data)?;
+    Ok(TrainReport {
+        epochs_run: history.len(),
+        best_accuracy,
+        final_accuracy,
+        history,
+    })
+}
+
+fn apply<E: Evaluator>(
+    p: &mut PwmPerceptron<E>,
+    shadow: &[f64],
+    bits: u32,
+    ref_frac: f64,
+    ratiometric: bool,
+) {
+    let quantised: Vec<u32> = shadow.iter().map(|&w| w.round() as u32).collect();
+    p.set_weights(WeightVector::new(quantised, bits).expect("clamped shadow weights fit"));
+    set_ref(p, ref_frac, ratiometric);
+}
+
+fn set_ref<E: Evaluator>(p: &mut PwmPerceptron<E>, ref_frac: f64, ratiometric: bool) {
+    if ratiometric {
+        p.set_reference(Reference::ratiometric(ref_frac.clamp(0.0, 1.0)));
+    } else {
+        let vdd = p.evaluator().vdd();
+        p.set_reference(Reference::absolute(vdd * ref_frac));
+    }
+}
+
+/// Trains a differential perceptron in place (signed weights, no
+/// reference to adapt — the two halves compare against each other).
+///
+/// # Errors
+///
+/// Same conditions as [`train`].
+pub fn train_differential<E: Evaluator>(
+    perceptron: &mut DifferentialPerceptron<E>,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, CoreError> {
+    if data.is_empty() {
+        return Err(CoreError::EmptyDataset);
+    }
+    if data.dim() != perceptron.input_len() {
+        return Err(CoreError::DimensionMismatch {
+            expected: perceptron.input_len(),
+            got: data.dim(),
+        });
+    }
+    let bits = perceptron.weights().bits();
+    let w_max = ((1i32 << bits) - 1) as f64;
+    let mut shadow: Vec<f64> = perceptron
+        .weights()
+        .as_slice()
+        .iter()
+        .map(|&w| w as f64)
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut best_accuracy = perceptron.accuracy(data)?;
+    let mut best_weights = perceptron.weights().clone();
+
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    for _ in 0..cfg.epochs {
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            let sample = &data.samples()[i];
+            let pred = perceptron.classify(&sample.duties)?;
+            if pred == sample.label {
+                continue;
+            }
+            let err = if sample.label { 1.0 } else { -1.0 };
+            // Centre the input so negative evidence pushes weights down.
+            for (k, d) in sample.duties.iter().enumerate() {
+                let x = 2.0 * d.value() - 1.0;
+                shadow[k] = (shadow[k] + cfg.learning_rate * err * x).clamp(-w_max, w_max);
+            }
+            let quantised: Vec<i32> = shadow.iter().map(|&w| w.round() as i32).collect();
+            *perceptron.weights_mut() =
+                SignedWeightVector::new(quantised, bits).expect("clamped weights fit");
+        }
+        let acc = perceptron.accuracy(data)?;
+        history.push(acc);
+        if acc > best_accuracy {
+            best_accuracy = acc;
+            best_weights = perceptron.weights().clone();
+        }
+        if best_accuracy >= cfg.target_accuracy {
+            break;
+        }
+    }
+    *perceptron.weights_mut() = best_weights;
+    let final_accuracy = perceptron.accuracy(data)?;
+    Ok(TrainReport {
+        epochs_run: history.len(),
+        best_accuracy,
+        final_accuracy,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{AnalyticEvaluator, SwitchLevelEvaluator};
+
+    #[test]
+    fn learns_a_separable_task_with_the_analytic_evaluator() {
+        let (data, _, _) = Dataset::linearly_separable(120, 3, 3, 11);
+        let mut p = PwmPerceptron::new(
+            AnalyticEvaluator::paper(),
+            WeightVector::zeros(3, 3),
+            Reference::ratiometric(0.5),
+        );
+        let report = train(&mut p, &data, &TrainConfig::default()).unwrap();
+        assert!(
+            report.final_accuracy >= 0.95,
+            "accuracy {} after {} epochs",
+            report.final_accuracy,
+            report.epochs_run
+        );
+        assert_eq!(report.final_accuracy, report.best_accuracy);
+        assert!(!report.history.is_empty());
+    }
+
+    #[test]
+    fn learns_majority_with_the_switch_level_evaluator() {
+        // True hardware-in-the-loop: every forward pass solves the
+        // periodic steady state of the 3×3 cell array.
+        let data = Dataset::majority(3);
+        let mut p = PwmPerceptron::new(
+            SwitchLevelEvaluator::paper(),
+            WeightVector::zeros(3, 3),
+            Reference::ratiometric(0.5),
+        );
+        let report = train(&mut p, &data, &TrainConfig::default()).unwrap();
+        assert!(
+            report.final_accuracy == 1.0,
+            "majority should be fully learnable, got {}",
+            report.final_accuracy
+        );
+    }
+
+    #[test]
+    fn pocket_never_regresses() {
+        let (data, _, _) = Dataset::linearly_separable(80, 3, 3, 5);
+        let mut p = PwmPerceptron::new(
+            AnalyticEvaluator::paper(),
+            WeightVector::zeros(3, 3),
+            Reference::ratiometric(0.5),
+        );
+        let before = p.accuracy(&data).unwrap();
+        let report = train(&mut p, &data, &TrainConfig::default()).unwrap();
+        assert!(report.final_accuracy >= before);
+        assert!(report.best_accuracy >= report.history.iter().copied().fold(0.0, f64::max) - 1e-12);
+    }
+
+    #[test]
+    fn early_stop_on_target() {
+        let data = Dataset::boolean_or(2);
+        let mut p = PwmPerceptron::new(
+            AnalyticEvaluator::paper(),
+            WeightVector::zeros(2, 3),
+            Reference::ratiometric(0.5),
+        );
+        let cfg = TrainConfig {
+            epochs: 200,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut p, &data, &cfg).unwrap();
+        assert!(report.final_accuracy == 1.0);
+        assert!(
+            report.epochs_run < 200,
+            "stopped after {}",
+            report.epochs_run
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let data = Dataset::majority(4);
+        let mut p = PwmPerceptron::new(
+            AnalyticEvaluator::paper(),
+            WeightVector::zeros(3, 3),
+            Reference::ratiometric(0.5),
+        );
+        assert!(matches!(
+            train(&mut p, &data, &TrainConfig::default()),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn differential_learns_a_signed_task() {
+        // Fires when input 0 exceeds input 1 — needs a negative weight.
+        let mut samples = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let a: f64 = rng.gen_range(0.0..1.0);
+            let b: f64 = rng.gen_range(0.0..1.0);
+            if (a - b).abs() < 0.08 {
+                continue;
+            }
+            samples.push(crate::dataset::Sample::new(
+                vec![crate::DutyCycle::new(a), crate::DutyCycle::new(b)],
+                a > b,
+            ));
+        }
+        let data = Dataset::new(samples).unwrap();
+        let mut p = DifferentialPerceptron::new(
+            AnalyticEvaluator::paper(),
+            SignedWeightVector::zeros(2, 3),
+        );
+        let report = train_differential(&mut p, &data, &TrainConfig::default()).unwrap();
+        assert!(
+            report.final_accuracy >= 0.95,
+            "accuracy {}",
+            report.final_accuracy
+        );
+        // The learned solution must use a negative weight.
+        assert!(p.weights().as_slice()[1] < 0, "weights {:?}", p.weights());
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let (data, _, _) = Dataset::linearly_separable(60, 3, 3, 21);
+        let run = || {
+            let mut p = PwmPerceptron::new(
+                AnalyticEvaluator::paper(),
+                WeightVector::zeros(3, 3),
+                Reference::ratiometric(0.5),
+            );
+            let r = train(&mut p, &data, &TrainConfig::default()).unwrap();
+            (r, p.weights().clone())
+        };
+        let (r1, w1) = run();
+        let (r2, w2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(w1, w2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the perceptron layer's invariants.
+
+use mssim::units::Volts;
+use proptest::prelude::*;
+use pwm_perceptron::comparator::Comparator;
+use pwm_perceptron::encode::LinearEncoder;
+use pwm_perceptron::eval::{AnalyticEvaluator, Evaluator};
+use pwm_perceptron::{DutyCycle, Reference, SignedWeightVector, WeightVector};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// try_new accepts exactly the closed unit interval.
+    #[test]
+    fn duty_domain(x in -2.0f64..3.0) {
+        let r = DutyCycle::try_new(x);
+        prop_assert_eq!(r.is_ok(), (0.0..=1.0).contains(&x));
+    }
+
+    /// clamped() is the identity on in-range values and always lands in
+    /// range.
+    #[test]
+    fn duty_clamp(x in -10.0f64..10.0) {
+        let d = DutyCycle::clamped(x);
+        prop_assert!((0.0..=1.0).contains(&d.value()));
+        if (0.0..=1.0).contains(&x) {
+            prop_assert_eq!(d.value(), x);
+        }
+    }
+
+    /// Quantisation is idempotent and within half a step.
+    #[test]
+    fn duty_quantisation(x in 0.0f64..=1.0, levels in 2u32..64) {
+        let q = DutyCycle::new(x).quantized(levels);
+        prop_assert_eq!(q.quantized(levels), q, "idempotent");
+        let step = 1.0 / (levels - 1) as f64;
+        prop_assert!((q.value() - x).abs() <= step / 2.0 + 1e-12);
+    }
+
+    /// Complement is an involution.
+    #[test]
+    fn duty_complement_involutive(x in 0.0f64..=1.0) {
+        let d = DutyCycle::new(x);
+        prop_assert!((d.complement().complement().value() - x).abs() < 1e-15);
+    }
+
+    /// Weight nudging never escapes the representable range.
+    #[test]
+    fn weight_nudge_stays_in_range(
+        start in 0u32..=7,
+        deltas in prop::collection::vec(-20i64..20, 0..30),
+    ) {
+        let mut w = WeightVector::new(vec![start], 3).unwrap();
+        for d in deltas {
+            let v = w.nudge(0, d);
+            prop_assert!(v <= 7);
+        }
+    }
+
+    /// Signed weights split losslessly: pos − neg reconstructs the value,
+    /// and the halves never overlap.
+    #[test]
+    fn signed_split_reconstructs(ws in prop::collection::vec(-7i32..=7, 1..6)) {
+        let s = SignedWeightVector::new(ws.clone(), 3).unwrap();
+        let (pos, neg) = s.split();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..ws.len() {
+            prop_assert_eq!(pos.get(i) as i32 - neg.get(i) as i32, ws[i]);
+            prop_assert!(pos.get(i) == 0 || neg.get(i) == 0);
+        }
+    }
+
+    /// Encoder decode ∘ encode is the identity on in-range samples.
+    #[test]
+    fn encoder_roundtrip(lo in -100.0f64..0.0, width in 1.0f64..100.0, frac in 0.0f64..=1.0) {
+        let enc = LinearEncoder::new(lo, lo + width);
+        let sample = lo + frac * width;
+        let d = enc.encode(sample);
+        prop_assert!((enc.decode(d) - sample).abs() < 1e-9 * width.max(1.0));
+    }
+
+    /// An offset-free, hysteresis-free comparator is exactly `>`.
+    #[test]
+    fn ideal_comparator_is_gt(input in -5.0f64..5.0, reference in -5.0f64..5.0) {
+        let mut c = Comparator::ideal();
+        prop_assert_eq!(c.compare(Volts(input), Volts(reference)), input > reference);
+    }
+
+    /// With hysteresis, decisions are monotone in the input: once high at
+    /// x, it is high at every x' > x (same state).
+    #[test]
+    fn comparator_hysteresis_monotone(h in 0.0f64..1.0, x in -2.0f64..2.0) {
+        let mut c1 = Comparator::ideal().with_hysteresis(Volts(h));
+        let mut c2 = Comparator::ideal().with_hysteresis(Volts(h));
+        let up = c1.compare(Volts(x), Volts(0.0));
+        let up_higher = c2.compare(Volts(x + 0.5), Volts(0.0));
+        if up {
+            prop_assert!(up_higher);
+        }
+    }
+
+    /// Ratiometric references scale exactly with the supply.
+    #[test]
+    fn reference_scaling(frac in 0.0f64..=1.0, vdd in 0.1f64..6.0) {
+        let r = Reference::ratiometric(frac);
+        prop_assert!((r.resolve(Volts(vdd)).value() - frac * vdd).abs() < 1e-12);
+        let a = Reference::absolute(Volts(1.3));
+        prop_assert_eq!(a.resolve(Volts(vdd)), Volts(1.3));
+    }
+
+    /// The analytic evaluator's output is bounded by the rails and equals
+    /// zero for zero weights.
+    #[test]
+    fn analytic_evaluator_bounds(
+        duties in prop::collection::vec(0.0f64..=1.0, 3),
+        weights in prop::collection::vec(0u32..=7, 3),
+    ) {
+        let e = AnalyticEvaluator::paper();
+        let d: Vec<DutyCycle> = duties.iter().map(|&x| DutyCycle::new(x)).collect();
+        let w = WeightVector::new(weights, 3).unwrap();
+        let v = e.vout(&d, &w).unwrap().value();
+        prop_assert!((0.0..=2.5 + 1e-12).contains(&v));
+        let z = WeightVector::zeros(3, 3);
+        prop_assert_eq!(e.vout(&d, &z).unwrap().value(), 0.0);
+    }
+
+    /// Dataset split partitions the data with the requested sizes and is
+    /// seed-deterministic.
+    #[test]
+    fn dataset_split_partitions(n in 10usize..80, frac in 0.2f64..0.8, seed in 0u64..100) {
+        let (data, _, _) = pwm_perceptron::Dataset::linearly_separable(n, 3, 3, seed);
+        let (train, test) = data.split(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        let (train2, test2) = data.split(frac, seed);
+        prop_assert_eq!(train, train2);
+        prop_assert_eq!(test, test2);
+    }
+}

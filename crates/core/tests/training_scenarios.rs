@@ -1,0 +1,158 @@
+//! Training under non-ideal conditions: noise, comparator imperfections,
+//! quantised inputs — the situations a deployed micro-edge perceptron
+//! actually faces.
+
+use mssim::units::Volts;
+use pwm_perceptron::comparator::Comparator;
+use pwm_perceptron::dataset::Dataset;
+use pwm_perceptron::eval::{AnalyticEvaluator, NoisyEvaluator, SwitchLevelEvaluator};
+use pwm_perceptron::metrics::evaluate;
+use pwm_perceptron::train::{train, TrainConfig};
+use pwm_perceptron::{DutyCycle, PwmPerceptron, Reference, WeightVector};
+
+#[test]
+fn training_survives_output_noise() {
+    // 20 mV RMS output noise (≈ 2× the steady-state ripple) during
+    // training; evaluation on the clean model must still be good.
+    let (data, _, _) = Dataset::linearly_separable(150, 3, 3, 77);
+    let (train_set, test_set) = data.split(0.7, 1);
+    let noisy = NoisyEvaluator::new(AnalyticEvaluator::paper(), 0.02, 99);
+    let mut p = PwmPerceptron::new(
+        noisy,
+        WeightVector::zeros(3, 3),
+        Reference::ratiometric(0.5),
+    );
+    let report = train(&mut p, &train_set, &TrainConfig::default()).unwrap();
+    assert!(
+        report.best_accuracy > 0.9,
+        "noisy training accuracy {}",
+        report.best_accuracy
+    );
+    // Deploy the learned weights on the clean evaluator.
+    let mut clean = PwmPerceptron::new(
+        AnalyticEvaluator::paper(),
+        p.weights().clone(),
+        p.reference(),
+    );
+    let acc = clean.accuracy(&test_set).unwrap();
+    assert!(acc > 0.9, "clean deployment accuracy {acc}");
+}
+
+#[test]
+fn comparator_offset_is_absorbed_by_reference_adaptation() {
+    // A 100 mV input-referred comparator offset is nearly one output LSB;
+    // reference adaptation during training must compensate it.
+    let data = Dataset::majority(3);
+    let mut p = PwmPerceptron::new(
+        SwitchLevelEvaluator::paper(),
+        WeightVector::zeros(3, 3),
+        Reference::ratiometric(0.5),
+    )
+    .with_comparator(Comparator::ideal().with_offset(Volts(0.1)));
+    let report = train(&mut p, &data, &TrainConfig::default()).unwrap();
+    assert_eq!(
+        report.final_accuracy, 1.0,
+        "offset must be trained around: {report:?}"
+    );
+}
+
+#[test]
+fn hysteretic_comparator_still_classifies_cleanly_off_boundary() {
+    let mut p = PwmPerceptron::new(
+        AnalyticEvaluator::paper(),
+        WeightVector::maxed(3, 3),
+        Reference::ratiometric(0.5),
+    )
+    .with_comparator(Comparator::ideal().with_hysteresis(Volts(0.1)));
+    let hi = [0.9, 0.9, 0.9].map(DutyCycle::new);
+    let lo = [0.1, 0.1, 0.1].map(DutyCycle::new);
+    // Alternate aggressively: hysteresis must not latch wrong decisions
+    // for inputs far from the boundary.
+    for _ in 0..5 {
+        assert!(p.classify(&hi).unwrap());
+        assert!(!p.classify(&lo).unwrap());
+    }
+}
+
+#[test]
+fn quantised_inputs_train_as_well_as_continuous() {
+    // Inputs produced by a 6-bit counter PWM generator (64 duty levels).
+    let (data, _, _) = Dataset::linearly_separable(150, 3, 3, 13);
+    let quantised_samples: Vec<_> = data
+        .samples()
+        .iter()
+        .map(|s| {
+            pwm_perceptron::dataset::Sample::new(
+                s.duties.iter().map(|d| d.quantized(64)).collect(),
+                s.label,
+            )
+        })
+        .collect();
+    let qdata = Dataset::new(quantised_samples).unwrap();
+    let mut p = PwmPerceptron::new(
+        AnalyticEvaluator::paper(),
+        WeightVector::zeros(3, 3),
+        Reference::ratiometric(0.5),
+    );
+    let report = train(&mut p, &qdata, &TrainConfig::default()).unwrap();
+    assert!(
+        report.final_accuracy > 0.97,
+        "quantised accuracy {}",
+        report.final_accuracy
+    );
+}
+
+#[test]
+fn metrics_surface_one_sided_failures() {
+    // Train on a class-imbalanced stream and check the confusion matrix
+    // rather than raw accuracy.
+    let base = Dataset::sensor_events(300, 21);
+    // Build an imbalanced set: drop most positives.
+    let mut kept = Vec::new();
+    let mut positives = 0;
+    for s in base.samples() {
+        if s.label {
+            if positives < 25 {
+                kept.push(s.clone());
+                positives += 1;
+            }
+        } else {
+            kept.push(s.clone());
+        }
+    }
+    let data = Dataset::new(kept).unwrap();
+    assert!(data.positive_rate() < 0.2, "imbalance holds");
+    let mut p = PwmPerceptron::new(
+        AnalyticEvaluator::paper(),
+        WeightVector::zeros(3, 3),
+        Reference::ratiometric(0.5),
+    );
+    train(&mut p, &data, &TrainConfig::default()).unwrap();
+    let cm = evaluate(&mut p, &data).unwrap();
+    // The trained filter must catch events, not just play the base rate.
+    assert!(cm.recall() > 0.9, "recall {}", cm.recall());
+    assert!(cm.precision() > 0.9, "precision {}", cm.precision());
+    assert!(cm.mcc() > 0.8, "mcc {}", cm.mcc());
+}
+
+#[test]
+fn higher_learning_rates_still_converge_via_pocket() {
+    let (data, _, _) = Dataset::linearly_separable(100, 3, 3, 31);
+    for lr in [0.25, 1.0, 3.0] {
+        let mut p = PwmPerceptron::new(
+            AnalyticEvaluator::paper(),
+            WeightVector::zeros(3, 3),
+            Reference::ratiometric(0.5),
+        );
+        let cfg = TrainConfig {
+            learning_rate: lr,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut p, &data, &cfg).unwrap();
+        assert!(
+            report.best_accuracy > 0.9,
+            "lr = {lr}: accuracy {}",
+            report.best_accuracy
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Loadable modulo-N counter PWM generator — the paper's reference \[8\].
+//!
+//! The paper's conclusion proposes feeding the perceptron from a
+//! power-elastic PWM generator "based on a self-timed loadable modulo N
+//! counter" (Benafa, Sokolov, Yakovlev — *Loadable Kessels counter*,
+//! ASYNC 2018). The essential property is that the generated duty cycle is
+//! a **ratio of counts**, `M / N`, so it is exactly as supply- and
+//! frequency-independent as the perceptron that consumes it.
+//!
+//! **Substitution note** (see DESIGN.md): the original is a self-timed
+//! (asynchronous, handshake-based) counter; this implementation is its
+//! synchronous functional equivalent — a free-running `n`-bit counter with
+//! a loadable threshold register and a magnitude comparator, built from
+//! the same standard cells the rest of `gatesim` uses. The duty-ratio
+//! property, which is what the perceptron experiments need, is preserved
+//! bit-exactly; only the clockless implementation style is not modelled.
+
+use crate::blocks::{self, drive_word};
+use crate::netlist::{NetId, Netlist};
+use crate::sim::Simulator;
+
+/// A gate-level loadable modulo-`2^bits` counter PWM generator.
+///
+/// The output is high while `count < threshold`, so the duty cycle is
+/// `threshold / 2^bits` exactly, independent of clock frequency.
+#[derive(Debug, Clone)]
+pub struct KesselsPwm {
+    bits: u32,
+    /// Clock input net.
+    pub clock: NetId,
+    /// Loadable threshold bus `M` (LSB-first input nets).
+    pub threshold: Vec<NetId>,
+    /// Counter state outputs (LSB-first).
+    pub count: Vec<NetId>,
+    /// The PWM output: high while `count < threshold`.
+    pub pwm_out: NetId,
+}
+
+impl KesselsPwm {
+    /// Builds the generator into `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=16`.
+    pub fn build(netlist: &mut Netlist, bits: u32) -> Self {
+        assert!(
+            (1..=16).contains(&bits),
+            "counter width must be 1..=16 bits"
+        );
+        let clock = netlist.net("kpwm_clk");
+        let count: Vec<NetId> = (0..bits)
+            .map(|i| netlist.net(&format!("kpwm_q{i}")))
+            .collect();
+        // One extra threshold bit so M = N (duty 100 %) is loadable.
+        let threshold: Vec<NetId> = (0..=bits)
+            .map(|i| netlist.net(&format!("kpwm_m{i}")))
+            .collect();
+        // next = count + 1 (wraps naturally modulo 2^bits).
+        let (next, _carry) = blocks::incrementer(netlist, &count);
+        for (&d, &q) in next.iter().zip(&count) {
+            netlist.dff(d, clock, q, blocks::BLOCK_DELAY_PS);
+        }
+        let mut count_ext = count.clone();
+        count_ext.push(blocks::const_zero(netlist));
+        let pwm_out = blocks::less_than(netlist, &count_ext, &threshold);
+        KesselsPwm {
+            bits,
+            clock,
+            threshold,
+            count,
+            pwm_out,
+        }
+    }
+
+    /// Counter width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The modulus `N = 2^bits`.
+    pub fn modulus(&self) -> u64 {
+        1 << self.bits
+    }
+
+    /// The exact duty cycle produced for a threshold value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold > N`.
+    pub fn duty_for(&self, threshold: u64) -> f64 {
+        assert!(threshold <= self.modulus(), "threshold exceeds modulus");
+        threshold as f64 / self.modulus() as f64
+    }
+}
+
+/// Simulates the generator and measures the produced duty cycle by
+/// sampling the output just before each rising clock edge over `wraps`
+/// full counter wraps (after one warm-up wrap).
+///
+/// # Panics
+///
+/// Panics if `threshold > 2^bits` or `wraps == 0`.
+pub fn measure_duty(
+    netlist: &Netlist,
+    pwm: &KesselsPwm,
+    threshold: u64,
+    wraps: usize,
+    period_ps: u64,
+) -> f64 {
+    assert!(wraps > 0, "need at least one wrap");
+    assert!(threshold <= pwm.modulus(), "threshold exceeds modulus");
+    let mut sim = Simulator::new(netlist);
+    drive_word(&mut sim, &pwm.threshold, threshold);
+    let n = pwm.modulus() as usize;
+    // Warm-up: one full wrap lets the comparator settle.
+    sim.run_clock(pwm.clock, n, period_ps);
+    let mut high = 0usize;
+    let total = n * wraps;
+    for _ in 0..total {
+        sim.run_clock(pwm.clock, 1, period_ps);
+        if sim.value(pwm.pwm_out) {
+            high += 1;
+        }
+    }
+    high as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_equals_threshold_ratio() {
+        let mut nl = Netlist::new();
+        let pwm = KesselsPwm::build(&mut nl, 4);
+        for threshold in [0u64, 1, 5, 8, 12, 16] {
+            let duty = measure_duty(&nl, &pwm, threshold, 2, 1_000);
+            let expect = threshold as f64 / 16.0;
+            assert!(
+                (duty - expect).abs() < 1e-9,
+                "M={threshold}: duty {duty} expected {expect}"
+            );
+            assert!((pwm.duty_for(threshold) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duty_is_frequency_independent() {
+        // The power-elasticity property: the count ratio does not care
+        // about the clock period (as long as it clears the comparator's
+        // critical path of a few hundred picoseconds).
+        let mut nl = Netlist::new();
+        let pwm = KesselsPwm::build(&mut nl, 3);
+        let d_fast = measure_duty(&nl, &pwm, 3, 2, 1_000);
+        let d_slow = measure_duty(&nl, &pwm, 3, 2, 100_000);
+        assert_eq!(d_fast, d_slow);
+        assert!((d_fast - 3.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_counts_modulo_n() {
+        let mut nl = Netlist::new();
+        let pwm = KesselsPwm::build(&mut nl, 3);
+        let mut sim = Simulator::new(&nl);
+        drive_word(&mut sim, &pwm.threshold, 0);
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            sim.run_clock(pwm.clock, 1, 1_000);
+            seen.push(blocks::read_word(&sim, &pwm.count));
+        }
+        // Starts at 0, so after k edges the count is k mod 8.
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6, 7, 0, 1, 2]);
+    }
+
+    #[test]
+    fn generator_has_plausible_cost() {
+        let mut nl = Netlist::new();
+        let _ = KesselsPwm::build(&mut nl, 8);
+        let t = nl.transistor_count();
+        // 8 DFFs + incrementer + comparator: a few hundred transistors.
+        assert!(t > 100 && t < 2000, "transistors = {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1..=16")]
+    fn rejects_zero_width() {
+        let mut nl = Netlist::new();
+        let _ = KesselsPwm::build(&mut nl, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds modulus")]
+    fn rejects_oversized_threshold() {
+        let mut nl = Netlist::new();
+        let pwm = KesselsPwm::build(&mut nl, 3);
+        let _ = pwm.duty_for(9);
+    }
+}

@@ -1,0 +1,51 @@
+//! # gatesim — an event-driven gate-level digital simulator
+//!
+//! The digital substrate of the PWM-perceptron reproduction. It serves two
+//! purposes:
+//!
+//! 1. **The Kessels-counter PWM generator** (paper reference \[8\]): the
+//!    paper's conclusion proposes pairing the mixed-signal perceptron with
+//!    a power-elastic PWM source built from a self-timed loadable modulo-N
+//!    counter. [`kessels::KesselsPwm`] is a gate-level loadable counter
+//!    PWM generator whose duty cycle is a pure count ratio — and therefore
+//!    supply- and frequency-independent, like the perceptron it feeds.
+//! 2. **The digital baseline**: the `baseline` crate builds a conventional
+//!    fixed-point multiply–accumulate perceptron out of [`blocks`] to make
+//!    the paper's transistor-count and simplicity comparison quantitative.
+//!
+//! The simulator kernel ([`Simulator`]) is a classic discrete-event
+//! engine: two-input gates and D flip-flops with picosecond delays, a
+//! binary-heap event queue with deterministic tie-breaking, and per-net
+//! toggle counting that feeds the activity-based power model ([`power`]).
+//!
+//! ## Example: a ring oscillator
+//!
+//! ```
+//! use gatesim::{GateKind, Netlist, Simulator};
+//!
+//! let mut nl = Netlist::new();
+//! let a = nl.net("a");
+//! let b = nl.net("b");
+//! let c = nl.net("c");
+//! nl.gate(GateKind::Not, &[a], b, 10);
+//! nl.gate(GateKind::Not, &[b], c, 10);
+//! nl.gate(GateKind::Not, &[c], a, 10);
+//! let mut sim = Simulator::new(&nl);
+//! sim.run_until(10_000);
+//! // Three inverters of 10 ps: the loop oscillates with period 60 ps.
+//! assert!(sim.toggles(a) > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod kessels;
+pub mod netlist;
+pub mod power;
+pub mod sim;
+pub mod vcd;
+
+pub use netlist::{DffId, GateId, GateKind, NetId, Netlist};
+pub use power::{PowerModel, PowerReport};
+pub use sim::Simulator;

@@ -1,0 +1,345 @@
+//! Gate-level netlist representation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a net (wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// Index in the netlist's net table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Identifier of a combinational gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateId(pub(crate) usize);
+
+/// Identifier of a D flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DffId(pub(crate) usize);
+
+/// Combinational gate functions (one- and two-input CMOS standard cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// Two-input AND.
+    And2,
+    /// Two-input OR.
+    Or2,
+    /// Two-input NAND.
+    Nand2,
+    /// Two-input NOR.
+    Nor2,
+    /// Two-input XOR.
+    Xor2,
+    /// Two-input XNOR.
+    Xnor2,
+}
+
+impl GateKind {
+    /// Number of inputs this gate kind takes.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Buf | GateKind::Not => 1,
+            _ => 2,
+        }
+    }
+
+    /// Evaluates the gate function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity(), "gate arity mismatch");
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And2 => inputs[0] && inputs[1],
+            GateKind::Or2 => inputs[0] || inputs[1],
+            GateKind::Nand2 => !(inputs[0] && inputs[1]),
+            GateKind::Nor2 => !(inputs[0] || inputs[1]),
+            GateKind::Xor2 => inputs[0] ^ inputs[1],
+            GateKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+        }
+    }
+
+    /// Transistor count of the standard static-CMOS implementation.
+    pub fn transistor_count(self) -> usize {
+        match self {
+            GateKind::Not => 2,
+            GateKind::Buf | GateKind::Nand2 | GateKind::Nor2 => 4,
+            GateKind::And2 | GateKind::Or2 => 6,
+            GateKind::Xor2 | GateKind::Xnor2 => 10,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And2 => "and2",
+            GateKind::Or2 => "or2",
+            GateKind::Nand2 => "nand2",
+            GateKind::Nor2 => "nor2",
+            GateKind::Xor2 => "xor2",
+            GateKind::Xnor2 => "xnor2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One combinational gate instance.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Function.
+    pub kind: GateKind,
+    /// Input nets (length = `kind.arity()`).
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+    /// Propagation delay in picoseconds (≥ 1).
+    pub delay_ps: u64,
+}
+
+/// One D flip-flop instance (positive-edge-triggered).
+#[derive(Debug, Clone)]
+pub struct Dff {
+    /// Data input.
+    pub d: NetId,
+    /// Clock input.
+    pub clock: NetId,
+    /// Output.
+    pub q: NetId,
+    /// Clock-to-Q delay in picoseconds (≥ 1).
+    pub delay_ps: u64,
+}
+
+impl Dff {
+    /// Transistor count of a transmission-gate master–slave DFF.
+    pub const TRANSISTORS: usize = 24;
+}
+
+/// A flat gate-level netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    net_names: Vec<String>,
+    name_to_net: HashMap<String, NetId>,
+    driver_of: Vec<bool>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) dffs: Vec<Dff>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the net with the given name, creating it if necessary.
+    pub fn net(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.name_to_net.get(name) {
+            return id;
+        }
+        let id = NetId(self.net_names.len());
+        self.net_names.push(name.to_owned());
+        self.name_to_net.insert(name.to_owned(), id);
+        self.driver_of.push(false);
+        id
+    }
+
+    /// Creates an anonymous net.
+    pub fn fresh_net(&mut self) -> NetId {
+        let name = format!("_w{}", self.net_names.len());
+        self.net(&name)
+    }
+
+    /// Name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net does not belong to this netlist.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.0]
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Adds a combinational gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the gate arity, the delay
+    /// is zero, or the output net already has a driver.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+        delay_ps: u64,
+    ) -> GateId {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "{kind} takes {} inputs",
+            kind.arity()
+        );
+        assert!(delay_ps >= 1, "gate delay must be at least 1 ps");
+        self.claim_driver(output);
+        let id = GateId(self.gates.len());
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            delay_ps,
+        });
+        id
+    }
+
+    /// Adds a positive-edge D flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay is zero or the output net already has a driver.
+    pub fn dff(&mut self, d: NetId, clock: NetId, q: NetId, delay_ps: u64) -> DffId {
+        assert!(delay_ps >= 1, "dff delay must be at least 1 ps");
+        self.claim_driver(q);
+        let id = DffId(self.dffs.len());
+        self.dffs.push(Dff {
+            d,
+            clock,
+            q,
+            delay_ps,
+        });
+        id
+    }
+
+    fn claim_driver(&mut self, net: NetId) {
+        assert!(
+            !self.driver_of[net.0],
+            "net '{}' already has a driver",
+            self.net_names[net.0]
+        );
+        self.driver_of[net.0] = true;
+    }
+
+    /// `true` if some gate or flip-flop drives this net (inputs are
+    /// undriven nets).
+    pub fn is_driven(&self, net: NetId) -> bool {
+        self.driver_of[net.0]
+    }
+
+    /// The combinational gates, in insertion order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The flip-flops, in insertion order.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// Total transistor count of the netlist (standard-cell estimates).
+    pub fn transistor_count(&self) -> usize {
+        self.gates
+            .iter()
+            .map(|g| g.kind.transistor_count())
+            .sum::<usize>()
+            + self.dffs.len() * Dff::TRANSISTORS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_truth_tables() {
+        use GateKind::*;
+        assert!(And2.eval(&[true, true]));
+        assert!(!And2.eval(&[true, false]));
+        assert!(Or2.eval(&[true, false]));
+        assert!(!Nor2.eval(&[true, false]));
+        assert!(Nand2.eval(&[true, false]));
+        assert!(!Nand2.eval(&[true, true]));
+        assert!(Xor2.eval(&[true, false]));
+        assert!(!Xor2.eval(&[true, true]));
+        assert!(Xnor2.eval(&[true, true]));
+        assert!(Not.eval(&[false]));
+        assert!(Buf.eval(&[true]));
+    }
+
+    #[test]
+    fn arities_and_transistors() {
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::Xor2.arity(), 2);
+        assert_eq!(GateKind::Not.transistor_count(), 2);
+        assert_eq!(GateKind::Nand2.transistor_count(), 4);
+        assert_eq!(GateKind::And2.transistor_count(), 6);
+        assert_eq!(GateKind::Xor2.transistor_count(), 10);
+        assert_eq!(Dff::TRANSISTORS, 24);
+    }
+
+    #[test]
+    fn nets_are_interned() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        assert_eq!(nl.net("a"), a);
+        assert_eq!(nl.net_name(a), "a");
+        let f = nl.fresh_net();
+        assert_ne!(f, a);
+        assert_eq!(nl.net_count(), 2);
+    }
+
+    #[test]
+    fn netlist_transistor_count_sums() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let b = nl.net("b");
+        let y = nl.net("y");
+        let q = nl.net("q");
+        nl.gate(GateKind::And2, &[a, b], y, 10);
+        nl.dff(y, a, q, 20);
+        assert_eq!(nl.transistor_count(), 6 + 24);
+        assert!(nl.is_driven(y));
+        assert!(!nl.is_driven(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a driver")]
+    fn double_driver_panics() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::Buf, &[a], y, 10);
+        nl.gate(GateKind::Not, &[a], y, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 inputs")]
+    fn arity_mismatch_panics() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::And2, &[a], y, 10);
+    }
+}

@@ -1,0 +1,200 @@
+//! Activity-based dynamic power estimation.
+//!
+//! The classic CMOS dynamic-power model: every net transition charges or
+//! discharges that net's load capacitance, costing `½·C·Vdd²`. The
+//! simulator counts transitions per net; this module assigns each net a
+//! load from its fan-in count and converts the toggle record into energy
+//! and average power. Together with [`Netlist::transistor_count`] this is
+//! what the digital-baseline comparison (paper Section IV) reports.
+
+use crate::netlist::{NetId, Netlist};
+use crate::sim::Simulator;
+
+/// Capacitance and supply assumptions for the power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Gate-input load per fan-in, in farads.
+    pub cap_per_fanin: f64,
+    /// Fixed wire load per net, in farads.
+    pub cap_wire: f64,
+}
+
+impl PowerModel {
+    /// Defaults representative of a 65 nm standard-cell library operated
+    /// at the paper's 2.5 V I/O supply: 0.5 fF per gate input plus 1 fF of
+    /// wire per net.
+    pub fn umc65_like() -> Self {
+        PowerModel {
+            vdd: 2.5,
+            cap_per_fanin: 0.5e-15,
+            cap_wire: 1e-15,
+        }
+    }
+
+    /// Returns a copy with a different supply voltage.
+    pub fn with_vdd(mut self, vdd: f64) -> Self {
+        self.vdd = vdd;
+        self
+    }
+
+    /// Load capacitance of one net given its fan-in count.
+    pub fn net_capacitance(&self, fanins: usize) -> f64 {
+        self.cap_wire + self.cap_per_fanin * fanins as f64
+    }
+
+    /// Converts a simulator's toggle record over `duration_ps` into a
+    /// [`PowerReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_ps == 0`.
+    pub fn estimate(
+        &self,
+        netlist: &Netlist,
+        sim: &Simulator<'_>,
+        duration_ps: u64,
+    ) -> PowerReport {
+        assert!(duration_ps > 0, "duration must be positive");
+        let fanins = fanin_counts(netlist);
+        let mut energy = 0.0;
+        let mut toggles = 0u64;
+        for (net_idx, &count) in sim.toggle_counts().iter().enumerate() {
+            let c = self.net_capacitance(fanins[net_idx]);
+            energy += count as f64 * 0.5 * c * self.vdd * self.vdd;
+            toggles += count;
+        }
+        let seconds = duration_ps as f64 * 1e-12;
+        PowerReport {
+            dynamic_watts: energy / seconds,
+            energy_joules: energy,
+            total_toggles: toggles,
+            transistors: netlist.transistor_count(),
+        }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::umc65_like()
+    }
+}
+
+/// Result of a power estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Average dynamic power over the window, in watts.
+    pub dynamic_watts: f64,
+    /// Total switching energy over the window, in joules.
+    pub energy_joules: f64,
+    /// Net transitions observed.
+    pub total_toggles: u64,
+    /// Transistor count of the netlist (area proxy).
+    pub transistors: usize,
+}
+
+/// Number of gate/flip-flop inputs attached to each net.
+fn fanin_counts(netlist: &Netlist) -> Vec<usize> {
+    let mut counts = vec![0usize; netlist.net_count()];
+    for gate in netlist.gates() {
+        for inp in &gate.inputs {
+            counts[inp.index()] += 1;
+        }
+    }
+    for dff in netlist.dffs() {
+        counts[dff.d.index()] += 1;
+        counts[dff.clock.index()] += 1;
+    }
+    counts
+}
+
+/// Convenience: fan-in count of one net (public for diagnostics).
+pub fn net_fanin(netlist: &Netlist, net: NetId) -> usize {
+    fanin_counts(netlist)[net.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GateKind;
+
+    #[test]
+    fn energy_scales_with_vdd_squared() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::Not, &[a], y, 1);
+        let mut sim = Simulator::new(&nl);
+        sim.run_until(10);
+        sim.reset_activity();
+        for i in 0..100 {
+            sim.set_input(a, i % 2 == 0);
+            sim.run_until(sim.time() + 10);
+        }
+        let m1 = PowerModel::umc65_like().with_vdd(1.0);
+        let m2 = PowerModel::umc65_like().with_vdd(2.0);
+        let r1 = m1.estimate(&nl, &sim, 1000);
+        let r2 = m2.estimate(&nl, &sim, 1000);
+        assert!((r2.energy_joules / r1.energy_joules - 4.0).abs() < 1e-9);
+        assert_eq!(r1.total_toggles, r2.total_toggles);
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        // Same circuit toggled 2× as often in the same window → 2× power.
+        let run = |toggles: usize| {
+            let mut nl = Netlist::new();
+            let a = nl.net("a");
+            let y = nl.net("y");
+            nl.gate(GateKind::Not, &[a], y, 1);
+            let mut sim = Simulator::new(&nl);
+            sim.run_until(10);
+            sim.reset_activity();
+            for i in 0..toggles {
+                sim.set_input(a, i % 2 == 0);
+                sim.run_until(sim.time() + 10);
+            }
+            PowerModel::umc65_like().estimate(&nl, &sim, 100_000)
+        };
+        let slow = run(50);
+        let fast = run(100);
+        assert!(
+            (fast.dynamic_watts / slow.dynamic_watts - 2.0).abs() < 1e-9,
+            "{} vs {}",
+            fast.dynamic_watts,
+            slow.dynamic_watts
+        );
+    }
+
+    #[test]
+    fn fanin_counting() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y1 = nl.net("y1");
+        let y2 = nl.net("y2");
+        let q = nl.net("q");
+        nl.gate(GateKind::Not, &[a], y1, 1);
+        nl.gate(GateKind::Buf, &[a], y2, 1);
+        nl.dff(y1, a, q, 1);
+        // `a` feeds two gate inputs + one DFF clock = 3.
+        assert_eq!(net_fanin(&nl, a), 3);
+        assert_eq!(net_fanin(&nl, y1), 1);
+        assert_eq!(net_fanin(&nl, q), 0);
+    }
+
+    #[test]
+    fn idle_circuit_draws_nothing() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::Buf, &[a], y, 1);
+        let mut sim = Simulator::new(&nl);
+        sim.run_until(1000);
+        sim.reset_activity();
+        sim.run_until(100_000);
+        let r = PowerModel::umc65_like().estimate(&nl, &sim, 99_000);
+        assert_eq!(r.dynamic_watts, 0.0);
+        assert_eq!(r.total_toggles, 0);
+    }
+}

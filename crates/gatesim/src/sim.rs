@@ -1,0 +1,395 @@
+//! The discrete-event simulation kernel.
+//!
+//! Time is measured in integer picoseconds. Every net change is an event;
+//! fan-out gates are re-evaluated and schedule their outputs after their
+//! propagation delay. D flip-flops sample on the rising edge of their
+//! clock net. Ties are broken by insertion sequence, so simulations are
+//! fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::netlist::{GateId, NetId, Netlist};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    seq: u64,
+    net: usize,
+    value: bool,
+}
+
+/// Event-driven simulator over a [`Netlist`].
+///
+/// The netlist is borrowed for the simulator's lifetime; build the full
+/// design first, then simulate.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<bool>,
+    /// Last *scheduled* value per net. Gate evaluation compares against
+    /// this, not the current value, so a re-evaluation correctly overrides
+    /// an in-flight transition (transport-delay semantics: the earlier
+    /// event still fires as a glitch, the later one settles the net).
+    pending: Vec<bool>,
+    toggles: Vec<u64>,
+    /// Gates listening on each net.
+    gate_fanout: Vec<Vec<usize>>,
+    /// DFFs clocked by each net.
+    dff_clock_fanout: Vec<Vec<usize>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    time: u64,
+    seq: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all nets initialised to `false` and all
+    /// gate outputs scheduled for evaluation at t = 0 (so constant logic
+    /// settles immediately).
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let n = netlist.net_count();
+        let mut gate_fanout = vec![Vec::new(); n];
+        for (gi, gate) in netlist.gates.iter().enumerate() {
+            for inp in &gate.inputs {
+                gate_fanout[inp.0].push(gi);
+            }
+        }
+        let mut dff_clock_fanout = vec![Vec::new(); n];
+        for (di, dff) in netlist.dffs.iter().enumerate() {
+            dff_clock_fanout[dff.clock.0].push(di);
+        }
+        let mut sim = Simulator {
+            netlist,
+            values: vec![false; n],
+            pending: vec![false; n],
+            toggles: vec![0; n],
+            gate_fanout,
+            dff_clock_fanout,
+            queue: BinaryHeap::new(),
+            time: 0,
+            seq: 0,
+        };
+        // Settle gates whose output should be 1 with all-zero inputs
+        // (NOT, NAND, NOR, XNOR of zeros).
+        for gi in 0..netlist.gates.len() {
+            sim.evaluate_gate(gi);
+        }
+        sim
+    }
+
+    /// Current simulation time in picoseconds.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Current value of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net does not belong to the simulated netlist.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.0]
+    }
+
+    /// Number of transitions observed on a net since construction (or the
+    /// last [`Simulator::reset_activity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net does not belong to the simulated netlist.
+    pub fn toggles(&self, net: NetId) -> u64 {
+        self.toggles[net.0]
+    }
+
+    /// Total transitions across all nets.
+    pub fn total_toggles(&self) -> u64 {
+        self.toggles.iter().sum()
+    }
+
+    /// Per-net toggle counts (indexed by net).
+    pub fn toggle_counts(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Clears the activity counters (e.g. after reset/warm-up, before a
+    /// power measurement window).
+    pub fn reset_activity(&mut self) {
+        self.toggles.fill(0);
+    }
+
+    /// Drives an input net to `value` at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net is driven by a gate or flip-flop — inputs must be
+    /// undriven nets.
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        assert!(
+            !self.netlist.is_driven(net),
+            "net '{}' is driven by the netlist and cannot be forced",
+            self.netlist.net_name(net)
+        );
+        self.pending[net.0] = value;
+        self.schedule(self.time, net.0, value);
+        self.drain_at_current_time();
+    }
+
+    /// Runs until the event queue is exhausted or `t_stop` (ps) is
+    /// reached; the simulation time afterwards is `t_stop` (or the last
+    /// event time if the queue drained early).
+    pub fn run_until(&mut self, t_stop: u64) {
+        while let Some(Reverse(ev)) = self.queue.peek().copied() {
+            if ev.time > t_stop {
+                break;
+            }
+            self.queue.pop();
+            self.apply(ev);
+        }
+        self.time = self.time.max(t_stop);
+    }
+
+    /// Toggles `clock` through `cycles` full periods of `period_ps`
+    /// (rising edge at the half-period), running the queue in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ps < 2` or the clock net is driven.
+    pub fn run_clock(&mut self, clock: NetId, cycles: usize, period_ps: u64) {
+        assert!(period_ps >= 2, "clock period must be at least 2 ps");
+        let half = period_ps / 2;
+        for _ in 0..cycles {
+            let t0 = self.time;
+            self.set_input(clock, false);
+            self.run_until(t0 + half);
+            self.set_input(clock, true); // rising edge: DFFs sample
+            self.run_until(t0 + period_ps);
+        }
+    }
+
+    fn schedule(&mut self, time: u64, net: usize, value: bool) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            net,
+            value,
+        }));
+    }
+
+    fn drain_at_current_time(&mut self) {
+        while let Some(Reverse(ev)) = self.queue.peek().copied() {
+            if ev.time > self.time {
+                break;
+            }
+            self.queue.pop();
+            self.apply(ev);
+        }
+    }
+
+    fn apply(&mut self, ev: Event) {
+        self.time = self.time.max(ev.time);
+        if self.values[ev.net] == ev.value {
+            return; // glitch cancelled or redundant
+        }
+        let rising = ev.value && !self.values[ev.net];
+        self.values[ev.net] = ev.value;
+        self.toggles[ev.net] += 1;
+
+        for gi in self.gate_fanout[ev.net].clone() {
+            self.evaluate_gate(gi);
+        }
+        if rising {
+            for di in self.dff_clock_fanout[ev.net].clone() {
+                let dff = &self.netlist.dffs[di];
+                let d = self.values[dff.d.0];
+                let q = dff.q.0;
+                let delay = dff.delay_ps;
+                if self.pending[q] != d {
+                    self.pending[q] = d;
+                    self.schedule(self.time + delay, q, d);
+                }
+            }
+        }
+    }
+
+    fn evaluate_gate(&mut self, gi: usize) {
+        let gate = &self.netlist.gates[gi];
+        let inputs: Vec<bool> = gate.inputs.iter().map(|n| self.values[n.0]).collect();
+        let out = gate.kind.eval(&inputs);
+        let net = gate.output.0;
+        if self.pending[net] != out {
+            self.pending[net] = out;
+            let t = self.time + gate.delay_ps;
+            self.schedule(t, net, out);
+        }
+    }
+
+    /// Convenience: re-evaluates the gate driving `_id` (used by tests).
+    #[doc(hidden)]
+    pub fn poke_gate(&mut self, id: GateId) {
+        self.evaluate_gate(id.0);
+        self.drain_at_current_time();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GateKind;
+
+    #[test]
+    fn combinational_settling() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let b = nl.net("b");
+        let y = nl.net("y");
+        nl.gate(GateKind::And2, &[a, b], y, 10);
+        let mut sim = Simulator::new(&nl);
+        sim.run_until(100);
+        assert!(!sim.value(y));
+        sim.set_input(a, true);
+        sim.set_input(b, true);
+        sim.run_until(200);
+        assert!(sim.value(y));
+        sim.set_input(b, false);
+        sim.run_until(300);
+        assert!(!sim.value(y));
+    }
+
+    #[test]
+    fn inverter_initialises_high() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::Not, &[a], y, 10);
+        let mut sim = Simulator::new(&nl);
+        sim.run_until(20);
+        assert!(sim.value(y), "NOT of initial 0 must settle to 1");
+    }
+
+    #[test]
+    fn propagation_delay_is_respected() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::Buf, &[a], y, 50);
+        let mut sim = Simulator::new(&nl);
+        sim.run_until(10);
+        sim.set_input(a, true);
+        sim.run_until(40); // before the delay elapses
+        assert!(!sim.value(y));
+        sim.run_until(100);
+        assert!(sim.value(y));
+    }
+
+    #[test]
+    fn dff_samples_on_rising_edge() {
+        let mut nl = Netlist::new();
+        let d = nl.net("d");
+        let clk = nl.net("clk");
+        let q = nl.net("q");
+        nl.dff(d, clk, q, 5);
+        let mut sim = Simulator::new(&nl);
+
+        sim.set_input(d, true);
+        sim.run_until(100);
+        assert!(!sim.value(q), "no edge yet");
+
+        sim.set_input(clk, true);
+        sim.run_until(200);
+        assert!(sim.value(q), "captured on rising edge");
+
+        // Change D while clock stays high: Q must hold.
+        sim.set_input(d, false);
+        sim.run_until(300);
+        assert!(sim.value(q));
+
+        // Falling edge: still holds.
+        sim.set_input(clk, false);
+        sim.run_until(400);
+        assert!(sim.value(q));
+
+        // Next rising edge captures the new D.
+        sim.set_input(clk, true);
+        sim.run_until(500);
+        assert!(!sim.value(q));
+    }
+
+    #[test]
+    fn toggle_counting_and_reset() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::Not, &[a], y, 1);
+        let mut sim = Simulator::new(&nl);
+        sim.run_until(10); // settle: y rises once
+        sim.reset_activity();
+        for i in 0..10 {
+            sim.set_input(a, i % 2 == 0);
+            sim.run_until(sim.time() + 10);
+        }
+        assert_eq!(sim.toggles(a), 10);
+        assert_eq!(sim.toggles(y), 10);
+        assert_eq!(sim.total_toggles(), 20);
+        sim.reset_activity();
+        assert_eq!(sim.total_toggles(), 0);
+    }
+
+    #[test]
+    fn divide_by_two_counter() {
+        // DFF with Q̄ fed back to D: toggles every rising edge.
+        let mut nl = Netlist::new();
+        let clk = nl.net("clk");
+        let q = nl.net("q");
+        let qb = nl.net("qb");
+        nl.dff(qb, clk, q, 5);
+        nl.gate(GateKind::Not, &[q], qb, 1);
+        let mut sim = Simulator::new(&nl);
+        sim.run_until(10);
+        sim.reset_activity();
+        sim.run_clock(clk, 8, 100);
+        // 8 rising edges → q toggles 8 times.
+        assert_eq!(sim.toggles(q), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be forced")]
+    fn forcing_a_driven_net_panics() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::Buf, &[a], y, 10);
+        let mut sim = Simulator::new(&nl);
+        sim.set_input(y, true);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two parallel paths converging; same stimulus twice must produce
+        // identical toggle counts.
+        let build = || {
+            let mut nl = Netlist::new();
+            let a = nl.net("a");
+            let x = nl.net("x");
+            let y = nl.net("y");
+            let z = nl.net("z");
+            nl.gate(GateKind::Not, &[a], x, 10);
+            nl.gate(GateKind::Buf, &[a], y, 10);
+            nl.gate(GateKind::Xor2, &[x, y], z, 10);
+            (nl, a, z)
+        };
+        let run = |nl: &Netlist, a: NetId, z: NetId| {
+            let mut sim = Simulator::new(nl);
+            sim.run_until(50);
+            sim.reset_activity();
+            for i in 0..20 {
+                sim.set_input(a, i % 2 == 0);
+                sim.run_until(sim.time() + 100);
+            }
+            (sim.toggles(z), sim.value(z))
+        };
+        let (nl1, a1, z1) = build();
+        let (nl2, a2, z2) = build();
+        assert_eq!(run(&nl1, a1, z1), run(&nl2, a2, z2));
+    }
+}

@@ -1,0 +1,318 @@
+//! DC operating-point analysis.
+//!
+//! Finds the static solution of a circuit with capacitors open. For
+//! nonlinear circuits that refuse to converge from a cold start, the
+//! solver falls back to **gmin stepping** (a shunt conductance from every
+//! node to ground that is relaxed toward zero) and then **source stepping**
+//! (all independent sources ramped from 0 to 100 %), the same continuation
+//! strategies used by production SPICE implementations.
+
+use crate::analysis::mna::{solve_newton, MnaLayout, NewtonOpts, SolveContext};
+use crate::error::Error;
+use crate::linear::DenseMatrix;
+use crate::netlist::{Circuit, ElementId, NodeId};
+
+/// Result of a DC operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    x: Vec<f64>,
+    n_nodes: usize,
+    branch_of: Vec<Option<usize>>,
+}
+
+impl DcSolution {
+    /// Voltage of `node` in volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the analysed circuit.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        let i = node.index();
+        assert!(i < self.n_nodes, "node {node} out of range");
+        if i == 0 {
+            0.0
+        } else {
+            self.x[i - 1]
+        }
+    }
+
+    /// Branch current of a voltage source, in the SPICE convention
+    /// (positive into the `pos` terminal), or an error for other elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownProbe`] if the element is not a voltage
+    /// source.
+    pub fn branch_current(&self, element: ElementId) -> Result<f64, Error> {
+        let idx = element.index();
+        match self.branch_of.get(idx).copied().flatten() {
+            Some(b) => Ok(self.x[self.n_nodes - 1 + b]),
+            None => Err(Error::UnknownProbe {
+                what: format!("branch current of {element}"),
+            }),
+        }
+    }
+
+    /// The raw solution vector (node voltages then branch currents).
+    pub fn raw(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Computes the DC operating point of `circuit`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidCircuit`] for structurally broken netlists,
+/// [`Error::SingularMatrix`] for under-determined ones, and
+/// [`Error::NonConvergence`] if every continuation strategy fails.
+///
+/// # Examples
+///
+/// ```
+/// use mssim::prelude::*;
+///
+/// # fn main() -> Result<(), mssim::Error> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let b = ckt.node("b");
+/// ckt.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
+/// ckt.resistor("R1", a, b, 2e3);
+/// ckt.resistor("R2", b, Circuit::GND, 1e3);
+/// let op = dc_operating_point(&ckt)?;
+/// assert!((op.voltage(b) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, Error> {
+    circuit.validate()?;
+    let layout = MnaLayout::new(circuit);
+    let n = layout.size();
+    let mut mat = DenseMatrix::zeros(n);
+    let mut work = Vec::with_capacity(n);
+    let opts = NewtonOpts::default();
+
+    let mut x = vec![0.0; n];
+    let direct = solve_newton(
+        circuit,
+        &layout,
+        &mut x,
+        SolveContext {
+            time: 0.0,
+            source_scale: 1.0,
+            caps: None,
+            inds: None,
+            gshunt: 0.0,
+        },
+        &opts,
+        "dc",
+        &mut mat,
+        &mut work,
+    );
+    if direct.is_ok() {
+        return Ok(pack(circuit, &layout, x));
+    }
+
+    // Gmin stepping: relax a node shunt from strong to none, warm-starting
+    // each stage from the previous solution.
+    let mut x = vec![0.0; n];
+    let mut ok = true;
+    for k in 0..=12 {
+        let gshunt = if k == 12 { 0.0 } else { 10f64.powi(-k - 1) };
+        let r = solve_newton(
+            circuit,
+            &layout,
+            &mut x,
+            SolveContext {
+                time: 0.0,
+                source_scale: 1.0,
+                caps: None,
+                inds: None,
+                gshunt,
+            },
+            &opts,
+            "dc",
+            &mut mat,
+            &mut work,
+        );
+        if r.is_err() {
+            ok = false;
+            break;
+        }
+    }
+    if ok {
+        return Ok(pack(circuit, &layout, x));
+    }
+
+    // Source stepping: ramp all sources from 10 % to 100 %.
+    let mut x = vec![0.0; n];
+    for step in 1..=10 {
+        let scale = step as f64 / 10.0;
+        solve_newton(
+            circuit,
+            &layout,
+            &mut x,
+            SolveContext {
+                time: 0.0,
+                source_scale: scale,
+                caps: None,
+                inds: None,
+                gshunt: 0.0,
+            },
+            &opts,
+            "dc",
+            &mut mat,
+            &mut work,
+        )?;
+    }
+    Ok(pack(circuit, &layout, x))
+}
+
+fn pack(circuit: &Circuit, layout: &MnaLayout, x: Vec<f64>) -> DcSolution {
+    DcSolution {
+        x,
+        n_nodes: circuit.node_count(),
+        branch_of: layout.branch_of.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::MosParams;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let v1 = ckt.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
+        ckt.resistor("R1", a, b, 2e3);
+        let r2 = ckt.resistor("R2", b, Circuit::GND, 1e3);
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!((op.voltage(b) - 1.0).abs() < 1e-9);
+        assert!((op.voltage(a) - 3.0).abs() < 1e-9);
+        assert_eq!(op.voltage(Circuit::GND), 0.0);
+        // 1 mA flows; SPICE convention: negative at the source.
+        assert!((op.branch_current(v1).unwrap() + 1e-3).abs() < 1e-9);
+        assert!(op.branch_current(r2).is_err());
+    }
+
+    #[test]
+    fn capacitor_is_open_in_dc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(5.0));
+        ckt.resistor("R1", a, b, 1e3);
+        ckt.capacitor("C1", b, Circuit::GND, 1e-9);
+        let op = dc_operating_point(&ckt).unwrap();
+        // No DC path through the cap: the full supply appears across it.
+        assert!((op.voltage(b) - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn nmos_inverter_static_transfer() {
+        // Resistive-load NMOS inverter: gate high pulls the output low.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let gate = ckt.node("g");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+        ckt.vsource("VG", gate, Circuit::GND, Waveform::dc(2.5));
+        ckt.resistor("RL", vdd, out, 100e3);
+        ckt.mosfet(
+            "M1",
+            out,
+            gate,
+            Circuit::GND,
+            MosParams::nmos(320e-9, 1.2e-6),
+        );
+        let op = dc_operating_point(&ckt).unwrap();
+        let v_out = op.voltage(out);
+        // Ron ≈ 9.1 kΩ against 100 kΩ load → ~0.21 V.
+        assert!(v_out > 0.05 && v_out < 0.4, "v_out = {v_out}");
+    }
+
+    #[test]
+    fn nmos_inverter_gate_low_output_high() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let gate = ckt.node("g");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+        ckt.vsource("VG", gate, Circuit::GND, Waveform::dc(0.0));
+        ckt.resistor("RL", vdd, out, 100e3);
+        ckt.mosfet(
+            "M1",
+            out,
+            gate,
+            Circuit::GND,
+            MosParams::nmos(320e-9, 1.2e-6),
+        );
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!((op.voltage(out) - 2.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn cmos_inverter_rails() {
+        let params_n = MosParams::nmos(320e-9, 1.2e-6);
+        let params_p = MosParams::pmos(865e-9, 1.2e-6);
+        for (vin, expect_hi) in [(0.0, true), (2.5, false)] {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let gate = ckt.node("g");
+            let out = ckt.node("out");
+            ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+            ckt.vsource("VG", gate, Circuit::GND, Waveform::dc(vin));
+            ckt.mosfet("MP", out, gate, vdd, params_p);
+            ckt.mosfet("MN", out, gate, Circuit::GND, params_n);
+            // Small load so the output is well defined.
+            ckt.resistor("RL", out, Circuit::GND, 10e6);
+            let op = dc_operating_point(&ckt).unwrap();
+            let v = op.voltage(out);
+            if expect_hi {
+                assert!(v > 2.4, "vin={vin}: v_out={v}");
+            } else {
+                assert!(v < 0.1, "vin={vin}: v_out={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn diode_forward_drop() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let k = ckt.node("k");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(5.0));
+        ckt.resistor("R1", a, k, 1e3);
+        ckt.diode("D1", k, Circuit::GND, 1e-14, 1.0);
+        let op = dc_operating_point(&ckt).unwrap();
+        let vd = op.voltage(k);
+        assert!(vd > 0.5 && vd < 0.8, "diode drop {vd}");
+    }
+
+    #[test]
+    fn invalid_circuit_is_rejected() {
+        let ckt = Circuit::new();
+        assert!(matches!(
+            dc_operating_point(&ckt),
+            Err(Error::InvalidCircuit { .. })
+        ));
+    }
+
+    #[test]
+    fn switch_follows_control() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let ctl = ckt.node("ctl");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.0));
+        ckt.vsource("VC", ctl, Circuit::GND, Waveform::dc(1.5));
+        ckt.switch("S1", vdd, out, ctl, Circuit::GND, 1.0, 1.0, 1e9);
+        ckt.resistor("RL", out, Circuit::GND, 1e3);
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!((op.voltage(out) - 2.0).abs() < 0.01, "closed switch passes");
+    }
+}

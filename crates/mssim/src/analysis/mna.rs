@@ -1,0 +1,556 @@
+//! Modified nodal analysis: system layout, element stamping and the damped
+//! Newton–Raphson kernel shared by the DC and transient analyses.
+//!
+//! Unknown vector layout: rows `0..n_nodes-1` are the voltages of nodes
+//! `1..n_nodes` (ground is eliminated); the remaining rows are the branch
+//! currents of voltage sources in netlist order.
+
+use crate::elements::Element;
+use crate::error::Error;
+use crate::linear::DenseMatrix;
+use crate::netlist::{Circuit, NodeId};
+
+/// Thermal voltage at room temperature, used by the diode model.
+const VT: f64 = 0.025852;
+/// Exponent cap for the diode law; beyond this the exponential is
+/// continued linearly to avoid overflow.
+const DIODE_EXP_MAX: f64 = 40.0;
+
+/// Static description of the MNA system for one circuit.
+#[derive(Debug, Clone)]
+pub(crate) struct MnaLayout {
+    /// Total node count, including ground.
+    pub n_nodes: usize,
+    /// Per-element branch index (voltage sources only).
+    pub branch_of: Vec<Option<usize>>,
+    /// Per-element capacitor slot (capacitors only).
+    pub cap_of: Vec<Option<usize>>,
+    /// Per-element inductor slot (inductors only).
+    pub ind_of: Vec<Option<usize>>,
+    /// Number of branch-current unknowns.
+    pub n_branches: usize,
+    /// Number of capacitors.
+    #[allow(dead_code)]
+    pub n_caps: usize,
+    /// Number of inductors.
+    #[allow(dead_code)]
+    pub n_inds: usize,
+}
+
+impl MnaLayout {
+    pub fn new(ckt: &Circuit) -> Self {
+        let mut branch_of = Vec::with_capacity(ckt.element_count());
+        let mut cap_of = Vec::with_capacity(ckt.element_count());
+        let mut ind_of = Vec::with_capacity(ckt.element_count());
+        let mut n_branches = 0;
+        let mut n_caps = 0;
+        let mut n_inds = 0;
+        for (_, _, e) in ckt.elements() {
+            if e.has_branch_current() {
+                branch_of.push(Some(n_branches));
+                n_branches += 1;
+            } else {
+                branch_of.push(None);
+            }
+            if matches!(e, Element::Capacitor { .. }) {
+                cap_of.push(Some(n_caps));
+                n_caps += 1;
+            } else {
+                cap_of.push(None);
+            }
+            if matches!(e, Element::Inductor { .. }) {
+                ind_of.push(Some(n_inds));
+                n_inds += 1;
+            } else {
+                ind_of.push(None);
+            }
+        }
+        MnaLayout {
+            n_nodes: ckt.node_count(),
+            branch_of,
+            cap_of,
+            ind_of,
+            n_branches,
+            n_caps,
+            n_inds,
+        }
+    }
+
+    /// Total number of unknowns.
+    pub fn size(&self) -> usize {
+        self.n_nodes - 1 + self.n_branches
+    }
+
+    /// Row of a node's voltage unknown, or `None` for ground.
+    #[inline]
+    pub fn node_row(&self, node: NodeId) -> Option<usize> {
+        let i = node.index();
+        if i == 0 {
+            None
+        } else {
+            Some(i - 1)
+        }
+    }
+
+    /// Row of branch-current unknown `b`.
+    #[inline]
+    pub fn branch_row(&self, b: usize) -> usize {
+        self.n_nodes - 1 + b
+    }
+}
+
+/// Integration companion for one capacitor at the current time step:
+/// a conductance `geq` in parallel with a history current `ieq` injected
+/// into the positive terminal.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CapCompanion {
+    pub geq: f64,
+    pub ieq: f64,
+}
+
+/// Integration companion for one inductor at the current time step. The
+/// branch equation becomes `i − geq·(v(a)−v(b)) = ieq` with
+/// `geq = h/(2L)` (trapezoidal) or `h/L` (backward Euler) and
+/// `ieq = i_prev + geq·v_prev` (trapezoidal) or `i_prev` (BE).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct IndCompanion {
+    pub geq: f64,
+    pub ieq: f64,
+}
+
+/// Newton–Raphson settings.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NewtonOpts {
+    pub max_iter: usize,
+    pub abstol_v: f64,
+    pub abstol_i: f64,
+    pub reltol: f64,
+    /// Maximum per-iteration node-voltage change; larger updates are
+    /// scaled down (simple damping that keeps square-law devices stable).
+    pub max_step_v: f64,
+    /// Minimum conductance inserted across nonlinear devices.
+    pub gmin: f64,
+}
+
+impl Default for NewtonOpts {
+    fn default() -> Self {
+        NewtonOpts {
+            max_iter: 200,
+            abstol_v: 1e-6,
+            abstol_i: 1e-9,
+            reltol: 1e-4,
+            max_step_v: 0.5,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// Inputs that vary between Newton solves.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SolveContext<'a> {
+    /// Simulation time used to evaluate source waveforms.
+    pub time: f64,
+    /// Multiplier applied to all independent sources (source stepping).
+    pub source_scale: f64,
+    /// Capacitor companions; `None` means DC (capacitors open).
+    pub caps: Option<&'a [CapCompanion]>,
+    /// Inductor companions; `None` means DC (inductors short).
+    pub inds: Option<&'a [IndCompanion]>,
+    /// Extra node-to-ground shunt conductance (gmin stepping).
+    pub gshunt: f64,
+}
+
+/// Voltage of `node` under the guess vector `x`.
+#[inline]
+fn v_at(layout: &MnaLayout, x: &[f64], node: NodeId) -> f64 {
+    match layout.node_row(node) {
+        None => 0.0,
+        Some(r) => x[r],
+    }
+}
+
+/// Stamps a conductance `g` between nodes `a` and `b`.
+#[inline]
+fn stamp_conductance(layout: &MnaLayout, mat: &mut DenseMatrix, a: NodeId, b: NodeId, g: f64) {
+    let ra = layout.node_row(a);
+    let rb = layout.node_row(b);
+    if let Some(ra) = ra {
+        mat.add(ra, ra, g);
+        if let Some(rb) = rb {
+            mat.add(ra, rb, -g);
+        }
+    }
+    if let Some(rb) = rb {
+        mat.add(rb, rb, g);
+        if let Some(ra) = ra {
+            mat.add(rb, ra, -g);
+        }
+    }
+}
+
+/// Stamps a current `i` injected into node `to` and drawn from node `from`.
+#[inline]
+fn stamp_current(layout: &MnaLayout, rhs: &mut [f64], from: NodeId, to: NodeId, i: f64) {
+    if let Some(r) = layout.node_row(to) {
+        rhs[r] += i;
+    }
+    if let Some(r) = layout.node_row(from) {
+        rhs[r] -= i;
+    }
+}
+
+/// Assembles `G(x)·x_new = b(x)` into `mat`/`rhs` (cleared first).
+pub(crate) fn assemble(
+    ckt: &Circuit,
+    layout: &MnaLayout,
+    x: &[f64],
+    ctx: SolveContext<'_>,
+    gmin: f64,
+    mat: &mut DenseMatrix,
+    rhs: &mut [f64],
+) {
+    mat.clear();
+    rhs.fill(0.0);
+
+    if ctx.gshunt > 0.0 {
+        for row in 0..layout.n_nodes - 1 {
+            mat.add(row, row, ctx.gshunt);
+        }
+    }
+
+    for (idx, (_, _, elem)) in ckt.elements().enumerate() {
+        match elem {
+            Element::Resistor { a, b, ohms } => {
+                stamp_conductance(layout, mat, *a, *b, 1.0 / ohms);
+            }
+            Element::Capacitor { a, b, .. } => match ctx.caps {
+                Some(companions) => {
+                    let slot = layout.cap_of[idx].expect("capacitor slot");
+                    let comp = companions[slot];
+                    stamp_conductance(layout, mat, *a, *b, comp.geq);
+                    stamp_current(layout, rhs, *b, *a, comp.ieq);
+                }
+                None => {
+                    // DC: open circuit, with gmin to avoid floating nodes.
+                    stamp_conductance(layout, mat, *a, *b, gmin);
+                }
+            },
+            Element::Inductor { a, b, .. } => {
+                let br = layout.branch_row(layout.branch_of[idx].expect("inductor branch"));
+                let ra = layout.node_row(*a);
+                let rb = layout.node_row(*b);
+                // KCL: branch current i flows a → b.
+                if let Some(ra) = ra {
+                    mat.add(ra, br, 1.0);
+                }
+                if let Some(rb) = rb {
+                    mat.add(rb, br, -1.0);
+                }
+                match ctx.inds {
+                    Some(companions) => {
+                        let slot = layout.ind_of[idx].expect("inductor slot");
+                        let comp = companions[slot];
+                        // i − geq·(v(a)−v(b)) = ieq.
+                        mat.add(br, br, 1.0);
+                        if let Some(ra) = ra {
+                            mat.add(br, ra, -comp.geq);
+                        }
+                        if let Some(rb) = rb {
+                            mat.add(br, rb, comp.geq);
+                        }
+                        rhs[br] = comp.ieq;
+                    }
+                    None => {
+                        // DC: ideal short, v(a) = v(b).
+                        if let Some(ra) = ra {
+                            mat.add(br, ra, 1.0);
+                        }
+                        if let Some(rb) = rb {
+                            mat.add(br, rb, -1.0);
+                        }
+                        rhs[br] = 0.0;
+                    }
+                }
+            }
+            Element::VoltageSource { pos, neg, waveform } => {
+                let b = layout.branch_of[idx].expect("vsource branch");
+                let br = layout.branch_row(b);
+                if let Some(rp) = layout.node_row(*pos) {
+                    mat.add(rp, br, 1.0);
+                    mat.add(br, rp, 1.0);
+                }
+                if let Some(rn) = layout.node_row(*neg) {
+                    mat.add(rn, br, -1.0);
+                    mat.add(br, rn, -1.0);
+                }
+                rhs[br] = ctx.source_scale * waveform.value(ctx.time);
+            }
+            Element::CurrentSource { from, to, waveform } => {
+                let i = ctx.source_scale * waveform.value(ctx.time);
+                stamp_current(layout, rhs, *from, *to, i);
+            }
+            Element::Mosfet { d, g, s, params } => {
+                let vd = v_at(layout, x, *d);
+                let vg = v_at(layout, x, *g);
+                let vs = v_at(layout, x, *s);
+                let op = params.evaluate(vd, vg, vs);
+                // Linearised drain current:
+                // id(v) ≈ id0 + gdd·(vd−vd0) + gdg·(vg−vg0) + gds·(vs−vs0).
+                // KCL: id enters the drain row positively, the source row
+                // negatively.
+                let i_const = op.id - op.gdd * vd - op.gdg * vg - op.gds_node * vs;
+                let rd = layout.node_row(*d);
+                let rg = layout.node_row(*g);
+                let rs = layout.node_row(*s);
+                if let Some(rd) = rd {
+                    mat.add(rd, rd, op.gdd);
+                    if let Some(rg) = rg {
+                        mat.add(rd, rg, op.gdg);
+                    }
+                    if let Some(rs) = rs {
+                        mat.add(rd, rs, op.gds_node);
+                    }
+                    rhs[rd] -= i_const;
+                }
+                if let Some(rs_row) = rs {
+                    if let Some(rd) = rd {
+                        mat.add(rs_row, rd, -op.gdd);
+                    }
+                    if let Some(rg) = rg {
+                        mat.add(rs_row, rg, -op.gdg);
+                    }
+                    mat.add(rs_row, rs_row, -op.gds_node);
+                    rhs[rs_row] += i_const;
+                }
+                // Convergence aid across the channel.
+                stamp_conductance(layout, mat, *d, *s, gmin);
+            }
+            Element::Switch {
+                a,
+                b,
+                ctrl_pos,
+                ctrl_neg,
+                threshold,
+                r_on,
+                r_off,
+            } => {
+                let vc = v_at(layout, x, *ctrl_pos) - v_at(layout, x, *ctrl_neg);
+                let g = if vc > *threshold {
+                    1.0 / r_on
+                } else {
+                    1.0 / r_off
+                };
+                stamp_conductance(layout, mat, *a, *b, g);
+            }
+            Element::Diode { a, k, i_sat, n } => {
+                let v = v_at(layout, x, *a) - v_at(layout, x, *k);
+                let nvt = n * VT;
+                let arg = v / nvt;
+                let (i, g) = if arg > DIODE_EXP_MAX {
+                    // Linear continuation beyond the exponent cap.
+                    let e = DIODE_EXP_MAX.exp();
+                    let i0 = i_sat * (e - 1.0);
+                    let g0 = i_sat * e / nvt;
+                    (i0 + g0 * (v - DIODE_EXP_MAX * nvt), g0)
+                } else {
+                    let e = arg.exp();
+                    (i_sat * (e - 1.0), i_sat * e / nvt)
+                };
+                let i_const = i - g * v;
+                stamp_conductance(layout, mat, *a, *k, g + gmin);
+                stamp_current(layout, rhs, *a, *k, i_const);
+            }
+        }
+    }
+}
+
+/// Damped Newton–Raphson: iterates `G(x_k)·x_{k+1} = b(x_k)` until the
+/// update is below tolerance. Linear circuits converge in one iteration.
+///
+/// On success `x` holds the solution and the iteration count is returned.
+#[allow(clippy::too_many_arguments)] // solver plumbing: every argument is load-bearing
+pub(crate) fn solve_newton(
+    ckt: &Circuit,
+    layout: &MnaLayout,
+    x: &mut [f64],
+    ctx: SolveContext<'_>,
+    opts: &NewtonOpts,
+    analysis: &'static str,
+    mat: &mut DenseMatrix,
+    work: &mut Vec<f64>,
+) -> Result<usize, Error> {
+    let n = layout.size();
+    let node_rows = layout.n_nodes - 1;
+    debug_assert_eq!(x.len(), n);
+    work.resize(n, 0.0);
+    // Damping exists to keep square-law devices on track; for a purely
+    // linear circuit the first solve is exact and must not be throttled.
+    let damp_enabled = ckt.has_nonlinear_elements();
+
+    for iter in 1..=opts.max_iter {
+        assemble(ckt, layout, x, ctx, opts.gmin, mat, work);
+        mat.solve_in_place(work)?;
+
+        // work now holds x_new; compute damped update.
+        let mut max_dv = 0.0f64;
+        for (r, w) in work.iter().enumerate().take(node_rows) {
+            max_dv = max_dv.max((w - x[r]).abs());
+        }
+        let damp = if damp_enabled && max_dv > opts.max_step_v {
+            opts.max_step_v / max_dv
+        } else {
+            1.0
+        };
+
+        let mut converged = damp == 1.0;
+        for r in 0..n {
+            let delta = (work[r] - x[r]) * damp;
+            let tol = if r < node_rows {
+                opts.abstol_v + opts.reltol * x[r].abs()
+            } else {
+                opts.abstol_i + opts.reltol * x[r].abs()
+            };
+            if delta.abs() > tol {
+                converged = false;
+            }
+            x[r] += delta;
+        }
+
+        if converged {
+            return Ok(iter);
+        }
+    }
+    Err(Error::NonConvergence {
+        analysis,
+        time: ctx.time,
+        iterations: opts.max_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    /// Resistive divider: 2.5 V through 1 kΩ / 1 kΩ → midpoint 1.25 V.
+    #[test]
+    fn linear_divider_solves_in_one_iteration() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(2.5));
+        ckt.resistor("R1", vin, mid, 1e3);
+        ckt.resistor("R2", mid, Circuit::GND, 1e3);
+
+        let layout = MnaLayout::new(&ckt);
+        let mut x = vec![0.0; layout.size()];
+        let mut mat = DenseMatrix::zeros(layout.size());
+        let mut work = Vec::new();
+        let ctx = SolveContext {
+            time: 0.0,
+            source_scale: 1.0,
+            caps: None,
+            inds: None,
+            gshunt: 0.0,
+        };
+        let iters = solve_newton(
+            &ckt,
+            &layout,
+            &mut x,
+            ctx,
+            &NewtonOpts::default(),
+            "dc",
+            &mut mat,
+            &mut work,
+        )
+        .unwrap();
+        // One iteration to land, one to confirm convergence at most.
+        assert!(iters <= 2, "took {iters} iterations");
+        let mid_row = layout.node_row(mid).unwrap();
+        assert!((x[mid_row] - 1.25).abs() < 1e-9);
+        // Branch current: 2.5 V across 2 kΩ = 1.25 mA drawn from the
+        // source, so the SPICE-convention branch current is negative.
+        let br = layout.branch_row(0);
+        assert!((x[br] + 1.25e-3).abs() < 1e-9, "i = {}", x[br]);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.isource("I1", Circuit::GND, out, Waveform::dc(1e-3));
+        ckt.resistor("R1", out, Circuit::GND, 1e3);
+
+        let layout = MnaLayout::new(&ckt);
+        let mut x = vec![0.0; layout.size()];
+        let mut mat = DenseMatrix::zeros(layout.size());
+        let mut work = Vec::new();
+        let ctx = SolveContext {
+            time: 0.0,
+            source_scale: 1.0,
+            caps: None,
+            inds: None,
+            gshunt: 0.0,
+        };
+        solve_newton(
+            &ckt,
+            &layout,
+            &mut x,
+            ctx,
+            &NewtonOpts::default(),
+            "dc",
+            &mut mat,
+            &mut work,
+        )
+        .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9, "v = {}", x[0]);
+    }
+
+    #[test]
+    fn source_scale_scales_solution() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.vsource("V1", out, Circuit::GND, Waveform::dc(2.0));
+        ckt.resistor("R1", out, Circuit::GND, 1e3);
+
+        let layout = MnaLayout::new(&ckt);
+        let mut x = vec![0.0; layout.size()];
+        let mut mat = DenseMatrix::zeros(layout.size());
+        let mut work = Vec::new();
+        let ctx = SolveContext {
+            time: 0.0,
+            source_scale: 0.5,
+            caps: None,
+            inds: None,
+            gshunt: 0.0,
+        };
+        solve_newton(
+            &ckt,
+            &layout,
+            &mut x,
+            ctx,
+            &NewtonOpts::default(),
+            "dc",
+            &mut mat,
+            &mut work,
+        )
+        .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layout_counts() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        ckt.resistor("R1", a, b, 1e3);
+        ckt.capacitor("C1", b, Circuit::GND, 1e-12);
+        let layout = MnaLayout::new(&ckt);
+        assert_eq!(layout.n_nodes, 3);
+        assert_eq!(layout.n_branches, 1);
+        assert_eq!(layout.n_caps, 1);
+        assert_eq!(layout.size(), 3); // 2 node rows + 1 branch
+        assert_eq!(layout.node_row(Circuit::GND), None);
+    }
+}

@@ -1,0 +1,20 @@
+//! Circuit analyses: DC operating point and transient.
+//!
+//! The analyses share the modified-nodal-analysis assembly and damped
+//! Newton–Raphson kernel (crate-private `mna` module). The public entry
+//! points are [`dc_operating_point`], [`dc_sweep`], [`Transient::run`],
+//! [`ac_analysis`] and [`noise_analysis`].
+
+pub(crate) mod mna;
+
+pub(crate) mod ac;
+mod dcop;
+mod dcsweep;
+mod noise;
+mod transient;
+
+pub use ac::{ac_analysis, AcResult};
+pub use dcop::{dc_operating_point, DcSolution};
+pub use dcsweep::{dc_sweep, DcSweepResult};
+pub use noise::{noise_analysis, NoiseResult};
+pub use transient::{AdaptiveConfig, IntegrationMethod, Transient, TransientResult};

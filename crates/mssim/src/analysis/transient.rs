@@ -1,0 +1,985 @@
+//! Fixed-step transient analysis.
+//!
+//! Capacitors are replaced by integration companions (trapezoidal by
+//! default, backward Euler on the first step and on request) and the
+//! resulting nonlinear system is solved by damped Newton–Raphson at every
+//! time point, warm-started from the previous solution.
+
+use crate::analysis::dcop::dc_operating_point;
+use crate::analysis::mna::{
+    solve_newton, CapCompanion, IndCompanion, MnaLayout, NewtonOpts, SolveContext,
+};
+use crate::elements::Element;
+use crate::error::Error;
+use crate::linear::DenseMatrix;
+use crate::netlist::{Circuit, ElementId, NodeId};
+use crate::trace::{Trace, TraceData};
+
+/// Numerical integration scheme for reactive elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrationMethod {
+    /// First-order, L-stable; strongly damped.
+    BackwardEuler,
+    /// Second-order, A-stable; the default (first step still uses
+    /// backward Euler to absorb initial-condition discontinuities).
+    #[default]
+    Trapezoidal,
+}
+
+/// A configured transient analysis.
+///
+/// # Examples
+///
+/// ```
+/// use mssim::prelude::*;
+///
+/// # fn main() -> Result<(), mssim::Error> {
+/// let mut ckt = Circuit::new();
+/// let inp = ckt.node("in");
+/// let out = ckt.node("out");
+/// ckt.vsource("V1", inp, Circuit::GND, Waveform::pwm(2.5, 1e6, 0.25));
+/// ckt.resistor("R1", inp, out, 10e3);
+/// ckt.capacitor("C1", out, Circuit::GND, 1e-9);
+/// let result = Transient::new(2e-9, 100e-6).use_initial_conditions().run(&ckt)?;
+/// let avg = result.voltage(out).steady_state_average(1e-6, 10);
+/// assert!((avg - 2.5 * 0.25).abs() < 0.05); // PWM average = Vdd · duty
+/// # Ok(())
+/// # }
+/// ```
+/// Settings for adaptive time-stepping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Smallest step the controller may take, seconds.
+    pub min_dt: f64,
+    /// Local-truncation-error tolerance: the step is accepted when the
+    /// predictor–corrector discrepancy is below
+    /// `tol · (1 + |v|)` on every node.
+    pub tolerance: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_dt: 0.0, // resolved to max_dt/10⁶ at run time
+            tolerance: 1e-3,
+        }
+    }
+}
+
+/// A configured transient analysis (see the crate-level example and
+/// [`Transient::new`]).
+#[derive(Debug, Clone)]
+pub struct Transient {
+    dt: f64,
+    t_stop: f64,
+    method: IntegrationMethod,
+    uic: bool,
+    record_every: usize,
+    max_iter: usize,
+    adaptive: Option<AdaptiveConfig>,
+}
+
+impl Transient {
+    /// Creates a transient analysis with time step `dt` running to
+    /// `t_stop` (both in seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive or `t_stop < dt`.
+    pub fn new(dt: f64, t_stop: f64) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
+        assert!(t_stop >= dt, "t_stop must be at least one step");
+        Transient {
+            dt,
+            t_stop,
+            method: IntegrationMethod::default(),
+            uic: false,
+            record_every: 1,
+            max_iter: 200,
+            adaptive: None,
+        }
+    }
+
+    /// Enables adaptive time-stepping: `dt` becomes the *maximum* step,
+    /// and the controller shrinks/grows the step from a local-truncation-
+    /// error estimate (predictor–corrector discrepancy), never stepping
+    /// across a source breakpoint (pulse corners, PWL points) so narrow
+    /// pulses cannot be skipped. `record_every` is ignored in adaptive
+    /// mode — every accepted point is recorded.
+    pub fn adaptive(mut self, config: AdaptiveConfig) -> Self {
+        self.adaptive = Some(config);
+        self
+    }
+
+    /// Skips the DC operating point and starts from capacitor initial
+    /// conditions (node voltages start at zero) — SPICE `UIC`.
+    pub fn use_initial_conditions(mut self) -> Self {
+        self.uic = true;
+        self
+    }
+
+    /// Selects the integration method.
+    pub fn with_method(mut self, method: IntegrationMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Records only every `n`-th time point (the final point is always
+    /// recorded). Reduces memory for long runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn record_every(mut self, n: usize) -> Self {
+        assert!(n > 0, "record decimation must be at least 1");
+        self.record_every = n;
+        self
+    }
+
+    /// Sets the Newton iteration limit per time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        assert!(n > 0, "iteration limit must be at least 1");
+        self.max_iter = n;
+        self
+    }
+
+    /// Runs the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCircuit`] for broken netlists,
+    /// [`Error::NonConvergence`] if Newton iteration fails at some time
+    /// point, and [`Error::SingularMatrix`] for under-determined systems.
+    pub fn run(&self, circuit: &Circuit) -> Result<TransientResult, Error> {
+        circuit.validate()?;
+        let layout = MnaLayout::new(circuit);
+        let n = layout.size();
+        let node_rows = layout.n_nodes - 1;
+
+        // Collect capacitor and source bookkeeping.
+        struct CapInfo {
+            a: NodeId,
+            b: NodeId,
+            farads: f64,
+            ic: f64,
+        }
+        struct IndInfo {
+            a: NodeId,
+            b: NodeId,
+            henries: f64,
+            ic: f64,
+            branch: usize,
+        }
+        let mut caps: Vec<CapInfo> = Vec::new();
+        let mut inds: Vec<IndInfo> = Vec::new();
+        let mut sources: Vec<SourceInfo> = Vec::new();
+        let mut branch_elements: Vec<(usize, usize)> = Vec::new();
+        for (idx, (_, _, e)) in circuit.elements().enumerate() {
+            match e {
+                Element::Capacitor {
+                    a,
+                    b,
+                    farads,
+                    initial_voltage,
+                } => caps.push(CapInfo {
+                    a: *a,
+                    b: *b,
+                    farads: *farads,
+                    ic: *initial_voltage,
+                }),
+                Element::Inductor {
+                    a,
+                    b,
+                    henries,
+                    initial_current,
+                } => {
+                    let branch = layout.branch_of[idx].expect("inductor branch");
+                    inds.push(IndInfo {
+                        a: *a,
+                        b: *b,
+                        henries: *henries,
+                        ic: *initial_current,
+                        branch,
+                    });
+                    branch_elements.push((idx, branch));
+                }
+                Element::VoltageSource { pos, neg, .. } => {
+                    let branch = layout.branch_of[idx].expect("vsource branch");
+                    sources.push(SourceInfo {
+                        element: idx,
+                        pos: *pos,
+                        neg: *neg,
+                        branch,
+                    });
+                    branch_elements.push((idx, branch));
+                }
+                _ => {}
+            }
+        }
+
+        // Initial solution.
+        let mut x = vec![0.0; n];
+        let mut v_prev: Vec<f64>;
+        let mut il_prev: Vec<f64>;
+        let mut vl_prev: Vec<f64>;
+        if self.uic {
+            v_prev = caps.iter().map(|c| c.ic).collect();
+            il_prev = inds.iter().map(|l| l.ic).collect();
+            vl_prev = vec![0.0; inds.len()];
+            // Seed the branch unknowns with the initial currents so the
+            // first Newton iterate starts consistent.
+            for l in &inds {
+                x[layout.branch_row(l.branch)] = l.ic;
+            }
+        } else {
+            let op = dc_operating_point(circuit)?;
+            x.copy_from_slice(op.raw());
+            v_prev = caps
+                .iter()
+                .map(|c| op.voltage(c.a) - op.voltage(c.b))
+                .collect();
+            il_prev = inds
+                .iter()
+                .map(|l| op.raw()[layout.branch_row(l.branch)])
+                .collect();
+            vl_prev = vec![0.0; inds.len()]; // DC: zero volts across L
+        }
+        let mut i_prev = vec![0.0; caps.len()];
+
+        let opts = NewtonOpts {
+            max_iter: self.max_iter,
+            ..NewtonOpts::default()
+        };
+        let mut mat = DenseMatrix::zeros(n);
+        let mut work = Vec::with_capacity(n);
+        let mut companions = vec![CapCompanion::default(); caps.len()];
+        let mut ind_companions = vec![IndCompanion::default(); inds.len()];
+
+        let steps = (self.t_stop / self.dt).round().max(1.0) as usize;
+        let recorded = steps / self.record_every + 2;
+        let mut times = Vec::with_capacity(recorded);
+        let mut signals: Vec<Vec<f64>> = (0..n).map(|_| Vec::with_capacity(recorded)).collect();
+
+        let record = |t: f64, x: &[f64], times: &mut Vec<f64>, signals: &mut [Vec<f64>]| {
+            times.push(t);
+            for (sig, &val) in signals.iter_mut().zip(x) {
+                sig.push(val);
+            }
+        };
+        record(0.0, &x, &mut times, &mut signals);
+
+        let v_of = |x: &[f64], node: NodeId| -> f64 {
+            match layout.node_row(node) {
+                None => 0.0,
+                Some(r) => x[r],
+            }
+        };
+
+        // One implicit step of size `h` from the current state at time
+        // `t_now` to `t_now + h`, updating x and the reactive states.
+        let mut take_step = |t_new: f64,
+                             h: f64,
+                             be: bool,
+                             x: &mut Vec<f64>,
+                             v_prev: &mut [f64],
+                             i_prev: &mut [f64],
+                             il_prev: &mut [f64],
+                             vl_prev: &mut [f64]|
+         -> Result<(), Error> {
+            for (k, c) in caps.iter().enumerate() {
+                let (geq, ieq) = if be {
+                    let geq = c.farads / h;
+                    (geq, geq * v_prev[k])
+                } else {
+                    let geq = 2.0 * c.farads / h;
+                    (geq, geq * v_prev[k] + i_prev[k])
+                };
+                companions[k] = CapCompanion { geq, ieq };
+            }
+            for (k, l) in inds.iter().enumerate() {
+                let (geq, ieq) = if be {
+                    let geq = h / l.henries;
+                    (geq, il_prev[k])
+                } else {
+                    let geq = 0.5 * h / l.henries;
+                    (geq, il_prev[k] + geq * vl_prev[k])
+                };
+                ind_companions[k] = IndCompanion { geq, ieq };
+            }
+            let ctx = SolveContext {
+                time: t_new,
+                source_scale: 1.0,
+                caps: Some(&companions),
+                inds: Some(&ind_companions),
+                gshunt: 0.0,
+            };
+            solve_newton(
+                circuit,
+                &layout,
+                x,
+                ctx,
+                &opts,
+                "transient",
+                &mut mat,
+                &mut work,
+            )?;
+            for (k, c) in caps.iter().enumerate() {
+                let v_new = v_of(x, c.a) - v_of(x, c.b);
+                i_prev[k] = companions[k].geq * v_new - companions[k].ieq;
+                v_prev[k] = v_new;
+            }
+            for (k, l) in inds.iter().enumerate() {
+                il_prev[k] = x[layout.branch_row(l.branch)];
+                vl_prev[k] = v_of(x, l.a) - v_of(x, l.b);
+            }
+            Ok(())
+        };
+
+        if let Some(cfg) = self.adaptive {
+            // ---- adaptive stepping ---------------------------------
+            let max_dt = self.dt;
+            let min_dt = if cfg.min_dt > 0.0 {
+                cfg.min_dt
+            } else {
+                max_dt * 1e-6
+            };
+            // Breakpoint lookup across all independent sources.
+            let waveforms: Vec<&crate::waveform::Waveform> = circuit
+                .elements()
+                .filter_map(|(_, _, e)| match e {
+                    Element::VoltageSource { waveform, .. }
+                    | Element::CurrentSource { waveform, .. } => Some(waveform),
+                    _ => None,
+                })
+                .collect();
+            let next_bp = |t: f64| -> Option<f64> {
+                waveforms
+                    .iter()
+                    .filter_map(|w| w.next_breakpoint(t))
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"))
+            };
+
+            let mut t_now = 0.0f64;
+            // Start two decades below the ceiling: the error controller
+            // has no history yet, so the first accepted step is blind.
+            let mut h = (max_dt / 100.0).max(min_dt);
+            let mut first = true;
+            // Slope history for the predictor.
+            let mut x_prev = x.clone();
+            let mut h_last = 0.0f64;
+            while t_now < self.t_stop - 1e-18 * self.t_stop.max(1.0) {
+                let mut h_try = h.min(self.t_stop - t_now).max(min_dt * 1e-3);
+                if let Some(bp) = next_bp(t_now) {
+                    if bp < t_now + h_try {
+                        h_try = (bp - t_now).max(min_dt * 1e-3);
+                    }
+                }
+                // Save state for possible rejection.
+                let x_save = x.clone();
+                let vp_save = v_prev.clone();
+                let ip_save = i_prev.clone();
+                let ilp_save = il_prev.clone();
+                let vlp_save = vl_prev.clone();
+
+                let be = matches!(self.method, IntegrationMethod::BackwardEuler) || first;
+                let t_new = t_now + h_try;
+                take_step(
+                    t_new,
+                    h_try,
+                    be,
+                    &mut x,
+                    &mut v_prev,
+                    &mut i_prev,
+                    &mut il_prev,
+                    &mut vl_prev,
+                )?;
+
+                // LTE estimate: discrepancy against the linear predictor
+                // x_pred = x_prev + slope·h. Only meaningful with history
+                // and away from breakpoints just crossed.
+                let mut err = 0.0f64;
+                if !first && h_last > 0.0 {
+                    for r in 0..node_rows {
+                        let slope = (x_save[r] - x_prev[r]) / h_last;
+                        let pred = x_save[r] + slope * h_try;
+                        let scale = 1.0 + x[r].abs();
+                        err = err.max((x[r] - pred).abs() / scale);
+                    }
+                }
+
+                if !first && err > cfg.tolerance && h_try > min_dt {
+                    // Reject: restore and halve.
+                    x = x_save;
+                    v_prev = vp_save;
+                    i_prev = ip_save;
+                    il_prev = ilp_save;
+                    vl_prev = vlp_save;
+                    h = (h_try * 0.5).max(min_dt);
+                    continue;
+                }
+
+                // Accept.
+                x_prev = x_save;
+                h_last = h_try;
+                t_now = t_new;
+                first = false;
+                record(t_now, &x, &mut times, &mut signals);
+                h = if err < cfg.tolerance * 0.25 {
+                    (h_try * 1.5).min(max_dt)
+                } else {
+                    h_try.min(max_dt)
+                };
+            }
+        } else {
+            // ---- fixed stepping ------------------------------------
+            for step in 1..=steps {
+                let t = step as f64 * self.dt;
+                let be = matches!(self.method, IntegrationMethod::BackwardEuler) || step == 1;
+                take_step(
+                    t,
+                    self.dt,
+                    be,
+                    &mut x,
+                    &mut v_prev,
+                    &mut i_prev,
+                    &mut il_prev,
+                    &mut vl_prev,
+                )?;
+                if step % self.record_every == 0 || step == steps {
+                    record(t, &x, &mut times, &mut signals);
+                }
+            }
+        }
+
+        let ground = vec![0.0; times.len()];
+        Ok(TransientResult {
+            times,
+            signals,
+            ground,
+            node_rows,
+            n_nodes: layout.n_nodes,
+            sources,
+            branch_elements,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SourceInfo {
+    element: usize,
+    pos: NodeId,
+    neg: NodeId,
+    branch: usize,
+}
+
+/// Recorded waveforms of a transient analysis.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    signals: Vec<Vec<f64>>,
+    ground: Vec<f64>,
+    node_rows: usize,
+    n_nodes: usize,
+    sources: Vec<SourceInfo>,
+    /// `(element index, branch index)` for every branch-current element
+    /// (voltage sources and inductors).
+    branch_elements: Vec<(usize, usize)>,
+}
+
+impl TransientResult {
+    /// Recorded sample times.
+    pub fn time(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Voltage waveform of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the analysed circuit.
+    pub fn voltage(&self, node: NodeId) -> Trace<'_> {
+        let i = node.index();
+        assert!(i < self.n_nodes, "node {node} out of range");
+        if i == 0 {
+            Trace::new(&self.times, &self.ground)
+        } else {
+            Trace::new(&self.times, &self.signals[i - 1])
+        }
+    }
+
+    /// Differential voltage waveform `v(a) - v(b)` as owned data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not belong to the analysed circuit.
+    pub fn voltage_between(&self, a: NodeId, b: NodeId) -> TraceData {
+        let va = self.voltage(a);
+        let vb = self.voltage(b);
+        let v = va
+            .values()
+            .iter()
+            .zip(vb.values())
+            .map(|(x, y)| x - y)
+            .collect();
+        TraceData::new(self.times.clone(), v)
+    }
+
+    /// Branch-current waveform of a voltage source or inductor. For a
+    /// voltage source, positive current flows into the `pos` terminal
+    /// (SPICE convention); for an inductor, positive current flows from
+    /// terminal `a` to terminal `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownProbe`] if the element carries no branch
+    /// current (resistor, capacitor, ...).
+    pub fn branch_current(&self, element: ElementId) -> Result<Trace<'_>, Error> {
+        let (_, branch) = self
+            .branch_elements
+            .iter()
+            .find(|(e, _)| *e == element.index())
+            .ok_or_else(|| Error::UnknownProbe {
+                what: format!("branch current of {element}"),
+            })?;
+        Ok(Trace::new(
+            &self.times,
+            &self.signals[self.node_rows + branch],
+        ))
+    }
+
+    /// Instantaneous power *delivered by* a voltage source:
+    /// `(v_pos − v_neg) · (−i_branch)`. Positive for a supply feeding the
+    /// circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownProbe`] if the element is not a voltage
+    /// source of the analysed circuit.
+    pub fn source_power(&self, element: ElementId) -> Result<TraceData, Error> {
+        let info = self
+            .sources
+            .iter()
+            .find(|s| s.element == element.index())
+            .ok_or_else(|| Error::UnknownProbe {
+                what: format!("source power of {element}"),
+            })?;
+        let vp = self.voltage(info.pos);
+        let vn = self.voltage(info.neg);
+        let ib = &self.signals[self.node_rows + info.branch];
+        let p = vp
+            .values()
+            .iter()
+            .zip(vn.values())
+            .zip(ib)
+            .map(|((vp, vn), i)| (vp - vn) * (-i))
+            .collect();
+        Ok(TraceData::new(self.times.clone(), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::MosParams;
+    use crate::waveform::Waveform;
+
+    /// RC step response: v(t) = V·(1 − e^(−t/τ)).
+    #[test]
+    fn rc_charge_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
+        ckt.resistor("R1", vin, out, 1e3);
+        ckt.capacitor("C1", out, Circuit::GND, 1e-6);
+        let result = Transient::new(1e-6, 5e-3)
+            .use_initial_conditions()
+            .run(&ckt)
+            .unwrap();
+        let v = result.voltage(out);
+        let tau = 1e-3;
+        for &t in &[0.5e-3, 1e-3, 2e-3, 4e-3_f64] {
+            let expect = 1.0 - (-t / tau).exp();
+            let got = v.value_at(t);
+            assert!(
+                (got - expect).abs() < 2e-3,
+                "t={t}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
+            ckt.resistor("R1", vin, out, 1e3);
+            ckt.capacitor("C1", out, Circuit::GND, 1e-6);
+            (ckt, out)
+        };
+        let tau = 1e-3;
+        let expect = 1.0 - (-1.0f64).exp(); // at t = tau
+        let (ckt, out) = build();
+        // Deliberately coarse step to expose truncation error.
+        let be = Transient::new(50e-6, 1e-3)
+            .use_initial_conditions()
+            .with_method(IntegrationMethod::BackwardEuler)
+            .run(&ckt)
+            .unwrap();
+        let (ckt2, out2) = build();
+        let tr = Transient::new(50e-6, 1e-3)
+            .use_initial_conditions()
+            .with_method(IntegrationMethod::Trapezoidal)
+            .run(&ckt2)
+            .unwrap();
+        let err_be = (be.voltage(out).value_at(tau) - expect).abs();
+        let err_tr = (tr.voltage(out2).value_at(tau) - expect).abs();
+        assert!(
+            err_tr < err_be,
+            "trap err {err_tr} should beat BE err {err_be}"
+        );
+    }
+
+    #[test]
+    fn capacitor_initial_condition_is_honoured() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.resistor("R1", out, Circuit::GND, 1e3);
+        ckt.capacitor_with_ic("C1", out, Circuit::GND, 1e-6, 2.0);
+        let result = Transient::new(1e-6, 1e-3)
+            .use_initial_conditions()
+            .run(&ckt)
+            .unwrap();
+        let v = result.voltage(out);
+        // Discharges from 2 V: v(τ) = 2/e.
+        let got = v.value_at(1e-3);
+        let expect = 2.0 * (-1.0f64).exp();
+        assert!((got - expect).abs() < 5e-3, "got {got}, expected {expect}");
+    }
+
+    #[test]
+    fn starts_from_dc_operating_point_by_default() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(2.0));
+        ckt.resistor("R1", a, b, 1e3);
+        ckt.resistor("R2", b, Circuit::GND, 1e3);
+        ckt.capacitor("C1", b, Circuit::GND, 1e-9);
+        let result = Transient::new(1e-9, 100e-9).run(&ckt).unwrap();
+        let v = result.voltage(b);
+        // Already at equilibrium: stays at 1 V throughout.
+        assert!((v.value_at(0.0) - 1.0).abs() < 1e-6);
+        assert!((v.last_value() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pwm_average_on_rc_filter() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GND, Waveform::pwm(2.0, 1e6, 0.3));
+        ckt.resistor("R1", vin, out, 10e3);
+        ckt.capacitor("C1", out, Circuit::GND, 1e-9);
+        let result = Transient::new(2e-9, 100e-6)
+            .use_initial_conditions()
+            .record_every(5)
+            .run(&ckt)
+            .unwrap();
+        let avg = result.voltage(out).steady_state_average(1e-6, 10);
+        assert!((avg - 0.6).abs() < 0.02, "avg = {avg}");
+    }
+
+    #[test]
+    fn energy_balance_of_rc_charge() {
+        // Charging a capacitor through a resistor takes C·V² from the
+        // source: ½CV² stored, ½CV² dissipated.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let v1 = ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(2.0));
+        ckt.resistor("R1", vin, out, 1e3);
+        ckt.capacitor("C1", out, Circuit::GND, 1e-6);
+        let result = Transient::new(2e-6, 10e-3)
+            .use_initial_conditions()
+            .run(&ckt)
+            .unwrap();
+        let p = result.source_power(v1).unwrap();
+        let e = p.as_trace().integrate_between(0.0, 10e-3);
+        let expect = 1e-6 * 2.0 * 2.0; // C·V²
+        assert!(
+            (e - expect).abs() / expect < 0.02,
+            "energy {e} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn cmos_inverter_inverts_a_slow_square_wave() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+        ckt.vsource("VIN", vin, Circuit::GND, Waveform::pwm(2.5, 1e6, 0.5));
+        ckt.mosfet("MP", out, vin, vdd, MosParams::pmos(865e-9, 1.2e-6));
+        ckt.mosfet(
+            "MN",
+            out,
+            vin,
+            Circuit::GND,
+            MosParams::nmos(320e-9, 1.2e-6),
+        );
+        ckt.capacitor("CL", out, Circuit::GND, 10e-15);
+        let result = Transient::new(2e-9, 3e-6)
+            .use_initial_conditions()
+            .run(&ckt)
+            .unwrap();
+        let v_in = result.voltage(vin);
+        let v_out = result.voltage(out);
+        // Probe mid-high and mid-low phases of the final cycle.
+        let t_hi = 2.25e-6; // input high
+        let t_lo = 2.75e-6; // input low
+        assert!(v_in.value_at(t_hi) > 2.0);
+        assert!(v_out.value_at(t_hi) < 0.3, "out = {}", v_out.value_at(t_hi));
+        assert!(v_in.value_at(t_lo) < 0.5);
+        assert!(v_out.value_at(t_lo) > 2.2, "out = {}", v_out.value_at(t_lo));
+    }
+
+    #[test]
+    fn record_decimation_reduces_samples() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        ckt.resistor("R1", a, Circuit::GND, 1e3);
+        let fine = Transient::new(1e-9, 1e-6).run(&ckt).unwrap();
+        let coarse = Transient::new(1e-9, 1e-6)
+            .record_every(10)
+            .run(&ckt)
+            .unwrap();
+        assert!(coarse.samples() < fine.samples() / 5);
+        // Final point always recorded.
+        assert!((coarse.time().last().unwrap() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_current_probe_errors_on_non_source() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        let r = ckt.resistor("R1", a, Circuit::GND, 1e3);
+        let result = Transient::new(1e-9, 10e-9).run(&ckt).unwrap();
+        assert!(result.branch_current(r).is_err());
+        assert!(result.source_power(r).is_err());
+    }
+
+    #[test]
+    fn voltage_between_is_differential() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
+        ckt.resistor("R1", a, b, 1e3);
+        ckt.resistor("R2", b, Circuit::GND, 2e3);
+        let result = Transient::new(1e-9, 10e-9).run(&ckt).unwrap();
+        let vab = result.voltage_between(a, b);
+        assert!((vab.as_trace().last_value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics() {
+        let _ = Transient::new(0.0, 1.0);
+    }
+
+    /// Adaptive stepping reproduces the RC charge with far fewer points
+    /// than the fixed grid needs for the same accuracy.
+    #[test]
+    fn adaptive_rc_charge_is_accurate_and_cheap() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
+            ckt.resistor("R1", vin, out, 1e3);
+            ckt.capacitor("C1", out, Circuit::GND, 1e-6);
+            (ckt, out)
+        };
+        let tau = 1e-3;
+        let (ckt, out) = build();
+        let result = Transient::new(tau / 2.0, 10.0 * tau) // max step τ/2
+            .use_initial_conditions()
+            .adaptive(AdaptiveConfig::default())
+            .run(&ckt)
+            .unwrap();
+        let v = result.voltage(out);
+        for &t in &[0.5 * tau, tau, 3.0 * tau] {
+            let expect = 1.0 - f64::exp(-t / tau);
+            assert!(
+                (v.value_at(t) - expect).abs() < 5e-3,
+                "t={t}: {} vs {expect}",
+                v.value_at(t)
+            );
+        }
+        // A fixed grid resolving the initial transient this well needs
+        // hundreds of points; the controller should do it in far fewer.
+        assert!(
+            result.samples() < 120,
+            "adaptive used {} samples",
+            result.samples()
+        );
+        // Steps should grow once the exponential flattens.
+        let t = result.time();
+        let first_step = t[1] - t[0];
+        let last_step = t[t.len() - 1] - t[t.len() - 2];
+        assert!(
+            last_step > 3.0 * first_step,
+            "controller should stretch: {first_step:e} → {last_step:e}"
+        );
+    }
+
+    /// Breakpoint handling: a pulse far narrower than the maximum step
+    /// must not be skipped.
+    #[test]
+    fn adaptive_does_not_skip_narrow_pulses() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        // 1 µs-wide pulse at t = 50 µs inside a 200 µs window.
+        ckt.vsource(
+            "V1",
+            vin,
+            Circuit::GND,
+            Waveform::Pulse(crate::waveform::Pulse {
+                low: 0.0,
+                high: 1.0,
+                delay: 50e-6,
+                rise: 1e-8,
+                fall: 1e-8,
+                width: 1e-6,
+                period: 1.0, // effectively one-shot in this window
+            }),
+        );
+        ckt.resistor("R1", vin, out, 1e3);
+        ckt.capacitor("C1", out, Circuit::GND, 1e-10); // τ = 100 ns
+        let result = Transient::new(20e-6, 200e-6) // max step ≫ pulse width
+            .use_initial_conditions()
+            .adaptive(AdaptiveConfig::default())
+            .run(&ckt)
+            .unwrap();
+        let v = result.voltage(out);
+        // The capacitor must have charged during the pulse.
+        assert!(v.max() > 0.9, "pulse was skipped: max = {}", v.max());
+        // And discharged afterwards.
+        assert!(v.last_value() < 0.05);
+    }
+
+    /// Adaptive PWM averaging matches the fixed-step reference.
+    #[test]
+    fn adaptive_pwm_average_matches_fixed() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.vsource("V1", vin, Circuit::GND, Waveform::pwm(2.0, 1e6, 0.3));
+            ckt.resistor("R1", vin, out, 10e3);
+            ckt.capacitor("C1", out, Circuit::GND, 1e-9);
+            (ckt, out)
+        };
+        let (ckt, out) = build();
+        let adaptive = Transient::new(0.5e-6, 100e-6)
+            .use_initial_conditions()
+            .adaptive(AdaptiveConfig::default())
+            .run(&ckt)
+            .unwrap();
+        let avg = adaptive.voltage(out).steady_state_average(1e-6, 10);
+        assert!((avg - 0.6).abs() < 0.03, "avg = {avg}");
+    }
+
+    /// RL step response: i(t) = (V/R)·(1 − e^(−t·R/L)).
+    #[test]
+    fn rl_current_rise_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
+        ckt.resistor("R1", vin, mid, 100.0);
+        let l1 = ckt.inductor("L1", mid, Circuit::GND, 1e-3); // τ = 10 µs
+        let result = Transient::new(20e-9, 50e-6)
+            .use_initial_conditions()
+            .run(&ckt)
+            .unwrap();
+        let i = result.branch_current(l1).unwrap();
+        let tau = 1e-3 / 100.0;
+        for &t in &[0.5 * tau, tau, 3.0 * tau] {
+            let expect = (1.0 / 100.0) * (1.0 - f64::exp(-t / tau));
+            let got = i.value_at(t);
+            assert!(
+                (got - expect).abs() < 2e-4,
+                "t={t}: i={got}, expected {expect}"
+            );
+        }
+        // Fully risen at 5τ.
+        assert!((i.last_value() - 0.01).abs() < 1e-4);
+    }
+
+    /// Inductor is a DC short: the operating point puts the full supply
+    /// across the resistor.
+    #[test]
+    fn inductor_is_short_in_dc_derived_initial_condition() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(2.0));
+        ckt.resistor("R1", vin, mid, 1e3);
+        let l1 = ckt.inductor("L1", mid, Circuit::GND, 1e-3);
+        // No UIC: start from the DC OP, where i(L) = 2 mA already.
+        let result = Transient::new(1e-7, 1e-5).run(&ckt).unwrap();
+        let i = result.branch_current(l1).unwrap();
+        assert!((i.value_at(0.0) - 2e-3).abs() < 1e-8);
+        assert!((i.last_value() - 2e-3).abs() < 1e-8, "steady state holds");
+    }
+
+    /// Series RLC ringing: underdamped response oscillates near the
+    /// natural frequency and decays at R/(2L).
+    #[test]
+    fn rlc_underdamped_oscillation() {
+        let r = 10.0;
+        let l = 1e-6;
+        let c = 1e-9;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
+        ckt.resistor("R1", vin, mid, r);
+        ckt.inductor("L1", mid, out, l);
+        ckt.capacitor("C1", out, Circuit::GND, c);
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt()); // ≈ 5 MHz
+        let period = 1.0 / f0;
+        let result = Transient::new(period / 400.0, 6.0 * period)
+            .use_initial_conditions()
+            .run(&ckt)
+            .unwrap();
+        let v = result.voltage(out);
+        // Underdamped: overshoot beyond the final value.
+        let peak = v.max();
+        assert!(peak > 1.3, "expected ringing overshoot, peak = {peak}");
+        // First peak lands near half the natural period.
+        let t_half = period / 2.0;
+        let v_half = v.value_at(t_half);
+        assert!(v_half > 1.3, "v({t_half}) = {v_half}");
+        // Decays toward 1 V.
+        assert!((v.last_value() - 1.0).abs() < 0.25);
+    }
+}

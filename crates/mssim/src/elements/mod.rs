@@ -1,0 +1,192 @@
+//! Circuit elements and device models.
+//!
+//! Elements are stored in the [`crate::Circuit`] netlist as the [`Element`]
+//! enum. The analysis engine pattern-matches on the variants to stamp the
+//! MNA system; the main nonlinear device is the level-1
+//! [`Element::Mosfet`] (see [`mosfet`] for the model equations).
+
+pub mod mosfet;
+
+pub use mosfet::{MosOperatingPoint, MosParams, MosPolarity, MosRegion};
+
+use crate::netlist::NodeId;
+use crate::waveform::Waveform;
+
+/// A netlist element.
+///
+/// Node order conventions follow SPICE: two-terminal elements list the
+/// positive terminal first; the MOSFET lists drain, gate, source.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms; must be positive and finite.
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// First (positive) terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads; must be positive and finite.
+        farads: f64,
+        /// Initial voltage `v(a) - v(b)` used when the transient starts
+        /// from initial conditions instead of a DC operating point.
+        initial_voltage: f64,
+    },
+    /// Linear inductor between `a` and `b`.
+    Inductor {
+        /// First (positive) terminal; positive current flows `a → b`.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance in henries; must be positive and finite.
+        henries: f64,
+        /// Initial current `a → b` used when the transient starts from
+        /// initial conditions.
+        initial_current: f64,
+    },
+    /// Independent voltage source; drives `v(pos) - v(neg)` to the waveform
+    /// value. Its branch current is an extra MNA unknown; positive branch
+    /// current flows into the `pos` terminal (SPICE convention), so a
+    /// supply delivering power has a negative branch current.
+    VoltageSource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source value over time.
+        waveform: Waveform,
+    },
+    /// Independent current source; injects the waveform current into `to`
+    /// and removes it from `from`.
+    CurrentSource {
+        /// Terminal the current is drawn from.
+        from: NodeId,
+        /// Terminal the current is injected into.
+        to: NodeId,
+        /// Source value over time.
+        waveform: Waveform,
+    },
+    /// Level-1 (Shichman–Hodges) MOSFET. Bulk is tied to the source
+    /// (no body effect).
+    Mosfet {
+        /// Drain terminal.
+        d: NodeId,
+        /// Gate terminal.
+        g: NodeId,
+        /// Source terminal.
+        s: NodeId,
+        /// Model parameters (polarity, threshold, transconductance, sizing).
+        params: MosParams,
+    },
+    /// Ideal voltage-controlled switch: `r_on` between `a` and `b` when
+    /// `v(ctrl_pos) - v(ctrl_neg) > threshold`, else `r_off`.
+    Switch {
+        /// First switched terminal.
+        a: NodeId,
+        /// Second switched terminal.
+        b: NodeId,
+        /// Positive control terminal.
+        ctrl_pos: NodeId,
+        /// Negative control terminal.
+        ctrl_neg: NodeId,
+        /// Control threshold in volts.
+        threshold: f64,
+        /// On resistance in ohms.
+        r_on: f64,
+        /// Off resistance in ohms.
+        r_off: f64,
+    },
+    /// Junction diode with ideal exponential law, anode `a`, cathode `k`.
+    Diode {
+        /// Anode.
+        a: NodeId,
+        /// Cathode.
+        k: NodeId,
+        /// Saturation current in amperes.
+        i_sat: f64,
+        /// Emission coefficient (ideality factor).
+        n: f64,
+    },
+}
+
+impl Element {
+    /// Nodes this element connects to (for connectivity checking).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match *self {
+            Element::Resistor { a, b, .. }
+            | Element::Capacitor { a, b, .. }
+            | Element::Inductor { a, b, .. } => vec![a, b],
+            Element::VoltageSource { pos, neg, .. } => vec![pos, neg],
+            Element::CurrentSource { from, to, .. } => vec![from, to],
+            Element::Mosfet { d, g, s, .. } => vec![d, g, s],
+            Element::Switch {
+                a,
+                b,
+                ctrl_pos,
+                ctrl_neg,
+                ..
+            } => vec![a, b, ctrl_pos, ctrl_neg],
+            Element::Diode { a, k, .. } => vec![a, k],
+        }
+    }
+
+    /// `true` if the element requires Newton iteration (is nonlinear).
+    /// The voltage-controlled switch counts as nonlinear because its
+    /// conductance depends on the solution vector.
+    pub fn is_nonlinear(&self) -> bool {
+        matches!(
+            self,
+            Element::Mosfet { .. } | Element::Diode { .. } | Element::Switch { .. }
+        )
+    }
+
+    /// `true` if the element introduces an MNA branch-current unknown
+    /// (voltage sources and inductors).
+    pub fn has_branch_current(&self) -> bool {
+        matches!(
+            self,
+            Element::VoltageSource { .. } | Element::Inductor { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_nodes() {
+        let r = Element::Resistor {
+            a: NodeId(1),
+            b: NodeId(2),
+            ohms: 1e3,
+        };
+        assert_eq!(r.nodes(), vec![NodeId(1), NodeId(2)]);
+        assert!(!r.is_nonlinear());
+        assert!(!r.has_branch_current());
+
+        let m = Element::Mosfet {
+            d: NodeId(3),
+            g: NodeId(4),
+            s: NodeId(0),
+            params: MosParams::nmos(320e-9, 1.2e-6),
+        };
+        assert_eq!(m.nodes().len(), 3);
+        assert!(m.is_nonlinear());
+
+        let v = Element::VoltageSource {
+            pos: NodeId(1),
+            neg: NodeId(0),
+            waveform: Waveform::dc(2.5),
+        };
+        assert!(v.has_branch_current());
+    }
+}

@@ -1,0 +1,436 @@
+//! Level-1 (Shichman–Hodges) MOSFET model.
+//!
+//! The paper's devices are drawn at L = 1.2 µm in a 65 nm process — 18×
+//! the minimum length — which places them firmly in the long-channel
+//! regime where the square-law level-1 model is the appropriate physical
+//! description. The model implemented here supports both polarities,
+//! drain/source swapping (the device is symmetric), channel-length
+//! modulation, and returns the full derivative set needed for
+//! Newton–Raphson linearisation.
+//!
+//! Region equations for an NMOS with `vds >= 0`, `beta = kp·W/L`:
+//!
+//! * cutoff (`vgs <= vth`):    `ids = 0`
+//! * triode (`vds < vgs−vth`): `ids = beta·((vgs−vth)·vds − vds²/2)·(1+λ·vds)`
+//! * saturation:               `ids = beta/2·(vgs−vth)²·(1+λ·vds)`
+//!
+//! PMOS devices are evaluated by negating all terminal voltages and the
+//! resulting current, which preserves the derivative signs required by the
+//! MNA stamps.
+
+use std::fmt;
+
+/// MOSFET channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+impl fmt::Display for MosPolarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MosPolarity::Nmos => write!(f, "nmos"),
+            MosPolarity::Pmos => write!(f, "pmos"),
+        }
+    }
+}
+
+/// Operating region of the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosRegion {
+    /// `|vgs| <= |vth|`: channel off.
+    Cutoff,
+    /// `|vds| < |vgs − vth|`: resistive region.
+    Triode,
+    /// `|vds| >= |vgs − vth|`: current-source region.
+    Saturation,
+}
+
+impl fmt::Display for MosRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MosRegion::Cutoff => write!(f, "cutoff"),
+            MosRegion::Triode => write!(f, "triode"),
+            MosRegion::Saturation => write!(f, "saturation"),
+        }
+    }
+}
+
+/// Level-1 model parameters.
+///
+/// The default transconductance and threshold values are representative of
+/// a long-channel device in a 65 nm bulk process operated at the paper's
+/// 2.5 V I/O supply; see `pwmcell::Technology` for the paper-calibrated
+/// technology wrapper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Channel polarity.
+    pub polarity: MosPolarity,
+    /// Drawn channel width in meters.
+    pub w: f64,
+    /// Drawn channel length in meters.
+    pub l: f64,
+    /// Zero-bias threshold voltage magnitude in volts (positive for both
+    /// polarities).
+    pub vth0: f64,
+    /// Process transconductance `µ·Cox` in A/V².
+    pub kp: f64,
+    /// Channel-length modulation in 1/V.
+    pub lambda: f64,
+}
+
+impl MosParams {
+    /// Default NMOS process transconductance (A/V²).
+    pub const KP_N: f64 = 200e-6;
+    /// Default PMOS process transconductance (A/V²).
+    pub const KP_P: f64 = 80e-6;
+    /// Default threshold magnitude (V).
+    pub const VTH0: f64 = 0.45;
+    /// Default channel-length modulation (1/V) for long-channel devices.
+    pub const LAMBDA: f64 = 0.02;
+
+    /// NMOS with default long-channel parameters and the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is not strictly positive.
+    pub fn nmos(w: f64, l: f64) -> Self {
+        assert!(w > 0.0 && l > 0.0, "mosfet geometry must be positive");
+        MosParams {
+            polarity: MosPolarity::Nmos,
+            w,
+            l,
+            vth0: Self::VTH0,
+            kp: Self::KP_N,
+            lambda: Self::LAMBDA,
+        }
+    }
+
+    /// PMOS with default long-channel parameters and the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is not strictly positive.
+    pub fn pmos(w: f64, l: f64) -> Self {
+        assert!(w > 0.0 && l > 0.0, "mosfet geometry must be positive");
+        MosParams {
+            polarity: MosPolarity::Pmos,
+            w,
+            l,
+            vth0: Self::VTH0,
+            kp: Self::KP_P,
+            lambda: Self::LAMBDA,
+        }
+    }
+
+    /// Returns a copy with the threshold voltage magnitude replaced.
+    pub fn with_vth0(mut self, vth0: f64) -> Self {
+        self.vth0 = vth0;
+        self
+    }
+
+    /// Returns a copy with the process transconductance replaced.
+    pub fn with_kp(mut self, kp: f64) -> Self {
+        self.kp = kp;
+        self
+    }
+
+    /// Returns a copy with channel-length modulation replaced.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Returns a copy with the width scaled by `factor` (used for the ×2 and
+    /// ×4 weight-bit cells of the paper's adder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled_width(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "width scale factor must be positive");
+        self.w *= factor;
+        self
+    }
+
+    /// Gain factor `beta = kp·W/L` in A/V².
+    pub fn beta(&self) -> f64 {
+        self.kp * self.w / self.l
+    }
+
+    /// Approximate on-resistance in deep triode at the given gate drive
+    /// `|vgs|` (volts), i.e. `1 / (beta·(|vgs| − vth))`.
+    ///
+    /// Returns `f64::INFINITY` if the device would be off.
+    pub fn r_on(&self, vgs_mag: f64) -> f64 {
+        let vov = vgs_mag - self.vth0;
+        if vov <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (self.beta() * vov)
+        }
+    }
+
+    /// Evaluates the drain current and its derivatives with respect to the
+    /// three terminal voltages.
+    ///
+    /// `vd`, `vg`, `vs` are absolute node voltages. The returned
+    /// [`MosOperatingPoint`] reports `id` as the current flowing *into the
+    /// drain terminal* (and out of the source), which is negative for a
+    /// conducting PMOS pulling its drain up.
+    pub fn evaluate(&self, vd: f64, vg: f64, vs: f64) -> MosOperatingPoint {
+        match self.polarity {
+            MosPolarity::Nmos => self.evaluate_n(vd, vg, vs),
+            MosPolarity::Pmos => {
+                // PMOS = NMOS with all voltages and the current negated.
+                let op = self.evaluate_n(-vd, -vg, -vs);
+                MosOperatingPoint {
+                    id: -op.id,
+                    // d(-f(-v))/dv = f'(-v): derivative signs are preserved.
+                    gdd: op.gdd,
+                    gdg: op.gdg,
+                    gds_node: op.gds_node,
+                    region: op.region,
+                }
+            }
+        }
+    }
+
+    /// NMOS evaluation with drain/source swap for `vds < 0`.
+    fn evaluate_n(&self, vd: f64, vg: f64, vs: f64) -> MosOperatingPoint {
+        if vd >= vs {
+            let (ids, gm, gds, region) = self.channel_current(vg - vs, vd - vs);
+            // id = f(vgs, vds): did/dvd = gds, did/dvg = gm,
+            // did/dvs = -gm - gds.
+            MosOperatingPoint {
+                id: ids,
+                gdd: gds,
+                gdg: gm,
+                gds_node: -gm - gds,
+                region,
+            }
+        } else {
+            // Reverse mode: the physical source is the drain terminal.
+            let (ids_r, gm_r, gds_r, region) = self.channel_current(vg - vd, vs - vd);
+            // id = -f(vg - vd, vs - vd):
+            // did/dvd = gm_r + gds_r, did/dvg = -gm_r, did/dvs = -gds_r.
+            MosOperatingPoint {
+                id: -ids_r,
+                gdd: gm_r + gds_r,
+                gdg: -gm_r,
+                gds_node: -gds_r,
+                region,
+            }
+        }
+    }
+
+    /// Square-law channel current for `vds >= 0`; returns
+    /// `(ids, gm, gds, region)`.
+    fn channel_current(&self, vgs: f64, vds: f64) -> (f64, f64, f64, MosRegion) {
+        debug_assert!(vds >= 0.0);
+        let beta = self.beta();
+        let vov = vgs - self.vth0;
+        if vov <= 0.0 {
+            return (0.0, 0.0, 0.0, MosRegion::Cutoff);
+        }
+        let clm = 1.0 + self.lambda * vds;
+        if vds < vov {
+            // Triode.
+            let core = vov * vds - 0.5 * vds * vds;
+            let ids = beta * core * clm;
+            let gm = beta * vds * clm;
+            let gds = beta * ((vov - vds) * clm + core * self.lambda);
+            (ids, gm, gds, MosRegion::Triode)
+        } else {
+            // Saturation.
+            let core = 0.5 * vov * vov;
+            let ids = beta * core * clm;
+            let gm = beta * vov * clm;
+            let gds = beta * core * self.lambda;
+            (ids, gm, gds, MosRegion::Saturation)
+        }
+    }
+}
+
+/// Linearised operating point of a MOSFET: the drain current and its
+/// partial derivatives with respect to the drain, gate and source node
+/// voltages. Gate current is identically zero in the level-1 model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosOperatingPoint {
+    /// Drain terminal current in amperes (into the drain, out of the
+    /// source).
+    pub id: f64,
+    /// `∂id/∂vd` in siemens.
+    pub gdd: f64,
+    /// `∂id/∂vg` in siemens.
+    pub gdg: f64,
+    /// `∂id/∂vs` in siemens.
+    pub gds_node: f64,
+    /// Operating region of the channel.
+    pub region: MosRegion,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosParams {
+        MosParams::nmos(320e-9, 1.2e-6)
+    }
+
+    fn pmos() -> MosParams {
+        MosParams::pmos(865e-9, 1.2e-6)
+    }
+
+    #[test]
+    fn cutoff_has_zero_current() {
+        let op = nmos().evaluate(1.0, 0.2, 0.0);
+        assert_eq!(op.region, MosRegion::Cutoff);
+        assert_eq!(op.id, 0.0);
+        assert_eq!(op.gdg, 0.0);
+    }
+
+    #[test]
+    fn region_classification() {
+        let m = nmos();
+        // vgs = 2.5, vth = 0.45 → vov = 2.05. vds = 0.1 → triode.
+        assert_eq!(m.evaluate(0.1, 2.5, 0.0).region, MosRegion::Triode);
+        // vds = 2.5 > vov → saturation.
+        assert_eq!(m.evaluate(2.5, 2.5, 0.0).region, MosRegion::Saturation);
+    }
+
+    #[test]
+    fn deep_triode_resistance_matches_r_on() {
+        let m = nmos();
+        let vds = 1e-3;
+        let op = m.evaluate(vds, 2.5, 0.0);
+        let r_measured = vds / op.id;
+        let r_pred = m.r_on(2.5);
+        assert!(
+            (r_measured / r_pred - 1.0).abs() < 0.01,
+            "measured {r_measured} vs predicted {r_pred}"
+        );
+        // Paper sizing gives Ron in the 8–10 kΩ range at 2.5 V drive.
+        assert!(r_pred > 5e3 && r_pred < 15e3, "Ron = {r_pred}");
+    }
+
+    #[test]
+    fn nmos_pmos_on_resistances_are_balanced() {
+        // The paper's P/N width ratio (865/320) compensates the mobility
+        // ratio so the inverter pulls up and down symmetrically.
+        let rn = nmos().r_on(2.5);
+        let rp = pmos().r_on(2.5);
+        assert!(
+            (rn / rp - 1.0).abs() < 0.15,
+            "Ron(N) = {rn}, Ron(P) = {rp} should match within 15%"
+        );
+    }
+
+    #[test]
+    fn current_continuous_across_triode_saturation_boundary() {
+        let m = nmos();
+        let vgs = 1.5;
+        let vov = vgs - m.vth0;
+        let below = m.evaluate(vov - 1e-9, vgs, 0.0);
+        let above = m.evaluate(vov + 1e-9, vgs, 0.0);
+        assert!((below.id - above.id).abs() < 1e-9 * m.beta() * 10.0);
+        assert!((below.gdg - above.gdg).abs() / above.gdg.max(1e-12) < 1e-6);
+    }
+
+    #[test]
+    fn reverse_mode_is_antisymmetric() {
+        // Swapping drain and source must negate the current (symmetric
+        // device, gate referenced to the lower terminal).
+        let m = nmos().with_lambda(0.0);
+        let fwd = m.evaluate(1.0, 2.0, 0.0);
+        let rev = m.evaluate(0.0, 2.0, 1.0);
+        assert!(
+            (fwd.id + rev.id).abs() < 1e-15,
+            "fwd {} rev {}",
+            fwd.id,
+            rev.id
+        );
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let n = MosParams::nmos(1e-6, 1e-6);
+        let p = MosParams {
+            polarity: MosPolarity::Pmos,
+            ..n
+        };
+        let opn = n.evaluate(1.0, 2.0, 0.0);
+        let opp = p.evaluate(-1.0, -2.0, 0.0);
+        assert!((opn.id + opp.id).abs() < 1e-15);
+        assert_eq!(opn.region, opp.region);
+    }
+
+    #[test]
+    fn pmos_pullup_current_is_negative_at_drain() {
+        // PMOS source at vdd, gate low, drain mid-rail: conducting, current
+        // flows from source (vdd) to drain, i.e. *out of* the drain node →
+        // id (into drain) negative.
+        let p = pmos();
+        let op = p.evaluate(1.0, 0.0, 2.5);
+        assert!(op.id < 0.0, "id = {}", op.id);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let m = nmos();
+        let cases = [
+            (0.3, 2.5, 0.0),  // triode
+            (2.0, 1.5, 0.0),  // saturation
+            (0.0, 2.0, 1.0),  // reverse
+            (-0.2, 2.0, 0.3), // reverse triode
+        ];
+        let h = 1e-7;
+        for &(vd, vg, vs) in &cases {
+            let op = m.evaluate(vd, vg, vs);
+            let dd = (m.evaluate(vd + h, vg, vs).id - m.evaluate(vd - h, vg, vs).id) / (2.0 * h);
+            let dg = (m.evaluate(vd, vg + h, vs).id - m.evaluate(vd, vg - h, vs).id) / (2.0 * h);
+            let ds = (m.evaluate(vd, vg, vs + h).id - m.evaluate(vd, vg, vs - h).id) / (2.0 * h);
+            let tol = 1e-4 * m.beta().max(1e-9);
+            assert!((op.gdd - dd).abs() < tol, "gdd {} vs fd {}", op.gdd, dd);
+            assert!((op.gdg - dg).abs() < tol, "gdg {} vs fd {}", op.gdg, dg);
+            assert!(
+                (op.gds_node - ds).abs() < tol,
+                "gds {} vs fd {}",
+                op.gds_node,
+                ds
+            );
+        }
+    }
+
+    #[test]
+    fn width_scaling_scales_current() {
+        let m1 = nmos().with_lambda(0.0);
+        let m4 = m1.scaled_width(4.0);
+        let i1 = m1.evaluate(2.5, 2.5, 0.0).id;
+        let i4 = m4.evaluate(2.5, 2.5, 0.0).id;
+        assert!((i4 / i1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let m = nmos().with_vth0(0.6).with_kp(100e-6).with_lambda(0.0);
+        assert_eq!(m.vth0, 0.6);
+        assert_eq!(m.kp, 100e-6);
+        assert_eq!(m.lambda, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry must be positive")]
+    fn zero_width_panics() {
+        let _ = MosParams::nmos(0.0, 1e-6);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(MosPolarity::Nmos.to_string(), "nmos");
+        assert_eq!(MosRegion::Saturation.to_string(), "saturation");
+    }
+}

@@ -1,0 +1,98 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors produced by circuit construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The MNA matrix became singular (e.g. a floating node or a loop of
+    /// ideal voltage sources).
+    SingularMatrix {
+        /// Pivot row at which elimination failed.
+        row: usize,
+    },
+    /// Newton–Raphson failed to converge within the iteration limit.
+    NonConvergence {
+        /// Analysis that failed (`"dc"` or `"transient"`).
+        analysis: &'static str,
+        /// Simulation time at which convergence failed (seconds); `0.0`
+        /// for DC analyses.
+        time: f64,
+        /// Iterations spent before giving up.
+        iterations: usize,
+    },
+    /// The netlist is structurally invalid.
+    InvalidCircuit {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// An element parameter is out of its physical domain
+    /// (negative resistance magnitude, zero capacitance, ...).
+    InvalidParameter {
+        /// Element whose parameter is invalid.
+        element: String,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A requested probe (node or element) does not exist in the result.
+    UnknownProbe {
+        /// The name or index that failed to resolve.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SingularMatrix { row } => {
+                write!(f, "singular MNA matrix at pivot row {row} (floating node or voltage-source loop)")
+            }
+            Error::NonConvergence {
+                analysis,
+                time,
+                iterations,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge at t={time:.3e}s after {iterations} iterations"
+            ),
+            Error::InvalidCircuit { reason } => write!(f, "invalid circuit: {reason}"),
+            Error::InvalidParameter { element, reason } => {
+                write!(f, "invalid parameter on element {element}: {reason}")
+            }
+            Error::UnknownProbe { what } => write!(f, "unknown probe: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::SingularMatrix { row: 3 };
+        assert!(e.to_string().contains("pivot row 3"));
+
+        let e = Error::NonConvergence {
+            analysis: "transient",
+            time: 1e-9,
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("transient"));
+        assert!(e.to_string().contains("100"));
+
+        let e = Error::InvalidCircuit {
+            reason: "no ground reference".into(),
+        };
+        assert!(e.to_string().contains("no ground reference"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

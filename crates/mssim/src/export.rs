@@ -1,0 +1,269 @@
+//! SPICE netlist export.
+//!
+//! Writes a [`Circuit`] as a standard SPICE deck so any result produced
+//! here can be cross-checked in ngspice/Xyce/Spectre. Level-1 MOSFETs
+//! map onto `.model ... NMOS (LEVEL=1 ...)` cards with identical
+//! parameters, so the exported deck describes the same device physics.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::elements::{Element, MosParams, MosPolarity};
+use crate::netlist::Circuit;
+use crate::waveform::Waveform;
+
+/// Renders the circuit as a SPICE deck with the given title line.
+///
+/// Independent sources keep their waveforms (`DC`, `PULSE`, `SIN`,
+/// `PWL`); every distinct MOSFET parameter set becomes one `.model`
+/// card. Node 0 is ground, as in SPICE. Element names are prefixed
+/// with their SPICE type letter (R/C/L/V/I/M/S/D) so the deck parses in
+/// ngspice regardless of the netlist names used here.
+///
+/// # Examples
+///
+/// ```
+/// use mssim::{export::to_spice, Circuit, Waveform};
+///
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.vsource("V1", a, Circuit::GND, Waveform::dc(2.5));
+/// ckt.resistor("R1", a, Circuit::GND, 100e3);
+/// let deck = to_spice(&ckt, "divider");
+/// assert!(deck.contains("RR1 a 0 100000"));
+/// assert!(deck.ends_with(".end\n"));
+/// ```
+pub fn to_spice(circuit: &Circuit, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {title}");
+    let _ = writeln!(out, "* exported by mssim");
+
+    // Collect distinct MOSFET models.
+    let mut models: BTreeMap<String, MosParams> = BTreeMap::new();
+    let model_name = |p: &MosParams| -> String {
+        format!(
+            "{}_{:.0}u{:.0}",
+            match p.polarity {
+                MosPolarity::Nmos => "mn",
+                MosPolarity::Pmos => "mp",
+            },
+            p.kp * 1e6,
+            (p.vth0 * 1000.0) as i64
+        )
+    };
+
+    let node = |n: crate::NodeId| circuit.node_name(n).to_owned();
+
+    for (_, name, elem) in circuit.elements() {
+        match elem {
+            Element::Resistor { a, b, ohms } => {
+                let _ = writeln!(out, "R{name} {} {} {ohms}", node(*a), node(*b));
+            }
+            Element::Capacitor {
+                a,
+                b,
+                farads,
+                initial_voltage,
+            } => {
+                let _ = write!(out, "C{name} {} {} {farads:e}", node(*a), node(*b));
+                if *initial_voltage != 0.0 {
+                    let _ = write!(out, " IC={initial_voltage}");
+                }
+                let _ = writeln!(out);
+            }
+            Element::Inductor {
+                a,
+                b,
+                henries,
+                initial_current,
+            } => {
+                let _ = write!(out, "L{name} {} {} {henries:e}", node(*a), node(*b));
+                if *initial_current != 0.0 {
+                    let _ = write!(out, " IC={initial_current}");
+                }
+                let _ = writeln!(out);
+            }
+            Element::VoltageSource { pos, neg, waveform } => {
+                let _ = writeln!(
+                    out,
+                    "V{name} {} {} {}",
+                    node(*pos),
+                    node(*neg),
+                    waveform_card(waveform)
+                );
+            }
+            Element::CurrentSource { from, to, waveform } => {
+                let _ = writeln!(
+                    out,
+                    "I{name} {} {} {}",
+                    node(*from),
+                    node(*to),
+                    waveform_card(waveform)
+                );
+            }
+            Element::Mosfet { d, g, s, params } => {
+                let model = model_name(params);
+                models.insert(model.clone(), *params);
+                // Bulk tied to source, as the level-1 model assumes.
+                let _ = writeln!(
+                    out,
+                    "M{name} {} {} {} {} {model} W={:e} L={:e}",
+                    node(*d),
+                    node(*g),
+                    node(*s),
+                    node(*s),
+                    params.w,
+                    params.l
+                );
+            }
+            Element::Switch {
+                a,
+                b,
+                ctrl_pos,
+                ctrl_neg,
+                threshold,
+                r_on,
+                r_off,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "S{name} {} {} {} {} sw_{name} * VT={threshold} RON={r_on} ROFF={r_off}",
+                    node(*a),
+                    node(*b),
+                    node(*ctrl_pos),
+                    node(*ctrl_neg)
+                );
+                let _ = writeln!(
+                    out,
+                    ".model sw_{name} SW (VT={threshold} RON={r_on} ROFF={r_off})"
+                );
+            }
+            Element::Diode { a, k, i_sat, n } => {
+                let _ = writeln!(out, "D{name} {} {} d_{name}", node(*a), node(*k));
+                let _ = writeln!(out, ".model d_{name} D (IS={i_sat:e} N={n})");
+            }
+        }
+    }
+
+    for (model, p) in &models {
+        let kind = match p.polarity {
+            MosPolarity::Nmos => "NMOS",
+            MosPolarity::Pmos => "PMOS",
+        };
+        let _ = writeln!(
+            out,
+            ".model {model} {kind} (LEVEL=1 VTO={}{} KP={:e} LAMBDA={})",
+            if p.polarity == MosPolarity::Pmos {
+                "-"
+            } else {
+                ""
+            },
+            p.vth0,
+            p.kp,
+            p.lambda
+        );
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn waveform_card(w: &Waveform) -> String {
+    match w {
+        Waveform::Dc(v) => format!("DC {v}"),
+        Waveform::Pulse(p) => format!(
+            "PULSE({} {} {:e} {:e} {:e} {:e} {:e})",
+            p.low, p.high, p.delay, p.rise, p.fall, p.width, p.period
+        ),
+        Waveform::Sine {
+            offset,
+            amplitude,
+            frequency,
+            delay,
+        } => format!("SIN({offset} {amplitude} {frequency:e} {delay:e})"),
+        Waveform::Pwl(points) => {
+            let mut s = String::from("PWL(");
+            for (i, (t, v)) in points.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{t:e} {v}");
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_rc_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("out");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(2.5));
+        ckt.resistor("R1", a, b, 1e3);
+        ckt.capacitor("C1", b, Circuit::GND, 1e-12);
+        let deck = to_spice(&ckt, "rc");
+        assert!(deck.starts_with("* rc\n"));
+        assert!(deck.contains("VV1 in 0 DC 2.5"));
+        assert!(deck.contains("RR1 in out 1000"));
+        assert!(deck.contains("CC1 out 0 1e-12"));
+        assert!(deck.ends_with(".end\n"));
+    }
+
+    #[test]
+    fn exports_mosfets_with_shared_models() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let o = ckt.node("o");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+        ckt.mosfet("MP1", o, g, vdd, MosParams::pmos(865e-9, 1.2e-6));
+        ckt.mosfet("MN1", o, g, Circuit::GND, MosParams::nmos(320e-9, 1.2e-6));
+        ckt.mosfet("MN2", o, g, Circuit::GND, MosParams::nmos(640e-9, 1.2e-6));
+        let deck = to_spice(&ckt, "inv");
+        // Two models (one N, one P): MN1 and MN2 share parameters except
+        // geometry, which lives on the instance line.
+        let model_lines = deck.lines().filter(|l| l.contains("LEVEL=1")).count();
+        assert_eq!(model_lines, 2, "{deck}");
+        assert!(deck.contains("W=3.2e-7"));
+        assert!(deck.contains("W=6.4e-7"));
+        assert!(deck.contains("PMOS"));
+        assert!(deck.contains("VTO=-0.45"));
+    }
+
+    #[test]
+    fn exports_pulse_and_pwl_sources() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::pwm(2.5, 500e6, 0.25));
+        ckt.vsource(
+            "V2",
+            b,
+            Circuit::GND,
+            Waveform::pwl(vec![(0.0, 0.0), (1e-9, 1.0)]),
+        );
+        ckt.resistor("R1", a, b, 1e3);
+        let deck = to_spice(&ckt, "src");
+        assert!(deck.contains("PULSE(0 2.5"), "{deck}");
+        assert!(deck.contains("PWL(0e0 0 1e-9 1)"), "{deck}");
+    }
+
+    #[test]
+    fn exports_inductor_and_diode() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::sine(0.0, 1.0, 1e6));
+        ckt.inductor_with_ic("L1", a, b, 1e-6, 1e-3);
+        ckt.diode("D1", b, Circuit::GND, 1e-14, 1.0);
+        let deck = to_spice(&ckt, "rect");
+        assert!(deck.contains("LL1 a b 1e-6 IC=0.001"));
+        assert!(deck.contains(".model d_D1 D (IS=1e-14 N=1)"));
+        assert!(deck.contains("SIN(0 1 1e6"));
+    }
+}

@@ -1,0 +1,78 @@
+//! # mssim — a small SPICE-class analog circuit simulator
+//!
+//! `mssim` is a from-scratch analog/mixed-signal circuit simulation engine
+//! built to reproduce the experiments of *"A Pulse Width Modulation based
+//! Power-elastic and Robust Mixed-signal Perceptron Design"* (DATE 2019)
+//! without a proprietary simulator. It provides:
+//!
+//! * a [`Circuit`] netlist builder with resistors, capacitors, independent
+//!   sources, voltage-controlled switches, diodes and level-1 MOSFETs,
+//! * time-domain [`Waveform`]s (DC, pulse/PWM, piecewise-linear, sine),
+//! * modified nodal analysis (MNA) with a dense partial-pivoting LU solver,
+//! * Newton–Raphson DC operating-point analysis with gmin and source
+//!   stepping ([`analysis::dc_operating_point`]),
+//! * fixed-step trapezoidal / backward-Euler transient analysis
+//!   ([`analysis::Transient`]),
+//! * waveform post-processing ([`trace::Trace`]: averages, ripple, RMS,
+//!   settling detection),
+//! * parallel parameter sweeps and Monte-Carlo drivers ([`sweep`]).
+//!
+//! The engine follows the same numerical formulation as the core loop of a
+//! production SPICE: nonlinear devices are linearised around the current
+//! iterate and stamped as Norton companions, reactive elements become
+//! integration companions, and the resulting linear system is solved by LU
+//! factorisation each Newton iteration.
+//!
+//! ## Quickstart: an RC low-pass step response
+//!
+//! ```
+//! use mssim::prelude::*;
+//!
+//! # fn main() -> Result<(), mssim::Error> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
+//! ckt.resistor("R1", vin, out, 1e3);
+//! ckt.capacitor("C1", out, Circuit::GND, 1e-6);
+//!
+//! let tran = Transient::new(1e-5, 10e-3).use_initial_conditions();
+//! let result = tran.run(&ckt)?;
+//! let v_end = result.voltage(out).last_value();
+//! assert!((v_end - 1.0).abs() < 1e-3); // fully charged after 10 tau
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod complex;
+pub mod elements;
+pub mod error;
+pub mod export;
+pub mod linear;
+pub mod netlist;
+pub mod sweep;
+pub mod trace;
+pub mod units;
+pub mod waveform;
+
+pub use error::Error;
+pub use netlist::{Circuit, ElementId, NodeId};
+pub use waveform::Waveform;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::analysis::{
+        ac_analysis, dc_operating_point, dc_sweep, AcResult, AdaptiveConfig, DcSweepResult,
+        IntegrationMethod, Transient, TransientResult,
+    };
+    pub use crate::elements::{MosParams, MosPolarity};
+    pub use crate::error::Error;
+    pub use crate::netlist::{Circuit, ElementId, NodeId};
+    pub use crate::trace::Trace;
+    pub use crate::units::*;
+    pub use crate::waveform::Waveform;
+}

@@ -1,0 +1,258 @@
+//! Dense linear algebra: the LU solver behind every Newton iteration.
+//!
+//! The paper's circuits have at most a few tens of nodes, so a dense
+//! row-major matrix with partial-pivoting Gaussian elimination is both the
+//! simplest and the fastest appropriate solver — no sparse machinery, no
+//! external dependencies.
+
+use crate::error::Error;
+
+/// A dense square matrix in row-major storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "matrix index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "matrix index out of bounds");
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` to the entry at `(row, col)` — the MNA stamping
+    /// primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.n && col < self.n, "matrix index out of bounds");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Computes `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.n..(r + 1) * self.n];
+            *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Solves `self * x = rhs` in place by Gaussian elimination with
+    /// partial pivoting, destroying the matrix and replacing `rhs` with the
+    /// solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] if a pivot smaller than `1e-14`
+    /// times the largest initial entry is encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != n`.
+    // Index loops mirror the textbook elimination; iterator forms obscure
+    // the pivot structure.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve_in_place(&mut self, rhs: &mut [f64]) -> Result<(), Error> {
+        let n = self.n;
+        assert_eq!(rhs.len(), n, "rhs length must equal matrix dimension");
+        if n == 0 {
+            return Ok(());
+        }
+        let scale = self
+            .data
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(1e-30);
+        let tol = scale * 1e-14;
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_mag = self.data[k * n + k].abs();
+            for r in (k + 1)..n {
+                let mag = self.data[r * n + k].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < tol {
+                return Err(Error::SingularMatrix { row: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    self.data.swap(k * n + c, pivot_row * n + c);
+                }
+                rhs.swap(k, pivot_row);
+            }
+            let pivot = self.data[k * n + k];
+            for r in (k + 1)..n {
+                let factor = self.data[r * n + k] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                self.data[r * n + k] = 0.0;
+                for c in (k + 1)..n {
+                    self.data[r * n + c] -= factor * self.data[k * n + c];
+                }
+                rhs[r] -= factor * rhs[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut sum = rhs[k];
+            for c in (k + 1)..n {
+                sum -= self.data[k * n + c] * rhs[c];
+            }
+            rhs[k] = sum / self.data[k * n + k];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let mut rhs = vec![1.0, 2.0, 3.0];
+        m.solve_in_place(&mut rhs).unwrap();
+        assert_eq!(rhs, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_small_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let mut rhs = vec![5.0, 10.0];
+        m.solve_in_place(&mut rhs).unwrap();
+        assert!((rhs[0] - 1.0).abs() < 1e-12);
+        assert!((rhs[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // First diagonal entry zero requires a row swap.
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 0.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 0.0);
+        let mut rhs = vec![2.0, 3.0];
+        m.solve_in_place(&mut rhs).unwrap();
+        assert!((rhs[0] - 3.0).abs() < 1e-12);
+        assert!((rhs[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0); // rank 1
+        let mut rhs = vec![1.0, 2.0];
+        assert!(matches!(
+            m.solve_in_place(&mut rhs),
+            Err(Error::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_is_small_for_random_system() {
+        // Deterministic pseudo-random fill (LCG) to avoid rand dependency
+        // in the hot path tests.
+        let n = 12;
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = DenseMatrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m.set(r, c, next());
+            }
+            m.add(r, r, 4.0); // diagonal dominance ⇒ nonsingular
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let mut rhs = m.mul_vec(&x_true);
+        let mut lu = m.clone();
+        lu.solve_in_place(&mut rhs).unwrap();
+        for (xs, xt) in rhs.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-10, "{xs} vs {xt}");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_dimension() {
+        let mut m = DenseMatrix::zeros(4);
+        m.set(2, 3, 5.0);
+        m.clear();
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.get(2, 3), 0.0);
+    }
+
+    #[test]
+    fn empty_system_is_ok() {
+        let mut m = DenseMatrix::zeros(0);
+        let mut rhs: Vec<f64> = vec![];
+        m.solve_in_place(&mut rhs).unwrap();
+    }
+}

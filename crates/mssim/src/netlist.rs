@@ -1,0 +1,665 @@
+//! Circuit netlist construction.
+//!
+//! A [`Circuit`] is a flat netlist of named nodes and named elements.
+//! Node 0 is always ground ([`Circuit::GND`]). Elements are added through
+//! typed builder methods ([`Circuit::resistor`], [`Circuit::mosfet`], ...)
+//! that validate parameters eagerly, so an invalid netlist is rejected at
+//! construction time rather than deep inside an analysis.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::elements::{Element, MosParams};
+use crate::error::Error;
+use crate::waveform::Waveform;
+
+/// Identifier of a circuit node. Node 0 is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Index of this node in the circuit's node table (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// `true` if this is the ground reference.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an element within a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub(crate) usize);
+
+impl ElementId {
+    /// Index of this element in the circuit's element table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A flat analog netlist.
+///
+/// # Examples
+///
+/// ```
+/// use mssim::{Circuit, Waveform};
+///
+/// let mut ckt = Circuit::new();
+/// let vdd = ckt.node("vdd");
+/// let out = ckt.node("out");
+/// ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+/// ckt.resistor("R1", vdd, out, 100e3);
+/// ckt.capacitor("C1", out, Circuit::GND, 1e-12);
+/// assert_eq!(ckt.node_count(), 3); // ground + 2
+/// assert_eq!(ckt.element_count(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    name_to_node: HashMap<String, NodeId>,
+    elements: Vec<NamedElement>,
+    name_to_element: HashMap<String, ElementId>,
+}
+
+#[derive(Debug, Clone)]
+struct NamedElement {
+    name: String,
+    element: Element,
+}
+
+impl Circuit {
+    /// The ground reference node.
+    pub const GND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut name_to_node = HashMap::new();
+        name_to_node.insert("0".to_owned(), NodeId(0));
+        Circuit {
+            node_names: vec!["0".to_owned()],
+            name_to_node,
+            elements: Vec::new(),
+            name_to_element: HashMap::new(),
+        }
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The name `"0"` always refers to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.name_to_node.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_owned());
+        self.name_to_node.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Creates an anonymous node with a generated unique name.
+    pub fn fresh_node(&mut self) -> NodeId {
+        let mut i = self.node_names.len();
+        loop {
+            let name = format!("_n{i}");
+            if !self.name_to_node.contains_key(&name) {
+                return self.node(&name);
+            }
+            i += 1;
+        }
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.name_to_node.get(name).copied()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not strictly positive and finite, if the name is
+    /// already used, or if a node does not belong to this circuit.
+    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> ElementId {
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistor {name}: resistance must be positive and finite, got {ohms}"
+        );
+        self.push(name, Element::Resistor { a, b, ohms })
+    }
+
+    /// Adds a capacitor with zero initial voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not strictly positive and finite, if the name
+    /// is already used, or if a node does not belong to this circuit.
+    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> ElementId {
+        self.capacitor_with_ic(name, a, b, farads, 0.0)
+    }
+
+    /// Adds a capacitor with an explicit initial voltage `v(a) - v(b)`,
+    /// honoured when the transient starts from initial conditions.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Circuit::capacitor`].
+    pub fn capacitor_with_ic(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+        initial_voltage: f64,
+    ) -> ElementId {
+        assert!(
+            farads > 0.0 && farads.is_finite(),
+            "capacitor {name}: capacitance must be positive and finite, got {farads}"
+        );
+        self.push(
+            name,
+            Element::Capacitor {
+                a,
+                b,
+                farads,
+                initial_voltage,
+            },
+        )
+    }
+
+    /// Adds an inductor with zero initial current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `henries` is not strictly positive and finite, if the
+    /// name is already used, or if a node does not belong to this circuit.
+    pub fn inductor(&mut self, name: &str, a: NodeId, b: NodeId, henries: f64) -> ElementId {
+        self.inductor_with_ic(name, a, b, henries, 0.0)
+    }
+
+    /// Adds an inductor with an explicit initial current flowing `a → b`,
+    /// honoured when the transient starts from initial conditions.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Circuit::inductor`].
+    pub fn inductor_with_ic(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        henries: f64,
+        initial_current: f64,
+    ) -> ElementId {
+        assert!(
+            henries > 0.0 && henries.is_finite(),
+            "inductor {name}: inductance must be positive and finite, got {henries}"
+        );
+        self.push(
+            name,
+            Element::Inductor {
+                a,
+                b,
+                henries,
+                initial_current,
+            },
+        )
+    }
+
+    /// Adds an independent voltage source driving `v(pos) - v(neg)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used or a node does not belong to this
+    /// circuit.
+    pub fn vsource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        waveform: Waveform,
+    ) -> ElementId {
+        self.push(name, Element::VoltageSource { pos, neg, waveform })
+    }
+
+    /// Adds an independent current source injecting current into `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used or a node does not belong to this
+    /// circuit.
+    pub fn isource(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+        waveform: Waveform,
+    ) -> ElementId {
+        self.push(name, Element::CurrentSource { from, to, waveform })
+    }
+
+    /// Adds a level-1 MOSFET (drain, gate, source; bulk tied to source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used or a node does not belong to this
+    /// circuit.
+    pub fn mosfet(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        params: MosParams,
+    ) -> ElementId {
+        self.push(name, Element::Mosfet { d, g, s, params })
+    }
+
+    /// Adds a voltage-controlled switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_on`/`r_off` are not positive finite, or on the usual
+    /// name/node conditions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn switch(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ctrl_pos: NodeId,
+        ctrl_neg: NodeId,
+        threshold: f64,
+        r_on: f64,
+        r_off: f64,
+    ) -> ElementId {
+        assert!(
+            r_on > 0.0 && r_on.is_finite() && r_off > 0.0 && r_off.is_finite(),
+            "switch {name}: r_on/r_off must be positive and finite"
+        );
+        self.push(
+            name,
+            Element::Switch {
+                a,
+                b,
+                ctrl_pos,
+                ctrl_neg,
+                threshold,
+                r_on,
+                r_off,
+            },
+        )
+    }
+
+    /// Adds an exponential junction diode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_sat` or `n` is not strictly positive, or on the usual
+    /// name/node conditions.
+    pub fn diode(&mut self, name: &str, a: NodeId, k: NodeId, i_sat: f64, n: f64) -> ElementId {
+        assert!(
+            i_sat > 0.0 && n > 0.0,
+            "diode {name}: i_sat and n must be positive"
+        );
+        self.push(name, Element::Diode { a, k, i_sat, n })
+    }
+
+    fn push(&mut self, name: &str, element: Element) -> ElementId {
+        assert!(
+            !self.name_to_element.contains_key(name),
+            "duplicate element name: {name}"
+        );
+        for node in element.nodes() {
+            assert!(
+                node.0 < self.node_names.len(),
+                "element {name} references node {node} which does not belong to this circuit"
+            );
+        }
+        let id = ElementId(self.elements.len());
+        self.elements.push(NamedElement {
+            name: name.to_owned(),
+            element,
+        });
+        self.name_to_element.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Element by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.0].element
+    }
+
+    /// Element name by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn element_name(&self, id: ElementId) -> &str {
+        &self.elements[id.0].name
+    }
+
+    /// Looks up an element by name.
+    pub fn find_element(&self, name: &str) -> Option<ElementId> {
+        self.name_to_element.get(name).copied()
+    }
+
+    /// Iterates over `(id, name, element)` triples in insertion order.
+    pub fn elements(&self) -> impl Iterator<Item = (ElementId, &str, &Element)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .map(|(i, ne)| (ElementId(i), ne.name.as_str(), &ne.element))
+    }
+
+    /// Replaces the resistance of an existing resistor (for sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the element is not a resistor
+    /// or the value is not positive finite.
+    pub fn set_resistance(&mut self, id: ElementId, ohms: f64) -> Result<(), Error> {
+        if !(ohms > 0.0 && ohms.is_finite()) {
+            return Err(Error::InvalidParameter {
+                element: self.elements[id.0].name.clone(),
+                reason: format!("resistance must be positive and finite, got {ohms}"),
+            });
+        }
+        match &mut self.elements[id.0].element {
+            Element::Resistor { ohms: r, .. } => {
+                *r = ohms;
+                Ok(())
+            }
+            _ => Err(Error::InvalidParameter {
+                element: self.elements[id.0].name.clone(),
+                reason: "element is not a resistor".into(),
+            }),
+        }
+    }
+
+    /// Replaces the capacitance of an existing capacitor (for sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the element is not a
+    /// capacitor or the value is not positive finite.
+    pub fn set_capacitance(&mut self, id: ElementId, farads: f64) -> Result<(), Error> {
+        if !(farads > 0.0 && farads.is_finite()) {
+            return Err(Error::InvalidParameter {
+                element: self.elements[id.0].name.clone(),
+                reason: format!("capacitance must be positive and finite, got {farads}"),
+            });
+        }
+        match &mut self.elements[id.0].element {
+            Element::Capacitor { farads: c, .. } => {
+                *c = farads;
+                Ok(())
+            }
+            _ => Err(Error::InvalidParameter {
+                element: self.elements[id.0].name.clone(),
+                reason: "element is not a capacitor".into(),
+            }),
+        }
+    }
+
+    /// Replaces the waveform of an existing independent source (for sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the element is not an
+    /// independent source.
+    pub fn set_waveform(&mut self, id: ElementId, waveform: Waveform) -> Result<(), Error> {
+        match &mut self.elements[id.0].element {
+            Element::VoltageSource { waveform: w, .. }
+            | Element::CurrentSource { waveform: w, .. } => {
+                *w = waveform;
+                Ok(())
+            }
+            _ => Err(Error::InvalidParameter {
+                element: self.elements[id.0].name.clone(),
+                reason: "element is not an independent source".into(),
+            }),
+        }
+    }
+
+    /// Replaces the model parameters of an existing MOSFET (for Monte-Carlo
+    /// variation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the element is not a MOSFET.
+    pub fn set_mos_params(&mut self, id: ElementId, params: MosParams) -> Result<(), Error> {
+        match &mut self.elements[id.0].element {
+            Element::Mosfet { params: p, .. } => {
+                *p = params;
+                Ok(())
+            }
+            _ => Err(Error::InvalidParameter {
+                element: self.elements[id.0].name.clone(),
+                reason: "element is not a mosfet".into(),
+            }),
+        }
+    }
+
+    /// Ids of all voltage sources, in insertion order.
+    pub fn voltage_sources(&self) -> Vec<ElementId> {
+        self.elements()
+            .filter(|(_, _, e)| matches!(e, Element::VoltageSource { .. }))
+            .map(|(id, _, _)| id)
+            .collect()
+    }
+
+    /// `true` if any element requires Newton iteration.
+    pub fn has_nonlinear_elements(&self) -> bool {
+        self.elements.iter().any(|ne| ne.element.is_nonlinear())
+    }
+
+    /// Checks structural validity: the circuit must contain at least one
+    /// element, and every node must be connected (directly or transitively)
+    /// to ground.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCircuit`] describing the first defect found.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.elements.is_empty() {
+            return Err(Error::InvalidCircuit {
+                reason: "circuit has no elements".into(),
+            });
+        }
+        // Union-find style flood fill from ground over element connectivity.
+        let n = self.node_names.len();
+        let mut reached = vec![false; n];
+        reached[0] = true;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for ne in &self.elements {
+                let nodes = ne.element.nodes();
+                if nodes.iter().any(|nd| reached[nd.0]) {
+                    for nd in nodes {
+                        if !reached[nd.0] {
+                            reached[nd.0] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(idx) = reached.iter().position(|r| !r) {
+            return Err(Error::InvalidCircuit {
+                reason: format!("node '{}' is not connected to ground", self.node_names[idx]),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_interned_by_name() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.node_count(), 2);
+        assert_eq!(ckt.node_name(a), "a");
+        assert_eq!(ckt.find_node("a"), Some(a));
+        assert_eq!(ckt.find_node("zzz"), None);
+    }
+
+    #[test]
+    fn ground_is_node_zero() {
+        let mut ckt = Circuit::new();
+        assert_eq!(ckt.node("0"), Circuit::GND);
+        assert!(Circuit::GND.is_ground());
+    }
+
+    #[test]
+    fn fresh_nodes_are_unique() {
+        let mut ckt = Circuit::new();
+        let a = ckt.fresh_node();
+        let b = ckt.fresh_node();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn elements_are_registered_and_findable() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let id = ckt.resistor("R1", a, Circuit::GND, 1e3);
+        assert_eq!(ckt.find_element("R1"), Some(id));
+        assert_eq!(ckt.element_name(id), "R1");
+        assert!(matches!(
+            ckt.element(id),
+            Element::Resistor { ohms, .. } if *ohms == 1e3
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate element name")]
+    fn duplicate_element_names_panic() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, Circuit::GND, 1e3);
+        ckt.resistor("R1", a, Circuit::GND, 2e3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn negative_resistance_panics() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, Circuit::GND, -5.0);
+    }
+
+    #[test]
+    fn set_resistance_roundtrip() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let id = ckt.resistor("R1", a, Circuit::GND, 1e3);
+        ckt.set_resistance(id, 5e3).unwrap();
+        assert!(matches!(
+            ckt.element(id),
+            Element::Resistor { ohms, .. } if *ohms == 5e3
+        ));
+        assert!(ckt.set_resistance(id, -1.0).is_err());
+    }
+
+    #[test]
+    fn set_resistance_on_wrong_element_errors() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let id = ckt.capacitor("C1", a, Circuit::GND, 1e-12);
+        assert!(ckt.set_resistance(id, 1e3).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_circuit() {
+        let ckt = Circuit::new();
+        assert!(matches!(ckt.validate(), Err(Error::InvalidCircuit { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_island_nodes() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, Circuit::GND, 1e3);
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        ckt.resistor("R2", b, c, 1e3); // island not touching ground
+        let err = ckt.validate().unwrap_err();
+        assert!(err.to_string().contains("not connected to ground"));
+    }
+
+    #[test]
+    fn validate_accepts_connected_circuit() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        ckt.resistor("R1", a, b, 1e3);
+        ckt.capacitor("C1", b, Circuit::GND, 1e-12);
+        ckt.validate().unwrap();
+    }
+
+    #[test]
+    fn voltage_sources_listed_in_order() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let v1 = ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        ckt.resistor("R1", a, b, 1e3);
+        let v2 = ckt.vsource("V2", b, Circuit::GND, Waveform::dc(0.5));
+        assert_eq!(ckt.voltage_sources(), vec![v1, v2]);
+    }
+
+    #[test]
+    fn nonlinearity_detection() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, Circuit::GND, 1e3);
+        assert!(!ckt.has_nonlinear_elements());
+        ckt.mosfet("M1", a, a, Circuit::GND, MosParams::nmos(1e-6, 1e-6));
+        assert!(ckt.has_nonlinear_elements());
+    }
+}

@@ -1,0 +1,215 @@
+//! Parameter sweeps and Monte-Carlo drivers.
+//!
+//! These helpers parallelise the embarrassingly-parallel outer loops of the
+//! paper's experiments (duty-cycle sweeps, frequency sweeps, supply sweeps,
+//! mismatch Monte Carlo) over the available cores using crossbeam scoped
+//! threads. Result order always matches input order.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs `f` on every point, in parallel, preserving order.
+///
+/// The closure receives a reference to the point and its index. Panics in
+/// worker threads are propagated.
+///
+/// # Examples
+///
+/// ```
+/// let squares = mssim::sweep::sweep(&[1.0, 2.0, 3.0], |&x, _| x * x);
+/// assert_eq!(squares, vec![1.0, 4.0, 9.0]);
+/// ```
+pub fn sweep<P, T, F>(points: &[P], f: F) -> Vec<T>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P, usize) -> T + Sync,
+{
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = available_threads().min(n);
+    if threads <= 1 {
+        return points.iter().enumerate().map(|(i, p)| f(p, i)).collect();
+    }
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        // Chunk the output so each worker owns a disjoint slice.
+        let chunk = n.div_ceil(threads);
+        for (w, out_chunk) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let start = w * chunk;
+            scope.spawn(move |_| {
+                for (k, slot) in out_chunk.iter_mut().enumerate() {
+                    let idx = start + k;
+                    *slot = Some(f(&points[idx], idx));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("sweep slot unfilled"))
+        .collect()
+}
+
+/// Runs `trials` Monte-Carlo evaluations in parallel.
+///
+/// Each trial gets its own deterministic RNG derived from `seed` and the
+/// trial index, so results are reproducible regardless of thread count.
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng;
+/// let xs = mssim::sweep::monte_carlo(100, 42, |rng, _| rng.gen_range(0.0..1.0));
+/// assert_eq!(xs.len(), 100);
+/// // Deterministic: same seed, same values.
+/// let ys = mssim::sweep::monte_carlo(100, 42, |rng, _| rng.gen_range(0.0..1.0));
+/// assert_eq!(xs, ys);
+/// ```
+pub fn monte_carlo<T, F>(trials: usize, seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut StdRng, usize) -> T + Sync,
+{
+    let indices: Vec<usize> = (0..trials).collect();
+    sweep(&indices, |&i, _| {
+        let mut rng = trial_rng(seed, i);
+        f(&mut rng, i)
+    })
+}
+
+/// Deterministic per-trial RNG: `StdRng` seeded by a SplitMix64 hash of
+/// `(seed, trial)`.
+pub fn trial_rng(seed: u64, trial: usize) -> StdRng {
+    let mut z = seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+/// Generates `n` evenly spaced points covering `[start, stop]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let pts = mssim::sweep::linspace(0.0, 1.0, 5);
+/// assert_eq!(pts, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    (0..n)
+        .map(|i| start + (stop - start) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Generates `n` logarithmically spaced points covering `[start, stop]`
+/// inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or either endpoint is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// let pts = mssim::sweep::logspace(1.0, 100.0, 3);
+/// assert!((pts[1] - 10.0).abs() < 1e-9);
+/// ```
+pub fn logspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "logspace needs at least two points");
+    assert!(
+        start > 0.0 && stop > 0.0,
+        "logspace endpoints must be positive"
+    );
+    let (l0, l1) = (start.ln(), stop.ln());
+    (0..n)
+        .map(|i| (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn sweep_preserves_order() {
+        let points: Vec<u64> = (0..1000).collect();
+        let out = sweep(&points, |&p, i| {
+            assert_eq!(p, i as u64);
+            p * 2
+        });
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn sweep_empty_and_single() {
+        let empty: Vec<f64> = sweep(&[] as &[f64], |&x, _| x);
+        assert!(empty.is_empty());
+        let one = sweep(&[7.0], |&x, _| x + 1.0);
+        assert_eq!(one, vec![8.0]);
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_and_decorrelated() {
+        let a = monte_carlo(50, 7, |rng, _| rng.gen::<f64>());
+        let b = monte_carlo(50, 7, |rng, _| rng.gen::<f64>());
+        assert_eq!(a, b);
+        // Different trials see different streams.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+        // Different seeds see different streams.
+        let c = monte_carlo(50, 8, |rng, _| rng.gen::<f64>());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let pts = linspace(-1.0, 1.0, 11);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0], -1.0);
+        assert_eq!(pts[10], 1.0);
+        assert!((pts[5] - 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let pts = logspace(1e6, 1e9, 4);
+        assert!((pts[0] - 1e6).abs() / 1e6 < 1e-12);
+        assert!((pts[3] - 1e9).abs() / 1e9 < 1e-12);
+        let r1 = pts[1] / pts[0];
+        let r2 = pts[2] / pts[1];
+        assert!((r1 - r2).abs() / r1 < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn linspace_rejects_single_point() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn trial_rng_distinct_streams() {
+        let x: f64 = trial_rng(1, 0).gen();
+        let y: f64 = trial_rng(1, 1).gen();
+        assert_ne!(x, y);
+    }
+}

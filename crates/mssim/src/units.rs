@@ -1,0 +1,299 @@
+//! Physical-quantity newtypes.
+//!
+//! The simulator core works in raw `f64` SI units for speed, but public
+//! cell-library and perceptron APIs use these newtypes so that a resistance
+//! can never be passed where a capacitance is expected (C-NEWTYPE).
+//!
+//! Each newtype wraps an `f64` in base SI units, exposes the raw value via
+//! [`Volts::value`] (etc.), supports the arithmetic that is physically
+//! meaningful (`Volts / Ohms = Amps`, `Volts * Amps = Watts`, ...) and
+//! formats with an engineering-notation suffix.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[derive(serde::Serialize, serde::Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Creates a quantity from a raw value in base SI units.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in base SI units.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let (scaled, prefix) = eng_prefix(self.0);
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*}{}{}", prec, scaled, prefix, $unit)
+                } else {
+                    write!(f, "{:.4}{}{}", scaled, prefix, $unit)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Hertz {
+    /// Period of one cycle at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period(self) -> Seconds {
+        assert!(self.0 != 0.0, "period of zero frequency");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Seconds {
+    /// Frequency whose cycle lasts this long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero.
+    pub fn frequency(self) -> Hertz {
+        assert!(self.0 != 0.0, "frequency of zero period");
+        Hertz(1.0 / self.0)
+    }
+}
+
+/// Splits a value into an engineering-scaled mantissa and SI-prefix string.
+fn eng_prefix(value: f64) -> (f64, &'static str) {
+    const PREFIXES: [(f64, &str); 9] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = value.abs();
+    if mag == 0.0 || !mag.is_finite() {
+        return (value, "");
+    }
+    for &(scale, prefix) in &PREFIXES {
+        if mag >= scale {
+            return (value / scale, prefix);
+        }
+    }
+    (value / 1e-15, "f")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law() {
+        let i = Volts(2.5) / Ohms(100e3);
+        assert!((i.value() - 25e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_product_commutes() {
+        let p1 = Volts(2.5) * Amps(1e-3);
+        let p2 = Amps(1e-3) * Volts(2.5);
+        assert_eq!(p1, p2);
+        assert!((p1.value() - 2.5e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn period_frequency_roundtrip() {
+        let f = Hertz(500e6);
+        let t = f.period();
+        assert!((t.value() - 2e-9).abs() < 1e-18);
+        assert!((t.frequency().value() - 500e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_uses_engineering_prefix() {
+        assert_eq!(format!("{:.1}", Farads(1e-12)), "1.0pF");
+        assert_eq!(format!("{:.0}", Ohms(100e3)), "100kΩ");
+        assert_eq!(format!("{:.2}", Volts(2.5)), "2.50V");
+        assert_eq!(format!("{:.0}", Hertz(500e6)), "500MHz");
+    }
+
+    #[test]
+    fn display_zero() {
+        assert_eq!(format!("{:.1}", Volts(0.0)), "0.0V");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Volts(1.0) + Volts(2.0), Volts(3.0));
+        assert_eq!(Volts(5.0) - Volts(2.0), Volts(3.0));
+        assert_eq!(-Volts(1.5), Volts(-1.5));
+        assert_eq!(Volts(2.0) * 3.0, Volts(6.0));
+        assert_eq!(3.0 * Volts(2.0), Volts(6.0));
+        assert_eq!(Volts(6.0) / 3.0, Volts(2.0));
+        assert!((Volts(6.0) / Volts(3.0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_from_power_and_time() {
+        let e = Watts(1e-3) * Seconds(2.0);
+        assert!((e.value() - 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "period of zero frequency")]
+    fn zero_frequency_period_panics() {
+        let _ = Hertz(0.0).period();
+    }
+}

@@ -1,0 +1,471 @@
+//! Time-domain source waveforms.
+//!
+//! A [`Waveform`] describes the value of an independent source as a function
+//! of time. The pulse waveform follows the SPICE `PULSE` convention and has
+//! a convenience constructor [`Waveform::pwm`] for the duty-cycle-coded
+//! signals that carry information in the PWM perceptron.
+
+/// Value of an independent source over time.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Periodic trapezoidal pulse (SPICE `PULSE` semantics).
+    Pulse(Pulse),
+    /// Piecewise-linear interpolation through `(time, value)` points;
+    /// constant extrapolation outside the point range.
+    Pwl(Vec<(f64, f64)>),
+    /// Sinusoid `offset + amplitude * sin(2π f (t - delay))` for `t >= delay`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        frequency: f64,
+        /// Start delay in seconds.
+        delay: f64,
+    },
+}
+
+/// Periodic trapezoidal pulse parameters (SPICE `PULSE` semantics).
+///
+/// One period starting at `t = delay` consists of: `rise` seconds ramping
+/// from `low` to `high`, `width` seconds at `high`, `fall` seconds ramping
+/// back to `low`, and the remainder of `period` at `low`. Before `delay`
+/// the value is `low`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pulse {
+    /// Initial / low value.
+    pub low: f64,
+    /// Pulsed / high value.
+    pub high: f64,
+    /// Delay before the first rising edge, seconds.
+    pub delay: f64,
+    /// Rise time, seconds.
+    pub rise: f64,
+    /// Fall time, seconds.
+    pub fall: f64,
+    /// Time at the high value, seconds.
+    pub width: f64,
+    /// Repetition period, seconds.
+    pub period: f64,
+}
+
+impl Pulse {
+    /// Instantaneous value at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        if t < self.delay || self.period <= 0.0 {
+            return self.low;
+        }
+        let tp = (t - self.delay) % self.period;
+        if tp < self.rise {
+            let frac = if self.rise > 0.0 { tp / self.rise } else { 1.0 };
+            self.low + (self.high - self.low) * frac
+        } else if tp < self.rise + self.width {
+            self.high
+        } else if tp < self.rise + self.width + self.fall {
+            let frac = if self.fall > 0.0 {
+                (tp - self.rise - self.width) / self.fall
+            } else {
+                1.0
+            };
+            self.high + (self.low - self.high) * frac
+        } else {
+            self.low
+        }
+    }
+
+    /// Fraction of each period spent high, counting half of each edge.
+    pub fn duty_cycle(&self) -> f64 {
+        if self.period <= 0.0 {
+            return 0.0;
+        }
+        (self.width + 0.5 * (self.rise + self.fall)) / self.period
+    }
+}
+
+impl Waveform {
+    /// Constant waveform.
+    pub fn dc(value: f64) -> Self {
+        Waveform::Dc(value)
+    }
+
+    /// PWM clock: a 0→`amplitude` pulse train at `frequency` hertz with the
+    /// given `duty` cycle (0..=1) and edge times of 1 % of the period.
+    ///
+    /// The effective duty cycle (time-average of the waveform divided by the
+    /// amplitude) equals `duty` exactly because the flat-top width is
+    /// shortened to compensate for the trapezoidal edges. Duty cycles that
+    /// would make the flat top negative are clamped so the waveform stays
+    /// well formed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency <= 0`, `amplitude < 0`, or `duty` is outside
+    /// `0.0..=1.0`.
+    pub fn pwm(amplitude: f64, frequency: f64, duty: f64) -> Self {
+        Self::pwm_with_edges(amplitude, frequency, duty, 0.01)
+    }
+
+    /// PWM clock with edge (rise = fall) times expressed as a fraction of
+    /// the period.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-domain arguments (see [`Waveform::pwm`]) or if
+    /// `edge_fraction` is not in `0.0..0.5`.
+    pub fn pwm_with_edges(amplitude: f64, frequency: f64, duty: f64, edge_fraction: f64) -> Self {
+        assert!(frequency > 0.0, "pwm frequency must be positive");
+        assert!(amplitude >= 0.0, "pwm amplitude must be non-negative");
+        assert!((0.0..=1.0).contains(&duty), "duty cycle must be in 0..=1");
+        assert!(
+            (0.0..0.5).contains(&edge_fraction),
+            "edge fraction must be in 0..0.5"
+        );
+        // A 0 % or 100 % duty cycle is no pulse train at all: a real
+        // generator parks the line at the rail.
+        if duty == 0.0 {
+            return Waveform::Dc(0.0);
+        }
+        if duty == 1.0 {
+            return Waveform::Dc(amplitude);
+        }
+        let period = 1.0 / frequency;
+        let edge = edge_fraction * period;
+        // width chosen so that width + (rise+fall)/2 = duty * period
+        let width = (duty * period - edge).clamp(0.0, period - 2.0 * edge);
+        Waveform::Pulse(Pulse {
+            low: 0.0,
+            high: amplitude,
+            delay: 0.0,
+            rise: edge,
+            fall: edge,
+            width,
+            period,
+        })
+    }
+
+    /// Piecewise-linear waveform through the given `(time, value)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or the times are not strictly increasing.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "pwl requires at least one point");
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].0 > pair[0].0,
+                "pwl times must be strictly increasing"
+            );
+        }
+        Waveform::Pwl(points)
+    }
+
+    /// Sinusoid `offset + amplitude·sin(2πf(t−delay))` for `t ≥ delay`.
+    pub fn sine(offset: f64, amplitude: f64, frequency: f64) -> Self {
+        Waveform::Sine {
+            offset,
+            amplitude,
+            frequency,
+            delay: 0.0,
+        }
+    }
+
+    /// Instantaneous value at time `t` (seconds).
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse(p) => p.value(t),
+            Waveform::Pwl(points) => pwl_value(points, t),
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset
+                        + amplitude * (2.0 * std::f64::consts::PI * frequency * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// Value at `t = 0`, used as the DC operating-point drive.
+    pub fn initial_value(&self) -> f64 {
+        self.value(0.0)
+    }
+
+    /// Repetition period, if the waveform is periodic.
+    pub fn period(&self) -> Option<f64> {
+        match self {
+            Waveform::Pulse(p) if p.period > 0.0 => Some(p.period),
+            Waveform::Sine { frequency, .. } if *frequency > 0.0 => Some(1.0 / frequency),
+            _ => None,
+        }
+    }
+
+    /// The next *breakpoint* strictly after time `t`: an instant where the
+    /// waveform's slope changes discontinuously (pulse corners, PWL
+    /// points). Adaptive transient analysis must not step across these,
+    /// or a whole pulse could be skipped. Smooth waveforms return `None`.
+    pub fn next_breakpoint(&self, t: f64) -> Option<f64> {
+        const EPS_REL: f64 = 1e-12;
+        match self {
+            Waveform::Dc(_) | Waveform::Sine { .. } => None,
+            Waveform::Pulse(p) => {
+                if p.period <= 0.0 {
+                    return None;
+                }
+                let eps = p.period * EPS_REL;
+                // Corners within one period, relative to the delay.
+                let corners = [0.0, p.rise, p.rise + p.width, p.rise + p.width + p.fall];
+                if t < p.delay - eps {
+                    return Some(p.delay);
+                }
+                let base = ((t - p.delay) / p.period).floor() * p.period + p.delay;
+                for cycle in [base, base + p.period] {
+                    for &c in &corners {
+                        let bp = cycle + c;
+                        if bp > t + eps {
+                            return Some(bp);
+                        }
+                    }
+                }
+                None
+            }
+            Waveform::Pwl(points) => points
+                .iter()
+                .map(|&(pt, _)| pt)
+                .find(|&pt| pt > t * (1.0 + EPS_REL) + f64::MIN_POSITIVE),
+        }
+    }
+}
+
+impl Default for Waveform {
+    fn default() -> Self {
+        Waveform::Dc(0.0)
+    }
+}
+
+impl From<f64> for Waveform {
+    fn from(value: f64) -> Self {
+        Waveform::Dc(value)
+    }
+}
+
+fn pwl_value(points: &[(f64, f64)], t: f64) -> f64 {
+    match points {
+        [] => 0.0,
+        [only] => only.1,
+        _ => {
+            if t <= points[0].0 {
+                return points[0].1;
+            }
+            if t >= points[points.len() - 1].0 {
+                return points[points.len() - 1].1;
+            }
+            let idx = points.partition_point(|&(pt, _)| pt <= t);
+            let (t0, v0) = points[idx - 1];
+            let (t1, v1) = points[idx];
+            v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(2.5);
+        assert_eq!(w.value(0.0), 2.5);
+        assert_eq!(w.value(1.0), 2.5);
+        assert_eq!(w.period(), None);
+    }
+
+    #[test]
+    fn pwm_levels_and_period() {
+        let w = Waveform::pwm(2.5, 500e6, 0.5);
+        let period = w.period().expect("pwm is periodic");
+        assert!((period - 2e-9).abs() < 1e-18);
+        // Middle of the high phase.
+        assert!((w.value(0.5e-9) - 2.5).abs() < 1e-12);
+        // Low phase.
+        assert!(w.value(1.8e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pwm_effective_duty_matches_request() {
+        for &duty in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let w = Waveform::pwm(1.0, 1e6, duty);
+            if let Waveform::Pulse(p) = &w {
+                assert!(
+                    (p.duty_cycle() - duty).abs() < 1e-12,
+                    "duty {duty} produced {}",
+                    p.duty_cycle()
+                );
+            } else {
+                panic!("pwm should be a pulse");
+            }
+        }
+    }
+
+    #[test]
+    fn pwm_numerical_average_matches_duty() {
+        let duty = 0.3;
+        let w = Waveform::pwm(2.0, 1e6, duty);
+        let period = w.period().unwrap();
+        let n = 100_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let t = period * (i as f64 + 0.5) / n as f64;
+            sum += w.value(t);
+        }
+        let avg = sum / n as f64;
+        assert!(
+            (avg - 2.0 * duty).abs() < 1e-3,
+            "average {avg} vs expected {}",
+            2.0 * duty
+        );
+    }
+
+    #[test]
+    fn pwm_extreme_duty_cycles_are_well_formed() {
+        let w0 = Waveform::pwm(1.0, 1e6, 0.0);
+        let w1 = Waveform::pwm(1.0, 1e6, 1.0);
+        // Duty 0: almost always low; duty 1: flat top fills the period
+        // minus edges.
+        assert!(w0.value(0.5e-6) < 0.6); // middle of period
+        assert!(w1.value(0.5e-6) > 0.99);
+    }
+
+    #[test]
+    fn pulse_edges_are_linear() {
+        let p = Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 0.0,
+            rise: 0.2,
+            fall: 0.2,
+            width: 0.3,
+            period: 1.0,
+        };
+        assert!((p.value(0.1) - 0.5).abs() < 1e-12); // mid-rise
+        assert!((p.value(0.3) - 1.0).abs() < 1e-12); // top
+        assert!((p.value(0.6) - 0.5).abs() < 1e-12); // mid-fall
+        assert!(p.value(0.9).abs() < 1e-12); // low tail
+        assert!((p.value(1.1) - 0.5).abs() < 1e-12); // periodic repeat
+    }
+
+    #[test]
+    fn pulse_respects_delay() {
+        let p = Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 1.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 0.5,
+            period: 1.0,
+        };
+        assert_eq!(p.value(0.5), 0.0);
+        assert_eq!(p.value(1.25), 1.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::pwl(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]);
+        assert_eq!(w.value(-1.0), 0.0);
+        assert!((w.value(0.5) - 1.0).abs() < 1e-12);
+        assert!((w.value(1.5) - 1.5).abs() < 1e-12);
+        assert_eq!(w.value(5.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn pwl_rejects_unsorted_points() {
+        let _ = Waveform::pwl(vec![(0.0, 0.0), (0.0, 1.0)]);
+    }
+
+    #[test]
+    fn sine_value() {
+        let w = Waveform::sine(1.0, 0.5, 1.0);
+        assert!((w.value(0.25) - 1.5).abs() < 1e-12);
+        assert!((w.value(0.75) - 0.5).abs() < 1e-12);
+        assert_eq!(w.period(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle must be in 0..=1")]
+    fn pwm_rejects_bad_duty() {
+        let _ = Waveform::pwm(1.0, 1e6, 1.5);
+    }
+
+    #[test]
+    fn from_f64_is_dc() {
+        let w: Waveform = 3.3.into();
+        assert_eq!(w, Waveform::Dc(3.3));
+    }
+
+    #[test]
+    fn pulse_breakpoints_walk_the_corners() {
+        let p = Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 0.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.3,
+            period: 1.0,
+        };
+        let w = Waveform::Pulse(p);
+        let mut t = -0.5;
+        let mut seen = Vec::new();
+        for _ in 0..9 {
+            let bp = w.next_breakpoint(t).expect("pulses always break");
+            assert!(bp > t);
+            seen.push(bp);
+            t = bp;
+        }
+        // Corners of cycle 0 and 1: 0, .1, .4, .5, 1.0, 1.1, 1.4, 1.5, 2.0
+        let expect = [0.0, 0.1, 0.4, 0.5, 1.0, 1.1, 1.4, 1.5, 2.0];
+        for (s, e) in seen.iter().zip(&expect) {
+            assert!((s - e).abs() < 1e-9, "{seen:?}");
+        }
+    }
+
+    #[test]
+    fn breakpoints_respect_delay() {
+        let w = Waveform::Pulse(Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 5.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 0.5,
+            period: 1.0,
+        });
+        assert_eq!(w.next_breakpoint(0.0), Some(5.0));
+    }
+
+    #[test]
+    fn smooth_waveforms_have_no_breakpoints() {
+        assert_eq!(Waveform::dc(1.0).next_breakpoint(0.0), None);
+        assert_eq!(Waveform::sine(0.0, 1.0, 1e3).next_breakpoint(0.0), None);
+    }
+
+    #[test]
+    fn pwl_breakpoints_are_its_points() {
+        let w = Waveform::pwl(vec![(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)]);
+        assert_eq!(w.next_breakpoint(-1.0), Some(0.0));
+        assert_eq!(w.next_breakpoint(0.5), Some(1.0));
+        assert_eq!(w.next_breakpoint(1.0), Some(3.0));
+        assert_eq!(w.next_breakpoint(3.0), None);
+    }
+}

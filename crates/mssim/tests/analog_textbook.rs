@@ -1,0 +1,154 @@
+//! Textbook-circuit validation: closed-form answers from a first analog
+//! course, reproduced by the engine. These pin the simulator's physics
+//! independently of the perceptron work.
+
+use mssim::prelude::*;
+
+/// Wheatstone bridge: balanced when R1/R2 = R3/R4.
+#[test]
+fn wheatstone_bridge_balance() {
+    let solve = |r4: f64| -> f64 {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        let left = ckt.node("left");
+        let right = ckt.node("right");
+        ckt.vsource("V1", top, Circuit::GND, Waveform::dc(5.0));
+        ckt.resistor("R1", top, left, 1e3);
+        ckt.resistor("R2", left, Circuit::GND, 2e3);
+        ckt.resistor("R3", top, right, 10e3);
+        ckt.resistor("R4", right, Circuit::GND, r4);
+        let op = dc_operating_point(&ckt).unwrap();
+        op.voltage(left) - op.voltage(right)
+    };
+    // Balance: R4 = R2·R3/R1 = 20 kΩ. Lowering R4 drops the right node
+    // (diff positive); raising it lifts the right node (diff negative).
+    assert!(solve(20e3).abs() < 1e-9, "balanced bridge: {}", solve(20e3));
+    assert!(solve(10e3) > 0.1, "detuned low: {}", solve(10e3));
+    assert!(solve(40e3) < -0.1, "detuned high: {}", solve(40e3));
+}
+
+/// Current divider: parallel resistors split a source current by
+/// conductance.
+#[test]
+fn current_divider() {
+    let mut ckt = Circuit::new();
+    let n = ckt.node("n");
+    ckt.isource("I1", Circuit::GND, n, Waveform::dc(3e-3));
+    ckt.resistor("R1", n, Circuit::GND, 1e3);
+    ckt.resistor("R2", n, Circuit::GND, 2e3);
+    let op = dc_operating_point(&ckt).unwrap();
+    // Req = 2/3 kΩ → v = 2 V; i1 = 2 mA, i2 = 1 mA.
+    assert!((op.voltage(n) - 2.0).abs() < 1e-9);
+}
+
+/// Half-wave rectifier with smoothing capacitor: output rides near the
+/// peak with small droop between peaks.
+#[test]
+fn halfwave_rectifier_with_smoothing() {
+    let mut ckt = Circuit::new();
+    let ac = ckt.node("ac");
+    let out = ckt.node("out");
+    ckt.vsource("V1", ac, Circuit::GND, Waveform::sine(0.0, 5.0, 1e3));
+    ckt.diode("D1", ac, out, 1e-12, 1.0);
+    ckt.capacitor("C1", out, Circuit::GND, 10e-6);
+    ckt.resistor("RL", out, Circuit::GND, 10e3); // τ = 100 ms ≫ 1 ms period
+    let result = Transient::new(2e-6, 5e-3)
+        .use_initial_conditions()
+        .run(&ckt)
+        .unwrap();
+    let v = result.voltage(out);
+    // After the first peak the output sits near 5 V − V_diode.
+    let v_end = v.last_value();
+    assert!(v_end > 4.0 && v_end < 5.0, "v_out = {v_end}");
+    // Droop between peaks stays small.
+    let ripple = v.ripple_between(1.2e-3, 5e-3);
+    assert!(ripple < 0.4, "ripple = {ripple}");
+}
+
+/// RC differentiator: for f ≪ 1/(2πRC) the output leads the input by
+/// ~90° and scales with frequency.
+#[test]
+fn rc_highpass_gain_scales_with_frequency() {
+    let r = 10e3;
+    let c = 1e-9;
+    let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c); // ≈ 15.9 kHz
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    let src = ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(0.0));
+    ckt.capacitor("C1", vin, out, c);
+    ckt.resistor("R1", out, Circuit::GND, r);
+    let ac = ac_analysis(&ckt, src, &[fc / 100.0, fc / 10.0]).unwrap();
+    let m = ac.magnitude(out);
+    // One decade in frequency → 10× gain in the stopband.
+    assert!((m[1] / m[0] - 10.0).abs() < 0.2, "{m:?}");
+    // Phase leads toward +90°.
+    let ph = ac.phase_deg(out)[0];
+    assert!((ph - 90.0).abs() < 2.0, "phase {ph}");
+}
+
+/// Maximum power transfer: a loaded source delivers the most power when
+/// R_load = R_source.
+#[test]
+fn maximum_power_transfer() {
+    let power_into = |r_load: f64| -> f64 {
+        let mut ckt = Circuit::new();
+        let src = ckt.node("src");
+        let out = ckt.node("out");
+        ckt.vsource("V1", src, Circuit::GND, Waveform::dc(2.0));
+        ckt.resistor("Rs", src, out, 1e3);
+        ckt.resistor("RL", out, Circuit::GND, r_load);
+        let op = dc_operating_point(&ckt).unwrap();
+        let v = op.voltage(out);
+        v * v / r_load
+    };
+    let matched = power_into(1e3);
+    assert!(matched > power_into(0.3e3));
+    assert!(matched > power_into(3e3));
+    // P_max = V²/(4·Rs) = 1 mW.
+    assert!((matched - 1e-3).abs() < 1e-9);
+}
+
+/// LC tank energy conservation: with no resistance in the loop, the
+/// oscillation amplitude persists (trapezoidal integration is
+/// non-dissipative).
+#[test]
+fn lc_tank_oscillates_without_decay() {
+    let l = 1e-6f64;
+    let c = 1e-9f64;
+    let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+    let mut ckt = Circuit::new();
+    let n = ckt.node("n");
+    ckt.inductor("L1", n, Circuit::GND, l);
+    ckt.capacitor_with_ic("C1", n, Circuit::GND, c, 1.0);
+    let period = 1.0 / f0;
+    let result = Transient::new(period / 200.0, 20.0 * period)
+        .use_initial_conditions()
+        .run(&ckt)
+        .unwrap();
+    let v = result.voltage(n);
+    // Amplitude in the last five periods still ≈ 1 V.
+    let (_, t_end) = v.span();
+    let late_peak = v
+        .times()
+        .iter()
+        .zip(v.values())
+        .filter(|(t, _)| **t > t_end - 5.0 * period)
+        .map(|(_, v)| v.abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        late_peak > 0.97 && late_peak < 1.03,
+        "amplitude after 20 cycles: {late_peak}"
+    );
+    // Oscillation frequency near f0: count zero crossings.
+    let crossings = v
+        .values()
+        .windows(2)
+        .filter(|w| w[0].signum() != w[1].signum())
+        .count();
+    let measured_f = crossings as f64 / 2.0 / (t_end);
+    assert!(
+        (measured_f / f0 - 1.0).abs() < 0.02,
+        "f = {measured_f:.3e} vs f0 = {f0:.3e}"
+    );
+}

@@ -1,0 +1,179 @@
+//! Failure injection: the simulator must *diagnose* broken inputs, not
+//! hang or return garbage.
+
+use mssim::prelude::*;
+
+/// Two ideal voltage sources fighting over one node: singular system.
+#[test]
+fn conflicting_sources_are_singular() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+    ckt.vsource("V2", a, Circuit::GND, Waveform::dc(2.0));
+    ckt.resistor("R1", a, Circuit::GND, 1e3);
+    let err = dc_operating_point(&ckt).unwrap_err();
+    assert!(
+        matches!(err, Error::SingularMatrix { .. }),
+        "expected singular matrix, got {err}"
+    );
+}
+
+/// A loop of ideal voltage sources is equally singular in transient.
+#[test]
+fn source_loop_fails_in_transient() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+    ckt.vsource("V2", b, a, Waveform::dc(0.5));
+    ckt.vsource("V3", b, Circuit::GND, Waveform::dc(2.0)); // loop closed
+    ckt.resistor("RL", b, Circuit::GND, 1e3);
+    let err = Transient::new(1e-9, 10e-9).run(&ckt).unwrap_err();
+    assert!(matches!(err, Error::SingularMatrix { .. }), "{err}");
+}
+
+/// An island disconnected from ground is caught by validation before any
+/// numerics run.
+#[test]
+fn disconnected_island_is_rejected() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+    ckt.resistor("R1", a, Circuit::GND, 1e3);
+    let x = ckt.node("x");
+    let y = ckt.node("y");
+    ckt.resistor("R2", x, y, 1e3);
+    ckt.capacitor("C1", y, x, 1e-12);
+    for result in [
+        dc_operating_point(&ckt).map(|_| ()),
+        Transient::new(1e-9, 10e-9).run(&ckt).map(|_| ()),
+    ] {
+        let err = result.unwrap_err();
+        assert!(
+            matches!(err, Error::InvalidCircuit { .. }),
+            "expected invalid-circuit, got {err}"
+        );
+        assert!(err.to_string().contains("not connected to ground"));
+    }
+}
+
+/// Starving Newton of iterations produces a clean non-convergence error
+/// that reports the failing time point.
+#[test]
+fn iteration_starvation_reports_nonconvergence() {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+    ckt.vsource("VIN", inp, Circuit::GND, Waveform::pwm(2.5, 100e6, 0.5));
+    ckt.mosfet(
+        "MP",
+        out,
+        inp,
+        vdd,
+        mssim::elements::MosParams::pmos(865e-9, 1.2e-6),
+    );
+    ckt.mosfet(
+        "MN",
+        out,
+        inp,
+        Circuit::GND,
+        mssim::elements::MosParams::nmos(320e-9, 1.2e-6),
+    );
+    ckt.capacitor("CL", out, Circuit::GND, 1e-13);
+    let err = Transient::new(1e-10, 100e-9)
+        .use_initial_conditions()
+        .with_max_iterations(1)
+        .run(&ckt)
+        .unwrap_err();
+    match err {
+        Error::NonConvergence {
+            analysis,
+            iterations,
+            ..
+        } => {
+            assert_eq!(analysis, "transient");
+            assert_eq!(iterations, 1);
+        }
+        other => panic!("expected non-convergence, got {other}"),
+    }
+}
+
+/// Probing a nonexistent branch current is an error, not a panic.
+#[test]
+fn bad_probe_is_an_error() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+    let r = ckt.resistor("R1", a, Circuit::GND, 1e3);
+    let op = dc_operating_point(&ckt).unwrap();
+    let err = op.branch_current(r).unwrap_err();
+    assert!(matches!(err, Error::UnknownProbe { .. }));
+}
+
+/// Extremely stiff circuits (τ spanning 9 decades) still run without
+/// blowing up — the implicit integrators are unconditionally stable.
+#[test]
+fn stiff_circuit_remains_stable() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let fast = ckt.node("fast");
+    let slow = ckt.node("slow");
+    ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+    ckt.resistor("R1", a, fast, 1.0); // τ = 1 ns
+    ckt.capacitor("C1", fast, Circuit::GND, 1e-9);
+    ckt.resistor("R2", a, slow, 1e6); // τ = 1 ms
+    ckt.capacitor("C2", slow, Circuit::GND, 1e-9);
+    // Step chosen way beyond the fast time constant. Backward Euler is
+    // L-stable: the unresolved fast mode is annihilated, not rung.
+    let result = Transient::new(1e-6, 200e-6)
+        .use_initial_conditions()
+        .with_method(IntegrationMethod::BackwardEuler)
+        .run(&ckt)
+        .unwrap();
+    let v_fast = result.voltage(fast);
+    let v_slow = result.voltage(slow);
+    // Fast node snapped to the rail without oscillating.
+    assert!((v_fast.last_value() - 1.0).abs() < 1e-6);
+    assert!(v_fast.max() < 1.0 + 1e-6, "no overshoot allowed");
+    // Slow node still charging at 200 µs (τ = 1 ms); BE at h = τ/1000 is
+    // plenty accurate here.
+    let expected = 1.0 - f64::exp(-200e-6 / 1e-3);
+    assert!((v_slow.last_value() - expected).abs() < 5e-3);
+
+    // Trapezoidal on the same grid stays bounded (A-stable) even though
+    // the fast mode rings; it must still end within a millivolt.
+    let result = Transient::new(1e-6, 200e-6)
+        .use_initial_conditions()
+        .run(&ckt)
+        .unwrap();
+    let v_fast = result.voltage(fast);
+    assert!(v_fast.max() < 1.01 && v_fast.min() > -0.01, "bounded");
+    assert!((v_fast.last_value() - 1.0).abs() < 1e-2);
+}
+
+/// Zero-valued parameters are rejected at construction, never reaching
+/// the solver.
+#[test]
+fn invalid_parameters_panic_at_construction() {
+    use std::panic::catch_unwind;
+    let r = catch_unwind(|| {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor("R1", a, Circuit::GND, 0.0);
+    });
+    assert!(r.is_err());
+    let c = catch_unwind(|| {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.capacitor("C1", a, Circuit::GND, -1e-12);
+    });
+    assert!(c.is_err());
+    let l = catch_unwind(|| {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.inductor("L1", a, Circuit::GND, f64::NAN);
+    });
+    assert!(l.is_err());
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of the simulation engine's invariants.
+
+use mssim::linear::DenseMatrix;
+use mssim::prelude::*;
+use mssim::trace::Trace;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LU solves random diagonally-dominant systems to tight residuals.
+    #[test]
+    fn lu_solver_residual_is_small(
+        seed in 0u64..1000,
+        n in 2usize..12,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut m = DenseMatrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m.set(r, c, next());
+            }
+            m.add(r, r, n as f64); // diagonal dominance
+        }
+        let x_true: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+        let mut rhs = m.mul_vec(&x_true);
+        let mut lu = m.clone();
+        lu.solve_in_place(&mut rhs).unwrap();
+        for (a, b) in rhs.iter().zip(&x_true) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    /// Trapezoidal averages always lie between the extremes.
+    #[test]
+    fn trace_average_is_bounded(values in prop::collection::vec(-10.0f64..10.0, 2..50)) {
+        let t: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        let tr = Trace::new(&t, &values);
+        let avg = tr.average();
+        prop_assert!(avg >= tr.min() - 1e-12 && avg <= tr.max() + 1e-12);
+    }
+
+    /// Integration is additive over adjacent windows.
+    #[test]
+    fn trace_integral_is_additive(
+        values in prop::collection::vec(-5.0f64..5.0, 4..40),
+        split in 0.1f64..0.9,
+    ) {
+        let t: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        let tr = Trace::new(&t, &values);
+        let (t0, t1) = tr.span();
+        let tm = t0 + (t1 - t0) * split;
+        let whole = tr.integrate_between(t0, t1);
+        let parts = tr.integrate_between(t0, tm) + tr.integrate_between(tm, t1);
+        prop_assert!((whole - parts).abs() < 1e-9, "{whole} vs {parts}");
+    }
+
+    /// A PWM waveform's numeric time-average equals amplitude × duty,
+    /// within the duty range representable with the default 1 % edges
+    /// (requests outside `[edge, 1 − edge]` saturate — a pulse narrower
+    /// than its own edges does not exist).
+    #[test]
+    fn pwm_average_equals_duty(
+        duty in 0.0f64..=1.0,
+        amplitude in 0.1f64..5.0,
+        freq in 1e6f64..1e9,
+    ) {
+        let w = Waveform::pwm(amplitude, freq, duty);
+        let period = 1.0 / freq;
+        let n = 20_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            sum += w.value(period * (i as f64 + 0.5) / n as f64);
+        }
+        let avg = sum / n as f64;
+        let effective = if duty == 0.0 || duty == 1.0 {
+            duty // exact-rail requests become DC
+        } else {
+            duty.clamp(0.01, 0.99)
+        };
+        prop_assert!(
+            (avg - amplitude * effective).abs() < amplitude * 2e-3,
+            "avg {avg} vs {}", amplitude * effective
+        );
+    }
+
+    /// DC resistive divider matches the analytic answer for random values.
+    #[test]
+    fn divider_matches_analytic(
+        v in 0.5f64..10.0,
+        r1 in 1e2f64..1e6,
+        r2 in 1e2f64..1e6,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(v));
+        ckt.resistor("R1", a, b, r1);
+        ckt.resistor("R2", b, Circuit::GND, r2);
+        let op = dc_operating_point(&ckt).unwrap();
+        let expect = v * r2 / (r1 + r2);
+        prop_assert!((op.voltage(b) - expect).abs() < 1e-6 * v.max(1.0));
+    }
+
+    /// Superposition holds on a linear two-source network.
+    #[test]
+    fn superposition_of_two_sources(
+        v1 in -5.0f64..5.0,
+        v2 in -5.0f64..5.0,
+        r in 1e3f64..1e5,
+    ) {
+        let solve = |va: f64, vb: f64| -> f64 {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            let mid = ckt.node("mid");
+            ckt.vsource("V1", a, Circuit::GND, Waveform::dc(va));
+            ckt.vsource("V2", b, Circuit::GND, Waveform::dc(vb));
+            ckt.resistor("R1", a, mid, r);
+            ckt.resistor("R2", b, mid, 2.0 * r);
+            ckt.resistor("R3", mid, Circuit::GND, r);
+            dc_operating_point(&ckt).unwrap().voltage(mid)
+        };
+        let both = solve(v1, v2);
+        let sum = solve(v1, 0.0) + solve(0.0, v2);
+        prop_assert!((both - sum).abs() < 1e-9, "{both} vs {sum}");
+    }
+
+    /// RC charge hits 1 − 1/e at t = τ for random component values.
+    #[test]
+    fn rc_charge_at_tau(
+        r in 1e2f64..1e5,
+        c in 1e-10f64..1e-7,
+    ) {
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        ckt.resistor("R1", a, b, r);
+        ckt.capacitor("C1", b, Circuit::GND, c);
+        let result = Transient::new(tau / 400.0, 2.0 * tau)
+            .use_initial_conditions()
+            .run(&ckt)
+            .unwrap();
+        let got = result.voltage(b).value_at(tau);
+        let expect = 1.0 - (-1.0f64).exp();
+        prop_assert!((got - expect).abs() < 5e-3, "{got} vs {expect}");
+    }
+
+    /// Sweeps preserve input order regardless of size.
+    #[test]
+    fn sweep_preserves_order(n in 0usize..500) {
+        let pts: Vec<usize> = (0..n).collect();
+        let out = mssim::sweep::sweep(&pts, |&p, i| {
+            assert_eq!(p, i);
+            p * 3
+        });
+        prop_assert_eq!(out.len(), n);
+        for (i, v) in out.iter().enumerate() {
+            prop_assert_eq!(*v, i * 3);
+        }
+    }
+
+    /// Monte Carlo is reproducible and independent of parallel scheduling.
+    #[test]
+    fn monte_carlo_reproducible(seed in 0u64..1000, n in 1usize..100) {
+        use rand::Rng;
+        let a = mssim::sweep::monte_carlo(n, seed, |rng, _| rng.gen::<u64>());
+        let b = mssim::sweep::monte_carlo(n, seed, |rng, _| rng.gen::<u64>());
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,325 @@
+//! The weighted adder — the paper's Fig. 3.
+//!
+//! `k` PWM inputs, each multiplied by an `n`-bit digital weight, are summed
+//! onto one output capacitor. Every weight bit owns a 6-transistor AND
+//! cell whose output drives the shared node through a binary-scaled
+//! resistor: the LSB cell (×1) uses the smallest transistors and the
+//! largest resistor, each higher bit doubles the transistor width and
+//! halves the resistor. A **disabled** bit still drives the node — low —
+//! so the output is the conductance-weighted average described by the
+//! paper's Eq. 2 (see [`crate::analytic::adder_vout`]).
+
+use mssim::prelude::{Circuit, ElementId, NodeId};
+
+use crate::gates::AndCell;
+use crate::tech::Technology;
+
+/// Dimensions of a weighted adder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdderSpec {
+    /// Number of PWM inputs `k`.
+    pub inputs: usize,
+    /// Weight width `n` in bits.
+    pub bits: u32,
+}
+
+impl AdderSpec {
+    /// Creates a spec, validating the dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs == 0` or `bits` is outside `1..=16`.
+    pub fn new(inputs: usize, bits: u32) -> Self {
+        assert!(inputs > 0, "adder needs at least one input");
+        assert!((1..=16).contains(&bits), "weight width must be 1..=16 bits");
+        AdderSpec { inputs, bits }
+    }
+
+    /// The paper's 3×3 case study.
+    pub fn paper_3x3() -> Self {
+        AdderSpec::new(3, 3)
+    }
+
+    /// Largest representable weight, `2ⁿ − 1`.
+    pub fn max_weight(self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Total transistor count: 6 per weight bit per input (the paper's 54
+    /// for 3×3).
+    pub fn transistor_count(self) -> usize {
+        self.inputs * self.bits as usize * AndCell::TRANSISTORS
+    }
+}
+
+/// Handles to one instantiated weighted adder.
+#[derive(Debug, Clone)]
+pub struct WeightedAdder {
+    spec: AdderSpec,
+    weights: Vec<u32>,
+    /// PWM input nodes, one per input.
+    pub inputs: Vec<NodeId>,
+    /// Shared analog output node.
+    pub output: NodeId,
+    /// AND cells, indexed `[input][bit]`.
+    pub cells: Vec<Vec<AndCell>>,
+    /// Per-cell output resistors, indexed `[input][bit]`.
+    pub cell_resistors: Vec<Vec<ElementId>>,
+    /// The shared output capacitor.
+    pub cout: ElementId,
+}
+
+impl WeightedAdder {
+    /// Instantiates the adder into `circuit` with the given digital
+    /// weights. Weight bits are wired structurally: a set bit ties the
+    /// cell's enable gate to `vdd`, a clear bit ties it to ground (the
+    /// cell then continuously drives low, loading the output as the paper
+    /// intends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != spec.inputs`, any weight exceeds
+    /// `spec.max_weight()`, or element names collide (reuse of `prefix`).
+    pub fn build(
+        circuit: &mut Circuit,
+        tech: &Technology,
+        prefix: &str,
+        vdd: NodeId,
+        weights: &[u32],
+        spec: AdderSpec,
+    ) -> Self {
+        assert_eq!(
+            weights.len(),
+            spec.inputs,
+            "need one weight per input ({} != {})",
+            weights.len(),
+            spec.inputs
+        );
+        for &w in weights {
+            assert!(
+                w <= spec.max_weight(),
+                "weight {w} exceeds {}-bit range",
+                spec.bits
+            );
+        }
+
+        let output = circuit.node(&format!("{prefix}_out"));
+        let mut inputs = Vec::with_capacity(spec.inputs);
+        let mut cells = Vec::with_capacity(spec.inputs);
+        let mut cell_resistors = Vec::with_capacity(spec.inputs);
+
+        #[allow(clippy::needless_range_loop)] // `i` names nodes AND indexes weights
+        for i in 0..spec.inputs {
+            let input = circuit.node(&format!("{prefix}_in{i}"));
+            inputs.push(input);
+            let mut row = Vec::with_capacity(spec.bits as usize);
+            let mut row_res = Vec::with_capacity(spec.bits as usize);
+            for b in 0..spec.bits {
+                let scale = (1u32 << b) as f64;
+                let enable = if weights[i] & (1 << b) != 0 {
+                    vdd
+                } else {
+                    Circuit::GND
+                };
+                let cell = AndCell::build(
+                    circuit,
+                    tech,
+                    &format!("{prefix}_c{i}b{b}"),
+                    input,
+                    enable,
+                    vdd,
+                    scale,
+                );
+                let r = circuit.resistor(
+                    &format!("{prefix}_R{i}b{b}"),
+                    cell.output,
+                    output,
+                    tech.rout.value() / scale,
+                );
+                row.push(cell);
+                row_res.push(r);
+            }
+            cells.push(row);
+            cell_resistors.push(row_res);
+        }
+
+        let cout = circuit.capacitor(
+            &format!("{prefix}_Cout"),
+            output,
+            Circuit::GND,
+            tech.cout_adder.value(),
+        );
+
+        WeightedAdder {
+            spec,
+            weights: weights.to_vec(),
+            inputs,
+            output,
+            cells,
+            cell_resistors,
+            cout,
+        }
+    }
+
+    /// The adder's dimensions.
+    pub fn spec(&self) -> AdderSpec {
+        self.spec
+    }
+
+    /// The structural weights this instance was built with.
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Total transistor count of this instance.
+    pub fn transistor_count(&self) -> usize {
+        self.spec.transistor_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssim::prelude::*;
+
+    #[test]
+    fn spec_paper_case_study() {
+        let spec = AdderSpec::paper_3x3();
+        assert_eq!(spec.inputs, 3);
+        assert_eq!(spec.bits, 3);
+        assert_eq!(spec.max_weight(), 7);
+        // The paper's headline simplicity claim: 54 transistors.
+        assert_eq!(spec.transistor_count(), 54);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_weight_panics() {
+        let mut ckt = Circuit::new();
+        let tech = Technology::umc65_like();
+        let vdd = ckt.node("vdd");
+        let _ = WeightedAdder::build(
+            &mut ckt,
+            &tech,
+            "a",
+            vdd,
+            &[8, 0, 0],
+            AdderSpec::paper_3x3(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per input")]
+    fn wrong_weight_count_panics() {
+        let mut ckt = Circuit::new();
+        let tech = Technology::umc65_like();
+        let vdd = ckt.node("vdd");
+        let _ = WeightedAdder::build(&mut ckt, &tech, "a", vdd, &[1, 2], AdderSpec::paper_3x3());
+    }
+
+    fn dc_fixture(input_levels: &[f64], weights: &[u32]) -> (Circuit, WeightedAdder) {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+        let adder = WeightedAdder::build(
+            &mut ckt,
+            &tech,
+            "a",
+            vdd,
+            weights,
+            AdderSpec::new(input_levels.len(), 3),
+        );
+        for (i, &lv) in input_levels.iter().enumerate() {
+            let node = adder.inputs[i];
+            ckt.vsource(&format!("VIN{i}"), node, Circuit::GND, Waveform::dc(lv));
+        }
+        (ckt, adder)
+    }
+
+    #[test]
+    fn dc_extremes() {
+        // All inputs high, all weights maximal → output at Vdd.
+        let (ckt, adder) = dc_fixture(&[2.5, 2.5, 2.5], &[7, 7, 7]);
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!(op.voltage(adder.output) > 2.4);
+
+        // All inputs low → output at ground.
+        let (ckt, adder) = dc_fixture(&[0.0, 0.0, 0.0], &[7, 7, 7]);
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!(op.voltage(adder.output) < 0.1);
+    }
+
+    #[test]
+    fn dc_conductance_average() {
+        // One input high (weight 7 of 21 total conductance units) → the
+        // output sits at Vdd/3, the conductance-weighted average.
+        let (ckt, adder) = dc_fixture(&[2.5, 0.0, 0.0], &[7, 7, 7]);
+        let op = dc_operating_point(&ckt).unwrap();
+        let v = op.voltage(adder.output);
+        let expect = 2.5 / 3.0;
+        assert!((v - expect).abs() < 0.08, "v = {v}, expected ≈ {expect:.3}");
+    }
+
+    #[test]
+    fn disabled_weight_loads_the_node() {
+        // Input high but weight 0: its cells drive low. With the other
+        // inputs low too, output must be ~0, not floating.
+        let (ckt, adder) = dc_fixture(&[2.5, 0.0, 0.0], &[0, 7, 7]);
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!(op.voltage(adder.output) < 0.1);
+    }
+
+    #[test]
+    fn binary_weighting_of_resistors() {
+        let (ckt, adder) = dc_fixture(&[0.0, 0.0, 0.0], &[7, 7, 7]);
+        for row in &adder.cell_resistors {
+            let values: Vec<f64> = row
+                .iter()
+                .map(|&id| match ckt.element(id) {
+                    mssim::elements::Element::Resistor { ohms, .. } => *ohms,
+                    _ => panic!("expected resistor"),
+                })
+                .collect();
+            assert!((values[0] / values[1] - 2.0).abs() < 1e-12);
+            assert!((values[1] / values[2] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    /// Small (2×2, reduced Cout) transient check against Eq. 2 so the unit
+    /// suite stays fast; the paper-sized Table II runs live in the bench
+    /// harness.
+    #[test]
+    fn pwm_transient_matches_eq2() {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+        let spec = AdderSpec::new(2, 2);
+        let weights = [3u32, 1];
+        let duties = [0.8, 0.4];
+        let adder = WeightedAdder::build(&mut ckt, &tech, "a", vdd, &weights, spec);
+        // Shrink the output capacitor so the node settles in a few cycles.
+        ckt.set_capacitance(adder.cout, 200e-15).unwrap();
+        let freq = 50e6;
+        for (i, &d) in duties.iter().enumerate() {
+            ckt.vsource(
+                &format!("VIN{i}"),
+                adder.inputs[i],
+                Circuit::GND,
+                Waveform::pwm(2.5, freq, d),
+            );
+        }
+        let period = 1.0 / freq;
+        let result = Transient::new(period / 200.0, 25.0 * period)
+            .use_initial_conditions()
+            .run(&ckt)
+            .unwrap();
+        let vout = result.voltage(adder.output).steady_state_average(period, 3);
+        let expect = crate::analytic::adder_vout(2.5, &duties, &weights, 2);
+        assert!(
+            (vout - expect).abs() < 0.12,
+            "vout = {vout:.3}, Eq.2 = {expect:.3}"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Closed-form models: the paper's Eq. 2 and first-order RC estimates.
+//!
+//! These are the "theoretical" columns of the paper's Table II, used both
+//! as golden references for the transistor-level simulation and as the
+//! fastest evaluator tier of the perceptron.
+
+/// Ideal transcoding-inverter output (Fig. 2, large-Rout limit):
+/// `Vout = Vdd · (1 − duty)`.
+///
+/// # Panics
+///
+/// Panics if `duty` is outside `0.0..=1.0`.
+///
+/// # Examples
+///
+/// ```
+/// let v = pwmcell::analytic::inverter_vout(2.5, 0.25);
+/// assert!((v - 1.875).abs() < 1e-12);
+/// ```
+pub fn inverter_vout(vdd: f64, duty: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&duty), "duty must be in 0..=1");
+    vdd * (1.0 - duty)
+}
+
+/// The paper's Eq. 2: ideal weighted-adder output voltage.
+///
+/// `Vout = Vdd · Σ DCᵢ·Wᵢ / (k·(2ⁿ−1))` where `k = duties.len()` inputs
+/// each carry an `n`-bit weight. Disabled weight bits still load the
+/// output node (their cells drive low), which is why the denominator uses
+/// the *full* weight range rather than the enabled subset.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty, if any duty is
+/// outside `0.0..=1.0`, if `bits == 0` or `bits > 31`, or if any weight
+/// exceeds `2^bits − 1`.
+///
+/// # Examples
+///
+/// The first row of the paper's Table II:
+///
+/// ```
+/// let v = pwmcell::analytic::adder_vout(2.5, &[0.7, 0.8, 0.9], &[7, 7, 7], 3);
+/// assert!((v - 2.0).abs() < 1e-12);
+/// ```
+pub fn adder_vout(vdd: f64, duties: &[f64], weights: &[u32], bits: u32) -> f64 {
+    assert_eq!(
+        duties.len(),
+        weights.len(),
+        "duties and weights must pair up"
+    );
+    assert!(!duties.is_empty(), "adder needs at least one input");
+    assert!((1..=31).contains(&bits), "weight width must be 1..=31 bits");
+    let w_max = (1u32 << bits) - 1;
+    let mut acc = 0.0;
+    for (&d, &w) in duties.iter().zip(weights) {
+        assert!((0.0..=1.0).contains(&d), "duty must be in 0..=1, got {d}");
+        assert!(w <= w_max, "weight {w} exceeds {bits}-bit range");
+        acc += d * w as f64;
+    }
+    vdd * acc / (duties.len() as f64 * w_max as f64)
+}
+
+/// Maximum possible Eq.-2 output: all duties 100 %, all weights maximal —
+/// equals `vdd`. Useful for normalising.
+pub fn adder_vout_max(vdd: f64) -> f64 {
+    vdd
+}
+
+/// First-order estimate of the steady-state peak-to-peak ripple of a PWM
+/// node: `ΔV ≈ Vdd · d·(1−d) · T / τ` for `τ ≫ T` (exact in the linear
+/// small-ripple limit).
+///
+/// # Panics
+///
+/// Panics if `tau` or `period` is not strictly positive.
+pub fn ripple_estimate(vdd: f64, duty: f64, period: f64, tau: f64) -> f64 {
+    assert!(tau > 0.0 && period > 0.0, "tau and period must be positive");
+    vdd * duty * (1.0 - duty) * period / tau
+}
+
+/// Number of periods needed for the output average to settle within
+/// `tol` (fraction of the final value): `ceil(τ/T · ln(1/tol))`.
+///
+/// # Panics
+///
+/// Panics if `tau` or `period` is not strictly positive or `tol` is not in
+/// `(0, 1)`.
+pub fn settle_periods(period: f64, tau: f64, tol: f64) -> usize {
+    assert!(tau > 0.0 && period > 0.0, "tau and period must be positive");
+    assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0,1)");
+    ((tau / period) * (1.0 / tol).ln()).ceil() as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every "theoretical" row of the paper's Table II.
+    #[test]
+    fn table_two_theoretical_column() {
+        let rows: [(&[f64], &[u32], f64); 6] = [
+            (&[0.70, 0.80, 0.90], &[7, 7, 7], 2.00),
+            (&[0.50, 0.50, 0.50], &[1, 2, 4], 0.42),
+            (&[0.20, 0.60, 0.80], &[5, 6, 7], 1.21),
+            (&[0.95, 0.90, 0.80], &[7, 6, 6], 2.00),
+            (&[0.30, 0.40, 0.50], &[1, 4, 2], 0.34),
+            (&[0.80, 0.20, 0.50], &[7, 3, 4], 0.96),
+        ];
+        for (duties, weights, expected) in rows {
+            let v = adder_vout(2.5, duties, weights, 3);
+            // The paper prints two decimals, and its own theoretical
+            // column deviates slightly from Eq. 2 on two rows: row 4 is
+            // 2.006 (printed "2.00") and row 6 is 0.976 (printed "0.96" —
+            // apparently a slip in the paper; see EXPERIMENTS.md).
+            assert!(
+                (v - expected).abs() < 0.02,
+                "duties {duties:?} weights {weights:?}: got {v:.4}, paper says {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverter_endpoints() {
+        assert_eq!(inverter_vout(2.5, 0.0), 2.5);
+        assert_eq!(inverter_vout(2.5, 1.0), 0.0);
+        assert_eq!(inverter_vout(2.5, 0.5), 1.25);
+    }
+
+    #[test]
+    fn adder_is_monotone_in_duty_and_weight() {
+        let base = adder_vout(2.5, &[0.5, 0.5, 0.5], &[3, 3, 3], 3);
+        assert!(adder_vout(2.5, &[0.6, 0.5, 0.5], &[3, 3, 3], 3) > base);
+        assert!(adder_vout(2.5, &[0.5, 0.5, 0.5], &[4, 3, 3], 3) > base);
+    }
+
+    #[test]
+    fn adder_scales_linearly_with_vdd() {
+        let v1 = adder_vout(1.0, &[0.3, 0.7], &[2, 5], 3);
+        let v5 = adder_vout(5.0, &[0.3, 0.7], &[2, 5], 3);
+        assert!((v5 / v1 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adder_bounds() {
+        let v = adder_vout(2.5, &[1.0, 1.0, 1.0], &[7, 7, 7], 3);
+        assert!((v - adder_vout_max(2.5)).abs() < 1e-12);
+        let v = adder_vout(2.5, &[0.0, 0.0], &[7, 7], 3);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn adder_rejects_oversized_weight() {
+        let _ = adder_vout(2.5, &[0.5], &[8], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn adder_rejects_mismatched_slices() {
+        let _ = adder_vout(2.5, &[0.5, 0.5], &[1], 3);
+    }
+
+    #[test]
+    fn ripple_peaks_at_half_duty() {
+        let r25 = ripple_estimate(2.5, 0.25, 2e-9, 100e-9);
+        let r50 = ripple_estimate(2.5, 0.50, 2e-9, 100e-9);
+        assert!(r50 > r25);
+        // Magnitude: 2.5 * 0.25 * 2/100 = 12.5 mV.
+        assert!((r50 - 12.5e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn settle_periods_grows_with_tau() {
+        assert!(settle_periods(2e-9, 100e-9, 0.01) > settle_periods(2e-9, 10e-9, 0.01));
+        // τ/T = 50, ln(100) ≈ 4.6 → ~231 periods.
+        let n = settle_periods(2e-9, 100e-9, 0.01);
+        assert!(n > 200 && n < 260, "n = {n}");
+    }
+}

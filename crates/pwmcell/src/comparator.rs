@@ -1,0 +1,211 @@
+//! A transistor-level comparator — the decision element of Fig. 1.
+//!
+//! The paper draws the comparator as a block; to close the loop at
+//! transistor level this module provides an open-loop continuous-time
+//! comparator: a resistively-loaded **PMOS differential pair** (PMOS so
+//! the input common-mode range reaches down to ground, where most of the
+//! adder's output range lives) followed by two logic inverters that
+//! restore full rails.
+//!
+//! It is deliberately simple — no clocked regeneration, no hysteresis —
+//! because its job here is architectural: demonstrate that the whole
+//! perceptron (weighted adder → reference → decision) closes at
+//! transistor level with a bounded input-referred offset (tens of
+//! millivolts; measured by the tests), which is far below the adder's
+//! 119 mV output LSB.
+
+use mssim::prelude::{Circuit, ElementId, NodeId};
+
+use crate::gates::LogicInverter;
+use crate::tech::Technology;
+
+/// Width multiplier of the input pair relative to the base PMOS.
+const PAIR_WIDTH_SCALE: f64 = 10.0;
+/// Width multiplier of the mirror/tail devices relative to the base PMOS.
+const TAIL_WIDTH_SCALE: f64 = 7.0;
+/// Bias resistor setting the mirror reference current
+/// `(Vdd − Vsg) / R_BIAS ≈ 8 µA` at 2.5 V — roughly proportional to the
+/// supply, so the balanced output tracks the inverter threshold across
+/// supplies (the comparator stays ratiometric).
+const R_BIAS: f64 = 230e3;
+/// Load resistors from the drains to ground, sized so the balanced
+/// drain voltage (`Itail/2 · R_LOAD`) sits at the restoring inverter's
+/// switching threshold.
+const R_LOAD: f64 = 320e3;
+
+/// Handles to one instantiated comparator.
+#[derive(Debug, Clone)]
+pub struct DiffComparator {
+    /// Non-inverting input (the adder output).
+    pub inp: NodeId,
+    /// Inverting input (the reference).
+    pub inn: NodeId,
+    /// Rail-to-rail digital output: high when `v(inp) > v(inn)` (within
+    /// the measured offset).
+    pub output: NodeId,
+    /// Analog drain of the reference-side device (pre-inverter).
+    pub raw: NodeId,
+    /// The differential-pair devices.
+    pub pair: [ElementId; 2],
+    /// The two restoring inverters.
+    pub inverters: [LogicInverter; 2],
+}
+
+impl DiffComparator {
+    /// Transistors in the cell: 2 (pair) + 2 (mirror + tail) +
+    /// 2 × 2 (inverters).
+    pub const TRANSISTORS: usize = 8;
+
+    /// Instantiates the comparator.
+    ///
+    /// Input common-mode validity: `inn` (the reference) should sit
+    /// between ~0.3·Vdd and ~0.65·Vdd; `inp` may range rail to rail (an
+    /// off input device still yields the correct decision because the
+    /// other side keeps conducting).
+    ///
+    /// # Panics
+    ///
+    /// Panics on element-name collisions (reuse of `prefix`).
+    pub fn build(
+        circuit: &mut Circuit,
+        tech: &Technology,
+        prefix: &str,
+        inp: NodeId,
+        inn: NodeId,
+        vdd: NodeId,
+    ) -> Self {
+        let tail = circuit.node(&format!("{prefix}_tail"));
+        let bias = circuit.node(&format!("{prefix}_bias"));
+        let d_p = circuit.node(&format!("{prefix}_dp"));
+        let d_n = circuit.node(&format!("{prefix}_dn"));
+        // Supply-referenced current mirror: a diode-connected PMOS and a
+        // bias resistor set Iref ≈ (Vdd − Vsg)/R_BIAS; the tail device
+        // copies it, making the tail current independent of the input
+        // common mode (a resistor tail would re-bias with CM and wreck
+        // the offset at low references).
+        let tail_params = tech.pmos.scaled_width(TAIL_WIDTH_SCALE);
+        circuit.mosfet(&format!("{prefix}_MMir"), bias, bias, vdd, tail_params);
+        circuit.resistor(&format!("{prefix}_Rb"), bias, Circuit::GND, R_BIAS);
+        circuit.mosfet(&format!("{prefix}_MTail"), tail, bias, vdd, tail_params);
+        let pair_params = tech.pmos.scaled_width(PAIR_WIDTH_SCALE);
+        // A higher gate voltage turns its PMOS further off, steering the
+        // tail current into the *other* branch. So when inp > inn the
+        // reference-side drain d_n carries more current and sits HIGH.
+        // Two restoring inverters on d_n keep that polarity while adding
+        // two stages of gain.
+        let mp = circuit.mosfet(&format!("{prefix}_MPp"), d_p, inp, tail, pair_params);
+        let mn = circuit.mosfet(&format!("{prefix}_MPn"), d_n, inn, tail, pair_params);
+        circuit.resistor(&format!("{prefix}_Rlp"), d_p, Circuit::GND, R_LOAD);
+        circuit.resistor(&format!("{prefix}_Rln"), d_n, Circuit::GND, R_LOAD);
+        let inv1 = LogicInverter::build(circuit, tech, &format!("{prefix}_i1"), d_n, vdd, 1.0);
+        let inv2 = LogicInverter::build(
+            circuit,
+            tech,
+            &format!("{prefix}_i2"),
+            inv1.output,
+            vdd,
+            1.0,
+        );
+        DiffComparator {
+            inp,
+            inn,
+            output: inv2.output,
+            raw: d_n,
+            pair: [mp, mn],
+            inverters: [inv1, inv2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssim::prelude::*;
+
+    fn decision(vp: f64, vn: f64, vdd_v: f64) -> bool {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(vdd_v));
+        ckt.vsource("VA", a, Circuit::GND, Waveform::dc(vp));
+        ckt.vsource("VB", b, Circuit::GND, Waveform::dc(vn));
+        let cmp = DiffComparator::build(&mut ckt, &tech, "c", a, b, vdd);
+        let op = dc_operating_point(&ckt).unwrap();
+        op.voltage(cmp.output) > vdd_v * 0.5
+    }
+
+    #[test]
+    fn resolves_clear_differences() {
+        // Reference at mid-rail, inputs across the adder's output range.
+        for (vp, expect) in [
+            (0.3, false),
+            (0.9, false),
+            (1.10, false),
+            (1.40, true),
+            (2.0, true),
+            (2.4, true),
+        ] {
+            assert_eq!(
+                decision(vp, 1.25, 2.5),
+                expect,
+                "inp = {vp} V vs ref 1.25 V"
+            );
+        }
+    }
+
+    #[test]
+    fn offset_is_below_the_adder_lsb() {
+        // Walk the switching point at several references: the decision
+        // must flip within ±60 mV of the ideal threshold — half the
+        // 119 mV output LSB of the paper's 3×3 adder.
+        for vref in [0.9, 1.25, 1.5] {
+            let mut flip = None;
+            let mut prev = decision(vref - 0.25, vref, 2.5);
+            assert!(!prev, "well below the reference must read low");
+            let steps = 100;
+            for k in 1..=steps {
+                let vp = vref - 0.25 + 0.5 * k as f64 / steps as f64;
+                let now = decision(vp, vref, 2.5);
+                if now && !prev {
+                    flip = Some(vp);
+                    break;
+                }
+                prev = now;
+            }
+            let flip = flip.expect("decision must flip");
+            assert!(
+                (flip - vref).abs() < 0.06,
+                "offset at ref {vref}: switching point {flip}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_ratiometrically_across_supplies() {
+        // Same relative inputs at different supplies → same decision.
+        for vdd in [1.8, 2.5, 3.3] {
+            assert!(decision(0.6 * vdd, 0.5 * vdd, vdd), "vdd = {vdd}");
+            assert!(!decision(0.4 * vdd, 0.5 * vdd, vdd), "vdd = {vdd}");
+        }
+    }
+
+    #[test]
+    fn transistor_budget() {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+        ckt.vsource("VA", a, Circuit::GND, Waveform::dc(1.0));
+        ckt.vsource("VB", b, Circuit::GND, Waveform::dc(1.2));
+        let _ = DiffComparator::build(&mut ckt, &tech, "c", a, b, vdd);
+        let mos = ckt
+            .elements()
+            .filter(|(_, _, e)| matches!(e, mssim::elements::Element::Mosfet { .. }))
+            .count();
+        assert_eq!(mos, DiffComparator::TRANSISTORS);
+    }
+}

@@ -1,0 +1,275 @@
+//! Transistor-level logic gates.
+//!
+//! The weighted adder replaces the Fig. 2 inverter with an AND gate so
+//! that each weight bit can enable or disable its cell. The AND is built
+//! the standard CMOS way — a 4-transistor NAND followed by a 2-transistor
+//! inverter — giving the paper's count of **6 transistors per weight bit**
+//! and 54 for the 3×3 adder.
+
+use mssim::prelude::{Circuit, ElementId, NodeId};
+
+use crate::tech::Technology;
+
+/// Handles to a 4-transistor CMOS NAND2.
+#[derive(Debug, Clone)]
+pub struct Nand2 {
+    /// First input.
+    pub a: NodeId,
+    /// Second input.
+    pub b: NodeId,
+    /// Output node.
+    pub output: NodeId,
+    /// Internal node of the NMOS stack.
+    pub stack_mid: NodeId,
+    /// The four device elements.
+    pub devices: [ElementId; 4],
+}
+
+impl Nand2 {
+    /// Instantiates a NAND2 into `circuit` with all transistor widths
+    /// scaled by `drive` (the series NMOS stack gets an extra ×2 so its
+    /// pull-down matches a single device of the scaled width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drive` is not strictly positive or element names collide.
+    pub fn build(
+        circuit: &mut Circuit,
+        tech: &Technology,
+        prefix: &str,
+        a: NodeId,
+        b: NodeId,
+        vdd: NodeId,
+        drive: f64,
+    ) -> Self {
+        assert!(drive > 0.0, "drive strength must be positive");
+        let output = circuit.node(&format!("{prefix}_y"));
+        let stack_mid = circuit.node(&format!("{prefix}_m"));
+        let p = tech.pmos.scaled_width(drive);
+        let n_stacked = tech.nmos.scaled_width(2.0 * drive);
+        let mpa = circuit.mosfet(&format!("{prefix}_MPA"), output, a, vdd, p);
+        let mpb = circuit.mosfet(&format!("{prefix}_MPB"), output, b, vdd, p);
+        let mna = circuit.mosfet(&format!("{prefix}_MNA"), output, a, stack_mid, n_stacked);
+        let mnb = circuit.mosfet(
+            &format!("{prefix}_MNB"),
+            stack_mid,
+            b,
+            Circuit::GND,
+            n_stacked,
+        );
+        // Drain junction + local wire parasitic: this node's switching
+        // energy is what makes power grow with frequency (Fig. 8).
+        circuit.capacitor(
+            &format!("{prefix}_Cp"),
+            output,
+            Circuit::GND,
+            tech.cnode.value() * drive,
+        );
+        Nand2 {
+            a,
+            b,
+            output,
+            stack_mid,
+            devices: [mpa, mpb, mna, mnb],
+        }
+    }
+}
+
+/// Handles to a 2-transistor logic inverter (no output RC — compare
+/// [`crate::Inverter`] for the transcoding version).
+#[derive(Debug, Clone)]
+pub struct LogicInverter {
+    /// Input node.
+    pub input: NodeId,
+    /// Output node.
+    pub output: NodeId,
+    /// The two device elements.
+    pub devices: [ElementId; 2],
+}
+
+impl LogicInverter {
+    /// Instantiates a logic inverter with widths scaled by `drive`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drive` is not strictly positive or element names collide.
+    pub fn build(
+        circuit: &mut Circuit,
+        tech: &Technology,
+        prefix: &str,
+        input: NodeId,
+        vdd: NodeId,
+        drive: f64,
+    ) -> Self {
+        assert!(drive > 0.0, "drive strength must be positive");
+        let output = circuit.node(&format!("{prefix}_y"));
+        let mp = circuit.mosfet(
+            &format!("{prefix}_MP"),
+            output,
+            input,
+            vdd,
+            tech.pmos.scaled_width(drive),
+        );
+        let mn = circuit.mosfet(
+            &format!("{prefix}_MN"),
+            output,
+            input,
+            Circuit::GND,
+            tech.nmos.scaled_width(drive),
+        );
+        circuit.capacitor(
+            &format!("{prefix}_Cp"),
+            output,
+            Circuit::GND,
+            tech.cnode.value() * drive,
+        );
+        LogicInverter {
+            input,
+            output,
+            devices: [mp, mn],
+        }
+    }
+}
+
+/// Handles to a 6-transistor AND cell (NAND2 + inverter) — one weight bit
+/// of the paper's adder.
+#[derive(Debug, Clone)]
+pub struct AndCell {
+    /// PWM input.
+    pub a: NodeId,
+    /// Weight-bit enable input.
+    pub b: NodeId,
+    /// AND output (the inverter drain that drives the cell's `Rout`).
+    pub output: NodeId,
+    /// Internal NAND output node.
+    pub nand_out: NodeId,
+    /// The NAND stage.
+    pub nand: Nand2,
+    /// The output inverter stage.
+    pub inverter: LogicInverter,
+}
+
+impl AndCell {
+    /// Number of transistors in one AND cell.
+    pub const TRANSISTORS: usize = 6;
+
+    /// Instantiates the AND cell with all widths scaled by `drive`
+    /// (×1, ×2, ×4 for the paper's three weight bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drive` is not strictly positive or element names collide.
+    pub fn build(
+        circuit: &mut Circuit,
+        tech: &Technology,
+        prefix: &str,
+        a: NodeId,
+        b: NodeId,
+        vdd: NodeId,
+        drive: f64,
+    ) -> Self {
+        let nand = Nand2::build(circuit, tech, &format!("{prefix}_nd"), a, b, vdd, drive);
+        let inverter = LogicInverter::build(
+            circuit,
+            tech,
+            &format!("{prefix}_iv"),
+            nand.output,
+            vdd,
+            drive,
+        );
+        AndCell {
+            a,
+            b,
+            output: inverter.output,
+            nand_out: nand.output,
+            nand,
+            inverter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssim::prelude::*;
+
+    fn truth_table_fixture(vin_a: f64, vin_b: f64) -> (Circuit, AndCell) {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+        ckt.vsource("VA", a, Circuit::GND, Waveform::dc(vin_a));
+        ckt.vsource("VB", b, Circuit::GND, Waveform::dc(vin_b));
+        let cell = AndCell::build(&mut ckt, &tech, "u1", a, b, vdd, 1.0);
+        // Light load so DC levels are well defined.
+        ckt.resistor("RL", cell.output, Circuit::GND, 10e6);
+        (ckt, cell)
+    }
+
+    #[test]
+    fn and_cell_truth_table() {
+        for (a, b, expect_hi) in [
+            (0.0, 0.0, false),
+            (0.0, 2.5, false),
+            (2.5, 0.0, false),
+            (2.5, 2.5, true),
+        ] {
+            let (ckt, cell) = truth_table_fixture(a, b);
+            let op = dc_operating_point(&ckt).unwrap();
+            let v = op.voltage(cell.output);
+            if expect_hi {
+                assert!(v > 2.3, "a={a} b={b}: v={v}");
+            } else {
+                assert!(v < 0.2, "a={a} b={b}: v={v}");
+            }
+            // NAND intermediate is the complement.
+            let vn = op.voltage(cell.nand_out);
+            if expect_hi {
+                assert!(vn < 0.2, "nand out should be low, got {vn}");
+            } else {
+                assert!(vn > 2.3, "nand out should be high, got {vn}");
+            }
+        }
+    }
+
+    #[test]
+    fn transistor_budget() {
+        assert_eq!(AndCell::TRANSISTORS, 6);
+        let (ckt, cell) = truth_table_fixture(0.0, 0.0);
+        let mos_count = ckt
+            .elements()
+            .filter(|(_, _, e)| matches!(e, mssim::elements::Element::Mosfet { .. }))
+            .count();
+        assert_eq!(mos_count, 6);
+        assert_eq!(cell.nand.devices.len() + cell.inverter.devices.len(), 6);
+    }
+
+    #[test]
+    fn drive_scaling_scales_widths() {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+        let cell = AndCell::build(&mut ckt, &tech, "x4", a, b, vdd, 4.0);
+        let mp = ckt.element(cell.inverter.devices[0]);
+        if let mssim::elements::Element::Mosfet { params, .. } = mp {
+            assert!((params.w / tech.pmos.w - 4.0).abs() < 1e-12);
+        } else {
+            panic!("expected a mosfet");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drive strength must be positive")]
+    fn zero_drive_panics() {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let _ = AndCell::build(&mut ckt, &tech, "u", a, a, vdd, 0.0);
+    }
+}

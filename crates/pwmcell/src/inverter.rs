@@ -1,0 +1,202 @@
+//! The transcoding inverter — the paper's Fig. 2.
+//!
+//! A static CMOS inverter "analogised" by three measures so that its
+//! output becomes the time-average of its switching waveform, i.e. a
+//! voltage proportional to `1 − duty`:
+//!
+//! 1. high input switching frequency,
+//! 2. increased output capacitance (`Cout` to ground), and
+//! 3. limited output current (series `Rout`), which also linearises the
+//!    transfer characteristic by swamping the drain-voltage-dependent
+//!    transistor resistance.
+
+use mssim::prelude::{Circuit, ElementId, NodeId, Ohms};
+use mssim::units::Farads;
+
+use crate::tech::Technology;
+
+/// Handles to one instantiated transcoding inverter.
+#[derive(Debug, Clone)]
+pub struct Inverter {
+    /// PWM input (gate) node.
+    pub input: NodeId,
+    /// Analog output node (across `Cout`).
+    pub output: NodeId,
+    /// Internal drain node (equals `output` when built without `Rout`).
+    pub drain: NodeId,
+    /// Pull-up PMOS element.
+    pub pmos: ElementId,
+    /// Pull-down NMOS element.
+    pub nmos: ElementId,
+    /// Series output resistor, if present.
+    pub rout: Option<ElementId>,
+    /// Output capacitor element.
+    pub cout: ElementId,
+}
+
+impl Inverter {
+    /// Instantiates the Fig. 2 inverter into `circuit`.
+    ///
+    /// `rout = None` builds the "no load (resistor)" variant of the
+    /// paper's Fig. 4, where the drain drives `Cout` directly.
+    /// All element names are prefixed with `prefix` so multiple instances
+    /// can coexist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if element names collide (reuse of `prefix`) or nodes belong
+    /// to a different circuit.
+    pub fn build(
+        circuit: &mut Circuit,
+        tech: &Technology,
+        prefix: &str,
+        input: NodeId,
+        vdd: NodeId,
+        rout: Option<Ohms>,
+        cout: Farads,
+    ) -> Self {
+        let output = circuit.node(&format!("{prefix}_out"));
+        let drain = match rout {
+            Some(_) => circuit.node(&format!("{prefix}_drv")),
+            None => output,
+        };
+        let pmos = circuit.mosfet(&format!("{prefix}_MP"), drain, input, vdd, tech.pmos);
+        let nmos = circuit.mosfet(
+            &format!("{prefix}_MN"),
+            drain,
+            input,
+            Circuit::GND,
+            tech.nmos,
+        );
+        let rout_elem = rout.map(|r| {
+            // With a series resistor the drain is a separate node; give it
+            // its junction parasitic (without one, Cout dominates anyway).
+            circuit.capacitor(
+                &format!("{prefix}_Cp"),
+                drain,
+                Circuit::GND,
+                tech.cnode.value(),
+            );
+            circuit.resistor(&format!("{prefix}_Rout"), drain, output, r.value())
+        });
+        let cout_elem = circuit.capacitor(
+            &format!("{prefix}_Cout"),
+            output,
+            Circuit::GND,
+            cout.value(),
+        );
+        Inverter {
+            input,
+            output,
+            drain,
+            pmos,
+            nmos,
+            rout: rout_elem,
+            cout: cout_elem,
+        }
+    }
+
+    /// Number of transistors in this cell (always 2).
+    pub fn transistor_count(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssim::prelude::*;
+
+    #[test]
+    fn builds_with_and_without_rout() {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::dc(0.0));
+
+        let inv = Inverter::build(
+            &mut ckt,
+            &tech,
+            "u1",
+            inp,
+            vdd,
+            Some(tech.rout),
+            tech.cout_inverter,
+        );
+        assert_ne!(inv.drain, inv.output);
+        assert!(inv.rout.is_some());
+        assert_eq!(inv.transistor_count(), 2);
+
+        let inv2 = Inverter::build(&mut ckt, &tech, "u2", inp, vdd, None, tech.cout_inverter);
+        assert_eq!(inv2.drain, inv2.output);
+        assert!(inv2.rout.is_none());
+
+        ckt.validate().unwrap();
+    }
+
+    #[test]
+    fn dc_transfer_inverts() {
+        let tech = Technology::umc65_like();
+        for (vin, hi) in [(0.0, true), (2.5, false)] {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let inp = ckt.node("in");
+            ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+            ckt.vsource("VIN", inp, Circuit::GND, Waveform::dc(vin));
+            let inv = Inverter::build(
+                &mut ckt,
+                &tech,
+                "u1",
+                inp,
+                vdd,
+                Some(tech.rout),
+                tech.cout_inverter,
+            );
+            let op = dc_operating_point(&ckt).unwrap();
+            let v = op.voltage(inv.output);
+            if hi {
+                assert!(v > 2.4, "vin={vin}: v={v}");
+            } else {
+                assert!(v < 0.1, "vin={vin}: v={v}");
+            }
+        }
+    }
+
+    /// The headline behaviour: a PWM input is transcoded into an analog
+    /// voltage ≈ Vdd·(1 − duty). Reduced Cout keeps this unit test quick;
+    /// the full paper configuration is exercised by the testbench and the
+    /// bench harness.
+    #[test]
+    fn transcodes_duty_cycle_to_voltage() {
+        let tech = Technology::umc65_like();
+        let duty = 0.25;
+        let freq = 50e6;
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+        ckt.vsource("VIN", inp, Circuit::GND, Waveform::pwm(2.5, freq, duty));
+        let inv = Inverter::build(
+            &mut ckt,
+            &tech,
+            "u1",
+            inp,
+            vdd,
+            Some(tech.rout),
+            Farads(100e-15), // τ ≈ 11 ns, settles in a few 20 ns periods
+        );
+        let period = 1.0 / freq;
+        let result = Transient::new(period / 200.0, 12.0 * period)
+            .use_initial_conditions()
+            .run(&ckt)
+            .unwrap();
+        let vout = result.voltage(inv.output).steady_state_average(period, 2);
+        let expect = 2.5 * (1.0 - duty);
+        assert!(
+            (vout - expect).abs() < 0.12,
+            "vout = {vout}, expected ≈ {expect}"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Analog PWM modulator — the input side of the system.
+//!
+//! The paper assumes PWM-coded inputs exist; real sensors produce
+//! *voltages*. The classic voltage→duty converter is a triangle-crossing
+//! modulator: a comparator slices a triangle carrier at the sensor
+//! voltage, producing a pulse train whose duty cycle is the sensor
+//! voltage's position within the triangle's span,
+//!
+//! ```text
+//! duty = (v_sensor − tri_low) / (tri_high − tri_low).
+//! ```
+//!
+//! This module builds that modulator from the [`DiffComparator`] cell
+//! (triangle on the inverting input, which keeps the carrier inside the
+//! comparator's common-mode range) and provides a testbench that measures
+//! the generated duty cycle from the simulated waveform. Together with
+//! [`crate::PerceptronCircuit`], the whole paper system — sensor voltage
+//! in, classified decision out — closes at transistor level.
+
+use mssim::prelude::*;
+use mssim::waveform::Pulse;
+
+use crate::comparator::DiffComparator;
+use crate::tech::Technology;
+
+/// Handles to one instantiated modulator.
+#[derive(Debug, Clone)]
+pub struct PwmModulator {
+    /// Sensor (analog) input node.
+    pub input: NodeId,
+    /// Triangle-carrier node.
+    pub carrier: NodeId,
+    /// PWM output (rail to rail).
+    pub output: NodeId,
+    /// The slicing comparator.
+    pub comparator: DiffComparator,
+}
+
+impl PwmModulator {
+    /// Low end of the default carrier span, as a fraction of Vdd.
+    pub const CARRIER_LOW: f64 = 0.30;
+    /// High end of the default carrier span, as a fraction of Vdd.
+    pub const CARRIER_HIGH: f64 = 0.65;
+
+    /// Instantiates the modulator: a triangle source on `carrier` and a
+    /// comparator slicing it at the `input` voltage. The carrier spans
+    /// `[0.30, 0.65]·Vdd` — the comparator's common-mode window — so
+    /// sensor voltages must be conditioned into that range (that is what
+    /// [`PwmModulator::duty_for`] describes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on element-name collisions (reuse of `prefix`).
+    pub fn build(
+        circuit: &mut Circuit,
+        tech: &Technology,
+        prefix: &str,
+        input: NodeId,
+        vdd: NodeId,
+        vdd_value: f64,
+        frequency: f64,
+    ) -> Self {
+        let carrier = circuit.node(&format!("{prefix}_tri"));
+        let period = 1.0 / frequency;
+        let lo = Self::CARRIER_LOW * vdd_value;
+        let hi = Self::CARRIER_HIGH * vdd_value;
+        // A pulse with rise = fall = period/2 and zero flat top *is* a
+        // triangle between `low` and `high`.
+        circuit.vsource(
+            &format!("{prefix}_Vtri"),
+            carrier,
+            Circuit::GND,
+            Waveform::Pulse(Pulse {
+                low: lo,
+                high: hi,
+                delay: 0.0,
+                rise: period / 2.0,
+                fall: period / 2.0,
+                width: 0.0,
+                period,
+            }),
+        );
+        let comparator =
+            DiffComparator::build(circuit, tech, &format!("{prefix}_cmp"), input, carrier, vdd);
+        PwmModulator {
+            input,
+            carrier,
+            output: comparator.output,
+            comparator,
+        }
+    }
+
+    /// The duty cycle an ideal modulator produces for a sensor voltage at
+    /// supply `vdd` (clamped to `0..=1` outside the carrier span).
+    pub fn duty_for(v_sensor: f64, vdd: f64) -> f64 {
+        let lo = Self::CARRIER_LOW * vdd;
+        let hi = Self::CARRIER_HIGH * vdd;
+        ((v_sensor - lo) / (hi - lo)).clamp(0.0, 1.0)
+    }
+}
+
+/// Transistor-level modulator testbench.
+#[derive(Debug, Clone)]
+pub struct ModulatorTestbench {
+    tech: Technology,
+}
+
+impl ModulatorTestbench {
+    /// Testbench at the given technology.
+    pub fn new(tech: &Technology) -> Self {
+        ModulatorTestbench { tech: tech.clone() }
+    }
+
+    /// Builds the modulator, applies a DC sensor voltage, simulates a few
+    /// carrier periods and measures the duty cycle of the PWM output
+    /// (threshold at Vdd/2, exact crossing interpolation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure_duty(
+        &self,
+        v_sensor: f64,
+        vdd: f64,
+        frequency: f64,
+        periods: usize,
+    ) -> Result<f64, Error> {
+        let mut ckt = Circuit::new();
+        let vdd_node = ckt.node("vdd");
+        let sense = ckt.node("sense");
+        ckt.vsource("VDD", vdd_node, Circuit::GND, Waveform::dc(vdd));
+        ckt.vsource("VS", sense, Circuit::GND, Waveform::dc(v_sensor));
+        let dut = PwmModulator::build(&mut ckt, &self.tech, "mod", sense, vdd_node, vdd, frequency);
+        let period = 1.0 / frequency;
+        let total = (periods + 1) as f64 * period; // 1 warm-up period
+        let result = Transient::new(period / 400.0, total)
+            .use_initial_conditions()
+            .run(&ckt)?;
+        let out = result.voltage(dut.output);
+        Ok(out.duty_cycle_between(0.5 * vdd, period, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Modulation is comparator-speed-limited: keep the carrier slow
+    // relative to the comparator's internal poles.
+    const F_CARRIER: f64 = 2e6;
+
+    #[test]
+    fn duty_tracks_the_sensor_voltage() {
+        let tech = Technology::umc65_like();
+        let tb = ModulatorTestbench::new(&tech);
+        for frac in [0.25, 0.5, 0.75] {
+            let lo = PwmModulator::CARRIER_LOW * 2.5;
+            let hi = PwmModulator::CARRIER_HIGH * 2.5;
+            let v = lo + frac * (hi - lo);
+            let duty = tb.measure_duty(v, 2.5, F_CARRIER, 4).unwrap();
+            assert!(
+                (duty - frac).abs() < 0.06,
+                "v_sensor {v:.3}: duty {duty:.3} vs ideal {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn rails_saturate() {
+        let tech = Technology::umc65_like();
+        let tb = ModulatorTestbench::new(&tech);
+        // Below the carrier: output never fires.
+        let d = tb.measure_duty(0.3, 2.5, F_CARRIER, 3).unwrap();
+        assert!(d < 0.05, "duty {d}");
+        // Above the carrier: output always high.
+        let d = tb.measure_duty(2.0, 2.5, F_CARRIER, 3).unwrap();
+        assert!(d > 0.95, "duty {d}");
+    }
+
+    #[test]
+    fn modulation_is_ratiometric() {
+        // The same *relative* sensor position gives the same duty at a
+        // different supply — provided the sensor conditioning is also
+        // ratiometric, which is the design intent.
+        let tech = Technology::umc65_like();
+        let tb = ModulatorTestbench::new(&tech);
+        let frac = 0.6;
+        let duty_at = |vdd: f64| {
+            let lo = PwmModulator::CARRIER_LOW * vdd;
+            let hi = PwmModulator::CARRIER_HIGH * vdd;
+            tb.measure_duty(lo + frac * (hi - lo), vdd, F_CARRIER, 4)
+                .unwrap()
+        };
+        let d25 = duty_at(2.5);
+        let d18 = duty_at(1.8);
+        assert!((d25 - d18).abs() < 0.08, "2.5 V: {d25}, 1.8 V: {d18}");
+    }
+
+    #[test]
+    fn ideal_duty_mapping() {
+        assert_eq!(PwmModulator::duty_for(0.0, 2.5), 0.0);
+        assert_eq!(PwmModulator::duty_for(2.5, 2.5), 1.0);
+        let mid = 0.5 * (PwmModulator::CARRIER_LOW + PwmModulator::CARRIER_HIGH) * 2.5;
+        assert!((PwmModulator::duty_for(mid, 2.5) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,507 @@
+//! Fast switch-level model of a PWM-driven output node.
+//!
+//! Each cell (inverter or AND gate) is abstracted as a resistor that
+//! connects the shared output node either to `Vdd` (conductance `g_high`)
+//! or to ground (conductance `g_low`) depending on its logic state, which
+//! is a square wave of the input's duty cycle. Between switching events
+//! the node obeys a single linear ODE,
+//!
+//! ```text
+//! C·dV/dt = Σⱼ gⱼ(t)·(sⱼ(t) − V),
+//! ```
+//!
+//! whose solution is an exponential toward the instantaneous equilibrium
+//! `V∞ = Σ g·s / Σ g`. One period is therefore a composition of affine
+//! maps `V ↦ α·V + β`, and the **periodic steady state** is the fixed
+//! point of that composition — computed exactly in `O(events)` with no
+//! time stepping. This is what makes hardware-in-the-loop perceptron
+//! training and Monte-Carlo robustness sweeps affordable.
+//!
+//! The model deliberately ignores the square-law transistor nonlinearity
+//! (it uses fixed on-resistances) and edge ramps; the transistor-level
+//! [`crate::testbench`] harnesses quantify how much that costs (a few per
+//! cent — see EXPERIMENTS.md).
+
+use mssim::trace::TraceData;
+
+use crate::tech::Technology;
+
+/// One cell driving the shared node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchCell {
+    /// Conductance to `Vdd` while the cell drives high, in siemens.
+    pub g_high: f64,
+    /// Conductance to ground while the cell drives low, in siemens.
+    pub g_low: f64,
+    /// Fraction of each period spent driving high, `0..=1`.
+    pub duty_high: f64,
+    /// Phase (fraction of a period, `0..1`) at which the high interval
+    /// starts.
+    pub phase: f64,
+}
+
+impl SwitchCell {
+    /// Creates a cell, validating parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if conductances are not positive finite, `duty_high` is
+    /// outside `0..=1`, or `phase` is outside `0..1`.
+    pub fn new(g_high: f64, g_low: f64, duty_high: f64, phase: f64) -> Self {
+        assert!(
+            g_high > 0.0 && g_high.is_finite() && g_low > 0.0 && g_low.is_finite(),
+            "conductances must be positive and finite"
+        );
+        assert!(
+            (0.0..=1.0).contains(&duty_high),
+            "duty_high must be in 0..=1"
+        );
+        assert!((0.0..1.0).contains(&phase), "phase must be in 0..1");
+        SwitchCell {
+            g_high,
+            g_low,
+            duty_high,
+            phase,
+        }
+    }
+
+    /// `true` if the cell drives high at period fraction `u ∈ [0,1)`.
+    fn is_high(&self, u: f64) -> bool {
+        if self.duty_high >= 1.0 {
+            return true;
+        }
+        if self.duty_high <= 0.0 {
+            return false;
+        }
+        let rel = (u - self.phase).rem_euclid(1.0);
+        rel < self.duty_high
+    }
+
+    /// Conductance and drive level (0 or 1 × Vdd) at period fraction `u`.
+    fn drive(&self, u: f64) -> (f64, f64) {
+        if self.is_high(u) {
+            (self.g_high, 1.0)
+        } else {
+            (self.g_low, 0.0)
+        }
+    }
+}
+
+/// A PWM-driven output node: several [`SwitchCell`]s sharing one
+/// capacitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PwmNode {
+    vdd: f64,
+    capacitance: f64,
+    period: f64,
+    cells: Vec<SwitchCell>,
+}
+
+impl PwmNode {
+    /// Creates a node model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is negative, `capacitance`/`period` are not
+    /// strictly positive, or `cells` is empty.
+    pub fn new(vdd: f64, capacitance: f64, period: f64, cells: Vec<SwitchCell>) -> Self {
+        assert!(vdd >= 0.0, "vdd must be non-negative");
+        assert!(capacitance > 0.0, "capacitance must be positive");
+        assert!(period > 0.0, "period must be positive");
+        assert!(!cells.is_empty(), "need at least one cell");
+        PwmNode {
+            vdd,
+            capacitance,
+            period,
+            cells,
+        }
+    }
+
+    /// Switch-level model of the Fig. 2 transcoding inverter: one cell
+    /// that drives **high while the input is low** (hence
+    /// `duty_high = 1 − duty`, starting when the input falls at phase
+    /// `duty`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `0..=1` or `frequency` is not positive.
+    pub fn inverter(
+        tech: &Technology,
+        rout: Option<f64>,
+        cout: f64,
+        duty: f64,
+        frequency: f64,
+        vdd: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&duty), "duty must be in 0..=1");
+        assert!(frequency > 0.0, "frequency must be positive");
+        let r = rout.unwrap_or(0.0);
+        let g_high = 1.0 / (r + tech.pmos.r_on(vdd).max(1.0));
+        let g_low = 1.0 / (r + tech.nmos.r_on(vdd).max(1.0));
+        let phase = if duty >= 1.0 { 0.0 } else { duty };
+        let cell = SwitchCell::new(g_high, g_low, 1.0 - duty, phase);
+        PwmNode::new(vdd, cout, 1.0 / frequency, vec![cell])
+    }
+
+    /// Switch-level model of the Fig. 3 weighted adder: one cell per
+    /// weight bit per input. Enabled bits drive high during the input's
+    /// high phase; disabled bits always drive low (they still load the
+    /// node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slices mismatch, duties are out of range, weights exceed
+    /// the bit width, or `frequency` is not positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn weighted_adder(
+        tech: &Technology,
+        duties: &[f64],
+        weights: &[u32],
+        bits: u32,
+        frequency: f64,
+        vdd: f64,
+        cout: f64,
+    ) -> Self {
+        assert_eq!(duties.len(), weights.len(), "duties and weights pair up");
+        assert!(frequency > 0.0, "frequency must be positive");
+        let w_max = (1u32 << bits) - 1;
+        let mut cells = Vec::with_capacity(duties.len() * bits as usize);
+        for (&d, &w) in duties.iter().zip(weights) {
+            assert!((0.0..=1.0).contains(&d), "duty must be in 0..=1");
+            assert!(w <= w_max, "weight {w} exceeds {bits}-bit range");
+            for b in 0..bits {
+                let scale = (1u32 << b) as f64;
+                // Both the resistor and the transistor scale with the bit
+                // weight, so the series conductance scales exactly.
+                let g_high = scale / (tech.rout.value() + tech.pmos.r_on(vdd).max(1.0));
+                let g_low = scale / (tech.rout.value() + tech.nmos.r_on(vdd).max(1.0));
+                let enabled = w & (1 << b) != 0;
+                let duty_high = if enabled { d } else { 0.0 };
+                cells.push(SwitchCell::new(g_high, g_low, duty_high, 0.0));
+            }
+        }
+        PwmNode::new(vdd, cout, 1.0 / frequency, cells)
+    }
+
+    /// The PWM period in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Event times within one period, as sorted unique fractions in
+    /// `[0, 1)`, always including 0.
+    fn event_fractions(&self) -> Vec<f64> {
+        let mut ev = vec![0.0];
+        for c in &self.cells {
+            if c.duty_high > 0.0 && c.duty_high < 1.0 {
+                ev.push(c.phase);
+                ev.push((c.phase + c.duty_high).rem_euclid(1.0));
+            }
+        }
+        ev.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
+        ev.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+        ev
+    }
+
+    /// Piecewise-constant segments over one period:
+    /// `(duration_fraction, g_total, v_equilibrium)`.
+    fn segments(&self) -> Vec<(f64, f64, f64)> {
+        let ev = self.event_fractions();
+        let mut segs = Vec::with_capacity(ev.len());
+        for (i, &u0) in ev.iter().enumerate() {
+            let u1 = if i + 1 < ev.len() { ev[i + 1] } else { 1.0 };
+            let width = u1 - u0;
+            if width <= 0.0 {
+                continue;
+            }
+            let um = u0 + width * 0.5;
+            let mut g_sum = 0.0;
+            let mut i_sum = 0.0;
+            for c in &self.cells {
+                let (g, level) = c.drive(um);
+                g_sum += g;
+                i_sum += g * level * self.vdd;
+            }
+            let v_inf = if g_sum > 0.0 { i_sum / g_sum } else { 0.0 };
+            segs.push((width, g_sum, v_inf));
+        }
+        segs
+    }
+
+    /// The exact node voltage at the start of a period in periodic steady
+    /// state — the fixed point of the one-period affine map.
+    pub fn periodic_start_voltage(&self) -> f64 {
+        let (a, b) = self.period_map();
+        if (1.0 - a).abs() < 1e-300 {
+            // Σg = 0 cannot happen (cells validated positive), but guard.
+            return b;
+        }
+        b / (1.0 - a)
+    }
+
+    /// Composes the one-period map `V_end = a·V_start + b`.
+    fn period_map(&self) -> (f64, f64) {
+        let mut a = 1.0;
+        let mut b = 0.0;
+        for (width, g_sum, v_inf) in self.segments() {
+            let dt = width * self.period;
+            let alpha = (-g_sum * dt / self.capacitance).exp();
+            // V1 = v_inf (1 − α) + V0 α, composed onto (a, b).
+            b = v_inf * (1.0 - alpha) + b * alpha;
+            a *= alpha;
+        }
+        (a, b)
+    }
+
+    /// The exact time-averaged output voltage in periodic steady state —
+    /// the quantity the paper's figures plot.
+    pub fn steady_state_average(&self) -> f64 {
+        let mut v = self.periodic_start_voltage();
+        let mut integral = 0.0;
+        for (width, g_sum, v_inf) in self.segments() {
+            let dt = width * self.period;
+            let tau = self.capacitance / g_sum;
+            let alpha = (-dt / tau).exp();
+            // ∫ V over the segment = v_inf·dt + (V0 − v_inf)·τ·(1 − α).
+            integral += v_inf * dt + (v - v_inf) * tau * (1.0 - alpha);
+            v = v_inf + (v - v_inf) * alpha;
+        }
+        integral / self.period
+    }
+
+    /// Peak-to-peak ripple in periodic steady state, evaluated at segment
+    /// boundaries (the extremes of a piecewise-exponential waveform).
+    pub fn steady_state_ripple(&self) -> f64 {
+        let mut v = self.periodic_start_voltage();
+        let mut lo = v;
+        let mut hi = v;
+        for (width, g_sum, v_inf) in self.segments() {
+            let dt = width * self.period;
+            let alpha = (-g_sum * dt / self.capacitance).exp();
+            v = v_inf + (v - v_inf) * alpha;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        hi - lo
+    }
+
+    /// Explicit transient from an arbitrary starting voltage, sampled
+    /// `samples_per_period` times per period for `periods` periods.
+    /// Propagation between samples is **event-exact**: a sample interval
+    /// that straddles a switching event is split at the event, so the
+    /// result carries no sampling bias and converges to the periodic
+    /// steady state computed by [`PwmNode::periodic_start_voltage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0` or `samples_per_period == 0`.
+    pub fn transient(&self, v_start: f64, periods: usize, samples_per_period: usize) -> TraceData {
+        assert!(periods > 0 && samples_per_period > 0, "empty transient");
+        let events = self.event_fractions();
+        let n = periods * samples_per_period;
+        let dt_frac = 1.0 / samples_per_period as f64;
+        let mut t = Vec::with_capacity(n + 1);
+        let mut vs = Vec::with_capacity(n + 1);
+        let mut v = v_start;
+        t.push(0.0);
+        vs.push(v);
+        for k in 0..n {
+            let u0 = (k % samples_per_period) as f64 * dt_frac;
+            v = self.propagate(v, u0, dt_frac, &events);
+            t.push((k + 1) as f64 * dt_frac * self.period);
+            vs.push(v);
+        }
+        TraceData::new(t, vs)
+    }
+
+    /// Advances the node voltage from period fraction `u0` across a span
+    /// of `width` period fractions (≤ 1), splitting at switching events.
+    fn propagate(&self, mut v: f64, mut u0: f64, mut width: f64, events: &[f64]) -> f64 {
+        const EPS: f64 = 1e-12;
+        while width > EPS {
+            // Next event strictly after u0 (wrapping at 1.0).
+            let next = events
+                .iter()
+                .copied()
+                .find(|&e| e > u0 + EPS)
+                .unwrap_or(1.0);
+            let span = (next - u0).min(width);
+            let um = u0 + span * 0.5;
+            let mut g_sum = 0.0;
+            let mut i_sum = 0.0;
+            for c in &self.cells {
+                let (g, level) = c.drive(um);
+                g_sum += g;
+                i_sum += g * level * self.vdd;
+            }
+            let v_inf = if g_sum > 0.0 { i_sum / g_sum } else { v };
+            let alpha = (-g_sum * span * self.period / self.capacitance).exp();
+            v = v_inf + (v - v_inf) * alpha;
+            u0 += span;
+            if u0 >= 1.0 - EPS {
+                u0 = 0.0;
+            }
+            width -= span;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::umc65_like()
+    }
+
+    #[test]
+    fn inverter_average_tracks_one_minus_duty() {
+        let t = tech();
+        for &d in &[0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let node = PwmNode::inverter(&t, Some(100e3), 1e-12, d, 500e6, 2.5);
+            let v = node.steady_state_average();
+            let expect = 2.5 * (1.0 - d);
+            assert!(
+                (v - expect).abs() < 0.03,
+                "duty {d}: v = {v:.4}, expected {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn adder_average_matches_eq2() {
+        let t = tech();
+        let rows: [(&[f64], &[u32], f64); 3] = [
+            (&[0.70, 0.80, 0.90], &[7, 7, 7], 2.00),
+            (&[0.50, 0.50, 0.50], &[1, 2, 4], 0.42),
+            (&[0.80, 0.20, 0.50], &[7, 3, 4], 0.96),
+        ];
+        for (duties, weights, expected) in rows {
+            let node = PwmNode::weighted_adder(&t, duties, weights, 3, 500e6, 2.5, 10e-12);
+            let v = node.steady_state_average();
+            assert!(
+                (v - expected).abs() < 0.05,
+                "{duties:?} {weights:?}: v = {v:.4}, paper theory {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn pss_matches_long_transient() {
+        let t = tech();
+        let node = PwmNode::inverter(&t, Some(100e3), 1e-12, 0.3, 500e6, 2.5);
+        // Run 10 τ worth of explicit periods, then average the final one.
+        let tr = node.transient(0.0, 600, 64);
+        let trace = tr.as_trace();
+        let avg_tail = trace.steady_state_average(node.period(), 3);
+        let pss = node.steady_state_average();
+        assert!(
+            (avg_tail - pss).abs() < 5e-3,
+            "transient {avg_tail:.5} vs PSS {pss:.5}"
+        );
+    }
+
+    #[test]
+    fn periodic_start_voltage_is_a_fixed_point() {
+        let t = tech();
+        let node = PwmNode::weighted_adder(&t, &[0.2, 0.6, 0.8], &[5, 6, 7], 3, 500e6, 2.5, 10e-12);
+        let v0 = node.periodic_start_voltage();
+        let tr = node.transient(v0, 1, 4096);
+        let v_end = tr.as_trace().last_value();
+        assert!((v_end - v0).abs() < 1e-6, "{v_end} vs {v0}");
+    }
+
+    #[test]
+    fn frequency_does_not_move_the_average() {
+        // The paper's Fig. 5 claim, in the switch model: the steady-state
+        // average is frequency-independent.
+        let t = tech();
+        let v_at =
+            |f: f64| PwmNode::inverter(&t, Some(100e3), 1e-12, 0.25, f, 2.5).steady_state_average();
+        let v1 = v_at(1e6);
+        let v2 = v_at(100e6);
+        let v3 = v_at(1.5e9);
+        assert!((v1 - v2).abs() < 0.02, "{v1} vs {v2}");
+        assert!((v2 - v3).abs() < 0.02, "{v2} vs {v3}");
+    }
+
+    #[test]
+    fn ripple_shrinks_with_frequency() {
+        let t = tech();
+        let r_slow =
+            PwmNode::inverter(&t, Some(100e3), 1e-12, 0.5, 10e6, 2.5).steady_state_ripple();
+        let r_fast = PwmNode::inverter(&t, Some(100e3), 1e-12, 0.5, 1e9, 2.5).steady_state_ripple();
+        assert!(r_fast < r_slow / 10.0, "{r_fast} vs {r_slow}");
+    }
+
+    #[test]
+    fn output_scales_with_vdd() {
+        // Power elasticity in its simplest form: Vout/Vdd constant.
+        let t = tech();
+        let ratio = |vdd: f64| {
+            PwmNode::inverter(&t, Some(100e3), 1e-12, 0.25, 500e6, vdd).steady_state_average() / vdd
+        };
+        // Above ~1.5 V the ratio is essentially constant (the switch model
+        // keeps conducting at any Vdd; thresholds enter via ron only).
+        assert!((ratio(2.0) - ratio(5.0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn disabled_cells_pull_down() {
+        let t = tech();
+        let all_on =
+            PwmNode::weighted_adder(&t, &[1.0], &[7], 3, 500e6, 2.5, 1e-12).steady_state_average();
+        let partial =
+            PwmNode::weighted_adder(&t, &[1.0], &[3], 3, 500e6, 2.5, 1e-12).steady_state_average();
+        assert!(all_on > 2.3);
+        // Weight 3 of 7: Eq. 2 gives 2.5·3/7 ≈ 1.07.
+        assert!((partial - 2.5 * 3.0 / 7.0).abs() < 0.08, "v = {partial}");
+    }
+
+    #[test]
+    fn phase_offsets_do_not_change_the_average() {
+        // Time-shifting one input leaves its time-average contribution
+        // unchanged (only the ripple shape moves).
+        let mk = |phase: f64| {
+            let g = 1.0 / 110e3;
+            PwmNode::new(
+                2.5,
+                1e-12,
+                2e-9,
+                vec![
+                    SwitchCell::new(g, g, 0.5, 0.0),
+                    SwitchCell::new(g, g, 0.3, phase),
+                ],
+            )
+            .steady_state_average()
+        };
+        let a = mk(0.0);
+        let b = mk(0.4);
+        let c = mk(0.9);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        assert!((a - c).abs() < 1e-9, "{a} vs {c}");
+    }
+
+    #[test]
+    fn extreme_duties_hit_the_rails() {
+        let t = tech();
+        let hi = PwmNode::inverter(&t, Some(100e3), 1e-12, 0.0, 500e6, 2.5);
+        assert!((hi.steady_state_average() - 2.5).abs() < 1e-9);
+        assert!(hi.steady_state_ripple() < 1e-12);
+        let lo = PwmNode::inverter(&t, Some(100e3), 1e-12, 1.0, 500e6, 2.5);
+        assert!(lo.steady_state_average() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty_high must be in 0..=1")]
+    fn cell_rejects_bad_duty() {
+        let _ = SwitchCell::new(1e-5, 1e-5, 1.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one cell")]
+    fn node_rejects_empty_cells() {
+        let _ = PwmNode::new(2.5, 1e-12, 2e-9, vec![]);
+    }
+}

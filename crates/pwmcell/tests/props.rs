@@ -1,0 +1,141 @@
+//! Property-based tests of the cell library's invariants.
+
+use proptest::prelude::*;
+use pwmcell::{analytic, PwmNode, SwitchCell, Technology};
+
+fn tech() -> Technology {
+    Technology::umc65_like()
+}
+
+/// Strategy: a valid (duties, weights) pair for a 3×3 adder.
+fn adder_inputs() -> impl Strategy<Value = (Vec<f64>, Vec<u32>)> {
+    (
+        prop::collection::vec(0.0f64..=1.0, 3),
+        prop::collection::vec(0u32..=7, 3),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq. 2 output always lies in [0, Vdd].
+    #[test]
+    fn eq2_is_bounded((duties, weights) in adder_inputs(), vdd in 0.5f64..5.0) {
+        let v = analytic::adder_vout(vdd, &duties, &weights, 3);
+        prop_assert!((0.0..=vdd + 1e-12).contains(&v), "v = {v}");
+    }
+
+    /// Eq. 2 is monotone: raising any duty or weight never lowers Vout.
+    #[test]
+    fn eq2_is_monotone((duties, weights) in adder_inputs(), idx in 0usize..3) {
+        let base = analytic::adder_vout(2.5, &duties, &weights, 3);
+        let mut d2 = duties.clone();
+        d2[idx] = (d2[idx] + 0.1).min(1.0);
+        prop_assert!(analytic::adder_vout(2.5, &d2, &weights, 3) >= base - 1e-12);
+        let mut w2 = weights.clone();
+        w2[idx] = (w2[idx] + 1).min(7);
+        prop_assert!(analytic::adder_vout(2.5, &duties, &w2, 3) >= base - 1e-12);
+    }
+
+    /// Eq. 2 is exactly linear in Vdd.
+    #[test]
+    fn eq2_scales_with_vdd((duties, weights) in adder_inputs(), scale in 0.1f64..4.0) {
+        let v1 = analytic::adder_vout(1.0, &duties, &weights, 3);
+        let vs = analytic::adder_vout(scale, &duties, &weights, 3);
+        prop_assert!((vs - scale * v1).abs() < 1e-12);
+    }
+
+    /// The switch-level PSS average agrees with Eq. 2 for any input.
+    #[test]
+    fn switch_model_tracks_eq2((duties, weights) in adder_inputs()) {
+        let t = tech();
+        let v_eq2 = analytic::adder_vout(2.5, &duties, &weights, 3);
+        let v_pss = PwmNode::weighted_adder(&t, &duties, &weights, 3, 500e6, 2.5, 10e-12)
+            .steady_state_average();
+        prop_assert!(
+            (v_eq2 - v_pss).abs() < 0.06,
+            "eq2 {v_eq2:.4} vs switch {v_pss:.4} for {duties:?}/{weights:?}"
+        );
+    }
+
+    /// PSS equals the long-transient limit for arbitrary cell soups.
+    #[test]
+    fn pss_is_the_transient_fixed_point(
+        n_cells in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let cells: Vec<SwitchCell> = (0..n_cells)
+            .map(|_| {
+                SwitchCell::new(
+                    1e-6 + next() * 1e-4,
+                    1e-6 + next() * 1e-4,
+                    next(),
+                    next() * 0.999,
+                )
+            })
+            .collect();
+        let node = PwmNode::new(2.5, 1e-12, 2e-9, cells);
+        let v0 = node.periodic_start_voltage();
+        // One exact period from the fixed point returns to it.
+        let end = node.transient(v0, 1, 64).as_trace().last_value();
+        prop_assert!((end - v0).abs() < 1e-9, "{end} vs {v0}");
+        // And the average is bounded by the rails.
+        let avg = node.steady_state_average();
+        prop_assert!((0.0..=2.5 + 1e-9).contains(&avg));
+    }
+
+    /// Convergence from any starting voltage: after many periods the
+    /// transient lands on the PSS fixed point.
+    #[test]
+    fn transient_converges_from_any_start(v_start in -1.0f64..4.0, duty in 0.05f64..0.95) {
+        let t = tech();
+        let node = PwmNode::inverter(&t, Some(100e3), 1e-12, duty, 500e6, 2.5);
+        // 500 periods = 1 µs ≈ 9 τ.
+        let end = node.transient(v_start, 500, 16).as_trace().last_value();
+        let v0 = node.periodic_start_voltage();
+        prop_assert!((end - v0).abs() < 1e-3, "{end} vs fixed point {v0}");
+    }
+
+    /// The inverter's switch-level average tracks Vdd·(1−duty).
+    #[test]
+    fn inverter_complement_law(duty in 0.0f64..=1.0, vdd in 1.5f64..5.0) {
+        let t = tech();
+        let v = PwmNode::inverter(&t, Some(100e3), 1e-12, duty, 500e6, vdd)
+            .steady_state_average();
+        prop_assert!(
+            (v - vdd * (1.0 - duty)).abs() < 0.05 * vdd,
+            "duty {duty}: {v} vs {}", vdd * (1.0 - duty)
+        );
+    }
+
+    /// Frequency never moves the PSS average by more than the ripple scale.
+    #[test]
+    fn frequency_invariance(duty in 0.1f64..0.9, f_exp in 6.0f64..9.2) {
+        let t = tech();
+        let f = 10f64.powf(f_exp);
+        let v = PwmNode::inverter(&t, Some(100e3), 1e-12, duty, f, 2.5)
+            .steady_state_average();
+        let v_ref = PwmNode::inverter(&t, Some(100e3), 1e-12, duty, 500e6, 2.5)
+            .steady_state_average();
+        prop_assert!((v - v_ref).abs() < 0.03, "{v} vs {v_ref} at f={f:.3e}");
+    }
+
+    /// Ripple is non-negative and shrinks monotonically in capacitance.
+    #[test]
+    fn ripple_shrinks_with_cout(duty in 0.1f64..0.9) {
+        let t = tech();
+        let r_small = PwmNode::inverter(&t, Some(100e3), 0.2e-12, duty, 100e6, 2.5)
+            .steady_state_ripple();
+        let r_big = PwmNode::inverter(&t, Some(100e3), 5e-12, duty, 100e6, 2.5)
+            .steady_state_ripple();
+        prop_assert!(r_small >= 0.0 && r_big >= 0.0);
+        prop_assert!(r_big < r_small, "{r_big} !< {r_small}");
+    }
+}

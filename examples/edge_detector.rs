@@ -1,0 +1,75 @@
+//! A 1-D edge detector — the "image processing at the micro-edge" use
+//! case from the paper's introduction.
+//!
+//! A differential perceptron with antisymmetric weights `[−7, 0, +7]`
+//! slides over pixel triplets: it fires on rising edges (right pixel much
+//! brighter than left). Pixels are encoded as duty cycles, the window
+//! sum happens in the temporal domain, and the detector keeps working at
+//! half supply — all with two 3×3 adders' worth of hardware.
+//!
+//! ```text
+//! cargo run --release --example edge_detector
+//! ```
+
+use mssim::units::Volts;
+use pwm_perceptron::encode::LinearEncoder;
+use pwm_perceptron::eval::SwitchLevelEvaluator;
+use pwm_perceptron::{DifferentialPerceptron, SignedWeightVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Synthetic scan line: dark floor with two bright objects, plus
+    // sensor noise.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut pixels = vec![0.15f64; 40];
+    for p in pixels[10..18].iter_mut() {
+        *p = 0.85;
+    }
+    for p in pixels[28..33].iter_mut() {
+        *p = 0.70;
+    }
+    for p in pixels.iter_mut() {
+        *p = (*p + rng.gen_range(-0.04..0.04)).clamp(0.0, 1.0);
+    }
+
+    // The detector: a Sobel-like antisymmetric kernel in 3-bit weights.
+    let kernel = SignedWeightVector::new(vec![-7, 0, 7], 3)?;
+    let encoder = LinearEncoder::unit();
+    let detect = |vdd: f64| -> Result<Vec<usize>, pwm_perceptron::CoreError> {
+        let evaluator = SwitchLevelEvaluator::paper().with_vdd(Volts(vdd));
+        let p = DifferentialPerceptron::new(evaluator, kernel.clone());
+        let mut edges = Vec::new();
+        for (i, window) in pixels.windows(3).enumerate() {
+            let duties = encoder.encode_slice(window);
+            // Fire only on a decisive differential (>0.15·Vdd margin
+            // suppresses noise-induced micro-edges).
+            let v = p.forward(&duties)?;
+            if v.value() > 0.15 * vdd {
+                edges.push(i + 1); // centre pixel of the window
+            }
+        }
+        Ok(edges)
+    };
+
+    let nominal = detect(2.5)?;
+    let brownout = detect(1.25)?;
+
+    println!("scan line (40 px, two bright objects):");
+    let line: String = pixels
+        .iter()
+        .map(|&p| if p > 0.5 { '#' } else { '.' })
+        .collect();
+    println!("  {line}");
+    let mut marks = vec![' '; pixels.len()];
+    for &e in &nominal {
+        marks[e] = '^';
+    }
+    println!("  {}", marks.iter().collect::<String>());
+    println!("rising edges at 2.50 V: {nominal:?}");
+    println!("rising edges at 1.25 V: {brownout:?}");
+    assert_eq!(nominal, brownout, "detection must survive the brown-out");
+    println!("\nidentical detections at half supply — the differential temporal");
+    println!("encoding cancels Vdd exactly (both adder halves scale together).");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! The full signal chain: digital PWM generator → mixed-signal perceptron.
+//!
+//! The paper's conclusion proposes pairing the perceptron with a
+//! power-elastic PWM generator built from a loadable modulo-N counter
+//! (reference [8]). This example runs that chain: duty cycles are
+//! *generated* by the gate-level counter (so they are quantised to
+//! `M/2^bits`), measured from the simulated waveform, and fed into the
+//! perceptron. It then shows how the counter's bit width trades duty
+//! resolution against classification fidelity.
+//!
+//! ```text
+//! cargo run --release --example kessels_pwm_chain
+//! ```
+
+use gatesim::kessels::{measure_duty, KesselsPwm};
+use gatesim::Netlist;
+use pwm_perceptron::eval::SwitchLevelEvaluator;
+use pwm_perceptron::{DutyCycle, PwmPerceptron, Reference, WeightVector};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Target (analog) duty cycles we want to encode.
+    let targets = [0.70, 0.80, 0.90];
+    let weights = WeightVector::new(vec![7, 7, 7], 3)?;
+
+    for bits in [3u32, 5, 8] {
+        // One generator per input channel (they share a structure).
+        let mut nl = Netlist::new();
+        let pwm = KesselsPwm::build(&mut nl, bits);
+        println!(
+            "\n{}-bit counter PWM generator: {} transistors, duty step {:.2}%",
+            bits,
+            nl.transistor_count(),
+            100.0 / pwm.modulus() as f64
+        );
+
+        // Load the nearest threshold for each target and *measure* the
+        // duty the gate-level simulation actually produces.
+        let mut measured = Vec::new();
+        for &t in &targets {
+            let m = (t * pwm.modulus() as f64).round() as u64;
+            let duty = measure_duty(&nl, &pwm, m, 2, 1_000);
+            measured.push(DutyCycle::new(duty));
+            println!("  target {t:.3} → M={m:>3} → generated {duty:.4}");
+        }
+
+        // Feed the generated duties into the perceptron.
+        let mut p = PwmPerceptron::new(
+            SwitchLevelEvaluator::paper(),
+            weights.clone(),
+            Reference::ratiometric(0.5),
+        );
+        let v = p.forward(&measured)?;
+        let fired = p.classify(&measured)?;
+        println!(
+            "  adder output {:.3} V (ideal continuous-duty value 2.00 V) → fires: {fired}",
+            v.value()
+        );
+    }
+
+    println!(
+        "\nCoarse counters quantise the inputs but the decision is robust; \
+         8 bits reproduces the continuous case to a few millivolts."
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a PWM perceptron, classify, and peek under the hood.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pwm_perceptron::eval::{AnalyticEvaluator, Evaluator, SwitchLevelEvaluator};
+use pwm_perceptron::{DutyCycle, PwmPerceptron, Reference, WeightVector};
+use pwmcell::analytic;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The temporal encoding -------------------------------------
+    // Inputs are duty cycles; weights are 3-bit integers enabling the
+    // binary-scaled AND cells of the paper's Fig. 3 adder.
+    let weights = WeightVector::new(vec![7, 7, 7], 3)?;
+    let x = [
+        DutyCycle::new(0.70),
+        DutyCycle::new(0.80),
+        DutyCycle::new(0.90),
+    ];
+
+    // --- 2. The ideal model (paper Eq. 2) ------------------------------
+    let ideal = analytic::adder_vout(2.5, &[0.7, 0.8, 0.9], &[7, 7, 7], 3);
+    println!("Eq. 2 ideal output:            {ideal:.3} V (paper Table II row 1: 2.00 V)");
+
+    // --- 3. A perceptron at two fidelity tiers -------------------------
+    let mut fast = PwmPerceptron::new(
+        AnalyticEvaluator::paper(),
+        weights.clone(),
+        Reference::ratiometric(0.5), // threshold = Vdd/2, supply-tracking
+    );
+    println!(
+        "analytic evaluator:            {:.3} V → fires: {}",
+        fast.forward(&x)?.value(),
+        fast.classify(&x)?
+    );
+
+    let mut accurate = PwmPerceptron::new(
+        SwitchLevelEvaluator::paper(),
+        weights.clone(),
+        Reference::ratiometric(0.5),
+    );
+    println!(
+        "switch-level evaluator:        {:.3} V → fires: {}",
+        accurate.forward(&x)?.value(),
+        accurate.classify(&x)?
+    );
+
+    // --- 4. Power elasticity in one line --------------------------------
+    // Halve the supply: the absolute output halves, but the *decision*
+    // against the ratiometric reference is unchanged.
+    let mut low_vdd = PwmPerceptron::new(
+        SwitchLevelEvaluator::paper().with_vdd(mssim::units::Volts(1.25)),
+        weights,
+        Reference::ratiometric(0.5),
+    );
+    println!(
+        "at Vdd = 1.25 V:               {:.3} V → fires: {} (same decision)",
+        low_vdd.forward(&x)?.value(),
+        low_vdd.classify(&x)?
+    );
+
+    // --- 5. Cost of the hardware ---------------------------------------
+    println!(
+        "transistors in the 3×3 adder:  {}",
+        pwmcell::AdderSpec::paper_3x3().transistor_count()
+    );
+    let _ = SwitchLevelEvaluator::paper().vdd();
+    Ok(())
+}

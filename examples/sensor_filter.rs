@@ -1,0 +1,91 @@
+//! A micro-edge sensor filter, verified down to the transistors.
+//!
+//! Trains a 3-input event filter with the fast switch-level evaluator,
+//! then **re-verifies a handful of decisions at transistor level** (full
+//! mssim transient of the 54-transistor adder) and reports the energy of
+//! one decision.
+//!
+//! ```text
+//! cargo run --release --example sensor_filter
+//! ```
+
+use mssim::units::Seconds;
+use pwm_perceptron::dataset::Dataset;
+use pwm_perceptron::energy::{decision_time, DecisionEnergy};
+use pwm_perceptron::eval::{CircuitEvaluator, SwitchLevelEvaluator};
+use pwm_perceptron::train::{train, TrainConfig};
+use pwm_perceptron::{PwmPerceptron, Reference, WeightVector};
+use pwmcell::{AdderTestbench, SimQuality, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::umc65_like();
+
+    // 1. Train with the switch-level model (fast).
+    let data = Dataset::sensor_events(200, 11);
+    let (train_set, test_set) = data.split(0.75, 5);
+    let mut p = PwmPerceptron::new(
+        SwitchLevelEvaluator::new(tech.clone()),
+        WeightVector::zeros(3, 3),
+        Reference::ratiometric(0.5),
+    );
+    let report = train(&mut p, &train_set, &TrainConfig::default())?;
+    println!(
+        "trained: weights {} reference {:?}",
+        p.weights(),
+        p.reference()
+    );
+    println!(
+        "accuracy: train {:.1}%, test {:.1}%",
+        report.final_accuracy * 100.0,
+        p.accuracy(&test_set)? * 100.0
+    );
+
+    // 2. Verify a few decisions at transistor level.
+    let mut verified = PwmPerceptron::new(
+        CircuitEvaluator::new(tech.clone(), SimQuality::fast()),
+        p.weights().clone(),
+        p.reference(),
+    );
+    let mut agree = 0;
+    let check = test_set.samples().iter().take(6);
+    println!("\ntransistor-level spot checks:");
+    for (i, sample) in check.enumerate() {
+        let fast = p.classify(&sample.duties)?;
+        let slow = verified.classify(&sample.duties)?;
+        let truth = sample.label;
+        if fast == slow {
+            agree += 1;
+        }
+        println!(
+            "  sample {i}: switch-level {fast}, transistor-level {slow}, truth {truth} {}",
+            if fast == slow {
+                "✓"
+            } else {
+                "⚠ tier mismatch"
+            }
+        );
+    }
+    println!("tiers agree on {agree}/6 spot checks");
+
+    // 3. Energy of one decision at transistor level.
+    let tb = AdderTestbench::paper(&tech);
+    let m = tb.measure(
+        &[0.7, 0.5, 0.3],
+        p.weights().as_slice(),
+        &SimQuality::fast(),
+    )?;
+    let tau = tech.cout_adder.value() * (tech.rout.value() + 9e3) / 21.0;
+    let t_decide = decision_time(
+        Seconds(tau),
+        tech.frequency.period(),
+        0.01, // settle within 1 %
+    );
+    let budget = DecisionEnergy::new(m.supply_power, t_decide);
+    println!(
+        "\none decision: {:.1} µW × {:.0} ns = {:.1} pJ",
+        budget.power.value() * 1e6,
+        budget.decision_time.value() * 1e9,
+        budget.energy.value() * 1e12
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! A three-class spectral classifier using winner-take-all.
+//!
+//! Three weighted adders share six duty-cycle inputs (think: energy in
+//! six filter bands of an acoustic sensor); each adder is trained to peak
+//! for one band pattern, and a comparator tree picks the winner. Because
+//! every adder output is ratiometric in Vdd, the *argmax* survives supply
+//! collapse — multi-class power elasticity for free.
+//!
+//! ```text
+//! cargo run --release --example spectral_classifier
+//! ```
+
+use mssim::units::Volts;
+use pwm_perceptron::eval::SwitchLevelEvaluator;
+use pwm_perceptron::multiclass::{banded_dataset, train_wta, WtaClassifier};
+use pwm_perceptron::WeightVector;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let classes = 3;
+    let dim = 6;
+    let train_set = banded_dataset(150, dim, classes, 11);
+    let test_set = banded_dataset(90, dim, classes, 99);
+
+    let mut wta = WtaClassifier::new(
+        SwitchLevelEvaluator::paper(),
+        vec![WeightVector::zeros(dim, 3); classes],
+    )?;
+    let train_acc = train_wta(&mut wta, &train_set, 40, 1.0, 7)?;
+    println!(
+        "trained 3-class WTA bank ({} adders × {} inputs, {} transistors total)",
+        classes,
+        dim,
+        classes * pwmcell::AdderSpec::new(dim, 3).transistor_count()
+    );
+    for (c, w) in wta.classes().iter().enumerate() {
+        println!("  class {c} weights: {w}");
+    }
+    println!("train accuracy: {:.1}%", train_acc * 100.0);
+    println!("test accuracy:  {:.1}%", wta.accuracy(&test_set)? * 100.0);
+
+    // The brown-out check: re-evaluate the whole test set at 1.25 V.
+    let low = WtaClassifier::new(
+        SwitchLevelEvaluator::paper().with_vdd(Volts(1.25)),
+        wta.classes().to_vec(),
+    )?;
+    let mut flips = 0;
+    for (duties, _) in &test_set {
+        if wta.classify(duties)? != low.classify(duties)? {
+            flips += 1;
+        }
+    }
+    println!(
+        "decisions changed at half supply: {flips}/{} — the argmax is ratiometric",
+        test_set.len()
+    );
+    assert_eq!(flips, 0);
+    Ok(())
+}

@@ -1,0 +1,107 @@
+* Full Fig.1 perceptron, Table II row 1
+* exported by mssim
+VVDD vdd 0 DC 2.5
+Mp_add_c0b0_nd_MPA p_add_c0b0_nd_y p_add_in0 vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_add_c0b0_nd_MPB p_add_c0b0_nd_y vdd vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_add_c0b0_nd_MNA p_add_c0b0_nd_y p_add_in0 p_add_c0b0_nd_m p_add_c0b0_nd_m mn_200u450 W=6.4e-7 L=1.2e-6
+Mp_add_c0b0_nd_MNB p_add_c0b0_nd_m vdd 0 0 mn_200u450 W=6.4e-7 L=1.2e-6
+Cp_add_c0b0_nd_Cp p_add_c0b0_nd_y 0 2e-15
+Mp_add_c0b0_iv_MP p_add_c0b0_iv_y p_add_c0b0_nd_y vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_add_c0b0_iv_MN p_add_c0b0_iv_y p_add_c0b0_nd_y 0 0 mn_200u450 W=3.2e-7 L=1.2e-6
+Cp_add_c0b0_iv_Cp p_add_c0b0_iv_y 0 2e-15
+Rp_add_R0b0 p_add_c0b0_iv_y p_add_out 100000
+Mp_add_c0b1_nd_MPA p_add_c0b1_nd_y p_add_in0 vdd vdd mp_80u450 W=1.73e-6 L=1.2e-6
+Mp_add_c0b1_nd_MPB p_add_c0b1_nd_y vdd vdd vdd mp_80u450 W=1.73e-6 L=1.2e-6
+Mp_add_c0b1_nd_MNA p_add_c0b1_nd_y p_add_in0 p_add_c0b1_nd_m p_add_c0b1_nd_m mn_200u450 W=1.28e-6 L=1.2e-6
+Mp_add_c0b1_nd_MNB p_add_c0b1_nd_m vdd 0 0 mn_200u450 W=1.28e-6 L=1.2e-6
+Cp_add_c0b1_nd_Cp p_add_c0b1_nd_y 0 4e-15
+Mp_add_c0b1_iv_MP p_add_c0b1_iv_y p_add_c0b1_nd_y vdd vdd mp_80u450 W=1.73e-6 L=1.2e-6
+Mp_add_c0b1_iv_MN p_add_c0b1_iv_y p_add_c0b1_nd_y 0 0 mn_200u450 W=6.4e-7 L=1.2e-6
+Cp_add_c0b1_iv_Cp p_add_c0b1_iv_y 0 4e-15
+Rp_add_R0b1 p_add_c0b1_iv_y p_add_out 50000
+Mp_add_c0b2_nd_MPA p_add_c0b2_nd_y p_add_in0 vdd vdd mp_80u450 W=3.46e-6 L=1.2e-6
+Mp_add_c0b2_nd_MPB p_add_c0b2_nd_y vdd vdd vdd mp_80u450 W=3.46e-6 L=1.2e-6
+Mp_add_c0b2_nd_MNA p_add_c0b2_nd_y p_add_in0 p_add_c0b2_nd_m p_add_c0b2_nd_m mn_200u450 W=2.56e-6 L=1.2e-6
+Mp_add_c0b2_nd_MNB p_add_c0b2_nd_m vdd 0 0 mn_200u450 W=2.56e-6 L=1.2e-6
+Cp_add_c0b2_nd_Cp p_add_c0b2_nd_y 0 8e-15
+Mp_add_c0b2_iv_MP p_add_c0b2_iv_y p_add_c0b2_nd_y vdd vdd mp_80u450 W=3.46e-6 L=1.2e-6
+Mp_add_c0b2_iv_MN p_add_c0b2_iv_y p_add_c0b2_nd_y 0 0 mn_200u450 W=1.28e-6 L=1.2e-6
+Cp_add_c0b2_iv_Cp p_add_c0b2_iv_y 0 8e-15
+Rp_add_R0b2 p_add_c0b2_iv_y p_add_out 25000
+Mp_add_c1b0_nd_MPA p_add_c1b0_nd_y p_add_in1 vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_add_c1b0_nd_MPB p_add_c1b0_nd_y vdd vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_add_c1b0_nd_MNA p_add_c1b0_nd_y p_add_in1 p_add_c1b0_nd_m p_add_c1b0_nd_m mn_200u450 W=6.4e-7 L=1.2e-6
+Mp_add_c1b0_nd_MNB p_add_c1b0_nd_m vdd 0 0 mn_200u450 W=6.4e-7 L=1.2e-6
+Cp_add_c1b0_nd_Cp p_add_c1b0_nd_y 0 2e-15
+Mp_add_c1b0_iv_MP p_add_c1b0_iv_y p_add_c1b0_nd_y vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_add_c1b0_iv_MN p_add_c1b0_iv_y p_add_c1b0_nd_y 0 0 mn_200u450 W=3.2e-7 L=1.2e-6
+Cp_add_c1b0_iv_Cp p_add_c1b0_iv_y 0 2e-15
+Rp_add_R1b0 p_add_c1b0_iv_y p_add_out 100000
+Mp_add_c1b1_nd_MPA p_add_c1b1_nd_y p_add_in1 vdd vdd mp_80u450 W=1.73e-6 L=1.2e-6
+Mp_add_c1b1_nd_MPB p_add_c1b1_nd_y vdd vdd vdd mp_80u450 W=1.73e-6 L=1.2e-6
+Mp_add_c1b1_nd_MNA p_add_c1b1_nd_y p_add_in1 p_add_c1b1_nd_m p_add_c1b1_nd_m mn_200u450 W=1.28e-6 L=1.2e-6
+Mp_add_c1b1_nd_MNB p_add_c1b1_nd_m vdd 0 0 mn_200u450 W=1.28e-6 L=1.2e-6
+Cp_add_c1b1_nd_Cp p_add_c1b1_nd_y 0 4e-15
+Mp_add_c1b1_iv_MP p_add_c1b1_iv_y p_add_c1b1_nd_y vdd vdd mp_80u450 W=1.73e-6 L=1.2e-6
+Mp_add_c1b1_iv_MN p_add_c1b1_iv_y p_add_c1b1_nd_y 0 0 mn_200u450 W=6.4e-7 L=1.2e-6
+Cp_add_c1b1_iv_Cp p_add_c1b1_iv_y 0 4e-15
+Rp_add_R1b1 p_add_c1b1_iv_y p_add_out 50000
+Mp_add_c1b2_nd_MPA p_add_c1b2_nd_y p_add_in1 vdd vdd mp_80u450 W=3.46e-6 L=1.2e-6
+Mp_add_c1b2_nd_MPB p_add_c1b2_nd_y vdd vdd vdd mp_80u450 W=3.46e-6 L=1.2e-6
+Mp_add_c1b2_nd_MNA p_add_c1b2_nd_y p_add_in1 p_add_c1b2_nd_m p_add_c1b2_nd_m mn_200u450 W=2.56e-6 L=1.2e-6
+Mp_add_c1b2_nd_MNB p_add_c1b2_nd_m vdd 0 0 mn_200u450 W=2.56e-6 L=1.2e-6
+Cp_add_c1b2_nd_Cp p_add_c1b2_nd_y 0 8e-15
+Mp_add_c1b2_iv_MP p_add_c1b2_iv_y p_add_c1b2_nd_y vdd vdd mp_80u450 W=3.46e-6 L=1.2e-6
+Mp_add_c1b2_iv_MN p_add_c1b2_iv_y p_add_c1b2_nd_y 0 0 mn_200u450 W=1.28e-6 L=1.2e-6
+Cp_add_c1b2_iv_Cp p_add_c1b2_iv_y 0 8e-15
+Rp_add_R1b2 p_add_c1b2_iv_y p_add_out 25000
+Mp_add_c2b0_nd_MPA p_add_c2b0_nd_y p_add_in2 vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_add_c2b0_nd_MPB p_add_c2b0_nd_y vdd vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_add_c2b0_nd_MNA p_add_c2b0_nd_y p_add_in2 p_add_c2b0_nd_m p_add_c2b0_nd_m mn_200u450 W=6.4e-7 L=1.2e-6
+Mp_add_c2b0_nd_MNB p_add_c2b0_nd_m vdd 0 0 mn_200u450 W=6.4e-7 L=1.2e-6
+Cp_add_c2b0_nd_Cp p_add_c2b0_nd_y 0 2e-15
+Mp_add_c2b0_iv_MP p_add_c2b0_iv_y p_add_c2b0_nd_y vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_add_c2b0_iv_MN p_add_c2b0_iv_y p_add_c2b0_nd_y 0 0 mn_200u450 W=3.2e-7 L=1.2e-6
+Cp_add_c2b0_iv_Cp p_add_c2b0_iv_y 0 2e-15
+Rp_add_R2b0 p_add_c2b0_iv_y p_add_out 100000
+Mp_add_c2b1_nd_MPA p_add_c2b1_nd_y p_add_in2 vdd vdd mp_80u450 W=1.73e-6 L=1.2e-6
+Mp_add_c2b1_nd_MPB p_add_c2b1_nd_y vdd vdd vdd mp_80u450 W=1.73e-6 L=1.2e-6
+Mp_add_c2b1_nd_MNA p_add_c2b1_nd_y p_add_in2 p_add_c2b1_nd_m p_add_c2b1_nd_m mn_200u450 W=1.28e-6 L=1.2e-6
+Mp_add_c2b1_nd_MNB p_add_c2b1_nd_m vdd 0 0 mn_200u450 W=1.28e-6 L=1.2e-6
+Cp_add_c2b1_nd_Cp p_add_c2b1_nd_y 0 4e-15
+Mp_add_c2b1_iv_MP p_add_c2b1_iv_y p_add_c2b1_nd_y vdd vdd mp_80u450 W=1.73e-6 L=1.2e-6
+Mp_add_c2b1_iv_MN p_add_c2b1_iv_y p_add_c2b1_nd_y 0 0 mn_200u450 W=6.4e-7 L=1.2e-6
+Cp_add_c2b1_iv_Cp p_add_c2b1_iv_y 0 4e-15
+Rp_add_R2b1 p_add_c2b1_iv_y p_add_out 50000
+Mp_add_c2b2_nd_MPA p_add_c2b2_nd_y p_add_in2 vdd vdd mp_80u450 W=3.46e-6 L=1.2e-6
+Mp_add_c2b2_nd_MPB p_add_c2b2_nd_y vdd vdd vdd mp_80u450 W=3.46e-6 L=1.2e-6
+Mp_add_c2b2_nd_MNA p_add_c2b2_nd_y p_add_in2 p_add_c2b2_nd_m p_add_c2b2_nd_m mn_200u450 W=2.56e-6 L=1.2e-6
+Mp_add_c2b2_nd_MNB p_add_c2b2_nd_m vdd 0 0 mn_200u450 W=2.56e-6 L=1.2e-6
+Cp_add_c2b2_nd_Cp p_add_c2b2_nd_y 0 8e-15
+Mp_add_c2b2_iv_MP p_add_c2b2_iv_y p_add_c2b2_nd_y vdd vdd mp_80u450 W=3.46e-6 L=1.2e-6
+Mp_add_c2b2_iv_MN p_add_c2b2_iv_y p_add_c2b2_nd_y 0 0 mn_200u450 W=1.28e-6 L=1.2e-6
+Cp_add_c2b2_iv_Cp p_add_c2b2_iv_y 0 8e-15
+Rp_add_R2b2 p_add_c2b2_iv_y p_add_out 25000
+Cp_add_Cout p_add_out 0 1e-11
+Rp_Rrt vdd p_ref 100000
+Rp_Rrb p_ref 0 100000
+Cp_Cref p_ref 0 1e-13
+Mp_cmp_MMir p_cmp_bias p_cmp_bias vdd vdd mp_80u450 W=6.055e-6 L=1.2e-6
+Rp_cmp_Rb p_cmp_bias 0 230000
+Mp_cmp_MTail p_cmp_tail p_cmp_bias vdd vdd mp_80u450 W=6.055e-6 L=1.2e-6
+Mp_cmp_MPp p_cmp_dp p_add_out p_cmp_tail p_cmp_tail mp_80u450 W=8.65e-6 L=1.2e-6
+Mp_cmp_MPn p_cmp_dn p_ref p_cmp_tail p_cmp_tail mp_80u450 W=8.65e-6 L=1.2e-6
+Rp_cmp_Rlp p_cmp_dp 0 320000
+Rp_cmp_Rln p_cmp_dn 0 320000
+Mp_cmp_i1_MP p_cmp_i1_y p_cmp_dn vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_cmp_i1_MN p_cmp_i1_y p_cmp_dn 0 0 mn_200u450 W=3.2e-7 L=1.2e-6
+Cp_cmp_i1_Cp p_cmp_i1_y 0 2e-15
+Mp_cmp_i2_MP p_cmp_i2_y p_cmp_i1_y vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Mp_cmp_i2_MN p_cmp_i2_y p_cmp_i1_y 0 0 mn_200u450 W=3.2e-7 L=1.2e-6
+Cp_cmp_i2_Cp p_cmp_i2_y 0 2e-15
+VVIN0 p_add_in0 0 PULSE(0 2.5 0e0 2.0000000000000002e-11 2.0000000000000002e-11 1.38e-9 2e-9)
+VVIN1 p_add_in1 0 PULSE(0 2.5 0e0 2.0000000000000002e-11 2.0000000000000002e-11 1.5800000000000003e-9 2e-9)
+VVIN2 p_add_in2 0 PULSE(0 2.5 0e0 2.0000000000000002e-11 2.0000000000000002e-11 1.7800000000000003e-9 2e-9)
+.model mn_200u450 NMOS (LEVEL=1 VTO=0.45 KP=2e-4 LAMBDA=0.02)
+.model mp_80u450 PMOS (LEVEL=1 VTO=-0.45 KP=8e-5 LAMBDA=0.02)
+.end

@@ -1,0 +1,12 @@
+* Fig.2 transcoding inverter, DC=25%, 500MHz
+* exported by mssim
+VVDD vdd 0 DC 2.5
+VVIN in 0 PULSE(0 2.5 0e0 2.0000000000000002e-11 2.0000000000000002e-11 4.8e-10 2e-9)
+Minv_MP inv_drv in vdd vdd mp_80u450 W=8.65e-7 L=1.2e-6
+Minv_MN inv_drv in 0 0 mn_200u450 W=3.2e-7 L=1.2e-6
+Cinv_Cp inv_drv 0 2e-15
+Rinv_Rout inv_drv inv_out 100000
+Cinv_Cout inv_out 0 1e-12
+.model mn_200u450 NMOS (LEVEL=1 VTO=0.45 KP=2e-4 LAMBDA=0.02)
+.model mp_80u450 PMOS (LEVEL=1 VTO=-0.45 KP=8e-5 LAMBDA=0.02)
+.end

@@ -1,0 +1,13 @@
+//! Umbrella crate for the PWM mixed-signal perceptron reproduction.
+//!
+//! This crate re-exports the workspace members so the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/` can use a
+//! single dependency. Library users should depend on the individual crates
+//! ([`mssim`], [`pwmcell`], [`pwm_perceptron`], [`gatesim`], [`baseline`])
+//! directly.
+
+pub use baseline;
+pub use gatesim;
+pub use mssim;
+pub use pwm_perceptron;
+pub use pwmcell;

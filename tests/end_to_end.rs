@@ -1,0 +1,118 @@
+//! Full-stack scenarios: train → deploy → perturb, across all crates.
+
+use pwm_perceptron::dataset::Dataset;
+use pwm_perceptron::elasticity::accuracy_vs_vdd;
+use pwm_perceptron::eval::{CircuitEvaluator, SwitchLevelEvaluator};
+use pwm_perceptron::robustness::{adder_vout_monte_carlo, VariationSpec};
+use pwm_perceptron::train::{train, TrainConfig};
+use pwm_perceptron::{PwmPerceptron, Reference, WeightVector};
+use pwmcell::{SimQuality, Technology};
+
+/// Train on the boolean majority task with the switch-level evaluator,
+/// then verify every decision at transistor level.
+#[test]
+fn train_switch_level_verify_transistor_level() {
+    let tech = Technology::umc65_like();
+    let data = Dataset::majority(3);
+    let mut p = PwmPerceptron::new(
+        SwitchLevelEvaluator::new(tech.clone()),
+        WeightVector::zeros(3, 3),
+        Reference::ratiometric(0.5),
+    );
+    let report = train(&mut p, &data, &TrainConfig::default()).unwrap();
+    assert_eq!(report.final_accuracy, 1.0, "majority must be learned");
+
+    let mut verified = PwmPerceptron::new(
+        CircuitEvaluator::new(tech, SimQuality::fast()),
+        p.weights().clone(),
+        p.reference(),
+    );
+    let acc = verified.accuracy(&data).unwrap();
+    assert_eq!(
+        acc, 1.0,
+        "transistor-level deployment must agree with the trained model"
+    );
+}
+
+/// A classifier trained at 2.5 V keeps working from 1.5 V to 4 V when the
+/// reference is ratiometric — the paper's power-elasticity story with a
+/// real trained model.
+#[test]
+fn trained_classifier_is_power_elastic() {
+    let tech = Technology::umc65_like();
+    let data = Dataset::sensor_events(120, 17);
+    let (train_set, test_set) = data.split(0.7, 3);
+    let mut p = PwmPerceptron::new(
+        SwitchLevelEvaluator::new(tech.clone()),
+        WeightVector::zeros(3, 3),
+        Reference::ratiometric(0.5),
+    );
+    train(&mut p, &train_set, &TrainConfig::default()).unwrap();
+    let nominal = p.accuracy(&test_set).unwrap();
+    assert!(nominal > 0.9, "baseline accuracy {nominal}");
+
+    let pts = accuracy_vs_vdd(
+        &tech,
+        p.weights(),
+        p.reference(),
+        &test_set,
+        &[1.5, 2.0, 3.0, 4.0],
+    )
+    .unwrap();
+    for pt in pts {
+        assert!(
+            pt.accuracy >= nominal - 0.05,
+            "accuracy at {} V dropped to {}",
+            pt.vdd,
+            pt.accuracy
+        );
+    }
+}
+
+/// Process variation moves the adder output by only a few per cent
+/// (switch-level global-corner MC over all Table II rows).
+#[test]
+fn variation_tolerance_across_table2() {
+    let tech = Technology::umc65_like();
+    for (duties, weights) in [
+        ([0.70, 0.80, 0.90], [7u32, 7, 7]),
+        ([0.50, 0.50, 0.50], [1, 2, 4]),
+        ([0.80, 0.20, 0.50], [7, 3, 4]),
+    ] {
+        let s = adder_vout_monte_carlo(
+            &tech,
+            &duties,
+            &weights,
+            3,
+            &VariationSpec::typical_65nm(),
+            48,
+            0xFEED,
+        );
+        assert!(
+            s.relative_std() < 0.05,
+            "{duties:?}/{weights:?}: cv = {}",
+            s.relative_std()
+        );
+    }
+}
+
+/// The digital PWM generator chain: counter-generated (quantised) duties
+/// classify identically to the continuous ones for an 8-bit counter.
+#[test]
+fn quantised_duties_preserve_decisions() {
+    use pwm_perceptron::DutyCycle;
+    let weights = WeightVector::new(vec![7, 7, 7], 3).unwrap();
+    let continuous = [0.7, 0.8, 0.9].map(DutyCycle::new);
+    let quantised = continuous.map(|d| d.quantized(256));
+    let mut p = PwmPerceptron::new(
+        SwitchLevelEvaluator::paper(),
+        weights,
+        Reference::ratiometric(0.5),
+    );
+    let a = p.classify(&continuous).unwrap();
+    let b = p.classify(&quantised).unwrap();
+    assert_eq!(a, b);
+    let va = p.forward(&continuous).unwrap().value();
+    let vb = p.forward(&quantised).unwrap().value();
+    assert!((va - vb).abs() < 0.01, "{va} vs {vb}");
+}

@@ -1,0 +1,126 @@
+//! Cross-tier consistency: the analytic, switch-level and transistor-level
+//! evaluators must tell the same story, and the switch model must agree
+//! with a direct mssim simulation of the same physics.
+
+use pwm_perceptron::eval::{AnalyticEvaluator, CircuitEvaluator, Evaluator, SwitchLevelEvaluator};
+use pwm_perceptron::{DutyCycle, WeightVector};
+use pwmcell::{PwmNode, SimQuality, Technology};
+
+fn duties(raw: &[f64]) -> Vec<DutyCycle> {
+    raw.iter().map(|&d| DutyCycle::new(d)).collect()
+}
+
+#[test]
+fn three_tiers_agree_on_a_grid() {
+    let tech = Technology::umc65_like();
+    let analytic = AnalyticEvaluator::new(tech.vdd);
+    let switch = SwitchLevelEvaluator::new(tech.clone());
+    let circuit = CircuitEvaluator::new(tech, SimQuality::fast());
+    let cases: [(&[f64], &[u32]); 4] = [
+        (&[0.7, 0.8, 0.9], &[7, 7, 7]),
+        (&[0.5, 0.5, 0.5], &[1, 2, 4]),
+        (&[0.3, 0.4, 0.5], &[1, 4, 2]),
+        (&[0.9, 0.1, 0.5], &[7, 0, 3]),
+    ];
+    for (d_raw, w_raw) in cases {
+        let d = duties(d_raw);
+        let w = WeightVector::new(w_raw.to_vec(), 3).unwrap();
+        let va = analytic.vout(&d, &w).unwrap().value();
+        let vs = switch.vout(&d, &w).unwrap().value();
+        let vc = circuit.vout(&d, &w).unwrap().value();
+        assert!(
+            (va - vs).abs() < 0.06,
+            "{d_raw:?}/{w_raw:?}: analytic {va:.3} vs switch {vs:.3}"
+        );
+        assert!(
+            (va - vc).abs() < 0.1,
+            "{d_raw:?}/{w_raw:?}: analytic {va:.3} vs circuit {vc:.3}"
+        );
+        assert!(
+            (vs - vc).abs() < 0.1,
+            "{d_raw:?}/{w_raw:?}: switch {vs:.3} vs circuit {vc:.3}"
+        );
+    }
+}
+
+/// The switch model's PSS shortcut must agree with brute-force mssim
+/// simulation of a literal resistor-switch network (independent physics
+/// implementations of the same abstraction).
+#[test]
+fn switch_model_matches_direct_rc_simulation() {
+    use mssim::prelude::*;
+
+    let tech = Technology::umc65_like();
+    let duty = 0.3;
+    let freq = 10e6;
+    let vdd = 2.5;
+    let cout = 1e-12;
+    let r_eff = tech.rout.value() + tech.ron_p().value(); // single path
+
+    // Switch model: one cell driving high during the input's low phase.
+    let node = PwmNode::inverter(&tech, Some(tech.rout.value()), cout, duty, freq, vdd);
+    let pss_avg = node.steady_state_average();
+
+    // Direct mssim: an ideal square source through R into C. To mirror
+    // the inverter's inversion, drive with the complement duty. Use one
+    // average resistance (the model's g_high/g_low differ slightly, so
+    // allow a loose tolerance).
+    let mut ckt = Circuit::new();
+    let src = ckt.node("src");
+    let out = ckt.node("out");
+    ckt.vsource(
+        "V1",
+        src,
+        Circuit::GND,
+        Waveform::pwm(vdd, freq, 1.0 - duty),
+    );
+    ckt.resistor("R1", src, out, r_eff);
+    ckt.capacitor("C1", out, Circuit::GND, cout);
+    let period = 1.0 / freq;
+    let result = Transient::new(period / 400.0, 40.0 * period)
+        .use_initial_conditions()
+        .run(&ckt)
+        .unwrap();
+    let direct_avg = result.voltage(out).steady_state_average(period, 4);
+
+    assert!(
+        (pss_avg - direct_avg).abs() < 0.05,
+        "PSS {pss_avg:.4} vs direct RC sim {direct_avg:.4}"
+    );
+}
+
+/// DC corner: with inputs parked at the rails, the transistor-level adder
+/// must sit exactly at the conductance-weighted average that Eq. 2
+/// predicts for 0 %/100 % duty cycles.
+#[test]
+fn dc_corner_agrees_with_eq2() {
+    use mssim::prelude::*;
+    let tech = Technology::umc65_like();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+    let adder = pwmcell::WeightedAdder::build(
+        &mut ckt,
+        &tech,
+        "a",
+        vdd,
+        &[7, 2, 1],
+        pwmcell::AdderSpec::paper_3x3(),
+    );
+    // Input 0 high, inputs 1 & 2 low.
+    for (i, lv) in [2.5, 0.0, 0.0].into_iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            adder.inputs[i],
+            Circuit::GND,
+            Waveform::dc(lv),
+        );
+    }
+    let op = dc_operating_point(&ckt).unwrap();
+    let expect = pwmcell::analytic::adder_vout(2.5, &[1.0, 0.0, 0.0], &[7, 2, 1], 3);
+    let got = op.voltage(adder.output);
+    assert!(
+        (got - expect).abs() < 0.05,
+        "DC corner: {got:.3} vs Eq.2 {expect:.3}"
+    );
+}

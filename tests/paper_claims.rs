@@ -1,0 +1,176 @@
+//! Integration tests asserting the paper's headline claims end-to-end,
+//! spanning mssim → pwmcell → pwm-perceptron → gatesim/baseline.
+
+use pwm_perceptron::elasticity::{inverter_ratio_sweep, ratio_flatness};
+use pwmcell::{
+    analytic, AdderSpec, AdderTestbench, InverterTestbench, MeasureSpec, SimQuality, Technology,
+};
+
+fn tech() -> Technology {
+    Technology::umc65_like()
+}
+
+/// §II: "the average voltage on its output is inversely proportional to
+/// the duty cycle of the input clock" — transistor level.
+#[test]
+fn claim_inverse_proportionality() {
+    let tb = InverterTestbench::new(&tech());
+    let q = SimQuality::fast();
+    let mut last = f64::INFINITY;
+    for duty in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let v = tb
+            .measure(&MeasureSpec::duty(duty), &q)
+            .unwrap()
+            .vout
+            .value();
+        assert!(v < last, "vout must fall as duty rises (duty {duty}: {v})");
+        let ideal = analytic::inverter_vout(2.5, duty);
+        assert!(
+            (v - ideal).abs() < 0.12,
+            "duty {duty}: {v} vs ideal {ideal}"
+        );
+        last = v;
+    }
+}
+
+/// Fig. 5: "the values of Vout are almost the same for a wide range of
+/// frequencies" — 1 MHz to 1.5 GHz at transistor level.
+#[test]
+fn claim_frequency_resilience() {
+    let tb = InverterTestbench::new(&tech());
+    let q = SimQuality::fast();
+    for duty in [0.25, 0.75] {
+        let vs: Vec<f64> = [1e6, 100e6, 1.5e9]
+            .iter()
+            .map(|&f| {
+                tb.measure(
+                    &MeasureSpec::duty(duty).with_frequency(mssim::units::Hertz(f)),
+                    &q,
+                )
+                .unwrap()
+                .vout
+                .value()
+            })
+            .collect();
+        let spread = vs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - vs.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            spread < 0.2,
+            "duty {duty}: vout spread {spread} over 1 MHz – 1.5 GHz ({vs:?})"
+        );
+    }
+}
+
+/// Fig. 7: "starting from 1–1.5 V the relationship of the Vout to Vdd
+/// remains the same" (switch-level sweep + transistor-level spot check).
+#[test]
+fn claim_power_elasticity() {
+    let t = tech();
+    let pts = inverter_ratio_sweep(&t, 0.25, &[1.5, 2.0, 2.5, 3.0, 4.0, 5.0]);
+    assert!(
+        ratio_flatness(&pts) < 0.05,
+        "ratio must be flat above 1.5 V: {pts:?}"
+    );
+
+    // Transistor-level spot check at two supplies.
+    let tb = InverterTestbench::new(&t);
+    let q = SimQuality::fast();
+    let r = |vdd: f64| {
+        let m = tb
+            .measure(
+                &MeasureSpec::duty(0.25).with_vdd(mssim::units::Volts(vdd)),
+                &q,
+            )
+            .unwrap();
+        m.relative_output()
+    };
+    assert!((r(2.0) - r(4.0)).abs() < 0.05, "{} vs {}", r(2.0), r(4.0));
+}
+
+/// And below ~1 V the ratio collapses (the devices stop conducting) —
+/// the *other* half of the Fig. 7 story. This is threshold physics, so it
+/// needs the transistor-level tier (the switch model deliberately has no
+/// Vth and stays ratiometric at any supply).
+#[test]
+fn claim_collapse_below_threshold_region() {
+    let tb = InverterTestbench::new(&tech());
+    let q = SimQuality::fast();
+    let r = |vdd: f64| {
+        tb.measure(
+            &MeasureSpec::duty(0.25).with_vdd(mssim::units::Volts(vdd)),
+            &q,
+        )
+        .unwrap()
+        .relative_output()
+    };
+    let low = r(0.5);
+    let nominal = r(2.5);
+    assert!(
+        low < 0.5 * nominal,
+        "at 0.5 V the output ratio should collapse: {low} vs {nominal}"
+    );
+}
+
+/// Table II: transistor-level simulation matches Eq. 2 within a few per
+/// cent of full scale, with larger relative error at small outputs (the
+/// paper's observation).
+#[test]
+fn claim_table2_agreement() {
+    let t = tech();
+    let tb = AdderTestbench::paper(&t);
+    let q = SimQuality::fast();
+    let rows: [(&[f64; 3], &[u32; 3]); 2] = [
+        (&[0.70, 0.80, 0.90], &[7, 7, 7]),
+        (&[0.50, 0.50, 0.50], &[1, 2, 4]),
+    ];
+    for (duties, weights) in rows {
+        let m = tb.measure(duties, weights, &q).unwrap();
+        let theory = analytic::adder_vout(2.5, duties, weights, 3);
+        assert!(
+            (m.vout.value() - theory).abs() < 0.1,
+            "{duties:?}/{weights:?}: sim {} vs theory {theory}",
+            m.vout.value()
+        );
+    }
+}
+
+/// §IV: "for the 3×3 weighted adder we used only 54 transistors", and the
+/// digital equivalent is far larger.
+#[test]
+fn claim_simplicity() {
+    assert_eq!(AdderSpec::paper_3x3().transistor_count(), 54);
+    let digital = baseline::DigitalPerceptron::new(baseline::BaselineSpec::matched_to_paper());
+    assert!(
+        digital.transistor_count() > 54 * 20,
+        "digital MAC = {} transistors",
+        digital.transistor_count()
+    );
+}
+
+/// Fig. 8: supply power grows with input frequency.
+#[test]
+fn claim_power_grows_with_frequency() {
+    let t = tech();
+    let tb = AdderTestbench::paper(&t);
+    let q = SimQuality::fast();
+    let p = |f: f64| {
+        tb.measure_at(
+            &[0.2, 0.6, 0.8],
+            &[5, 6, 7],
+            mssim::units::Hertz(f),
+            t.vdd,
+            &q,
+        )
+        .unwrap()
+        .supply_power
+        .value()
+    };
+    let p100 = p(100e6);
+    let p1000 = p(1000e6);
+    assert!(
+        p1000 > 1.3 * p100,
+        "power must grow with frequency: {p100} → {p1000}"
+    );
+    // Magnitude: hundreds of microwatts, as in the paper.
+    assert!(p100 > 50e-6 && p100 < 2e-3, "p(100MHz) = {p100}");
+}

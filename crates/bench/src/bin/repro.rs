@@ -36,6 +36,7 @@ const EXPERIMENTS: &[&str] = &[
     "spice",
     "noise",
     "map",
+    "lint",
 ];
 
 fn main() {
@@ -104,6 +105,7 @@ fn main() {
             "spice" => spice(&tech),
             "noise" => noise(&tech),
             "map" => map(&tech),
+            "lint" => lint_report(&tech),
             _ => unreachable!(),
         }
         eprintln!("  [{name} took {:.1}s]", t0.elapsed().as_secs_f64());
@@ -685,6 +687,113 @@ fn full_perceptron(tech: &Technology, q: &SimQuality) {
         .filter(|r| r.fires_nominal == r.expected && r.fires_low_vdd == r.expected)
         .count();
     println!("decisions matching the ideal comparator at both supplies: {agree}/6");
+}
+
+/// Lints every circuit and netlist the reproduction ships: the analog
+/// cells through `mssim::lint` and the digital blocks through
+/// `gatesim::lint`. Exits nonzero if anything reaches deny severity, so
+/// CI can gate on it.
+fn lint_report(tech: &Technology) {
+    use mssim::prelude::*;
+
+    println!("\n== Static analysis — every shipped circuit and netlist ==");
+    let mut denials = 0usize;
+
+    let mut analog: Vec<(String, Circuit)> = Vec::new();
+
+    // Fig. 2 transcoding inverter at the paper's operating point.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("in");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    ckt.vsource(
+        "VIN",
+        inp,
+        Circuit::GND,
+        Waveform::pwm(tech.vdd.value(), tech.frequency.value(), 0.25),
+    );
+    pwmcell::Inverter::build(
+        &mut ckt,
+        tech,
+        "inv",
+        inp,
+        vdd,
+        Some(tech.rout),
+        tech.cout_inverter,
+    );
+    analog.push(("Fig.2 inverter".into(), ckt));
+
+    // 3×3 weighted adder (Fig. 3 / Table II topology).
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    let adder = pwmcell::WeightedAdder::build(
+        &mut ckt,
+        tech,
+        "add",
+        vdd,
+        &[7, 7, 7],
+        pwmcell::AdderSpec::paper_3x3(),
+    );
+    for (i, input) in adder.inputs.iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            *input,
+            Circuit::GND,
+            Waveform::pwm(tech.vdd.value(), tech.frequency.value(), 0.5),
+        );
+    }
+    analog.push(("Fig.3 3x3 weighted adder".into(), ckt));
+
+    // Full 62-transistor perceptron (Fig. 1).
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    let dut = pwmcell::perceptron_circuit::PerceptronCircuit::build(
+        &mut ckt,
+        tech,
+        "p",
+        vdd,
+        &[7, 7, 7],
+        pwmcell::AdderSpec::paper_3x3(),
+        0.5,
+    );
+    for (i, d) in [0.7, 0.8, 0.9].into_iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            dut.adder.inputs[i],
+            Circuit::GND,
+            Waveform::pwm(tech.vdd.value(), tech.frequency.value(), d),
+        );
+    }
+    analog.push(("Fig.1 full perceptron".into(), ckt));
+
+    for (name, ckt) in &analog {
+        let report = mssim::lint::lint(ckt);
+        denials += report.denials().count();
+        print!("[analog] {name}: {report}");
+    }
+
+    // Digital blocks: the Kessels-counter PWM generator and the baseline
+    // fixed-point MAC perceptron.
+    let mut digital: Vec<(String, gatesim::Netlist)> = Vec::new();
+    let mut nl = gatesim::Netlist::new();
+    gatesim::kessels::KesselsPwm::build(&mut nl, 8);
+    digital.push(("Kessels PWM generator (8-bit)".into(), nl));
+    let baseline = baseline::DigitalPerceptron::new(baseline::BaselineSpec::matched_to_paper());
+    digital.push(("digital MAC baseline".into(), baseline.netlist().clone()));
+
+    for (name, nl) in &digital {
+        let report = gatesim::lint::lint(nl);
+        denials += report.denials().count();
+        print!("[digital] {name}: {report}");
+    }
+
+    if denials > 0 {
+        eprintln!("lint: {denials} deny-level diagnostic(s) — failing");
+        std::process::exit(1);
+    }
+    println!("lint: all shipped circuits clean of deny-level diagnostics");
 }
 
 fn scaling(tech: &Technology) {

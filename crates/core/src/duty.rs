@@ -20,9 +20,7 @@ use crate::error::CoreError;
 /// assert_eq!(d.value(), 0.3);
 /// assert_eq!(d.complement().value(), 0.7);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct DutyCycle(f64);
 
 impl DutyCycle {

@@ -22,7 +22,7 @@ use crate::error::CoreError;
 /// assert_eq!(w.len(), 3);
 /// # Ok::<(), pwm_perceptron::CoreError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeightVector {
     weights: Vec<u32>,
     bits: u32,
@@ -159,7 +159,7 @@ impl<'a> IntoIterator for &'a WeightVector {
 /// A signed weight vector for the differential perceptron: each weight in
 /// `−(2ⁿ−1) ..= 2ⁿ−1` is split into a positive and a negative unsigned
 /// magnitude driving the two adder halves.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignedWeightVector {
     weights: Vec<i32>,
     bits: u32,

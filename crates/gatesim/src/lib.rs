@@ -41,6 +41,7 @@
 
 pub mod blocks;
 pub mod kessels;
+pub mod lint;
 pub mod netlist;
 pub mod power;
 pub mod sim;

@@ -1,0 +1,590 @@
+//! Pre-flight static analysis (linting) of gate-level netlists.
+//!
+//! The digital counterpart of `mssim::lint`: structural defects that make
+//! an event-driven simulation misleading — undriven inputs that stay at
+//! their power-on value, zero-delay-style combinational feedback, floating
+//! flip-flop pins — are reported as structured [`Diagnostic`]s before the
+//! simulation starts. [`Simulator::new`](crate::Simulator::new) runs these
+//! lints as a pre-flight and panics if any deny-level diagnostic is
+//! present.
+//!
+//! # Lint codes
+//!
+//! | Code  | Name                   | Default | Failure prevented |
+//! |-------|------------------------|---------|-------------------|
+//! | GS001 | `undriven-net`         | warn¹   | input stuck at power-on value |
+//! | GS002 | `multiply-driven-net`  | deny    | nondeterministic net value (defensive; the builder already rejects it) |
+//! | GS003 | `combinational-loop`   | warn²   | oscillation / unsettleable logic |
+//! | GS004 | `floating-dff-pin`     | warn    | flip-flop that never clocks or captures garbage |
+//! | GS005 | `unused-net`           | warn    | dead wire, usually a wiring mistake |
+//!
+//! ¹ warn, not deny: primary inputs are legitimately undriven — they are
+//! forced from the testbench via
+//! [`Simulator::set_input`](crate::Simulator::set_input).
+//!
+//! ² warn, not deny: intentional ring oscillators are valid gate-level
+//! circuits (see the crate-level example); deny it per-netlist via
+//! [`LintConfig`] when feedback must be an error.
+//!
+//! # Examples
+//!
+//! ```
+//! use gatesim::lint::{lint, LintCode};
+//! use gatesim::{GateKind, Netlist};
+//!
+//! let mut nl = Netlist::new();
+//! let a = nl.net("a");
+//! let y = nl.net("y");
+//! nl.gate(GateKind::Not, &[a], y, 10);
+//! let report = lint(&nl);
+//! // `a` is a primary input: reported as a warning, not a denial.
+//! assert!(!report.has_denials());
+//! assert!(report
+//!     .diagnostics()
+//!     .iter()
+//!     .any(|d| d.code == LintCode::UndrivenNet));
+//! ```
+
+use std::collections::HashMap;
+
+use crate::netlist::{NetId, Netlist};
+
+/// How a triggered lint is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The diagnostic is suppressed entirely.
+    Allow,
+    /// The diagnostic is reported but does not block simulation.
+    Warn,
+    /// The diagnostic blocks simulation construction.
+    Deny,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// Identifies one class of netlist defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LintCode {
+    /// GS001: a net is read (gate input) but nothing drives it.
+    UndrivenNet,
+    /// GS002: a net has more than one driver (defensive; the builder
+    /// panics on this).
+    MultiplyDrivenNet,
+    /// GS003: a cycle of combinational gates with no flip-flop boundary.
+    CombinationalLoop,
+    /// GS004: a flip-flop data or clock pin with no driver.
+    FloatingDffPin,
+    /// GS005: a net that is neither driven nor read.
+    UnusedNet,
+}
+
+/// All digital lint codes, in report order.
+pub const ALL_CODES: &[LintCode] = &[
+    LintCode::UndrivenNet,
+    LintCode::MultiplyDrivenNet,
+    LintCode::CombinationalLoop,
+    LintCode::FloatingDffPin,
+    LintCode::UnusedNet,
+];
+
+impl LintCode {
+    /// Stable short identifier, e.g. `"GS003"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            LintCode::UndrivenNet => "GS001",
+            LintCode::MultiplyDrivenNet => "GS002",
+            LintCode::CombinationalLoop => "GS003",
+            LintCode::FloatingDffPin => "GS004",
+            LintCode::UnusedNet => "GS005",
+        }
+    }
+
+    /// Human-readable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::UndrivenNet => "undriven-net",
+            LintCode::MultiplyDrivenNet => "multiply-driven-net",
+            LintCode::CombinationalLoop => "combinational-loop",
+            LintCode::FloatingDffPin => "floating-dff-pin",
+            LintCode::UnusedNet => "unused-net",
+        }
+    }
+
+    /// Severity when the user has not configured the code.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::MultiplyDrivenNet => Severity::Deny,
+            _ => Severity::Warn,
+        }
+    }
+}
+
+impl std::fmt::Display for LintCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.id(), self.name())
+    }
+}
+
+/// Per-code severity configuration; codes not configured use
+/// [`LintCode::default_severity`]. Attach to a netlist with
+/// [`Netlist::set_lint_config`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintConfig {
+    overrides: Vec<(LintCode, Severity)>,
+}
+
+impl LintConfig {
+    /// A config in which every code has its default severity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `code` to the given severity (builder style).
+    pub fn set(mut self, code: LintCode, severity: Severity) -> Self {
+        if let Some(slot) = self.overrides.iter_mut().find(|(c, _)| *c == code) {
+            slot.1 = severity;
+        } else {
+            self.overrides.push((code, severity));
+        }
+        self
+    }
+
+    /// Suppresses `code` entirely.
+    pub fn allow(self, code: LintCode) -> Self {
+        self.set(code, Severity::Allow)
+    }
+
+    /// Reports `code` without blocking simulation.
+    pub fn warn(self, code: LintCode) -> Self {
+        self.set(code, Severity::Warn)
+    }
+
+    /// Makes `code` block simulation construction.
+    pub fn deny(self, code: LintCode) -> Self {
+        self.set(code, Severity::Deny)
+    }
+
+    /// Effective severity of `code` under this config.
+    pub fn severity(&self, code: LintCode) -> Severity {
+        self.overrides
+            .iter()
+            .find(|(c, _)| *c == code)
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| code.default_severity())
+    }
+
+    /// `true` if the user explicitly configured `code`.
+    pub fn is_overridden(&self, code: LintCode) -> bool {
+        self.overrides.iter().any(|(c, _)| *c == code)
+    }
+}
+
+/// One reported defect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Effective severity after config.
+    pub severity: Severity,
+    /// Names of the offending nets.
+    pub elements: Vec<String>,
+    /// What is wrong, in terms of the named nets.
+    pub message: String,
+    /// How to fix it, when a stock suggestion exists.
+    pub suggestion: Option<String>,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} [{}]: {}",
+            self.severity,
+            self.code.id(),
+            self.code.name(),
+            self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (help: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of linting one netlist.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// All diagnostics, most severe first.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Diagnostics at deny level.
+    pub fn denials(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+    }
+
+    /// Diagnostics at warn level.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+    }
+
+    /// `true` if any deny-level diagnostic is present.
+    pub fn has_denials(&self) -> bool {
+        self.denials().next().is_some()
+    }
+
+    /// `true` if nothing was reported.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "lint: clean");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        let denies = self.denials().count();
+        let warns = self.warnings().count();
+        writeln!(f, "lint: {denies} deny, {warns} warn")
+    }
+}
+
+/// Lints `netlist` with its attached config
+/// (see [`Netlist::set_lint_config`]).
+pub fn lint(netlist: &Netlist) -> LintReport {
+    lint_with(netlist, netlist.lint_config())
+}
+
+/// Lints `netlist` with an explicit config.
+pub fn lint_with(netlist: &Netlist, config: &LintConfig) -> LintReport {
+    let mut diagnostics = Vec::new();
+    let mut emit = |code: LintCode, elements: Vec<String>, message: String, suggestion: &str| {
+        let severity = config.severity(code);
+        if severity != Severity::Allow {
+            diagnostics.push(Diagnostic {
+                code,
+                severity,
+                elements,
+                message,
+                suggestion: Some(suggestion.to_owned()),
+            });
+        }
+    };
+
+    let n = netlist.net_count();
+    // Per-net fan-in/fan-out bookkeeping shared by several passes.
+    let mut drivers: Vec<usize> = vec![0; n];
+    let mut read: Vec<bool> = vec![false; n];
+    let mut dff_pin: Vec<bool> = vec![false; n];
+    for g in netlist.gates() {
+        drivers[g.output.index()] += 1;
+        for i in &g.inputs {
+            read[i.index()] = true;
+        }
+    }
+    for d in netlist.dffs() {
+        drivers[d.q.index()] += 1;
+        read[d.d.index()] = true;
+        read[d.clock.index()] = true;
+        dff_pin[d.d.index()] = true;
+        dff_pin[d.clock.index()] = true;
+    }
+
+    for idx in 0..n {
+        let net = NetId(idx);
+        let name = netlist.net_name(net).to_owned();
+        if drivers[idx] > 1 {
+            emit(
+                LintCode::MultiplyDrivenNet,
+                vec![name.clone()],
+                format!("net '{name}' has {} drivers", drivers[idx]),
+                "give each gate/flip-flop output its own net; the event queue \
+                 would apply whichever update fires last",
+            );
+        }
+        if drivers[idx] == 0 && read[idx] {
+            if dff_pin[idx] {
+                emit(
+                    LintCode::FloatingDffPin,
+                    vec![name.clone()],
+                    format!("flip-flop pin net '{name}' has no driver"),
+                    "drive it from logic, or treat it as a primary input and \
+                     force it with set_input/run_clock before relying on Q",
+                );
+            } else {
+                emit(
+                    LintCode::UndrivenNet,
+                    vec![name.clone()],
+                    format!("net '{name}' is read but has no driver"),
+                    "drive it from a gate, or force it from the testbench with \
+                     set_input (it stays at its power-on value otherwise)",
+                );
+            }
+        }
+        if drivers[idx] == 0 && !read[idx] {
+            emit(
+                LintCode::UnusedNet,
+                vec![name.clone()],
+                format!("net '{name}' is neither driven nor read"),
+                "delete the net, or wire it up",
+            );
+        }
+    }
+
+    for scc in combinational_sccs(netlist) {
+        let nets: Vec<String> = scc
+            .iter()
+            .map(|&g| netlist.net_name(netlist.gates()[g].output).to_owned())
+            .collect();
+        emit(
+            LintCode::CombinationalLoop,
+            nets.clone(),
+            format!(
+                "combinational feedback loop through net(s) {}",
+                nets.join(" → ")
+            ),
+            "break the loop with a flip-flop, or silence GS003 if the \
+             oscillator is intentional",
+        );
+    }
+
+    diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    LintReport { diagnostics }
+}
+
+/// Strongly connected components of the combinational gate graph (edges
+/// from a gate to every gate reading its output; flip-flops break the
+/// graph). Returns only looping components: size > 1, or a gate feeding
+/// itself. Iterative Tarjan, so deep netlists cannot overflow the stack.
+fn combinational_sccs(netlist: &Netlist) -> Vec<Vec<usize>> {
+    let gates = netlist.gates();
+    let mut driver_gate: HashMap<usize, usize> = HashMap::new();
+    for (i, g) in gates.iter().enumerate() {
+        driver_gate.insert(g.output.index(), i);
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    for (i, g) in gates.iter().enumerate() {
+        for input in &g.inputs {
+            if let Some(&src) = driver_gate.get(&input.index()) {
+                adj[src].push(i);
+            }
+        }
+    }
+
+    let n = gates.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+
+    // Explicit DFS frames: (node, next child position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*child) {
+                *child += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let is_loop = comp.len() > 1 || adj[comp[0]].contains(&comp[0]);
+                    if is_loop {
+                        comp.sort_unstable();
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GateKind;
+
+    fn codes(report: &LintReport) -> Vec<LintCode> {
+        report.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_pipeline_is_clean_except_primary_inputs() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let b = nl.net("b");
+        let y = nl.net("y");
+        let q = nl.net("q");
+        let clk = nl.net("clk");
+        nl.gate(GateKind::And2, &[a, b], y, 10);
+        nl.dff(y, clk, q, 20);
+        let report = lint(&nl);
+        assert!(!report.has_denials());
+        // a, b are primary inputs; clk is a floating DFF pin by design.
+        assert_eq!(report.warnings().count(), 3);
+    }
+
+    #[test]
+    fn undriven_gate_input_warned_with_name() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::Not, &[a], y, 10);
+        let report = lint(&nl);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::UndrivenNet)
+            .expect("GS001");
+        assert_eq!(d.elements, vec!["a"]);
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let b = nl.net("b");
+        let c = nl.net("c");
+        nl.gate(GateKind::Not, &[a], b, 10);
+        nl.gate(GateKind::Not, &[b], c, 10);
+        nl.gate(GateKind::Not, &[c], a, 10);
+        let report = lint(&nl);
+        assert!(!report.has_denials(), "ring oscillators stay usable");
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::CombinationalLoop)
+            .expect("GS003");
+        assert_eq!(d.elements.len(), 3);
+    }
+
+    #[test]
+    fn dff_breaks_combinational_loop() {
+        let mut nl = Netlist::new();
+        let q = nl.net("q");
+        let nq = nl.net("nq");
+        let clk = nl.net("clk");
+        nl.gate(GateKind::Not, &[q], nq, 10);
+        nl.dff(nq, clk, q, 20); // divide-by-two: feedback through the DFF
+        let report = lint(&nl);
+        assert!(codes(&report)
+            .iter()
+            .all(|&c| c != LintCode::CombinationalLoop));
+    }
+
+    #[test]
+    fn self_feeding_gate_is_a_loop() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        nl.gate(GateKind::Not, &[a], a, 10);
+        let report = lint(&nl);
+        assert!(codes(&report).contains(&LintCode::CombinationalLoop));
+    }
+
+    #[test]
+    fn floating_dff_pins_reported_as_gs004() {
+        let mut nl = Netlist::new();
+        let d = nl.net("d");
+        let clk = nl.net("clk");
+        let q = nl.net("q");
+        nl.dff(d, clk, q, 20);
+        let report = lint(&nl);
+        let gs004: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|x| x.code == LintCode::FloatingDffPin)
+            .collect();
+        assert_eq!(gs004.len(), 2, "both d and clk are floating");
+    }
+
+    #[test]
+    fn unused_net_warned() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.net("dangling");
+        nl.gate(GateKind::Buf, &[a], y, 10);
+        let report = lint(&nl);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::UnusedNet)
+            .expect("GS005");
+        assert_eq!(d.elements, vec!["dangling"]);
+    }
+
+    #[test]
+    fn config_overrides_are_respected() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::Not, &[a], y, 10);
+        let cfg = LintConfig::new().allow(LintCode::UndrivenNet);
+        assert!(lint_with(&nl, &cfg).is_clean());
+        let cfg = LintConfig::new().deny(LintCode::UndrivenNet);
+        assert!(lint_with(&nl, &cfg).has_denials());
+        assert!(cfg.is_overridden(LintCode::UndrivenNet));
+        assert!(!cfg.is_overridden(LintCode::UnusedNet));
+    }
+
+    #[test]
+    fn report_renders_ids_and_severities() {
+        let mut nl = Netlist::new();
+        let a = nl.net("a");
+        let y = nl.net("y");
+        nl.gate(GateKind::Not, &[a], y, 10);
+        let text = lint(&nl).to_string();
+        assert!(text.contains("GS001"), "{text}");
+        assert!(text.contains("warn"), "{text}");
+    }
+}

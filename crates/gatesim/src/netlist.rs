@@ -144,6 +144,7 @@ pub struct Netlist {
     driver_of: Vec<bool>,
     pub(crate) gates: Vec<Gate>,
     pub(crate) dffs: Vec<Dff>,
+    lint_config: crate::lint::LintConfig,
 }
 
 impl Netlist {
@@ -256,6 +257,17 @@ impl Netlist {
     /// The flip-flops, in insertion order.
     pub fn dffs(&self) -> &[Dff] {
         &self.dffs
+    }
+
+    /// Sets the lint configuration consulted by [`crate::lint::lint`] and
+    /// by the pre-flight check in [`crate::Simulator::new`].
+    pub fn set_lint_config(&mut self, config: crate::lint::LintConfig) {
+        self.lint_config = config;
+    }
+
+    /// The lint configuration attached to this netlist.
+    pub fn lint_config(&self) -> &crate::lint::LintConfig {
+        &self.lint_config
     }
 
     /// Total transistor count of the netlist (standard-cell estimates).

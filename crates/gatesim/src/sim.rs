@@ -46,7 +46,21 @@ impl<'a> Simulator<'a> {
     /// Creates a simulator with all nets initialised to `false` and all
     /// gate outputs scheduled for evaluation at t = 0 (so constant logic
     /// settles immediately).
+    ///
+    /// Runs the netlist lints ([`crate::lint`]) as a pre-flight first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lint reaches deny severity under the netlist's
+    /// [`LintConfig`](crate::lint::LintConfig). No lint denies by default
+    /// (the builder already rejects multiply-driven nets), so this fires
+    /// only for netlists whose config escalates a warning to deny.
     pub fn new(netlist: &'a Netlist) -> Self {
+        let report = crate::lint::lint(netlist);
+        assert!(
+            !report.has_denials(),
+            "netlist rejected by pre-flight lint:\n{report}"
+        );
         let n = netlist.net_count();
         let mut gate_fanout = vec![Vec::new(); n];
         for (gi, gate) in netlist.gates.iter().enumerate() {

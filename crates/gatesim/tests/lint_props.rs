@@ -1,0 +1,110 @@
+//! Property-based tests of the digital lint passes: acyclic netlists are
+//! never flagged for combinational feedback, and seeded loops always are.
+
+use gatesim::lint::{lint, LintCode};
+use gatesim::{GateKind, Netlist};
+use proptest::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+const KINDS: &[GateKind] = &[
+    GateKind::Buf,
+    GateKind::Not,
+    GateKind::And2,
+    GateKind::Or2,
+    GateKind::Nand2,
+    GateKind::Nor2,
+    GateKind::Xor2,
+    GateKind::Xnor2,
+];
+
+/// A random DAG of gates: each gate reads only nets created earlier, so
+/// the netlist is acyclic by construction.
+fn random_dag(seed: u64, gates: usize) -> Netlist {
+    let mut rng = Rng::new(seed);
+    let mut nl = Netlist::new();
+    let mut nets = vec![nl.net("in0"), nl.net("in1")];
+    for _ in 0..gates {
+        let kind = KINDS[(rng.next() % KINDS.len() as u64) as usize];
+        let inputs: Vec<_> = (0..kind.arity())
+            .map(|_| nets[(rng.next() % nets.len() as u64) as usize])
+            .collect();
+        let out = nl.fresh_net();
+        nl.gate(kind, &inputs, out, 1 + rng.next() % 100);
+        nets.push(out);
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Acyclic netlists never produce a denial, and never a GS003.
+    #[test]
+    fn random_dag_passes_lint(seed in 0u64..10_000, gates in 1usize..30) {
+        let nl = random_dag(seed, gates);
+        let report = lint(&nl);
+        prop_assert!(!report.has_denials());
+        prop_assert!(report
+            .diagnostics()
+            .iter()
+            .all(|d| d.code != LintCode::CombinationalLoop));
+    }
+
+    /// A seeded inverter ring on top of a random DAG is always caught as
+    /// GS003, reporting exactly the nets of the ring.
+    #[test]
+    fn seeded_loop_always_caught(
+        seed in 0u64..10_000,
+        gates in 0usize..20,
+        ring in 1usize..6,
+    ) {
+        let mut nl = random_dag(seed, gates);
+        let rnets: Vec<_> = (0..ring).map(|i| nl.net(&format!("ring{i}"))).collect();
+        for i in 0..ring {
+            nl.gate(GateKind::Not, &[rnets[i]], rnets[(i + 1) % ring], 10);
+        }
+        let report = lint(&nl);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::CombinationalLoop)
+            .expect("GS003 must fire");
+        prop_assert_eq!(d.elements.len(), ring, "{}", report);
+    }
+
+    /// Inserting one flip-flop anywhere in the ring breaks the
+    /// combinational cycle: GS003 must no longer fire.
+    #[test]
+    fn dff_always_breaks_the_loop(seed in 0u64..10_000, ring in 2usize..6) {
+        let mut nl = random_dag(seed, 3);
+        let clk = nl.net("clk");
+        let rnets: Vec<_> = (0..ring).map(|i| nl.net(&format!("ring{i}"))).collect();
+        for i in 0..ring - 1 {
+            nl.gate(GateKind::Not, &[rnets[i]], rnets[i + 1], 10);
+        }
+        nl.dff(rnets[ring - 1], clk, rnets[0], 20);
+        let report = lint(&nl);
+        prop_assert!(
+            report
+                .diagnostics()
+                .iter()
+                .all(|d| d.code != LintCode::CombinationalLoop),
+            "{}",
+            report
+        );
+    }
+}

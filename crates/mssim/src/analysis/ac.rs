@@ -102,6 +102,7 @@ pub fn ac_analysis(
     source: ElementId,
     frequencies: &[f64],
 ) -> Result<AcResult, Error> {
+    crate::lint::preflight(circuit, "ac", crate::lint::LintContext::Dc)?;
     if !matches!(circuit.element(source), Element::VoltageSource { .. }) {
         return Err(Error::InvalidParameter {
             element: circuit.element_name(source).to_owned(),

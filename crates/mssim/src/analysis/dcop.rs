@@ -85,7 +85,7 @@ impl DcSolution {
 /// # }
 /// ```
 pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, Error> {
-    circuit.validate()?;
+    crate::lint::preflight(circuit, "dc", crate::lint::LintContext::Dc)?;
     let layout = MnaLayout::new(circuit);
     let n = layout.size();
     let mut mat = DenseMatrix::zeros(n);
@@ -298,7 +298,7 @@ mod tests {
         let ckt = Circuit::new();
         assert!(matches!(
             dc_operating_point(&ckt),
-            Err(Error::InvalidCircuit { .. })
+            Err(Error::LintRejected { analysis: "dc", .. })
         ));
     }
 

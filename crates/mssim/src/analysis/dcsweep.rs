@@ -100,6 +100,7 @@ pub fn dc_sweep(
     source: ElementId,
     values: &[f64],
 ) -> Result<DcSweepResult, Error> {
+    crate::lint::preflight(&circuit, "dc-sweep", crate::lint::LintContext::Dc)?;
     if !matches!(circuit.element(source), Element::VoltageSource { .. }) {
         return Err(Error::InvalidParameter {
             element: circuit.element_name(source).to_owned(),

@@ -82,6 +82,7 @@ pub fn noise_analysis(
     frequencies: &[f64],
 ) -> Result<NoiseResult, Error> {
     assert!(!output.is_ground(), "noise at ground is identically zero");
+    crate::lint::preflight(circuit, "noise", crate::lint::LintContext::Dc)?;
     let op = dc_operating_point(circuit)?;
     let layout = MnaLayout::new(circuit);
     let n = layout.size();

@@ -151,11 +151,17 @@ impl Transient {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidCircuit`] for broken netlists,
-    /// [`Error::NonConvergence`] if Newton iteration fails at some time
-    /// point, and [`Error::SingularMatrix`] for under-determined systems.
+    /// Returns [`Error::LintRejected`] for broken netlists (see
+    /// [`crate::lint`]), [`Error::NonConvergence`] if Newton iteration
+    /// fails at some time point, and [`Error::SingularMatrix`] for
+    /// under-determined systems.
     pub fn run(&self, circuit: &Circuit) -> Result<TransientResult, Error> {
-        circuit.validate()?;
+        let ctx = if self.uic {
+            crate::lint::LintContext::TransientUic
+        } else {
+            crate::lint::LintContext::Dc
+        };
+        crate::lint::preflight(circuit, "transient", ctx)?;
         let layout = MnaLayout::new(circuit);
         let n = layout.size();
         let node_rows = layout.n_nodes - 1;

@@ -40,6 +40,15 @@ pub enum Error {
         /// The name or index that failed to resolve.
         what: String,
     },
+    /// The pre-flight lint (see [`crate::lint`]) found deny-level
+    /// diagnostics and refused to start the analysis.
+    LintRejected {
+        /// Analysis that was about to run (`"dc"`, `"transient"`, ...).
+        analysis: &'static str,
+        /// Rendered deny-level diagnostics, e.g.
+        /// `"deny: MS005 [voltage-source-loop]: ..."`.
+        violations: Vec<String>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -61,6 +70,18 @@ impl fmt::Display for Error {
                 write!(f, "invalid parameter on element {element}: {reason}")
             }
             Error::UnknownProbe { what } => write!(f, "unknown probe: {what}"),
+            Error::LintRejected {
+                analysis,
+                violations,
+            } => {
+                write!(
+                    f,
+                    "{analysis} analysis rejected by pre-flight lint ({} violation{}): {}",
+                    violations.len(),
+                    if violations.len() == 1 { "" } else { "s" },
+                    violations.join("; ")
+                )
+            }
         }
     }
 }

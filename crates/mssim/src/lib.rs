@@ -15,7 +15,9 @@
 //!   ([`analysis::Transient`]),
 //! * waveform post-processing ([`trace::Trace`]: averages, ripple, RMS,
 //!   settling detection),
-//! * parallel parameter sweeps and Monte-Carlo drivers ([`sweep`]).
+//! * parallel parameter sweeps and Monte-Carlo drivers ([`sweep`]),
+//! * pre-flight static analysis of netlists ([`lint`]): singular-matrix
+//!   topologies are rejected with named nodes/elements before any solve.
 //!
 //! The engine follows the same numerical formulation as the core loop of a
 //! production SPICE: nonlinear devices are linearised around the current
@@ -53,6 +55,7 @@ pub mod elements;
 pub mod error;
 pub mod export;
 pub mod linear;
+pub mod lint;
 pub mod netlist;
 pub mod sweep;
 pub mod trace;
@@ -71,6 +74,7 @@ pub mod prelude {
     };
     pub use crate::elements::{MosParams, MosPolarity};
     pub use crate::error::Error;
+    pub use crate::lint::{lint, LintCode, LintConfig, LintReport, Severity};
     pub use crate::netlist::{Circuit, ElementId, NodeId};
     pub use crate::trace::Trace;
     pub use crate::units::*;

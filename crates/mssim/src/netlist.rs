@@ -11,6 +11,7 @@ use std::fmt;
 
 use crate::elements::{Element, MosParams};
 use crate::error::Error;
+use crate::lint::{self, LintConfig, LintContext};
 use crate::waveform::Waveform;
 
 /// Identifier of a circuit node. Node 0 is ground.
@@ -74,6 +75,7 @@ pub struct Circuit {
     name_to_node: HashMap<String, NodeId>,
     elements: Vec<NamedElement>,
     name_to_element: HashMap<String, ElementId>,
+    lint_config: LintConfig,
 }
 
 #[derive(Debug, Clone)]
@@ -95,7 +97,19 @@ impl Circuit {
             name_to_node,
             elements: Vec::new(),
             name_to_element: HashMap::new(),
+            lint_config: LintConfig::new(),
         }
+    }
+
+    /// Replaces the lint configuration honoured by analysis pre-flights
+    /// (see [`crate::lint`]).
+    pub fn set_lint_config(&mut self, config: LintConfig) {
+        self.lint_config = config;
+    }
+
+    /// The lint configuration honoured by analysis pre-flights.
+    pub fn lint_config(&self) -> &LintConfig {
+        &self.lint_config
     }
 
     /// Returns the node with the given name, creating it if necessary.
@@ -490,44 +504,28 @@ impl Circuit {
         self.elements.iter().any(|ne| ne.element.is_nonlinear())
     }
 
-    /// Checks structural validity: the circuit must contain at least one
-    /// element, and every node must be connected (directly or transitively)
-    /// to ground.
+    /// Checks structural validity by running the deny-level lints of
+    /// [`crate::lint`] and reporting the first violation.
+    ///
+    /// This predates the lint engine and is kept as a thin compatibility
+    /// shim; new code should call [`crate::lint::lint`] and inspect the
+    /// full [`crate::lint::LintReport`] instead.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidCircuit`] describing the first defect found.
+    /// Returns [`Error::InvalidCircuit`] describing the first deny-level
+    /// defect found.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use mssim::lint::lint() for structured diagnostics; analyses now pre-flight automatically"
+    )]
     pub fn validate(&self) -> Result<(), Error> {
-        if self.elements.is_empty() {
-            return Err(Error::InvalidCircuit {
-                reason: "circuit has no elements".into(),
-            });
+        let report = lint::lint_with(self, &self.lint_config, LintContext::Dc);
+        let first = report.denials().next().map(|d| d.message.clone());
+        match first {
+            Some(reason) => Err(Error::InvalidCircuit { reason }),
+            None => Ok(()),
         }
-        // Union-find style flood fill from ground over element connectivity.
-        let n = self.node_names.len();
-        let mut reached = vec![false; n];
-        reached[0] = true;
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for ne in &self.elements {
-                let nodes = ne.element.nodes();
-                if nodes.iter().any(|nd| reached[nd.0]) {
-                    for nd in nodes {
-                        if !reached[nd.0] {
-                            reached[nd.0] = true;
-                            changed = true;
-                        }
-                    }
-                }
-            }
-        }
-        if let Some(idx) = reached.iter().position(|r| !r) {
-            return Err(Error::InvalidCircuit {
-                reason: format!("node '{}' is not connected to ground", self.node_names[idx]),
-            });
-        }
-        Ok(())
     }
 }
 
@@ -614,12 +612,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn validate_rejects_empty_circuit() {
         let ckt = Circuit::new();
         assert!(matches!(ckt.validate(), Err(Error::InvalidCircuit { .. })));
     }
 
     #[test]
+    #[allow(deprecated)]
     fn validate_rejects_island_nodes() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
@@ -632,6 +632,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn validate_accepts_connected_circuit() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");

@@ -2,7 +2,7 @@
 //!
 //! These helpers parallelise the embarrassingly-parallel outer loops of the
 //! paper's experiments (duty-cycle sweeps, frequency sweeps, supply sweeps,
-//! mismatch Monte Carlo) over the available cores using crossbeam scoped
+//! mismatch Monte Carlo) over the available cores using std scoped
 //! threads. Result order always matches input order.
 
 use rand::rngs::StdRng;
@@ -35,21 +35,21 @@ where
     }
 
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        // Chunk the output so each worker owns a disjoint slice.
+    std::thread::scope(|scope| {
+        // Chunk the output so each worker owns a disjoint slice. A panic in
+        // any worker propagates when the scope joins it.
         let chunk = n.div_ceil(threads);
         for (w, out_chunk) in slots.chunks_mut(chunk).enumerate() {
             let f = &f;
             let start = w * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (k, slot) in out_chunk.iter_mut().enumerate() {
                     let idx = start + k;
                     *slot = Some(f(&points[idx], idx));
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     slots
         .into_iter()
         .map(|s| s.expect("sweep slot unfilled"))

@@ -16,7 +16,6 @@ macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $unit:literal) => {
         $(#[$meta])*
         #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-        #[derive(serde::Serialize, serde::Deserialize)]
         pub struct $name(pub f64);
 
         impl $name {

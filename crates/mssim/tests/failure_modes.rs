@@ -3,7 +3,8 @@
 
 use mssim::prelude::*;
 
-/// Two ideal voltage sources fighting over one node: singular system.
+/// Two ideal voltage sources fighting over one node: the pre-flight lint
+/// names both sources instead of letting the solver hit a singular pivot.
 #[test]
 fn conflicting_sources_are_singular() {
     let mut ckt = Circuit::new();
@@ -12,13 +13,27 @@ fn conflicting_sources_are_singular() {
     ckt.vsource("V2", a, Circuit::GND, Waveform::dc(2.0));
     ckt.resistor("R1", a, Circuit::GND, 1e3);
     let err = dc_operating_point(&ckt).unwrap_err();
+    match &err {
+        Error::LintRejected { violations, .. } => {
+            assert!(
+                violations
+                    .iter()
+                    .any(|v| v.contains("MS005") && v.contains("V1") && v.contains("V2")),
+                "expected MS005 naming both sources, got {violations:?}"
+            );
+        }
+        other => panic!("expected lint rejection, got {other}"),
+    }
+    // The raw solver still degrades safely if the lint is silenced.
+    ckt.set_lint_config(LintConfig::new().allow(LintCode::VoltageSourceLoop));
+    let err = dc_operating_point(&ckt).unwrap_err();
     assert!(
         matches!(err, Error::SingularMatrix { .. }),
         "expected singular matrix, got {err}"
     );
 }
 
-/// A loop of ideal voltage sources is equally singular in transient.
+/// A loop of ideal voltage sources is rejected for transient too.
 #[test]
 fn source_loop_fails_in_transient() {
     let mut ckt = Circuit::new();
@@ -29,11 +44,20 @@ fn source_loop_fails_in_transient() {
     ckt.vsource("V3", b, Circuit::GND, Waveform::dc(2.0)); // loop closed
     ckt.resistor("RL", b, Circuit::GND, 1e3);
     let err = Transient::new(1e-9, 10e-9).run(&ckt).unwrap_err();
-    assert!(matches!(err, Error::SingularMatrix { .. }), "{err}");
+    assert!(
+        matches!(
+            err,
+            Error::LintRejected {
+                analysis: "transient",
+                ..
+            }
+        ),
+        "{err}"
+    );
 }
 
-/// An island disconnected from ground is caught by validation before any
-/// numerics run.
+/// An island disconnected from ground is caught by the pre-flight lint
+/// before any numerics run.
 #[test]
 fn disconnected_island_is_rejected() {
     let mut ckt = Circuit::new();
@@ -50,10 +74,11 @@ fn disconnected_island_is_rejected() {
     ] {
         let err = result.unwrap_err();
         assert!(
-            matches!(err, Error::InvalidCircuit { .. }),
-            "expected invalid-circuit, got {err}"
+            matches!(err, Error::LintRejected { .. }),
+            "expected lint rejection, got {err}"
         );
         assert!(err.to_string().contains("not connected to ground"));
+        assert!(err.to_string().contains("MS002"));
     }
 }
 

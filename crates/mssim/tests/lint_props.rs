@@ -1,0 +1,136 @@
+//! Property-based tests of the lint engine: well-formed circuits never
+//! trip a deny-level lint, and seeded structural violations are always
+//! caught with the documented code.
+
+use mssim::lint::{lint, LintCode, Severity};
+use mssim::prelude::*;
+use proptest::prelude::*;
+
+/// Deterministic xorshift so generated circuits are reproducible from the
+/// proptest-chosen seed alone.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// A random but well-formed ladder network: every node reaches ground
+/// through resistors (so there is always a DC path), one supply, sane
+/// component values, unique names.
+fn ladder(seed: u64, n: usize) -> (Circuit, Vec<NodeId>) {
+    let mut rng = Rng::new(seed);
+    let mut ckt = Circuit::new();
+    let top = ckt.node("vdd");
+    ckt.vsource("V0", top, Circuit::GND, Waveform::dc(2.5));
+    let mut nodes = vec![Circuit::GND, top];
+    for i in 0..n {
+        let nd = ckt.node(&format!("n{i}"));
+        let anchor = nodes[(rng.next() % nodes.len() as u64) as usize];
+        let ohms = 1e3 * (1 + rng.next() % 100) as f64;
+        ckt.resistor(&format!("R{i}"), nd, anchor, ohms);
+        if rng.next().is_multiple_of(3) {
+            ckt.capacitor(&format!("C{i}"), nd, Circuit::GND, 1e-12);
+        }
+        nodes.push(nd);
+    }
+    (ckt, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Well-formed circuits never produce a deny-level diagnostic.
+    #[test]
+    fn well_formed_circuits_pass_lint(seed in 0u64..10_000, n in 1usize..10) {
+        let (ckt, _) = ladder(seed, n);
+        let report = lint(&ckt);
+        prop_assert!(
+            !report.has_denials(),
+            "unexpected denials:\n{report}"
+        );
+        // And the analyses accept them: preflight must not reject.
+        prop_assert!(dc_operating_point(&ckt).is_ok());
+    }
+
+    /// A subgraph detached from ground is always caught as MS002, naming
+    /// the stranded nodes.
+    #[test]
+    fn detached_subgraph_always_caught(seed in 0u64..10_000, n in 1usize..8) {
+        let (mut ckt, _) = ladder(seed, n);
+        let x = ckt.node("island_x");
+        let y = ckt.node("island_y");
+        ckt.resistor("Risland", x, y, 1e3);
+        let report = lint(&ckt);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::FloatingNode)
+            .expect("MS002 must fire");
+        prop_assert_eq!(d.severity, Severity::Deny);
+        prop_assert!(d.elements.iter().any(|e| e == "island_x"));
+    }
+
+    /// A second source in parallel with the supply is always caught as
+    /// MS005 and names both sources.
+    #[test]
+    fn vsource_loop_always_caught(seed in 0u64..10_000, n in 1usize..8) {
+        let (mut ckt, nodes) = ladder(seed, n);
+        ckt.vsource("Vdup", nodes[1], Circuit::GND, Waveform::dc(1.0));
+        let report = lint(&ckt);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::VoltageSourceLoop)
+            .expect("MS005 must fire");
+        prop_assert_eq!(d.severity, Severity::Deny);
+        prop_assert!(d.elements.iter().any(|e| e == "V0"), "{:?}", d.elements);
+        prop_assert!(d.elements.iter().any(|e| e == "Vdup"), "{:?}", d.elements);
+    }
+
+    /// A non-finite parameter anywhere in the circuit is always caught as
+    /// MS008 and rejected by every analysis pre-flight.
+    #[test]
+    fn nan_parameter_always_caught(seed in 0u64..10_000, n in 1usize..8) {
+        let (mut ckt, nodes) = ladder(seed, n);
+        let mut rng = Rng::new(seed ^ 0xDEAD);
+        let nd = nodes[1 + (rng.next() % (nodes.len() - 1) as u64) as usize];
+        ckt.capacitor_with_ic("Cbad", nd, Circuit::GND, 1e-12, f64::NAN);
+        let report = lint(&ckt);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::NonFiniteParameter)
+            .expect("MS008 must fire");
+        prop_assert_eq!(d.severity, Severity::Deny);
+        prop_assert_eq!(&d.elements, &vec!["Cbad".to_owned()]);
+        prop_assert!(matches!(
+            dc_operating_point(&ckt),
+            Err(Error::LintRejected { .. })
+        ));
+    }
+
+    /// The deprecated validate() shim agrees with the lint engine on both
+    /// clean and broken circuits.
+    #[test]
+    #[allow(deprecated)]
+    fn validate_shim_agrees_with_lint(seed in 0u64..10_000, n in 1usize..8) {
+        let (mut ckt, _) = ladder(seed, n);
+        prop_assert!(ckt.validate().is_ok());
+        let x = ckt.node("island_x");
+        let y = ckt.node("island_y");
+        ckt.resistor("Risland", x, y, 1e3);
+        prop_assert!(matches!(
+            ckt.validate(),
+            Err(Error::InvalidCircuit { .. })
+        ));
+    }
+}

@@ -133,7 +133,8 @@ mod tests {
         assert_eq!(inv2.drain, inv2.output);
         assert!(inv2.rout.is_none());
 
-        ckt.validate().unwrap();
+        let report = mssim::lint::lint(&ckt);
+        assert!(!report.has_denials(), "lint denials: {report}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ const EXPERIMENTS: &[&str] = &[
     "noise",
     "map",
     "lint",
+    "bench",
 ];
 
 fn main() {
@@ -106,6 +107,7 @@ fn main() {
             "noise" => noise(&tech),
             "map" => map(&tech),
             "lint" => lint_report(&tech),
+            "bench" => bench(&tech, fast),
             _ => unreachable!(),
         }
         eprintln!("  [{name} took {:.1}s]", t0.elapsed().as_secs_f64());
@@ -794,6 +796,55 @@ fn lint_report(tech: &Technology) {
         std::process::exit(1);
     }
     println!("lint: all shipped circuits clean of deny-level diagnostics");
+}
+
+/// Solver hot-path benchmark: times the compiled stamp plan against the
+/// naive reference assembler on the shipped circuits, asserting waveform
+/// equivalence within 1e-12 before timing, and writes the machine-readable
+/// trajectory record `results/BENCH_mssim.json`.
+fn bench(tech: &Technology, fast: bool) {
+    use bench::hotpath;
+
+    let repeats = if fast { 3 } else { 7 };
+    let rows = hotpath::hot_path(tech, repeats, fast);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{} {}s", r.items, r.unit),
+                f(r.reference_median_ns / 1e6, 2),
+                f(r.plan_median_ns / 1e6, 2),
+                format!("{}x", f(r.speedup, 2)),
+                f(r.plan_ns_per_item, 0),
+                f(r.plan_items_per_s / 1e6, 2),
+                format!("{:.1e}", r.max_abs_diff),
+            ]
+        })
+        .collect();
+    let header = [
+        "fixture", "work", "ref ms", "plan ms", "speedup", "ns/item", "Mitem/s", "max |dV|",
+    ];
+    println!(
+        "{}",
+        render_table(
+            &format!("Solver hot path — plan vs reference (median of {repeats})"),
+            &header,
+            &table
+        )
+    );
+    let json = hotpath::to_json(&rows, repeats, fast);
+    let path = results_dir().join("BENCH_mssim.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {} ({} bytes)", path.display(), json.len()),
+        Err(e) => eprintln!("  warning: could not write {}: {e}", path.display()),
+    }
+    if let Some(adder) = rows.iter().find(|r| r.name == "tran_adder3x3") {
+        println!(
+            "headline: 3x3 switch-level adder transient runs {:.2}x faster than the reference path",
+            adder.speedup
+        );
+    }
 }
 
 fn scaling(tech: &Technology) {

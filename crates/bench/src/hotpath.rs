@@ -1,0 +1,357 @@
+//! Solver hot-path benchmark: compiled stamp plan vs the naive reference
+//! assembler, wall-clock timed with `std::time::Instant`.
+//!
+//! Unlike the Criterion suite in `crates/mssim/benches/hot_path.rs` (which
+//! hand-rolls its circuits to avoid a dev-dependency cycle), this harness
+//! runs the *shipped* `pwmcell` circuits — the Fig. 2 inverter, the
+//! switch-level and transistor-level 3×3 weighted adders, and a generated
+//! 8×8 adder array — and before timing anything asserts that the optimized
+//! path reproduces the reference waveforms within 1e-12 at every probe.
+//! The `repro bench` experiment renders these rows and writes
+//! `results/BENCH_mssim.json` so CI captures the perf trajectory.
+
+use std::time::Instant;
+
+use mssim::analysis::{dc_sweep, dc_sweep_reference};
+use mssim::prelude::*;
+use pwmcell::{AdderSpec, Inverter, SwitchAdder, Technology, WeightedAdder};
+
+/// Largest waveform deviation the equivalence gate tolerates. The solver
+/// is designed for *bitwise* agreement; 1e-12 is the issue's contract.
+pub const EQUIVALENCE_TOL: f64 = 1e-12;
+
+/// One benchmark fixture's measurement.
+#[derive(Debug, Clone)]
+pub struct HotPathRow {
+    /// Fixture name (stable identifier, used as the JSON key).
+    pub name: &'static str,
+    /// Work items per run: transient steps or DC sweep points.
+    pub items: usize,
+    /// What one item is ("step" or "point").
+    pub unit: &'static str,
+    /// Median wall-clock of the naive reference path, nanoseconds.
+    pub reference_median_ns: f64,
+    /// Median wall-clock of the compiled-plan path, nanoseconds.
+    pub plan_median_ns: f64,
+    /// `reference_median_ns / plan_median_ns`.
+    pub speedup: f64,
+    /// Plan-path cost per item, nanoseconds.
+    pub plan_ns_per_item: f64,
+    /// Plan-path throughput, items per second.
+    pub plan_items_per_s: f64,
+    /// Largest |plan − reference| over all probes, volts.
+    pub max_abs_diff: f64,
+}
+
+/// Runs the full fixture set. `repeats` is the number of timed runs per
+/// path per fixture (the median is reported); `fast` shortens the
+/// heavier transistor-level transients without touching the headline
+/// switch-level 3×3 adder, whose ≥3× speedup is an acceptance gate.
+pub fn hot_path(tech: &Technology, repeats: usize, fast: bool) -> Vec<HotPathRow> {
+    let dt = 10e-12;
+    let long = 2000;
+    let short = if fast { 500 } else { 2000 };
+    vec![
+        tran_inverter(tech, dt, long, repeats),
+        tran_adder3x3_switch(tech, dt, long, repeats),
+        tran_adder3x3_mos(tech, dt, short, repeats),
+        tran_adder8x8_switch(tech, dt, short, repeats),
+        dcsweep_inverter_vtc(tech, repeats),
+    ]
+}
+
+/// Serializes rows as the `mssim-bench-v1` JSON document.
+pub fn to_json(rows: &[HotPathRow], repeats: usize, fast: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mssim-bench-v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if fast { "fast" } else { "full" }
+    ));
+    out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    out.push_str(&format!("  \"equivalence_tol\": {EQUIVALENCE_TOL:e},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"items\": {},\n", r.items));
+        out.push_str(&format!("      \"unit\": \"{}\",\n", r.unit));
+        out.push_str(&format!(
+            "      \"reference_median_ns\": {:.0},\n",
+            r.reference_median_ns
+        ));
+        out.push_str(&format!(
+            "      \"plan_median_ns\": {:.0},\n",
+            r.plan_median_ns
+        ));
+        out.push_str(&format!("      \"speedup\": {:.3},\n", r.speedup));
+        out.push_str(&format!(
+            "      \"plan_ns_per_item\": {:.1},\n",
+            r.plan_ns_per_item
+        ));
+        out.push_str(&format!(
+            "      \"plan_items_per_s\": {:.0},\n",
+            r.plan_items_per_s
+        ));
+        out.push_str(&format!("      \"max_abs_diff\": {:e}\n", r.max_abs_diff));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ------------------------------------------------------------- fixtures
+
+/// Fig. 2 transcoding inverter at the paper's operating point.
+fn tran_inverter(tech: &Technology, dt: f64, steps: usize, repeats: usize) -> HotPathRow {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("in");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    ckt.vsource(
+        "VIN",
+        inp,
+        Circuit::GND,
+        Waveform::pwm(tech.vdd.value(), tech.frequency.value(), 0.7),
+    );
+    let inv = Inverter::build(
+        &mut ckt,
+        tech,
+        "inv",
+        inp,
+        vdd,
+        Some(tech.rout),
+        tech.cout_inverter,
+    );
+    let probes = vec![inv.output, inp, vdd];
+    bench_transient("tran_inverter", &ckt, &probes, dt, steps, repeats)
+}
+
+/// Switch-level 3×3 weighted adder — the acceptance-gated headline: the
+/// Jacobian is piecewise constant between PWM edges, so the solution and
+/// factorization caches carry nearly every step.
+fn tran_adder3x3_switch(tech: &Technology, dt: f64, steps: usize, repeats: usize) -> HotPathRow {
+    let (ckt, probes) = switch_adder_circuit(
+        tech,
+        AdderSpec::paper_3x3(),
+        &[7, 7, 7],
+        &[0.70, 0.80, 0.90],
+    );
+    bench_transient("tran_adder3x3", &ckt, &probes, dt, steps, repeats)
+}
+
+/// Transistor-level 3×3 weighted adder (Fig. 3): MOSFET AND cells keep
+/// Newton iterating, so this measures the plan under nonlinear load.
+fn tran_adder3x3_mos(tech: &Technology, dt: f64, steps: usize, repeats: usize) -> HotPathRow {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    let adder = WeightedAdder::build(
+        &mut ckt,
+        tech,
+        "add",
+        vdd,
+        &[7, 7, 7],
+        AdderSpec::paper_3x3(),
+    );
+    for (i, &d) in [0.70, 0.80, 0.90].iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            adder.inputs[i],
+            Circuit::GND,
+            Waveform::pwm(tech.vdd.value(), tech.frequency.value(), d),
+        );
+    }
+    let mut probes = vec![adder.output, vdd];
+    probes.extend_from_slice(&adder.inputs);
+    bench_transient("tran_adder3x3_mos", &ckt, &probes, dt, steps, repeats)
+}
+
+/// Generated 8×8 switch-level adder array — the scaling direction the
+/// ROADMAP cares about (larger perceptron arrays than the paper's 3×3).
+fn tran_adder8x8_switch(tech: &Technology, dt: f64, steps: usize, repeats: usize) -> HotPathRow {
+    let duties = [0.05, 0.20, 0.35, 0.50, 0.60, 0.75, 0.85, 0.95];
+    let (ckt, probes) = switch_adder_circuit(
+        tech,
+        AdderSpec::new(8, 8),
+        &[255, 170, 129, 100, 77, 64, 31, 9],
+        &duties,
+    );
+    bench_transient("tran_adder8x8", &ckt, &probes, dt, steps, repeats)
+}
+
+/// Inverter voltage-transfer-characteristic DC sweep, 101 points.
+fn dcsweep_inverter_vtc(tech: &Technology, repeats: usize) -> HotPathRow {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let g = ckt.node("g");
+    let out = ckt.node("out");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    let vg = ckt.vsource("VG", g, Circuit::GND, Waveform::dc(0.0));
+    ckt.mosfet("MP", out, g, vdd, tech.pmos);
+    ckt.mosfet("MN", out, g, Circuit::GND, tech.nmos);
+    ckt.resistor("RL", out, Circuit::GND, 10e6);
+    let points = mssim::sweep::linspace(0.0, tech.vdd.value(), 101);
+
+    let plan = dc_sweep(ckt.clone(), vg, &points).expect("plan dc sweep converges");
+    let reference = dc_sweep_reference(ckt.clone(), vg, &points).expect("reference dc sweep");
+    let max_abs_diff = plan
+        .transfer(out)
+        .iter()
+        .zip(reference.transfer(out))
+        .map(|(&(_, a), (_, b))| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_abs_diff <= EQUIVALENCE_TOL,
+        "dcsweep_inverter_vtc: plan deviates from reference by {max_abs_diff:e}"
+    );
+
+    let plan_median_ns = median_ns(repeats, || {
+        dc_sweep(ckt.clone(), vg, &points).expect("plan dc sweep converges")
+    });
+    let reference_median_ns = median_ns(repeats, || {
+        dc_sweep_reference(ckt.clone(), vg, &points).expect("reference dc sweep")
+    });
+    row(
+        "dcsweep_inverter_vtc",
+        points.len(),
+        "point",
+        reference_median_ns,
+        plan_median_ns,
+        max_abs_diff,
+    )
+}
+
+// -------------------------------------------------------------- helpers
+
+/// Builds a PWM-driven [`SwitchAdder`] and returns it with its probe set.
+fn switch_adder_circuit(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+) -> (Circuit, Vec<NodeId>) {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    let adder = SwitchAdder::build(&mut ckt, tech, "add", vdd, weights, spec);
+    for (i, &d) in duties.iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            adder.inputs[i],
+            Circuit::GND,
+            Waveform::pwm(tech.vdd.value(), tech.frequency.value(), d),
+        );
+    }
+    let mut probes = vec![adder.output, vdd];
+    probes.extend_from_slice(&adder.inputs);
+    (ckt, probes)
+}
+
+/// Asserts plan/reference waveform agreement at every probe, then times
+/// both paths and reports the medians.
+fn bench_transient(
+    name: &'static str,
+    ckt: &Circuit,
+    probes: &[NodeId],
+    dt: f64,
+    steps: usize,
+    repeats: usize,
+) -> HotPathRow {
+    let tran = |reference: bool| {
+        Transient::new(dt, steps as f64 * dt)
+            .use_initial_conditions()
+            .record_every(16)
+            .with_reference_solver(reference)
+    };
+    let plan = tran(false).run(ckt).expect("plan transient converges");
+    let reference = tran(true).run(ckt).expect("reference transient converges");
+    let mut max_abs_diff = 0.0f64;
+    for &node in probes {
+        let a = plan.voltage(node);
+        let b = reference.voltage(node);
+        for (x, y) in a.values().iter().zip(b.values()) {
+            max_abs_diff = max_abs_diff.max((x - y).abs());
+        }
+    }
+    assert!(
+        max_abs_diff <= EQUIVALENCE_TOL,
+        "{name}: plan deviates from reference by {max_abs_diff:e}"
+    );
+
+    let plan_median_ns = median_ns(repeats, || {
+        tran(false).run(ckt).expect("plan transient converges")
+    });
+    let reference_median_ns = median_ns(repeats, || {
+        tran(true).run(ckt).expect("reference transient converges")
+    });
+    row(
+        name,
+        steps,
+        "step",
+        reference_median_ns,
+        plan_median_ns,
+        max_abs_diff,
+    )
+}
+
+fn row(
+    name: &'static str,
+    items: usize,
+    unit: &'static str,
+    reference_median_ns: f64,
+    plan_median_ns: f64,
+    max_abs_diff: f64,
+) -> HotPathRow {
+    HotPathRow {
+        name,
+        items,
+        unit,
+        reference_median_ns,
+        plan_median_ns,
+        speedup: reference_median_ns / plan_median_ns,
+        plan_ns_per_item: plan_median_ns / items as f64,
+        plan_items_per_s: items as f64 / (plan_median_ns * 1e-9),
+        max_abs_diff,
+    }
+}
+
+/// Median wall-clock over `repeats` runs of `f`, in nanoseconds.
+fn median_ns<R>(repeats: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let r = f();
+            let ns = t0.elapsed().as_nanos() as f64;
+            std::hint::black_box(r);
+            ns
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cut-down run of the real fixtures: equivalence assertions fire
+    /// inside, so this test doubles as a smoke check of the harness.
+    #[test]
+    fn rows_are_consistent_and_json_parses_shape() {
+        let tech = Technology::umc65_like();
+        let r = tran_inverter(&tech, 10e-12, 64, 1);
+        assert!(r.max_abs_diff <= EQUIVALENCE_TOL);
+        assert!(r.plan_median_ns > 0.0 && r.reference_median_ns > 0.0);
+        assert!((r.speedup - r.reference_median_ns / r.plan_median_ns).abs() < 1e-9);
+        let json = to_json(&[r], 1, true);
+        assert!(json.contains("\"schema\": \"mssim-bench-v1\""));
+        assert!(json.contains("\"name\": \"tran_inverter\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

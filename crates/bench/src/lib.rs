@@ -6,6 +6,7 @@
 //! experiment ↔ module index.
 
 pub mod experiments;
+pub mod hotpath;
 pub mod output;
 
 pub use experiments::*;

@@ -7,9 +7,9 @@
 //! (all independent sources ramped from 0 to 100 %), the same continuation
 //! strategies used by production SPICE implementations.
 
-use crate::analysis::mna::{solve_newton, MnaLayout, NewtonOpts, SolveContext};
+use crate::analysis::mna::{MnaLayout, NewtonOpts, SolveContext};
+use crate::analysis::plan::{PlanMode, SolverEngine};
 use crate::error::Error;
-use crate::linear::DenseMatrix;
 use crate::netlist::{Circuit, ElementId, NodeId};
 
 /// Result of a DC operating-point analysis.
@@ -85,17 +85,45 @@ impl DcSolution {
 /// # }
 /// ```
 pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, Error> {
+    dc_operating_point_impl(circuit, false)
+}
+
+/// [`dc_operating_point`] on the naive per-iteration assembler, bypassing
+/// the compiled stamp plan. Kept for golden-equivalence tests and as the
+/// benchmark baseline; not part of the supported API.
+///
+/// # Errors
+///
+/// Same conditions as [`dc_operating_point`].
+#[doc(hidden)]
+pub fn dc_operating_point_reference(circuit: &Circuit) -> Result<DcSolution, Error> {
+    dc_operating_point_impl(circuit, true)
+}
+
+fn dc_operating_point_impl(circuit: &Circuit, reference: bool) -> Result<DcSolution, Error> {
     crate::lint::preflight(circuit, "dc", crate::lint::LintContext::Dc)?;
     let layout = MnaLayout::new(circuit);
+    let mut engine = SolverEngine::new(circuit, &layout, PlanMode::Dc, reference);
+    solve_dc_with(circuit, &layout, &mut engine)
+}
+
+/// The continuation ladder behind [`dc_operating_point`], reusable with a
+/// caller-owned engine (the DC sweep runs many points through one engine so
+/// the stamp plan and factorization caches persist across points).
+///
+/// Does **not** lint; callers are responsible for pre-flight.
+pub(crate) fn solve_dc_with(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    engine: &mut SolverEngine,
+) -> Result<DcSolution, Error> {
     let n = layout.size();
-    let mut mat = DenseMatrix::zeros(n);
-    let mut work = Vec::with_capacity(n);
     let opts = NewtonOpts::default();
 
     let mut x = vec![0.0; n];
-    let direct = solve_newton(
+    let direct = engine.solve(
         circuit,
-        &layout,
+        layout,
         &mut x,
         SolveContext {
             time: 0.0,
@@ -106,11 +134,9 @@ pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, Error> {
         },
         &opts,
         "dc",
-        &mut mat,
-        &mut work,
     );
     if direct.is_ok() {
-        return Ok(pack(circuit, &layout, x));
+        return Ok(pack(circuit, layout, x));
     }
 
     // Gmin stepping: relax a node shunt from strong to none, warm-starting
@@ -119,9 +145,9 @@ pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, Error> {
     let mut ok = true;
     for k in 0..=12 {
         let gshunt = if k == 12 { 0.0 } else { 10f64.powi(-k - 1) };
-        let r = solve_newton(
+        let r = engine.solve(
             circuit,
-            &layout,
+            layout,
             &mut x,
             SolveContext {
                 time: 0.0,
@@ -132,8 +158,6 @@ pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, Error> {
             },
             &opts,
             "dc",
-            &mut mat,
-            &mut work,
         );
         if r.is_err() {
             ok = false;
@@ -141,16 +165,16 @@ pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, Error> {
         }
     }
     if ok {
-        return Ok(pack(circuit, &layout, x));
+        return Ok(pack(circuit, layout, x));
     }
 
     // Source stepping: ramp all sources from 10 % to 100 %.
     let mut x = vec![0.0; n];
     for step in 1..=10 {
         let scale = step as f64 / 10.0;
-        solve_newton(
+        engine.solve(
             circuit,
-            &layout,
+            layout,
             &mut x,
             SolveContext {
                 time: 0.0,
@@ -161,11 +185,9 @@ pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, Error> {
             },
             &opts,
             "dc",
-            &mut mat,
-            &mut work,
         )?;
     }
-    Ok(pack(circuit, &layout, x))
+    Ok(pack(circuit, layout, x))
 }
 
 fn pack(circuit: &Circuit, layout: &MnaLayout, x: Vec<f64>) -> DcSolution {

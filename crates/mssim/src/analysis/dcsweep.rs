@@ -5,7 +5,9 @@
 //! voltage-transfer curves (e.g. the static characteristic of the
 //! transcoding inverter) and for locating switching thresholds.
 
-use crate::analysis::dcop::{dc_operating_point, DcSolution};
+use crate::analysis::dcop::{solve_dc_with, DcSolution};
+use crate::analysis::mna::MnaLayout;
+use crate::analysis::plan::{PlanMode, SolverEngine};
 use crate::elements::Element;
 use crate::error::Error;
 use crate::netlist::{Circuit, ElementId, NodeId};
@@ -96,9 +98,34 @@ impl DcSweepResult {
 /// # }
 /// ```
 pub fn dc_sweep(
+    circuit: Circuit,
+    source: ElementId,
+    values: &[f64],
+) -> Result<DcSweepResult, Error> {
+    dc_sweep_impl(circuit, source, values, false)
+}
+
+/// [`dc_sweep`] on the naive per-iteration assembler, bypassing the
+/// compiled stamp plan. Kept for golden-equivalence tests and as the
+/// benchmark baseline; not part of the supported API.
+///
+/// # Errors
+///
+/// Same conditions as [`dc_sweep`].
+#[doc(hidden)]
+pub fn dc_sweep_reference(
+    circuit: Circuit,
+    source: ElementId,
+    values: &[f64],
+) -> Result<DcSweepResult, Error> {
+    dc_sweep_impl(circuit, source, values, true)
+}
+
+fn dc_sweep_impl(
     mut circuit: Circuit,
     source: ElementId,
     values: &[f64],
+    reference: bool,
 ) -> Result<DcSweepResult, Error> {
     crate::lint::preflight(&circuit, "dc-sweep", crate::lint::LintContext::Dc)?;
     if !matches!(circuit.element(source), Element::VoltageSource { .. }) {
@@ -107,12 +134,18 @@ pub fn dc_sweep(
             reason: "DC sweep target must be a voltage source".into(),
         });
     }
+    // One layout and one engine for the whole sweep: the stamp plan reads
+    // source waveforms live at each solve, so `set_waveform` between points
+    // (the only mutation here) needs no recompilation, and the plan's
+    // factorization cache carries across points whose Jacobian repeats.
+    let layout = MnaLayout::new(&circuit);
+    let mut engine = SolverEngine::new(&circuit, &layout, PlanMode::Dc, reference);
     let mut solutions = Vec::with_capacity(values.len());
     for &v in values {
         circuit
             .set_waveform(source, Waveform::dc(v))
             .expect("checked: element is a source");
-        solutions.push(dc_operating_point(&circuit)?);
+        solutions.push(solve_dc_with(&circuit, &layout, &mut engine)?);
     }
     Ok(DcSweepResult {
         values: values.to_vec(),

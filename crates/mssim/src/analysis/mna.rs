@@ -11,10 +11,10 @@ use crate::linear::DenseMatrix;
 use crate::netlist::{Circuit, NodeId};
 
 /// Thermal voltage at room temperature, used by the diode model.
-const VT: f64 = 0.025852;
+pub(crate) const VT: f64 = 0.025852;
 /// Exponent cap for the diode law; beyond this the exponential is
 /// continued linearly to avoid overflow.
-const DIODE_EXP_MAX: f64 = 40.0;
+pub(crate) const DIODE_EXP_MAX: f64 = 40.0;
 
 /// Static description of the MNA system for one circuit.
 #[derive(Debug, Clone)]
@@ -30,10 +30,8 @@ pub(crate) struct MnaLayout {
     /// Number of branch-current unknowns.
     pub n_branches: usize,
     /// Number of capacitors.
-    #[allow(dead_code)]
     pub n_caps: usize,
     /// Number of inductors.
-    #[allow(dead_code)]
     pub n_inds: usize,
 }
 

@@ -6,6 +6,7 @@
 //! [`ac_analysis`] and [`noise_analysis`].
 
 pub(crate) mod mna;
+pub(crate) mod plan;
 
 pub(crate) mod ac;
 mod dcop;
@@ -14,7 +15,7 @@ mod noise;
 mod transient;
 
 pub use ac::{ac_analysis, AcResult};
-pub use dcop::{dc_operating_point, DcSolution};
-pub use dcsweep::{dc_sweep, DcSweepResult};
+pub use dcop::{dc_operating_point, dc_operating_point_reference, DcSolution};
+pub use dcsweep::{dc_sweep, dc_sweep_reference, DcSweepResult};
 pub use noise::{noise_analysis, NoiseResult};
 pub use transient::{AdaptiveConfig, IntegrationMethod, Transient, TransientResult};

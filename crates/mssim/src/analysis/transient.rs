@@ -5,13 +5,11 @@
 //! resulting nonlinear system is solved by damped Newton–Raphson at every
 //! time point, warm-started from the previous solution.
 
-use crate::analysis::dcop::dc_operating_point;
-use crate::analysis::mna::{
-    solve_newton, CapCompanion, IndCompanion, MnaLayout, NewtonOpts, SolveContext,
-};
+use crate::analysis::dcop::{dc_operating_point, dc_operating_point_reference};
+use crate::analysis::mna::{CapCompanion, IndCompanion, MnaLayout, NewtonOpts, SolveContext};
+use crate::analysis::plan::{PlanMode, SolverEngine};
 use crate::elements::Element;
 use crate::error::Error;
-use crate::linear::DenseMatrix;
 use crate::netlist::{Circuit, ElementId, NodeId};
 use crate::trace::{Trace, TraceData};
 
@@ -77,6 +75,7 @@ pub struct Transient {
     record_every: usize,
     max_iter: usize,
     adaptive: Option<AdaptiveConfig>,
+    reference: bool,
 }
 
 impl Transient {
@@ -97,7 +96,17 @@ impl Transient {
             record_every: 1,
             max_iter: 200,
             adaptive: None,
+            reference: false,
         }
+    }
+
+    /// Runs on the naive per-iteration assembler instead of the compiled
+    /// stamp plan. Kept for golden-equivalence tests and as the benchmark
+    /// baseline; not part of the supported API.
+    #[doc(hidden)]
+    pub fn with_reference_solver(mut self, on: bool) -> Self {
+        self.reference = on;
+        self
     }
 
     /// Enables adaptive time-stepping: `dt` becomes the *maximum* step,
@@ -242,7 +251,11 @@ impl Transient {
                 x[layout.branch_row(l.branch)] = l.ic;
             }
         } else {
-            let op = dc_operating_point(circuit)?;
+            let op = if self.reference {
+                dc_operating_point_reference(circuit)?
+            } else {
+                dc_operating_point(circuit)?
+            };
             x.copy_from_slice(op.raw());
             v_prev = caps
                 .iter()
@@ -260,8 +273,7 @@ impl Transient {
             max_iter: self.max_iter,
             ..NewtonOpts::default()
         };
-        let mut mat = DenseMatrix::zeros(n);
-        let mut work = Vec::with_capacity(n);
+        let mut engine = SolverEngine::new(circuit, &layout, PlanMode::Tran, self.reference);
         let mut companions = vec![CapCompanion::default(); caps.len()];
         let mut ind_companions = vec![IndCompanion::default(); inds.len()];
 
@@ -323,16 +335,7 @@ impl Transient {
                 inds: Some(&ind_companions),
                 gshunt: 0.0,
             };
-            solve_newton(
-                circuit,
-                &layout,
-                x,
-                ctx,
-                &opts,
-                "transient",
-                &mut mat,
-                &mut work,
-            )?;
+            engine.solve(circuit, &layout, x, ctx, &opts, "transient")?;
             for (k, c) in caps.iter().enumerate() {
                 let v_new = v_of(x, c.a) - v_of(x, c.b);
                 i_prev[k] = companions[k].geq * v_new - companions[k].ieq;

@@ -67,6 +67,16 @@ impl DenseMatrix {
         self.data[row * self.n + col] += value;
     }
 
+    /// The raw row-major entries.
+    pub(crate) fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The raw row-major entries, mutably.
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Computes `self * x`.
     ///
     /// # Panics
@@ -152,6 +162,248 @@ impl DenseMatrix {
             rhs[k] = sum / self.data[k * n + k];
         }
         Ok(())
+    }
+}
+
+/// A reusable LU factorization (partial pivoting) of a [`DenseMatrix`].
+///
+/// [`LuFactors::factor_from`] performs exactly the elimination of
+/// [`DenseMatrix::solve_in_place`], but keeps the elimination multipliers
+/// (in the strict lower triangle) and the row-exchange sequence, so any
+/// number of right-hand sides can later be solved in O(n²) by
+/// [`LuFactors::solve`] — with results **bitwise identical** to a fresh
+/// `solve_in_place` on the same matrix. The solver hot path leans on that
+/// guarantee: reusing a factorization for an unchanged Jacobian cannot
+/// perturb a waveform by even one ulp.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Row-major storage: upper triangle (diagonal included) holds `U`,
+    /// strict lower triangle holds the elimination multipliers.
+    lu: Vec<f64>,
+    /// `swaps[k]` is the row exchanged with row `k` at elimination stage
+    /// `k` (`k` itself when no exchange happened).
+    swaps: Vec<usize>,
+}
+
+impl LuFactors {
+    /// An empty factorization holder for `n × n` systems.
+    pub fn new(n: usize) -> Self {
+        LuFactors {
+            n,
+            lu: vec![0.0; n * n],
+            swaps: vec![0; n],
+        }
+    }
+
+    /// Matrix dimension of the stored factorization.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Factors `mat` (which is left untouched), replacing any previously
+    /// stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] under exactly the same condition
+    /// (and at the same row) as [`DenseMatrix::solve_in_place`].
+    pub fn factor_from(&mut self, mat: &DenseMatrix) -> Result<(), Error> {
+        self.factor_with(mat.n, |lu| lu.copy_from_slice(&mat.data))
+    }
+
+    /// Factors an `n × n` matrix assembled directly into the internal
+    /// buffer by `fill` (which receives it zero-initialised-or-stale and
+    /// must overwrite all `n²` entries). Skips the matrix copy that
+    /// [`LuFactors::factor_from`] pays, for callers that would otherwise
+    /// stage the matrix in a scratch buffer only to hand it over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] under exactly the same condition
+    /// (and at the same row) as [`DenseMatrix::solve_in_place`].
+    // Index loops mirror solve_in_place; iterator forms obscure the pivot
+    // structure.
+    #[allow(clippy::needless_range_loop)]
+    pub fn factor_with(&mut self, n: usize, fill: impl FnOnce(&mut [f64])) -> Result<(), Error> {
+        self.n = n;
+        self.lu.resize(n * n, 0.0);
+        fill(&mut self.lu);
+        self.swaps.resize(n, 0);
+        if n == 0 {
+            return Ok(());
+        }
+        let scale = self
+            .lu
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(1e-30);
+        let tol = scale * 1e-14;
+
+        for k in 0..n {
+            let mut pivot_row = k;
+            let mut pivot_mag = self.lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let mag = self.lu[r * n + k].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < tol {
+                return Err(Error::SingularMatrix { row: k });
+            }
+            self.swaps[k] = pivot_row;
+            if pivot_row != k {
+                for c in 0..n {
+                    self.lu.swap(k * n + c, pivot_row * n + c);
+                }
+            }
+            let pivot = self.lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = self.lu[r * n + k] / pivot;
+                if factor == 0.0 {
+                    // A multiplier that underflows to zero must replay as a
+                    // skip, exactly like solve_in_place's `continue`.
+                    self.lu[r * n + k] = 0.0;
+                    continue;
+                }
+                self.lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    self.lu[r * n + c] -= factor * self.lu[k * n + c];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Factors like [`LuFactors::factor_with`] while eliminating `rhs` in
+    /// the same sweep, then back-substitutes — leaving `rhs` holding the
+    /// solution and the factorization stored for later [`LuFactors::solve`]
+    /// calls.
+    ///
+    /// This is the factor-miss fast path: it fuses the O(n²) forward
+    /// substitution into the elimination exactly as
+    /// [`DenseMatrix::solve_in_place`] does (interleaved row swaps and
+    /// multiplier updates), so a Newton iteration that must refactor pays
+    /// no separate permutation-replay pass. The interleaved updates are
+    /// bitwise identical to `factor_with` + [`LuFactors::solve`] — the
+    /// same multipliers hit `rhs` in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] under exactly the same condition
+    /// (and at the same row) as [`DenseMatrix::solve_in_place`]; `rhs` is
+    /// left partially eliminated in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len() != n`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn factor_and_solve_with(
+        &mut self,
+        n: usize,
+        fill: impl FnOnce(&mut [f64]),
+        rhs: &mut [f64],
+    ) -> Result<(), Error> {
+        assert_eq!(rhs.len(), n, "rhs length must equal matrix dimension");
+        self.n = n;
+        self.lu.resize(n * n, 0.0);
+        fill(&mut self.lu);
+        self.swaps.resize(n, 0);
+        if n == 0 {
+            return Ok(());
+        }
+        let scale = self
+            .lu
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(1e-30);
+        let tol = scale * 1e-14;
+
+        for k in 0..n {
+            let mut pivot_row = k;
+            let mut pivot_mag = self.lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let mag = self.lu[r * n + k].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < tol {
+                return Err(Error::SingularMatrix { row: k });
+            }
+            self.swaps[k] = pivot_row;
+            if pivot_row != k {
+                for c in 0..n {
+                    self.lu.swap(k * n + c, pivot_row * n + c);
+                }
+                rhs.swap(k, pivot_row);
+            }
+            let pivot = self.lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = self.lu[r * n + k] / pivot;
+                if factor == 0.0 {
+                    // A multiplier that underflows to zero must replay as a
+                    // skip, exactly like solve_in_place's `continue`.
+                    self.lu[r * n + k] = 0.0;
+                    continue;
+                }
+                self.lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    self.lu[r * n + c] -= factor * self.lu[k * n + c];
+                }
+                rhs[r] -= factor * rhs[k];
+            }
+        }
+        for k in (0..n).rev() {
+            let mut sum = rhs[k];
+            for c in (k + 1)..n {
+                sum -= self.lu[k * n + c] * rhs[c];
+            }
+            rhs[k] = sum / self.lu[k * n + k];
+        }
+        Ok(())
+    }
+
+    /// Solves `A·x = rhs` in place for the matrix `A` last passed to
+    /// [`LuFactors::factor_from`], replaying the stored row exchanges and
+    /// multipliers. Bitwise identical to `A.solve_in_place(rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len()` does not match the factored dimension.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(&self, rhs: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(rhs.len(), n, "rhs length must equal matrix dimension");
+        // Apply the whole pivot permutation first: factor_from swaps stored
+        // multiplier columns on later pivots (so L lives in final row
+        // positions), which makes "permute, then substitute" the replay that
+        // matches solve_in_place's interleaved updates bit for bit.
+        for k in 0..n {
+            let pivot_row = self.swaps[k];
+            if pivot_row != k {
+                rhs.swap(k, pivot_row);
+            }
+        }
+        for k in 0..n {
+            for r in (k + 1)..n {
+                let factor = self.lu[r * n + k];
+                if factor == 0.0 {
+                    continue;
+                }
+                rhs[r] -= factor * rhs[k];
+            }
+        }
+        for k in (0..n).rev() {
+            let mut sum = rhs[k];
+            for c in (k + 1)..n {
+                sum -= self.lu[k * n + c] * rhs[c];
+            }
+            rhs[k] = sum / self.lu[k * n + k];
+        }
     }
 }
 
@@ -254,5 +506,96 @@ mod tests {
         let mut m = DenseMatrix::zeros(0);
         let mut rhs: Vec<f64> = vec![];
         m.solve_in_place(&mut rhs).unwrap();
+    }
+
+    /// Deterministic pseudo-random stream shared by the parity tests.
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    #[test]
+    fn factored_solve_is_bitwise_identical_to_solve_in_place() {
+        for (n, seed) in [(1usize, 7u64), (2, 11), (5, 13), (12, 17), (23, 19)] {
+            let mut next = lcg(seed);
+            let mut m = DenseMatrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    m.set(r, c, next());
+                }
+            }
+            // No diagonal boost: exercise real pivoting paths.
+            let rhs0: Vec<f64> = (0..n).map(|_| next()).collect();
+
+            let mut direct = rhs0.clone();
+            m.clone().solve_in_place(&mut direct).unwrap();
+
+            let mut lu = LuFactors::new(n);
+            lu.factor_from(&m).unwrap();
+            let mut replayed = rhs0.clone();
+            lu.solve(&mut replayed);
+
+            for (a, b) in direct.iter().zip(&replayed) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n} seed={seed}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn factorization_reuse_across_many_rhs() {
+        let n = 9;
+        let mut next = lcg(29);
+        let mut m = DenseMatrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m.set(r, c, next());
+            }
+            m.add(r, r, 3.0);
+        }
+        let mut lu = LuFactors::new(n);
+        lu.factor_from(&m).unwrap();
+        assert_eq!(lu.dim(), n);
+        for _ in 0..4 {
+            let rhs0: Vec<f64> = (0..n).map(|_| next()).collect();
+            let mut direct = rhs0.clone();
+            m.clone().solve_in_place(&mut direct).unwrap();
+            let mut replayed = rhs0;
+            lu.solve(&mut replayed);
+            for (a, b) in direct.iter().zip(&replayed) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn factor_from_reports_singular_at_same_row() {
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0); // rank 1
+        let mut lu = LuFactors::new(2);
+        let got = lu.factor_from(&m);
+        let mut rhs = vec![1.0, 2.0];
+        let want = m.solve_in_place(&mut rhs);
+        match (got, want) {
+            (Err(Error::SingularMatrix { row: a }), Err(Error::SingularMatrix { row: b })) => {
+                assert_eq!(a, b)
+            }
+            other => panic!("expected matching singular reports, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn factor_empty_system_is_ok() {
+        let mut lu = LuFactors::new(0);
+        lu.factor_from(&DenseMatrix::zeros(0)).unwrap();
+        let mut rhs: Vec<f64> = vec![];
+        lu.solve(&mut rhs);
     }
 }

@@ -65,6 +65,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::elements::Element;
 use crate::error::Error;
@@ -852,21 +853,107 @@ impl Dsu {
     }
 }
 
+/// Memoized pre-flight verdicts, stored on the [`Circuit`] itself.
+///
+/// Analyses that re-enter `preflight` on an unmodified circuit (a DC
+/// sweep followed by a transient, a Monte-Carlo loop re-running the same
+/// netlist) pay the full lint walk only once. Entries are keyed by the
+/// circuit's mutation revision plus the [`LintContext`]; any mutation
+/// bumps the revision, so stale verdicts simply never match and are
+/// evicted on the next store.
+///
+/// The interior mutex makes the cache usable from `&Circuit` (analyses
+/// only hold shared references) and keeps `Circuit: Sync` for the sweep
+/// drivers. Two threads racing on a cold cache both compute the verdict
+/// and one store wins — wasted work, never a wrong answer.
+pub(crate) struct LintCache {
+    /// `(revision, context, deny-level violations)`; empty vec = clean.
+    entries: Mutex<Vec<(u64, LintContext, Vec<String>)>>,
+}
+
+impl LintCache {
+    fn lookup(&self, revision: u64, context: LintContext) -> Option<Vec<String>> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .iter()
+            .find(|(rev, ctx, _)| *rev == revision && *ctx == context)
+            .map(|(_, _, v)| v.clone())
+    }
+
+    fn store(&self, revision: u64, context: LintContext, violations: Vec<String>) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        // Verdicts for older revisions can never match again; drop them.
+        entries.retain(|(rev, ctx, _)| *rev == revision && *ctx != context);
+        entries.push((revision, context, violations));
+    }
+
+    /// Number of live entries (test observability).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+impl Default for LintCache {
+    fn default() -> Self {
+        LintCache {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+// Manual impls: `Circuit` derives Clone/Debug and a `Mutex` supports
+// neither. Cloning carries the verdicts over (the clone starts at the
+// same revision with identical contents, so they remain valid).
+impl Clone for LintCache {
+    fn clone(&self) -> Self {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        LintCache {
+            entries: Mutex::new(entries.clone()),
+        }
+    }
+}
+
+impl std::fmt::Debug for LintCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("LintCache")
+            .field("entries", &entries.len())
+            .finish()
+    }
+}
+
 /// Runs the lints and refuses with [`Error::LintRejected`] if any
 /// deny-level diagnostic is present. Used by every analysis entry point.
+///
+/// Verdicts are memoized per circuit revision and context in the
+/// circuit's [`LintCache`], so repeated analyses on an unmodified
+/// netlist lint once.
 pub(crate) fn preflight(
     circuit: &Circuit,
     analysis: &'static str,
     context: LintContext,
 ) -> Result<(), Error> {
-    let report = lint_with(circuit, circuit.lint_config(), context);
-    if report.has_denials() {
-        return Err(Error::LintRejected {
-            analysis,
-            violations: report.denials().map(|d| d.to_string()).collect(),
+    let revision = circuit.revision();
+    let violations = circuit
+        .lint_cache()
+        .lookup(revision, context)
+        .unwrap_or_else(|| {
+            let report = lint_with(circuit, circuit.lint_config(), context);
+            let violations: Vec<String> = report.denials().map(|d| d.to_string()).collect();
+            circuit
+                .lint_cache()
+                .store(revision, context, violations.clone());
+            violations
         });
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(Error::LintRejected {
+            analysis,
+            violations,
+        })
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -893,6 +980,52 @@ mod tests {
     fn clean_circuit_is_clean() {
         let report = lint(&rc_divider());
         assert!(report.is_clean(), "unexpected: {report}");
+    }
+
+    #[test]
+    fn preflight_memoizes_per_revision_and_context() {
+        let ckt = rc_divider();
+        assert_eq!(ckt.lint_cache().len(), 0);
+        preflight(&ckt, "dc", LintContext::Dc).unwrap();
+        assert_eq!(ckt.lint_cache().len(), 1);
+        // Second run at the same revision reuses the verdict: still one
+        // entry, and it must agree.
+        preflight(&ckt, "dc", LintContext::Dc).unwrap();
+        assert_eq!(ckt.lint_cache().len(), 1);
+        // A different context is a distinct verdict at the same revision.
+        preflight(&ckt, "transient", LintContext::TransientUic).unwrap();
+        assert_eq!(ckt.lint_cache().len(), 2);
+    }
+
+    #[test]
+    fn preflight_cache_invalidated_by_mutation() {
+        let mut ckt = rc_divider();
+        let src = ckt.find_element("V1").unwrap();
+        preflight(&ckt, "dc", LintContext::Dc).unwrap();
+        assert_eq!(ckt.lint_cache().len(), 1);
+        // Swapping the waveform to a NaN value must flip the verdict —
+        // the lint inspects the t=0 source value, so a stale cached
+        // "clean" would wrongly admit the broken netlist.
+        ckt.set_waveform(src, Waveform::dc(f64::NAN)).unwrap();
+        let err = preflight(&ckt, "dc", LintContext::Dc).unwrap_err();
+        assert!(matches!(err, Error::LintRejected { analysis: "dc", .. }));
+        // Old-revision entries are evicted on store.
+        assert_eq!(ckt.lint_cache().len(), 1);
+        // Restoring the waveform restores the clean verdict.
+        ckt.set_waveform(src, Waveform::dc(1.0)).unwrap();
+        preflight(&ckt, "dc", LintContext::Dc).unwrap();
+        assert_eq!(ckt.lint_cache().len(), 1);
+    }
+
+    #[test]
+    fn lint_cache_survives_clone() {
+        let ckt = rc_divider();
+        preflight(&ckt, "dc", LintContext::Dc).unwrap();
+        let copy = ckt.clone();
+        // The clone starts with the verdicts carried over and still valid.
+        assert_eq!(copy.lint_cache().len(), 1);
+        preflight(&copy, "dc", LintContext::Dc).unwrap();
+        assert_eq!(copy.lint_cache().len(), 1);
     }
 
     #[test]

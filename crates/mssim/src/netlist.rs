@@ -11,7 +11,7 @@ use std::fmt;
 
 use crate::elements::{Element, MosParams};
 use crate::error::Error;
-use crate::lint::{self, LintConfig, LintContext};
+use crate::lint::{self, LintCache, LintConfig, LintContext};
 use crate::waveform::Waveform;
 
 /// Identifier of a circuit node. Node 0 is ground.
@@ -76,6 +76,9 @@ pub struct Circuit {
     elements: Vec<NamedElement>,
     name_to_element: HashMap<String, ElementId>,
     lint_config: LintConfig,
+    /// Bumped by every mutating method; keys the memoized lint verdicts.
+    revision: u64,
+    lint_cache: LintCache,
 }
 
 #[derive(Debug, Clone)]
@@ -98,12 +101,30 @@ impl Circuit {
             elements: Vec::new(),
             name_to_element: HashMap::new(),
             lint_config: LintConfig::new(),
+            revision: 0,
+            lint_cache: LintCache::default(),
         }
+    }
+
+    /// Records a mutation so stale memoized lint verdicts are not reused.
+    fn touch(&mut self) {
+        self.revision = self.revision.wrapping_add(1);
+    }
+
+    /// Monotonic mutation counter keying the lint cache.
+    pub(crate) fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The memoized pre-flight lint verdicts for this circuit.
+    pub(crate) fn lint_cache(&self) -> &LintCache {
+        &self.lint_cache
     }
 
     /// Replaces the lint configuration honoured by analysis pre-flights
     /// (see [`crate::lint`]).
     pub fn set_lint_config(&mut self, config: LintConfig) {
+        self.touch();
         self.lint_config = config;
     }
 
@@ -118,6 +139,7 @@ impl Circuit {
         if let Some(&id) = self.name_to_node.get(name) {
             return id;
         }
+        self.touch();
         let id = NodeId(self.node_names.len());
         self.node_names.push(name.to_owned());
         self.name_to_node.insert(name.to_owned(), id);
@@ -362,6 +384,7 @@ impl Circuit {
                 "element {name} references node {node} which does not belong to this circuit"
             );
         }
+        self.touch();
         let id = ElementId(self.elements.len());
         self.elements.push(NamedElement {
             name: name.to_owned(),
@@ -418,6 +441,7 @@ impl Circuit {
         match &mut self.elements[id.0].element {
             Element::Resistor { ohms: r, .. } => {
                 *r = ohms;
+                self.touch();
                 Ok(())
             }
             _ => Err(Error::InvalidParameter {
@@ -443,6 +467,7 @@ impl Circuit {
         match &mut self.elements[id.0].element {
             Element::Capacitor { farads: c, .. } => {
                 *c = farads;
+                self.touch();
                 Ok(())
             }
             _ => Err(Error::InvalidParameter {
@@ -463,6 +488,9 @@ impl Circuit {
             Element::VoltageSource { waveform: w, .. }
             | Element::CurrentSource { waveform: w, .. } => {
                 *w = waveform;
+                // Lints inspect waveforms (e.g. the t=0 value), so a swap
+                // must invalidate the memoized verdict like any mutation.
+                self.touch();
                 Ok(())
             }
             _ => Err(Error::InvalidParameter {
@@ -482,6 +510,7 @@ impl Circuit {
         match &mut self.elements[id.0].element {
             Element::Mosfet { params: p, .. } => {
                 *p = params;
+                self.touch();
                 Ok(())
             }
             _ => Err(Error::InvalidParameter {

@@ -13,6 +13,12 @@ use rand::SeedableRng;
 /// The closure receives a reference to the point and its index. Panics in
 /// worker threads are propagated.
 ///
+/// Workers pull the next unclaimed point from a shared atomic counter
+/// instead of owning a contiguous chunk, so heterogeneous workloads (a
+/// frequency sweep where the low-frequency transients run 100× longer
+/// than the high-frequency ones, say) spread across all cores instead of
+/// serialising on whichever worker drew the expensive stretch.
+///
 /// # Examples
 ///
 /// ```
@@ -25,6 +31,8 @@ where
     T: Send,
     F: Fn(&P, usize) -> T + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let n = points.len();
     if n == 0 {
         return Vec::new();
@@ -34,22 +42,40 @@ where
         return points.iter().enumerate().map(|(i, p)| f(p, i)).collect();
     }
 
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let mut partials: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
-        // Chunk the output so each worker owns a disjoint slice. A panic in
-        // any worker propagates when the scope joins it.
-        let chunk = n.div_ceil(threads);
-        for (w, out_chunk) in slots.chunks_mut(chunk).enumerate() {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
             let f = &f;
-            let start = w * chunk;
-            scope.spawn(move || {
-                for (k, slot) in out_chunk.iter_mut().enumerate() {
-                    let idx = start + k;
-                    *slot = Some(f(&points[idx], idx));
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    local.push((idx, f(&points[idx], idx)));
                 }
-            });
+                local
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => partials.push(local),
+                // Re-raise worker panics with their original payload.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
+
+    // Scatter the tagged results back into input order.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (idx, value) in partials.into_iter().flatten() {
+        debug_assert!(slots[idx].is_none(), "point {idx} computed twice");
+        slots[idx] = Some(value);
+    }
     slots
         .into_iter()
         .map(|s| s.expect("sweep slot unfilled"))
@@ -159,6 +185,42 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, 2 * i as u64);
         }
+    }
+
+    /// A grossly skewed workload (first point far more expensive than the
+    /// rest, as in a frequency sweep's low-frequency transients) must still
+    /// come back in input order with every point computed exactly once.
+    #[test]
+    fn sweep_order_is_stable_under_skewed_workloads() {
+        let points: Vec<u64> = (0..256).collect();
+        let out = sweep(&points, |&p, i| {
+            assert_eq!(p, i as u64);
+            if i == 0 {
+                // Busy work so the other workers drain the queue first.
+                let mut acc = 0u64;
+                for k in 0..2_000_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+            }
+            p * 3
+        });
+        assert_eq!(out.len(), 256);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3 * i as u64);
+        }
+    }
+
+    #[test]
+    fn sweep_worker_panics_propagate() {
+        let points: Vec<u64> = (0..64).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sweep(&points, |&p, _| {
+                assert!(p != 17, "boom at 17");
+                p
+            })
+        }));
+        assert!(caught.is_err(), "worker panic must propagate");
     }
 
     #[test]

@@ -177,6 +177,149 @@ impl WeightedAdder {
     }
 }
 
+/// Switch-level realization of the weighted adder.
+///
+/// Replaces every 6-transistor AND cell + resistor of [`WeightedAdder`]
+/// with a complementary pair of voltage-controlled switches: a pull-up
+/// from `vdd` and a pull-down to ground, both scaled to the bit's binary
+/// weight (`r_on = rout / 2ᵇ`). When the PWM input is above mid-rail the
+/// pull-up conducts; below mid-rail the pull-down does, so the output is
+/// the same conductance-weighted average as Eq. 2 without the MOSFET
+/// channel nonlinearity. A cleared weight bit has its controls tied to
+/// ground, leaving the pull-down permanently on — the bit still loads the
+/// node low, exactly like a disabled AND cell.
+///
+/// This is the abstraction level used by the hot-path benchmarks: the
+/// Jacobian is piecewise constant over each flat PWM portion, which is
+/// precisely the regime the solver's factorization and bypass caches are
+/// built to exploit.
+#[derive(Debug, Clone)]
+pub struct SwitchAdder {
+    spec: AdderSpec,
+    weights: Vec<u32>,
+    /// PWM input nodes, one per input.
+    pub inputs: Vec<NodeId>,
+    /// Shared analog output node.
+    pub output: NodeId,
+    /// `(pull-up, pull-down)` switch pairs, indexed `[input][bit]`.
+    pub switch_pairs: Vec<Vec<(ElementId, ElementId)>>,
+    /// The shared output capacitor.
+    pub cout: ElementId,
+}
+
+impl SwitchAdder {
+    /// Off-state resistance of every switch, effectively an open circuit.
+    pub const R_OFF: f64 = 1e12;
+
+    /// Instantiates the switch-level adder into `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != spec.inputs`, any weight exceeds
+    /// `spec.max_weight()`, or element names collide (reuse of `prefix`).
+    pub fn build(
+        circuit: &mut Circuit,
+        tech: &Technology,
+        prefix: &str,
+        vdd: NodeId,
+        weights: &[u32],
+        spec: AdderSpec,
+    ) -> Self {
+        assert_eq!(
+            weights.len(),
+            spec.inputs,
+            "need one weight per input ({} != {})",
+            weights.len(),
+            spec.inputs
+        );
+        for &w in weights {
+            assert!(
+                w <= spec.max_weight(),
+                "weight {w} exceeds {}-bit range",
+                spec.bits
+            );
+        }
+
+        let half_vdd = tech.vdd.value() / 2.0;
+        let output = circuit.node(&format!("{prefix}_out"));
+        let mut inputs = Vec::with_capacity(spec.inputs);
+        let mut switch_pairs = Vec::with_capacity(spec.inputs);
+
+        #[allow(clippy::needless_range_loop)] // `i` names nodes AND indexes weights
+        for i in 0..spec.inputs {
+            let input = circuit.node(&format!("{prefix}_in{i}"));
+            inputs.push(input);
+            let mut row = Vec::with_capacity(spec.bits as usize);
+            for b in 0..spec.bits {
+                let scale = (1u32 << b) as f64;
+                let r_on = tech.rout.value() / scale;
+                // A cleared bit never sees its input: the pull-up stays
+                // open and the pull-down stays closed, loading the node.
+                let ctrl = if weights[i] & (1 << b) != 0 {
+                    input
+                } else {
+                    Circuit::GND
+                };
+                // Closed when v(ctrl) > Vdd/2.
+                let s_up = circuit.switch(
+                    &format!("{prefix}_SU{i}b{b}"),
+                    vdd,
+                    output,
+                    ctrl,
+                    Circuit::GND,
+                    half_vdd,
+                    r_on,
+                    Self::R_OFF,
+                );
+                // Control sense inverted: closed when v(ctrl) < Vdd/2.
+                let s_down = circuit.switch(
+                    &format!("{prefix}_SD{i}b{b}"),
+                    output,
+                    Circuit::GND,
+                    Circuit::GND,
+                    ctrl,
+                    -half_vdd,
+                    r_on,
+                    Self::R_OFF,
+                );
+                row.push((s_up, s_down));
+            }
+            switch_pairs.push(row);
+        }
+
+        let cout = circuit.capacitor(
+            &format!("{prefix}_Cout"),
+            output,
+            Circuit::GND,
+            tech.cout_adder.value(),
+        );
+
+        SwitchAdder {
+            spec,
+            weights: weights.to_vec(),
+            inputs,
+            output,
+            switch_pairs,
+            cout,
+        }
+    }
+
+    /// The adder's dimensions.
+    pub fn spec(&self) -> AdderSpec {
+        self.spec
+    }
+
+    /// The structural weights this instance was built with.
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Total switch count: two per weight bit per input.
+    pub fn switch_count(&self) -> usize {
+        self.spec.inputs * self.spec.bits as usize * 2
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +427,77 @@ mod tests {
             assert!((values[0] / values[1] - 2.0).abs() < 1e-12);
             assert!((values[1] / values[2] - 2.0).abs() < 1e-12);
         }
+    }
+
+    fn switch_dc_fixture(input_levels: &[f64], weights: &[u32]) -> (Circuit, SwitchAdder) {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+        let adder = SwitchAdder::build(
+            &mut ckt,
+            &tech,
+            "s",
+            vdd,
+            weights,
+            AdderSpec::new(input_levels.len(), 3),
+        );
+        for (i, &lv) in input_levels.iter().enumerate() {
+            let node = adder.inputs[i];
+            ckt.vsource(&format!("VIN{i}"), node, Circuit::GND, Waveform::dc(lv));
+        }
+        (ckt, adder)
+    }
+
+    #[test]
+    fn switch_adder_dc_extremes() {
+        // All inputs high → every pull-up on, output at Vdd.
+        let (ckt, adder) = switch_dc_fixture(&[2.5, 2.5, 2.5], &[7, 7, 7]);
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!((op.voltage(adder.output) - 2.5).abs() < 1e-3);
+
+        // All inputs low → every pull-down on, output at ground.
+        let (ckt, adder) = switch_dc_fixture(&[0.0, 0.0, 0.0], &[7, 7, 7]);
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!(op.voltage(adder.output).abs() < 1e-3);
+    }
+
+    #[test]
+    fn switch_adder_matches_eq2_conductance_average() {
+        // One of three equal-weight inputs high: ideal switches realize
+        // Eq. 2 exactly, so the output sits at Vdd/3 up to the r_off leak.
+        let (ckt, adder) = switch_dc_fixture(&[2.5, 0.0, 0.0], &[7, 7, 7]);
+        let op = dc_operating_point(&ckt).unwrap();
+        let v = op.voltage(adder.output);
+        let expect = crate::analytic::adder_vout(2.5, &[1.0, 0.0, 0.0], &[7, 7, 7], 3);
+        assert!((v - expect).abs() < 1e-3, "v = {v}, Eq.2 = {expect:.4}");
+    }
+
+    #[test]
+    fn switch_adder_disabled_weight_loads_the_node() {
+        // Input high but weight 0: the pair's controls are grounded, so
+        // the pull-down conducts and the node reads low, not floating.
+        let (ckt, adder) = switch_dc_fixture(&[2.5, 0.0, 0.0], &[0, 7, 7]);
+        let op = dc_operating_point(&ckt).unwrap();
+        assert!(op.voltage(adder.output).abs() < 1e-3);
+    }
+
+    #[test]
+    fn switch_adder_counts() {
+        let mut ckt = Circuit::new();
+        let tech = Technology::umc65_like();
+        let vdd = ckt.node("vdd");
+        let adder = SwitchAdder::build(
+            &mut ckt,
+            &tech,
+            "s",
+            vdd,
+            &[7, 7, 7],
+            AdderSpec::paper_3x3(),
+        );
+        assert_eq!(adder.switch_count(), 18);
+        assert_eq!(adder.weights(), &[7, 7, 7]);
+        assert_eq!(adder.spec(), AdderSpec::paper_3x3());
     }
 
     /// Small (2×2, reduced Cout) transient check against Eq. 2 so the unit

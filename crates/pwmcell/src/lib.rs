@@ -51,7 +51,7 @@ pub mod switch_model;
 pub mod tech;
 pub mod testbench;
 
-pub use adder::{AdderSpec, WeightedAdder};
+pub use adder::{AdderSpec, SwitchAdder, WeightedAdder};
 pub use comparator::DiffComparator;
 pub use inverter::Inverter;
 pub use modulator::{ModulatorTestbench, PwmModulator};

@@ -1,0 +1,138 @@
+//! Compares two `BENCH_mssim.json` records and fails on regression.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench_compare -- baseline.json new.json
+//! ```
+//!
+//! The gate protects the plan-cache speedups: for every fixture whose
+//! baseline speedup is above 1× (i.e. where the compiled stamp plan
+//! beats the reference assembler), the new speedup must stay within 25%
+//! of the baseline. Fixtures at or below parity in the baseline are
+//! reported but do not gate — they measure overhead floors, not the
+//! optimisation this record exists to protect.
+//!
+//! The parser is a deliberate hand-rolled scan over the fixed
+//! `mssim-bench-v1` schema (the workspace has no JSON dependency and the
+//! writer in `bench::hotpath` is equally hand-rolled).
+
+use std::process::ExitCode;
+
+/// Max tolerated fractional drop of a gated fixture's speedup.
+const TOLERANCE: f64 = 0.25;
+
+/// One `(name, speedup)` pair scanned out of a bench record.
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    speedup: f64,
+}
+
+/// Extracts the string value following `"key": "` starting at `from`.
+fn scan_string(text: &str, key: &str, from: usize) -> Option<(String, usize)> {
+    let pat = format!("\"{key}\": \"");
+    let start = text[from..].find(&pat)? + from + pat.len();
+    let end = text[start..].find('"')? + start;
+    Some((text[start..end].to_string(), end))
+}
+
+/// Extracts the numeric value following `"key": ` starting at `from`.
+fn scan_number(text: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let pat = format!("\"{key}\": ");
+    let start = text[from..].find(&pat)? + from + pat.len();
+    let end = text[start..].find([',', '\n', '}']).map(|e| e + start)?;
+    text[start..end].trim().parse().ok().map(|v| (v, end))
+}
+
+/// Scans every entry's name and speedup out of a `mssim-bench-v1` record.
+fn scan_entries(text: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let Some(mut pos) = text.find("\"entries\"") else {
+        return entries;
+    };
+    while let Some((name, after_name)) = scan_string(text, "name", pos) {
+        let Some((speedup, after)) = scan_number(text, "speedup", after_name) else {
+            break;
+        };
+        entries.push(Entry { name, speedup });
+        pos = after;
+    }
+    entries
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, new_path] = args.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <new.json>");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| -> String {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_compare: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let baseline_text = read(baseline_path);
+    let new_text = read(new_path);
+    for (path, text) in [(baseline_path, &baseline_text), (new_path, &new_text)] {
+        if !text.contains("\"schema\": \"mssim-bench-v1\"") {
+            eprintln!("bench_compare: {path} is not an mssim-bench-v1 record");
+            return ExitCode::from(2);
+        }
+    }
+
+    let baseline = scan_entries(&baseline_text);
+    let fresh = scan_entries(&new_text);
+    if baseline.is_empty() || fresh.is_empty() {
+        eprintln!(
+            "bench_compare: no entries scanned (baseline {}, new {})",
+            baseline.len(),
+            fresh.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut failures = 0usize;
+    println!(
+        "bench_compare: plan-cache speedup gate (tolerance -{:.0}%)",
+        TOLERANCE * 100.0
+    );
+    for base in &baseline {
+        let Some(new) = fresh.iter().find(|e| e.name == base.name) else {
+            eprintln!("  FAIL {}: fixture missing from new record", base.name);
+            failures += 1;
+            continue;
+        };
+        let gated = base.speedup > 1.0;
+        let floor = base.speedup * (1.0 - TOLERANCE);
+        let regressed = new.speedup < floor;
+        let verdict = match (gated, regressed) {
+            (true, true) => {
+                failures += 1;
+                "FAIL"
+            }
+            (true, false) => "ok  ",
+            (false, _) => "info",
+        };
+        println!(
+            "  {verdict} {:<20} baseline {:.3}x -> new {:.3}x{}",
+            base.name,
+            base.speedup,
+            new.speedup,
+            if gated {
+                format!(" (floor {floor:.3}x)")
+            } else {
+                String::from(" (not gated: baseline at/below parity)")
+            }
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("bench_compare: {failures} gated fixture(s) regressed more than 25%");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_compare: all gated fixtures within tolerance");
+    ExitCode::SUCCESS
+}

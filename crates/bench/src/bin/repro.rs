@@ -37,6 +37,7 @@ const EXPERIMENTS: &[&str] = &[
     "noise",
     "map",
     "lint",
+    "verify",
     "bench",
 ];
 
@@ -107,6 +108,7 @@ fn main() {
             "noise" => noise(&tech),
             "map" => map(&tech),
             "lint" => lint_report(&tech),
+            "verify" => verify_report(&tech),
             "bench" => bench(&tech, fast),
             _ => unreachable!(),
         }
@@ -691,15 +693,12 @@ fn full_perceptron(tech: &Technology, q: &SimQuality) {
     println!("decisions matching the ideal comparator at both supplies: {agree}/6");
 }
 
-/// Lints every circuit and netlist the reproduction ships: the analog
-/// cells through `mssim::lint` and the digital blocks through
-/// `gatesim::lint`. Exits nonzero if anything reaches deny severity, so
-/// CI can gate on it.
-fn lint_report(tech: &Technology) {
+/// Every analog circuit the reproduction ships, built exactly as the
+/// experiments build them: the Fig. 2 transcoding inverter, the Fig. 3
+/// 3×3 weighted adder and the full Fig. 1 perceptron. Shared between the
+/// `lint` and `verify` experiments so both gate the same artifacts.
+fn shipped_analog_circuits(tech: &Technology) -> Vec<(String, mssim::Circuit)> {
     use mssim::prelude::*;
-
-    println!("\n== Static analysis — every shipped circuit and netlist ==");
-    let mut denials = 0usize;
 
     let mut analog: Vec<(String, Circuit)> = Vec::new();
 
@@ -770,22 +769,36 @@ fn lint_report(tech: &Technology) {
     }
     analog.push(("Fig.1 full perceptron".into(), ckt));
 
-    for (name, ckt) in &analog {
-        let report = mssim::lint::lint(ckt);
-        denials += report.denials().count();
-        print!("[analog] {name}: {report}");
-    }
+    analog
+}
 
-    // Digital blocks: the Kessels-counter PWM generator and the baseline
-    // fixed-point MAC perceptron.
+/// The digital blocks the reproduction ships: the Kessels-counter PWM
+/// generator and the baseline fixed-point MAC perceptron.
+fn shipped_digital_netlists() -> Vec<(String, gatesim::Netlist)> {
     let mut digital: Vec<(String, gatesim::Netlist)> = Vec::new();
     let mut nl = gatesim::Netlist::new();
     gatesim::kessels::KesselsPwm::build(&mut nl, 8);
     digital.push(("Kessels PWM generator (8-bit)".into(), nl));
     let baseline = baseline::DigitalPerceptron::new(baseline::BaselineSpec::matched_to_paper());
     digital.push(("digital MAC baseline".into(), baseline.netlist().clone()));
+    digital
+}
 
-    for (name, nl) in &digital {
+/// Lints every circuit and netlist the reproduction ships: the analog
+/// cells through `mssim::lint` and the digital blocks through
+/// `gatesim::lint`. Exits nonzero if anything reaches deny severity, so
+/// CI can gate on it.
+fn lint_report(tech: &Technology) {
+    println!("\n== Static analysis — every shipped circuit and netlist ==");
+    let mut denials = 0usize;
+
+    for (name, ckt) in &shipped_analog_circuits(tech) {
+        let report = mssim::lint::lint(ckt);
+        denials += report.denials().count();
+        print!("[analog] {name}: {report}");
+    }
+
+    for (name, nl) in &shipped_digital_netlists() {
         let report = gatesim::lint::lint(nl);
         denials += report.denials().count();
         print!("[digital] {name}: {report}");
@@ -796,6 +809,31 @@ fn lint_report(tech: &Technology) {
         std::process::exit(1);
     }
     println!("lint: all shipped circuits clean of deny-level diagnostics");
+}
+
+/// Full static verification of every shipped analog circuit: the lint
+/// pass (including the MS020-series structural-solvability analysis) plus
+/// the PL-series stamp-plan verifier over the compiled DC and transient
+/// plans. Exits nonzero on any denial or plan violation, so CI proves
+/// every plan sound in release builds too (where the compile-time
+/// `debug_assertions` hook is compiled out).
+fn verify_report(tech: &Technology) {
+    println!("\n== Static verification — structural solvability + plan soundness ==");
+    let mut unsound = 0usize;
+
+    for (name, ckt) in &shipped_analog_circuits(tech) {
+        let report = mssim::verify_circuit(ckt);
+        if !report.is_sound() {
+            unsound += 1;
+        }
+        print!("[verify] {name}: {report}");
+    }
+
+    if unsound > 0 {
+        eprintln!("verify: {unsound} circuit(s) failed static verification — failing");
+        std::process::exit(1);
+    }
+    println!("verify: all shipped circuits structurally solvable, all compiled plans sound");
 }
 
 /// Solver hot-path benchmark: times the compiled stamp plan against the

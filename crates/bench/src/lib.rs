@@ -5,6 +5,8 @@
 //! the Criterion benches time reduced variants. See DESIGN.md §3 for the
 //! experiment ↔ module index.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod hotpath;
 pub mod output;

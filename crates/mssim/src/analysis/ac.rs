@@ -269,6 +269,50 @@ fn stamp_ac(
                 let g = i_sat / nvt * (v / nvt).min(40.0).exp();
                 stamp_g(mat, *a, *k, Complex::real(g + 1e-12));
             }
+            Element::Vcvs { p, n, cp, cn, gain } => {
+                let br = layout.branch_row(layout.branch_of[idx].expect("vcvs branch"));
+                if let Some(rp) = row(*p) {
+                    mat.add(rp, br, Complex::ONE);
+                    mat.add(br, rp, Complex::ONE);
+                }
+                if let Some(rn) = row(*n) {
+                    mat.add(rn, br, -Complex::ONE);
+                    mat.add(br, rn, -Complex::ONE);
+                }
+                // v(p) − v(n) − gain·(v(cp) − v(cn)) = 0.
+                if let Some(rcp) = row(*cp) {
+                    mat.add(br, rcp, Complex::real(-gain));
+                }
+                if let Some(rcn) = row(*cn) {
+                    mat.add(br, rcn, Complex::real(*gain));
+                }
+            }
+            Element::Vccs {
+                from,
+                to,
+                cp,
+                cn,
+                gm,
+            } => {
+                let rcp = row(*cp);
+                let rcn = row(*cn);
+                if let Some(rt) = row(*to) {
+                    if let Some(rcp) = rcp {
+                        mat.add(rt, rcp, Complex::real(-gm));
+                    }
+                    if let Some(rcn) = rcn {
+                        mat.add(rt, rcn, Complex::real(*gm));
+                    }
+                }
+                if let Some(rf) = row(*from) {
+                    if let Some(rcp) = rcp {
+                        mat.add(rf, rcp, Complex::real(*gm));
+                    }
+                    if let Some(rcn) = rcn {
+                        mat.add(rf, rcn, Complex::real(-gm));
+                    }
+                }
+            }
         }
     }
 }

@@ -358,6 +358,55 @@ pub(crate) fn assemble(
                 stamp_conductance(layout, mat, *a, *k, g + gmin);
                 stamp_current(layout, rhs, *a, *k, i_const);
             }
+            Element::Vcvs { p, n, cp, cn, gain } => {
+                // Branch row: v(p) − v(n) − gain·(v(cp) − v(cn)) = 0, with
+                // the branch current entering `p` (SPICE convention).
+                let b = layout.branch_of[idx].expect("vcvs branch");
+                let br = layout.branch_row(b);
+                if let Some(rp) = layout.node_row(*p) {
+                    mat.add(rp, br, 1.0);
+                    mat.add(br, rp, 1.0);
+                }
+                if let Some(rn) = layout.node_row(*n) {
+                    mat.add(rn, br, -1.0);
+                    mat.add(br, rn, -1.0);
+                }
+                if let Some(rcp) = layout.node_row(*cp) {
+                    mat.add(br, rcp, -gain);
+                }
+                if let Some(rcn) = layout.node_row(*cn) {
+                    mat.add(br, rcn, *gain);
+                }
+            }
+            Element::Vccs {
+                from,
+                to,
+                cp,
+                cn,
+                gm,
+            } => {
+                // i = gm·(v(cp) − v(cn)) injected into `to`, drawn from
+                // `from`; solution-independent of the output pair, so it
+                // stamps only control columns.
+                let rcp = layout.node_row(*cp);
+                let rcn = layout.node_row(*cn);
+                if let Some(rt) = layout.node_row(*to) {
+                    if let Some(rcp) = rcp {
+                        mat.add(rt, rcp, -gm);
+                    }
+                    if let Some(rcn) = rcn {
+                        mat.add(rt, rcn, *gm);
+                    }
+                }
+                if let Some(rf) = layout.node_row(*from) {
+                    if let Some(rcp) = rcp {
+                        mat.add(rf, rcp, *gm);
+                    }
+                    if let Some(rcn) = rcn {
+                        mat.add(rf, rcn, -gm);
+                    }
+                }
+            }
         }
     }
 }

@@ -63,7 +63,7 @@ pub(crate) enum PlanMode {
 /// multiplying by ±1.0 is exact, so sign-folded reads match the reference
 /// assembler's negations bit for bit.
 #[derive(Debug, Clone, Copy)]
-enum ValRef {
+pub(crate) enum ValRef {
     /// Fixed at compile time (resistor conductances, incidence ±1).
     Const(f64),
     /// The Newton gmin option (DC capacitor leak conductance).
@@ -96,22 +96,22 @@ fn eval_val(val: ValRef, ctx: &SolveContext<'_>, gmin: f64, src_vals: &[f64]) ->
 
 /// One contribution to the system matrix at flat index `idx = row·n + col`.
 #[derive(Debug, Clone, Copy)]
-struct MatOp {
-    idx: usize,
-    val: ValRef,
+pub(crate) struct MatOp {
+    pub(crate) idx: usize,
+    pub(crate) val: ValRef,
 }
 
 /// One contribution to the right-hand side at `row`.
 #[derive(Debug, Clone, Copy)]
-struct RhsOp {
-    row: usize,
-    val: ValRef,
+pub(crate) struct RhsOp {
+    pub(crate) row: usize,
+    pub(crate) val: ValRef,
 }
 
 /// A per-iteration stamp: either a demoted base/rhs contribution replayed
 /// at its original element position, or a nonlinear device linearisation.
 #[derive(Debug, Clone, Copy)]
-enum IterOp {
+pub(crate) enum IterOp {
     Mat(MatOp),
     Rhs(RhsOp),
     Mosfet {
@@ -140,27 +140,27 @@ enum IterOp {
 /// The compiled stamp program for one circuit/mode/layout combination.
 #[derive(Debug, Clone)]
 pub(crate) struct StampPlan {
-    n: usize,
-    node_rows: usize,
-    mode: PlanMode,
+    pub(crate) n: usize,
+    pub(crate) node_rows: usize,
+    pub(crate) mode: PlanMode,
     /// Contributions baked into the cached base matrix at rebase time.
-    base_ops: Vec<MatOp>,
+    pub(crate) base_ops: Vec<MatOp>,
     /// Contributions baked into `rhs0` once per solve.
-    rhs0_ops: Vec<RhsOp>,
+    pub(crate) rhs0_ops: Vec<RhsOp>,
     /// Replayed every Newton iteration, in element order.
-    iter_ops: Vec<IterOp>,
+    pub(crate) iter_ops: Vec<IterOp>,
     /// Element ids of independent sources, in element order; `ValRef::Src`
     /// indexes into this list. Waveforms are read live from the circuit at
     /// each solve, so `set_waveform` between solves needs no recompile.
-    sources: Vec<ElementId>,
+    pub(crate) sources: Vec<ElementId>,
     /// Sorted, deduplicated rows of the solution vector that the dynamic
     /// stamps read (device terminal voltages). If none of these entries
     /// changed bit patterns since the last evaluation within one solve,
     /// re-assembly would reproduce the identical system — the basis of
     /// the Newton bypass.
-    dyn_reads: Vec<usize>,
-    n_cap_slots: usize,
-    n_ind_slots: usize,
+    pub(crate) dyn_reads: Vec<usize>,
+    pub(crate) n_cap_slots: usize,
+    pub(crate) n_ind_slots: usize,
 }
 
 /// Classification of a pending (non-device) stamp atom during compilation.
@@ -501,6 +501,88 @@ impl StampPlan {
                         }
                     }
                 }
+                Element::Vcvs { p, n, cp, cn, gain } => {
+                    let br = layout.branch_row(layout.branch_of[seq].expect("vcvs branch"));
+                    if let Some(rp) = row(*p) {
+                        pending.push(PendingAtom {
+                            seq,
+                            target: Target::Mat(midx(rp, br)),
+                            val: ValRef::Const(1.0),
+                        });
+                        pending.push(PendingAtom {
+                            seq,
+                            target: Target::Mat(midx(br, rp)),
+                            val: ValRef::Const(1.0),
+                        });
+                    }
+                    if let Some(rn) = row(*n) {
+                        pending.push(PendingAtom {
+                            seq,
+                            target: Target::Mat(midx(rn, br)),
+                            val: ValRef::Const(-1.0),
+                        });
+                        pending.push(PendingAtom {
+                            seq,
+                            target: Target::Mat(midx(br, rn)),
+                            val: ValRef::Const(-1.0),
+                        });
+                    }
+                    if let Some(rcp) = row(*cp) {
+                        pending.push(PendingAtom {
+                            seq,
+                            target: Target::Mat(midx(br, rcp)),
+                            val: ValRef::Const(-gain),
+                        });
+                    }
+                    if let Some(rcn) = row(*cn) {
+                        pending.push(PendingAtom {
+                            seq,
+                            target: Target::Mat(midx(br, rcn)),
+                            val: ValRef::Const(*gain),
+                        });
+                    }
+                }
+                Element::Vccs {
+                    from,
+                    to,
+                    cp,
+                    cn,
+                    gm,
+                } => {
+                    let (rcp, rcn) = (row(*cp), row(*cn));
+                    if let Some(rt) = row(*to) {
+                        if let Some(rcp) = rcp {
+                            pending.push(PendingAtom {
+                                seq,
+                                target: Target::Mat(midx(rt, rcp)),
+                                val: ValRef::Const(-gm),
+                            });
+                        }
+                        if let Some(rcn) = rcn {
+                            pending.push(PendingAtom {
+                                seq,
+                                target: Target::Mat(midx(rt, rcn)),
+                                val: ValRef::Const(*gm),
+                            });
+                        }
+                    }
+                    if let Some(rf) = row(*from) {
+                        if let Some(rcp) = rcp {
+                            pending.push(PendingAtom {
+                                seq,
+                                target: Target::Mat(midx(rf, rcp)),
+                                val: ValRef::Const(*gm),
+                            });
+                        }
+                        if let Some(rcn) = rcn {
+                            pending.push(PendingAtom {
+                                seq,
+                                target: Target::Mat(midx(rf, rcn)),
+                                val: ValRef::Const(-gm),
+                            });
+                        }
+                    }
+                }
             }
         }
 
@@ -564,7 +646,7 @@ impl StampPlan {
         dyn_reads.sort_unstable();
         dyn_reads.dedup();
 
-        StampPlan {
+        let plan = StampPlan {
             n,
             node_rows,
             mode,
@@ -575,7 +657,19 @@ impl StampPlan {
             dyn_reads,
             n_cap_slots: layout.n_caps,
             n_ind_slots: layout.n_inds,
+        };
+        // Debug builds prove every freshly compiled plan sound before it is
+        // allowed near a solver (release builds skip the check; `repro
+        // verify` covers the shipped circuits there).
+        #[cfg(debug_assertions)]
+        {
+            let violations = crate::verify::verify_plan(ckt, layout, &plan);
+            debug_assert!(
+                violations.is_empty(),
+                "stamp-plan verifier rejected a freshly compiled plan: {violations:?}"
+            );
         }
+        plan
     }
 }
 

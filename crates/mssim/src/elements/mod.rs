@@ -115,6 +115,37 @@ pub enum Element {
         /// Emission coefficient (ideality factor).
         n: f64,
     },
+    /// Linear voltage-controlled voltage source (SPICE `E` element):
+    /// drives `v(p) - v(n) = gain · (v(cp) - v(cn))`. Like an independent
+    /// voltage source it carries a branch-current unknown; the control
+    /// terminals conduct no current.
+    Vcvs {
+        /// Positive output terminal.
+        p: NodeId,
+        /// Negative output terminal.
+        n: NodeId,
+        /// Positive control terminal.
+        cp: NodeId,
+        /// Negative control terminal.
+        cn: NodeId,
+        /// Voltage gain; must be finite and nonzero.
+        gain: f64,
+    },
+    /// Linear voltage-controlled current source (SPICE `G` element):
+    /// injects `gm · (v(cp) - v(cn))` into `to` and draws it from `from`.
+    /// The control terminals conduct no current.
+    Vccs {
+        /// Terminal the current is drawn from.
+        from: NodeId,
+        /// Terminal the current is injected into.
+        to: NodeId,
+        /// Positive control terminal.
+        cp: NodeId,
+        /// Negative control terminal.
+        cn: NodeId,
+        /// Transconductance in siemens; must be finite and nonzero.
+        gm: f64,
+    },
 }
 
 impl Element {
@@ -135,6 +166,10 @@ impl Element {
                 ..
             } => vec![a, b, ctrl_pos, ctrl_neg],
             Element::Diode { a, k, .. } => vec![a, k],
+            Element::Vcvs { p, n, cp, cn, .. } => vec![p, n, cp, cn],
+            Element::Vccs {
+                from, to, cp, cn, ..
+            } => vec![from, to, cp, cn],
         }
     }
 
@@ -149,11 +184,11 @@ impl Element {
     }
 
     /// `true` if the element introduces an MNA branch-current unknown
-    /// (voltage sources and inductors).
+    /// (voltage sources, controlled voltage sources and inductors).
     pub fn has_branch_current(&self) -> bool {
         matches!(
             self,
-            Element::VoltageSource { .. } | Element::Inductor { .. }
+            Element::VoltageSource { .. } | Element::Inductor { .. } | Element::Vcvs { .. }
         )
     }
 }

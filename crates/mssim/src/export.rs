@@ -142,6 +142,33 @@ pub fn to_spice(circuit: &Circuit, title: &str) -> String {
                 let _ = writeln!(out, "D{name} {} {} d_{name}", node(*a), node(*k));
                 let _ = writeln!(out, ".model d_{name} D (IS={i_sat:e} N={n})");
             }
+            Element::Vcvs { p, n, cp, cn, gain } => {
+                let _ = writeln!(
+                    out,
+                    "E{name} {} {} {} {} {gain}",
+                    node(*p),
+                    node(*n),
+                    node(*cp),
+                    node(*cn)
+                );
+            }
+            Element::Vccs {
+                from,
+                to,
+                cp,
+                cn,
+                gm,
+            } => {
+                // SPICE G card lists N+ (current drawn) then N−.
+                let _ = writeln!(
+                    out,
+                    "G{name} {} {} {} {} {gm}",
+                    node(*from),
+                    node(*to),
+                    node(*cp),
+                    node(*cn)
+                );
+            }
         }
     }
 

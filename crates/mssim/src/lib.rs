@@ -17,7 +17,10 @@
 //!   settling detection),
 //! * parallel parameter sweeps and Monte-Carlo drivers ([`sweep`]),
 //! * pre-flight static analysis of netlists ([`lint`]): singular-matrix
-//!   topologies are rejected with named nodes/elements before any solve.
+//!   topologies are rejected with named nodes/elements before any solve,
+//! * static verification ([`verify`]): structural-solvability analysis
+//!   (bipartite matching + Dulmage–Mendelsohn) and a stamp-plan verifier
+//!   that proves compiled plans sound before Newton ever runs.
 //!
 //! The engine follows the same numerical formulation as the core loop of a
 //! production SPICE: nonlinear devices are linearised around the current
@@ -60,10 +63,12 @@ pub mod netlist;
 pub mod sweep;
 pub mod trace;
 pub mod units;
+pub mod verify;
 pub mod waveform;
 
 pub use error::Error;
 pub use netlist::{Circuit, ElementId, NodeId};
+pub use verify::{verify_circuit, PlanCode, PlanViolation, VerifyReport};
 pub use waveform::Waveform;
 
 /// Commonly used items, for glob import in examples and tests.
@@ -78,5 +83,6 @@ pub mod prelude {
     pub use crate::netlist::{Circuit, ElementId, NodeId};
     pub use crate::trace::Trace;
     pub use crate::units::*;
+    pub use crate::verify::{verify_circuit, PlanCode, PlanViolation, VerifyReport};
     pub use crate::waveform::Waveform;
 }

@@ -37,6 +37,9 @@
 //! | MS009 | `suspicious-value`       | warn     | likely unit mistake (mΩ vs MΩ, F vs pF) |
 //! | MS010 | `shorted-element`        | warn     | element with both terminals on one node |
 //! | MS011 | `duplicate-element-name` | deny     | ambiguous probes and sweeps |
+//! | MS020 | `structurally-singular`  | deny     | no perfect equation/unknown matching ⇒ zero pivot for *any* values |
+//! | MS021 | `dependent-voltage-constraints` | deny | cycle of voltage-defining branches ⇒ dependent branch rows |
+//! | MS022 | `ill-conditioned-block`  | warn     | stamp-magnitude span predicts LU pivot trouble |
 //!
 //! ¹ downgraded to warn for transient analysis started from initial
 //! conditions (UIC), where inductor and capacitor companion models make
@@ -127,6 +130,22 @@ pub enum LintCode {
     /// MS011: two elements share a name (defensive; the builder API
     /// already rejects this).
     DuplicateElementName,
+    /// MS020: the MNA sparsity pattern admits no perfect matching between
+    /// equations and unknowns, so the matrix is singular for *every*
+    /// choice of element values. Detected by maximum bipartite matching
+    /// with a Dulmage–Mendelsohn decomposition naming the
+    /// under-determined unknowns and over-determined equations (see
+    /// [`crate::verify`]).
+    StructurallySingular,
+    /// MS021: a cycle of voltage-defining branches (voltage sources,
+    /// DC-shorted inductors, VCVS outputs) closed by a controlled source,
+    /// which makes the branch constraint rows linearly dependent even
+    /// though the sparsity pattern alone looks solvable.
+    DependentVoltageConstraints,
+    /// MS022: the statically-known stamp magnitudes inside one matched
+    /// diagonal block span more than ~12 decades, predicting LU pivot
+    /// trouble although the system is structurally sound.
+    IllConditionedBlock,
 }
 
 /// All analog lint codes, in report order.
@@ -142,6 +161,9 @@ pub const ALL_CODES: &[LintCode] = &[
     LintCode::SuspiciousValue,
     LintCode::ShortedElement,
     LintCode::DuplicateElementName,
+    LintCode::StructurallySingular,
+    LintCode::DependentVoltageConstraints,
+    LintCode::IllConditionedBlock,
 ];
 
 impl LintCode {
@@ -159,6 +181,9 @@ impl LintCode {
             LintCode::SuspiciousValue => "MS009",
             LintCode::ShortedElement => "MS010",
             LintCode::DuplicateElementName => "MS011",
+            LintCode::StructurallySingular => "MS020",
+            LintCode::DependentVoltageConstraints => "MS021",
+            LintCode::IllConditionedBlock => "MS022",
         }
     }
 
@@ -176,13 +201,18 @@ impl LintCode {
             LintCode::SuspiciousValue => "suspicious-value",
             LintCode::ShortedElement => "shorted-element",
             LintCode::DuplicateElementName => "duplicate-element-name",
+            LintCode::StructurallySingular => "structurally-singular",
+            LintCode::DependentVoltageConstraints => "dependent-voltage-constraints",
+            LintCode::IllConditionedBlock => "ill-conditioned-block",
         }
     }
 
     /// Severity when the user has not configured the code.
     pub fn default_severity(self) -> Severity {
         match self {
-            LintCode::SuspiciousValue | LintCode::ShortedElement => Severity::Warn,
+            LintCode::SuspiciousValue
+            | LintCode::ShortedElement
+            | LintCode::IllConditionedBlock => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -224,12 +254,20 @@ impl LintConfig {
 
     /// Sets `code` to the given severity (builder style).
     pub fn set(mut self, code: LintCode, severity: Severity) -> Self {
+        self.set_severity(code, severity);
+        self
+    }
+
+    /// Sets `code` to the given severity in place — the non-builder form
+    /// for configs already attached to a circuit, reached through
+    /// [`Circuit::lint_config_mut`], which also invalidates any memoized
+    /// pre-flight verdicts computed under the old severities.
+    pub fn set_severity(&mut self, code: LintCode, severity: Severity) {
         if let Some(slot) = self.overrides.iter_mut().find(|(c, _)| *c == code) {
             slot.1 = severity;
         } else {
             self.overrides.push((code, severity));
         }
-        self
     }
 
     /// Suppresses `code` entirely.
@@ -389,6 +427,7 @@ pub fn lint_with(circuit: &Circuit, config: &LintConfig, context: LintContext) -
     linter.check_parameters(&mut report);
     linter.check_shorted(&mut report);
     linter.check_duplicate_names(&mut report);
+    linter.check_structural(&mut report);
     finish(report)
 }
 
@@ -587,6 +626,11 @@ impl Linter<'_> {
                     Element::Mosfet { d, s, .. } => Some((d.index(), s.index())),
                     Element::Switch { a, b, .. } => Some((a.index(), b.index())),
                     Element::Diode { a, k, .. } => Some((a.index(), k.index())),
+                    // A VCVS output is an ideal (controlled) voltage
+                    // source: it conducts. Its control pins and a VCCS
+                    // conduct no current, like an independent isource.
+                    Element::Vcvs { p, n, .. } => Some((p.index(), n.index())),
+                    Element::Vccs { .. } => None,
                 };
                 if let Some((u, v)) = pair {
                     if reached[u] != reached[v] {
@@ -769,6 +813,14 @@ impl Linter<'_> {
                     non_finite("saturation current", i_sat, report);
                     non_finite("emission coefficient", n, report);
                 }
+                Element::Vcvs { gain, .. } => {
+                    non_finite("gain", gain, report);
+                    suspicious("gain magnitude", gain.abs(), 1e-12, 1e6, report);
+                }
+                Element::Vccs { gm, .. } => {
+                    non_finite("transconductance", gm, report);
+                    suspicious("transconductance magnitude", gm.abs(), 1e-15, 1e3, report);
+                }
             }
         }
     }
@@ -786,6 +838,8 @@ impl Linter<'_> {
                 Element::VoltageSource { pos, neg, .. } => pos == neg,
                 Element::CurrentSource { from, to, .. } => from == to,
                 Element::Diode { a, k, .. } => a == k,
+                Element::Vcvs { p, n, .. } => p == n,
+                Element::Vccs { from, to, .. } => from == to,
                 _ => false,
             };
             if shorted {
@@ -799,6 +853,46 @@ impl Linter<'_> {
                     Some("rewire one terminal, or delete the element if it is intentional dead weight"),
                 );
             }
+            // A controlled source whose control terminals coincide sees a
+            // control voltage that is identically zero: the element is a
+            // constant-zero source in disguise.
+            let ctrl_shorted = match *e {
+                Element::Vcvs { cp, cn, .. } | Element::Vccs { cp, cn, .. } => cp == cn,
+                _ => false,
+            };
+            if ctrl_shorted {
+                let sev = self.severity(LintCode::ShortedElement);
+                self.emit(
+                    report,
+                    LintCode::ShortedElement,
+                    sev,
+                    vec![name.to_owned()],
+                    format!("'{name}' has both control terminals on the same node, so its control voltage is identically zero"),
+                    Some("rewire a control terminal; a zero control voltage makes the source output a constant 0"),
+                );
+            }
+        }
+    }
+
+    /// MS020/MS021/MS022: structural solvability of the induced MNA
+    /// system (maximum matching, voltage-constraint cycles, conditioning
+    /// spans — see [`crate::verify`]). Skipped while deny-level topology
+    /// diagnostics are present: a floating node already explains the
+    /// singularity, and the matching would only restate it less helpfully.
+    fn check_structural(&self, report: &mut LintReport) {
+        if report.has_denials() {
+            return;
+        }
+        for finding in crate::verify::structural_lint(self.ckt, self.ctx) {
+            let sev = self.severity(finding.code);
+            self.emit(
+                report,
+                finding.code,
+                sev,
+                finding.elements,
+                finding.message,
+                finding.suggestion.as_deref(),
+            );
         }
     }
 
@@ -1015,6 +1109,25 @@ mod tests {
         ckt.set_waveform(src, Waveform::dc(1.0)).unwrap();
         preflight(&ckt, "dc", LintContext::Dc).unwrap();
         assert_eq!(ckt.lint_cache().len(), 1);
+    }
+
+    #[test]
+    fn preflight_cache_invalidated_by_lint_config_mutation() {
+        let mut ckt = rc_divider();
+        let b = ckt.node("b");
+        ckt.resistor("Rshort", b, b, 1e3); // warn by default: preflight passes
+        preflight(&ckt, "dc", LintContext::Dc).unwrap();
+        assert_eq!(ckt.lint_cache().len(), 1);
+        // Escalating a severity after a memoized clean verdict must
+        // invalidate it — the same netlist is now supposed to be rejected.
+        ckt.lint_config_mut()
+            .set_severity(LintCode::ShortedElement, Severity::Deny);
+        let err = preflight(&ckt, "dc", LintContext::Dc).unwrap_err();
+        assert!(matches!(err, Error::LintRejected { analysis: "dc", .. }));
+        // And relaxing it back re-admits the circuit.
+        ckt.lint_config_mut()
+            .set_severity(LintCode::ShortedElement, Severity::Allow);
+        preflight(&ckt, "dc", LintContext::Dc).unwrap();
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::fmt;
 
 use crate::elements::{Element, MosParams};
 use crate::error::Error;
-use crate::lint::{self, LintCache, LintConfig, LintContext};
+use crate::lint::{LintCache, LintConfig};
 use crate::waveform::Waveform;
 
 /// Identifier of a circuit node. Node 0 is ground.
@@ -131,6 +131,17 @@ impl Circuit {
     /// The lint configuration honoured by analysis pre-flights.
     pub fn lint_config(&self) -> &LintConfig {
         &self.lint_config
+    }
+
+    /// Mutable access to the lint configuration, for in-place severity
+    /// changes (see [`LintConfig::set_severity`]).
+    ///
+    /// Counts as a circuit mutation: severities feed the memoized
+    /// pre-flight verdicts, so handing out the mutable reference must
+    /// invalidate them even if the caller ends up changing nothing.
+    pub fn lint_config_mut(&mut self) -> &mut LintConfig {
+        self.touch();
+        &mut self.lint_config
     }
 
     /// Returns the node with the given name, creating it if necessary.
@@ -373,6 +384,62 @@ impl Circuit {
         self.push(name, Element::Diode { a, k, i_sat, n })
     }
 
+    /// Adds a voltage-controlled voltage source driving
+    /// `v(p) - v(n) = gain · (v(cp) - v(cn))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is not finite and nonzero (a zero-gain VCVS is an
+    /// independent 0 V source; model it as one), or on the usual name/node
+    /// conditions.
+    pub fn vcvs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> ElementId {
+        assert!(
+            gain.is_finite() && gain != 0.0,
+            "vcvs {name}: gain must be finite and nonzero, got {gain}"
+        );
+        self.push(name, Element::Vcvs { p, n, cp, cn, gain })
+    }
+
+    /// Adds a voltage-controlled current source injecting
+    /// `gm · (v(cp) - v(cn))` into `to` and drawing it from `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gm` is not finite and nonzero (a zero-gm VCCS stamps
+    /// nothing; remove it instead), or on the usual name/node conditions.
+    pub fn vccs(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) -> ElementId {
+        assert!(
+            gm.is_finite() && gm != 0.0,
+            "vccs {name}: gm must be finite and nonzero, got {gm}"
+        );
+        self.push(
+            name,
+            Element::Vccs {
+                from,
+                to,
+                cp,
+                cn,
+                gm,
+            },
+        )
+    }
+
     fn push(&mut self, name: &str, element: Element) -> ElementId {
         assert!(
             !self.name_to_element.contains_key(name),
@@ -532,35 +599,12 @@ impl Circuit {
     pub fn has_nonlinear_elements(&self) -> bool {
         self.elements.iter().any(|ne| ne.element.is_nonlinear())
     }
-
-    /// Checks structural validity by running the deny-level lints of
-    /// [`crate::lint`] and reporting the first violation.
-    ///
-    /// This predates the lint engine and is kept as a thin compatibility
-    /// shim; new code should call [`crate::lint::lint`] and inspect the
-    /// full [`crate::lint::LintReport`] instead.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::InvalidCircuit`] describing the first deny-level
-    /// defect found.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use mssim::lint::lint() for structured diagnostics; analyses now pre-flight automatically"
-    )]
-    pub fn validate(&self) -> Result<(), Error> {
-        let report = lint::lint_with(self, &self.lint_config, LintContext::Dc);
-        let first = report.denials().next().map(|d| d.message.clone());
-        match first {
-            Some(reason) => Err(Error::InvalidCircuit { reason }),
-            None => Ok(()),
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lint;
 
     #[test]
     fn nodes_are_interned_by_name() {
@@ -641,35 +685,34 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn validate_rejects_empty_circuit() {
+    fn lint_rejects_empty_circuit() {
         let ckt = Circuit::new();
-        assert!(matches!(ckt.validate(), Err(Error::InvalidCircuit { .. })));
+        assert!(lint::lint(&ckt).has_denials());
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn validate_rejects_island_nodes() {
+    fn lint_rejects_island_nodes() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         ckt.resistor("R1", a, Circuit::GND, 1e3);
         let b = ckt.node("b");
         let c = ckt.node("c");
         ckt.resistor("R2", b, c, 1e3); // island not touching ground
-        let err = ckt.validate().unwrap_err();
-        assert!(err.to_string().contains("not connected to ground"));
+        let report = lint::lint(&ckt);
+        assert!(report
+            .denials()
+            .any(|d| d.message.contains("not connected to ground")));
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn validate_accepts_connected_circuit() {
+    fn lint_accepts_connected_circuit() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
         ckt.resistor("R1", a, b, 1e3);
         ckt.capacitor("C1", b, Circuit::GND, 1e-12);
-        ckt.validate().unwrap();
+        assert!(!lint::lint(&ckt).has_denials());
     }
 
     #[test]

@@ -24,8 +24,15 @@ fn conflicting_sources_are_singular() {
         }
         other => panic!("expected lint rejection, got {other}"),
     }
-    // The raw solver still degrades safely if the lint is silenced.
-    ckt.set_lint_config(LintConfig::new().allow(LintCode::VoltageSourceLoop));
+    // The raw solver still degrades safely if the lint is silenced. The
+    // structural pass independently proves this topology singular (both
+    // branch-current columns can only match the one KCL row), so it has
+    // to be allowed too before anything reaches the solver.
+    ckt.set_lint_config(
+        LintConfig::new()
+            .allow(LintCode::VoltageSourceLoop)
+            .allow(LintCode::StructurallySingular),
+    );
     let err = dc_operating_point(&ckt).unwrap_err();
     assert!(
         matches!(err, Error::SingularMatrix { .. }),

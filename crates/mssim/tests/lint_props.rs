@@ -118,19 +118,16 @@ proptest! {
         ));
     }
 
-    /// The deprecated validate() shim agrees with the lint engine on both
-    /// clean and broken circuits.
+    /// The full static verifier agrees with the lint engine on both
+    /// clean and broken circuits: a clean ladder is sound end to end, a
+    /// detached island makes the combined report unsound.
     #[test]
-    #[allow(deprecated)]
-    fn validate_shim_agrees_with_lint(seed in 0u64..10_000, n in 1usize..8) {
+    fn verify_circuit_agrees_with_lint(seed in 0u64..10_000, n in 1usize..8) {
         let (mut ckt, _) = ladder(seed, n);
-        prop_assert!(ckt.validate().is_ok());
+        prop_assert!(verify_circuit(&ckt).is_sound());
         let x = ckt.node("island_x");
         let y = ckt.node("island_y");
         ckt.resistor("Risland", x, y, 1e3);
-        prop_assert!(matches!(
-            ckt.validate(),
-            Err(Error::InvalidCircuit { .. })
-        ));
+        prop_assert!(!verify_circuit(&ckt).is_sound());
     }
 }

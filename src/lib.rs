@@ -6,6 +6,8 @@
 //! ([`mssim`], [`pwmcell`], [`pwm_perceptron`], [`gatesim`], [`baseline`])
 //! directly.
 
+#![forbid(unsafe_code)]
+
 pub use baseline;
 pub use gatesim;
 pub use mssim;

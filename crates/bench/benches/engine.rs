@@ -35,10 +35,12 @@ fn transient_steps(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("adder_transient_steps", |b| {
         b.iter(|| {
-            Transient::new(10e-12, steps as f64 * 10e-12)
-                .use_initial_conditions()
-                .record_every(50)
-                .run(&ckt)
+            Session::new(&ckt)
+                .transient(
+                    &Transient::new(10e-12, steps as f64 * 10e-12)
+                        .use_initial_conditions()
+                        .record_every(50),
+                )
                 .expect("transient converges")
         })
     });
@@ -91,7 +93,11 @@ fn dc_solve(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("engine");
     group.bench_function("full_perceptron_dcop", |b| {
-        b.iter(|| dc_operating_point(std::hint::black_box(&ckt)).expect("op converges"))
+        b.iter(|| {
+            Session::new(std::hint::black_box(&ckt))
+                .dc_operating_point()
+                .expect("op converges")
+        })
     });
     group.finish();
 }

@@ -39,6 +39,7 @@ const EXPERIMENTS: &[&str] = &[
     "lint",
     "verify",
     "bench",
+    "trace",
 ];
 
 fn main() {
@@ -110,6 +111,7 @@ fn main() {
             "lint" => lint_report(&tech),
             "verify" => verify_report(&tech),
             "bench" => bench(&tech, fast),
+            "trace" => trace(&tech),
             _ => unreachable!(),
         }
         eprintln!("  [{name} took {:.1}s]", t0.elapsed().as_secs_f64());
@@ -845,6 +847,7 @@ fn bench(tech: &Technology, fast: bool) {
 
     let repeats = if fast { 3 } else { 7 };
     let rows = hotpath::hot_path(tech, repeats, fast);
+    let overhead = hotpath::telemetry_overhead(tech, repeats);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -871,7 +874,7 @@ fn bench(tech: &Technology, fast: bool) {
             &table
         )
     );
-    let json = hotpath::to_json(&rows, repeats, fast);
+    let json = hotpath::to_json(&rows, repeats, fast, overhead);
     let path = results_dir().join("BENCH_mssim.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {} ({} bytes)", path.display(), json.len()),
@@ -883,6 +886,119 @@ fn bench(tech: &Technology, fast: bool) {
             adder.speedup
         );
     }
+    println!(
+        "telemetry-disabled overhead on tran_adder3x3: {:.2}% (Session vs legacy entry point)",
+        (overhead - 1.0) * 100.0
+    );
+    if overhead > 1.02 {
+        eprintln!(
+            "bench: disabled telemetry costs {overhead:.4}x > 1.02x on the hot path — failing"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Structured-trace smoke run: replays the benchmarked 3×3 and 8×8
+/// switch-level adder transients through a fully instrumented [`Session`]
+/// (memory recorder + summary + JSONL writer fan-out), cross-checks the
+/// event-derived Newton counters against the solver's own end-of-analysis
+/// report, prints the aggregate tables and writes the schema-versioned
+/// trace `results/TRACE_mssim.jsonl`. Exits nonzero on any counter
+/// mismatch, so CI gates on telemetry staying truthful.
+fn trace(tech: &Technology) {
+    use bench::hotpath::switch_adder_circuit;
+    use mssim::prelude::*;
+    use mssim::telemetry::{Event, SolverCounters, TRACE_SCHEMA};
+    use pwmcell::AdderSpec;
+
+    println!("\n== Structured trace — instrumented Session on the shipped adders ==");
+    let dt = 10e-12;
+    let steps = 2000usize;
+    let fixtures: [(&str, Circuit); 2] = [
+        (
+            "tran_adder3x3",
+            switch_adder_circuit(
+                tech,
+                AdderSpec::paper_3x3(),
+                &[7, 7, 7],
+                &[0.70, 0.80, 0.90],
+            )
+            .0,
+        ),
+        (
+            "tran_adder8x8",
+            switch_adder_circuit(
+                tech,
+                AdderSpec::new(8, 8),
+                &[255, 170, 129, 100, 77, 64, 31, 9],
+                &[0.05, 0.20, 0.35, 0.50, 0.60, 0.75, 0.85, 0.95],
+            )
+            .0,
+        ),
+    ];
+
+    let jsonl = JsonlWriter::new(Vec::<u8>::new());
+    let mut sink = Tee(MemoryRecorder::new(), Tee(Summary::new(), jsonl));
+    let tran = Transient::new(dt, steps as f64 * dt)
+        .use_initial_conditions()
+        .record_every(16);
+    let mut mismatches = 0usize;
+    for (name, ckt) in &fixtures {
+        let before = sink.0.counter_value("newton.iterations");
+        let events_before = sink.0.events().len();
+        Session::new(ckt)
+            .observe(&mut sink)
+            .transient(&tran)
+            .expect("transient converges");
+        let derived = sink.0.counter_value("newton.iterations") - before;
+        // The solver's own accounting: sum of every SolverReport the
+        // fixture emitted (the transient plus its nested DC operating
+        // point), straight from `SolverStats`.
+        let reported: SolverCounters = sink.0.events()[events_before..]
+            .iter()
+            .filter_map(|e| match e {
+                Event::SolverReport { counters, .. } => Some(*counters),
+                _ => None,
+            })
+            .fold(SolverCounters::default(), |acc, c| SolverCounters {
+                iterations: acc.iterations + c.iterations,
+                factorizations: acc.factorizations + c.factorizations,
+                back_substitutions: acc.back_substitutions + c.back_substitutions,
+                bypasses: acc.bypasses + c.bypasses,
+                rebases: acc.rebases + c.rebases,
+            });
+        let ok = derived == reported.iterations;
+        println!(
+            "{name}: newton.iterations from events = {derived}, from SolverStats = {} [{}]",
+            reported.iterations,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        if !ok {
+            mismatches += 1;
+        }
+        // SweepPoint-free single runs: also sanity-check the step count.
+        let accepted = sink.0.counter_value("tran.steps_accepted");
+        println!("{name}: cumulative accepted steps = {accepted}");
+    }
+
+    println!("\n{}", sink.1 .0.render());
+    let Tee(_, Tee(_, jsonl)) = sink;
+    let bytes = jsonl.finish().expect("in-memory writer cannot fail");
+    let lines = bytes.iter().filter(|&&b| b == b'\n').count();
+    let path = results_dir().join("TRACE_mssim.jsonl");
+    match std::fs::write(&path, &bytes) {
+        Ok(()) => println!(
+            "wrote {} ({lines} {TRACE_SCHEMA} lines, {} bytes)",
+            path.display(),
+            bytes.len()
+        ),
+        Err(e) => eprintln!("  warning: could not write {}: {e}", path.display()),
+    }
+    if mismatches > 0 {
+        eprintln!("trace: {mismatches} counter cross-check(s) failed — failing");
+        std::process::exit(1);
+    }
+    println!("trace: event-derived counters agree with the solver's own statistics");
 }
 
 fn scaling(tech: &Technology) {

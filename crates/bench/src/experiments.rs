@@ -366,9 +366,11 @@ pub fn mc_circuit_level(
         let tau = tech.cout_adder.value() * (tech.rout.value() + 9e3) / 21.0;
         let settle = ((quality.settle_time_constants * tau / period).ceil() as usize).max(4);
         let t_stop = (settle + quality.measure_periods) as f64 * period;
-        let result = Transient::new(period / quality.steps_per_period as f64, t_stop)
-            .use_initial_conditions()
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(
+                &Transient::new(period / quality.steps_per_period as f64, t_stop)
+                    .use_initial_conditions(),
+            )
             .expect("mc transient converges");
         result
             .voltage(adder.output)
@@ -739,7 +741,6 @@ pub struct NoiseRow {
 /// intrinsic noise sits near the kT/C bound, orders of magnitude below
 /// the 119 mV LSB — device mismatch (A3), not noise, limits precision.
 pub fn noise_budget(tech: &Technology, couts: &[f64]) -> Vec<NoiseRow> {
-    use mssim::analysis::noise_analysis;
     use mssim::prelude::*;
     let lsb = tech.vdd.value() / 21.0;
     couts
@@ -770,8 +771,9 @@ pub fn noise_budget(tech: &Technology, couts: &[f64]) -> Vec<NoiseRow> {
             let r_eff = tech.rout.value() / 21.0;
             let fc = 1.0 / (2.0 * std::f64::consts::PI * r_eff * cout);
             let freqs = sweep::logspace(fc / 1e4, fc * 1e4, 300);
-            let result =
-                noise_analysis(&ckt, adder.output, &freqs).expect("noise analysis converges");
+            let result = Session::new(&ckt)
+                .noise(adder.output, &freqs)
+                .expect("noise analysis converges");
             let rms = result.integrated_rms();
             NoiseRow {
                 cout,

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use mssim::analysis::{dc_sweep, dc_sweep_reference};
+use mssim::analysis::dc_sweep_reference;
 use mssim::prelude::*;
 use pwmcell::{AdderSpec, Inverter, SwitchAdder, Technology, WeightedAdder};
 
@@ -61,7 +61,10 @@ pub fn hot_path(tech: &Technology, repeats: usize, fast: bool) -> Vec<HotPathRow
 }
 
 /// Serializes rows as the `mssim-bench-v1` JSON document.
-pub fn to_json(rows: &[HotPathRow], repeats: usize, fast: bool) -> String {
+/// `telemetry_overhead` is the [`telemetry_overhead`] ratio measured for
+/// the run (1.0 means the instrumented entry point is free when no
+/// observer is attached).
+pub fn to_json(rows: &[HotPathRow], repeats: usize, fast: bool, telemetry_overhead: f64) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"mssim-bench-v1\",\n");
@@ -71,6 +74,9 @@ pub fn to_json(rows: &[HotPathRow], repeats: usize, fast: bool) -> String {
     ));
     out.push_str(&format!("  \"repeats\": {repeats},\n"));
     out.push_str(&format!("  \"equivalence_tol\": {EQUIVALENCE_TOL:e},\n"));
+    out.push_str(&format!(
+        "  \"telemetry_overhead\": {telemetry_overhead:.4},\n"
+    ));
     out.push_str("  \"entries\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str("    {\n");
@@ -198,7 +204,9 @@ fn dcsweep_inverter_vtc(tech: &Technology, repeats: usize) -> HotPathRow {
     ckt.resistor("RL", out, Circuit::GND, 10e6);
     let points = mssim::sweep::linspace(0.0, tech.vdd.value(), 101);
 
-    let plan = dc_sweep(ckt.clone(), vg, &points).expect("plan dc sweep converges");
+    let plan = Session::new(&ckt)
+        .dc_sweep(vg, &points)
+        .expect("plan dc sweep converges");
     let reference = dc_sweep_reference(ckt.clone(), vg, &points).expect("reference dc sweep");
     let max_abs_diff = plan
         .transfer(out)
@@ -212,7 +220,9 @@ fn dcsweep_inverter_vtc(tech: &Technology, repeats: usize) -> HotPathRow {
     );
 
     let plan_median_ns = median_ns(repeats, || {
-        dc_sweep(ckt.clone(), vg, &points).expect("plan dc sweep converges")
+        Session::new(&ckt)
+            .dc_sweep(vg, &points)
+            .expect("plan dc sweep converges")
     });
     let reference_median_ns = median_ns(repeats, || {
         dc_sweep_reference(ckt.clone(), vg, &points).expect("reference dc sweep")
@@ -227,10 +237,59 @@ fn dcsweep_inverter_vtc(tech: &Technology, repeats: usize) -> HotPathRow {
     )
 }
 
+/// Measures what routing the headline 3×3 switch-level adder transient
+/// through [`Session`] *without an observer* costs relative to the
+/// pre-`Session` entry point (`Transient::run`, now a deprecated wrapper).
+///
+/// The two arms run interleaved — legacy then `Session`, `repeats` times —
+/// so clock drift and cache warmth hit both equally, and the **median
+/// per-pair ratio** is returned: 1.0 means disabled telemetry is free.
+/// The `repro bench` gate fails the build above 1.02 (2 % overhead).
+pub fn telemetry_overhead(tech: &Technology, repeats: usize) -> f64 {
+    let (ckt, _) = switch_adder_circuit(
+        tech,
+        AdderSpec::paper_3x3(),
+        &[7, 7, 7],
+        &[0.70, 0.80, 0.90],
+    );
+    let dt = 10e-12;
+    let steps = 2000usize;
+    let tran = Transient::new(dt, steps as f64 * dt)
+        .use_initial_conditions()
+        .record_every(16);
+    // One warm-up run so neither arm pays first-touch allocation costs.
+    std::hint::black_box(
+        Session::new(&ckt)
+            .transient(&tran)
+            .expect("transient converges"),
+    );
+    let mut ratios: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            #[allow(deprecated)]
+            let legacy = tran.run(&ckt).expect("legacy transient converges");
+            let legacy_ns = t0.elapsed().as_nanos() as f64;
+            std::hint::black_box(legacy);
+            let t1 = Instant::now();
+            let session = Session::new(&ckt)
+                .transient(&tran)
+                .expect("session transient converges");
+            let session_ns = t1.elapsed().as_nanos() as f64;
+            std::hint::black_box(session);
+            session_ns / legacy_ns.max(1.0)
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    ratios[ratios.len() / 2]
+}
+
 // -------------------------------------------------------------- helpers
 
-/// Builds a PWM-driven [`SwitchAdder`] and returns it with its probe set.
-fn switch_adder_circuit(
+/// Builds a PWM-driven [`SwitchAdder`] at technology `tech` and returns
+/// it with its probe set (output, supply, every input). Shared with the
+/// `repro trace` experiment so the trace replays exactly the benchmarked
+/// fixtures.
+pub fn switch_adder_circuit(
     tech: &Technology,
     spec: AdderSpec,
     weights: &[u32],
@@ -269,8 +328,12 @@ fn bench_transient(
             .record_every(16)
             .with_reference_solver(reference)
     };
-    let plan = tran(false).run(ckt).expect("plan transient converges");
-    let reference = tran(true).run(ckt).expect("reference transient converges");
+    let plan = Session::new(ckt)
+        .transient(&tran(false))
+        .expect("plan transient converges");
+    let reference = Session::new(ckt)
+        .transient(&tran(true))
+        .expect("reference transient converges");
     let mut max_abs_diff = 0.0f64;
     for &node in probes {
         let a = plan.voltage(node);
@@ -285,10 +348,14 @@ fn bench_transient(
     );
 
     let plan_median_ns = median_ns(repeats, || {
-        tran(false).run(ckt).expect("plan transient converges")
+        Session::new(ckt)
+            .transient(&tran(false))
+            .expect("plan transient converges")
     });
     let reference_median_ns = median_ns(repeats, || {
-        tran(true).run(ckt).expect("reference transient converges")
+        Session::new(ckt)
+            .transient(&tran(true))
+            .expect("reference transient converges")
     });
     row(
         name,
@@ -349,9 +416,10 @@ mod tests {
         assert!(r.max_abs_diff <= EQUIVALENCE_TOL);
         assert!(r.plan_median_ns > 0.0 && r.reference_median_ns > 0.0);
         assert!((r.speedup - r.reference_median_ns / r.plan_median_ns).abs() < 1e-9);
-        let json = to_json(&[r], 1, true);
+        let json = to_json(&[r], 1, true, 1.0);
         assert!(json.contains("\"schema\": \"mssim-bench-v1\""));
         assert!(json.contains("\"name\": \"tran_inverter\""));
+        assert!(json.contains("\"telemetry_overhead\": 1.0000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

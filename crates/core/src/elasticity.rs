@@ -60,6 +60,41 @@ pub fn inverter_ratio_sweep(tech: &Technology, duty: f64, vdds: &[f64]) -> Vec<R
         .collect()
 }
 
+/// [`inverter_ratio_sweep`] with telemetry: the supply points are run
+/// through [`mssim::sweep::sweep_observed`], so `observer` receives one
+/// `sweep.wall_ns` histogram sample and `SweepPoint` event per supply
+/// plus the work-steal counter. Results are identical to the unobserved
+/// version.
+///
+/// # Panics
+///
+/// Panics if `duty` is outside `0..=1` or any supply is not positive.
+pub fn inverter_ratio_sweep_observed(
+    tech: &Technology,
+    duty: f64,
+    vdds: &[f64],
+    observer: &mut dyn mssim::telemetry::Observer,
+) -> Vec<RatioPoint> {
+    assert!((0.0..=1.0).contains(&duty), "duty must be in 0..=1");
+    mssim::sweep::sweep_observed(vdds, observer, |&vdd, _| {
+        assert!(vdd > 0.0, "supply must be positive");
+        let node = PwmNode::inverter(
+            tech,
+            Some(tech.rout.value()),
+            tech.cout_inverter.value(),
+            duty,
+            tech.frequency.value(),
+            vdd,
+        );
+        let vout = node.steady_state_average();
+        RatioPoint {
+            vdd,
+            vout,
+            ratio: vout / vdd,
+        }
+    })
+}
+
 /// Maximum deviation of `Vout/Vdd` across the sweep — 0 means perfectly
 /// power-elastic.
 ///
@@ -196,6 +231,18 @@ mod tests {
         for p in &points {
             assert!((p.ratio - 0.75).abs() < 0.05, "{p:?}");
         }
+    }
+
+    #[test]
+    fn observed_ratio_sweep_matches_and_counts_points() {
+        use mssim::telemetry::MemoryRecorder;
+        let tech = Technology::umc65_like();
+        let vdds = [1.5, 2.0, 2.5, 3.5, 5.0];
+        let plain = inverter_ratio_sweep(&tech, 0.25, &vdds);
+        let mut rec = MemoryRecorder::new();
+        let observed = inverter_ratio_sweep_observed(&tech, 0.25, &vdds, &mut rec);
+        assert_eq!(plain, observed);
+        assert_eq!(rec.counter_value("sweep.points"), vdds.len() as u64);
     }
 
     #[test]

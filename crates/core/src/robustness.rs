@@ -184,6 +184,43 @@ pub fn adder_vout_monte_carlo(
     McSummary::from_samples(samples)
 }
 
+/// [`adder_vout_monte_carlo`] with telemetry: per-trial wall times,
+/// worker indices and steal counts are delivered to `observer` via
+/// [`mssim::sweep::monte_carlo_observed`]. The sample distribution is
+/// identical to the unobserved version with the same seed.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or inputs are out of range (see
+/// [`PwmNode::weighted_adder`]).
+#[allow(clippy::too_many_arguments)]
+pub fn adder_vout_monte_carlo_observed(
+    tech: &Technology,
+    duties: &[f64],
+    weights: &[u32],
+    bits: u32,
+    spec: &VariationSpec,
+    trials: usize,
+    seed: u64,
+    observer: &mut dyn mssim::telemetry::Observer,
+) -> McSummary {
+    assert!(trials > 0, "need at least one trial");
+    let samples = sweep::monte_carlo_observed(trials, seed, observer, |rng, _| {
+        let t = perturbed_technology(tech, spec, rng);
+        PwmNode::weighted_adder(
+            &t,
+            duties,
+            weights,
+            bits,
+            t.frequency.value(),
+            t.vdd.value(),
+            t.cout_adder.value(),
+        )
+        .steady_state_average()
+    });
+    McSummary::from_samples(samples)
+}
+
 /// Output voltage across a frequency sweep (switch-level) — supports the
 /// paper's statement that Table II is unaffected from 1 MHz to 1 GHz.
 pub fn vout_vs_frequency(
@@ -282,6 +319,20 @@ mod tests {
         let a = adder_vout_monte_carlo(&tech, &[0.5], &[7], 3, &spec, 8, 3);
         let b = adder_vout_monte_carlo(&tech, &[0.5], &[7], 3, &spec, 8, 3);
         assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn observed_monte_carlo_matches_and_counts_trials() {
+        use mssim::telemetry::MemoryRecorder;
+        let tech = Technology::umc65_like();
+        let spec = VariationSpec::typical_65nm();
+        let plain = adder_vout_monte_carlo(&tech, &[0.5], &[7], 3, &spec, 8, 3);
+        let mut rec = MemoryRecorder::new();
+        let observed =
+            adder_vout_monte_carlo_observed(&tech, &[0.5], &[7], 3, &spec, 8, 3, &mut rec);
+        assert_eq!(plain.samples, observed.samples);
+        assert_eq!(rec.counter_value("sweep.points"), 8);
+        assert_eq!(rec.histogram_values("sweep.wall_ns").len(), 8);
     }
 
     #[test]

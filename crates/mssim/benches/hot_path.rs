@@ -105,10 +105,14 @@ fn bench_transient(c: &mut Criterion, group_name: &str, ckt: &Circuit, dt: f64, 
     group.throughput(Throughput::Elements(steps as u64));
     group.sample_size(10);
     group.bench_function("plan", |b| {
-        b.iter(|| tran(false).run(black_box(ckt)).unwrap())
+        b.iter(|| {
+            Session::new(black_box(ckt))
+                .transient(&tran(false))
+                .unwrap()
+        })
     });
     group.bench_function("reference", |b| {
-        b.iter(|| tran(true).run(black_box(ckt)).unwrap())
+        b.iter(|| Session::new(black_box(ckt)).transient(&tran(true)).unwrap())
     });
     group.finish();
 }
@@ -144,7 +148,7 @@ fn inverter_vtc_dcsweep(c: &mut Criterion) {
     group.throughput(Throughput::Elements(points.len() as u64));
     group.sample_size(10);
     group.bench_function("plan", |b| {
-        b.iter(|| mssim::analysis::dc_sweep(ckt.clone(), vg, black_box(&points)).unwrap())
+        b.iter(|| Session::new(&ckt).dc_sweep(vg, black_box(&points)).unwrap())
     });
     group.bench_function("reference", |b| {
         b.iter(|| mssim::analysis::dc_sweep_reference(ckt.clone(), vg, black_box(&points)).unwrap())

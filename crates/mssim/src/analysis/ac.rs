@@ -8,12 +8,14 @@
 //! are nulled (voltage sources shorted, current sources opened) — the
 //! standard SPICE `.AC` semantics.
 
-use crate::analysis::dcop::{dc_operating_point, DcSolution};
+use crate::analysis::dcop::{dc_operating_point_impl, DcSolution};
 use crate::analysis::mna::MnaLayout;
+use crate::analysis::solution::Solution;
 use crate::complex::{Complex, ComplexMatrix};
 use crate::elements::Element;
 use crate::error::Error;
 use crate::netlist::{Circuit, ElementId, NodeId};
+use crate::telemetry::{Event, Probe};
 
 /// Result of an AC sweep: one complex phasor per node per frequency.
 #[derive(Debug, Clone)]
@@ -22,6 +24,7 @@ pub struct AcResult {
     /// `phasors[freq_idx][row]`, rows as in the MNA layout.
     phasors: Vec<Vec<Complex>>,
     n_nodes: usize,
+    branch_of: Vec<Option<usize>>,
 }
 
 impl AcResult {
@@ -68,6 +71,37 @@ impl AcResult {
     }
 }
 
+impl Solution for AcResult {
+    /// Node-voltage phasor across the sweep.
+    type Voltage = Vec<Complex>;
+    /// Branch-current phasor across the sweep.
+    type Current = Vec<Complex>;
+
+    fn voltage(&self, node: NodeId) -> Result<Vec<Complex>, Error> {
+        if node.index() >= self.n_nodes {
+            return Err(Error::UnknownProbe {
+                what: format!("voltage of {node}"),
+            });
+        }
+        Ok((0..self.frequencies.len())
+            .map(|i| self.phasor(node, i))
+            .collect())
+    }
+
+    fn branch_current(&self, element: ElementId) -> Result<Vec<Complex>, Error> {
+        match self.branch_of.get(element.index()).copied().flatten() {
+            Some(b) => Ok(self
+                .phasors
+                .iter()
+                .map(|row| row[self.n_nodes - 1 + b])
+                .collect()),
+            None => Err(Error::UnknownProbe {
+                what: format!("branch current of {element}"),
+            }),
+        }
+    }
+}
+
 /// Runs an AC sweep with a unit stimulus on `source`.
 ///
 /// # Errors
@@ -81,7 +115,6 @@ impl AcResult {
 ///
 /// ```
 /// use mssim::prelude::*;
-/// use mssim::analysis::ac_analysis;
 ///
 /// # fn main() -> Result<(), mssim::Error> {
 /// let mut ckt = Circuit::new();
@@ -91,16 +124,30 @@ impl AcResult {
 /// ckt.resistor("R1", vin, out, 1e3);
 /// ckt.capacitor("C1", out, Circuit::GND, 1e-9);
 /// let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
-/// let ac = ac_analysis(&ckt, src, &[fc])?;
+/// let ac = Session::new(&ckt).ac(src, &[fc])?;
 /// let gain_db = ac.magnitude_db(out)[0];
 /// assert!((gain_db + 3.0103).abs() < 0.01);
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::new(&circuit).ac(source, frequencies)` instead"
+)]
 pub fn ac_analysis(
     circuit: &Circuit,
     source: ElementId,
     frequencies: &[f64],
+) -> Result<AcResult, Error> {
+    crate::session::Session::new(circuit).ac(source, frequencies)
+}
+
+pub(crate) fn ac_analysis_impl(
+    circuit: &Circuit,
+    source: ElementId,
+    frequencies: &[f64],
+    reference: bool,
+    mut probe: Probe<'_>,
 ) -> Result<AcResult, Error> {
     crate::lint::preflight(circuit, "ac", crate::lint::LintContext::Dc)?;
     if !matches!(circuit.element(source), Element::VoltageSource { .. }) {
@@ -109,7 +156,8 @@ pub fn ac_analysis(
             reason: "AC stimulus must be a voltage source".into(),
         });
     }
-    let op = dc_operating_point(circuit)?;
+    probe.emit(Event::AnalysisStart { analysis: "ac" });
+    let op = dc_operating_point_impl(circuit, reference, probe.reborrow())?;
     let layout = MnaLayout::new(circuit);
     let n = layout.size();
 
@@ -131,10 +179,12 @@ pub fn ac_analysis(
         mat.solve_in_place(&mut rhs)?;
         phasors.push(rhs);
     }
+    probe.emit(Event::AnalysisEnd { analysis: "ac" });
     Ok(AcResult {
         frequencies: frequencies.to_vec(),
         phasors,
         n_nodes: circuit.node_count(),
+        branch_of: layout.branch_of.clone(),
     })
 }
 
@@ -321,6 +371,7 @@ fn stamp_ac(
 mod tests {
     use super::*;
     use crate::elements::MosParams;
+    use crate::session::Session;
     use crate::sweep::logspace;
     use crate::waveform::Waveform;
 
@@ -335,7 +386,9 @@ mod tests {
         let src = ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(0.0));
         ckt.resistor("R1", vin, out, r);
         ckt.capacitor("C1", out, Circuit::GND, c);
-        let ac = ac_analysis(&ckt, src, &[fc / 100.0, fc, fc * 100.0]).unwrap();
+        let ac = Session::new(&ckt)
+            .ac(src, &[fc / 100.0, fc, fc * 100.0])
+            .unwrap();
         let mag = ac.magnitude_db(out);
         let phase = ac.phase_deg(out);
         assert!(mag[0].abs() < 0.01, "passband flat: {} dB", mag[0]);
@@ -356,7 +409,9 @@ mod tests {
         let src = ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(0.0));
         ckt.resistor("R1", vin, out, r);
         ckt.inductor("L1", out, Circuit::GND, l);
-        let ac = ac_analysis(&ckt, src, &[fc / 100.0, fc, fc * 100.0]).unwrap();
+        let ac = Session::new(&ckt)
+            .ac(src, &[fc / 100.0, fc, fc * 100.0])
+            .unwrap();
         let mag = ac.magnitude_db(out);
         assert!((mag[0] + 40.0).abs() < 0.1, "stopband {} dB", mag[0]);
         assert!((mag[1] + 3.0103).abs() < 0.01, "corner {} dB", mag[1]);
@@ -380,7 +435,7 @@ mod tests {
         ckt.resistor("R1", vin, mid, r);
         ckt.inductor("L1", mid, out, l);
         ckt.capacitor("C1", out, Circuit::GND, c);
-        let ac = ac_analysis(&ckt, src, &[f0]).unwrap();
+        let ac = Session::new(&ckt).ac(src, &[f0]).unwrap();
         let gain = ac.magnitude(out)[0];
         assert!((gain - q).abs() / q < 0.01, "peak {gain} vs Q {q}");
     }
@@ -404,12 +459,12 @@ mod tests {
         ckt.capacitor("CL", out, Circuit::GND, 1e-12);
 
         // Predict gm and rds from the DC OP.
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         let pt = MosParams::nmos(2e-6, 1.2e-6).evaluate(op.voltage(out), vbias, 0.0);
         let rds = 1.0 / pt.gdd.max(1e-12);
         let expect = pt.gdg * (rl * rds / (rl + rds));
 
-        let ac = ac_analysis(&ckt, vg, &[1e3]).unwrap();
+        let ac = Session::new(&ckt).ac(vg, &[1e3]).unwrap();
         let gain = ac.magnitude(out)[0];
         assert!(
             (gain - expect).abs() / expect < 0.01,
@@ -443,7 +498,7 @@ mod tests {
         ckt.resistor("Rout", drv, out, 100e3);
         ckt.capacitor("Cout", out, Circuit::GND, 1e-12);
         let freqs = logspace(1e3, 100e6, 11);
-        let ac = ac_analysis(&ckt, vg, &freqs).unwrap();
+        let ac = Session::new(&ckt).ac(vg, &freqs).unwrap();
         let mag = ac.magnitude(out);
         // Monotone low-pass behaviour at the output node.
         for w in mag.windows(2) {
@@ -460,7 +515,7 @@ mod tests {
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
         let r = ckt.resistor("R1", a, Circuit::GND, 1e3);
         assert!(matches!(
-            ac_analysis(&ckt, r, &[1e3]),
+            Session::new(&ckt).ac(r, &[1e3]),
             Err(Error::InvalidParameter { .. })
         ));
     }
@@ -476,7 +531,7 @@ mod tests {
         ckt.vsource("V2", b, Circuit::GND, Waveform::dc(3.0));
         ckt.resistor("R1", a, mid, 1e3);
         ckt.resistor("R2", b, mid, 1e3);
-        let ac = ac_analysis(&ckt, s1, &[1e3]).unwrap();
+        let ac = Session::new(&ckt).ac(s1, &[1e3]).unwrap();
         // mid sees the divider of the unit stimulus: 0.5.
         assert!((ac.magnitude(mid)[0] - 0.5).abs() < 1e-9);
     }

@@ -9,8 +9,10 @@
 
 use crate::analysis::mna::{MnaLayout, NewtonOpts, SolveContext};
 use crate::analysis::plan::{PlanMode, SolverEngine};
+use crate::analysis::solution::Solution;
 use crate::error::Error;
 use crate::netlist::{Circuit, ElementId, NodeId};
+use crate::telemetry::{Event, Probe};
 
 /// Result of a DC operating-point analysis.
 #[derive(Debug, Clone)]
@@ -59,6 +61,27 @@ impl DcSolution {
     }
 }
 
+impl Solution for DcSolution {
+    /// Node voltage in volts.
+    type Voltage = f64;
+    /// Branch current in amperes (SPICE convention).
+    type Current = f64;
+
+    fn voltage(&self, node: NodeId) -> Result<f64, Error> {
+        let i = node.index();
+        if i >= self.n_nodes {
+            return Err(Error::UnknownProbe {
+                what: format!("voltage of {node}"),
+            });
+        }
+        Ok(if i == 0 { 0.0 } else { self.x[i - 1] })
+    }
+
+    fn branch_current(&self, element: ElementId) -> Result<f64, Error> {
+        DcSolution::branch_current(self, element)
+    }
+}
+
 /// Computes the DC operating point of `circuit`.
 ///
 /// # Errors
@@ -79,32 +102,49 @@ impl DcSolution {
 /// ckt.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
 /// ckt.resistor("R1", a, b, 2e3);
 /// ckt.resistor("R2", b, Circuit::GND, 1e3);
-/// let op = dc_operating_point(&ckt)?;
+/// let op = Session::new(&ckt).dc_operating_point()?;
 /// assert!((op.voltage(b) - 1.0).abs() < 1e-9);
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::new(&circuit).dc_operating_point()` instead"
+)]
 pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, Error> {
-    dc_operating_point_impl(circuit, false)
+    crate::session::Session::new(circuit).dc_operating_point()
 }
 
-/// [`dc_operating_point`] on the naive per-iteration assembler, bypassing
-/// the compiled stamp plan. Kept for golden-equivalence tests and as the
-/// benchmark baseline; not part of the supported API.
+/// [`Session::dc_operating_point`](crate::Session::dc_operating_point) on
+/// the naive per-iteration assembler, bypassing the compiled stamp plan.
+/// Kept for golden-equivalence tests and as the benchmark baseline; not
+/// part of the supported API.
 ///
 /// # Errors
 ///
-/// Same conditions as [`dc_operating_point`].
+/// Same conditions as [`Session::dc_operating_point`](crate::Session::dc_operating_point).
 #[doc(hidden)]
 pub fn dc_operating_point_reference(circuit: &Circuit) -> Result<DcSolution, Error> {
-    dc_operating_point_impl(circuit, true)
+    crate::session::Session::new(circuit)
+        .with_reference_solver(true)
+        .dc_operating_point()
 }
 
-fn dc_operating_point_impl(circuit: &Circuit, reference: bool) -> Result<DcSolution, Error> {
+pub(crate) fn dc_operating_point_impl(
+    circuit: &Circuit,
+    reference: bool,
+    mut probe: Probe<'_>,
+) -> Result<DcSolution, Error> {
     crate::lint::preflight(circuit, "dc", crate::lint::LintContext::Dc)?;
     let layout = MnaLayout::new(circuit);
     let mut engine = SolverEngine::new(circuit, &layout, PlanMode::Dc, reference);
-    solve_dc_with(circuit, &layout, &mut engine)
+    probe.emit(Event::AnalysisStart { analysis: "dc" });
+    let result = solve_dc_with(circuit, &layout, &mut engine, &mut probe);
+    probe.report(&engine, "dc");
+    if result.is_ok() {
+        probe.emit(Event::AnalysisEnd { analysis: "dc" });
+    }
+    result
 }
 
 /// The continuation ladder behind [`dc_operating_point`], reusable with a
@@ -116,12 +156,14 @@ pub(crate) fn solve_dc_with(
     circuit: &Circuit,
     layout: &MnaLayout,
     engine: &mut SolverEngine,
+    probe: &mut Probe<'_>,
 ) -> Result<DcSolution, Error> {
     let n = layout.size();
     let opts = NewtonOpts::default();
 
     let mut x = vec![0.0; n];
-    let direct = engine.solve(
+    let direct = probe.solve(
+        engine,
         circuit,
         layout,
         &mut x,
@@ -135,6 +177,12 @@ pub(crate) fn solve_dc_with(
         &opts,
         "dc",
     );
+    probe.emit(Event::Homotopy {
+        stage: "direct",
+        step: 0,
+        param: 0.0,
+        converged: direct.is_ok(),
+    });
     if direct.is_ok() {
         return Ok(pack(circuit, layout, x));
     }
@@ -145,7 +193,8 @@ pub(crate) fn solve_dc_with(
     let mut ok = true;
     for k in 0..=12 {
         let gshunt = if k == 12 { 0.0 } else { 10f64.powi(-k - 1) };
-        let r = engine.solve(
+        let r = probe.solve(
+            engine,
             circuit,
             layout,
             &mut x,
@@ -159,6 +208,12 @@ pub(crate) fn solve_dc_with(
             &opts,
             "dc",
         );
+        probe.emit(Event::Homotopy {
+            stage: "gmin",
+            step: k as u32,
+            param: gshunt,
+            converged: r.is_ok(),
+        });
         if r.is_err() {
             ok = false;
             break;
@@ -172,7 +227,8 @@ pub(crate) fn solve_dc_with(
     let mut x = vec![0.0; n];
     for step in 1..=10 {
         let scale = step as f64 / 10.0;
-        engine.solve(
+        let r = probe.solve(
+            engine,
             circuit,
             layout,
             &mut x,
@@ -185,7 +241,14 @@ pub(crate) fn solve_dc_with(
             },
             &opts,
             "dc",
-        )?;
+        );
+        probe.emit(Event::Homotopy {
+            stage: "source",
+            step: step as u32,
+            param: scale,
+            converged: r.is_ok(),
+        });
+        r?;
     }
     Ok(pack(circuit, layout, x))
 }
@@ -202,6 +265,7 @@ fn pack(circuit: &Circuit, layout: &MnaLayout, x: Vec<f64>) -> DcSolution {
 mod tests {
     use super::*;
     use crate::elements::MosParams;
+    use crate::session::Session;
     use crate::waveform::Waveform;
 
     #[test]
@@ -212,7 +276,7 @@ mod tests {
         let v1 = ckt.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
         ckt.resistor("R1", a, b, 2e3);
         let r2 = ckt.resistor("R2", b, Circuit::GND, 1e3);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         assert!((op.voltage(b) - 1.0).abs() < 1e-9);
         assert!((op.voltage(a) - 3.0).abs() < 1e-9);
         assert_eq!(op.voltage(Circuit::GND), 0.0);
@@ -229,7 +293,7 @@ mod tests {
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(5.0));
         ckt.resistor("R1", a, b, 1e3);
         ckt.capacitor("C1", b, Circuit::GND, 1e-9);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         // No DC path through the cap: the full supply appears across it.
         assert!((op.voltage(b) - 5.0).abs() < 1e-3);
     }
@@ -251,7 +315,7 @@ mod tests {
             Circuit::GND,
             MosParams::nmos(320e-9, 1.2e-6),
         );
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         let v_out = op.voltage(out);
         // Ron ≈ 9.1 kΩ against 100 kΩ load → ~0.21 V.
         assert!(v_out > 0.05 && v_out < 0.4, "v_out = {v_out}");
@@ -273,7 +337,7 @@ mod tests {
             Circuit::GND,
             MosParams::nmos(320e-9, 1.2e-6),
         );
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         assert!((op.voltage(out) - 2.5).abs() < 0.01);
     }
 
@@ -292,7 +356,7 @@ mod tests {
             ckt.mosfet("MN", out, gate, Circuit::GND, params_n);
             // Small load so the output is well defined.
             ckt.resistor("RL", out, Circuit::GND, 10e6);
-            let op = dc_operating_point(&ckt).unwrap();
+            let op = Session::new(&ckt).dc_operating_point().unwrap();
             let v = op.voltage(out);
             if expect_hi {
                 assert!(v > 2.4, "vin={vin}: v_out={v}");
@@ -310,7 +374,7 @@ mod tests {
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(5.0));
         ckt.resistor("R1", a, k, 1e3);
         ckt.diode("D1", k, Circuit::GND, 1e-14, 1.0);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         let vd = op.voltage(k);
         assert!(vd > 0.5 && vd < 0.8, "diode drop {vd}");
     }
@@ -319,7 +383,7 @@ mod tests {
     fn invalid_circuit_is_rejected() {
         let ckt = Circuit::new();
         assert!(matches!(
-            dc_operating_point(&ckt),
+            Session::new(&ckt).dc_operating_point(),
             Err(Error::LintRejected { analysis: "dc", .. })
         ));
     }
@@ -334,7 +398,7 @@ mod tests {
         ckt.vsource("VC", ctl, Circuit::GND, Waveform::dc(1.5));
         ckt.switch("S1", vdd, out, ctl, Circuit::GND, 1.0, 1.0, 1e9);
         ckt.resistor("RL", out, Circuit::GND, 1e3);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         assert!((op.voltage(out) - 2.0).abs() < 0.01, "closed switch passes");
     }
 }

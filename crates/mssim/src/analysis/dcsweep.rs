@@ -8,9 +8,11 @@
 use crate::analysis::dcop::{solve_dc_with, DcSolution};
 use crate::analysis::mna::MnaLayout;
 use crate::analysis::plan::{PlanMode, SolverEngine};
+use crate::analysis::solution::Solution;
 use crate::elements::Element;
 use crate::error::Error;
 use crate::netlist::{Circuit, ElementId, NodeId};
+use crate::telemetry::{Event, Probe};
 use crate::waveform::Waveform;
 
 /// Result of a DC sweep: one full operating point per sweep value.
@@ -59,6 +61,27 @@ impl DcSweepResult {
     }
 }
 
+impl Solution for DcSweepResult {
+    /// Node voltage at each sweep point, in volts.
+    type Voltage = Vec<f64>;
+    /// Branch current at each sweep point, in amperes.
+    type Current = Vec<f64>;
+
+    fn voltage(&self, node: NodeId) -> Result<Vec<f64>, Error> {
+        self.solutions
+            .iter()
+            .map(|s| Solution::voltage(s, node))
+            .collect()
+    }
+
+    fn branch_current(&self, element: ElementId) -> Result<Vec<f64>, Error> {
+        self.solutions
+            .iter()
+            .map(|s| s.branch_current(element))
+            .collect()
+    }
+}
+
 /// Sweeps the DC value of `source` through `values`, solving the
 /// operating point at each step.
 ///
@@ -77,7 +100,6 @@ impl DcSweepResult {
 ///
 /// ```
 /// use mssim::prelude::*;
-/// use mssim::analysis::dc_sweep;
 /// use mssim::elements::MosParams;
 /// use mssim::sweep::linspace;
 ///
@@ -91,41 +113,49 @@ impl DcSweepResult {
 /// ckt.mosfet("MP", out, g, vdd, MosParams::pmos(865e-9, 1.2e-6));
 /// ckt.mosfet("MN", out, g, Circuit::GND, MosParams::nmos(320e-9, 1.2e-6));
 /// ckt.resistor("RL", out, Circuit::GND, 10e6);
-/// let sweep = dc_sweep(ckt, vg, &linspace(0.0, 2.5, 51))?;
+/// let sweep = Session::new(&ckt).dc_sweep(vg, &linspace(0.0, 2.5, 51))?;
 /// let vm = sweep.crossing(out, 1.25).expect("inverter switches");
 /// assert!(vm > 0.8 && vm < 1.6);
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::new(&circuit).dc_sweep(source, values)` instead"
+)]
 pub fn dc_sweep(
     circuit: Circuit,
     source: ElementId,
     values: &[f64],
 ) -> Result<DcSweepResult, Error> {
-    dc_sweep_impl(circuit, source, values, false)
+    crate::session::Session::new(&circuit).dc_sweep(source, values)
 }
 
-/// [`dc_sweep`] on the naive per-iteration assembler, bypassing the
-/// compiled stamp plan. Kept for golden-equivalence tests and as the
-/// benchmark baseline; not part of the supported API.
+/// [`Session::dc_sweep`](crate::Session::dc_sweep) on the naive
+/// per-iteration assembler, bypassing the compiled stamp plan. Kept for
+/// golden-equivalence tests and as the benchmark baseline; not part of the
+/// supported API.
 ///
 /// # Errors
 ///
-/// Same conditions as [`dc_sweep`].
+/// Same conditions as [`Session::dc_sweep`](crate::Session::dc_sweep).
 #[doc(hidden)]
 pub fn dc_sweep_reference(
     circuit: Circuit,
     source: ElementId,
     values: &[f64],
 ) -> Result<DcSweepResult, Error> {
-    dc_sweep_impl(circuit, source, values, true)
+    crate::session::Session::new(&circuit)
+        .with_reference_solver(true)
+        .dc_sweep(source, values)
 }
 
-fn dc_sweep_impl(
+pub(crate) fn dc_sweep_impl(
     mut circuit: Circuit,
     source: ElementId,
     values: &[f64],
     reference: bool,
+    mut probe: Probe<'_>,
 ) -> Result<DcSweepResult, Error> {
     crate::lint::preflight(&circuit, "dc-sweep", crate::lint::LintContext::Dc)?;
     if !matches!(circuit.element(source), Element::VoltageSource { .. }) {
@@ -140,13 +170,27 @@ fn dc_sweep_impl(
     // factorization cache carries across points whose Jacobian repeats.
     let layout = MnaLayout::new(&circuit);
     let mut engine = SolverEngine::new(&circuit, &layout, PlanMode::Dc, reference);
+    probe.emit(Event::AnalysisStart {
+        analysis: "dc-sweep",
+    });
     let mut solutions = Vec::with_capacity(values.len());
     for &v in values {
         circuit
             .set_waveform(source, Waveform::dc(v))
             .expect("checked: element is a source");
-        solutions.push(solve_dc_with(&circuit, &layout, &mut engine)?);
+        let point = solve_dc_with(&circuit, &layout, &mut engine, &mut probe);
+        match point {
+            Ok(sol) => solutions.push(sol),
+            Err(e) => {
+                probe.report(&engine, "dc-sweep");
+                return Err(e);
+            }
+        }
     }
+    probe.report(&engine, "dc-sweep");
+    probe.emit(Event::AnalysisEnd {
+        analysis: "dc-sweep",
+    });
     Ok(DcSweepResult {
         values: values.to_vec(),
         solutions,
@@ -157,6 +201,7 @@ fn dc_sweep_impl(
 mod tests {
     use super::*;
     use crate::elements::MosParams;
+    use crate::session::Session;
     use crate::sweep::linspace;
 
     #[test]
@@ -167,7 +212,9 @@ mod tests {
         let src = ckt.vsource("V1", a, Circuit::GND, Waveform::dc(0.0));
         ckt.resistor("R1", a, b, 1e3);
         ckt.resistor("R2", b, Circuit::GND, 1e3);
-        let sweep = dc_sweep(ckt, src, &linspace(0.0, 4.0, 5)).unwrap();
+        let sweep = Session::new(&ckt)
+            .dc_sweep(src, &linspace(0.0, 4.0, 5))
+            .unwrap();
         for (vin, vout) in sweep.transfer(b) {
             assert!((vout - vin / 2.0).abs() < 1e-9);
         }
@@ -185,7 +232,9 @@ mod tests {
         ckt.mosfet("MP", out, g, vdd, MosParams::pmos(865e-9, 1.2e-6));
         ckt.mosfet("MN", out, g, Circuit::GND, MosParams::nmos(320e-9, 1.2e-6));
         ckt.resistor("RL", out, Circuit::GND, 10e6);
-        let sweep = dc_sweep(ckt, vg, &linspace(0.0, 2.5, 101)).unwrap();
+        let sweep = Session::new(&ckt)
+            .dc_sweep(vg, &linspace(0.0, 2.5, 101))
+            .unwrap();
         let curve = sweep.transfer(out);
         // Rails at the ends.
         assert!(curve[0].1 > 2.45);
@@ -212,7 +261,7 @@ mod tests {
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
         let r = ckt.resistor("R1", a, Circuit::GND, 1e3);
         assert!(matches!(
-            dc_sweep(ckt, r, &[0.0, 1.0]),
+            Session::new(&ckt).dc_sweep(r, &[0.0, 1.0]),
             Err(Error::InvalidParameter { .. })
         ));
     }
@@ -225,7 +274,9 @@ mod tests {
         let src = ckt.vsource("V1", a, Circuit::GND, Waveform::dc(0.0));
         ckt.resistor("R1", a, b, 1e3);
         ckt.resistor("R2", b, Circuit::GND, 1e3);
-        let sweep = dc_sweep(ckt, src, &linspace(0.0, 1.0, 3)).unwrap();
+        let sweep = Session::new(&ckt)
+            .dc_sweep(src, &linspace(0.0, 1.0, 3))
+            .unwrap();
         assert_eq!(sweep.crossing(b, 5.0), None);
     }
 }

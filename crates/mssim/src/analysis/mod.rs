@@ -1,21 +1,35 @@
-//! Circuit analyses: DC operating point and transient.
+//! Circuit analyses: DC operating point, DC sweep, AC, noise, transient.
 //!
 //! The analyses share the modified-nodal-analysis assembly and damped
-//! Newton–Raphson kernel (crate-private `mna` module). The public entry
-//! points are [`dc_operating_point`], [`dc_sweep`], [`Transient::run`],
-//! [`ac_analysis`] and [`noise_analysis`].
+//! Newton–Raphson kernel (crate-private `mna` module). They are run
+//! through [`Session`](crate::Session), the unified entry point that owns
+//! lint pre-flight, plan compilation and observer registration; the free
+//! functions ([`dc_operating_point`], [`dc_sweep`], [`ac_analysis`],
+//! [`noise_analysis`]) and [`Transient::run`] are deprecated thin wrappers
+//! over it. Every result type implements the common [`Solution`] probing
+//! trait.
 
 pub(crate) mod mna;
 pub(crate) mod plan;
 
 pub(crate) mod ac;
-mod dcop;
-mod dcsweep;
-mod noise;
-mod transient;
+pub(crate) mod dcop;
+pub(crate) mod dcsweep;
+pub(crate) mod noise;
+mod solution;
+pub(crate) mod transient;
 
-pub use ac::{ac_analysis, AcResult};
-pub use dcop::{dc_operating_point, dc_operating_point_reference, DcSolution};
-pub use dcsweep::{dc_sweep, dc_sweep_reference, DcSweepResult};
-pub use noise::{noise_analysis, NoiseResult};
+#[allow(deprecated)]
+pub use ac::ac_analysis;
+pub use ac::AcResult;
+#[allow(deprecated)]
+pub use dcop::dc_operating_point;
+pub use dcop::{dc_operating_point_reference, DcSolution};
+#[allow(deprecated)]
+pub use dcsweep::dc_sweep;
+pub use dcsweep::{dc_sweep_reference, DcSweepResult};
+#[allow(deprecated)]
+pub use noise::noise_analysis;
+pub use noise::NoiseResult;
+pub use solution::Solution;
 pub use transient::{AdaptiveConfig, IntegrationMethod, Transient, TransientResult};

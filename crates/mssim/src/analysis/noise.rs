@@ -15,12 +15,14 @@
 //! filtered thermal noise over all frequencies gives `√(kT/C)`
 //! independent of R — reproduced by this module's tests.
 
-use crate::analysis::dcop::dc_operating_point;
+use crate::analysis::dcop::dc_operating_point_impl;
 use crate::analysis::mna::MnaLayout;
+use crate::analysis::solution::Solution;
 use crate::complex::{Complex, ComplexMatrix};
 use crate::elements::Element;
 use crate::error::Error;
-use crate::netlist::{Circuit, NodeId};
+use crate::netlist::{Circuit, ElementId, NodeId};
+use crate::telemetry::{Event, Probe};
 
 /// Boltzmann constant × nominal temperature (300 K), in joules.
 const KT: f64 = 1.380649e-23 * 300.0;
@@ -33,6 +35,8 @@ pub struct NoiseResult {
     frequencies: Vec<f64>,
     /// Output noise voltage density per frequency, V/√Hz.
     density: Vec<f64>,
+    /// The node the analysis was referred to.
+    output: NodeId,
 }
 
 impl NoiseResult {
@@ -65,6 +69,33 @@ impl NoiseResult {
     }
 }
 
+impl Solution for NoiseResult {
+    /// Output noise voltage density across the sweep, V/√Hz.
+    type Voltage = Vec<f64>;
+    /// Noise analysis keeps no branch currents; always an error.
+    type Current = Vec<f64>;
+
+    /// The noise density, available only at the analysed output node.
+    fn voltage(&self, node: NodeId) -> Result<Vec<f64>, Error> {
+        if node == self.output {
+            Ok(self.density.clone())
+        } else {
+            Err(Error::UnknownProbe {
+                what: format!(
+                    "noise density of {node} (analysis referred to {})",
+                    self.output
+                ),
+            })
+        }
+    }
+
+    fn branch_current(&self, element: ElementId) -> Result<Vec<f64>, Error> {
+        Err(Error::UnknownProbe {
+            what: format!("branch current of {element} in a noise analysis"),
+        })
+    }
+}
+
 /// Computes the output-referred noise density at `output` across
 /// `frequencies`. All independent sources are AC-nulled (the circuit's
 /// own devices are the only noise sources).
@@ -76,14 +107,29 @@ impl NoiseResult {
 /// # Panics
 ///
 /// Panics if `output` is the ground node.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::new(&circuit).noise(output, frequencies)` instead"
+)]
 pub fn noise_analysis(
     circuit: &Circuit,
     output: NodeId,
     frequencies: &[f64],
 ) -> Result<NoiseResult, Error> {
+    crate::session::Session::new(circuit).noise(output, frequencies)
+}
+
+pub(crate) fn noise_analysis_impl(
+    circuit: &Circuit,
+    output: NodeId,
+    frequencies: &[f64],
+    reference: bool,
+    mut probe: Probe<'_>,
+) -> Result<NoiseResult, Error> {
     assert!(!output.is_ground(), "noise at ground is identically zero");
     crate::lint::preflight(circuit, "noise", crate::lint::LintContext::Dc)?;
-    let op = dc_operating_point(circuit)?;
+    probe.emit(Event::AnalysisStart { analysis: "noise" });
+    let op = dc_operating_point_impl(circuit, reference, probe.reborrow())?;
     let layout = MnaLayout::new(circuit);
     let n = layout.size();
 
@@ -142,15 +188,18 @@ pub fn noise_analysis(
         density.push(psd.sqrt());
     }
 
+    probe.emit(Event::AnalysisEnd { analysis: "noise" });
     Ok(NoiseResult {
         frequencies: frequencies.to_vec(),
         density,
+        output,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use crate::sweep::logspace;
     use crate::waveform::Waveform;
 
@@ -169,7 +218,7 @@ mod tests {
             // Band: 4 decades below fc to 4 above captures ~all power.
             let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
             let freqs = logspace(fc / 1e4, fc * 1e4, 400);
-            let result = noise_analysis(&ckt, out, &freqs).unwrap();
+            let result = Session::new(&ckt).noise(out, &freqs).unwrap();
             let expect = (KT / c).sqrt(); // ≈ 64.4 µV at 300 K, 1 pF
             let got = result.integrated_rms();
             assert!(
@@ -189,7 +238,7 @@ mod tests {
         ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(0.0));
         ckt.resistor("R1", vin, out, r);
         ckt.capacitor("C1", out, Circuit::GND, 1e-12);
-        let result = noise_analysis(&ckt, out, &[1.0]).unwrap();
+        let result = Session::new(&ckt).noise(out, &[1.0]).unwrap();
         let expect = (4.0 * KT * r).sqrt(); // ≈ 12.9 nV/√Hz for 10 kΩ
         let got = result.density()[0];
         assert!(
@@ -207,7 +256,7 @@ mod tests {
             let out = ckt.node("out");
             build(&mut ckt, out);
             ckt.capacitor("C1", out, Circuit::GND, 1e-12);
-            noise_analysis(&ckt, out, &[1e3]).unwrap().density()[0]
+            Session::new(&ckt).noise(out, &[1e3]).unwrap().density()[0]
         };
         let two = run(&|ckt, out| {
             ckt.resistor("R1", out, Circuit::GND, 2e3);
@@ -241,7 +290,7 @@ mod tests {
                 ckt.resistor("Rbig", out, Circuit::GND, 50e6);
             }
             ckt.capacitor("CL", out, Circuit::GND, 1e-12);
-            noise_analysis(&ckt, out, &[1e3]).unwrap().density()[0]
+            Session::new(&ckt).noise(out, &[1e3]).unwrap().density()[0]
         };
         let with_fet = build(true);
         let without = build(false);

@@ -769,6 +769,11 @@ pub(crate) struct PlanSolver {
     prev_dyn_rhs_gen: u64,
     prev_sol: Vec<f64>,
     stats: SolverStats,
+    /// Maximum node-voltage update of the most recent Newton iteration —
+    /// a residual proxy published through telemetry. Stored
+    /// unconditionally (one f64 write per iteration, already computed for
+    /// damping) so attaching an observer cannot change solver behaviour.
+    last_max_dv: f64,
 }
 
 /// Exact bit-pattern equality of two float slices (length included).
@@ -851,12 +856,18 @@ impl PlanSolver {
             prev_dyn_rhs_gen: 0,
             prev_sol: vec![0.0; n],
             stats: SolverStats::default(),
+            last_max_dv: 0.0,
         }
     }
 
     /// Work counters accumulated since construction.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Maximum node-voltage update of the most recent Newton iteration.
+    pub fn last_max_dv(&self) -> f64 {
+        self.last_max_dv
     }
 
     /// Rebuilds the cached base matrix if any input it depends on changed
@@ -1287,6 +1298,7 @@ impl PlanSolver {
             for (r, w) in work.iter().enumerate().take(node_rows) {
                 max_dv = max_dv.max((w - x[r]).abs());
             }
+            self.last_max_dv = max_dv;
             let damp = if damp_enabled && max_dv > opts.max_step_v {
                 opts.max_step_v / max_dv
             } else {
@@ -1368,6 +1380,21 @@ impl SolverEngine {
     pub fn stats(&self) -> Option<SolverStats> {
         match self {
             SolverEngine::Plan(p) => Some(p.stats()),
+            SolverEngine::Reference { .. } => None,
+        }
+    }
+
+    /// Public counter snapshot for telemetry; `None` on the reference
+    /// path, which keeps no counters.
+    pub fn counters(&self) -> Option<crate::telemetry::SolverCounters> {
+        self.stats().map(crate::telemetry::SolverCounters::from)
+    }
+
+    /// Maximum node-voltage update of the most recent Newton iteration;
+    /// `None` on the reference path.
+    pub fn last_max_dv(&self) -> Option<f64> {
+        match self {
+            SolverEngine::Plan(p) => Some(p.last_max_dv()),
             SolverEngine::Reference { .. } => None,
         }
     }

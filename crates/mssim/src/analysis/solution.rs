@@ -1,0 +1,54 @@
+//! The common probing surface shared by every analysis result.
+//!
+//! Each of the five analyses returns its own result type with accessors
+//! shaped to the analysis (a scalar voltage at a DC operating point, a
+//! waveform over time for a transient, a phasor per frequency for AC).
+//! [`Solution`] overlays a uniform, fallible vocabulary on top: every
+//! result answers `voltage(node)` and `branch_current(element)` with a
+//! `Result`, so generic post-processing (report generators, probing
+//! helpers, assertion harnesses) can treat the results alike without
+//! matching on the concrete type.
+//!
+//! The associated types keep each analysis honest about its payload:
+//!
+//! | result              | `Voltage`        | `Current`        |
+//! |---------------------|------------------|------------------|
+//! | `DcSolution`        | `f64`            | `f64`            |
+//! | `DcSweepResult`     | `Vec<f64>`       | `Vec<f64>`       |
+//! | `AcResult`          | `Vec<Complex>`   | `Vec<Complex>`   |
+//! | `NoiseResult`       | `Vec<f64>`       | `Vec<f64>`       |
+//! | `TransientResult`   | `TraceData`      | `TraceData`      |
+
+use crate::error::Error;
+use crate::netlist::{ElementId, NodeId};
+
+/// Uniform, fallible probing of an analysis result.
+///
+/// Implemented by all five analysis result types. Unlike the inherent
+/// accessors (which panic on out-of-range nodes, matching long-standing
+/// behaviour), these methods return [`Error::UnknownProbe`] for any probe
+/// the result cannot answer — an unknown node, an element that carries no
+/// branch current, or a quantity the analysis never computed.
+pub trait Solution {
+    /// Payload of a voltage probe (scalar, per-sweep-point vector, or
+    /// waveform, depending on the analysis).
+    type Voltage;
+    /// Payload of a branch-current probe.
+    type Current;
+
+    /// The solved voltage quantity at `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownProbe`] if the node does not belong to the
+    /// analysed circuit or the analysis holds no voltage for it.
+    fn voltage(&self, node: NodeId) -> Result<Self::Voltage, Error>;
+
+    /// The solved branch current through `element`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownProbe`] if the element carries no branch
+    /// current (resistor, capacitor, ...) or the analysis holds none.
+    fn branch_current(&self, element: ElementId) -> Result<Self::Current, Error>;
+}

@@ -5,12 +5,14 @@
 //! resulting nonlinear system is solved by damped Newton–Raphson at every
 //! time point, warm-started from the previous solution.
 
-use crate::analysis::dcop::{dc_operating_point, dc_operating_point_reference};
+use crate::analysis::dcop::dc_operating_point_impl;
 use crate::analysis::mna::{CapCompanion, IndCompanion, MnaLayout, NewtonOpts, SolveContext};
 use crate::analysis::plan::{PlanMode, SolverEngine};
+use crate::analysis::solution::Solution;
 use crate::elements::Element;
 use crate::error::Error;
 use crate::netlist::{Circuit, ElementId, NodeId};
+use crate::telemetry::{Event, Probe};
 use crate::trace::{Trace, TraceData};
 
 /// Numerical integration scheme for reactive elements.
@@ -38,7 +40,7 @@ pub enum IntegrationMethod {
 /// ckt.vsource("V1", inp, Circuit::GND, Waveform::pwm(2.5, 1e6, 0.25));
 /// ckt.resistor("R1", inp, out, 10e3);
 /// ckt.capacitor("C1", out, Circuit::GND, 1e-9);
-/// let result = Transient::new(2e-9, 100e-6).use_initial_conditions().run(&ckt)?;
+/// let result = Session::new(&ckt).transient(&Transient::new(2e-9, 100e-6).use_initial_conditions())?;
 /// let avg = result.voltage(out).steady_state_average(1e-6, 10);
 /// assert!((avg - 2.5 * 0.25).abs() < 0.05); // PWM average = Vdd · duty
 /// # Ok(())
@@ -164,13 +166,32 @@ impl Transient {
     /// [`crate::lint`]), [`Error::NonConvergence`] if Newton iteration
     /// fails at some time point, and [`Error::SingularMatrix`] for
     /// under-determined systems.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::new(&circuit).transient(&tran)` instead"
+    )]
     pub fn run(&self, circuit: &Circuit) -> Result<TransientResult, Error> {
+        crate::session::Session::new(circuit).transient(self)
+    }
+
+    /// The analysis proper, with the solver flavour and instrumentation
+    /// handle supplied by [`Session`](crate::Session).
+    pub(crate) fn run_with(
+        &self,
+        circuit: &Circuit,
+        reference: bool,
+        mut probe: Probe<'_>,
+    ) -> Result<TransientResult, Error> {
+        let reference = reference || self.reference;
         let ctx = if self.uic {
             crate::lint::LintContext::TransientUic
         } else {
             crate::lint::LintContext::Dc
         };
         crate::lint::preflight(circuit, "transient", ctx)?;
+        probe.emit(Event::AnalysisStart {
+            analysis: "transient",
+        });
         let layout = MnaLayout::new(circuit);
         let n = layout.size();
         let node_rows = layout.n_nodes - 1;
@@ -251,11 +272,7 @@ impl Transient {
                 x[layout.branch_row(l.branch)] = l.ic;
             }
         } else {
-            let op = if self.reference {
-                dc_operating_point_reference(circuit)?
-            } else {
-                dc_operating_point(circuit)?
-            };
+            let op = dc_operating_point_impl(circuit, reference, probe.reborrow())?;
             x.copy_from_slice(op.raw());
             v_prev = caps
                 .iter()
@@ -273,7 +290,7 @@ impl Transient {
             max_iter: self.max_iter,
             ..NewtonOpts::default()
         };
-        let mut engine = SolverEngine::new(circuit, &layout, PlanMode::Tran, self.reference);
+        let mut engine = SolverEngine::new(circuit, &layout, PlanMode::Tran, reference);
         let mut companions = vec![CapCompanion::default(); caps.len()];
         let mut ind_companions = vec![IndCompanion::default(); inds.len()];
 
@@ -302,6 +319,7 @@ impl Transient {
         let mut take_step = |t_new: f64,
                              h: f64,
                              be: bool,
+                             probe: &mut Probe<'_>,
                              x: &mut Vec<f64>,
                              v_prev: &mut [f64],
                              i_prev: &mut [f64],
@@ -335,7 +353,7 @@ impl Transient {
                 inds: Some(&ind_companions),
                 gshunt: 0.0,
             };
-            engine.solve(circuit, &layout, x, ctx, &opts, "transient")?;
+            probe.solve(&mut engine, circuit, &layout, x, ctx, &opts, "transient")?;
             for (k, c) in caps.iter().enumerate() {
                 let v_new = v_of(x, c.a) - v_of(x, c.b);
                 i_prev[k] = companions[k].geq * v_new - companions[k].ieq;
@@ -385,6 +403,11 @@ impl Transient {
                 if let Some(bp) = next_bp(t_now) {
                     if bp < t_now + h_try {
                         h_try = (bp - t_now).max(min_dt * 1e-3);
+                        probe.emit(Event::EdgeSnap {
+                            time: t_now,
+                            dt: h_try,
+                            breakpoint: bp,
+                        });
                     }
                 }
                 // Save state for possible rejection.
@@ -400,6 +423,7 @@ impl Transient {
                     t_new,
                     h_try,
                     be,
+                    &mut probe,
                     &mut x,
                     &mut v_prev,
                     &mut i_prev,
@@ -422,6 +446,11 @@ impl Transient {
 
                 if !first && err > cfg.tolerance && h_try > min_dt {
                     // Reject: restore and halve.
+                    probe.emit(Event::StepRejected {
+                        time: t_new,
+                        dt: h_try,
+                        lte: err,
+                    });
                     x = x_save;
                     v_prev = vp_save;
                     i_prev = ip_save;
@@ -432,6 +461,11 @@ impl Transient {
                 }
 
                 // Accept.
+                probe.emit(Event::StepAccepted {
+                    time: t_new,
+                    dt: h_try,
+                    lte: err,
+                });
                 x_prev = x_save;
                 h_last = h_try;
                 t_now = t_new;
@@ -452,18 +486,28 @@ impl Transient {
                     t,
                     self.dt,
                     be,
+                    &mut probe,
                     &mut x,
                     &mut v_prev,
                     &mut i_prev,
                     &mut il_prev,
                     &mut vl_prev,
                 )?;
+                probe.emit(Event::StepAccepted {
+                    time: t,
+                    dt: self.dt,
+                    lte: 0.0,
+                });
                 if step % self.record_every == 0 || step == steps {
                     record(t, &x, &mut times, &mut signals);
                 }
             }
         }
 
+        probe.report(&engine, "transient");
+        probe.emit(Event::AnalysisEnd {
+            analysis: "transient",
+        });
         let ground = vec![0.0; times.len()];
         Ok(TransientResult {
             times,
@@ -595,10 +639,39 @@ impl TransientResult {
     }
 }
 
+impl Solution for TransientResult {
+    /// Node voltage waveform over the recorded samples.
+    type Voltage = TraceData;
+    /// Branch current waveform over the recorded samples.
+    type Current = TraceData;
+
+    fn voltage(&self, node: NodeId) -> Result<TraceData, Error> {
+        let i = node.index();
+        if i >= self.n_nodes {
+            return Err(Error::UnknownProbe {
+                what: format!("voltage of {node}"),
+            });
+        }
+        let values = if i == 0 {
+            self.ground.clone()
+        } else {
+            self.signals[i - 1].clone()
+        };
+        Ok(TraceData::new(self.times.clone(), values))
+    }
+
+    fn branch_current(&self, element: ElementId) -> Result<TraceData, Error> {
+        let trace = TransientResult::branch_current(self, element)?;
+        let values = trace.values().to_vec();
+        Ok(TraceData::new(self.times.clone(), values))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::elements::MosParams;
+    use crate::session::Session;
     use crate::waveform::Waveform;
 
     /// RC step response: v(t) = V·(1 − e^(−t/τ)).
@@ -610,9 +683,8 @@ mod tests {
         ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
         ckt.resistor("R1", vin, out, 1e3);
         ckt.capacitor("C1", out, Circuit::GND, 1e-6);
-        let result = Transient::new(1e-6, 5e-3)
-            .use_initial_conditions()
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(1e-6, 5e-3).use_initial_conditions())
             .unwrap();
         let v = result.voltage(out);
         let tau = 1e-3;
@@ -641,16 +713,20 @@ mod tests {
         let expect = 1.0 - (-1.0f64).exp(); // at t = tau
         let (ckt, out) = build();
         // Deliberately coarse step to expose truncation error.
-        let be = Transient::new(50e-6, 1e-3)
-            .use_initial_conditions()
-            .with_method(IntegrationMethod::BackwardEuler)
-            .run(&ckt)
+        let be = Session::new(&ckt)
+            .transient(
+                &Transient::new(50e-6, 1e-3)
+                    .use_initial_conditions()
+                    .with_method(IntegrationMethod::BackwardEuler),
+            )
             .unwrap();
         let (ckt2, out2) = build();
-        let tr = Transient::new(50e-6, 1e-3)
-            .use_initial_conditions()
-            .with_method(IntegrationMethod::Trapezoidal)
-            .run(&ckt2)
+        let tr = Session::new(&ckt2)
+            .transient(
+                &Transient::new(50e-6, 1e-3)
+                    .use_initial_conditions()
+                    .with_method(IntegrationMethod::Trapezoidal),
+            )
             .unwrap();
         let err_be = (be.voltage(out).value_at(tau) - expect).abs();
         let err_tr = (tr.voltage(out2).value_at(tau) - expect).abs();
@@ -666,9 +742,8 @@ mod tests {
         let out = ckt.node("out");
         ckt.resistor("R1", out, Circuit::GND, 1e3);
         ckt.capacitor_with_ic("C1", out, Circuit::GND, 1e-6, 2.0);
-        let result = Transient::new(1e-6, 1e-3)
-            .use_initial_conditions()
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(1e-6, 1e-3).use_initial_conditions())
             .unwrap();
         let v = result.voltage(out);
         // Discharges from 2 V: v(τ) = 2/e.
@@ -686,7 +761,9 @@ mod tests {
         ckt.resistor("R1", a, b, 1e3);
         ckt.resistor("R2", b, Circuit::GND, 1e3);
         ckt.capacitor("C1", b, Circuit::GND, 1e-9);
-        let result = Transient::new(1e-9, 100e-9).run(&ckt).unwrap();
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(1e-9, 100e-9))
+            .unwrap();
         let v = result.voltage(b);
         // Already at equilibrium: stays at 1 V throughout.
         assert!((v.value_at(0.0) - 1.0).abs() < 1e-6);
@@ -701,10 +778,12 @@ mod tests {
         ckt.vsource("V1", vin, Circuit::GND, Waveform::pwm(2.0, 1e6, 0.3));
         ckt.resistor("R1", vin, out, 10e3);
         ckt.capacitor("C1", out, Circuit::GND, 1e-9);
-        let result = Transient::new(2e-9, 100e-6)
-            .use_initial_conditions()
-            .record_every(5)
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(
+                &Transient::new(2e-9, 100e-6)
+                    .use_initial_conditions()
+                    .record_every(5),
+            )
             .unwrap();
         let avg = result.voltage(out).steady_state_average(1e-6, 10);
         assert!((avg - 0.6).abs() < 0.02, "avg = {avg}");
@@ -720,9 +799,8 @@ mod tests {
         let v1 = ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(2.0));
         ckt.resistor("R1", vin, out, 1e3);
         ckt.capacitor("C1", out, Circuit::GND, 1e-6);
-        let result = Transient::new(2e-6, 10e-3)
-            .use_initial_conditions()
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(2e-6, 10e-3).use_initial_conditions())
             .unwrap();
         let p = result.source_power(v1).unwrap();
         let e = p.as_trace().integrate_between(0.0, 10e-3);
@@ -750,9 +828,8 @@ mod tests {
             MosParams::nmos(320e-9, 1.2e-6),
         );
         ckt.capacitor("CL", out, Circuit::GND, 10e-15);
-        let result = Transient::new(2e-9, 3e-6)
-            .use_initial_conditions()
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(2e-9, 3e-6).use_initial_conditions())
             .unwrap();
         let v_in = result.voltage(vin);
         let v_out = result.voltage(out);
@@ -771,10 +848,11 @@ mod tests {
         let a = ckt.node("a");
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
         ckt.resistor("R1", a, Circuit::GND, 1e3);
-        let fine = Transient::new(1e-9, 1e-6).run(&ckt).unwrap();
-        let coarse = Transient::new(1e-9, 1e-6)
-            .record_every(10)
-            .run(&ckt)
+        let fine = Session::new(&ckt)
+            .transient(&Transient::new(1e-9, 1e-6))
+            .unwrap();
+        let coarse = Session::new(&ckt)
+            .transient(&Transient::new(1e-9, 1e-6).record_every(10))
             .unwrap();
         assert!(coarse.samples() < fine.samples() / 5);
         // Final point always recorded.
@@ -787,7 +865,9 @@ mod tests {
         let a = ckt.node("a");
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
         let r = ckt.resistor("R1", a, Circuit::GND, 1e3);
-        let result = Transient::new(1e-9, 10e-9).run(&ckt).unwrap();
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(1e-9, 10e-9))
+            .unwrap();
         assert!(result.branch_current(r).is_err());
         assert!(result.source_power(r).is_err());
     }
@@ -800,7 +880,9 @@ mod tests {
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
         ckt.resistor("R1", a, b, 1e3);
         ckt.resistor("R2", b, Circuit::GND, 2e3);
-        let result = Transient::new(1e-9, 10e-9).run(&ckt).unwrap();
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(1e-9, 10e-9))
+            .unwrap();
         let vab = result.voltage_between(a, b);
         assert!((vab.as_trace().last_value() - 1.0).abs() < 1e-9);
     }
@@ -826,10 +908,12 @@ mod tests {
         };
         let tau = 1e-3;
         let (ckt, out) = build();
-        let result = Transient::new(tau / 2.0, 10.0 * tau) // max step τ/2
-            .use_initial_conditions()
-            .adaptive(AdaptiveConfig::default())
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(
+                &Transient::new(tau / 2.0, 10.0 * tau) // max step τ/2
+                    .use_initial_conditions()
+                    .adaptive(AdaptiveConfig::default()),
+            )
             .unwrap();
         let v = result.voltage(out);
         for &t in &[0.5 * tau, tau, 3.0 * tau] {
@@ -881,10 +965,12 @@ mod tests {
         );
         ckt.resistor("R1", vin, out, 1e3);
         ckt.capacitor("C1", out, Circuit::GND, 1e-10); // τ = 100 ns
-        let result = Transient::new(20e-6, 200e-6) // max step ≫ pulse width
-            .use_initial_conditions()
-            .adaptive(AdaptiveConfig::default())
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(
+                &Transient::new(20e-6, 200e-6) // max step ≫ pulse width
+                    .use_initial_conditions()
+                    .adaptive(AdaptiveConfig::default()),
+            )
             .unwrap();
         let v = result.voltage(out);
         // The capacitor must have charged during the pulse.
@@ -906,10 +992,12 @@ mod tests {
             (ckt, out)
         };
         let (ckt, out) = build();
-        let adaptive = Transient::new(0.5e-6, 100e-6)
-            .use_initial_conditions()
-            .adaptive(AdaptiveConfig::default())
-            .run(&ckt)
+        let adaptive = Session::new(&ckt)
+            .transient(
+                &Transient::new(0.5e-6, 100e-6)
+                    .use_initial_conditions()
+                    .adaptive(AdaptiveConfig::default()),
+            )
             .unwrap();
         let avg = adaptive.voltage(out).steady_state_average(1e-6, 10);
         assert!((avg - 0.6).abs() < 0.03, "avg = {avg}");
@@ -924,9 +1012,8 @@ mod tests {
         ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
         ckt.resistor("R1", vin, mid, 100.0);
         let l1 = ckt.inductor("L1", mid, Circuit::GND, 1e-3); // τ = 10 µs
-        let result = Transient::new(20e-9, 50e-6)
-            .use_initial_conditions()
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(20e-9, 50e-6).use_initial_conditions())
             .unwrap();
         let i = result.branch_current(l1).unwrap();
         let tau = 1e-3 / 100.0;
@@ -953,7 +1040,9 @@ mod tests {
         ckt.resistor("R1", vin, mid, 1e3);
         let l1 = ckt.inductor("L1", mid, Circuit::GND, 1e-3);
         // No UIC: start from the DC OP, where i(L) = 2 mA already.
-        let result = Transient::new(1e-7, 1e-5).run(&ckt).unwrap();
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(1e-7, 1e-5))
+            .unwrap();
         let i = result.branch_current(l1).unwrap();
         assert!((i.value_at(0.0) - 2e-3).abs() < 1e-8);
         assert!((i.last_value() - 2e-3).abs() < 1e-8, "steady state holds");
@@ -976,9 +1065,8 @@ mod tests {
         ckt.capacitor("C1", out, Circuit::GND, c);
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt()); // ≈ 5 MHz
         let period = 1.0 / f0;
-        let result = Transient::new(period / 400.0, 6.0 * period)
-            .use_initial_conditions()
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(period / 400.0, 6.0 * period).use_initial_conditions())
             .unwrap();
         let v = result.voltage(out);
         // Underdamped: overshoot beyond the final value.

@@ -9,10 +9,14 @@
 //!   sources, voltage-controlled switches, diodes and level-1 MOSFETs,
 //! * time-domain [`Waveform`]s (DC, pulse/PWM, piecewise-linear, sine),
 //! * modified nodal analysis (MNA) with a dense partial-pivoting LU solver,
-//! * Newton–Raphson DC operating-point analysis with gmin and source
-//!   stepping ([`analysis::dc_operating_point`]),
-//! * fixed-step trapezoidal / backward-Euler transient analysis
-//!   ([`analysis::Transient`]),
+//! * a unified [`Session`] entry point running every analysis — DC
+//!   operating point (Newton–Raphson with gmin and source stepping), DC
+//!   sweep, AC, noise and fixed-step trapezoidal / backward-Euler
+//!   transient ([`analysis::Transient`]) — with shared lint pre-flight
+//!   and observer registration,
+//! * structured instrumentation ([`telemetry`]): counters, histograms and
+//!   typed events from the homotopy, Newton and stepping loops, at zero
+//!   cost when no observer is attached,
 //! * waveform post-processing ([`trace::Trace`]: averages, ripple, RMS,
 //!   settling detection),
 //! * parallel parameter sweeps and Monte-Carlo drivers ([`sweep`]),
@@ -42,7 +46,7 @@
 //! ckt.capacitor("C1", out, Circuit::GND, 1e-6);
 //!
 //! let tran = Transient::new(1e-5, 10e-3).use_initial_conditions();
-//! let result = tran.run(&ckt)?;
+//! let result = Session::new(&ckt).transient(&tran)?;
 //! let v_end = result.voltage(out).last_value();
 //! assert!((v_end - 1.0).abs() < 1e-3); // fully charged after 10 tau
 //! # Ok(())
@@ -60,7 +64,9 @@ pub mod export;
 pub mod linear;
 pub mod lint;
 pub mod netlist;
+pub mod session;
 pub mod sweep;
+pub mod telemetry;
 pub mod trace;
 pub mod units;
 pub mod verify;
@@ -68,19 +74,22 @@ pub mod waveform;
 
 pub use error::Error;
 pub use netlist::{Circuit, ElementId, NodeId};
+pub use session::Session;
 pub use verify::{verify_circuit, PlanCode, PlanViolation, VerifyReport};
 pub use waveform::Waveform;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::analysis::{
-        ac_analysis, dc_operating_point, dc_sweep, AcResult, AdaptiveConfig, DcSweepResult,
-        IntegrationMethod, Transient, TransientResult,
+        AcResult, AdaptiveConfig, DcSolution, DcSweepResult, IntegrationMethod, NoiseResult,
+        Solution, Transient, TransientResult,
     };
     pub use crate::elements::{MosParams, MosPolarity};
     pub use crate::error::Error;
     pub use crate::lint::{lint, LintCode, LintConfig, LintReport, Severity};
     pub use crate::netlist::{Circuit, ElementId, NodeId};
+    pub use crate::session::Session;
+    pub use crate::telemetry::{JsonlWriter, MemoryRecorder, Observer, Summary, Tee};
     pub use crate::trace::Trace;
     pub use crate::units::*;
     pub use crate::verify::{verify_circuit, PlanCode, PlanViolation, VerifyReport};

@@ -1,0 +1,255 @@
+//! The unified entry point for running analyses.
+//!
+//! [`Session`] borrows a circuit once and exposes every analysis the
+//! simulator knows — DC operating point, DC sweep, AC, noise and
+//! transient — behind one builder. It owns the cross-cutting concerns the
+//! free functions used to duplicate: lint pre-flight, stamp-plan
+//! compilation, solver-flavour selection and observer registration
+//! ([`Session::observe`]), so instrumentation configured once applies to
+//! every analysis run through the session.
+//!
+//! ```
+//! use mssim::prelude::*;
+//!
+//! # fn main() -> Result<(), mssim::Error> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0));
+//! ckt.resistor("R1", vin, out, 1e3);
+//! ckt.capacitor("C1", out, Circuit::GND, 1e-6);
+//!
+//! let mut session = Session::new(&ckt);
+//! let op = session.dc_operating_point()?;
+//! assert!((op.voltage(out) - 1.0).abs() < 1e-9);
+//! let tran = Transient::new(1e-5, 10e-3).use_initial_conditions();
+//! let result = session.transient(&tran)?;
+//! assert!((result.voltage(out).last_value() - 1.0).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::analysis::ac::{ac_analysis_impl, AcResult};
+use crate::analysis::dcop::{dc_operating_point_impl, DcSolution};
+use crate::analysis::dcsweep::{dc_sweep_impl, DcSweepResult};
+use crate::analysis::noise::{noise_analysis_impl, NoiseResult};
+use crate::analysis::{Transient, TransientResult};
+use crate::error::Error;
+use crate::netlist::{Circuit, ElementId, NodeId};
+use crate::telemetry::{Observer, Probe};
+use crate::verify::{verify_circuit, VerifyReport};
+
+/// One circuit, every analysis: the unified analysis entry point.
+///
+/// A session borrows the circuit for `'c` and optionally an observer for
+/// `'o`; each analysis method lints the netlist, compiles the solver for
+/// the analysis, threads the observer through every instrumentation
+/// point and returns the analysis result. The session is reusable — run
+/// as many analyses through it as needed; each gets a fresh solver.
+///
+/// See the [crate-level quickstart](crate) and
+/// [`telemetry`](crate::telemetry) for observer examples.
+pub struct Session<'c, 'o> {
+    circuit: &'c Circuit,
+    observer: Option<&'o mut dyn Observer>,
+    reference: bool,
+}
+
+impl<'c, 'o> Session<'c, 'o> {
+    /// Starts a session on `circuit`.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Session {
+            circuit,
+            observer: None,
+            reference: false,
+        }
+    }
+
+    /// Attaches an [`Observer`] receiving counters, histograms and typed
+    /// events from every analysis run through this session. With no
+    /// observer attached instrumentation costs a single branch per Newton
+    /// solve.
+    pub fn observe(mut self, observer: &'o mut dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Runs every analysis on the naive per-iteration assembler instead
+    /// of the compiled stamp plan. Kept for golden-equivalence tests and
+    /// as the benchmark baseline; not part of the supported API.
+    #[doc(hidden)]
+    pub fn with_reference_solver(mut self, on: bool) -> Self {
+        self.reference = on;
+        self
+    }
+
+    fn probe(&mut self) -> Probe<'_> {
+        // Through the `&mut T: Observer` blanket impl: the trait-object
+        // lifetime behind `&mut` is invariant and cannot shrink directly.
+        match &mut self.observer {
+            Some(o) => Probe::new(Some(o)),
+            None => Probe::none(),
+        }
+    }
+
+    /// Computes the DC operating point (capacitors open, inductors
+    /// shorted), falling back to gmin and source stepping for circuits
+    /// that refuse to converge from a cold start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LintRejected`] for structurally broken netlists,
+    /// [`Error::SingularMatrix`] for under-determined ones, and
+    /// [`Error::NonConvergence`] if every continuation strategy fails.
+    pub fn dc_operating_point(&mut self) -> Result<DcSolution, Error> {
+        let reference = self.reference;
+        dc_operating_point_impl(self.circuit, reference, self.probe())
+    }
+
+    /// Sweeps the DC value of `source` through `values`, solving the
+    /// operating point at each step. The session's circuit is unchanged;
+    /// the sweep mutates an internal copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `source` is not a voltage
+    /// source, and propagates operating-point errors.
+    pub fn dc_sweep(&mut self, source: ElementId, values: &[f64]) -> Result<DcSweepResult, Error> {
+        let reference = self.reference;
+        let circuit = self.circuit.clone();
+        dc_sweep_impl(circuit, source, values, reference, self.probe())
+    }
+
+    /// Small-signal AC analysis: linearises every nonlinear device around
+    /// the DC operating point and sweeps `frequencies` with a unit
+    /// stimulus at `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `source` is not a voltage
+    /// source, and propagates operating-point and solver errors.
+    pub fn ac(&mut self, source: ElementId, frequencies: &[f64]) -> Result<AcResult, Error> {
+        let reference = self.reference;
+        ac_analysis_impl(self.circuit, source, frequencies, reference, self.probe())
+    }
+
+    /// Output-referred noise density at `output` across `frequencies`,
+    /// summing every device's noise shaped by its transfer function to
+    /// the output (adjoint method).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-operating-point and solver errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is the ground node.
+    pub fn noise(&mut self, output: NodeId, frequencies: &[f64]) -> Result<NoiseResult, Error> {
+        let reference = self.reference;
+        noise_analysis_impl(self.circuit, output, frequencies, reference, self.probe())
+    }
+
+    /// Runs the configured transient analysis `tran` on the session's
+    /// circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LintRejected`] for broken netlists (see
+    /// [`crate::lint`]), [`Error::NonConvergence`] if Newton iteration
+    /// fails at some time point, and [`Error::SingularMatrix`] for
+    /// under-determined systems.
+    pub fn transient(&mut self, tran: &Transient) -> Result<TransientResult, Error> {
+        let reference = self.reference;
+        tran.run_with(self.circuit, reference, self.probe())
+    }
+
+    /// Statically verifies the session's circuit: full lint report plus
+    /// the stamp-plan soundness proof, without running any solve. See
+    /// [`verify_circuit`].
+    pub fn verify(&self) -> VerifyReport {
+        verify_circuit(self.circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::linspace;
+    use crate::telemetry::{Event, MemoryRecorder};
+    use crate::waveform::Waveform;
+
+    fn rc_circuit() -> (Circuit, NodeId, NodeId, ElementId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let v1 = ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(2.0));
+        ckt.resistor("R1", vin, out, 1e3);
+        ckt.resistor("R2", out, Circuit::GND, 1e3);
+        (ckt, vin, out, v1)
+    }
+
+    #[test]
+    fn one_session_runs_many_analyses() {
+        let (mut ckt, _, out, v1) = rc_circuit();
+        ckt.capacitor("C1", out, Circuit::GND, 1e-9);
+        let mut session = Session::new(&ckt);
+        let op = session.dc_operating_point().unwrap();
+        assert!((op.voltage(out) - 1.0).abs() < 1e-9);
+        let sweep = session.dc_sweep(v1, &linspace(0.0, 2.0, 3)).unwrap();
+        assert_eq!(sweep.values().len(), 3);
+        let ac = session.ac(v1, &[1e3, 1e6]).unwrap();
+        assert_eq!(ac.frequencies().len(), 2);
+        let noise = session.noise(out, &[1e3]).unwrap();
+        assert_eq!(noise.density().len(), 1);
+        let tran = session.transient(&Transient::new(1e-9, 10e-9)).unwrap();
+        assert!(tran.samples() > 1);
+        assert!(session.verify().is_sound());
+    }
+
+    #[test]
+    fn observer_sees_every_analysis_in_one_session() {
+        let (mut ckt, _, out, v1) = rc_circuit();
+        ckt.capacitor("C1", out, Circuit::GND, 1e-9);
+        let mut rec = MemoryRecorder::new();
+        let mut session = Session::new(&ckt).observe(&mut rec);
+        session.dc_operating_point().unwrap();
+        session.ac(v1, &[1e3]).unwrap();
+        session.transient(&Transient::new(1e-9, 10e-9)).unwrap();
+        let starts: Vec<&'static str> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::AnalysisStart { analysis } => Some(*analysis),
+                _ => None,
+            })
+            .collect();
+        // AC and transient each nest a DC operating point.
+        assert_eq!(starts, ["dc", "ac", "dc", "transient", "dc"]);
+        assert!(rec.counter_value("newton.solves") >= 3);
+        assert!(rec.counter_value("tran.steps_accepted") == 10);
+    }
+
+    #[test]
+    fn session_without_observer_matches_observed_run() {
+        let (ckt, _, out, _) = rc_circuit();
+        let plain = Session::new(&ckt).dc_operating_point().unwrap();
+        let mut rec = MemoryRecorder::new();
+        let observed = Session::new(&ckt)
+            .observe(&mut rec)
+            .dc_operating_point()
+            .unwrap();
+        assert_eq!(plain.raw(), observed.raw());
+        assert!((plain.voltage(out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_solver_produces_equivalent_results() {
+        let (ckt, _, out, _) = rc_circuit();
+        let plan = Session::new(&ckt).dc_operating_point().unwrap();
+        let reference = Session::new(&ckt)
+            .with_reference_solver(true)
+            .dc_operating_point()
+            .unwrap();
+        assert!((plan.voltage(out) - reference.voltage(out)).abs() < 1e-12);
+    }
+}

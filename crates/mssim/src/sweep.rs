@@ -5,31 +5,21 @@
 //! mismatch Monte Carlo) over the available cores using std scoped
 //! threads. Result order always matches input order.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Runs `f` on every point, in parallel, preserving order.
-///
-/// The closure receives a reference to the point and its index. Panics in
-/// worker threads are propagated.
-///
-/// Workers pull the next unclaimed point from a shared atomic counter
-/// instead of owning a contiguous chunk, so heterogeneous workloads (a
-/// frequency sweep where the low-frequency transients run 100× longer
-/// than the high-frequency ones, say) spread across all cores instead of
-/// serialising on whichever worker drew the expensive stretch.
-///
-/// # Examples
-///
-/// ```
-/// let squares = mssim::sweep::sweep(&[1.0, 2.0, 3.0], |&x, _| x * x);
-/// assert_eq!(squares, vec![1.0, 4.0, 9.0]);
-/// ```
-pub fn sweep<P, T, F>(points: &[P], f: F) -> Vec<T>
+use crate::telemetry::{dispatch, Event, Observer};
+
+/// The work-stealing fan-out behind [`sweep`] and [`sweep_observed`]: runs
+/// `f(point, index, worker)` on every point across `threads` workers,
+/// scattering results back into input order.
+fn sweep_core<P, T, F>(points: &[P], threads: usize, f: F) -> Vec<T>
 where
     P: Sync,
     T: Send,
-    F: Fn(&P, usize) -> T + Sync,
+    F: Fn(&P, usize, usize) -> T + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -37,16 +27,15 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = available_threads().min(n);
     if threads <= 1 {
-        return points.iter().enumerate().map(|(i, p)| f(p, i)).collect();
+        return points.iter().enumerate().map(|(i, p)| f(p, i, 0)).collect();
     }
 
     let next = AtomicUsize::new(0);
     let mut partials: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for worker in 0..threads {
             let f = &f;
             let next = &next;
             handles.push(scope.spawn(move || {
@@ -56,7 +45,7 @@ where
                     if idx >= n {
                         break;
                     }
-                    local.push((idx, f(&points[idx], idx)));
+                    local.push((idx, f(&points[idx], idx, worker)));
                 }
                 local
             }));
@@ -82,6 +71,87 @@ where
         .collect()
 }
 
+/// Runs `f` on every point, in parallel, preserving order.
+///
+/// The closure receives a reference to the point and its index. Panics in
+/// worker threads are propagated.
+///
+/// Workers pull the next unclaimed point from a shared atomic counter
+/// instead of owning a contiguous chunk, so heterogeneous workloads (a
+/// frequency sweep where the low-frequency transients run 100× longer
+/// than the high-frequency ones, say) spread across all cores instead of
+/// serialising on whichever worker drew the expensive stretch.
+///
+/// # Examples
+///
+/// ```
+/// let squares = mssim::sweep::sweep(&[1.0, 2.0, 3.0], |&x, _| x * x);
+/// assert_eq!(squares, vec![1.0, 4.0, 9.0]);
+/// ```
+pub fn sweep<P, T, F>(points: &[P], f: F) -> Vec<T>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P, usize) -> T + Sync,
+{
+    let threads = available_threads().min(points.len());
+    sweep_core(points, threads, |p, i, _| f(p, i))
+}
+
+/// [`sweep`] with telemetry: emits one
+/// [`Event::SweepPoint`](crate::telemetry::Event) per point (index,
+/// wall-clock nanoseconds, executing worker) plus a `sweep.steals` counter
+/// for every point that ran on a different worker than static chunking
+/// would have assigned it — a direct measure of how much the work-stealing
+/// queue rebalanced a skewed workload.
+///
+/// Workers record timings locally; the observer is invoked serially after
+/// the join, in input order, so it needs no synchronisation.
+///
+/// # Examples
+///
+/// ```
+/// use mssim::telemetry::MemoryRecorder;
+///
+/// let mut rec = MemoryRecorder::new();
+/// let squares = mssim::sweep::sweep_observed(&[1.0, 2.0], &mut rec, |&x, _| x * x);
+/// assert_eq!(squares, vec![1.0, 4.0]);
+/// assert_eq!(rec.counter_value("sweep.points"), 2);
+/// ```
+pub fn sweep_observed<P, T, F>(points: &[P], observer: &mut dyn Observer, f: F) -> Vec<T>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P, usize) -> T + Sync,
+{
+    let n = points.len();
+    let threads = available_threads().min(n);
+    let timed = sweep_core(points, threads, |p, i, worker| {
+        let start = Instant::now();
+        let value = f(p, i);
+        (value, start.elapsed().as_nanos() as u64, worker)
+    });
+    let mut out = Vec::with_capacity(n);
+    for (index, (value, wall_ns, thread)) in timed.into_iter().enumerate() {
+        dispatch(
+            observer,
+            &Event::SweepPoint {
+                index,
+                wall_ns,
+                thread,
+            },
+        );
+        // The worker that would own this point if the range were split
+        // into contiguous equal chunks.
+        let owner = index * threads.max(1) / n;
+        if thread != owner {
+            observer.counter("sweep.steals", 1);
+        }
+        out.push(value);
+    }
+    out
+}
+
 /// Runs `trials` Monte-Carlo evaluations in parallel.
 ///
 /// Each trial gets its own deterministic RNG derived from `seed` and the
@@ -104,6 +174,26 @@ where
 {
     let indices: Vec<usize> = (0..trials).collect();
     sweep(&indices, |&i, _| {
+        let mut rng = trial_rng(seed, i);
+        f(&mut rng, i)
+    })
+}
+
+/// [`monte_carlo`] with telemetry: per-trial wall times, worker indices
+/// and steal counts, delivered exactly as by [`sweep_observed`]. Trial
+/// results are identical to [`monte_carlo`] with the same seed.
+pub fn monte_carlo_observed<T, F>(
+    trials: usize,
+    seed: u64,
+    observer: &mut dyn Observer,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut StdRng, usize) -> T + Sync,
+{
+    let indices: Vec<usize> = (0..trials).collect();
+    sweep_observed(&indices, observer, |&i, _| {
         let mut rng = trial_rng(seed, i);
         f(&mut rng, i)
     })
@@ -273,5 +363,37 @@ mod tests {
         let x: f64 = trial_rng(1, 0).gen();
         let y: f64 = trial_rng(1, 1).gen();
         assert_ne!(x, y);
+    }
+
+    #[test]
+    fn sweep_observed_matches_sweep_and_counts_every_point() {
+        use crate::telemetry::{Event, MemoryRecorder};
+        let points: Vec<u64> = (0..128).collect();
+        let plain = sweep(&points, |&p, _| p * 2);
+        let mut rec = MemoryRecorder::new();
+        let observed = sweep_observed(&points, &mut rec, |&p, _| p * 2);
+        assert_eq!(plain, observed);
+        assert_eq!(rec.counter_value("sweep.points"), 128);
+        assert_eq!(rec.histogram_values("sweep.wall_ns").len(), 128);
+        // Events arrive serially in input order.
+        let indices: Vec<usize> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SweepPoint { index, .. } => Some(*index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(indices, (0..128).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn monte_carlo_observed_is_deterministic() {
+        use crate::telemetry::MemoryRecorder;
+        let plain = monte_carlo(50, 7, |rng, _| rng.gen::<f64>());
+        let mut rec = MemoryRecorder::new();
+        let observed = monte_carlo_observed(50, 7, &mut rec, |rng, _| rng.gen::<f64>());
+        assert_eq!(plain, observed);
+        assert_eq!(rec.counter_value("sweep.points"), 50);
     }
 }

@@ -17,7 +17,7 @@ fn wheatstone_bridge_balance() {
         ckt.resistor("R2", left, Circuit::GND, 2e3);
         ckt.resistor("R3", top, right, 10e3);
         ckt.resistor("R4", right, Circuit::GND, r4);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         op.voltage(left) - op.voltage(right)
     };
     // Balance: R4 = R2·R3/R1 = 20 kΩ. Lowering R4 drops the right node
@@ -36,7 +36,7 @@ fn current_divider() {
     ckt.isource("I1", Circuit::GND, n, Waveform::dc(3e-3));
     ckt.resistor("R1", n, Circuit::GND, 1e3);
     ckt.resistor("R2", n, Circuit::GND, 2e3);
-    let op = dc_operating_point(&ckt).unwrap();
+    let op = Session::new(&ckt).dc_operating_point().unwrap();
     // Req = 2/3 kΩ → v = 2 V; i1 = 2 mA, i2 = 1 mA.
     assert!((op.voltage(n) - 2.0).abs() < 1e-9);
 }
@@ -52,9 +52,8 @@ fn halfwave_rectifier_with_smoothing() {
     ckt.diode("D1", ac, out, 1e-12, 1.0);
     ckt.capacitor("C1", out, Circuit::GND, 10e-6);
     ckt.resistor("RL", out, Circuit::GND, 10e3); // τ = 100 ms ≫ 1 ms period
-    let result = Transient::new(2e-6, 5e-3)
-        .use_initial_conditions()
-        .run(&ckt)
+    let result = Session::new(&ckt)
+        .transient(&Transient::new(2e-6, 5e-3).use_initial_conditions())
         .unwrap();
     let v = result.voltage(out);
     // After the first peak the output sits near 5 V − V_diode.
@@ -78,7 +77,9 @@ fn rc_highpass_gain_scales_with_frequency() {
     let src = ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(0.0));
     ckt.capacitor("C1", vin, out, c);
     ckt.resistor("R1", out, Circuit::GND, r);
-    let ac = ac_analysis(&ckt, src, &[fc / 100.0, fc / 10.0]).unwrap();
+    let ac = Session::new(&ckt)
+        .ac(src, &[fc / 100.0, fc / 10.0])
+        .unwrap();
     let m = ac.magnitude(out);
     // One decade in frequency → 10× gain in the stopband.
     assert!((m[1] / m[0] - 10.0).abs() < 0.2, "{m:?}");
@@ -98,7 +99,7 @@ fn maximum_power_transfer() {
         ckt.vsource("V1", src, Circuit::GND, Waveform::dc(2.0));
         ckt.resistor("Rs", src, out, 1e3);
         ckt.resistor("RL", out, Circuit::GND, r_load);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         let v = op.voltage(out);
         v * v / r_load
     };
@@ -122,9 +123,8 @@ fn lc_tank_oscillates_without_decay() {
     ckt.inductor("L1", n, Circuit::GND, l);
     ckt.capacitor_with_ic("C1", n, Circuit::GND, c, 1.0);
     let period = 1.0 / f0;
-    let result = Transient::new(period / 200.0, 20.0 * period)
-        .use_initial_conditions()
-        .run(&ckt)
+    let result = Session::new(&ckt)
+        .transient(&Transient::new(period / 200.0, 20.0 * period).use_initial_conditions())
         .unwrap();
     let v = result.voltage(n);
     // Amplitude in the last five periods still ≈ 1 V.

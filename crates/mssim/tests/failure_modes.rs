@@ -12,7 +12,7 @@ fn conflicting_sources_are_singular() {
     ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
     ckt.vsource("V2", a, Circuit::GND, Waveform::dc(2.0));
     ckt.resistor("R1", a, Circuit::GND, 1e3);
-    let err = dc_operating_point(&ckt).unwrap_err();
+    let err = Session::new(&ckt).dc_operating_point().unwrap_err();
     match &err {
         Error::LintRejected { violations, .. } => {
             assert!(
@@ -33,7 +33,7 @@ fn conflicting_sources_are_singular() {
             .allow(LintCode::VoltageSourceLoop)
             .allow(LintCode::StructurallySingular),
     );
-    let err = dc_operating_point(&ckt).unwrap_err();
+    let err = Session::new(&ckt).dc_operating_point().unwrap_err();
     assert!(
         matches!(err, Error::SingularMatrix { .. }),
         "expected singular matrix, got {err}"
@@ -50,7 +50,9 @@ fn source_loop_fails_in_transient() {
     ckt.vsource("V2", b, a, Waveform::dc(0.5));
     ckt.vsource("V3", b, Circuit::GND, Waveform::dc(2.0)); // loop closed
     ckt.resistor("RL", b, Circuit::GND, 1e3);
-    let err = Transient::new(1e-9, 10e-9).run(&ckt).unwrap_err();
+    let err = Session::new(&ckt)
+        .transient(&Transient::new(1e-9, 10e-9))
+        .unwrap_err();
     assert!(
         matches!(
             err,
@@ -76,8 +78,10 @@ fn disconnected_island_is_rejected() {
     ckt.resistor("R2", x, y, 1e3);
     ckt.capacitor("C1", y, x, 1e-12);
     for result in [
-        dc_operating_point(&ckt).map(|_| ()),
-        Transient::new(1e-9, 10e-9).run(&ckt).map(|_| ()),
+        Session::new(&ckt).dc_operating_point().map(|_| ()),
+        Session::new(&ckt)
+            .transient(&Transient::new(1e-9, 10e-9))
+            .map(|_| ()),
     ] {
         let err = result.unwrap_err();
         assert!(
@@ -114,10 +118,12 @@ fn iteration_starvation_reports_nonconvergence() {
         mssim::elements::MosParams::nmos(320e-9, 1.2e-6),
     );
     ckt.capacitor("CL", out, Circuit::GND, 1e-13);
-    let err = Transient::new(1e-10, 100e-9)
-        .use_initial_conditions()
-        .with_max_iterations(1)
-        .run(&ckt)
+    let err = Session::new(&ckt)
+        .transient(
+            &Transient::new(1e-10, 100e-9)
+                .use_initial_conditions()
+                .with_max_iterations(1),
+        )
         .unwrap_err();
     match err {
         Error::NonConvergence {
@@ -139,7 +145,7 @@ fn bad_probe_is_an_error() {
     let a = ckt.node("a");
     ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
     let r = ckt.resistor("R1", a, Circuit::GND, 1e3);
-    let op = dc_operating_point(&ckt).unwrap();
+    let op = Session::new(&ckt).dc_operating_point().unwrap();
     let err = op.branch_current(r).unwrap_err();
     assert!(matches!(err, Error::UnknownProbe { .. }));
 }
@@ -159,10 +165,12 @@ fn stiff_circuit_remains_stable() {
     ckt.capacitor("C2", slow, Circuit::GND, 1e-9);
     // Step chosen way beyond the fast time constant. Backward Euler is
     // L-stable: the unresolved fast mode is annihilated, not rung.
-    let result = Transient::new(1e-6, 200e-6)
-        .use_initial_conditions()
-        .with_method(IntegrationMethod::BackwardEuler)
-        .run(&ckt)
+    let result = Session::new(&ckt)
+        .transient(
+            &Transient::new(1e-6, 200e-6)
+                .use_initial_conditions()
+                .with_method(IntegrationMethod::BackwardEuler),
+        )
         .unwrap();
     let v_fast = result.voltage(fast);
     let v_slow = result.voltage(slow);
@@ -176,9 +184,8 @@ fn stiff_circuit_remains_stable() {
 
     // Trapezoidal on the same grid stays bounded (A-stable) even though
     // the fast mode rings; it must still end within a millivolt.
-    let result = Transient::new(1e-6, 200e-6)
-        .use_initial_conditions()
-        .run(&ckt)
+    let result = Session::new(&ckt)
+        .transient(&Transient::new(1e-6, 200e-6).use_initial_conditions())
         .unwrap();
     let v_fast = result.voltage(fast);
     assert!(v_fast.max() < 1.01 && v_fast.min() > -0.01, "bounded");

@@ -58,7 +58,7 @@ proptest! {
             "unexpected denials:\n{report}"
         );
         // And the analyses accept them: preflight must not reject.
-        prop_assert!(dc_operating_point(&ckt).is_ok());
+        prop_assert!(Session::new(&ckt).dc_operating_point().is_ok());
     }
 
     /// A subgraph detached from ground is always caught as MS002, naming
@@ -113,7 +113,7 @@ proptest! {
         prop_assert_eq!(d.severity, Severity::Deny);
         prop_assert_eq!(&d.elements, &vec!["Cbad".to_owned()]);
         prop_assert!(matches!(
-            dc_operating_point(&ckt),
+            Session::new(&ckt).dc_operating_point(),
             Err(Error::LintRejected { .. })
         ));
     }

@@ -61,7 +61,9 @@ fn structurally_singular_fixture_denied_with_ms020() {
 
 #[test]
 fn structurally_singular_fixture_rejected_by_preflight() {
-    let err = dc_operating_point(&degenerate_vcvs()).unwrap_err();
+    let err = Session::new(&degenerate_vcvs())
+        .dc_operating_point()
+        .unwrap_err();
     match err {
         Error::LintRejected { violations, .. } => {
             assert!(
@@ -120,7 +122,7 @@ fn conditioning_warning_can_be_promoted_to_deny() {
     ckt.lint_config_mut()
         .set_severity(LintCode::IllConditionedBlock, Severity::Deny);
     assert!(matches!(
-        dc_operating_point(&ckt),
+        Session::new(&ckt).dc_operating_point(),
         Err(Error::LintRejected { .. })
     ));
 }

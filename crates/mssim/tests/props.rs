@@ -103,7 +103,7 @@ proptest! {
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(v));
         ckt.resistor("R1", a, b, r1);
         ckt.resistor("R2", b, Circuit::GND, r2);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         let expect = v * r2 / (r1 + r2);
         prop_assert!((op.voltage(b) - expect).abs() < 1e-6 * v.max(1.0));
     }
@@ -125,7 +125,7 @@ proptest! {
             ckt.resistor("R1", a, mid, r);
             ckt.resistor("R2", b, mid, 2.0 * r);
             ckt.resistor("R3", mid, Circuit::GND, r);
-            dc_operating_point(&ckt).unwrap().voltage(mid)
+            Session::new(&ckt).dc_operating_point().unwrap().voltage(mid)
         };
         let both = solve(v1, v2);
         let sum = solve(v1, 0.0) + solve(0.0, v2);
@@ -145,9 +145,8 @@ proptest! {
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
         ckt.resistor("R1", a, b, r);
         ckt.capacitor("C1", b, Circuit::GND, c);
-        let result = Transient::new(tau / 400.0, 2.0 * tau)
-            .use_initial_conditions()
-            .run(&ckt)
+        let result = Session::new(&ckt).transient(&Transient::new(tau / 400.0, 2.0 * tau)
+            .use_initial_conditions())
             .unwrap();
         let got = result.voltage(b).value_at(tau);
         let expect = 1.0 - (-1.0f64).exp();

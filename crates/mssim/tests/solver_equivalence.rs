@@ -21,8 +21,12 @@ fn transient_divergence(ckt: &Circuit, probes: &[NodeId], dt: f64, steps: usize)
             .use_initial_conditions()
             .with_reference_solver(reference)
     };
-    let plan = tran(false).run(ckt).expect("plan transient converges");
-    let reference = tran(true).run(ckt).expect("reference transient converges");
+    let plan = Session::new(ckt)
+        .transient(&tran(false))
+        .expect("plan transient converges");
+    let reference = Session::new(ckt)
+        .transient(&tran(true))
+        .expect("reference transient converges");
     assert_eq!(plan.samples(), reference.samples());
     let mut worst = 0.0f64;
     for &node in probes {
@@ -148,7 +152,9 @@ fn dc_sweep_matches_reference() {
     ckt.mosfet("MN", out, g, Circuit::GND, MosParams::nmos(320e-9, 1.2e-6));
     ckt.resistor("RL", out, Circuit::GND, 10e6);
     let points = mssim::sweep::linspace(0.0, 2.5, 51);
-    let plan = mssim::analysis::dc_sweep(ckt.clone(), vg, &points).expect("plan sweep");
+    let plan = Session::new(&ckt)
+        .dc_sweep(vg, &points)
+        .expect("plan sweep");
     let reference = mssim::analysis::dc_sweep_reference(ckt, vg, &points).expect("reference sweep");
     for (i, (&(_, a), (_, b))) in plan
         .transfer(out)
@@ -188,8 +194,12 @@ fn adaptive_stepping_never_skips_a_pwm_edge() {
             .use_initial_conditions()
             .with_reference_solver(reference)
     };
-    let plan = tran(false).run(&ckt).expect("plan adaptive run");
-    let reference = tran(true).run(&ckt).expect("reference adaptive run");
+    let plan = Session::new(&ckt)
+        .transient(&tran(false))
+        .expect("plan adaptive run");
+    let reference = Session::new(&ckt)
+        .transient(&tran(true))
+        .expect("reference adaptive run");
 
     // Identical accepted grids: the plan path's step-size decisions are
     // driven by bitwise-identical solutions.

@@ -384,12 +384,12 @@ mod tests {
     fn dc_extremes() {
         // All inputs high, all weights maximal → output at Vdd.
         let (ckt, adder) = dc_fixture(&[2.5, 2.5, 2.5], &[7, 7, 7]);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         assert!(op.voltage(adder.output) > 2.4);
 
         // All inputs low → output at ground.
         let (ckt, adder) = dc_fixture(&[0.0, 0.0, 0.0], &[7, 7, 7]);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         assert!(op.voltage(adder.output) < 0.1);
     }
 
@@ -398,7 +398,7 @@ mod tests {
         // One input high (weight 7 of 21 total conductance units) → the
         // output sits at Vdd/3, the conductance-weighted average.
         let (ckt, adder) = dc_fixture(&[2.5, 0.0, 0.0], &[7, 7, 7]);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         let v = op.voltage(adder.output);
         let expect = 2.5 / 3.0;
         assert!((v - expect).abs() < 0.08, "v = {v}, expected ≈ {expect:.3}");
@@ -409,7 +409,7 @@ mod tests {
         // Input high but weight 0: its cells drive low. With the other
         // inputs low too, output must be ~0, not floating.
         let (ckt, adder) = dc_fixture(&[2.5, 0.0, 0.0], &[0, 7, 7]);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         assert!(op.voltage(adder.output) < 0.1);
     }
 
@@ -453,12 +453,12 @@ mod tests {
     fn switch_adder_dc_extremes() {
         // All inputs high → every pull-up on, output at Vdd.
         let (ckt, adder) = switch_dc_fixture(&[2.5, 2.5, 2.5], &[7, 7, 7]);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         assert!((op.voltage(adder.output) - 2.5).abs() < 1e-3);
 
         // All inputs low → every pull-down on, output at ground.
         let (ckt, adder) = switch_dc_fixture(&[0.0, 0.0, 0.0], &[7, 7, 7]);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         assert!(op.voltage(adder.output).abs() < 1e-3);
     }
 
@@ -467,7 +467,7 @@ mod tests {
         // One of three equal-weight inputs high: ideal switches realize
         // Eq. 2 exactly, so the output sits at Vdd/3 up to the r_off leak.
         let (ckt, adder) = switch_dc_fixture(&[2.5, 0.0, 0.0], &[7, 7, 7]);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         let v = op.voltage(adder.output);
         let expect = crate::analytic::adder_vout(2.5, &[1.0, 0.0, 0.0], &[7, 7, 7], 3);
         assert!((v - expect).abs() < 1e-3, "v = {v}, Eq.2 = {expect:.4}");
@@ -478,7 +478,7 @@ mod tests {
         // Input high but weight 0: the pair's controls are grounded, so
         // the pull-down conducts and the node reads low, not floating.
         let (ckt, adder) = switch_dc_fixture(&[2.5, 0.0, 0.0], &[0, 7, 7]);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         assert!(op.voltage(adder.output).abs() < 1e-3);
     }
 
@@ -525,9 +525,8 @@ mod tests {
             );
         }
         let period = 1.0 / freq;
-        let result = Transient::new(period / 200.0, 25.0 * period)
-            .use_initial_conditions()
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(period / 200.0, 25.0 * period).use_initial_conditions())
             .unwrap();
         let vout = result.voltage(adder.output).steady_state_average(period, 3);
         let expect = crate::analytic::adder_vout(2.5, &duties, &weights, 2);

@@ -132,7 +132,7 @@ mod tests {
         ckt.vsource("VA", a, Circuit::GND, Waveform::dc(vp));
         ckt.vsource("VB", b, Circuit::GND, Waveform::dc(vn));
         let cmp = DiffComparator::build(&mut ckt, &tech, "c", a, b, vdd);
-        let op = dc_operating_point(&ckt).unwrap();
+        let op = Session::new(&ckt).dc_operating_point().unwrap();
         op.voltage(cmp.output) > vdd_v * 0.5
     }
 

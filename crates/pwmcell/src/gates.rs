@@ -217,7 +217,7 @@ mod tests {
             (2.5, 2.5, true),
         ] {
             let (ckt, cell) = truth_table_fixture(a, b);
-            let op = dc_operating_point(&ckt).unwrap();
+            let op = Session::new(&ckt).dc_operating_point().unwrap();
             let v = op.voltage(cell.output);
             if expect_hi {
                 assert!(v > 2.3, "a={a} b={b}: v={v}");

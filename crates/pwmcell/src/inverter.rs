@@ -155,7 +155,7 @@ mod tests {
                 Some(tech.rout),
                 tech.cout_inverter,
             );
-            let op = dc_operating_point(&ckt).unwrap();
+            let op = Session::new(&ckt).dc_operating_point().unwrap();
             let v = op.voltage(inv.output);
             if hi {
                 assert!(v > 2.4, "vin={vin}: v={v}");
@@ -189,9 +189,8 @@ mod tests {
             Farads(100e-15), // τ ≈ 11 ns, settles in a few 20 ns periods
         );
         let period = 1.0 / freq;
-        let result = Transient::new(period / 200.0, 12.0 * period)
-            .use_initial_conditions()
-            .run(&ckt)
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(period / 200.0, 12.0 * period).use_initial_conditions())
             .unwrap();
         let vout = result.voltage(inv.output).steady_state_average(period, 2);
         let expect = 2.5 * (1.0 - duty);

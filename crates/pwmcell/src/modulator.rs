@@ -133,9 +133,8 @@ impl ModulatorTestbench {
         let dut = PwmModulator::build(&mut ckt, &self.tech, "mod", sense, vdd_node, vdd, frequency);
         let period = 1.0 / frequency;
         let total = (periods + 1) as f64 * period; // 1 warm-up period
-        let result = Transient::new(period / 400.0, total)
-            .use_initial_conditions()
-            .run(&ckt)?;
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(period / 400.0, total).use_initial_conditions())?;
         let out = result.voltage(dut.output);
         Ok(out.duty_cycle_between(0.5 * vdd, period, total))
     }

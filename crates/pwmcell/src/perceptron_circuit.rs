@@ -183,12 +183,13 @@ impl PerceptronTestbench {
         let settle = ((quality.settle_time_constants * tau / period).ceil() as usize)
             .max(quality.min_settle_periods);
         let total = (settle + quality.measure_periods).min(quality.max_total_periods);
-        let result = Transient::new(
-            period / quality.steps_per_period as f64,
-            total as f64 * period,
-        )
-        .use_initial_conditions()
-        .run(&ckt)?;
+        let result = Session::new(&ckt).transient(
+            &Transient::new(
+                period / quality.steps_per_period as f64,
+                total as f64 * period,
+            )
+            .use_initial_conditions(),
+        )?;
         let v_out = result
             .voltage(dut.output)
             .steady_state_average(period, quality.measure_periods);

@@ -213,9 +213,8 @@ impl InverterTestbench {
 
         let tau = self.output_tau(vdd);
         let (dt, t_stop, win) = quality.plan(period, tau);
-        let result = Transient::new(dt, t_stop)
-            .use_initial_conditions()
-            .run(&ckt)?;
+        let result =
+            Session::new(&ckt).transient(&Transient::new(dt, t_stop).use_initial_conditions())?;
 
         let vout_trace = result.voltage(inv.output);
         let vout = vout_trace.steady_state_average(period, win);
@@ -280,7 +279,7 @@ impl InverterTestbench {
         let inv = Inverter::build(
             &mut ckt, &self.tech, "dut", in_node, vdd_node, self.rout, self.cout,
         );
-        let ac = mssim::analysis::ac_analysis(&ckt, vin, frequencies)?;
+        let ac = mssim::Session::new(&ckt).ac(vin, frequencies)?;
         let mags = ac.magnitude(inv.output);
         let reference = mags[0].max(1e-30);
         Ok(frequencies
@@ -406,9 +405,8 @@ impl AdderTestbench {
 
         let tau = self.output_tau(vdd);
         let (dt, t_stop, win) = quality.plan(period, tau);
-        let result = Transient::new(dt, t_stop)
-            .use_initial_conditions()
-            .run(&ckt)?;
+        let result =
+            Session::new(&ckt).transient(&Transient::new(dt, t_stop).use_initial_conditions())?;
 
         let vout_trace = result.voltage(adder.output);
         let vout = vout_trace.steady_state_average(period, win);

@@ -13,8 +13,12 @@ fn divergence(ckt: &Circuit, probes: &[NodeId], dt: f64, steps: usize) -> f64 {
             .use_initial_conditions()
             .with_reference_solver(reference)
     };
-    let plan = tran(false).run(ckt).expect("plan converges");
-    let reference = tran(true).run(ckt).expect("reference converges");
+    let plan = Session::new(ckt)
+        .transient(&tran(false))
+        .expect("plan converges");
+    let reference = Session::new(ckt)
+        .transient(&tran(true))
+        .expect("reference converges");
     let mut worst = 0.0f64;
     for &node in probes {
         for (a, b) in plan

@@ -77,9 +77,8 @@ fn switch_model_matches_direct_rc_simulation() {
     ckt.resistor("R1", src, out, r_eff);
     ckt.capacitor("C1", out, Circuit::GND, cout);
     let period = 1.0 / freq;
-    let result = Transient::new(period / 400.0, 40.0 * period)
-        .use_initial_conditions()
-        .run(&ckt)
+    let result = Session::new(&ckt)
+        .transient(&Transient::new(period / 400.0, 40.0 * period).use_initial_conditions())
         .unwrap();
     let direct_avg = result.voltage(out).steady_state_average(period, 4);
 
@@ -116,7 +115,7 @@ fn dc_corner_agrees_with_eq2() {
             Waveform::dc(lv),
         );
     }
-    let op = dc_operating_point(&ckt).unwrap();
+    let op = Session::new(&ckt).dc_operating_point().unwrap();
     let expect = pwmcell::analytic::adder_vout(2.5, &[1.0, 0.0, 0.0], &[7, 2, 1], 3);
     let got = op.voltage(adder.output);
     assert!(

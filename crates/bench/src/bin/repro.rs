@@ -40,6 +40,7 @@ const EXPERIMENTS: &[&str] = &[
     "verify",
     "bench",
     "trace",
+    "faults",
 ];
 
 fn main() {
@@ -112,6 +113,7 @@ fn main() {
             "verify" => verify_report(&tech),
             "bench" => bench(&tech, fast),
             "trace" => trace(&tech),
+            "faults" => faults(&tech, fast),
             _ => unreachable!(),
         }
         eprintln!("  [{name} took {:.1}s]", t0.elapsed().as_secs_f64());
@@ -999,6 +1001,109 @@ fn trace(tech: &Technology) {
         std::process::exit(1);
     }
     println!("trace: event-derived counters agree with the solver's own statistics");
+}
+
+/// Fault-injection campaign over the paper's 3×3 switch-level adder:
+/// enumerates the single-fault universe (stuck switches, open/short/
+/// drifted resistors, leaky output cap, drooping supply, jittery PWM
+/// sources, curated net bridges), simulates every faulty netlist under
+/// the convergence-rescue ladder, classifies each settled output against
+/// the Eq. 2 analytic value, prints the verdict table and writes the
+/// schema-versioned record `results/FAULTS_mssim.json`. Exits nonzero if
+/// any outcome fails the classification gate, so CI catches both solver
+/// regressions and campaign bookkeeping drift.
+fn faults(tech: &Technology, fast: bool) {
+    use bench::campaign;
+    use mssim::telemetry::MemoryRecorder;
+    use pwm_perceptron::faults::{switch_adder_campaign_observed, CampaignConfig, FaultClass};
+    use pwmcell::AdderSpec;
+
+    println!("\n== Fault-injection campaign — 3x3 switch-level adder, single-fault universe ==");
+    let mut config = CampaignConfig::default();
+    if fast {
+        config.periods = 16;
+        config.steps_per_period = 60;
+        config.avg_periods = 2;
+    }
+    let weights = [7u32, 5, 3];
+    let duties = [0.30, 0.50, 0.70];
+    let mut rec = MemoryRecorder::new();
+    let report = switch_adder_campaign_observed(
+        tech,
+        AdderSpec::paper_3x3(),
+        &weights,
+        &duties,
+        &config,
+        &mut rec,
+    )
+    .expect("the golden (fault-free) adder must simulate");
+
+    let table: Vec<Vec<String>> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.label.clone(),
+                o.class.tag().to_string(),
+                o.vout.map_or("-".into(), |v| f(v, 3)),
+                o.error_v.map_or("-".into(), |e| f(e, 3)),
+                o.rescue_attempts.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Single-fault verdicts vs Eq. 2 ({} faults, analytic {} V, golden {} V)",
+                report.outcomes.len(),
+                f(report.analytic_vout, 3),
+                f(report.golden_vout, 3),
+            ),
+            &["fault", "class", "Vout", "|err| V", "rescues"],
+            &table
+        )
+    );
+    for tag in campaign::CLASS_TAGS {
+        println!("  {tag}: {}", report.count(tag));
+    }
+    if let Some(errs) = report.error_summary() {
+        println!(
+            "  |error| over settled outputs: mean {} V, max {} V",
+            f(errs.mean, 3),
+            f(errs.max, 3)
+        );
+    }
+    println!(
+        "  rescue ladder: {} rungs burned across the campaign, {} faults simulated in {} sweep points",
+        report.rescue_attempts(),
+        report.outcomes.len(),
+        rec.counter_value("sweep.points"),
+    );
+    let partials = report
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o.class, FaultClass::SolverFail { partial: true }))
+        .count();
+    if partials > 0 {
+        println!("  {partials} fault(s) degraded gracefully to partial waveforms");
+    }
+
+    let json = campaign::to_json(&report, &config, fast);
+    let path = results_dir().join("FAULTS_mssim.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {} ({} bytes)", path.display(), json.len()),
+        Err(e) => eprintln!("  warning: could not write {}: {e}", path.display()),
+    }
+    let bad = campaign::unclassified(&report);
+    if !bad.is_empty() {
+        eprintln!(
+            "faults: {} unclassified outcome(s): {bad:?} — failing",
+            bad.len()
+        );
+        std::process::exit(1);
+    }
+    println!("faults: every outcome classified");
 }
 
 fn scaling(tech: &Technology) {

@@ -1,0 +1,206 @@
+//! `repro faults` — export and gating of the fault-injection campaign.
+//!
+//! The campaign itself lives in [`pwm_perceptron::faults`]; this module
+//! renders its report as the schema-versioned `mssim-faults-v1` JSON
+//! record (`results/FAULTS_mssim.json`) and implements the CI gate: every
+//! enumerated fault must land in exactly one of the four outcome classes
+//! with a coherent record behind it, or the `repro` run fails.
+
+use pwm_perceptron::faults::{CampaignConfig, CampaignReport, FaultClass};
+
+/// Schema tag of the exported record.
+pub const FAULTS_SCHEMA: &str = "mssim-faults-v1";
+
+/// The four class tags, in report order.
+pub const CLASS_TAGS: [&str; 4] = ["masked", "degraded", "functional_fail", "solver_fail"];
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn opt_num(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.6}"),
+        _ => "null".into(),
+    }
+}
+
+/// Serializes a campaign report as the `mssim-faults-v1` JSON document.
+///
+/// Outcomes are emitted in universe order and every number is printed
+/// with fixed precision, so two runs of the same deterministic campaign
+/// produce bitwise-identical documents.
+pub fn to_json(report: &CampaignReport, config: &CampaignConfig, fast: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{FAULTS_SCHEMA}\",\n"));
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if fast { "fast" } else { "full" }
+    ));
+    out.push_str(&format!("  \"frequency_hz\": {:.0},\n", config.frequency));
+    out.push_str(&format!("  \"periods\": {},\n", config.periods));
+    out.push_str(&format!(
+        "  \"steps_per_period\": {},\n",
+        config.steps_per_period
+    ));
+    out.push_str(&format!("  \"avg_periods\": {},\n", config.avg_periods));
+    out.push_str(&format!(
+        "  \"masked_epsilon_v\": {:.6},\n",
+        config.masked_epsilon
+    ));
+    out.push_str(&format!(
+        "  \"fail_epsilon_v\": {:.6},\n",
+        config.fail_epsilon
+    ));
+    out.push_str(&format!("  \"seed\": {},\n", config.universe.seed));
+    out.push_str(&format!(
+        "  \"analytic_vout\": {:.6},\n",
+        report.analytic_vout
+    ));
+    out.push_str(&format!("  \"golden_vout\": {:.6},\n", report.golden_vout));
+    out.push_str("  \"counts\": {");
+    for (i, tag) in CLASS_TAGS.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{tag}\": {}",
+            if i == 0 { " " } else { ", " },
+            report.count(tag)
+        ));
+    }
+    out.push_str(" },\n");
+    out.push_str(&format!(
+        "  \"rescue_attempts\": {},\n",
+        report.rescue_attempts()
+    ));
+    out.push_str("  \"outcomes\": [\n");
+    for (i, o) in report.outcomes.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"label\": \"{}\",\n", esc(&o.label)));
+        out.push_str(&format!("      \"kind\": \"{}\",\n", o.kind));
+        out.push_str(&format!("      \"class\": \"{}\",\n", o.class.tag()));
+        out.push_str(&format!("      \"vout\": {},\n", opt_num(o.vout)));
+        out.push_str(&format!("      \"error_v\": {},\n", opt_num(o.error_v)));
+        out.push_str(&format!(
+            "      \"partial\": {},\n",
+            matches!(o.class, FaultClass::SolverFail { partial: true })
+        ));
+        out.push_str(&format!(
+            "      \"rescue_attempts\": {},\n",
+            o.rescue_attempts
+        ));
+        out.push_str(&format!(
+            "      \"rescue_recoveries\": {},\n",
+            o.rescue_recoveries
+        ));
+        out.push_str(&format!(
+            "      \"detail\": {}\n",
+            match &o.error {
+                Some(e) => format!("\"{}\"", esc(e)),
+                None => "null".into(),
+            }
+        ));
+        out.push_str(if i + 1 == report.outcomes.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The CI gate: returns the labels of every outcome that is not cleanly
+/// classified. A clean row satisfies:
+///
+/// * any measured `vout` is finite,
+/// * `Masked`/`Degraded`/`FunctionalFail` rows carry a measured output,
+/// * `SolverFail` rows carry an explanation — either the ladder's
+///   `Partial` verdict or a recorded solver error,
+/// * class counts tile the universe exactly.
+pub fn unclassified(report: &CampaignReport) -> Vec<String> {
+    let mut bad: Vec<String> = report
+        .outcomes
+        .iter()
+        .filter(|o| {
+            let finite = o.vout.is_none_or(f64::is_finite);
+            let coherent = match o.class {
+                FaultClass::Masked
+                | FaultClass::Degraded { .. }
+                | FaultClass::FunctionalFail { .. } => o.vout.is_some(),
+                FaultClass::SolverFail { partial } => partial || o.error.is_some(),
+            };
+            !(finite && coherent)
+        })
+        .map(|o| o.label.clone())
+        .collect();
+    let tiled: usize = CLASS_TAGS.iter().map(|t| report.count(t)).sum();
+    if tiled != report.outcomes.len() {
+        bad.push(format!(
+            "class counts tile {tiled} of {} outcomes",
+            report.outcomes.len()
+        ));
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwm_perceptron::faults::{switch_adder_campaign, FaultOutcome};
+    use pwmcell::{AdderSpec, Technology};
+
+    fn tiny_campaign() -> (CampaignReport, CampaignConfig) {
+        let config = CampaignConfig {
+            periods: 8,
+            steps_per_period: 40,
+            avg_periods: 2,
+            ..CampaignConfig::default()
+        };
+        let report = switch_adder_campaign(
+            &Technology::umc65_like(),
+            AdderSpec::new(1, 2),
+            &[3],
+            &[0.4],
+            &config,
+        )
+        .unwrap();
+        (report, config)
+    }
+
+    #[test]
+    fn json_is_bitwise_deterministic() {
+        let (a, config) = tiny_campaign();
+        let (b, _) = tiny_campaign();
+        let ja = to_json(&a, &config, true);
+        let jb = to_json(&b, &config, true);
+        assert_eq!(ja, jb, "same seed must give bitwise-identical JSON");
+        assert!(ja.contains(FAULTS_SCHEMA));
+        assert!(ja.contains("\"outcomes\": ["));
+    }
+
+    #[test]
+    fn tiny_campaign_passes_the_gate() {
+        let (report, _) = tiny_campaign();
+        assert!(
+            unclassified(&report).is_empty(),
+            "every outcome must classify cleanly"
+        );
+    }
+
+    #[test]
+    fn gate_flags_incoherent_rows() {
+        let (mut report, _) = tiny_campaign();
+        report.outcomes.push(FaultOutcome {
+            label: "bogus".into(),
+            kind: "resistor_open",
+            vout: None,
+            error_v: None,
+            class: FaultClass::SolverFail { partial: false },
+            rescue_attempts: 0,
+            rescue_recoveries: 0,
+            error: None, // hard solver failure with no recorded reason
+        });
+        let bad = unclassified(&report);
+        assert_eq!(bad, vec!["bogus".to_string()]);
+    }
+}

@@ -7,6 +7,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod hotpath;
 pub mod output;

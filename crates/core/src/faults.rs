@@ -1,0 +1,587 @@
+//! Fault-injection campaigns — the paper's "Robust" claim under hard
+//! defects instead of parametric variation.
+//!
+//! [`crate::robustness`] asks how the perceptron behaves when every
+//! device drifts a little; this module asks what happens when one device
+//! breaks outright. A campaign takes the golden switch-level adder
+//! netlist, enumerates its single-fault universe (via
+//! [`pwmcell::faults`]), simulates every faulty copy under the
+//! convergence-rescue ladder, and classifies each outcome against the
+//! paper's Eq. 2 analytic output:
+//!
+//! * [`FaultClass::Masked`] — the defect is invisible at the output,
+//! * [`FaultClass::Degraded`] — measurable error, still the right side
+//!   of the decision band,
+//! * [`FaultClass::FunctionalFail`] — the analog sum is wrong enough to
+//!   flip decisions,
+//! * [`FaultClass::SolverFail`] — the simulation itself could not
+//!   deliver a settled output (a [`mssim`] `Partial` outcome or a hard
+//!   solver error).
+//!
+//! Faults fan out over [`mssim::sweep::sweep`], which preserves input
+//! order, and the universe enumeration is insertion-ordered, so a
+//! campaign is deterministic: same netlist, same config, same report.
+
+use mssim::faults::UniverseConfig;
+use mssim::prelude::{
+    Circuit, Error as SimError, NodeId, RescuePolicy, Session, Transient, TransientOutcome,
+    Waveform,
+};
+use mssim::sweep;
+use mssim::telemetry::Observer;
+use pwmcell::faults::switch_adder_universe;
+use pwmcell::{analytic, AdderSpec, SwitchAdder, Technology};
+
+use crate::error::CoreError;
+use crate::robustness::McSummary;
+use crate::weight::WeightVector;
+
+/// Outcome class of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultClass {
+    /// Output within `masked_epsilon` of the analytic Eq. 2 value.
+    Masked,
+    /// Output off by more than `masked_epsilon` but within
+    /// `fail_epsilon` — degraded yet plausibly decision-safe.
+    Degraded {
+        /// Absolute output error in volts.
+        error_v: f64,
+    },
+    /// Output error beyond `fail_epsilon`: the analog sum is wrong.
+    FunctionalFail {
+        /// Absolute output error in volts.
+        error_v: f64,
+    },
+    /// No settled output: the rescue ladder degraded to a partial
+    /// waveform, or the solver failed outright.
+    SolverFail {
+        /// `true` when the ladder salvaged a partial waveform,
+        /// `false` on a hard solver error.
+        partial: bool,
+    },
+}
+
+impl FaultClass {
+    /// Machine-readable class tag (stable, used in the exported JSON).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultClass::Masked => "masked",
+            FaultClass::Degraded { .. } => "degraded",
+            FaultClass::FunctionalFail { .. } => "functional_fail",
+            FaultClass::SolverFail { .. } => "solver_fail",
+        }
+    }
+}
+
+/// One row of a campaign report: a fault and what it did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultOutcome {
+    /// The fault's campaign label (`kind:target`).
+    pub label: String,
+    /// The fault kind tag (`switch_stuck_open`, …).
+    pub kind: &'static str,
+    /// Settled output voltage, when one was measured.
+    pub vout: Option<f64>,
+    /// `|vout − analytic|`, when an output was measured.
+    pub error_v: Option<f64>,
+    /// The verdict.
+    pub class: FaultClass,
+    /// Rescue-ladder rungs burned while simulating this fault.
+    pub rescue_attempts: usize,
+    /// Rescue incidents the ladder recovered from.
+    pub rescue_recoveries: usize,
+    /// Solver error display, for `SolverFail` rows.
+    pub error: Option<String>,
+}
+
+/// Knobs of a fault campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// PWM input frequency, hertz. The paper's power-elasticity claim
+    /// makes the settled average frequency-independent, so campaigns
+    /// default to 50 MHz, where the adder's RC settling (τ ≈ R·Cout)
+    /// spans a handful of periods instead of hundreds.
+    pub frequency: f64,
+    /// Simulated PWM periods per fault.
+    pub periods: usize,
+    /// Fixed time steps per period.
+    pub steps_per_period: usize,
+    /// Trailing periods averaged into the settled output.
+    pub avg_periods: usize,
+    /// Output error below which a fault counts as [`FaultClass::Masked`],
+    /// volts.
+    pub masked_epsilon: f64,
+    /// Output error above which a fault counts as
+    /// [`FaultClass::FunctionalFail`], volts.
+    pub fail_epsilon: f64,
+    /// Convergence-rescue ladder applied to every faulty transient.
+    pub rescue: RescuePolicy,
+    /// Universe enumeration knobs (drift factors, jitter seed, …).
+    pub universe: UniverseConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            frequency: 50e6,
+            periods: 24,
+            steps_per_period: 100,
+            avg_periods: 4,
+            masked_epsilon: 0.05,
+            fail_epsilon: 0.25,
+            rescue: RescuePolicy::default(),
+            universe: UniverseConfig::default(),
+        }
+    }
+}
+
+/// A finished campaign: the references and every fault's verdict, in
+/// universe order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Eq. 2 analytic output, the classification reference.
+    pub analytic_vout: f64,
+    /// Settled output of the fault-free netlist.
+    pub golden_vout: f64,
+    /// One row per enumerated fault.
+    pub outcomes: Vec<FaultOutcome>,
+}
+
+impl CampaignReport {
+    /// Number of outcomes in class `tag`.
+    pub fn count(&self, tag: &str) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.class.tag() == tag)
+            .count()
+    }
+
+    /// Distribution of the absolute output error across every fault that
+    /// produced a settled output, or `None` when no fault did (routes
+    /// through [`McSummary::try_from_samples`], which owns the empty
+    /// case).
+    pub fn error_summary(&self) -> Option<McSummary> {
+        McSummary::try_from_samples(self.outcomes.iter().filter_map(|o| o.error_v).collect())
+    }
+
+    /// Total rescue-ladder rungs burned across the whole campaign.
+    pub fn rescue_attempts(&self) -> usize {
+        self.outcomes.iter().map(|o| o.rescue_attempts).sum()
+    }
+}
+
+/// Result of simulating one (possibly faulty) netlist.
+struct Measured {
+    vout: Option<f64>,
+    rescue_attempts: usize,
+    rescue_recoveries: usize,
+    partial: bool,
+    error: Option<String>,
+}
+
+/// Trapezoidal mean of `(time, values)` over `[t_from, t_last]`, or
+/// `None` when fewer than two samples fall in the window.
+fn trailing_average(time: &[f64], values: &[f64], t_from: f64) -> Option<f64> {
+    let start = time.iter().position(|&t| t >= t_from)?;
+    if start + 1 >= time.len() {
+        return None;
+    }
+    let mut area = 0.0;
+    for i in start..time.len() - 1 {
+        area += 0.5 * (values[i] + values[i + 1]) * (time[i + 1] - time[i]);
+    }
+    let span = time[time.len() - 1] - time[start];
+    (span > 0.0).then(|| area / span)
+}
+
+fn measure(
+    circuit: &Circuit,
+    output: NodeId,
+    tran: &Transient,
+    rescue: &RescuePolicy,
+    t_avg_from: f64,
+) -> Measured {
+    match Session::new(circuit).transient_rescued(tran, rescue) {
+        Ok(outcome) => {
+            let rescues = outcome.rescues();
+            let (attempts, recoveries) = (rescues.total_attempts(), rescues.recovered());
+            match outcome {
+                TransientOutcome::Complete { result, .. } => {
+                    let v = result.voltage(output);
+                    Measured {
+                        vout: trailing_average(result.time(), v.values(), t_avg_from),
+                        rescue_attempts: attempts,
+                        rescue_recoveries: recoveries,
+                        partial: false,
+                        error: None,
+                    }
+                }
+                TransientOutcome::Partial { error, .. } => Measured {
+                    vout: None,
+                    rescue_attempts: attempts,
+                    rescue_recoveries: recoveries,
+                    partial: true,
+                    error: Some(error.to_string()),
+                },
+            }
+        }
+        Err(e) => Measured {
+            vout: None,
+            rescue_attempts: 0,
+            rescue_recoveries: 0,
+            partial: false,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+fn classify(measured: &Measured, analytic_vout: f64, config: &CampaignConfig) -> FaultClass {
+    match measured.vout {
+        Some(v) if v.is_finite() => {
+            let error_v = (v - analytic_vout).abs();
+            if error_v <= config.masked_epsilon {
+                FaultClass::Masked
+            } else if error_v <= config.fail_epsilon {
+                FaultClass::Degraded { error_v }
+            } else {
+                FaultClass::FunctionalFail { error_v }
+            }
+        }
+        // A non-finite average is a solver artefact, not a circuit verdict.
+        Some(_) => FaultClass::SolverFail {
+            partial: measured.partial,
+        },
+        None => FaultClass::SolverFail {
+            partial: measured.partial,
+        },
+    }
+}
+
+/// Builds the campaign's switch-level adder testbench.
+fn adder_fixture(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+    frequency: f64,
+) -> Result<(Circuit, SwitchAdder), CoreError> {
+    if duties.len() != weights.len() {
+        return Err(CoreError::DimensionMismatch {
+            expected: weights.len(),
+            got: duties.len(),
+        });
+    }
+    for &d in duties {
+        if !(0.0..=1.0).contains(&d) || !d.is_finite() {
+            return Err(CoreError::InvalidDuty { value: d });
+        }
+    }
+    // Re-validate the weights through the shared domain type so the
+    // campaign rejects what the netlist builder would panic on.
+    WeightVector::new(weights.to_vec(), spec.bits)?;
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    let adder = SwitchAdder::build(&mut ckt, tech, "add", vdd, weights, spec);
+    for (i, &d) in duties.iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            adder.inputs[i],
+            Circuit::GND,
+            Waveform::pwm(tech.vdd.value(), frequency, d),
+        );
+    }
+    Ok((ckt, adder))
+}
+
+fn run_campaign(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+    config: &CampaignConfig,
+    observer: Option<&mut dyn Observer>,
+) -> Result<CampaignReport, CoreError> {
+    assert!(config.periods > 0, "campaign needs at least one period");
+    assert!(
+        config.avg_periods > 0 && config.avg_periods <= config.periods,
+        "averaging window must fit inside the simulated periods"
+    );
+    assert!(
+        config.masked_epsilon > 0.0 && config.fail_epsilon > config.masked_epsilon,
+        "epsilons must satisfy 0 < masked < fail"
+    );
+    assert!(
+        config.frequency > 0.0 && config.frequency.is_finite(),
+        "campaign frequency must be positive and finite"
+    );
+    let (ckt, adder) = adder_fixture(tech, spec, weights, duties, config.frequency)?;
+    let universe = switch_adder_universe(&ckt, &adder, &config.universe);
+
+    let period = 1.0 / config.frequency;
+    let dt = period / config.steps_per_period as f64;
+    let t_stop = config.periods as f64 * period;
+    let t_avg_from = t_stop - config.avg_periods as f64 * period;
+    let tran = Transient::new(dt, t_stop).use_initial_conditions();
+
+    let analytic_vout = analytic::adder_vout(tech.vdd.value(), duties, weights, spec.bits);
+    let golden = measure(&ckt, adder.output, &tran, &config.rescue, t_avg_from);
+    let golden_vout = golden
+        .vout
+        .ok_or(CoreError::Simulation(SimError::NonConvergence {
+            analysis: "transient",
+            time: t_stop,
+            iterations: 0,
+            stage: "golden",
+            attempts: golden.rescue_attempts,
+        }))?;
+
+    let run_one = |lf: &mssim::faults::LabeledFault, _i: usize| {
+        let measured = match lf.fault.apply(&ckt) {
+            Ok(faulty) => measure(&faulty, adder.output, &tran, &config.rescue, t_avg_from),
+            Err(e) => Measured {
+                vout: None,
+                rescue_attempts: 0,
+                rescue_recoveries: 0,
+                partial: false,
+                error: Some(e.to_string()),
+            },
+        };
+        FaultOutcome {
+            label: lf.label.clone(),
+            kind: lf.fault.kind(),
+            vout: measured.vout,
+            error_v: measured.vout.map(|v| (v - analytic_vout).abs()),
+            class: classify(&measured, analytic_vout, config),
+            rescue_attempts: measured.rescue_attempts,
+            rescue_recoveries: measured.rescue_recoveries,
+            error: measured.error,
+        }
+    };
+    let outcomes = match observer {
+        Some(obs) => sweep::sweep_observed(&universe, obs, run_one),
+        None => sweep::sweep(&universe, run_one),
+    };
+
+    Ok(CampaignReport {
+        analytic_vout,
+        golden_vout,
+        outcomes,
+    })
+}
+
+/// Runs the single-fault campaign over the switch-level weighted adder:
+/// enumerates the universe, simulates every faulty netlist in parallel
+/// under the rescue ladder, and classifies each settled output against
+/// the Eq. 2 analytic value.
+///
+/// Outcomes come back in universe (netlist insertion) order, so the
+/// report is deterministic for a given netlist and config.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`] / [`CoreError::InvalidDuty`] /
+/// [`CoreError::InvalidWeight`] on malformed inputs, and
+/// [`CoreError::Simulation`] when the *golden* (fault-free) netlist fails
+/// to produce a settled output — individual fault failures are reported
+/// as [`FaultClass::SolverFail`] rows, never as errors.
+///
+/// # Panics
+///
+/// Panics if `config` is internally inconsistent (zero periods, an
+/// averaging window longer than the run, or `fail_epsilon ≤
+/// masked_epsilon`).
+pub fn switch_adder_campaign(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+    config: &CampaignConfig,
+) -> Result<CampaignReport, CoreError> {
+    run_campaign(tech, spec, weights, duties, config, None)
+}
+
+/// [`switch_adder_campaign`] with telemetry: per-fault wall times, worker
+/// indices and steal counts are delivered to `observer` via
+/// [`mssim::sweep::sweep_observed`]. The report is identical to the
+/// unobserved version.
+///
+/// # Errors
+///
+/// As for [`switch_adder_campaign`].
+///
+/// # Panics
+///
+/// As for [`switch_adder_campaign`].
+pub fn switch_adder_campaign_observed(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+    config: &CampaignConfig,
+    observer: &mut dyn Observer,
+) -> Result<CampaignReport, CoreError> {
+    run_campaign(tech, spec, weights, duties, config, Some(observer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> CampaignConfig {
+        CampaignConfig {
+            periods: 20,
+            steps_per_period: 60,
+            avg_periods: 2,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn trailing_average_windows() {
+        let t = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let v = [0.0, 0.0, 2.0, 2.0, 2.0];
+        // Whole-trace average: trapezoid over the ramp.
+        let a = trailing_average(&t, &v, 0.0).unwrap();
+        assert!((a - 1.25).abs() < 1e-12);
+        // Settled tail only.
+        let b = trailing_average(&t, &v, 2.0).unwrap();
+        assert!((b - 2.0).abs() < 1e-12);
+        // Window past the data: no verdict.
+        assert!(trailing_average(&t, &v, 4.0).is_none());
+        assert!(trailing_average(&t, &v, 10.0).is_none());
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        let config = CampaignConfig::default();
+        let m = |vout| Measured {
+            vout,
+            rescue_attempts: 0,
+            rescue_recoveries: 0,
+            partial: false,
+            error: None,
+        };
+        assert_eq!(classify(&m(Some(1.0)), 1.0, &config), FaultClass::Masked);
+        assert!(matches!(
+            classify(&m(Some(1.1)), 1.0, &config),
+            FaultClass::Degraded { .. }
+        ));
+        assert!(matches!(
+            classify(&m(Some(2.0)), 1.0, &config),
+            FaultClass::FunctionalFail { .. }
+        ));
+        assert!(matches!(
+            classify(&m(None), 1.0, &config),
+            FaultClass::SolverFail { partial: false }
+        ));
+        assert!(matches!(
+            classify(&m(Some(f64::NAN)), 1.0, &config),
+            FaultClass::SolverFail { .. }
+        ));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let tech = Technology::umc65_like();
+        let config = fast_config();
+        assert!(matches!(
+            switch_adder_campaign(&tech, AdderSpec::new(2, 3), &[7, 7], &[0.5], &config),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            switch_adder_campaign(&tech, AdderSpec::new(2, 3), &[7, 7], &[0.5, 1.5], &config),
+            Err(CoreError::InvalidDuty { .. })
+        ));
+        assert!(matches!(
+            switch_adder_campaign(&tech, AdderSpec::new(2, 3), &[7, 9], &[0.5, 0.5], &config),
+            Err(CoreError::InvalidWeight { .. })
+        ));
+    }
+
+    /// The headline acceptance property: the 3×3 single-fault campaign is
+    /// deterministic, classifies every fault, and sees through the
+    /// golden netlist (which must be `Masked` against Eq. 2 by
+    /// construction).
+    #[test]
+    fn paper_adder_campaign_classifies_every_fault_deterministically() {
+        let tech = Technology::umc65_like();
+        let config = fast_config();
+        let weights = [7, 5, 3];
+        let duties = [0.3, 0.5, 0.7];
+        let a = switch_adder_campaign(&tech, AdderSpec::paper_3x3(), &weights, &duties, &config)
+            .unwrap();
+        assert!(
+            (a.golden_vout - a.analytic_vout).abs() <= config.masked_epsilon,
+            "golden {} vs analytic {}",
+            a.golden_vout,
+            a.analytic_vout
+        );
+        assert!(!a.outcomes.is_empty());
+        // Stuck-open on a pull-up of the heaviest input must at least
+        // degrade the output; a stuck-closed pull-down fights the bus.
+        assert!(
+            a.count("masked")
+                + a.count("degraded")
+                + a.count("functional_fail")
+                + a.count("solver_fail")
+                == a.outcomes.len(),
+            "every outcome is classified"
+        );
+        assert!(
+            a.count("masked") < a.outcomes.len(),
+            "a single-fault universe must contain observable faults"
+        );
+        let b = switch_adder_campaign(&tech, AdderSpec::paper_3x3(), &weights, &duties, &config)
+            .unwrap();
+        assert_eq!(a, b, "campaign must be deterministic");
+    }
+
+    #[test]
+    fn error_summary_routes_through_try_from_samples() {
+        let report = CampaignReport {
+            analytic_vout: 1.0,
+            golden_vout: 1.0,
+            outcomes: vec![FaultOutcome {
+                label: "x".into(),
+                kind: "resistor_open",
+                vout: None,
+                error_v: None,
+                class: FaultClass::SolverFail { partial: false },
+                rescue_attempts: 0,
+                rescue_recoveries: 0,
+                error: Some("boom".into()),
+            }],
+        };
+        assert!(report.error_summary().is_none(), "no settled outputs");
+    }
+
+    #[test]
+    fn observed_campaign_matches_plain() {
+        use mssim::telemetry::MemoryRecorder;
+        let tech = Technology::umc65_like();
+        let config = CampaignConfig {
+            periods: 6,
+            steps_per_period: 40,
+            avg_periods: 1,
+            ..CampaignConfig::default()
+        };
+        let plain =
+            switch_adder_campaign(&tech, AdderSpec::new(1, 2), &[3], &[0.5], &config).unwrap();
+        let mut rec = MemoryRecorder::new();
+        let observed = switch_adder_campaign_observed(
+            &tech,
+            AdderSpec::new(1, 2),
+            &[3],
+            &[0.5],
+            &config,
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(
+            rec.counter_value("sweep.points"),
+            plain.outcomes.len() as u64
+        );
+    }
+}

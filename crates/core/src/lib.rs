@@ -56,6 +56,7 @@ pub mod encode;
 pub mod energy;
 pub mod error;
 pub mod eval;
+pub mod faults;
 pub mod layer;
 pub mod metrics;
 pub mod multiclass;
@@ -68,6 +69,10 @@ pub use comparator::Comparator;
 pub use dataset::Dataset;
 pub use duty::DutyCycle;
 pub use error::CoreError;
+pub use faults::{
+    switch_adder_campaign, switch_adder_campaign_observed, CampaignConfig, CampaignReport,
+    FaultClass, FaultOutcome,
+};
 pub use layer::{HardLayer, Mlp};
 pub use multiclass::WtaClassifier;
 pub use perceptron::{DifferentialPerceptron, PwmPerceptron, Reference};

@@ -114,13 +114,14 @@ pub struct McSummary {
 }
 
 impl McSummary {
-    /// Computes the summary.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `samples` is empty.
-    pub fn from_samples(samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "need at least one sample");
+    /// Computes the summary, or `None` when `samples` is empty — the
+    /// total function behind [`McSummary::from_samples`], for callers
+    /// (fault campaigns, filtered MC paths) whose sample sets can
+    /// legitimately come up empty.
+    pub fn try_from_samples(samples: Vec<f64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let var = if samples.len() > 1 {
@@ -130,13 +131,22 @@ impl McSummary {
         };
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        McSummary {
+        Some(McSummary {
             mean,
             std: var.sqrt(),
             min,
             max,
             samples,
-        }
+        })
+    }
+
+    /// Computes the summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        Self::try_from_samples(samples).expect("need at least one sample")
     }
 
     /// Relative spread `std/mean` (coefficient of variation).
@@ -181,7 +191,7 @@ pub fn adder_vout_monte_carlo(
         )
         .steady_state_average()
     });
-    McSummary::from_samples(samples)
+    McSummary::try_from_samples(samples).expect("trials > 0 yields samples")
 }
 
 /// [`adder_vout_monte_carlo`] with telemetry: per-trial wall times,
@@ -218,7 +228,7 @@ pub fn adder_vout_monte_carlo_observed(
         )
         .steady_state_average()
     });
-    McSummary::from_samples(samples)
+    McSummary::try_from_samples(samples).expect("trials > 0 yields samples")
 }
 
 /// Output voltage across a frequency sweep (switch-level) — supports the
@@ -261,6 +271,14 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
         assert!(s.relative_std() > 0.0);
+    }
+
+    #[test]
+    fn try_from_samples_owns_the_empty_case() {
+        assert!(McSummary::try_from_samples(Vec::new()).is_none());
+        let s = McSummary::try_from_samples(vec![2.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
     }
 
     #[test]

@@ -133,13 +133,26 @@ pub fn dc_operating_point_reference(circuit: &Circuit) -> Result<DcSolution, Err
 pub(crate) fn dc_operating_point_impl(
     circuit: &Circuit,
     reference: bool,
+    probe: Probe<'_>,
+) -> Result<DcSolution, Error> {
+    dc_operating_point_opts(circuit, reference, None, probe)
+}
+
+/// [`dc_operating_point_impl`] with an explicit per-solve Newton iteration
+/// budget (`None` = [`NewtonOpts::default`]). The budget applies to every
+/// rung of the homotopy ladder, which makes convergence failures cheap to
+/// provoke in tests and lets fault campaigns bound worst-case solve time.
+pub(crate) fn dc_operating_point_opts(
+    circuit: &Circuit,
+    reference: bool,
+    max_iter: Option<usize>,
     mut probe: Probe<'_>,
 ) -> Result<DcSolution, Error> {
     crate::lint::preflight(circuit, "dc", crate::lint::LintContext::Dc)?;
     let layout = MnaLayout::new(circuit);
     let mut engine = SolverEngine::new(circuit, &layout, PlanMode::Dc, reference);
     probe.emit(Event::AnalysisStart { analysis: "dc" });
-    let result = solve_dc_with(circuit, &layout, &mut engine, &mut probe);
+    let result = solve_dc_opts(circuit, &layout, &mut engine, max_iter, &mut probe);
     probe.report(&engine, "dc");
     if result.is_ok() {
         probe.emit(Event::AnalysisEnd { analysis: "dc" });
@@ -158,8 +171,28 @@ pub(crate) fn solve_dc_with(
     engine: &mut SolverEngine,
     probe: &mut Probe<'_>,
 ) -> Result<DcSolution, Error> {
+    solve_dc_opts(circuit, layout, engine, None, probe)
+}
+
+/// [`solve_dc_with`] with an explicit per-solve Newton iteration budget.
+pub(crate) fn solve_dc_opts(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    engine: &mut SolverEngine,
+    max_iter: Option<usize>,
+    probe: &mut Probe<'_>,
+) -> Result<DcSolution, Error> {
     let n = layout.size();
-    let opts = NewtonOpts::default();
+    let opts = match max_iter {
+        Some(max_iter) => NewtonOpts {
+            max_iter,
+            ..NewtonOpts::default()
+        },
+        None => NewtonOpts::default(),
+    };
+    // Total continuation attempts across all stages, reported on the final
+    // error so callers can see how much of the ladder was consumed.
+    let mut attempts = 0usize;
 
     let mut x = vec![0.0; n];
     let direct = probe.solve(
@@ -183,6 +216,7 @@ pub(crate) fn solve_dc_with(
         param: 0.0,
         converged: direct.is_ok(),
     });
+    attempts += 1;
     if direct.is_ok() {
         return Ok(pack(circuit, layout, x));
     }
@@ -214,6 +248,7 @@ pub(crate) fn solve_dc_with(
             param: gshunt,
             converged: r.is_ok(),
         });
+        attempts += 1;
         if r.is_err() {
             ok = false;
             break;
@@ -248,7 +283,24 @@ pub(crate) fn solve_dc_with(
             param: scale,
             converged: r.is_ok(),
         });
-        r?;
+        attempts += 1;
+        // The whole ladder is spent: report which stage died and how many
+        // continuation attempts were burned getting there.
+        r.map_err(|e| match e {
+            Error::NonConvergence {
+                analysis,
+                time,
+                iterations,
+                ..
+            } => Error::NonConvergence {
+                analysis,
+                time,
+                iterations,
+                stage: "source",
+                attempts,
+            },
+            other => other,
+        })?;
     }
     Ok(pack(circuit, layout, x))
 }

@@ -471,6 +471,8 @@ pub(crate) fn solve_newton(
         analysis,
         time: ctx.time,
         iterations: opts.max_iter,
+        stage: "newton",
+        attempts: 0,
     })
 }
 

@@ -32,4 +32,7 @@ pub use dcsweep::{dc_sweep_reference, DcSweepResult};
 pub use noise::noise_analysis;
 pub use noise::NoiseResult;
 pub use solution::Solution;
-pub use transient::{AdaptiveConfig, IntegrationMethod, Transient, TransientResult};
+pub use transient::{
+    AdaptiveConfig, IntegrationMethod, RescueIncident, RescuePolicy, RescueReport, Transient,
+    TransientOutcome, TransientResult,
+};

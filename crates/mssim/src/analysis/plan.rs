@@ -1327,6 +1327,8 @@ impl PlanSolver {
             analysis,
             time: ctx.time,
             iterations: opts.max_iter,
+            stage: "newton",
+            attempts: 0,
         })
     }
 }

@@ -66,6 +66,375 @@ impl Default for AdaptiveConfig {
     }
 }
 
+/// Policy for the transient convergence-rescue ladder (see
+/// [`Session::transient_rescued`](crate::session::Session::transient_rescued)).
+///
+/// When a time step refuses to converge the ladder tries, in order:
+///
+/// 1. **`dt_cut`** — the step is re-integrated as `2^k` sub-steps for
+///    `k = 1..=max_step_cuts`, keeping the caller's integration method
+///    (exponential backoff: every retry halves the sub-step again);
+/// 2. **`be`** — the same progression forced to backward Euler, whose
+///    L-stability damps the modes trapezoidal integration can ring on
+///    (skipped when the caller already integrates with backward Euler);
+/// 3. **`gmin`** — the full step solved with a shunt conductance from
+///    every node to ground, walked down [`RescuePolicy::gmin_ladder`] and
+///    finishing at zero shunt, each solve warm-starting the next.
+///
+/// A step no rung can save ends the run early: the caller receives
+/// [`TransientOutcome::Partial`] carrying the waveform up to the last
+/// accepted step. Every attempt is emitted as an
+/// [`Event::RescueAttempt`]; every verdict as an
+/// [`Event::RescueOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescuePolicy {
+    /// Maximum binary timestep cuts tried by the `dt_cut` and `be`
+    /// stages (rung `k` splits the failing step into `2^k` sub-steps).
+    pub max_step_cuts: u32,
+    /// Shunt conductances for the `gmin` stage, strongest first. A final
+    /// zero-shunt solve always follows, so an accepted solution is never
+    /// polluted by the rescue shunt.
+    pub gmin_ladder: Vec<f64>,
+    /// Troubled steps rescued before the run is abandoned as partial — a
+    /// circuit needing more than this is failing structurally, not
+    /// numerically.
+    pub max_rescued_steps: usize,
+}
+
+impl Default for RescuePolicy {
+    fn default() -> Self {
+        RescuePolicy {
+            max_step_cuts: 4,
+            gmin_ladder: vec![1e-3, 1e-6, 1e-9],
+            max_rescued_steps: 64,
+        }
+    }
+}
+
+/// One troubled time step and how the rescue ladder fared on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescueIncident {
+    /// Target time of the failing step, seconds.
+    pub time: f64,
+    /// Ladder rungs tried (sub-step retries, BE retries, gmin solves).
+    pub attempts: usize,
+    /// Stage that recovered the step (`"dt_cut"`, `"be"` or `"gmin"`);
+    /// `None` when the ladder was exhausted.
+    pub recovered_by: Option<&'static str>,
+}
+
+/// Structured account of every rescue a transient run needed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RescueReport {
+    /// One entry per troubled step, in time order.
+    pub incidents: Vec<RescueIncident>,
+}
+
+impl RescueReport {
+    /// `true` when no step needed rescuing.
+    pub fn is_clean(&self) -> bool {
+        self.incidents.is_empty()
+    }
+
+    /// Number of steps the ladder recovered.
+    pub fn recovered(&self) -> usize {
+        self.incidents
+            .iter()
+            .filter(|i| i.recovered_by.is_some())
+            .count()
+    }
+
+    /// Total ladder rungs tried across all incidents.
+    pub fn total_attempts(&self) -> usize {
+        self.incidents.iter().map(|i| i.attempts).sum()
+    }
+}
+
+/// Outcome of a transient run executed under a [`RescuePolicy`].
+#[derive(Debug, Clone)]
+pub enum TransientOutcome {
+    /// The run reached `t_stop`, possibly after recovered rescues.
+    Complete {
+        /// The full waveform set.
+        result: TransientResult,
+        /// Every rescue the run needed (empty for a clean run).
+        rescues: RescueReport,
+    },
+    /// The rescue ladder ran dry at some time point: the waveform is
+    /// valid up to the last accepted step and then stops.
+    Partial {
+        /// The waveforms up to the last accepted step.
+        result: TransientResult,
+        /// Every rescue the run attempted, including the fatal one.
+        rescues: RescueReport,
+        /// The non-convergence that ended the run (stage `"rescue"`).
+        error: Error,
+    },
+}
+
+impl TransientOutcome {
+    /// The recorded waveforms, full or partial.
+    pub fn result(&self) -> &TransientResult {
+        match self {
+            TransientOutcome::Complete { result, .. }
+            | TransientOutcome::Partial { result, .. } => result,
+        }
+    }
+
+    /// The rescue report.
+    pub fn rescues(&self) -> &RescueReport {
+        match self {
+            TransientOutcome::Complete { rescues, .. }
+            | TransientOutcome::Partial { rescues, .. } => rescues,
+        }
+    }
+
+    /// `true` when the run stopped before `t_stop`.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, TransientOutcome::Partial { .. })
+    }
+
+    /// Consumes the outcome, keeping the waveforms (full or partial).
+    pub fn into_result(self) -> TransientResult {
+        match self {
+            TransientOutcome::Complete { result, .. }
+            | TransientOutcome::Partial { result, .. } => result,
+        }
+    }
+}
+
+/// Deep copy of the integrator state, taken before a step so any rescue
+/// rung can rewind to the last accepted point.
+struct StateSnapshot {
+    x: Vec<f64>,
+    v_prev: Vec<f64>,
+    i_prev: Vec<f64>,
+    il_prev: Vec<f64>,
+    vl_prev: Vec<f64>,
+}
+
+impl StateSnapshot {
+    fn capture(
+        x: &[f64],
+        v_prev: &[f64],
+        i_prev: &[f64],
+        il_prev: &[f64],
+        vl_prev: &[f64],
+    ) -> Self {
+        StateSnapshot {
+            x: x.to_vec(),
+            v_prev: v_prev.to_vec(),
+            i_prev: i_prev.to_vec(),
+            il_prev: il_prev.to_vec(),
+            vl_prev: vl_prev.to_vec(),
+        }
+    }
+
+    fn restore(
+        &self,
+        x: &mut [f64],
+        v_prev: &mut [f64],
+        i_prev: &mut [f64],
+        il_prev: &mut [f64],
+        vl_prev: &mut [f64],
+    ) {
+        x.copy_from_slice(&self.x);
+        self.restore_reactive(v_prev, i_prev, il_prev, vl_prev);
+    }
+
+    /// Restores the reactive-element history but keeps `x` — the gmin
+    /// stage warm-starts each solve from the previous rung's iterate.
+    fn restore_reactive(
+        &self,
+        v_prev: &mut [f64],
+        i_prev: &mut [f64],
+        il_prev: &mut [f64],
+        vl_prev: &mut [f64],
+    ) {
+        v_prev.copy_from_slice(&self.v_prev);
+        i_prev.copy_from_slice(&self.i_prev);
+        il_prev.copy_from_slice(&self.il_prev);
+        vl_prev.copy_from_slice(&self.vl_prev);
+    }
+}
+
+/// Walks the rescue ladder over one failing step `t_from → t_target`.
+///
+/// `take_step` is the integrator's single-step primitive
+/// `(t_new, h, be, gshunt, probe, x, v_prev, i_prev, il_prev, vl_prev)`.
+/// Returns the rungs tried and the stage that recovered the step, or
+/// `None` when exhausted (in which case the state is rewound to `snap`).
+#[allow(clippy::too_many_arguments)]
+fn rescue_ladder<F>(
+    policy: &RescuePolicy,
+    take_step: &mut F,
+    probe: &mut Probe<'_>,
+    t_from: f64,
+    t_target: f64,
+    method_be: bool,
+    snap: &StateSnapshot,
+    x: &mut Vec<f64>,
+    v_prev: &mut [f64],
+    i_prev: &mut [f64],
+    il_prev: &mut [f64],
+    vl_prev: &mut [f64],
+) -> (usize, Option<&'static str>)
+where
+    F: FnMut(
+        f64,
+        f64,
+        bool,
+        f64,
+        &mut Probe<'_>,
+        &mut Vec<f64>,
+        &mut [f64],
+        &mut [f64],
+        &mut [f64],
+        &mut [f64],
+    ) -> Result<(), Error>,
+{
+    let h_full = t_target - t_from;
+    let mut attempts = 0usize;
+
+    // Stages 1 and 2: timestep cutting, first with the caller's method,
+    // then forced backward Euler. A BE caller skips the redundant rerun.
+    let stages: &[(&'static str, bool)] = if method_be {
+        &[("dt_cut", true)]
+    } else {
+        &[("dt_cut", false), ("be", true)]
+    };
+    for &(stage, be) in stages {
+        let k_first = if stage == "be" { 0 } else { 1 };
+        for k in k_first..=policy.max_step_cuts {
+            let n_sub = 1u32 << k;
+            let h_sub = h_full / f64::from(n_sub);
+            snap.restore(x, v_prev, i_prev, il_prev, vl_prev);
+            attempts += 1;
+            let mut converged = true;
+            for i in 1..=n_sub {
+                let t_new = if i == n_sub {
+                    t_target
+                } else {
+                    t_from + f64::from(i) * h_sub
+                };
+                if take_step(
+                    t_new, h_sub, be, 0.0, probe, x, v_prev, i_prev, il_prev, vl_prev,
+                )
+                .is_err()
+                {
+                    converged = false;
+                    break;
+                }
+            }
+            probe.emit(Event::RescueAttempt {
+                stage,
+                time: t_target,
+                dt: h_sub,
+                param: 0.0,
+                converged,
+            });
+            if converged {
+                return (attempts, Some(stage));
+            }
+        }
+    }
+
+    // Stage 3: per-point gmin. Solve the full step (backward Euler) with
+    // a shunt to ground, relaxing it rung by rung down to exactly zero;
+    // each solve warm-starts the next, so only the final zero-shunt
+    // solution is ever committed to the waveform.
+    snap.restore(x, v_prev, i_prev, il_prev, vl_prev);
+    let mut converged_all = true;
+    for g in policy
+        .gmin_ladder
+        .iter()
+        .copied()
+        .chain(std::iter::once(0.0))
+    {
+        // Rewind the reactive history but keep `x` as the warm start.
+        snap.restore_reactive(v_prev, i_prev, il_prev, vl_prev);
+        attempts += 1;
+        let r = take_step(
+            t_target, h_full, true, g, probe, x, v_prev, i_prev, il_prev, vl_prev,
+        );
+        probe.emit(Event::RescueAttempt {
+            stage: "gmin",
+            time: t_target,
+            dt: h_full,
+            param: g,
+            converged: r.is_ok(),
+        });
+        if r.is_err() {
+            converged_all = false;
+            break;
+        }
+    }
+    if converged_all {
+        return (attempts, Some("gmin"));
+    }
+
+    // Exhausted: rewind so the partial waveform ends at the last
+    // accepted step.
+    snap.restore(x, v_prev, i_prev, il_prev, vl_prev);
+    (attempts, None)
+}
+
+/// Budget check + ladder walk + telemetry + report entry for one
+/// troubled step. Returns `true` when the step was recovered.
+#[allow(clippy::too_many_arguments)]
+fn attempt_rescue<F>(
+    policy: &RescuePolicy,
+    report: &mut RescueReport,
+    take_step: &mut F,
+    probe: &mut Probe<'_>,
+    t_from: f64,
+    t_target: f64,
+    method_be: bool,
+    snap: &StateSnapshot,
+    x: &mut Vec<f64>,
+    v_prev: &mut [f64],
+    i_prev: &mut [f64],
+    il_prev: &mut [f64],
+    vl_prev: &mut [f64],
+) -> bool
+where
+    F: FnMut(
+        f64,
+        f64,
+        bool,
+        f64,
+        &mut Probe<'_>,
+        &mut Vec<f64>,
+        &mut [f64],
+        &mut [f64],
+        &mut [f64],
+        &mut [f64],
+    ) -> Result<(), Error>,
+{
+    let (attempts, stage) = if report.incidents.len() >= policy.max_rescued_steps {
+        // Rescue budget spent: rewind without burning more solves.
+        snap.restore(x, v_prev, i_prev, il_prev, vl_prev);
+        (0, None)
+    } else {
+        rescue_ladder(
+            policy, take_step, probe, t_from, t_target, method_be, snap, x, v_prev, i_prev,
+            il_prev, vl_prev,
+        )
+    };
+    probe.emit(Event::RescueOutcome {
+        time: t_target,
+        stage: stage.unwrap_or("exhausted"),
+        attempts: attempts as u32,
+        recovered: stage.is_some(),
+    });
+    report.incidents.push(RescueIncident {
+        time: t_target,
+        attempts,
+        recovered_by: stage,
+    });
+    stage.is_some()
+}
+
 /// A configured transient analysis (see the crate-level example and
 /// [`Transient::new`]).
 #[derive(Debug, Clone)]
@@ -180,8 +549,36 @@ impl Transient {
         &self,
         circuit: &Circuit,
         reference: bool,
-        mut probe: Probe<'_>,
+        probe: Probe<'_>,
     ) -> Result<TransientResult, Error> {
+        match self.run_impl(circuit, reference, None, probe)? {
+            TransientOutcome::Complete { result, .. } => Ok(result),
+            // Unreachable without a rescue policy, but cheap to honour.
+            TransientOutcome::Partial { error, .. } => Err(error),
+        }
+    }
+
+    /// Like [`run_with`](Self::run_with) but under a [`RescuePolicy`]:
+    /// non-convergent steps enter the rescue ladder and an exhausted
+    /// ladder degrades to [`TransientOutcome::Partial`] instead of an
+    /// error.
+    pub(crate) fn run_rescued(
+        &self,
+        circuit: &Circuit,
+        reference: bool,
+        policy: &RescuePolicy,
+        probe: Probe<'_>,
+    ) -> Result<TransientOutcome, Error> {
+        self.run_impl(circuit, reference, Some(policy), probe)
+    }
+
+    fn run_impl(
+        &self,
+        circuit: &Circuit,
+        reference: bool,
+        policy: Option<&RescuePolicy>,
+        mut probe: Probe<'_>,
+    ) -> Result<TransientOutcome, Error> {
         let reference = reference || self.reference;
         let ctx = if self.uic {
             crate::lint::LintContext::TransientUic
@@ -319,6 +716,7 @@ impl Transient {
         let mut take_step = |t_new: f64,
                              h: f64,
                              be: bool,
+                             gshunt: f64,
                              probe: &mut Probe<'_>,
                              x: &mut Vec<f64>,
                              v_prev: &mut [f64],
@@ -351,7 +749,7 @@ impl Transient {
                 source_scale: 1.0,
                 caps: Some(&companions),
                 inds: Some(&ind_companions),
-                gshunt: 0.0,
+                gshunt,
             };
             probe.solve(&mut engine, circuit, &layout, x, ctx, &opts, "transient")?;
             for (k, c) in caps.iter().enumerate() {
@@ -365,6 +763,9 @@ impl Transient {
             }
             Ok(())
         };
+
+        let mut report = RescueReport::default();
+        let mut partial_error: Option<Error> = None;
 
         if let Some(cfg) = self.adaptive {
             // ---- adaptive stepping ---------------------------------
@@ -419,23 +820,65 @@ impl Transient {
 
                 let be = matches!(self.method, IntegrationMethod::BackwardEuler) || first;
                 let t_new = t_now + h_try;
-                take_step(
+                let mut rescued = false;
+                match take_step(
                     t_new,
                     h_try,
                     be,
+                    0.0,
                     &mut probe,
                     &mut x,
                     &mut v_prev,
                     &mut i_prev,
                     &mut il_prev,
                     &mut vl_prev,
-                )?;
+                ) {
+                    Ok(()) => {}
+                    Err(e @ Error::NonConvergence { .. }) => {
+                        let Some(policy) = policy else { return Err(e) };
+                        let snap = StateSnapshot {
+                            x: x_save.clone(),
+                            v_prev: vp_save.clone(),
+                            i_prev: ip_save.clone(),
+                            il_prev: ilp_save.clone(),
+                            vl_prev: vlp_save.clone(),
+                        };
+                        if !attempt_rescue(
+                            policy,
+                            &mut report,
+                            &mut take_step,
+                            &mut probe,
+                            t_now,
+                            t_new,
+                            be,
+                            &snap,
+                            &mut x,
+                            &mut v_prev,
+                            &mut i_prev,
+                            &mut il_prev,
+                            &mut vl_prev,
+                        ) {
+                            partial_error = Some(Error::NonConvergence {
+                                analysis: "transient",
+                                time: t_new,
+                                iterations: self.max_iter,
+                                stage: "rescue",
+                                attempts: report.incidents.last().map_or(0, |i| i.attempts),
+                            });
+                            break;
+                        }
+                        rescued = true;
+                    }
+                    Err(e) => return Err(e),
+                }
 
                 // LTE estimate: discrepancy against the linear predictor
                 // x_pred = x_prev + slope·h. Only meaningful with history
-                // and away from breakpoints just crossed.
+                // and away from breakpoints just crossed. A rescued step
+                // is accepted unconditionally: the predictor comparison
+                // is meaningless across a sub-stepped interval.
                 let mut err = 0.0f64;
-                if !first && h_last > 0.0 {
+                if !rescued && !first && h_last > 0.0 {
                     for r in 0..node_rows {
                         let slope = (x_save[r] - x_prev[r]) / h_last;
                         let pred = x_save[r] + slope * h_try;
@@ -481,18 +924,61 @@ impl Transient {
             // ---- fixed stepping ------------------------------------
             for step in 1..=steps {
                 let t = step as f64 * self.dt;
+                let t_prev = (step - 1) as f64 * self.dt;
                 let be = matches!(self.method, IntegrationMethod::BackwardEuler) || step == 1;
-                take_step(
+                // Snapshots only exist under a rescue policy, so the
+                // plain hot path stays allocation-free per step.
+                let snap = policy
+                    .map(|_| StateSnapshot::capture(&x, &v_prev, &i_prev, &il_prev, &vl_prev));
+                match take_step(
                     t,
                     self.dt,
                     be,
+                    0.0,
                     &mut probe,
                     &mut x,
                     &mut v_prev,
                     &mut i_prev,
                     &mut il_prev,
                     &mut vl_prev,
-                )?;
+                ) {
+                    Ok(()) => {}
+                    Err(e @ Error::NonConvergence { .. }) => {
+                        let (Some(policy), Some(snap)) = (policy, snap.as_ref()) else {
+                            return Err(e);
+                        };
+                        if !attempt_rescue(
+                            policy,
+                            &mut report,
+                            &mut take_step,
+                            &mut probe,
+                            t_prev,
+                            t,
+                            be,
+                            snap,
+                            &mut x,
+                            &mut v_prev,
+                            &mut i_prev,
+                            &mut il_prev,
+                            &mut vl_prev,
+                        ) {
+                            partial_error = Some(Error::NonConvergence {
+                                analysis: "transient",
+                                time: t,
+                                iterations: self.max_iter,
+                                stage: "rescue",
+                                attempts: report.incidents.last().map_or(0, |i| i.attempts),
+                            });
+                            // Put the last accepted point on record if
+                            // decimation skipped it.
+                            if times.last().copied() != Some(t_prev) {
+                                record(t_prev, &x, &mut times, &mut signals);
+                            }
+                            break;
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
                 probe.emit(Event::StepAccepted {
                     time: t,
                     dt: self.dt,
@@ -505,11 +991,8 @@ impl Transient {
         }
 
         probe.report(&engine, "transient");
-        probe.emit(Event::AnalysisEnd {
-            analysis: "transient",
-        });
         let ground = vec![0.0; times.len()];
-        Ok(TransientResult {
+        let result = TransientResult {
             times,
             signals,
             ground,
@@ -517,7 +1000,23 @@ impl Transient {
             n_nodes: layout.n_nodes,
             sources,
             branch_elements,
-        })
+        };
+        match partial_error {
+            None => {
+                probe.emit(Event::AnalysisEnd {
+                    analysis: "transient",
+                });
+                Ok(TransientOutcome::Complete {
+                    result,
+                    rescues: report,
+                })
+            }
+            Some(error) => Ok(TransientOutcome::Partial {
+                result,
+                rescues: report,
+                error,
+            }),
+        }
     }
 }
 

@@ -21,6 +21,15 @@ pub enum Error {
         time: f64,
         /// Iterations spent before giving up.
         iterations: usize,
+        /// Strategy that was active when convergence was abandoned:
+        /// `"newton"` for a bare solve, `"source"` when the whole DC
+        /// homotopy ladder (direct → gmin → source stepping) ran dry,
+        /// `"rescue"` when the transient rescue ladder was exhausted.
+        stage: &'static str,
+        /// Continuation attempts made before giving up: homotopy steps
+        /// for DC, rescue-ladder rungs for transient; `0` for a bare
+        /// solve.
+        attempts: usize,
     },
     /// The netlist is structurally invalid.
     InvalidCircuit {
@@ -55,16 +64,27 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::SingularMatrix { row } => {
-                write!(f, "singular MNA matrix at pivot row {row} (floating node or voltage-source loop)")
+                write!(
+                    f,
+                    "singular MNA matrix at pivot row {row} (floating node or voltage-source loop)"
+                )
             }
             Error::NonConvergence {
                 analysis,
                 time,
                 iterations,
-            } => write!(
-                f,
-                "{analysis} analysis failed to converge at t={time:.3e}s after {iterations} iterations"
-            ),
+                stage,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "{analysis} analysis failed to converge at t={time:.3e}s after {iterations} iterations (stage: {stage}"
+                )?;
+                if *attempts > 0 {
+                    write!(f, ", {attempts} continuation attempts")?;
+                }
+                write!(f, ")")
+            }
             Error::InvalidCircuit { reason } => write!(f, "invalid circuit: {reason}"),
             Error::InvalidParameter { element, reason } => {
                 write!(f, "invalid parameter on element {element}: {reason}")
@@ -101,9 +121,23 @@ mod tests {
             analysis: "transient",
             time: 1e-9,
             iterations: 100,
+            stage: "newton",
+            attempts: 0,
         };
         assert!(e.to_string().contains("transient"));
         assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("stage: newton"));
+        assert!(!e.to_string().contains("continuation attempts"));
+
+        let e = Error::NonConvergence {
+            analysis: "dc",
+            time: 0.0,
+            iterations: 200,
+            stage: "source",
+            attempts: 17,
+        };
+        assert!(e.to_string().contains("stage: source"));
+        assert!(e.to_string().contains("17 continuation attempts"));
 
         let e = Error::InvalidCircuit {
             reason: "no ground reference".into(),

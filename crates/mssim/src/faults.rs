@@ -1,0 +1,674 @@
+//! Non-destructive fault injection for robustness campaigns.
+//!
+//! A [`Fault`] describes a single hardware defect — a stuck switch, an
+//! open resistor, a browning-out supply, a jittery PWM generator — and
+//! [`Fault::apply`] materialises it on a *copy* of a borrowed
+//! [`Circuit`]: the pristine netlist is never mutated, so one golden
+//! circuit can fan out across an arbitrary fault universe in parallel.
+//!
+//! [`single_fault_universe`] enumerates a sensible single-fault universe
+//! for any netlist (one faulty element at a time, the classic stuck-at
+//! model of switch-level testing); domain crates curate richer universes
+//! on top — see `pwmcell::faults` for the PWM perceptron cells.
+//!
+//! ```
+//! use mssim::prelude::*;
+//! use mssim::faults::{single_fault_universe, UniverseConfig};
+//!
+//! let mut ckt = Circuit::new();
+//! let vdd = ckt.node("vdd");
+//! let out = ckt.node("out");
+//! ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+//! ckt.resistor("R1", vdd, out, 1e3);
+//! ckt.capacitor("C1", out, Circuit::GND, 1e-12);
+//!
+//! let universe = single_fault_universe(&ckt, &UniverseConfig::default());
+//! assert!(!universe.is_empty());
+//! for lf in &universe {
+//!     let faulty = lf.fault.apply(&ckt).unwrap(); // `ckt` untouched
+//!     assert!(faulty.element_count() >= ckt.element_count());
+//! }
+//! ```
+
+use crate::elements::Element;
+use crate::error::Error;
+use crate::netlist::{Circuit, ElementId, NodeId};
+use crate::waveform::{Jitter, Waveform};
+
+/// Resistance modelling an open circuit, ohms. High enough to starve any
+/// load the cells use, low enough to keep the MNA matrix comfortably
+/// conditioned.
+pub const OPEN_OHMS: f64 = 1e12;
+
+/// Resistance modelling a hard short, ohms.
+pub const SHORT_OHMS: f64 = 1e-3;
+
+/// A single injectable hardware defect.
+///
+/// Every variant is applied by [`Fault::apply`] to a copy of the target
+/// circuit; the borrowed original is never modified.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Voltage-controlled switch stuck open: both resistances forced to
+    /// [`OPEN_OHMS`], so the control voltage no longer matters.
+    SwitchStuckOpen(ElementId),
+    /// Switch stuck closed: both resistances forced to [`SHORT_OHMS`].
+    SwitchStuckClosed(ElementId),
+    /// MOSFET stuck open: channel width collapsed so the device cannot
+    /// conduct regardless of gate drive.
+    MosfetStuckOpen(ElementId),
+    /// MOSFET stuck short: a [`SHORT_OHMS`] resistor bridges drain and
+    /// source.
+    MosfetStuckShort(ElementId),
+    /// Resistor failed open (resistance forced to [`OPEN_OHMS`]).
+    ResistorOpen(ElementId),
+    /// Resistor failed short (resistance forced to [`SHORT_OHMS`]).
+    ResistorShort(ElementId),
+    /// Resistor drifted by a multiplicative `factor` (aging, process).
+    ResistorDrift {
+        /// The drifting resistor.
+        id: ElementId,
+        /// Multiplicative drift; must be positive and finite.
+        factor: f64,
+    },
+    /// Capacitor developed a parallel leakage path of `ohms`.
+    CapacitorLeak {
+        /// The leaking capacitor.
+        id: ElementId,
+        /// Leakage resistance in ohms.
+        ohms: f64,
+    },
+    /// Two nets bridged by a resistive defect of `ohms`.
+    NetBridge {
+        /// First bridged net.
+        a: NodeId,
+        /// Second bridged net.
+        b: NodeId,
+        /// Bridge resistance in ohms.
+        ohms: f64,
+    },
+    /// Supply droop: every value of the source's waveform scaled by
+    /// `factor` (e.g. `0.9` for a 10 % sag).
+    SupplyDroop {
+        /// The drooping source.
+        id: ElementId,
+        /// Multiplicative scale; must be finite.
+        factor: f64,
+    },
+    /// Supply brownout: a DC supply dips to `v_low` between `t_start`
+    /// and `t_end`, ramping over `t_ramp` on each side.
+    SupplyBrownout {
+        /// The browning-out source (must drive a DC waveform).
+        id: ElementId,
+        /// Voltage during the brownout window.
+        v_low: f64,
+        /// Start of the dip, seconds.
+        t_start: f64,
+        /// End of the dip, seconds.
+        t_end: f64,
+        /// Ramp time of each slope, seconds.
+        t_ramp: f64,
+    },
+    /// PWM generator with timing jitter: the source's pulse train is
+    /// replaced by [`Waveform::pwm_with_jitter`] with the same
+    /// amplitude, frequency and duty cycle.
+    PwmJitter {
+        /// The jittering PWM source (must drive a pulse waveform).
+        id: ElementId,
+        /// Deterministic jitter description.
+        jitter: Jitter,
+    },
+    /// PWM generator with a systematic duty-cycle error of `delta`
+    /// (result clamped to `0..=1`).
+    PwmDutyShift {
+        /// The mis-calibrated PWM source (must drive a pulse waveform).
+        id: ElementId,
+        /// Signed duty shift.
+        delta: f64,
+    },
+}
+
+impl Fault {
+    /// Applies the fault to a copy of `circuit` and returns the faulty
+    /// netlist; the borrowed original is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the fault does not match
+    /// its target (e.g. a switch fault aimed at a resistor, a brownout
+    /// aimed at a pulsed source) or a numeric parameter is out of domain.
+    pub fn apply(&self, circuit: &Circuit) -> Result<Circuit, Error> {
+        let mut ckt = circuit.clone();
+        match *self {
+            Fault::SwitchStuckOpen(id) => {
+                ckt.set_switch_resistances(id, OPEN_OHMS, OPEN_OHMS)?;
+            }
+            Fault::SwitchStuckClosed(id) => {
+                ckt.set_switch_resistances(id, SHORT_OHMS, SHORT_OHMS)?;
+            }
+            Fault::MosfetStuckOpen(id) => {
+                let params = match ckt.element(id) {
+                    Element::Mosfet { params, .. } => *params,
+                    _ => {
+                        return Err(Error::InvalidParameter {
+                            element: ckt.element_name(id).to_owned(),
+                            reason: "mosfet fault targets a non-mosfet element".into(),
+                        })
+                    }
+                };
+                let mut dead = params;
+                // A vanishing W/L ratio starves the channel: the device
+                // stays in the netlist (keeping node connectivity) but
+                // conducts nanoamps at most.
+                dead.w = params.w * 1e-9;
+                ckt.set_mos_params(id, dead)?;
+            }
+            Fault::MosfetStuckShort(id) => {
+                let (d, s) = match ckt.element(id) {
+                    Element::Mosfet { d, s, .. } => (*d, *s),
+                    _ => {
+                        return Err(Error::InvalidParameter {
+                            element: ckt.element_name(id).to_owned(),
+                            reason: "mosfet fault targets a non-mosfet element".into(),
+                        })
+                    }
+                };
+                let name = format!("FAULT_SHORT_{}", ckt.element_name(id));
+                ckt.resistor(&name, d, s, SHORT_OHMS);
+            }
+            Fault::ResistorOpen(id) => ckt.set_resistance(id, OPEN_OHMS)?,
+            Fault::ResistorShort(id) => ckt.set_resistance(id, SHORT_OHMS)?,
+            Fault::ResistorDrift { id, factor } => {
+                if !(factor > 0.0 && factor.is_finite()) {
+                    return Err(Error::InvalidParameter {
+                        element: ckt.element_name(id).to_owned(),
+                        reason: format!("drift factor must be positive and finite, got {factor}"),
+                    });
+                }
+                let ohms = match ckt.element(id) {
+                    Element::Resistor { ohms, .. } => *ohms,
+                    _ => {
+                        return Err(Error::InvalidParameter {
+                            element: ckt.element_name(id).to_owned(),
+                            reason: "drift fault targets a non-resistor element".into(),
+                        })
+                    }
+                };
+                ckt.set_resistance(id, ohms * factor)?;
+            }
+            Fault::CapacitorLeak { id, ohms } => {
+                let (a, b) = match ckt.element(id) {
+                    Element::Capacitor { a, b, .. } => (*a, *b),
+                    _ => {
+                        return Err(Error::InvalidParameter {
+                            element: ckt.element_name(id).to_owned(),
+                            reason: "leak fault targets a non-capacitor element".into(),
+                        })
+                    }
+                };
+                let name = format!("FAULT_LEAK_{}", ckt.element_name(id));
+                if !(ohms > 0.0 && ohms.is_finite()) {
+                    return Err(Error::InvalidParameter {
+                        element: name,
+                        reason: format!("leak resistance must be positive and finite, got {ohms}"),
+                    });
+                }
+                ckt.resistor(&name, a, b, ohms);
+            }
+            Fault::NetBridge { a, b, ohms } => {
+                if a == b {
+                    return Err(Error::InvalidParameter {
+                        element: "FAULT_BRIDGE".into(),
+                        reason: "bridge fault needs two distinct nets".into(),
+                    });
+                }
+                if !(ohms > 0.0 && ohms.is_finite()) {
+                    return Err(Error::InvalidParameter {
+                        element: "FAULT_BRIDGE".into(),
+                        reason: format!(
+                            "bridge resistance must be positive and finite, got {ohms}"
+                        ),
+                    });
+                }
+                let name = format!(
+                    "FAULT_BRIDGE_{}_{}",
+                    ckt.node_name(a).to_owned(),
+                    ckt.node_name(b).to_owned()
+                );
+                ckt.resistor(&name, a, b, ohms);
+            }
+            Fault::SupplyDroop { id, factor } => {
+                if !factor.is_finite() {
+                    return Err(Error::InvalidParameter {
+                        element: ckt.element_name(id).to_owned(),
+                        reason: format!("droop factor must be finite, got {factor}"),
+                    });
+                }
+                let w = source_waveform(&ckt, id)?.clone();
+                ckt.set_waveform(id, scale_waveform(&w, factor))?;
+            }
+            Fault::SupplyBrownout {
+                id,
+                v_low,
+                t_start,
+                t_end,
+                t_ramp,
+            } => {
+                let nominal = match source_waveform(&ckt, id)? {
+                    Waveform::Dc(v) => *v,
+                    _ => {
+                        return Err(Error::InvalidParameter {
+                            element: ckt.element_name(id).to_owned(),
+                            reason: "brownout fault requires a DC supply".into(),
+                        })
+                    }
+                };
+                if !(t_ramp > 0.0 && t_start > 0.0 && t_end > t_start + t_ramp) {
+                    return Err(Error::InvalidParameter {
+                        element: ckt.element_name(id).to_owned(),
+                        reason: format!(
+                            "brownout window must satisfy 0 < t_start, t_ramp > 0, \
+                             t_end > t_start + t_ramp (got start {t_start}, end {t_end}, \
+                             ramp {t_ramp})"
+                        ),
+                    });
+                }
+                let dip = Waveform::pwl(vec![
+                    (0.0, nominal),
+                    (t_start, nominal),
+                    (t_start + t_ramp, v_low),
+                    (t_end, v_low),
+                    (t_end + t_ramp, nominal),
+                ]);
+                ckt.set_waveform(id, dip)?;
+            }
+            Fault::PwmJitter { id, ref jitter } => {
+                let p = pulse_of(&ckt, id)?;
+                let freq = 1.0 / p.period;
+                let edge = (p.rise / p.period).clamp(1e-3, 0.499);
+                let jittered =
+                    Waveform::pwm_with_jitter(p.high, freq, p.duty_cycle(), edge, jitter);
+                ckt.set_waveform(id, jittered)?;
+            }
+            Fault::PwmDutyShift { id, delta } => {
+                if !delta.is_finite() {
+                    return Err(Error::InvalidParameter {
+                        element: ckt.element_name(id).to_owned(),
+                        reason: format!("duty shift must be finite, got {delta}"),
+                    });
+                }
+                let p = pulse_of(&ckt, id)?;
+                let freq = 1.0 / p.period;
+                let duty = (p.duty_cycle() + delta).clamp(0.0, 1.0);
+                let edge = (p.rise / p.period).clamp(1e-6, 0.499);
+                ckt.set_waveform(id, Waveform::pwm_with_edges(p.high, freq, duty, edge))?;
+            }
+        }
+        Ok(ckt)
+    }
+
+    /// Short machine-readable kind tag (used in campaign labels and the
+    /// exported JSON).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::SwitchStuckOpen(_) => "switch_stuck_open",
+            Fault::SwitchStuckClosed(_) => "switch_stuck_closed",
+            Fault::MosfetStuckOpen(_) => "mosfet_stuck_open",
+            Fault::MosfetStuckShort(_) => "mosfet_stuck_short",
+            Fault::ResistorOpen(_) => "resistor_open",
+            Fault::ResistorShort(_) => "resistor_short",
+            Fault::ResistorDrift { .. } => "resistor_drift",
+            Fault::CapacitorLeak { .. } => "capacitor_leak",
+            Fault::NetBridge { .. } => "net_bridge",
+            Fault::SupplyDroop { .. } => "supply_droop",
+            Fault::SupplyBrownout { .. } => "supply_brownout",
+            Fault::PwmJitter { .. } => "pwm_jitter",
+            Fault::PwmDutyShift { .. } => "pwm_duty_shift",
+        }
+    }
+}
+
+/// A fault plus the human-readable label it carries through a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledFault {
+    /// `kind:target` label, stable across runs of the same netlist.
+    pub label: String,
+    /// The defect itself.
+    pub fault: Fault,
+}
+
+impl LabeledFault {
+    /// Labels `fault` as `kind:target`.
+    pub fn new(target: &str, fault: Fault) -> Self {
+        LabeledFault {
+            label: format!("{}:{}", fault.kind(), target),
+            fault,
+        }
+    }
+}
+
+/// Knobs for [`single_fault_universe`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniverseConfig {
+    /// Multiplicative resistor drift; both `factor` and `1/factor` are
+    /// enumerated.
+    pub resistor_drift: f64,
+    /// Leakage resistance injected across each capacitor, ohms.
+    pub capacitor_leak_ohms: f64,
+    /// Droop factor applied to each DC supply.
+    pub supply_droop: f64,
+    /// Peak edge jitter applied to each pulsed source, in periods.
+    pub pwm_edge_jitter: f64,
+    /// Periods materialised by each jittered PWM waveform.
+    pub pwm_jitter_periods: usize,
+    /// Base seed for the per-source jitter streams (source index is
+    /// mixed in, so each source jitters independently).
+    pub seed: u64,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig {
+            resistor_drift: 2.0,
+            capacitor_leak_ohms: 1e5,
+            supply_droop: 0.9,
+            pwm_edge_jitter: 0.05,
+            pwm_jitter_periods: 64,
+            seed: 0xFA01,
+        }
+    }
+}
+
+/// Enumerates the classic single-fault universe of `circuit`: for every
+/// element, each defect its kind admits, one fault per entry.
+///
+/// Switches get stuck-open/stuck-closed, MOSFETs stuck-open/stuck-short,
+/// resistors open/short/drift (up and down), capacitors a leakage path,
+/// DC voltage sources a supply droop, and pulsed voltage sources edge
+/// jitter plus a duty shift. Net bridges are *not* enumerated (the pair
+/// space is quadratic); curate those per-topology. The order is the
+/// netlist insertion order, so the universe — and any campaign run over
+/// it — is deterministic.
+pub fn single_fault_universe(circuit: &Circuit, config: &UniverseConfig) -> Vec<LabeledFault> {
+    let mut universe = Vec::new();
+    for (id, name, element) in circuit.elements() {
+        match element {
+            Element::Switch { .. } => {
+                universe.push(LabeledFault::new(name, Fault::SwitchStuckOpen(id)));
+                universe.push(LabeledFault::new(name, Fault::SwitchStuckClosed(id)));
+            }
+            Element::Mosfet { .. } => {
+                universe.push(LabeledFault::new(name, Fault::MosfetStuckOpen(id)));
+                universe.push(LabeledFault::new(name, Fault::MosfetStuckShort(id)));
+            }
+            Element::Resistor { .. } => {
+                universe.push(LabeledFault::new(name, Fault::ResistorOpen(id)));
+                universe.push(LabeledFault::new(name, Fault::ResistorShort(id)));
+                universe.push(LabeledFault::new(
+                    &format!("{name}*{}", config.resistor_drift),
+                    Fault::ResistorDrift {
+                        id,
+                        factor: config.resistor_drift,
+                    },
+                ));
+                universe.push(LabeledFault::new(
+                    &format!("{name}/{}", config.resistor_drift),
+                    Fault::ResistorDrift {
+                        id,
+                        factor: 1.0 / config.resistor_drift,
+                    },
+                ));
+            }
+            Element::Capacitor { .. } => {
+                universe.push(LabeledFault::new(
+                    name,
+                    Fault::CapacitorLeak {
+                        id,
+                        ohms: config.capacitor_leak_ohms,
+                    },
+                ));
+            }
+            Element::VoltageSource { waveform, .. } => match waveform {
+                Waveform::Dc(v) if *v != 0.0 => {
+                    universe.push(LabeledFault::new(
+                        name,
+                        Fault::SupplyDroop {
+                            id,
+                            factor: config.supply_droop,
+                        },
+                    ));
+                }
+                Waveform::Pulse(_) => {
+                    universe.push(LabeledFault::new(
+                        name,
+                        Fault::PwmJitter {
+                            id,
+                            jitter: Jitter::edges(
+                                config.seed.wrapping_add(id.index() as u64),
+                                config.pwm_edge_jitter,
+                                config.pwm_jitter_periods,
+                            ),
+                        },
+                    ));
+                    universe.push(LabeledFault::new(
+                        name,
+                        Fault::PwmDutyShift { id, delta: -0.1 },
+                    ));
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    universe
+}
+
+fn source_waveform(ckt: &Circuit, id: ElementId) -> Result<&Waveform, Error> {
+    match ckt.element(id) {
+        Element::VoltageSource { waveform, .. } | Element::CurrentSource { waveform, .. } => {
+            Ok(waveform)
+        }
+        _ => Err(Error::InvalidParameter {
+            element: ckt.element_name(id).to_owned(),
+            reason: "supply fault targets a non-source element".into(),
+        }),
+    }
+}
+
+fn pulse_of(ckt: &Circuit, id: ElementId) -> Result<crate::waveform::Pulse, Error> {
+    match source_waveform(ckt, id)? {
+        Waveform::Pulse(p) if p.period > 0.0 => Ok(*p),
+        _ => Err(Error::InvalidParameter {
+            element: ckt.element_name(id).to_owned(),
+            reason: "pwm fault requires a pulsed source".into(),
+        }),
+    }
+}
+
+fn scale_waveform(w: &Waveform, factor: f64) -> Waveform {
+    match w {
+        Waveform::Dc(v) => Waveform::Dc(v * factor),
+        Waveform::Pulse(p) => {
+            let mut q = *p;
+            q.low *= factor;
+            q.high *= factor;
+            Waveform::Pulse(q)
+        }
+        Waveform::Pwl(points) => {
+            Waveform::Pwl(points.iter().map(|&(t, v)| (t, v * factor)).collect())
+        }
+        Waveform::Sine {
+            offset,
+            amplitude,
+            frequency,
+            delay,
+        } => Waveform::Sine {
+            offset: offset * factor,
+            amplitude: amplitude * factor,
+            frequency: *frequency,
+            delay: *delay,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+
+    /// VDD — R1 — out — SW(out..GND controlled by ctrl) with a load cap.
+    fn switch_divider() -> (Circuit, ElementId, ElementId, ElementId, NodeId) {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        let ctrl = ckt.node("ctrl");
+        let v1 = ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.0));
+        ckt.vsource("VC", ctrl, Circuit::GND, Waveform::dc(0.0));
+        let r1 = ckt.resistor("R1", vdd, out, 1e3);
+        let sw = ckt.switch("SW", out, Circuit::GND, ctrl, Circuit::GND, 1.0, 1e2, 1e9);
+        (ckt, v1, r1, sw, out)
+    }
+
+    #[test]
+    fn apply_never_mutates_the_original() {
+        let (ckt, _, r1, _, _) = switch_divider();
+        let before = ckt.revision();
+        let faulty = Fault::ResistorOpen(r1).apply(&ckt).unwrap();
+        assert_eq!(ckt.revision(), before, "borrowed circuit must be pristine");
+        assert_ne!(
+            format!("{:?}", faulty.element(r1)),
+            format!("{:?}", ckt.element(r1))
+        );
+    }
+
+    #[test]
+    fn stuck_switch_overrides_control() {
+        let (ckt, _, _, sw, out) = switch_divider();
+        // Control is low, so the healthy switch is off: out ≈ vdd.
+        let healthy = Session::new(&ckt).dc_operating_point().unwrap();
+        assert!(healthy.voltage(out) > 1.9);
+        // Stuck closed: out pulled to ground through SHORT_OHMS.
+        let shorted = Fault::SwitchStuckClosed(sw).apply(&ckt).unwrap();
+        let v = Session::new(&shorted).dc_operating_point().unwrap();
+        assert!(
+            v.voltage(out) < 0.1,
+            "stuck-closed switch must pull out low"
+        );
+    }
+
+    #[test]
+    fn resistor_drift_scales_in_place() {
+        let (ckt, _, r1, _, _) = switch_divider();
+        let drifted = Fault::ResistorDrift {
+            id: r1,
+            factor: 2.0,
+        }
+        .apply(&ckt)
+        .unwrap();
+        match drifted.element(r1) {
+            Element::Resistor { ohms, .. } => assert!((ohms - 2e3).abs() < 1e-9),
+            _ => panic!("r1 should still be a resistor"),
+        }
+    }
+
+    #[test]
+    fn supply_droop_scales_dc_rail() {
+        let (ckt, v1, _, _, _) = switch_divider();
+        let drooped = Fault::SupplyDroop {
+            id: v1,
+            factor: 0.8,
+        }
+        .apply(&ckt)
+        .unwrap();
+        match drooped.element(v1) {
+            Element::VoltageSource { waveform, .. } => {
+                assert_eq!(*waveform, Waveform::Dc(1.6));
+            }
+            _ => panic!("v1 should still be a source"),
+        }
+    }
+
+    #[test]
+    fn brownout_builds_a_dip() {
+        let (ckt, v1, _, _, _) = switch_divider();
+        let browned = Fault::SupplyBrownout {
+            id: v1,
+            v_low: 0.5,
+            t_start: 1e-6,
+            t_end: 3e-6,
+            t_ramp: 0.1e-6,
+        }
+        .apply(&ckt)
+        .unwrap();
+        match browned.element(v1) {
+            Element::VoltageSource { waveform, .. } => {
+                assert_eq!(waveform.value(0.0), 2.0);
+                assert!((waveform.value(2e-6) - 0.5).abs() < 1e-12);
+                assert_eq!(waveform.value(5e-6), 2.0);
+            }
+            _ => panic!("v1 should still be a source"),
+        }
+    }
+
+    #[test]
+    fn net_bridge_adds_a_named_resistor() {
+        let (ckt, _, _, _, out) = switch_divider();
+        let vdd = ckt.find_node("vdd").unwrap();
+        let bridged = Fault::NetBridge {
+            a: vdd,
+            b: out,
+            ohms: 10.0,
+        }
+        .apply(&ckt)
+        .unwrap();
+        assert_eq!(bridged.element_count(), ckt.element_count() + 1);
+        assert!(bridged.find_element("FAULT_BRIDGE_vdd_out").is_some());
+    }
+
+    #[test]
+    fn mismatched_targets_are_rejected() {
+        let (ckt, v1, r1, sw, _) = switch_divider();
+        assert!(Fault::SwitchStuckOpen(r1).apply(&ckt).is_err());
+        assert!(Fault::ResistorOpen(sw).apply(&ckt).is_err());
+        assert!(Fault::MosfetStuckOpen(v1).apply(&ckt).is_err());
+        assert!(Fault::PwmJitter {
+            id: v1, // DC source, not a pulse train
+            jitter: Jitter::edges(0, 0.01, 8),
+        }
+        .apply(&ckt)
+        .is_err());
+    }
+
+    #[test]
+    fn universe_covers_every_element_kind_deterministically() {
+        let (mut ckt, _, _, _, out) = switch_divider();
+        ckt.capacitor("CL", out, Circuit::GND, 1e-12);
+        let vin = ckt.node("in");
+        ckt.vsource("VIN", vin, Circuit::GND, Waveform::pwm(2.0, 1e6, 0.5));
+        let cfg = UniverseConfig::default();
+        let a = single_fault_universe(&ckt, &cfg);
+        let b = single_fault_universe(&ckt, &cfg);
+        assert_eq!(a, b, "universe enumeration must be deterministic");
+        let kinds: Vec<&str> = a.iter().map(|lf| lf.fault.kind()).collect();
+        for expect in [
+            "switch_stuck_open",
+            "switch_stuck_closed",
+            "resistor_open",
+            "resistor_short",
+            "resistor_drift",
+            "capacitor_leak",
+            "supply_droop",
+            "pwm_jitter",
+            "pwm_duty_shift",
+        ] {
+            assert!(kinds.contains(&expect), "universe missing {expect}");
+        }
+        // Every enumerated fault must actually apply cleanly.
+        for lf in &a {
+            lf.fault
+                .apply(&ckt)
+                .unwrap_or_else(|e| panic!("{} failed to apply: {e}", lf.label));
+        }
+    }
+}

@@ -24,7 +24,15 @@
 //!   topologies are rejected with named nodes/elements before any solve,
 //! * static verification ([`verify`]): structural-solvability analysis
 //!   (bipartite matching + Dulmage–Mendelsohn) and a stamp-plan verifier
-//!   that proves compiled plans sound before Newton ever runs.
+//!   that proves compiled plans sound before Newton ever runs,
+//! * a transient convergence-rescue ladder
+//!   ([`Session::transient_rescued`]): timestep cutting, backward-Euler
+//!   fallback and per-point gmin shunting, degrading gracefully to a
+//!   partial waveform instead of aborting,
+//! * non-destructive fault injection ([`faults`]): stuck switches and
+//!   MOSFETs, open/shorted/drifted resistors, leaky capacitors, net
+//!   bridges, supply brownout and PWM jitter, applied to a copy of a
+//!   borrowed circuit for robustness campaigns.
 //!
 //! The engine follows the same numerical formulation as the core loop of a
 //! production SPICE: nonlinear devices are linearised around the current
@@ -61,6 +69,7 @@ pub mod complex;
 pub mod elements;
 pub mod error;
 pub mod export;
+pub mod faults;
 pub mod linear;
 pub mod lint;
 pub mod netlist;
@@ -82,10 +91,12 @@ pub use waveform::Waveform;
 pub mod prelude {
     pub use crate::analysis::{
         AcResult, AdaptiveConfig, DcSolution, DcSweepResult, IntegrationMethod, NoiseResult,
-        Solution, Transient, TransientResult,
+        RescueIncident, RescuePolicy, RescueReport, Solution, Transient, TransientOutcome,
+        TransientResult,
     };
     pub use crate::elements::{MosParams, MosPolarity};
     pub use crate::error::Error;
+    pub use crate::faults::{Fault, LabeledFault};
     pub use crate::lint::{lint, LintCode, LintConfig, LintReport, Severity};
     pub use crate::netlist::{Circuit, ElementId, NodeId};
     pub use crate::session::Session;

@@ -587,6 +587,46 @@ impl Circuit {
         }
     }
 
+    /// Replaces the on/off resistances of an existing voltage-controlled
+    /// switch (for fault injection: a stuck switch is modelled by forcing
+    /// both resistances to the stuck state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the element is not a switch
+    /// or either resistance is not positive finite.
+    pub fn set_switch_resistances(
+        &mut self,
+        id: ElementId,
+        r_on: f64,
+        r_off: f64,
+    ) -> Result<(), Error> {
+        if !(r_on > 0.0 && r_on.is_finite() && r_off > 0.0 && r_off.is_finite()) {
+            return Err(Error::InvalidParameter {
+                element: self.elements[id.0].name.clone(),
+                reason: format!(
+                    "switch resistances must be positive and finite, got r_on={r_on} r_off={r_off}"
+                ),
+            });
+        }
+        match &mut self.elements[id.0].element {
+            Element::Switch {
+                r_on: on,
+                r_off: off,
+                ..
+            } => {
+                *on = r_on;
+                *off = r_off;
+                self.touch();
+                Ok(())
+            }
+            _ => Err(Error::InvalidParameter {
+                element: self.elements[id.0].name.clone(),
+                reason: "element is not a switch".into(),
+            }),
+        }
+    }
+
     /// Ids of all voltage sources, in insertion order.
     pub fn voltage_sources(&self) -> Vec<ElementId> {
         self.elements()

@@ -30,10 +30,10 @@
 //! ```
 
 use crate::analysis::ac::{ac_analysis_impl, AcResult};
-use crate::analysis::dcop::{dc_operating_point_impl, DcSolution};
+use crate::analysis::dcop::{dc_operating_point_opts, DcSolution};
 use crate::analysis::dcsweep::{dc_sweep_impl, DcSweepResult};
 use crate::analysis::noise::{noise_analysis_impl, NoiseResult};
-use crate::analysis::{Transient, TransientResult};
+use crate::analysis::{RescuePolicy, Transient, TransientOutcome, TransientResult};
 use crate::error::Error;
 use crate::netlist::{Circuit, ElementId, NodeId};
 use crate::telemetry::{Observer, Probe};
@@ -53,6 +53,7 @@ pub struct Session<'c, 'o> {
     circuit: &'c Circuit,
     observer: Option<&'o mut dyn Observer>,
     reference: bool,
+    dc_max_iter: Option<usize>,
 }
 
 impl<'c, 'o> Session<'c, 'o> {
@@ -62,7 +63,25 @@ impl<'c, 'o> Session<'c, 'o> {
             circuit,
             observer: None,
             reference: false,
+            dc_max_iter: None,
         }
+    }
+
+    /// Caps the Newton iteration budget of every DC solve run through
+    /// this session (the default budget is 200 iterations per solve).
+    ///
+    /// Starving the budget forces the DC homotopy ladder to exercise its
+    /// gmin and source-stepping fallback stages, which is useful for
+    /// testing convergence telemetry and for probing how close a circuit
+    /// sails to non-convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_dc_max_iterations(mut self, n: usize) -> Self {
+        assert!(n > 0, "DC iteration budget must be at least 1");
+        self.dc_max_iter = Some(n);
+        self
     }
 
     /// Attaches an [`Observer`] receiving counters, histograms and typed
@@ -103,7 +122,8 @@ impl<'c, 'o> Session<'c, 'o> {
     /// [`Error::NonConvergence`] if every continuation strategy fails.
     pub fn dc_operating_point(&mut self) -> Result<DcSolution, Error> {
         let reference = self.reference;
-        dc_operating_point_impl(self.circuit, reference, self.probe())
+        let max_iter = self.dc_max_iter;
+        dc_operating_point_opts(self.circuit, reference, max_iter, self.probe())
     }
 
     /// Sweeps the DC value of `source` through `values`, solving the
@@ -161,6 +181,36 @@ impl<'c, 'o> Session<'c, 'o> {
     pub fn transient(&mut self, tran: &Transient) -> Result<TransientResult, Error> {
         let reference = self.reference;
         tran.run_with(self.circuit, reference, self.probe())
+    }
+
+    /// Runs `tran` under the convergence-rescue ladder `policy`.
+    ///
+    /// Each time step that fails Newton iteration enters the ladder —
+    /// timestep cutting with exponential backoff, a backward-Euler
+    /// fallback, then per-point gmin shunting — and the run degrades
+    /// gracefully: instead of aborting with [`Error::NonConvergence`], an
+    /// unrescuable step yields [`TransientOutcome::Partial`] carrying the
+    /// waveform up to the last accepted point plus a structured
+    /// [`RescueReport`](crate::analysis::RescueReport). Every rung tried
+    /// is emitted to the session observer as
+    /// [`Event::RescueAttempt`](crate::telemetry::Event::RescueAttempt) /
+    /// [`Event::RescueOutcome`](crate::telemetry::Event::RescueOutcome)
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LintRejected`] for broken netlists and
+    /// [`Error::SingularMatrix`] for under-determined systems; those are
+    /// structural faults no amount of rescue can fix. Non-convergence of
+    /// the *initial* DC solve also propagates as an error — the ladder
+    /// only guards time stepping.
+    pub fn transient_rescued(
+        &mut self,
+        tran: &Transient,
+        policy: &RescuePolicy,
+    ) -> Result<TransientOutcome, Error> {
+        let reference = self.reference;
+        tran.run_rescued(self.circuit, reference, policy, self.probe())
     }
 
     /// Statically verifies the session's circuit: full lint report plus

@@ -177,6 +177,33 @@ pub enum Event {
         /// The breakpoint being snapped to.
         breakpoint: f64,
     },
+    /// The transient convergence-rescue ladder tried to recover a
+    /// non-converged time step (see
+    /// [`RescuePolicy`](crate::analysis::RescuePolicy)).
+    RescueAttempt {
+        /// Ladder stage: `"dt_cut"`, `"be"` or `"gmin"`.
+        stage: &'static str,
+        /// Target time of the step being rescued.
+        time: f64,
+        /// (Sub)step size used by this attempt.
+        dt: f64,
+        /// Continuation parameter: the shunt conductance for the gmin
+        /// stage, 0 otherwise.
+        param: f64,
+        /// Whether this attempt advanced the solution to `time`.
+        converged: bool,
+    },
+    /// The rescue ladder finished with a verdict for one troubled step.
+    RescueOutcome {
+        /// Target time of the step.
+        time: f64,
+        /// Stage that recovered the step, or `"exhausted"`.
+        stage: &'static str,
+        /// Ladder rungs tried (including the successful one).
+        attempts: u32,
+        /// Whether the step was recovered.
+        recovered: bool,
+    },
     /// One point of a multi-core sweep finished.
     SweepPoint {
         /// Index of the point in the input slice.
@@ -244,6 +271,8 @@ impl<T: Observer + ?Sized> Observer for &mut T {
 ///   `homotopy.source_steps`
 /// * `tran.steps_accepted`, `tran.steps_rejected`, `tran.edge_snaps`,
 ///   histograms `tran.dt`, `tran.lte`
+/// * `tran.rescue_attempts`, `tran.rescue_recoveries`,
+///   `tran.rescue_exhausted`
 /// * `sweep.points`, histogram `sweep.wall_ns`
 pub(crate) fn dispatch(obs: &mut dyn Observer, event: &Event) {
     match *event {
@@ -286,6 +315,19 @@ pub(crate) fn dispatch(obs: &mut dyn Observer, event: &Event) {
         }
         Event::EdgeSnap { .. } => {
             obs.counter("tran.edge_snaps", 1);
+        }
+        Event::RescueAttempt { .. } => {
+            obs.counter("tran.rescue_attempts", 1);
+        }
+        Event::RescueOutcome { recovered, .. } => {
+            obs.counter(
+                if recovered {
+                    "tran.rescue_recoveries"
+                } else {
+                    "tran.rescue_exhausted"
+                },
+                1,
+            );
         }
         Event::SweepPoint { wall_ns, .. } => {
             obs.counter("sweep.points", 1);
@@ -553,6 +595,35 @@ fn event_json(event: &Event) -> String {
             push_json_f64(&mut s, breakpoint);
             s.push('}');
         }
+        Event::RescueAttempt {
+            stage,
+            time,
+            dt,
+            param,
+            converged,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"rescue_attempt\",\"stage\":\"{stage}\",\"time\":"
+            ));
+            push_json_f64(&mut s, time);
+            s.push_str(",\"dt\":");
+            push_json_f64(&mut s, dt);
+            s.push_str(",\"param\":");
+            push_json_f64(&mut s, param);
+            s.push_str(&format!(",\"converged\":{converged}}}"));
+        }
+        Event::RescueOutcome {
+            time,
+            stage,
+            attempts,
+            recovered,
+        } => {
+            s.push_str("{\"event\":\"rescue_outcome\",\"time\":");
+            push_json_f64(&mut s, time);
+            s.push_str(&format!(
+                ",\"stage\":\"{stage}\",\"attempts\":{attempts},\"recovered\":{recovered}}}"
+            ));
+        }
         Event::SweepPoint {
             index,
             wall_ns,
@@ -786,6 +857,26 @@ mod tests {
                 dt: 5e-10,
                 breakpoint: 3.5e-9,
             },
+            Event::RescueAttempt {
+                stage: "dt_cut",
+                time: 4e-9,
+                dt: 5e-10,
+                param: 0.0,
+                converged: false,
+            },
+            Event::RescueAttempt {
+                stage: "gmin",
+                time: 4e-9,
+                dt: 1e-9,
+                param: 1e-6,
+                converged: true,
+            },
+            Event::RescueOutcome {
+                time: 4e-9,
+                stage: "gmin",
+                attempts: 2,
+                recovered: true,
+            },
             Event::SweepPoint {
                 index: 7,
                 wall_ns: 1200,
@@ -822,6 +913,9 @@ mod tests {
         assert_eq!(rec.counter_value("tran.steps_accepted"), 1);
         assert_eq!(rec.counter_value("tran.steps_rejected"), 1);
         assert_eq!(rec.counter_value("tran.edge_snaps"), 1);
+        assert_eq!(rec.counter_value("tran.rescue_attempts"), 2);
+        assert_eq!(rec.counter_value("tran.rescue_recoveries"), 1);
+        assert_eq!(rec.counter_value("tran.rescue_exhausted"), 0);
         assert_eq!(rec.counter_value("sweep.points"), 1);
         assert_eq!(rec.histogram_values("tran.dt"), &[1e-9]);
         assert_eq!(rec.histogram_values("tran.lte"), &[1e-5, 1e-1]);
@@ -855,6 +949,12 @@ mod tests {
         assert!(text.contains("\"iterations\":3"));
         assert!(text.contains("\"breakpoint\":3.5e-9"));
         assert!(text.contains("\"max_dv\":0.5"));
+        assert!(text.contains("\"event\":\"rescue_attempt\""));
+        assert!(text.contains("\"stage\":\"dt_cut\""));
+        assert!(
+            text.contains("\"event\":\"rescue_outcome\"")
+                && text.contains("\"attempts\":2,\"recovered\":true")
+        );
     }
 
     #[test]

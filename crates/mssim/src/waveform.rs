@@ -86,6 +86,50 @@ impl Pulse {
     }
 }
 
+/// Deterministic jitter description for [`Waveform::pwm_with_jitter`].
+///
+/// All randomness derives from `seed` through a SplitMix64 stream, so two
+/// waveforms built from equal specs are bitwise identical — campaigns
+/// stay reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jitter {
+    /// Seed of the per-edge offset stream.
+    pub seed: u64,
+    /// Peak edge displacement as a fraction of the period: each edge
+    /// moves by an independent uniform offset in `±edge_jitter` periods.
+    pub edge_jitter: f64,
+    /// Probability (0..=1) that a period's duty cycle glitches.
+    pub glitch_probability: f64,
+    /// Signed duty shift applied on a glitched period (result clamped to
+    /// `0..=1`).
+    pub glitch_duty: f64,
+    /// Number of PWM periods materialised; the line parks low afterwards.
+    pub periods: usize,
+}
+
+impl Jitter {
+    /// Pure edge jitter (no glitches) over `periods` periods.
+    pub fn edges(seed: u64, edge_jitter: f64, periods: usize) -> Self {
+        Jitter {
+            seed,
+            edge_jitter,
+            glitch_probability: 0.0,
+            glitch_duty: 0.0,
+            periods,
+        }
+    }
+}
+
+/// SplitMix64 step returning a uniform sample in `[0, 1)`.
+fn splitmix_uniform(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
 impl Waveform {
     /// Constant waveform.
     pub fn dc(value: f64) -> Self {
@@ -145,6 +189,98 @@ impl Waveform {
             width,
             period,
         })
+    }
+
+    /// PWM clock with deterministic per-edge timing jitter and optional
+    /// duty glitches, materialised as a piecewise-linear waveform.
+    ///
+    /// Each rising and falling edge of each period is displaced by an
+    /// independent uniform offset in `±jitter.edge_jitter` periods, drawn
+    /// from a SplitMix64 stream seeded with `jitter.seed` — the same seed
+    /// always produces the bitwise-identical waveform. A period may
+    /// additionally *glitch*: with probability `jitter.glitch_probability`
+    /// its duty cycle is shifted by `jitter.glitch_duty`. Because the
+    /// edge offsets are symmetric and independent, the mean duty cycle
+    /// over many periods is preserved (up to the glitch contribution).
+    ///
+    /// The waveform is finite: `jitter.periods` periods are emitted and
+    /// the line parks low afterwards (PWL constant extrapolation). Since
+    /// PWL points are breakpoints, adaptive transient analysis snaps to
+    /// the *jittered* edges, not the nominal ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-domain arguments (see [`Waveform::pwm`]), if
+    /// `edge_fraction` is not in `0.0..0.5` (strictly positive: a PWL
+    /// edge cannot be vertical), or on an invalid [`Jitter`] (negative
+    /// fields, `edge_jitter >= 0.25`, probability outside `0..=1`, or
+    /// zero periods).
+    pub fn pwm_with_jitter(
+        amplitude: f64,
+        frequency: f64,
+        duty: f64,
+        edge_fraction: f64,
+        jitter: &Jitter,
+    ) -> Self {
+        assert!(frequency > 0.0, "pwm frequency must be positive");
+        assert!(amplitude >= 0.0, "pwm amplitude must be non-negative");
+        assert!((0.0..=1.0).contains(&duty), "duty cycle must be in 0..=1");
+        assert!(
+            edge_fraction > 0.0 && edge_fraction < 0.5,
+            "edge fraction must be in 0.0..0.5 and nonzero for a jittered pwm"
+        );
+        assert!(
+            (0.0..0.25).contains(&jitter.edge_jitter),
+            "edge jitter must be in 0.0..0.25 periods"
+        );
+        assert!(
+            (0.0..=1.0).contains(&jitter.glitch_probability),
+            "glitch probability must be in 0..=1"
+        );
+        assert!(
+            jitter.glitch_duty.is_finite(),
+            "glitch duty shift must be finite"
+        );
+        assert!(jitter.periods > 0, "jittered pwm needs at least one period");
+
+        let period = 1.0 / frequency;
+        let edge = edge_fraction * period;
+        // Minimum spacing keeping PWL times strictly increasing even when
+        // jitter pushes edges together.
+        let gap = period * 1e-9;
+        let mut state = jitter.seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut points: Vec<(f64, f64)> = vec![(0.0, 0.0)];
+        let push = |points: &mut Vec<(f64, f64)>, t: f64, v: f64| {
+            let last_t = points.last().map_or(0.0, |p| p.0);
+            points.push((t.max(last_t + gap), v));
+        };
+        for p in 0..jitter.periods {
+            let t0 = p as f64 * period;
+            let mut duty_p = duty;
+            if jitter.glitch_probability > 0.0
+                && splitmix_uniform(&mut state) < jitter.glitch_probability
+            {
+                duty_p = (duty + jitter.glitch_duty).clamp(0.0, 1.0);
+            }
+            let jr = (2.0 * splitmix_uniform(&mut state) - 1.0) * jitter.edge_jitter * period;
+            let jf = (2.0 * splitmix_uniform(&mut state) - 1.0) * jitter.edge_jitter * period;
+            // Nominal corners mirror `pwm_with_edges`: the flat top is
+            // shortened so duty counts half of each edge.
+            let width = (duty_p * period - edge).clamp(0.0, period - 2.0 * edge);
+            if width <= 0.0 {
+                continue; // period glitched to (near-)zero duty: stay low
+            }
+            let rise_start = t0 + jr;
+            let fall_start = rise_start + edge + width + jf;
+            push(&mut points, rise_start, 0.0);
+            push(&mut points, rise_start + edge, amplitude);
+            push(&mut points, fall_start, amplitude);
+            push(&mut points, fall_start + edge, 0.0);
+        }
+        // Terminal point so the constant extrapolation parks the line low.
+        let t_end = jitter.periods as f64 * period;
+        push(&mut points, t_end, 0.0);
+        Waveform::pwl(points)
     }
 
     /// Piecewise-linear waveform through the given `(time, value)` points.
@@ -458,6 +594,89 @@ mod tests {
     fn smooth_waveforms_have_no_breakpoints() {
         assert_eq!(Waveform::dc(1.0).next_breakpoint(0.0), None);
         assert_eq!(Waveform::sine(0.0, 1.0, 1e3).next_breakpoint(0.0), None);
+    }
+
+    /// Time-average of `w` over `[0, t_end]` on a fine uniform grid.
+    fn grid_average(w: &Waveform, t_end: f64, n: usize) -> f64 {
+        let mut sum = 0.0;
+        for i in 0..n {
+            let t = t_end * (i as f64 + 0.5) / n as f64;
+            sum += w.value(t);
+        }
+        sum / n as f64
+    }
+
+    #[test]
+    fn jittered_pwm_preserves_mean_duty() {
+        let duty = 0.4;
+        let periods = 200;
+        let jit = Jitter::edges(42, 0.05, periods);
+        let w = Waveform::pwm_with_jitter(1.0, 1e6, duty, 0.01, &jit);
+        let avg = grid_average(&w, periods as f64 * 1e-6, 400_000);
+        // Symmetric independent edge offsets cancel in the mean; the
+        // residual is sampling noise plus the O(1/periods) edge effects.
+        assert!(
+            (avg - duty).abs() < 0.01,
+            "mean duty {avg} drifted from {duty}"
+        );
+    }
+
+    #[test]
+    fn jittered_pwm_is_deterministic() {
+        let jit = Jitter::edges(7, 0.03, 32);
+        let a = Waveform::pwm_with_jitter(2.5, 500e6, 0.5, 0.01, &jit);
+        let b = Waveform::pwm_with_jitter(2.5, 500e6, 0.5, 0.01, &jit);
+        assert_eq!(a, b, "same seed must give the bitwise-identical pwl");
+        let other = Jitter::edges(8, 0.03, 32);
+        let c = Waveform::pwm_with_jitter(2.5, 500e6, 0.5, 0.01, &other);
+        assert_ne!(a, c, "different seeds should move the edges");
+    }
+
+    #[test]
+    fn jittered_pwm_edges_actually_move() {
+        let jit = Jitter::edges(3, 0.1, 16);
+        let w = Waveform::pwm_with_jitter(1.0, 1e6, 0.5, 0.01, &jit);
+        let clean = Waveform::pwm_with_jitter(1.0, 1e6, 0.5, 0.01, &Jitter::edges(3, 0.0, 16));
+        assert_ne!(w, clean);
+        // Still a well-formed pwl: strictly increasing breakpoints.
+        let Waveform::Pwl(points) = &w else {
+            panic!("jittered pwm must be pwl")
+        };
+        for pair in points.windows(2) {
+            assert!(pair[1].0 > pair[0].0);
+        }
+    }
+
+    #[test]
+    fn duty_glitches_shift_the_average() {
+        let base = Jitter::edges(11, 0.0, 100);
+        let glitchy = Jitter {
+            glitch_probability: 1.0,
+            glitch_duty: -0.2,
+            ..base.clone()
+        };
+        let w_base = Waveform::pwm_with_jitter(1.0, 1e6, 0.5, 0.01, &base);
+        let w_glitch = Waveform::pwm_with_jitter(1.0, 1e6, 0.5, 0.01, &glitchy);
+        let t_end = 100.0 * 1e-6;
+        let a0 = grid_average(&w_base, t_end, 200_000);
+        let a1 = grid_average(&w_glitch, t_end, 200_000);
+        assert!(
+            (a0 - a1 - 0.2).abs() < 0.01,
+            "every-period glitch of -0.2 duty should drop the average by 0.2 (got {a0} vs {a1})"
+        );
+    }
+
+    #[test]
+    fn jittered_pwm_parks_low_after_last_period() {
+        let jit = Jitter::edges(1, 0.02, 4);
+        let w = Waveform::pwm_with_jitter(1.0, 1e6, 0.5, 0.01, &jit);
+        assert_eq!(w.value(10e-6), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge jitter must be in 0.0..0.25")]
+    fn jittered_pwm_rejects_wild_jitter() {
+        let _ = Waveform::pwm_with_jitter(1.0, 1e6, 0.5, 0.01, &Jitter::edges(0, 0.4, 8));
     }
 
     #[test]

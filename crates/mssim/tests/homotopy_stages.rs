@@ -1,0 +1,191 @@
+//! DC homotopy fallback stages, forced deliberately.
+//!
+//! Newton damping clamps updates to 0.5 V per iteration, so a 2.5 V rail
+//! needs at least five iterations from a cold start. Starving the DC
+//! budget with `Session::with_dc_max_iterations` therefore pushes the
+//! operating-point solve down the homotopy ladder on demand: the direct
+//! solve and the gmin ladder (which still enforce the full-rail source
+//! rows) fail, while source stepping — which ramps the rails in 0.25 V
+//! increments — survives small budgets.
+
+use mssim::prelude::*;
+use mssim::telemetry::Event;
+
+/// The paper's CMOS inverter, input parked at mid-rail so both devices
+/// conduct and the DC solve is genuinely nonlinear.
+fn cmos_inverter() -> (Circuit, NodeId) {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(2.5));
+    ckt.vsource("VIN", inp, Circuit::GND, Waveform::dc(1.25));
+    ckt.mosfet(
+        "MP",
+        out,
+        inp,
+        vdd,
+        mssim::elements::MosParams::pmos(865e-9, 1.2e-6),
+    );
+    ckt.mosfet(
+        "MN",
+        out,
+        inp,
+        Circuit::GND,
+        mssim::elements::MosParams::nmos(320e-9, 1.2e-6),
+    );
+    (ckt, out)
+}
+
+fn homotopy_events(rec: &MemoryRecorder) -> Vec<(&'static str, u32, bool)> {
+    rec.events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Homotopy {
+                stage,
+                step,
+                converged,
+                ..
+            } => Some((*stage, *step, *converged)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A one-iteration budget kills every stage in order: the final error
+/// names the last stage tried and counts the continuation attempts, and
+/// each stage's failure is visible as a `Homotopy` telemetry event.
+#[test]
+fn starved_budget_walks_and_exhausts_every_stage() {
+    let (ckt, _) = cmos_inverter();
+    let mut rec = MemoryRecorder::new();
+    let err = Session::new(&ckt)
+        .observe(&mut rec)
+        .with_dc_max_iterations(1)
+        .dc_operating_point()
+        .unwrap_err();
+    match &err {
+        Error::NonConvergence {
+            analysis,
+            iterations,
+            stage,
+            attempts,
+            ..
+        } => {
+            assert_eq!(*analysis, "dc");
+            assert_eq!(*iterations, 1);
+            assert_eq!(*stage, "source", "the ladder dies in its last stage");
+            // direct + first gmin rung + first source step, all failed.
+            assert_eq!(*attempts, 3);
+        }
+        other => panic!("expected NonConvergence, got {other}"),
+    }
+    // The enriched context also reads well for humans.
+    let msg = err.to_string();
+    assert!(msg.contains("stage: source"), "{msg}");
+    assert!(msg.contains("3 continuation attempts"), "{msg}");
+
+    // Telemetry saw each stage fail in ladder order.
+    let events = homotopy_events(&rec);
+    assert_eq!(
+        events,
+        vec![
+            ("direct", 0, false),
+            ("gmin", 0, false),
+            ("source", 1, false),
+        ]
+    );
+}
+
+/// A budget of seven is one short of what the direct solve needs (five
+/// damped rail-moving iterations plus nonlinear settling) but enough for
+/// each warm-started gmin rung: the solve must fail the direct stage and
+/// walk the whole gmin ladder to a converged answer.
+#[test]
+fn gmin_ladder_rescues_a_tight_budget() {
+    let (ckt, out) = cmos_inverter();
+    // Reference answer with the default budget.
+    let golden = Session::new(&ckt).dc_operating_point().unwrap();
+
+    let mut rec = MemoryRecorder::new();
+    let op = Session::new(&ckt)
+        .observe(&mut rec)
+        .with_dc_max_iterations(7)
+        .dc_operating_point()
+        .expect("the gmin ladder should survive a 7-iteration budget");
+    assert!(
+        (op.voltage(out) - golden.voltage(out)).abs() < 1e-6,
+        "rescued operating point must match the golden one"
+    );
+
+    let events = homotopy_events(&rec);
+    assert_eq!(events.first(), Some(&("direct", 0, false)));
+    let gmin_steps: Vec<_> = events
+        .iter()
+        .filter(|(stage, _, _)| *stage == "gmin")
+        .collect();
+    assert_eq!(gmin_steps.len(), 13, "all thirteen gmin rungs should run");
+    assert!(gmin_steps.iter().all(|(_, _, converged)| *converged));
+    assert!(
+        !events.iter().any(|(stage, _, _)| *stage == "source"),
+        "source stepping must not run once gmin converges: {events:?}"
+    );
+}
+
+/// A budget of two gets partway up the source-stepping ramp (the early
+/// 0.25 V increments are nearly linear) before the MOS turn-on knee
+/// kills it: the error's `attempts` field counts every continuation
+/// solve burned across all three stages.
+#[test]
+fn source_stepping_progress_is_counted_on_failure() {
+    let (ckt, _) = cmos_inverter();
+    let mut rec = MemoryRecorder::new();
+    let err = Session::new(&ckt)
+        .observe(&mut rec)
+        .with_dc_max_iterations(2)
+        .dc_operating_point()
+        .unwrap_err();
+    let events = homotopy_events(&rec);
+    assert_eq!(
+        events,
+        vec![
+            ("direct", 0, false),
+            ("gmin", 0, false),
+            ("source", 1, true),
+            ("source", 2, true),
+            ("source", 3, true),
+            ("source", 4, false),
+        ]
+    );
+    match err {
+        Error::NonConvergence {
+            stage, attempts, ..
+        } => {
+            assert_eq!(stage, "source");
+            assert_eq!(attempts, events.len());
+        }
+        other => panic!("expected NonConvergence, got {other}"),
+    }
+}
+
+/// With the default budget the direct solve wins immediately — the knob
+/// changes nothing it shouldn't.
+#[test]
+fn default_budget_converges_directly() {
+    let (ckt, out) = cmos_inverter();
+    let mut rec = MemoryRecorder::new();
+    let op = Session::new(&ckt)
+        .observe(&mut rec)
+        .dc_operating_point()
+        .unwrap();
+    // The inverter is balanced near mid-rail; just sanity-bound it.
+    assert!(op.voltage(out) > 0.0 && op.voltage(out) < 2.5);
+    assert_eq!(homotopy_events(&rec), vec![("direct", 0, true)]);
+}
+
+#[test]
+#[should_panic(expected = "DC iteration budget must be at least 1")]
+fn zero_budget_is_rejected() {
+    let (ckt, _) = cmos_inverter();
+    let _ = Session::new(&ckt).with_dc_max_iterations(0);
+}

@@ -1,0 +1,273 @@
+//! Curated fault universes for the paper's cells.
+//!
+//! [`mssim::faults::single_fault_universe`] enumerates the generic
+//! per-element universe (stuck switches, open/short/drifted resistors,
+//! leaky capacitors, drooping supplies, jittery PWM sources); this module
+//! layers the topology knowledge the generic pass cannot have — which
+//! nets are physically adjacent and therefore plausible bridge-defect
+//! candidates. The result is the campaign input for `repro faults`.
+//!
+//! All enumerations preserve netlist insertion order and derive bridge
+//! sets from the handles' own node lists, so the universe of a given
+//! netlist is deterministic across runs and platforms.
+
+use mssim::faults::{single_fault_universe, Fault, LabeledFault, UniverseConfig};
+use mssim::prelude::{Circuit, NodeId};
+
+use crate::adder::{SwitchAdder, WeightedAdder};
+use crate::inverter::Inverter;
+use crate::perceptron_circuit::PerceptronCircuit;
+
+/// Resistance of a curated bridge defect, ohms. Low enough to couple the
+/// bridged nets hard (a metal sliver, not a leakage path).
+pub const BRIDGE_OHMS: f64 = 100.0;
+
+/// Bridges each consecutive pair of `nets`, then each net to `shared`
+/// (the node all of them route towards — physically the likeliest
+/// victim). `shared` entries already present in `nets` are skipped.
+fn adjacent_bridges(circuit: &Circuit, nets: &[NodeId], shared: NodeId) -> Vec<LabeledFault> {
+    let mut out = Vec::new();
+    let mut push = |a: NodeId, b: NodeId| {
+        if a == b {
+            return;
+        }
+        let target = format!("{}~{}", circuit.node_name(a), circuit.node_name(b));
+        out.push(LabeledFault::new(
+            &target,
+            Fault::NetBridge {
+                a,
+                b,
+                ohms: BRIDGE_OHMS,
+            },
+        ));
+    };
+    for pair in nets.windows(2) {
+        push(pair[0], pair[1]);
+    }
+    for &n in nets {
+        push(n, shared);
+    }
+    out
+}
+
+/// Single-fault universe of a [`SwitchAdder`] netlist: the generic
+/// element universe plus bridges between adjacent PWM input routes and
+/// from each input to the shared output bus.
+pub fn switch_adder_universe(
+    circuit: &Circuit,
+    adder: &SwitchAdder,
+    config: &UniverseConfig,
+) -> Vec<LabeledFault> {
+    let mut universe = single_fault_universe(circuit, config);
+    universe.extend(adjacent_bridges(circuit, &adder.inputs, adder.output));
+    universe
+}
+
+/// Single-fault universe of a [`WeightedAdder`] netlist: generic element
+/// universe, input-route bridges, and bridges from each cell's AND
+/// output to the shared analog bus (a defect across the cell's `Rout`).
+pub fn weighted_adder_universe(
+    circuit: &Circuit,
+    adder: &WeightedAdder,
+    config: &UniverseConfig,
+) -> Vec<LabeledFault> {
+    let mut universe = single_fault_universe(circuit, config);
+    universe.extend(adjacent_bridges(circuit, &adder.inputs, adder.output));
+    let cell_outputs: Vec<NodeId> = adder
+        .cells
+        .iter()
+        .flatten()
+        .map(|cell| cell.output)
+        .collect();
+    for &o in &cell_outputs {
+        universe.extend(adjacent_bridges(circuit, &[o], adder.output));
+    }
+    universe
+}
+
+/// Single-fault universe of a transcoding [`Inverter`] netlist: generic
+/// element universe plus the input-to-output bridge (the classic
+/// gate-to-drain defect that turns the inverter into a follower).
+pub fn inverter_universe(
+    circuit: &Circuit,
+    inverter: &Inverter,
+    config: &UniverseConfig,
+) -> Vec<LabeledFault> {
+    let mut universe = single_fault_universe(circuit, config);
+    universe.extend(adjacent_bridges(
+        circuit,
+        &[inverter.input],
+        inverter.output,
+    ));
+    universe
+}
+
+/// Single-fault universe of a full [`PerceptronCircuit`]: generic element
+/// universe, adder input-route bridges, and a bridge between the adder
+/// output and the comparator reference — the defect that directly skews
+/// the decision threshold.
+pub fn perceptron_universe(
+    circuit: &Circuit,
+    perceptron: &PerceptronCircuit,
+    config: &UniverseConfig,
+) -> Vec<LabeledFault> {
+    let mut universe = single_fault_universe(circuit, config);
+    universe.extend(adjacent_bridges(
+        circuit,
+        &perceptron.adder.inputs,
+        perceptron.adder.output,
+    ));
+    universe.extend(adjacent_bridges(
+        circuit,
+        &[perceptron.adder.output],
+        perceptron.reference,
+    ));
+    universe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::AdderSpec;
+    use crate::tech::Technology;
+    use mssim::prelude::Waveform;
+
+    fn switch_adder_fixture() -> (Circuit, SwitchAdder) {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+        let spec = AdderSpec::paper_3x3();
+        let adder = SwitchAdder::build(&mut ckt, &tech, "s", vdd, &[7, 5, 3], spec);
+        for (i, duty) in [0.3, 0.5, 0.7].into_iter().enumerate() {
+            ckt.vsource(
+                &format!("VIN{i}"),
+                adder.inputs[i],
+                Circuit::GND,
+                Waveform::pwm(tech.vdd.value(), tech.frequency.value(), duty),
+            );
+        }
+        (ckt, adder)
+    }
+
+    #[test]
+    fn switch_adder_universe_is_deterministic_and_applies() {
+        let (ckt, adder) = switch_adder_fixture();
+        let cfg = UniverseConfig::default();
+        let a = switch_adder_universe(&ckt, &adder, &cfg);
+        let b = switch_adder_universe(&ckt, &adder, &cfg);
+        assert_eq!(a, b, "universe must be deterministic");
+        // 3×3 adder: 18 switches × 2 + 1 cap + 1 DC supply + 3 PWM
+        // sources × 2 + 2 adjacent-input bridges + 3 input-output
+        // bridges.
+        assert_eq!(a.len(), 18 * 2 + 1 + 1 + 3 * 2 + 2 + 3);
+        let mut labels = std::collections::BTreeSet::new();
+        for lf in &a {
+            assert!(labels.insert(&lf.label), "duplicate label {}", lf.label);
+            lf.fault
+                .apply(&ckt)
+                .unwrap_or_else(|e| panic!("{} failed to apply: {e}", lf.label));
+        }
+    }
+
+    #[test]
+    fn bridges_name_both_nets() {
+        let (ckt, adder) = switch_adder_fixture();
+        let bridges = adjacent_bridges(&ckt, &adder.inputs, adder.output);
+        assert_eq!(bridges.len(), 5);
+        assert!(bridges
+            .iter()
+            .all(|lf| matches!(lf.fault, Fault::NetBridge { .. })));
+        assert!(bridges[0].label.starts_with("net_bridge:s_in0~s_in1"));
+        let faulty = bridges[0].fault.apply(&ckt).unwrap();
+        assert!(faulty.find_element("FAULT_BRIDGE_s_in0_s_in1").is_some());
+    }
+
+    #[test]
+    fn weighted_adder_universe_covers_cell_outputs() {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+        let adder = WeightedAdder::build(&mut ckt, &tech, "w", vdd, &[7, 7], AdderSpec::new(2, 3));
+        for (i, &node) in adder.inputs.iter().enumerate() {
+            ckt.vsource(&format!("VIN{i}"), node, Circuit::GND, Waveform::dc(0.0));
+        }
+        let universe = weighted_adder_universe(&ckt, &adder, &UniverseConfig::default());
+        let bridge_count = universe
+            .iter()
+            .filter(|lf| matches!(lf.fault, Fault::NetBridge { .. }))
+            .count();
+        // 1 adjacent-input + 2 input-output + 6 cell-output bridges.
+        assert_eq!(bridge_count, 1 + 2 + 6);
+        for lf in &universe {
+            lf.fault
+                .apply(&ckt)
+                .unwrap_or_else(|e| panic!("{} failed to apply: {e}", lf.label));
+        }
+    }
+
+    #[test]
+    fn inverter_universe_includes_gate_drain_bridge() {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+        ckt.vsource(
+            "VIN",
+            vin,
+            Circuit::GND,
+            Waveform::pwm(tech.vdd.value(), tech.frequency.value(), 0.5),
+        );
+        let inv = Inverter::build(
+            &mut ckt,
+            &tech,
+            "inv",
+            vin,
+            vdd,
+            Some(tech.rout),
+            tech.cout_inverter,
+        );
+        let universe = inverter_universe(&ckt, &inv, &UniverseConfig::default());
+        assert!(universe
+            .iter()
+            .any(|lf| lf.label == "net_bridge:in~inv_out"));
+        for lf in &universe {
+            lf.fault
+                .apply(&ckt)
+                .unwrap_or_else(|e| panic!("{} failed to apply: {e}", lf.label));
+        }
+    }
+
+    #[test]
+    fn perceptron_universe_bridges_output_to_reference() {
+        let tech = Technology::umc65_like();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+        let p = PerceptronCircuit::build(
+            &mut ckt,
+            &tech,
+            "p",
+            vdd,
+            &[7, 7],
+            AdderSpec::new(2, 3),
+            0.5,
+        );
+        for (i, &node) in p.adder.inputs.iter().enumerate() {
+            ckt.vsource(&format!("VIN{i}"), node, Circuit::GND, Waveform::dc(0.0));
+        }
+        let universe = perceptron_universe(&ckt, &p, &UniverseConfig::default());
+        let out = ckt.node_name(p.adder.output);
+        let refn = ckt.node_name(p.reference);
+        assert!(universe
+            .iter()
+            .any(|lf| lf.label == format!("net_bridge:{out}~{refn}")));
+        for lf in &universe {
+            lf.fault
+                .apply(&ckt)
+                .unwrap_or_else(|e| panic!("{} failed to apply: {e}", lf.label));
+        }
+    }
+}

@@ -43,6 +43,7 @@
 pub mod adder;
 pub mod analytic;
 pub mod comparator;
+pub mod faults;
 pub mod gates;
 pub mod inverter;
 pub mod modulator;

@@ -38,6 +38,7 @@ const EXPERIMENTS: &[&str] = &[
     "map",
     "lint",
     "verify",
+    "analyze",
     "bench",
     "trace",
     "faults",
@@ -46,6 +47,7 @@ const EXPERIMENTS: &[&str] = &[
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let no_collapse = args.iter().any(|a| a == "--no-collapse");
     let mut selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -111,9 +113,10 @@ fn main() {
             "map" => map(&tech),
             "lint" => lint_report(&tech),
             "verify" => verify_report(&tech),
+            "analyze" => analyze_report(&tech),
             "bench" => bench(&tech, fast),
             "trace" => trace(&tech),
-            "faults" => faults(&tech, fast),
+            "faults" => faults(&tech, fast, no_collapse),
             _ => unreachable!(),
         }
         eprintln!("  [{name} took {:.1}s]", t0.elapsed().as_secs_f64());
@@ -840,6 +843,75 @@ fn verify_report(tech: &Technology) {
     println!("verify: all shipped circuits structurally solvable, all compiled plans sound");
 }
 
+/// Numeric abstract interpretation of every shipped analog circuit: the
+/// interval analyzer ([`mssim::analyze`]) walks each compiled stamp plan
+/// with every device parameter widened over ±5% component tolerance and
+/// a 0.9–1.0 supply window, and certifies the absence of
+/// guaranteed-singular pivots (MS030) and overflow-prone stamp ranges
+/// (MS031) over the whole envelope. Warn-level findings (cancellation,
+/// certified condition bounds) are reported but do not fail the run.
+/// Writes the `mssim-analyze-v1` record `results/ANALYZE_mssim.json` and
+/// exits nonzero on any denial, so CI gates on it.
+fn analyze_report(tech: &Technology) {
+    use bench::output::results_dir;
+    use mssim::prelude::Ranges;
+
+    println!(
+        "\n== Abstract interpretation — widened interval analysis of every shipped circuit =="
+    );
+    let ranges = Ranges::default()
+        .with_tolerance(0.05)
+        .with_supply_scale(0.9, 1.0);
+    let mut denials = 0usize;
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"mssim-analyze-v1\",\n");
+    json.push_str("  \"tolerance\": 0.05,\n  \"supply_scale\": [0.9, 1.0],\n");
+    json.push_str("  \"circuits\": [\n");
+    let circuits = shipped_analog_circuits(tech);
+    for (idx, (name, ckt)) in circuits.iter().enumerate() {
+        let t0 = Instant::now();
+        let report = mssim::analyze_circuit(ckt, &ranges);
+        let wall_ns = t0.elapsed().as_nanos();
+        denials += report.denials().count();
+        print!("[analyze] {name}: {report}");
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{name}\",\n"));
+        json.push_str(&format!(
+            "      \"denials\": {},\n",
+            report.denials().count()
+        ));
+        json.push_str(&format!(
+            "      \"warnings\": {},\n",
+            report.warnings().count()
+        ));
+        json.push_str(&format!("      \"wall_ns\": {wall_ns},\n"));
+        json.push_str("      \"findings\": [");
+        for (i, d) in report.findings().iter().enumerate() {
+            if i > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&format!("\"{}\"", d.code.id()));
+        }
+        json.push_str("]\n");
+        json.push_str(if idx + 1 == circuits.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    let path = results_dir().join("ANALYZE_mssim.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {} ({} bytes)", path.display(), json.len()),
+        Err(e) => eprintln!("  warning: could not write {}: {e}", path.display()),
+    }
+    if denials > 0 {
+        eprintln!("analyze: {denials} deny-level finding(s) over the declared ranges — failing");
+        std::process::exit(1);
+    }
+    println!("analyze: every shipped circuit is certified free of MS030/MS031 over the envelope");
+}
+
 /// Solver hot-path benchmark: times the compiled stamp plan against the
 /// naive reference assembler on the shipped circuits, asserting waveform
 /// equivalence within 1e-12 before timing, and writes the machine-readable
@@ -876,7 +948,15 @@ fn bench(tech: &Technology, fast: bool) {
             &table
         )
     );
-    let json = hotpath::to_json(&rows, repeats, fast, overhead);
+    let astats = hotpath::analyze_stats(tech);
+    println!(
+        "abstract interpreter on the 3x3 adder: {:.2} ms; collapse {} -> {} transients (ratio {:.3})",
+        astats.analyze_wall_ns / 1e6,
+        astats.universe,
+        astats.simulated,
+        astats.collapse_ratio()
+    );
+    let json = hotpath::to_json(&rows, repeats, fast, overhead, &astats);
     let path = results_dir().join("BENCH_mssim.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {} ({} bytes)", path.display(), json.len()),
@@ -1008,18 +1088,25 @@ fn trace(tech: &Technology) {
 /// drifted resistors, leaky output cap, drooping supply, jittery PWM
 /// sources, curated net bridges), simulates every faulty netlist under
 /// the convergence-rescue ladder, classifies each settled output against
-/// the Eq. 2 analytic value, prints the verdict table and writes the
-/// schema-versioned record `results/FAULTS_mssim.json`. Exits nonzero if
-/// any outcome fails the classification gate, so CI catches both solver
+/// the Eq. 2 analytic value, prints the verdict table (sorted by fault
+/// label) and writes the schema-versioned record
+/// `results/FAULTS_mssim.json`. Static fault collapsing is on by default
+/// — plan-equivalent faults share one transient — and `--no-collapse`
+/// forces the full sweep; both paths produce bitwise-identical verdicts
+/// and JSON, which CI cross-checks with `cmp`. Exits nonzero if any
+/// outcome fails the classification gate, so CI catches both solver
 /// regressions and campaign bookkeeping drift.
-fn faults(tech: &Technology, fast: bool) {
+fn faults(tech: &Technology, fast: bool, no_collapse: bool) {
     use bench::campaign;
     use mssim::telemetry::MemoryRecorder;
     use pwm_perceptron::faults::{switch_adder_campaign_observed, CampaignConfig, FaultClass};
     use pwmcell::AdderSpec;
 
     println!("\n== Fault-injection campaign — 3x3 switch-level adder, single-fault universe ==");
-    let mut config = CampaignConfig::default();
+    let mut config = CampaignConfig {
+        collapse: !no_collapse,
+        ..CampaignConfig::default()
+    };
     if fast {
         config.periods = 16;
         config.steps_per_period = 60;
@@ -1038,8 +1125,7 @@ fn faults(tech: &Technology, fast: bool) {
     )
     .expect("the golden (fault-free) adder must simulate");
 
-    let table: Vec<Vec<String>> = report
-        .outcomes
+    let table: Vec<Vec<String>> = campaign::sorted_outcomes(&report)
         .iter()
         .map(|o| {
             vec![
@@ -1075,11 +1161,19 @@ fn faults(tech: &Technology, fast: bool) {
         );
     }
     println!(
-        "  rescue ladder: {} rungs burned across the campaign, {} faults simulated in {} sweep points",
+        "  rescue ladder: {} rungs burned across the campaign, {} faults classified in {} sweep points",
         report.rescue_attempts(),
         report.outcomes.len(),
         rec.counter_value("sweep.points"),
     );
+    if let Some(stats) = &report.collapse {
+        println!(
+            "  static collapsing: {} faults -> {} classes, {} transients simulated ({} golden-equivalent)",
+            stats.universe, stats.classes, stats.simulated, stats.golden
+        );
+    } else {
+        println!("  static collapsing disabled (--no-collapse): full sweep");
+    }
     let partials = report
         .outcomes
         .iter()

@@ -25,11 +25,25 @@ fn opt_num(v: Option<f64>) -> String {
     }
 }
 
+/// Returns the report's outcomes sorted by fault label (labels are
+/// unique per universe, so the order is total). Both the exported JSON
+/// and the `repro faults` verdict table use this order: it is a pure
+/// function of the fault universe, hence byte-stable across thread
+/// counts, sweep scheduling and universe enumeration changes.
+pub fn sorted_outcomes(report: &CampaignReport) -> Vec<&pwm_perceptron::faults::FaultOutcome> {
+    let mut outcomes: Vec<_> = report.outcomes.iter().collect();
+    outcomes.sort_by(|a, b| a.label.cmp(&b.label));
+    outcomes
+}
+
 /// Serializes a campaign report as the `mssim-faults-v1` JSON document.
 ///
-/// Outcomes are emitted in universe order and every number is printed
-/// with fixed precision, so two runs of the same deterministic campaign
-/// produce bitwise-identical documents.
+/// Outcomes are emitted sorted by fault label ([`sorted_outcomes`]) and
+/// every number is printed with fixed precision, so two runs of the same
+/// deterministic campaign produce bitwise-identical documents — and a
+/// collapsed campaign produces the same document as an uncollapsed one
+/// (collapse statistics are deliberately not serialized, so `repro
+/// faults` and `repro faults --no-collapse` artifacts can be `cmp`ed).
 pub fn to_json(report: &CampaignReport, config: &CampaignConfig, fast: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -73,7 +87,8 @@ pub fn to_json(report: &CampaignReport, config: &CampaignConfig, fast: bool) -> 
         report.rescue_attempts()
     ));
     out.push_str("  \"outcomes\": [\n");
-    for (i, o) in report.outcomes.iter().enumerate() {
+    let outcomes = sorted_outcomes(report);
+    for (i, o) in outcomes.iter().enumerate() {
         out.push_str("    {\n");
         out.push_str(&format!("      \"label\": \"{}\",\n", esc(&o.label)));
         out.push_str(&format!("      \"kind\": \"{}\",\n", o.kind));
@@ -99,7 +114,7 @@ pub fn to_json(report: &CampaignReport, config: &CampaignConfig, fast: bool) -> 
                 None => "null".into(),
             }
         ));
-        out.push_str(if i + 1 == report.outcomes.len() {
+        out.push_str(if i + 1 == outcomes.len() {
             "    }\n"
         } else {
             "    },\n"
@@ -176,6 +191,37 @@ mod tests {
         assert_eq!(ja, jb, "same seed must give bitwise-identical JSON");
         assert!(ja.contains(FAULTS_SCHEMA));
         assert!(ja.contains("\"outcomes\": ["));
+    }
+
+    #[test]
+    fn json_outcomes_are_label_sorted_and_collapse_invariant() {
+        let (report, config) = tiny_campaign();
+        let labels: Vec<&str> = sorted_outcomes(&report)
+            .iter()
+            .map(|o| o.label.as_str())
+            .collect();
+        let mut resorted = labels.clone();
+        resorted.sort_unstable();
+        assert_eq!(labels, resorted, "JSON rows are sorted by fault label");
+        // A collapsed campaign must serialize to the identical document:
+        // collapse metadata stays out of the record on purpose.
+        let collapsed_config = CampaignConfig {
+            collapse: true,
+            ..config.clone()
+        };
+        let collapsed = switch_adder_campaign(
+            &Technology::umc65_like(),
+            AdderSpec::new(1, 2),
+            &[3],
+            &[0.4],
+            &collapsed_config,
+        )
+        .unwrap();
+        assert_eq!(
+            to_json(&report, &config, true),
+            to_json(&collapsed, &collapsed_config, true),
+            "collapsed and full campaigns must export bitwise-identical JSON"
+        );
     }
 
     #[test]

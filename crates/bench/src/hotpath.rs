@@ -60,11 +60,87 @@ pub fn hot_path(tech: &Technology, repeats: usize, fast: bool) -> Vec<HotPathRow
     ]
 }
 
+/// Abstract-interpreter statistics recorded alongside the timing rows:
+/// how long the interval analyzer takes on the campaign's 3×3 adder
+/// fixture and how far static fault collapsing shrinks its single-fault
+/// universe.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeStats {
+    /// Wall-clock of one widened [`mssim::analyze_circuit`] pass over the
+    /// 3×3 switch-level adder, nanoseconds.
+    pub analyze_wall_ns: f64,
+    /// Faults in the enumerated single-fault universe.
+    pub universe: usize,
+    /// Class representatives that still need their own transient.
+    pub simulated: usize,
+}
+
+impl AnalyzeStats {
+    /// `simulated / universe` — the fraction of the universe a collapsed
+    /// campaign actually simulates (1.0 means collapsing saved nothing).
+    pub fn collapse_ratio(&self) -> f64 {
+        self.simulated as f64 / self.universe.max(1) as f64
+    }
+}
+
+/// Measures [`AnalyzeStats`] on the campaign's paper-row fixture: the
+/// 3×3 switch-level adder with weights `[7, 5, 3]` under ±5% component
+/// tolerance and a 0.9–1.0 supply window.
+pub fn analyze_stats(tech: &Technology) -> AnalyzeStats {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    let adder = SwitchAdder::build(
+        &mut ckt,
+        tech,
+        "add",
+        vdd,
+        &[7, 5, 3],
+        AdderSpec::paper_3x3(),
+    );
+    for (i, d) in [0.30, 0.50, 0.70].into_iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            adder.inputs[i],
+            Circuit::GND,
+            Waveform::pwm(tech.vdd.value(), tech.frequency.value(), d),
+        );
+    }
+    let ranges = Ranges::default()
+        .with_tolerance(0.05)
+        .with_supply_scale(0.9, 1.0);
+    let t0 = Instant::now();
+    let report = analyze_circuit(&ckt, &ranges);
+    let analyze_wall_ns = t0.elapsed().as_nanos() as f64;
+    assert!(
+        !report.has_denials(),
+        "the shipped 3x3 adder must analyze deny-clean:\n{report}"
+    );
+    let universe = pwmcell::faults::switch_adder_universe(
+        &ckt,
+        &adder,
+        &mssim::faults::UniverseConfig::default(),
+    );
+    let collapse = collapse_faults(&ckt, &universe);
+    AnalyzeStats {
+        analyze_wall_ns,
+        universe: universe.len(),
+        simulated: collapse.n_simulated,
+    }
+}
+
 /// Serializes rows as the `mssim-bench-v1` JSON document.
 /// `telemetry_overhead` is the [`telemetry_overhead`] ratio measured for
 /// the run (1.0 means the instrumented entry point is free when no
-/// observer is attached).
-pub fn to_json(rows: &[HotPathRow], repeats: usize, fast: bool, telemetry_overhead: f64) -> String {
+/// observer is attached); `analyze` carries the abstract-interpreter
+/// wall-time and fault-collapse ratio for the same trajectory record.
+pub fn to_json(
+    rows: &[HotPathRow],
+    repeats: usize,
+    fast: bool,
+    telemetry_overhead: f64,
+    analyze: &AnalyzeStats,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"mssim-bench-v1\",\n");
@@ -76,6 +152,19 @@ pub fn to_json(rows: &[HotPathRow], repeats: usize, fast: bool, telemetry_overhe
     out.push_str(&format!("  \"equivalence_tol\": {EQUIVALENCE_TOL:e},\n"));
     out.push_str(&format!(
         "  \"telemetry_overhead\": {telemetry_overhead:.4},\n"
+    ));
+    out.push_str(&format!(
+        "  \"analyze_wall_ns\": {:.0},\n",
+        analyze.analyze_wall_ns
+    ));
+    out.push_str(&format!("  \"collapse_universe\": {},\n", analyze.universe));
+    out.push_str(&format!(
+        "  \"collapse_simulated\": {},\n",
+        analyze.simulated
+    ));
+    out.push_str(&format!(
+        "  \"collapse_ratio\": {:.4},\n",
+        analyze.collapse_ratio()
     ));
     out.push_str("  \"entries\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -416,10 +505,28 @@ mod tests {
         assert!(r.max_abs_diff <= EQUIVALENCE_TOL);
         assert!(r.plan_median_ns > 0.0 && r.reference_median_ns > 0.0);
         assert!((r.speedup - r.reference_median_ns / r.plan_median_ns).abs() < 1e-9);
-        let json = to_json(&[r], 1, true, 1.0);
+        let stats = AnalyzeStats {
+            analyze_wall_ns: 1.0e6,
+            universe: 49,
+            simulated: 47,
+        };
+        let json = to_json(&[r], 1, true, 1.0, &stats);
         assert!(json.contains("\"schema\": \"mssim-bench-v1\""));
         assert!(json.contains("\"name\": \"tran_inverter\""));
         assert!(json.contains("\"telemetry_overhead\": 1.0000"));
+        assert!(json.contains("\"collapse_ratio\": 0.9592"));
+        assert!(json.contains("\"analyze_wall_ns\": 1000000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// The recorded analyzer statistics come from the real fixture: the
+    /// widened pass is deny-clean (asserted inside) and collapsing the
+    /// 49-fault universe must save transients.
+    #[test]
+    fn analyze_stats_measures_the_campaign_fixture() {
+        let stats = analyze_stats(&Technology::umc65_like());
+        assert!(stats.analyze_wall_ns > 0.0);
+        assert!(stats.simulated < stats.universe);
+        assert!(stats.collapse_ratio() < 1.0);
     }
 }

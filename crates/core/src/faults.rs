@@ -21,14 +21,24 @@
 //! Faults fan out over [`mssim::sweep::sweep`], which preserves input
 //! order, and the universe enumeration is insertion-ordered, so a
 //! campaign is deterministic: same netlist, same config, same report.
+//!
+//! With [`CampaignConfig::collapse`] enabled, the static fault
+//! collapsing of [`mssim::analyze`] first partitions the universe by
+//! compiled-plan identity: faults whose stamped plans are bitwise
+//! indistinguishable from the golden netlist replicate the golden
+//! verdict, and faults indistinguishable from each other share one
+//! representative transient. Because equal plan keys guarantee bitwise
+//! identical transients, the collapsed report's outcomes are
+//! bitwise identical to the uncollapsed ones — only fewer transients
+//! run.
 
 use mssim::faults::UniverseConfig;
 use mssim::prelude::{
-    Circuit, Error as SimError, NodeId, RescuePolicy, Session, Transient, TransientOutcome,
-    Waveform,
+    collapse_faults, Circuit, CollapseMember, Error as SimError, LabeledFault, NodeId,
+    RescuePolicy, Session, Transient, TransientOutcome, Waveform,
 };
 use mssim::sweep;
-use mssim::telemetry::Observer;
+use mssim::telemetry::{dispatch, Event, Observer};
 use pwmcell::faults::switch_adder_universe;
 use pwmcell::{analytic, AdderSpec, SwitchAdder, Technology};
 
@@ -118,6 +128,13 @@ pub struct CampaignConfig {
     pub rescue: RescuePolicy,
     /// Universe enumeration knobs (drift factors, jitter seed, …).
     pub universe: UniverseConfig,
+    /// Statically collapse the fault universe before simulating
+    /// ([`mssim::analyze::collapse_faults`]): only one representative
+    /// per plan-equivalence class runs a transient, replicas copy its
+    /// verdict. Off by default so existing campaigns stay bitwise
+    /// reproducible rung for rung; the collapsed outcomes are bitwise
+    /// identical either way.
+    pub collapse: bool,
 }
 
 impl Default for CampaignConfig {
@@ -131,8 +148,24 @@ impl Default for CampaignConfig {
             fail_epsilon: 0.25,
             rescue: RescuePolicy::default(),
             universe: UniverseConfig::default(),
+            collapse: false,
         }
     }
+}
+
+/// Static fault-collapsing statistics of one campaign run (present on
+/// the report only when [`CampaignConfig::collapse`] was enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollapseStats {
+    /// Faults in the enumerated universe.
+    pub universe: usize,
+    /// Distinct plan-equivalence classes (golden class included when
+    /// populated).
+    pub classes: usize,
+    /// Transients actually simulated (class representatives only).
+    pub simulated: usize,
+    /// Faults statically indistinguishable from the golden netlist.
+    pub golden: usize,
 }
 
 /// A finished campaign: the references and every fault's verdict, in
@@ -145,6 +178,8 @@ pub struct CampaignReport {
     pub golden_vout: f64,
     /// One row per enumerated fault.
     pub outcomes: Vec<FaultOutcome>,
+    /// Collapsing statistics, when static collapsing ran.
+    pub collapse: Option<CollapseStats>,
 }
 
 impl CampaignReport {
@@ -170,7 +205,10 @@ impl CampaignReport {
     }
 }
 
-/// Result of simulating one (possibly faulty) netlist.
+/// Result of simulating one (possibly faulty) netlist. `Clone` so a
+/// collapsed campaign can replicate one representative's measurement
+/// across its whole equivalence class.
+#[derive(Clone)]
 struct Measured {
     vout: Option<f64>,
     rescue_attempts: usize,
@@ -336,37 +374,102 @@ fn run_campaign(
             attempts: golden.rescue_attempts,
         }))?;
 
-    let run_one = |lf: &mssim::faults::LabeledFault, _i: usize| {
-        let measured = match lf.fault.apply(&ckt) {
-            Ok(faulty) => measure(&faulty, adder.output, &tran, &config.rescue, t_avg_from),
-            Err(e) => Measured {
-                vout: None,
-                rescue_attempts: 0,
-                rescue_recoveries: 0,
-                partial: false,
-                error: Some(e.to_string()),
-            },
+    let measure_fault = |lf: &LabeledFault| match lf.fault.apply(&ckt) {
+        Ok(faulty) => measure(&faulty, adder.output, &tran, &config.rescue, t_avg_from),
+        Err(e) => Measured {
+            vout: None,
+            rescue_attempts: 0,
+            rescue_recoveries: 0,
+            partial: false,
+            error: Some(e.to_string()),
+        },
+    };
+    let outcome_of = |lf: &LabeledFault, measured: Measured| FaultOutcome {
+        label: lf.label.clone(),
+        kind: lf.fault.kind(),
+        vout: measured.vout,
+        error_v: measured.vout.map(|v| (v - analytic_vout).abs()),
+        class: classify(&measured, analytic_vout, config),
+        rescue_attempts: measured.rescue_attempts,
+        rescue_recoveries: measured.rescue_recoveries,
+        error: measured.error,
+    };
+
+    if !config.collapse {
+        let run_one = |lf: &LabeledFault, _i: usize| outcome_of(lf, measure_fault(lf));
+        let outcomes = match observer {
+            Some(obs) => sweep::sweep_observed(&universe, obs, run_one),
+            None => sweep::sweep(&universe, run_one),
         };
-        FaultOutcome {
-            label: lf.label.clone(),
-            kind: lf.fault.kind(),
-            vout: measured.vout,
-            error_v: measured.vout.map(|v| (v - analytic_vout).abs()),
-            class: classify(&measured, analytic_vout, config),
-            rescue_attempts: measured.rescue_attempts,
-            rescue_recoveries: measured.rescue_recoveries,
-            error: measured.error,
+        return Ok(CampaignReport {
+            analytic_vout,
+            golden_vout,
+            outcomes,
+            collapse: None,
+        });
+    }
+
+    // Static fault collapsing: partition the universe by compiled-plan
+    // identity, simulate one representative per class, and replicate its
+    // measurement across the class. Equal plan keys replay bit-identical
+    // op programs, so the replicated verdicts are bitwise what a full
+    // sweep would have produced.
+    let collapse = collapse_faults(&ckt, &universe);
+    let stats = CollapseStats {
+        universe: universe.len(),
+        classes: collapse.n_classes,
+        simulated: collapse.n_simulated,
+        golden: collapse.n_golden,
+    };
+    let rep_indices: Vec<usize> = collapse
+        .members
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| matches!(m, CollapseMember::Representative))
+        .map(|(i, _)| i)
+        .collect();
+    let run_rep = |&i: &usize, _k: usize| measure_fault(&universe[i]);
+    let rep_results = match observer {
+        Some(obs) => {
+            dispatch(
+                obs,
+                &Event::FaultCollapse {
+                    universe: stats.universe,
+                    classes: stats.classes,
+                    simulated: stats.simulated,
+                    golden: stats.golden,
+                },
+            );
+            sweep::sweep_observed(&rep_indices, obs, run_rep)
         }
+        None => sweep::sweep(&rep_indices, run_rep),
     };
-    let outcomes = match observer {
-        Some(obs) => sweep::sweep_observed(&universe, obs, run_one),
-        None => sweep::sweep(&universe, run_one),
-    };
+    let mut measured_at: Vec<Option<Measured>> = vec![None; universe.len()];
+    for (&i, m) in rep_indices.iter().zip(rep_results) {
+        measured_at[i] = Some(m);
+    }
+    let outcomes = universe
+        .iter()
+        .enumerate()
+        .map(|(i, lf)| {
+            let measured = match collapse.members[i] {
+                CollapseMember::Golden => golden.clone(),
+                CollapseMember::Representative => measured_at[i]
+                    .clone()
+                    .expect("representative was simulated"),
+                CollapseMember::ReplicaOf(rep) => measured_at[rep]
+                    .clone()
+                    .expect("replica points at a simulated representative"),
+            };
+            outcome_of(lf, measured)
+        })
+        .collect();
 
     Ok(CampaignReport {
         analytic_vout,
         golden_vout,
         outcomes,
+        collapse: Some(stats),
     })
 }
 
@@ -376,7 +479,10 @@ fn run_campaign(
 /// the Eq. 2 analytic value.
 ///
 /// Outcomes come back in universe (netlist insertion) order, so the
-/// report is deterministic for a given netlist and config.
+/// report is deterministic for a given netlist and config. With
+/// [`CampaignConfig::collapse`] set, plan-equivalent faults share one
+/// transient and the report carries [`CollapseStats`]; the outcome rows
+/// are bitwise identical to an uncollapsed run.
 ///
 /// # Errors
 ///
@@ -552,8 +658,98 @@ mod tests {
                 rescue_recoveries: 0,
                 error: Some("boom".into()),
             }],
+            collapse: None,
         };
         assert!(report.error_summary().is_none(), "no settled outputs");
+    }
+
+    /// Static collapsing changes how many transients run, never what
+    /// any fault's verdict is: the collapsed 3×3 campaign's outcome rows
+    /// are bitwise equal to the full sweep's, while strictly fewer
+    /// faults are simulated (the two stuck-open faults on statically-off
+    /// pull-ups land in the golden class).
+    #[test]
+    fn collapsed_campaign_is_bitwise_identical_to_full_sweep() {
+        let tech = Technology::umc65_like();
+        let config = CampaignConfig {
+            periods: 6,
+            steps_per_period: 40,
+            avg_periods: 1,
+            ..CampaignConfig::default()
+        };
+        let weights = [7, 5, 3];
+        let duties = [0.3, 0.5, 0.7];
+        let full = switch_adder_campaign(&tech, AdderSpec::paper_3x3(), &weights, &duties, &config)
+            .unwrap();
+        assert!(full.collapse.is_none(), "collapsing is opt-in");
+        let collapsed_config = CampaignConfig {
+            collapse: true,
+            ..config
+        };
+        let collapsed = switch_adder_campaign(
+            &tech,
+            AdderSpec::paper_3x3(),
+            &weights,
+            &duties,
+            &collapsed_config,
+        )
+        .unwrap();
+        assert_eq!(
+            full.outcomes, collapsed.outcomes,
+            "collapsed verdicts must be bitwise identical to the full sweep"
+        );
+        assert_eq!(full.analytic_vout, collapsed.analytic_vout);
+        assert_eq!(full.golden_vout, collapsed.golden_vout);
+        let stats = collapsed.collapse.expect("collapsed run records stats");
+        assert_eq!(stats.universe, full.outcomes.len());
+        assert!(
+            stats.simulated < stats.universe,
+            "collapsing must save transients ({} of {})",
+            stats.simulated,
+            stats.universe
+        );
+        assert_eq!(stats.golden, 2, "two pull-ups are statically off");
+        assert_eq!(stats.universe, stats.simulated + stats.golden);
+    }
+
+    /// A collapsed, observed campaign reports the partition through the
+    /// telemetry vocabulary before any representative runs.
+    #[test]
+    fn collapsed_campaign_reports_through_the_observer() {
+        use mssim::telemetry::MemoryRecorder;
+        let tech = Technology::umc65_like();
+        let config = CampaignConfig {
+            periods: 6,
+            steps_per_period: 40,
+            avg_periods: 1,
+            collapse: true,
+            ..CampaignConfig::default()
+        };
+        let mut rec = MemoryRecorder::new();
+        let report = switch_adder_campaign_observed(
+            &tech,
+            AdderSpec::new(1, 2),
+            &[3],
+            &[0.5],
+            &config,
+            &mut rec,
+        )
+        .unwrap();
+        let stats = report.collapse.unwrap();
+        assert_eq!(
+            rec.counter_value("collapse.universe"),
+            stats.universe as u64
+        );
+        assert_eq!(
+            rec.counter_value("collapse.simulated"),
+            stats.simulated as u64
+        );
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::FaultCollapse { .. })));
+        // Only the representatives fanned out over the sweep.
+        assert_eq!(rec.counter_value("sweep.points"), stats.simulated as u64);
     }
 
     #[test]

@@ -161,6 +161,14 @@ pub(crate) struct StampPlan {
     pub(crate) dyn_reads: Vec<usize>,
     pub(crate) n_cap_slots: usize,
     pub(crate) n_ind_slots: usize,
+    /// Element index (into the circuit's element list) that produced each
+    /// entry of `base_ops`, for the abstract interpreter's per-element
+    /// widening. Parallel to `base_ops`.
+    pub(crate) base_elems: Vec<usize>,
+    /// Originating element index of each `rhs0_ops` entry.
+    pub(crate) rhs0_elems: Vec<usize>,
+    /// Originating element index of each `iter_ops` entry.
+    pub(crate) iter_elems: Vec<usize>,
 }
 
 /// Classification of a pending (non-device) stamp atom during compilation.
@@ -592,7 +600,9 @@ impl StampPlan {
         // position each iteration, preserving the reference assembler's
         // per-entry accumulation order (and therefore exact bit patterns).
         let mut base_ops = Vec::with_capacity(pending.len());
+        let mut base_elems = Vec::with_capacity(pending.len());
         let mut rhs0_ops = Vec::with_capacity(rhs_pending.len());
+        let mut rhs0_elems = Vec::with_capacity(rhs_pending.len());
         let mut iter_tagged = devices;
         for atom in pending {
             let Target::Mat(idx) = atom.target else {
@@ -602,6 +612,7 @@ impl StampPlan {
                 iter_tagged.push((atom.seq, IterOp::Mat(MatOp { idx, val: atom.val })));
             } else {
                 base_ops.push(MatOp { idx, val: atom.val });
+                base_elems.push(atom.seq);
             }
         }
         for atom in rhs_pending {
@@ -621,10 +632,12 @@ impl StampPlan {
                     row: r,
                     val: atom.val,
                 });
+                rhs0_elems.push(atom.seq);
             }
         }
         // Stable sort: atoms sharing an element keep their stamp order.
         iter_tagged.sort_by_key(|(seq, _)| *seq);
+        let iter_elems: Vec<usize> = iter_tagged.iter().map(|(seq, _)| *seq).collect();
         let iter_ops: Vec<IterOp> = iter_tagged.into_iter().map(|(_, op)| op).collect();
 
         let mut dyn_reads: Vec<usize> = Vec::new();
@@ -657,14 +670,19 @@ impl StampPlan {
             dyn_reads,
             n_cap_slots: layout.n_caps,
             n_ind_slots: layout.n_inds,
+            base_elems,
+            rhs0_elems,
+            iter_elems,
         };
-        // Debug builds prove every freshly compiled plan sound before it is
-        // allowed near a solver (release builds skip the check; `repro
-        // verify` covers the shipped circuits there).
-        #[cfg(debug_assertions)]
+        // Debug builds prove every freshly compiled plan sound before it
+        // is allowed near a solver; the `verify-release` feature extends
+        // the same proof to release-mode plans so CI can exercise the
+        // exact optimized code path (plain release builds skip the check;
+        // `repro verify` covers the shipped circuits there).
+        #[cfg(any(debug_assertions, feature = "verify-release"))]
         {
             let violations = crate::verify::verify_plan(ckt, layout, &plan);
-            debug_assert!(
+            assert!(
                 violations.is_empty(),
                 "stamp-plan verifier rejected a freshly compiled plan: {violations:?}"
             );

@@ -25,6 +25,10 @@
 //! * static verification ([`verify`]): structural-solvability analysis
 //!   (bipartite matching + Dulmage–Mendelsohn) and a stamp-plan verifier
 //!   that proves compiled plans sound before Newton ever runs,
+//! * numeric abstract interpretation ([`analyze`]): interval analysis of
+//!   compiled stamp plans over declared parameter ranges (singular or
+//!   sign-indefinite pivots, overflow, cancellation, certified condition
+//!   bounds) plus static fault collapsing for campaign universes,
 //! * a transient convergence-rescue ladder
 //!   ([`Session::transient_rescued`]): timestep cutting, backward-Euler
 //!   fallback and per-point gmin shunting, degrading gracefully to a
@@ -65,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod analyze;
 pub mod complex;
 pub mod elements;
 pub mod error;
@@ -81,6 +86,7 @@ pub mod units;
 pub mod verify;
 pub mod waveform;
 
+pub use analyze::{analyze_circuit, AnalyzeReport, Ranges};
 pub use error::Error;
 pub use netlist::{Circuit, ElementId, NodeId};
 pub use session::Session;
@@ -93,6 +99,10 @@ pub mod prelude {
         AcResult, AdaptiveConfig, DcSolution, DcSweepResult, IntegrationMethod, NoiseResult,
         RescueIncident, RescuePolicy, RescueReport, Solution, Transient, TransientOutcome,
         TransientResult,
+    };
+    pub use crate::analyze::{
+        analyze_circuit, collapse_faults, plan_key, AnalyzeReport, Collapse, CollapseMember,
+        Interval, Ranges,
     };
     pub use crate::elements::{MosParams, MosPolarity};
     pub use crate::error::Error;

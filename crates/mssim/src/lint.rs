@@ -40,6 +40,14 @@
 //! | MS020 | `structurally-singular`  | deny     | no perfect equation/unknown matching ⇒ zero pivot for *any* values |
 //! | MS021 | `dependent-voltage-constraints` | deny | cycle of voltage-defining branches ⇒ dependent branch rows |
 //! | MS022 | `ill-conditioned-block`  | warn     | stamp-magnitude span predicts LU pivot trouble |
+//! | MS030 | `guaranteed-singular-pivot` | deny  | pivot interval is `[0,0]` or straddles zero over declared ranges |
+//! | MS031 | `non-finite-stamp-range` | deny     | stamp interval reaches NaN/∞/overflow over declared ranges |
+//! | MS032 | `catastrophic-cancellation` | warn  | contributions cancel beyond ~12 decades of their magnitude |
+//! | MS033 | `interval-ill-conditioned` | warn   | certified condition bound > 1e12 over declared ranges |
+//!
+//! MS030–MS033 are derived by the abstract interpreter in
+//! [`crate::analyze`] (they need declared parameter ranges), not by the
+//! pattern-based [`lint`] pass.
 //!
 //! ¹ downgraded to warn for transient analysis started from initial
 //! conditions (UIC), where inductor and capacitor companion models make
@@ -146,6 +154,26 @@ pub enum LintCode {
     /// diagonal block span more than ~12 decades, predicting LU pivot
     /// trouble although the system is structurally sound.
     IllConditionedBlock,
+    /// MS030: over the declared parameter ranges a node-row pivot is
+    /// guaranteed zero (interval exactly `[0, 0]`) or sign-indefinite
+    /// (interval straddles zero), so some concrete circuit inside the
+    /// envelope yields a singular or sign-flipping pivot. Derived by
+    /// [`crate::analyze`].
+    GuaranteedSingularPivot,
+    /// MS031: a matrix or rhs entry's abstract interval reaches NaN,
+    /// infinity, or magnitudes past ~1e300 over the declared ranges, so
+    /// concrete assembly can overflow. Derived by [`crate::analyze`].
+    NonFiniteStampRange,
+    /// MS032: an entry is accumulated from contributions whose summed
+    /// magnitudes exceed the residual interval magnitude by more than
+    /// ~12 decades — catastrophic cancellation destroys the addends'
+    /// precision. Derived by [`crate::analyze`].
+    CatastrophicCancellation,
+    /// MS033: a Varah-style condition bound of the node-conductance
+    /// block, evaluated on interval endpoints, exceeds ~1e12 — the
+    /// numeric certificate form of MS022, valid over the whole declared
+    /// range. Derived by [`crate::analyze`].
+    IntervalIllConditioned,
 }
 
 /// All analog lint codes, in report order.
@@ -164,6 +192,10 @@ pub const ALL_CODES: &[LintCode] = &[
     LintCode::StructurallySingular,
     LintCode::DependentVoltageConstraints,
     LintCode::IllConditionedBlock,
+    LintCode::GuaranteedSingularPivot,
+    LintCode::NonFiniteStampRange,
+    LintCode::CatastrophicCancellation,
+    LintCode::IntervalIllConditioned,
 ];
 
 impl LintCode {
@@ -184,6 +216,10 @@ impl LintCode {
             LintCode::StructurallySingular => "MS020",
             LintCode::DependentVoltageConstraints => "MS021",
             LintCode::IllConditionedBlock => "MS022",
+            LintCode::GuaranteedSingularPivot => "MS030",
+            LintCode::NonFiniteStampRange => "MS031",
+            LintCode::CatastrophicCancellation => "MS032",
+            LintCode::IntervalIllConditioned => "MS033",
         }
     }
 
@@ -204,6 +240,10 @@ impl LintCode {
             LintCode::StructurallySingular => "structurally-singular",
             LintCode::DependentVoltageConstraints => "dependent-voltage-constraints",
             LintCode::IllConditionedBlock => "ill-conditioned-block",
+            LintCode::GuaranteedSingularPivot => "guaranteed-singular-pivot",
+            LintCode::NonFiniteStampRange => "non-finite-stamp-range",
+            LintCode::CatastrophicCancellation => "catastrophic-cancellation",
+            LintCode::IntervalIllConditioned => "interval-ill-conditioned",
         }
     }
 
@@ -212,7 +252,9 @@ impl LintCode {
         match self {
             LintCode::SuspiciousValue
             | LintCode::ShortedElement
-            | LintCode::IllConditionedBlock => Severity::Warn,
+            | LintCode::IllConditionedBlock
+            | LintCode::CatastrophicCancellation
+            | LintCode::IntervalIllConditioned => Severity::Warn,
             _ => Severity::Deny,
         }
     }

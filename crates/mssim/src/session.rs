@@ -34,9 +34,10 @@ use crate::analysis::dcop::{dc_operating_point_opts, DcSolution};
 use crate::analysis::dcsweep::{dc_sweep_impl, DcSweepResult};
 use crate::analysis::noise::{noise_analysis_impl, NoiseResult};
 use crate::analysis::{RescuePolicy, Transient, TransientOutcome, TransientResult};
+use crate::analyze::{analyze_circuit, AnalyzeReport, Ranges};
 use crate::error::Error;
 use crate::netlist::{Circuit, ElementId, NodeId};
-use crate::telemetry::{Observer, Probe};
+use crate::telemetry::{dispatch, Event, Observer, Probe};
 use crate::verify::{verify_circuit, VerifyReport};
 
 /// One circuit, every analysis: the unified analysis entry point.
@@ -219,6 +220,34 @@ impl<'c, 'o> Session<'c, 'o> {
     pub fn verify(&self) -> VerifyReport {
         verify_circuit(self.circuit)
     }
+
+    /// Abstractly interprets both compiled stamp plans over point ranges
+    /// (no parameter widening) and reports the MS030–MS033 findings,
+    /// without running any solve. See [`crate::analyze`].
+    ///
+    /// An attached observer receives an
+    /// [`Event::AnalyzeReport`](crate::telemetry::Event::AnalyzeReport)
+    /// summarising the findings.
+    pub fn analyze(&mut self) -> AnalyzeReport {
+        self.analyze_with(&Ranges::default())
+    }
+
+    /// Abstractly interprets both compiled stamp plans with every device
+    /// parameter widened to `ranges` and reports the MS030–MS033
+    /// findings. See [`crate::analyze`].
+    pub fn analyze_with(&mut self, ranges: &Ranges) -> AnalyzeReport {
+        let report = analyze_circuit(self.circuit, ranges);
+        if let Some(obs) = &mut self.observer {
+            dispatch(
+                *obs,
+                &Event::AnalyzeReport {
+                    denials: report.denials().count() as u32,
+                    warnings: report.warnings().count() as u32,
+                },
+            );
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +283,21 @@ mod tests {
         let tran = session.transient(&Transient::new(1e-9, 10e-9)).unwrap();
         assert!(tran.samples() > 1);
         assert!(session.verify().is_sound());
+        assert!(!session.analyze().has_denials());
+    }
+
+    #[test]
+    fn analyze_reports_through_the_session_observer() {
+        let (ckt, _, _, _) = rc_circuit();
+        let mut rec = MemoryRecorder::new();
+        let mut session = Session::new(&ckt).observe(&mut rec);
+        let report = session.analyze_with(&Ranges::default().with_tolerance(0.05));
+        assert!(!report.has_denials());
+        assert_eq!(rec.counter_value("analyze.runs"), 1);
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::AnalyzeReport { denials: 0, .. })));
     }
 
     #[test]

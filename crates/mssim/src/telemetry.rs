@@ -220,6 +220,26 @@ pub enum Event {
         /// Counter totals accumulated by the engine over the run.
         counters: SolverCounters,
     },
+    /// The abstract interpreter ([`crate::analyze`]) finished one
+    /// circuit.
+    AnalyzeReport {
+        /// Deny-level findings (MS030/MS031).
+        denials: u32,
+        /// Warn-level findings (MS032/MS033).
+        warnings: u32,
+    },
+    /// Static fault collapsing partitioned a campaign universe before
+    /// any transient ran.
+    FaultCollapse {
+        /// Faults in the input universe.
+        universe: usize,
+        /// Distinct equivalence classes found.
+        classes: usize,
+        /// Faults that needed their own transient (class representatives).
+        simulated: usize,
+        /// Faults statically indistinguishable from the golden netlist.
+        golden: usize,
+    },
 }
 
 /// Receiver for instrumentation emitted during an analysis.
@@ -274,7 +294,13 @@ impl<T: Observer + ?Sized> Observer for &mut T {
 /// * `tran.rescue_attempts`, `tran.rescue_recoveries`,
 ///   `tran.rescue_exhausted`
 /// * `sweep.points`, histogram `sweep.wall_ns`
-pub(crate) fn dispatch(obs: &mut dyn Observer, event: &Event) {
+/// * `analyze.runs`, `analyze.denials`, `analyze.warnings`
+/// * `collapse.universe`, `collapse.simulated`
+///
+/// Public so engines layered on top of `mssim` (e.g. fault-campaign
+/// drivers) can report through the same vocabulary instead of
+/// hand-rolling counter names.
+pub fn dispatch(obs: &mut dyn Observer, event: &Event) {
     match *event {
         Event::NewtonSolve {
             iterations,
@@ -332,6 +358,19 @@ pub(crate) fn dispatch(obs: &mut dyn Observer, event: &Event) {
         Event::SweepPoint { wall_ns, .. } => {
             obs.counter("sweep.points", 1);
             obs.histogram("sweep.wall_ns", wall_ns as f64);
+        }
+        Event::AnalyzeReport { denials, warnings } => {
+            obs.counter("analyze.runs", 1);
+            obs.counter("analyze.denials", u64::from(denials));
+            obs.counter("analyze.warnings", u64::from(warnings));
+        }
+        Event::FaultCollapse {
+            universe,
+            simulated,
+            ..
+        } => {
+            obs.counter("collapse.universe", universe as u64);
+            obs.counter("collapse.simulated", simulated as u64);
         }
         Event::AnalysisStart { .. } | Event::AnalysisEnd { .. } | Event::SolverReport { .. } => {}
     }
@@ -640,6 +679,21 @@ fn event_json(event: &Event) -> String {
             push_json_counters(&mut s, &counters);
             s.push('}');
         }
+        Event::AnalyzeReport { denials, warnings } => {
+            s.push_str(&format!(
+                "{{\"event\":\"analyze_report\",\"denials\":{denials},\"warnings\":{warnings}}}"
+            ));
+        }
+        Event::FaultCollapse {
+            universe,
+            classes,
+            simulated,
+            golden,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"fault_collapse\",\"universe\":{universe},\"classes\":{classes},\"simulated\":{simulated},\"golden\":{golden}}}"
+            ));
+        }
     }
     s
 }
@@ -891,6 +945,16 @@ mod tests {
                     bypasses: 0,
                     rebases: 1,
                 },
+            },
+            Event::AnalyzeReport {
+                denials: 1,
+                warnings: 2,
+            },
+            Event::FaultCollapse {
+                universe: 49,
+                classes: 48,
+                simulated: 47,
+                golden: 2,
             },
             Event::AnalysisEnd {
                 analysis: "transient",

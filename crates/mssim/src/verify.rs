@@ -50,8 +50,10 @@ use crate::netlist::{Circuit, NodeId};
 /// Conditioning span (max/min statically-known stamp magnitude within one
 /// matched block) beyond which MS022 warns. Partial-pivoting LU loses
 /// roughly `log10(span)` digits in the worst case; 12 decades leaves only
-/// a few significant digits in an f64 solve.
-const CONDITIONING_SPAN_LIMIT: f64 = 1e12;
+/// a few significant digits in an f64 solve. [`crate::analyze`] reuses the
+/// same limit for its certified MS033 bound so the heuristic and the
+/// certificate stay in lockstep.
+pub(crate) const CONDITIONING_SPAN_LIMIT: f64 = 1e12;
 
 // ---------------------------------------------------------------------------
 // Structural solvability (MS020/MS021/MS022)

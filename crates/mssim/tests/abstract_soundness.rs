@@ -1,0 +1,155 @@
+//! Property-based soundness tests of the abstract interpreter
+//! ([`mssim::analyze`]): on random RC/RLC/switch circuits the concretely
+//! assembled DC stamp always lies inside the abstract intervals computed
+//! from point-width ranges, and widening the declared ranges only ever
+//! widens the intervals.
+
+use mssim::analyze::{abstract_dc_stamp, concrete_dc_stamp, plan_key, Ranges};
+use mssim::prelude::*;
+use proptest::prelude::*;
+
+/// Deterministic xorshift so generated circuits are reproducible from the
+/// proptest-chosen seed alone.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// A random but well-formed RLC/switch ladder: every node reaches ground
+/// through resistors, one supply, occasional capacitors, inductors and
+/// voltage-controlled switches (some with both controls grounded, so the
+/// static switch resolution path is exercised too).
+fn ladder(seed: u64, n: usize) -> Circuit {
+    let mut rng = Rng::new(seed);
+    let mut ckt = Circuit::new();
+    let top = ckt.node("vdd");
+    ckt.vsource("V0", top, Circuit::GND, Waveform::dc(2.5));
+    let mut nodes = vec![Circuit::GND, top];
+    for i in 0..n {
+        let nd = ckt.node(&format!("n{i}"));
+        let anchor = nodes[(rng.next() % nodes.len() as u64) as usize];
+        let ohms = 1e3 * (1 + rng.next() % 100) as f64;
+        ckt.resistor(&format!("R{i}"), nd, anchor, ohms);
+        match rng.next() % 4 {
+            0 => {
+                ckt.capacitor(&format!("C{i}"), nd, Circuit::GND, 1e-12);
+            }
+            1 => {
+                let other = nodes[(rng.next() % nodes.len() as u64) as usize];
+                if other != nd {
+                    ckt.inductor(&format!("L{i}"), nd, other, 1e-6);
+                }
+            }
+            2 => {
+                // Half the switches get live controls, half are tied to
+                // ground on both control terminals (statically resolved).
+                let ctrl = if rng.next().is_multiple_of(2) {
+                    nodes[(rng.next() % nodes.len() as u64) as usize]
+                } else {
+                    Circuit::GND
+                };
+                let threshold = if rng.next().is_multiple_of(2) {
+                    1.25
+                } else {
+                    -1.25
+                };
+                ckt.switch(
+                    &format!("S{i}"),
+                    nd,
+                    Circuit::GND,
+                    ctrl,
+                    Circuit::GND,
+                    threshold,
+                    5e3,
+                    1e12,
+                );
+            }
+            _ => {}
+        }
+        nodes.push(nd);
+    }
+    ckt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: with point-width ranges, every concretely assembled DC
+    /// stamp value lies inside its abstract interval.
+    #[test]
+    fn concrete_stamp_lies_inside_point_abstraction(seed in 0u64..10_000, n in 1usize..10) {
+        let ckt = ladder(seed, n);
+        let (size, mat, rhs) = concrete_dc_stamp(&ckt);
+        let stamp = abstract_dc_stamp(&ckt, &Ranges::point());
+        prop_assert_eq!(stamp.size(), size);
+        prop_assert!(
+            stamp.encloses_concrete(&mat, &rhs),
+            "concrete stamp escapes the abstract interval (seed {seed}, n {n})"
+        );
+    }
+
+    /// Soundness under widening: the concrete stamp also lies inside every
+    /// widened envelope, not just the point one.
+    #[test]
+    fn concrete_stamp_lies_inside_widened_abstraction(seed in 0u64..10_000, n in 1usize..10) {
+        let ckt = ladder(seed, n);
+        let (_, mat, rhs) = concrete_dc_stamp(&ckt);
+        let ranges = Ranges::point()
+            .with_tolerance(0.05)
+            .with_supply_scale(0.9, 1.0);
+        let stamp = abstract_dc_stamp(&ckt, &ranges);
+        prop_assert!(stamp.encloses_concrete(&mat, &rhs));
+    }
+
+    /// Monotonicity: widening the declared ranges only widens intervals —
+    /// every interval of the tighter envelope is enclosed by the wider
+    /// one's.
+    #[test]
+    fn widening_ranges_only_widens_intervals(seed in 0u64..10_000, n in 1usize..10) {
+        let ckt = ladder(seed, n);
+        let tight = abstract_dc_stamp(&ckt, &Ranges::point().with_tolerance(0.01));
+        let wide = abstract_dc_stamp(&ckt, &Ranges::point().with_tolerance(0.05));
+        prop_assert!(
+            wide.encloses(&tight),
+            "wider tolerance produced a narrower interval (seed {seed}, n {n})"
+        );
+        let supply_wide = abstract_dc_stamp(
+            &ckt,
+            &Ranges::point().with_tolerance(0.05).with_supply_scale(0.8, 1.0),
+        );
+        prop_assert!(supply_wide.encloses(&wide));
+    }
+
+    /// The canonical plan key is a pure function of the circuit: two
+    /// builds from the same seed agree, and the key is insensitive to
+    /// widened analysis ranges (it describes the circuit, not the
+    /// envelope).
+    #[test]
+    fn plan_key_is_reproducible(seed in 0u64..10_000, n in 1usize..10) {
+        let a = ladder(seed, n);
+        let b = ladder(seed, n);
+        prop_assert_eq!(plan_key(&a), plan_key(&b));
+    }
+
+    /// Clean random ladders never produce a deny-level analyze finding,
+    /// even over a widened envelope.
+    #[test]
+    fn well_formed_circuits_analyze_deny_clean(seed in 0u64..10_000, n in 1usize..10) {
+        let ckt = ladder(seed, n);
+        let ranges = Ranges::point()
+            .with_tolerance(0.05)
+            .with_supply_scale(0.9, 1.0);
+        let report = analyze_circuit(&ckt, &ranges);
+        prop_assert!(!report.has_denials(), "unexpected denials:\n{report}");
+    }
+}

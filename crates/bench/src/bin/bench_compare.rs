@@ -4,12 +4,14 @@
 //! cargo run -p bench --release --bin bench_compare -- baseline.json new.json
 //! ```
 //!
-//! The gate protects the plan-cache speedups: for every fixture whose
-//! baseline speedup is above 1× (i.e. where the compiled stamp plan
-//! beats the reference assembler), the new speedup must stay within 25%
-//! of the baseline. Fixtures at or below parity in the baseline are
-//! reported but do not gate — they measure overhead floors, not the
-//! optimisation this record exists to protect.
+//! The gate protects the plan-cache speedups two ways:
+//!
+//! 1. **Relative**: for every fixture whose baseline speedup is above 1×
+//!    (i.e. where the compiled stamp plan beats the reference assembler),
+//!    the new speedup must stay within 25% of the baseline.
+//! 2. **Absolute floors** on the *new* record: every fixture must be at
+//!    least 1.0× (the plan path never loses to the reference), and the
+//!    batched-MOS headline `tran_adder3x3_mos` must be at least 5.0×.
 //!
 //! The parser is a deliberate hand-rolled scan over the fixed
 //! `mssim-bench-v1` schema (the workspace has no JSON dependency and the
@@ -19,6 +21,13 @@ use std::process::ExitCode;
 
 /// Max tolerated fractional drop of a gated fixture's speedup.
 const TOLERANCE: f64 = 0.25;
+
+/// Every fixture in the new record must meet this speedup.
+const GLOBAL_FLOOR: f64 = 1.0;
+
+/// Fixture-specific absolute floors on the new record: `(name, floor)`.
+/// `tran_adder3x3_mos` carries the batched-MOS tentpole's ≥5× contract.
+const ENTRY_FLOORS: &[(&str, f64)] = &[("tran_adder3x3_mos", 5.0)];
 
 /// One `(name, speedup)` pair scanned out of a bench record.
 #[derive(Debug)]
@@ -129,10 +138,29 @@ fn main() -> ExitCode {
         );
     }
 
+    println!("bench_compare: absolute speedup floors on the new record");
+    for new in &fresh {
+        let floor = ENTRY_FLOORS
+            .iter()
+            .find(|(name, _)| *name == new.name)
+            .map_or(GLOBAL_FLOOR, |&(_, f)| f);
+        let ok = new.speedup >= floor;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  {} {:<20} {:.3}x (floor {:.1}x)",
+            if ok { "ok  " } else { "FAIL" },
+            new.name,
+            new.speedup,
+            floor
+        );
+    }
+
     if failures > 0 {
-        eprintln!("bench_compare: {failures} gated fixture(s) regressed more than 25%");
+        eprintln!("bench_compare: {failures} fixture(s) regressed or fell below a floor");
         return ExitCode::FAILURE;
     }
-    println!("bench_compare: all gated fixtures within tolerance");
+    println!("bench_compare: all gated fixtures within tolerance and above floors");
     ExitCode::SUCCESS
 }

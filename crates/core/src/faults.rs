@@ -39,8 +39,8 @@ use mssim::prelude::{
 };
 use mssim::sweep;
 use mssim::telemetry::{dispatch, Event, Observer};
-use pwmcell::faults::switch_adder_universe;
-use pwmcell::{analytic, AdderSpec, SwitchAdder, Technology};
+use pwmcell::faults::{switch_adder_universe, weighted_adder_universe};
+use pwmcell::{analytic, AdderSpec, SwitchAdder, Technology, WeightedAdder};
 
 use crate::error::CoreError;
 use crate::robustness::McSummary;
@@ -238,8 +238,12 @@ fn measure(
     tran: &Transient,
     rescue: &RescuePolicy,
     t_avg_from: f64,
+    limited: bool,
 ) -> Measured {
-    match Session::new(circuit).transient_rescued(tran, rescue) {
+    match Session::new(circuit)
+        .with_device_limiting(limited)
+        .transient_rescued(tran, rescue)
+    {
         Ok(outcome) => {
             let rescues = outcome.rescues();
             let (attempts, recoveries) = (rescues.total_attempts(), rescues.recovered());
@@ -332,11 +336,99 @@ fn adder_fixture(
     Ok((ckt, adder))
 }
 
+/// Builds the campaign's transistor-level (Fig. 3) adder testbench.
+fn weighted_adder_fixture(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+    frequency: f64,
+) -> Result<(Circuit, WeightedAdder), CoreError> {
+    if duties.len() != weights.len() {
+        return Err(CoreError::DimensionMismatch {
+            expected: weights.len(),
+            got: duties.len(),
+        });
+    }
+    for &d in duties {
+        if !(0.0..=1.0).contains(&d) || !d.is_finite() {
+            return Err(CoreError::InvalidDuty { value: d });
+        }
+    }
+    WeightVector::new(weights.to_vec(), spec.bits)?;
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(tech.vdd.value()));
+    let adder = WeightedAdder::build(&mut ckt, tech, "add", vdd, weights, spec);
+    for (i, &d) in duties.iter().enumerate() {
+        ckt.vsource(
+            &format!("VIN{i}"),
+            adder.inputs[i],
+            Circuit::GND,
+            Waveform::pwm(tech.vdd.value(), frequency, d),
+        );
+    }
+    Ok((ckt, adder))
+}
+
+/// Everything [`run_campaign_over`] needs that depends on which cell
+/// family (switch-level or transistor-level) the campaign targets.
+struct CampaignFixture {
+    ckt: Circuit,
+    output: NodeId,
+    universe: Vec<LabeledFault>,
+    analytic_vout: f64,
+    /// Run every transient with MOSFET voltage limiting + device latency
+    /// on. The transistor-level campaign enables this so the fault sweep
+    /// exercises the same batched limited evaluator the benchmarks ship;
+    /// switch-level netlists carry no MOSFETs and keep the exact path.
+    limited: bool,
+}
+
 fn run_campaign(
     tech: &Technology,
     spec: AdderSpec,
     weights: &[u32],
     duties: &[f64],
+    config: &CampaignConfig,
+    observer: Option<&mut dyn Observer>,
+) -> Result<CampaignReport, CoreError> {
+    let (ckt, adder) = adder_fixture(tech, spec, weights, duties, config.frequency)?;
+    let universe = switch_adder_universe(&ckt, &adder, &config.universe);
+    let analytic_vout = analytic::adder_vout(tech.vdd.value(), duties, weights, spec.bits);
+    let fixture = CampaignFixture {
+        ckt,
+        output: adder.output,
+        universe,
+        analytic_vout,
+        limited: false,
+    };
+    run_campaign_over(fixture, config, observer)
+}
+
+fn run_weighted_campaign(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+    config: &CampaignConfig,
+    observer: Option<&mut dyn Observer>,
+) -> Result<CampaignReport, CoreError> {
+    let (ckt, adder) = weighted_adder_fixture(tech, spec, weights, duties, config.frequency)?;
+    let universe = weighted_adder_universe(&ckt, &adder, &config.universe);
+    let analytic_vout = analytic::adder_vout(tech.vdd.value(), duties, weights, spec.bits);
+    let fixture = CampaignFixture {
+        ckt,
+        output: adder.output,
+        universe,
+        analytic_vout,
+        limited: true,
+    };
+    run_campaign_over(fixture, config, observer)
+}
+
+fn run_campaign_over(
+    fixture: CampaignFixture,
     config: &CampaignConfig,
     observer: Option<&mut dyn Observer>,
 ) -> Result<CampaignReport, CoreError> {
@@ -353,8 +445,13 @@ fn run_campaign(
         config.frequency > 0.0 && config.frequency.is_finite(),
         "campaign frequency must be positive and finite"
     );
-    let (ckt, adder) = adder_fixture(tech, spec, weights, duties, config.frequency)?;
-    let universe = switch_adder_universe(&ckt, &adder, &config.universe);
+    let CampaignFixture {
+        ckt,
+        output,
+        universe,
+        analytic_vout,
+        limited,
+    } = fixture;
 
     let period = 1.0 / config.frequency;
     let dt = period / config.steps_per_period as f64;
@@ -362,8 +459,7 @@ fn run_campaign(
     let t_avg_from = t_stop - config.avg_periods as f64 * period;
     let tran = Transient::new(dt, t_stop).use_initial_conditions();
 
-    let analytic_vout = analytic::adder_vout(tech.vdd.value(), duties, weights, spec.bits);
-    let golden = measure(&ckt, adder.output, &tran, &config.rescue, t_avg_from);
+    let golden = measure(&ckt, output, &tran, &config.rescue, t_avg_from, limited);
     let golden_vout = golden
         .vout
         .ok_or(CoreError::Simulation(SimError::NonConvergence {
@@ -375,7 +471,7 @@ fn run_campaign(
         }))?;
 
     let measure_fault = |lf: &LabeledFault| match lf.fault.apply(&ckt) {
-        Ok(faulty) => measure(&faulty, adder.output, &tran, &config.rescue, t_avg_from),
+        Ok(faulty) => measure(&faulty, output, &tran, &config.rescue, t_avg_from, limited),
         Err(e) => Measured {
             vout: None,
             rescue_attempts: 0,
@@ -528,6 +624,53 @@ pub fn switch_adder_campaign_observed(
     observer: &mut dyn Observer,
 ) -> Result<CampaignReport, CoreError> {
     run_campaign(tech, spec, weights, duties, config, Some(observer))
+}
+
+/// [`switch_adder_campaign`] over the transistor-level (Fig. 3)
+/// [`WeightedAdder`] instead of the switch-level cell: MOSFET AND gates
+/// under fault, with `mosfet_stuck_open` / `mosfet_stuck_short` rows and
+/// gate-to-output bridges joining the universe. Every transient —
+/// golden and faulty — runs with MOSFET voltage limiting and device
+/// latency enabled, so the campaign stresses the batched limited
+/// evaluator the benchmarks ship, under netlists deliberately broken in
+/// ways the limiter's region bookkeeping must survive.
+///
+/// # Errors
+///
+/// As for [`switch_adder_campaign`].
+///
+/// # Panics
+///
+/// As for [`switch_adder_campaign`].
+pub fn weighted_adder_campaign(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+    config: &CampaignConfig,
+) -> Result<CampaignReport, CoreError> {
+    run_weighted_campaign(tech, spec, weights, duties, config, None)
+}
+
+/// [`weighted_adder_campaign`] with telemetry, mirroring
+/// [`switch_adder_campaign_observed`].
+///
+/// # Errors
+///
+/// As for [`switch_adder_campaign`].
+///
+/// # Panics
+///
+/// As for [`switch_adder_campaign`].
+pub fn weighted_adder_campaign_observed(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+    config: &CampaignConfig,
+    observer: &mut dyn Observer,
+) -> Result<CampaignReport, CoreError> {
+    run_weighted_campaign(tech, spec, weights, duties, config, Some(observer))
 }
 
 #[cfg(test)]

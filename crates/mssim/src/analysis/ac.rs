@@ -10,6 +10,7 @@
 
 use crate::analysis::dcop::{dc_operating_point_impl, DcSolution};
 use crate::analysis::mna::MnaLayout;
+use crate::analysis::plan::EngineSel;
 use crate::analysis::solution::Solution;
 use crate::complex::{Complex, ComplexMatrix};
 use crate::elements::Element;
@@ -146,7 +147,7 @@ pub(crate) fn ac_analysis_impl(
     circuit: &Circuit,
     source: ElementId,
     frequencies: &[f64],
-    reference: bool,
+    sel: EngineSel,
     mut probe: Probe<'_>,
 ) -> Result<AcResult, Error> {
     crate::lint::preflight(circuit, "ac", crate::lint::LintContext::Dc)?;
@@ -157,7 +158,7 @@ pub(crate) fn ac_analysis_impl(
         });
     }
     probe.emit(Event::AnalysisStart { analysis: "ac" });
-    let op = dc_operating_point_impl(circuit, reference, probe.reborrow())?;
+    let op = dc_operating_point_impl(circuit, sel, probe.reborrow())?;
     let layout = MnaLayout::new(circuit);
     let n = layout.size();
 

@@ -8,7 +8,7 @@
 //! strategies used by production SPICE implementations.
 
 use crate::analysis::mna::{MnaLayout, NewtonOpts, SolveContext};
-use crate::analysis::plan::{PlanMode, SolverEngine};
+use crate::analysis::plan::{EngineSel, PlanMode, SolverEngine};
 use crate::analysis::solution::Solution;
 use crate::error::Error;
 use crate::netlist::{Circuit, ElementId, NodeId};
@@ -132,10 +132,10 @@ pub fn dc_operating_point_reference(circuit: &Circuit) -> Result<DcSolution, Err
 
 pub(crate) fn dc_operating_point_impl(
     circuit: &Circuit,
-    reference: bool,
+    sel: EngineSel,
     probe: Probe<'_>,
 ) -> Result<DcSolution, Error> {
-    dc_operating_point_opts(circuit, reference, None, probe)
+    dc_operating_point_opts(circuit, sel, None, probe)
 }
 
 /// [`dc_operating_point_impl`] with an explicit per-solve Newton iteration
@@ -144,13 +144,13 @@ pub(crate) fn dc_operating_point_impl(
 /// provoke in tests and lets fault campaigns bound worst-case solve time.
 pub(crate) fn dc_operating_point_opts(
     circuit: &Circuit,
-    reference: bool,
+    sel: EngineSel,
     max_iter: Option<usize>,
     mut probe: Probe<'_>,
 ) -> Result<DcSolution, Error> {
     crate::lint::preflight(circuit, "dc", crate::lint::LintContext::Dc)?;
     let layout = MnaLayout::new(circuit);
-    let mut engine = SolverEngine::new(circuit, &layout, PlanMode::Dc, reference);
+    let mut engine = SolverEngine::new(circuit, &layout, PlanMode::Dc, sel);
     probe.emit(Event::AnalysisStart { analysis: "dc" });
     let result = solve_dc_opts(circuit, &layout, &mut engine, max_iter, &mut probe);
     probe.report(&engine, "dc");
@@ -160,17 +160,49 @@ pub(crate) fn dc_operating_point_opts(
     result
 }
 
-/// The continuation ladder behind [`dc_operating_point`], reusable with a
-/// caller-owned engine (the DC sweep runs many points through one engine so
-/// the stamp plan and factorization caches persist across points).
-///
-/// Does **not** lint; callers are responsible for pre-flight.
-pub(crate) fn solve_dc_with(
+/// The continuation ladder of [`solve_dc_opts`], but with the direct
+/// Newton attempt seeded from
+/// `warm` — typically the previous sweep point's solution — instead of
+/// zeros; on success the accepted solution is written back into `warm`.
+/// Adjacent sweep points differ by one small source step, so the seeded
+/// attempt usually converges in a couple of iterations and, on the plan
+/// engine, keeps the device anchors and factorization caches hot. The
+/// continuation ladder still starts from its usual cold states when the
+/// seeded attempt fails, so robustness is unchanged (`warm` is then left
+/// untouched: a stale seed is still a valid next guess).
+pub(crate) fn solve_dc_seeded(
     circuit: &Circuit,
     layout: &MnaLayout,
     engine: &mut SolverEngine,
+    warm: &mut [f64],
     probe: &mut Probe<'_>,
 ) -> Result<DcSolution, Error> {
+    let mut x = warm.to_vec();
+    let direct = probe.solve(
+        engine,
+        circuit,
+        layout,
+        &mut x,
+        SolveContext {
+            time: 0.0,
+            source_scale: 1.0,
+            caps: None,
+            inds: None,
+            gshunt: 0.0,
+        },
+        &NewtonOpts::default(),
+        "dc",
+    );
+    probe.emit(Event::Homotopy {
+        stage: "direct",
+        step: 0,
+        param: 0.0,
+        converged: direct.is_ok(),
+    });
+    if direct.is_ok() {
+        warm.copy_from_slice(&x);
+        return Ok(pack(circuit, layout, x));
+    }
     solve_dc_opts(circuit, layout, engine, None, probe)
 }
 

@@ -5,9 +5,9 @@
 //! voltage-transfer curves (e.g. the static characteristic of the
 //! transcoding inverter) and for locating switching thresholds.
 
-use crate::analysis::dcop::{solve_dc_with, DcSolution};
+use crate::analysis::dcop::{solve_dc_seeded, DcSolution};
 use crate::analysis::mna::MnaLayout;
-use crate::analysis::plan::{PlanMode, SolverEngine};
+use crate::analysis::plan::{EngineSel, PlanMode, SolverEngine};
 use crate::analysis::solution::Solution;
 use crate::elements::Element;
 use crate::error::Error;
@@ -154,9 +154,18 @@ pub(crate) fn dc_sweep_impl(
     mut circuit: Circuit,
     source: ElementId,
     values: &[f64],
-    reference: bool,
+    mut sel: EngineSel,
     mut probe: Probe<'_>,
 ) -> Result<DcSweepResult, Error> {
+    // The latency bands shrink well below the transient defaults here: a
+    // sweep point is a *converged equilibrium* whose full frozen-device
+    // error lands directly in the reported curve, with no subsequent step
+    // to damp it, so the sweep trades back most of the latency for
+    // accuracy. The sparse replay factorization still carries the speed.
+    if let crate::analysis::plan::DeviceEval::Limited(ref mut lopts) = sel.eval {
+        lopts.latency_reltol = 5e-3;
+        lopts.latency_abstol = 2.5e-4;
+    }
     crate::lint::preflight(&circuit, "dc-sweep", crate::lint::LintContext::Dc)?;
     if !matches!(circuit.element(source), Element::VoltageSource { .. }) {
         return Err(Error::InvalidParameter {
@@ -169,16 +178,21 @@ pub(crate) fn dc_sweep_impl(
     // (the only mutation here) needs no recompilation, and the plan's
     // factorization cache carries across points whose Jacobian repeats.
     let layout = MnaLayout::new(&circuit);
-    let mut engine = SolverEngine::new(&circuit, &layout, PlanMode::Dc, reference);
+    let mut engine = SolverEngine::new(&circuit, &layout, PlanMode::Dc, sel);
     probe.emit(Event::AnalysisStart {
         analysis: "dc-sweep",
     });
     let mut solutions = Vec::with_capacity(values.len());
+    // Warm start: each point's Newton seeds from the previous accepted
+    // solution (standard SPICE sweep continuation). Both engines benefit;
+    // the plan engine additionally keeps its device anchors and
+    // factorization caches valid across points this way.
+    let mut warm = vec![0.0; layout.size()];
     for &v in values {
         circuit
             .set_waveform(source, Waveform::dc(v))
             .expect("checked: element is a source");
-        let point = solve_dc_with(&circuit, &layout, &mut engine, &mut probe);
+        let point = solve_dc_seeded(&circuit, &layout, &mut engine, &mut warm, &mut probe);
         match point {
             Ok(sol) => solutions.push(sol),
             Err(e) => {

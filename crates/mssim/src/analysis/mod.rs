@@ -10,6 +10,7 @@
 //! trait.
 
 pub(crate) mod mna;
+pub(crate) mod mos_batch;
 pub(crate) mod plan;
 
 pub(crate) mod ac;

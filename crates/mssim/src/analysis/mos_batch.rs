@@ -1,0 +1,693 @@
+//! Batched struct-of-arrays MOSFET evaluation for the compiled stamp plan.
+//!
+//! The per-iteration walk in [`plan`](super::plan) used to evaluate each
+//! MOSFET inline through `MosParams::evaluate`, re-reading the parameter
+//! struct and re-deriving `beta = kp·W/L` per device per Newton iteration.
+//! On the MOS-level adder that makes device evaluation *and* the
+//! factorizations it forces the dominant cost: every µV of drift changes
+//! the linearisation bits, so the LU cache never fires mid-transient.
+//!
+//! This module packs all MOSFETs of a plan into one contiguous
+//! struct-of-arrays block at compile time — thresholds, gains,
+//! channel-length modulation, polarity and pre-resolved MNA rows side by
+//! side — and evaluates the whole block in a single tight loop per
+//! iteration. Two evaluation flavours exist:
+//!
+//! * **exact** — runs [`eval_flat`] (the same arithmetic sequence as
+//!   `MosParams::evaluate`) on every device, every iteration. Bit-for-bit
+//!   identical to the scalar path by construction.
+//! * **limited** — SPICE-style robustness and latency on top of the batch:
+//!   trial gate and drain voltages are clamped by [`fetlim`]/[`limvds`]
+//!   (the SPICE3f5 damping heuristics, preventing square-law overshoot on
+//!   large Newton steps), and a device whose terminal voltages moved less
+//!   than a tolerance band since its last evaluation *with the operating
+//!   region unchanged* reuses its previous `(ids, gm, gds)` linearisation
+//!   verbatim. Frozen devices keep their exact previous bits, so an
+//!   unchanged block keeps the plan's generation counters — and therefore
+//!   the LU factorization cache — stable across time steps. Limited mode
+//!   trades bitwise identity for speed; the solver forces an extra Newton
+//!   iteration whenever a clamp fired, so accepted solutions always
+//!   satisfy the *unclamped* device equations to solver tolerance.
+//!
+//! The batch only changes how device values are *produced*. The plan's
+//! `iter_ops` walk still consumes them in element order, so the write
+//! replay, the PL001–PL004 verifier and the `analyze` interval
+//! interpreter are untouched.
+
+use super::plan::IterOp;
+use crate::elements::mosfet::{eval_flat, region_flat, MosRegion};
+use crate::elements::MosPolarity;
+
+/// Sentinel row index for a grounded terminal (reads as 0.0 V).
+const GND: usize = usize::MAX;
+
+/// Tolerances of the limited-mode latency test. A device is *latent* when
+/// each terminal voltage satisfies
+/// `|v − v_anchor| ≤ abstol + reltol·max(|v|, |v_anchor|)`
+/// against the voltages of its last real evaluation and its operating
+/// region is unchanged; latent devices reuse their previous linearisation
+/// bits. Anchors advance only on real evaluations, so drift cannot
+/// accumulate beyond one band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LimitOpts {
+    /// Relative latency band (fraction of the larger voltage magnitude).
+    pub latency_reltol: f64,
+    /// Absolute latency band in volts.
+    pub latency_abstol: f64,
+}
+
+impl Default for LimitOpts {
+    fn default() -> Self {
+        // The frozen linearisation error is O(beta·band²), which the
+        // channel conductances turn into tens-of-µV solution deviation at
+        // these bands — a few times under the limited-mode equivalence
+        // tolerance, and the region-stability clip keeps the effective
+        // window much tighter wherever a device approaches a region
+        // boundary. Equilibrium analyses that report the solution
+        // directly (DC sweeps) override these with far tighter bands.
+        LimitOpts {
+            latency_reltol: 1e-1,
+            latency_abstol: 5e-3,
+        }
+    }
+}
+
+/// Per-eval work counters reported back to the solver's stats.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BatchTally {
+    /// Devices actually evaluated (latency misses + all exact evals).
+    pub evals: u64,
+    /// Devices whose trial voltages were clamped by `fetlim`/`limvds`.
+    pub clamps: u64,
+    /// Devices that reused their previous linearisation.
+    pub latency_hits: u64,
+}
+
+impl BatchTally {
+    fn clamped(&self) -> bool {
+        self.clamps > 0
+    }
+}
+
+/// The struct-of-arrays MOSFET block of one compiled plan.
+///
+/// Parameter and row arrays are filled once at plan compile time from the
+/// `IterOp::Mosfet` entries *in op order*; the k-th block entry is the
+/// k-th MOSFET op of the walk, so consumers index with a running counter.
+/// Output arrays persist between evaluations: limited mode freezes latent
+/// devices simply by not overwriting them.
+#[derive(Debug, Clone)]
+pub(crate) struct MosBatch {
+    len: usize,
+    // Compile-time constants.
+    rd: Vec<usize>,
+    rg: Vec<usize>,
+    rs: Vec<usize>,
+    pmos: Vec<bool>,
+    vth0: Vec<f64>,
+    beta: Vec<f64>,
+    lambda: Vec<f64>,
+    // Outputs of the most recent evaluation of each device.
+    pub(crate) gdd: Vec<f64>,
+    pub(crate) gdg: Vec<f64>,
+    pub(crate) gds_node: Vec<f64>,
+    pub(crate) i_const: Vec<f64>,
+    // Limited-mode anchors: terminal voltages, region and validity of the
+    // last real evaluation.
+    anchor_vd: Vec<f64>,
+    anchor_vg: Vec<f64>,
+    anchor_vs: Vec<f64>,
+    anchor_region: Vec<MosRegion>,
+    anchored: Vec<bool>,
+    // Precomputed latency windows, interleaved per device as
+    // `[d_lo, d_hi, g_lo, g_hi, s_lo, s_hi]` so the hot-path scan walks
+    // one sequential stream: the anchor band clipped so that no point
+    // inside can change the operating region (see `anchor_windows`). The
+    // latency test is then six compares; an unanchored device holds an
+    // empty window (`lo > hi`).
+    win: Vec<f64>,
+    // Half-radius inner windows (same layout) for re-anchor herding: once
+    // any device misses its outer window, every device outside its inner
+    // window re-anchors in the same evaluation. Drifting devices thereby
+    // re-linearise together — one factorization instead of a trickle.
+    win2: Vec<f64>,
+}
+
+/// Interleaved empty window: any trial voltage misses it.
+const EMPTY_WIN: [f64; 6] = [
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+];
+
+#[inline]
+fn read(x: &[f64], r: usize) -> f64 {
+    if r == GND {
+        0.0
+    } else {
+        x[r]
+    }
+}
+
+impl MosBatch {
+    /// Gathers every `IterOp::Mosfet` of `iter_ops` (in op order) into a
+    /// packed block.
+    pub fn gather(iter_ops: &[IterOp]) -> Self {
+        let mut b = MosBatch {
+            len: 0,
+            rd: Vec::new(),
+            rg: Vec::new(),
+            rs: Vec::new(),
+            pmos: Vec::new(),
+            vth0: Vec::new(),
+            beta: Vec::new(),
+            lambda: Vec::new(),
+            gdd: Vec::new(),
+            gdg: Vec::new(),
+            gds_node: Vec::new(),
+            i_const: Vec::new(),
+            anchor_vd: Vec::new(),
+            anchor_vg: Vec::new(),
+            anchor_vs: Vec::new(),
+            anchor_region: Vec::new(),
+            anchored: Vec::new(),
+            win: Vec::new(),
+            win2: Vec::new(),
+        };
+        for op in iter_ops {
+            if let IterOp::Mosfet { rd, rg, rs, params } = op {
+                b.rd.push(rd.unwrap_or(GND));
+                b.rg.push(rg.unwrap_or(GND));
+                b.rs.push(rs.unwrap_or(GND));
+                b.pmos.push(params.polarity == MosPolarity::Pmos);
+                b.vth0.push(params.vth0);
+                b.beta.push(params.beta());
+                b.lambda.push(params.lambda);
+            }
+        }
+        b.len = b.rd.len();
+        b.gdd = vec![0.0; b.len];
+        b.gdg = vec![0.0; b.len];
+        b.gds_node = vec![0.0; b.len];
+        b.i_const = vec![0.0; b.len];
+        b.anchor_vd = vec![0.0; b.len];
+        b.anchor_vg = vec![0.0; b.len];
+        b.anchor_vs = vec![0.0; b.len];
+        b.anchor_region = vec![MosRegion::Cutoff; b.len];
+        b.anchored = vec![false; b.len];
+        b.win = EMPTY_WIN.repeat(b.len);
+        b.win2 = EMPTY_WIN.repeat(b.len);
+        b
+    }
+
+    /// Number of MOSFETs in the block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Exact batch evaluation: every device, straight through
+    /// [`eval_flat`], no limiting, no latency. Identical bits to the
+    /// scalar per-op path.
+    pub fn eval_exact(&mut self, x: &[f64]) -> BatchTally {
+        for k in 0..self.len {
+            let vd = read(x, self.rd[k]);
+            let vg = read(x, self.rg[k]);
+            let vs = read(x, self.rs[k]);
+            let (id, gdd, gdg, gds_node, _) = eval_flat(
+                self.pmos[k],
+                self.vth0[k],
+                self.beta[k],
+                self.lambda[k],
+                vd,
+                vg,
+                vs,
+            );
+            self.gdd[k] = gdd;
+            self.gdg[k] = gdg;
+            self.gds_node[k] = gds_node;
+            self.i_const[k] = id - gdd * vd - gdg * vg - gds_node * vs;
+        }
+        BatchTally {
+            evals: self.len as u64,
+            ..BatchTally::default()
+        }
+    }
+
+    /// Limited batch evaluation: latency test first (reuse the previous
+    /// linearisation bits when the device barely moved and stayed in
+    /// region), then `fetlim`/`limvds` clamping of the trial voltages
+    /// before the square-law evaluation. Returns the tally; the solver
+    /// must treat `clamps > 0` as "not converged yet" because clamped
+    /// devices were evaluated at voltages other than the trial solution.
+    pub fn eval_limited(&mut self, x: &[f64], opts: &LimitOpts) -> BatchTally {
+        let mut tally = BatchTally::default();
+        // Pass 1: pure window scan — six compares per device against the
+        // windows precomputed at anchor time. A window point can neither
+        // leave the latency band nor change the operating region (the band
+        // is clipped by the region-boundary margins), so a hit guarantees
+        // the full band-and-region test would also pass. NaN trial
+        // voltages compare false and count as a miss. If every device is
+        // inside its window the whole batch is latent — the common case.
+        let mut any_miss = false;
+        for k in 0..self.len {
+            let vd = read(x, self.rd[k]);
+            let vg = read(x, self.rg[k]);
+            let vs = read(x, self.rs[k]);
+            let w = &self.win[k * 6..k * 6 + 6];
+            if !(vd >= w[0] && vd <= w[1] && vg >= w[2] && vg <= w[3] && vs >= w[4] && vs <= w[5]) {
+                any_miss = true;
+                break;
+            }
+        }
+        if !any_miss {
+            tally.latency_hits = self.len as u64;
+            return tally;
+        }
+        // Pass 2 — re-anchor herding. Some device must re-linearise, so a
+        // refactorization is already unavoidable this iteration; fold in
+        // every device that has drifted past HALF of its window (the
+        // `win2` inner windows). Devices drifting at similar rates thereby
+        // re-anchor together instead of each forcing its own
+        // factorization a few steps apart.
+        for k in 0..self.len {
+            let vd = read(x, self.rd[k]);
+            let vg = read(x, self.rg[k]);
+            let vs = read(x, self.rs[k]);
+            let w = &self.win2[k * 6..k * 6 + 6];
+            if vd >= w[0] && vd <= w[1] && vg >= w[2] && vg <= w[3] && vs >= w[4] && vs <= w[5] {
+                // Window invariant: the region clip in `anchor_windows`
+                // guarantees no in-window point changes operating region.
+                debug_assert_eq!(
+                    region_flat(self.pmos[k], self.vth0[k], vd, vg, vs),
+                    self.anchor_region[k],
+                );
+                tally.latency_hits += 1;
+                continue;
+            }
+            // Voltage limiting in source-referenced local (NMOS-folded)
+            // coordinates, against the last-evaluated operating point.
+            let (mut vd_t, mut vg_t, vs_t) = if self.pmos[k] {
+                (-vd, -vg, -vs)
+            } else {
+                (vd, vg, vs)
+            };
+            let mut clamped = false;
+            if self.anchored[k] {
+                let (avd, avg, avs) = if self.pmos[k] {
+                    (-self.anchor_vd[k], -self.anchor_vg[k], -self.anchor_vs[k])
+                } else {
+                    (self.anchor_vd[k], self.anchor_vg[k], self.anchor_vs[k])
+                };
+                let vgs_new = vg_t - vs_t;
+                let vds_new = vd_t - vs_t;
+                let vgs_lim = fetlim(vgs_new, avg - avs, self.vth0[k]);
+                let vds_old = avd - avs;
+                let vds_lim = if vds_new >= 0.0 {
+                    limvds(vds_new, vds_old.max(0.0))
+                } else {
+                    -limvds(-vds_new, (-vds_old).max(0.0))
+                };
+                if vgs_lim != vgs_new || vds_lim != vds_new {
+                    clamped = true;
+                    vg_t = vs_t + vgs_lim;
+                    vd_t = vs_t + vds_lim;
+                }
+            }
+            // Back to global node voltages for the stamp-consistent
+            // i_const; the limited trial point is what the linearisation
+            // is expanded around.
+            let (vd_e, vg_e, vs_e) = if self.pmos[k] {
+                (-vd_t, -vg_t, -vs_t)
+            } else {
+                (vd_t, vg_t, vs_t)
+            };
+            let (id, gdd, gdg, gds_node, region_e) = eval_flat(
+                self.pmos[k],
+                self.vth0[k],
+                self.beta[k],
+                self.lambda[k],
+                vd_e,
+                vg_e,
+                vs_e,
+            );
+            self.gdd[k] = gdd;
+            self.gdg[k] = gdg;
+            self.gds_node[k] = gds_node;
+            self.i_const[k] = id - gdd * vd_e - gdg * vg_e - gds_node * vs_e;
+            self.anchor_vd[k] = vd_e;
+            self.anchor_vg[k] = vg_e;
+            self.anchor_vs[k] = vs_e;
+            self.anchor_region[k] = region_e;
+            self.anchored[k] = true;
+            self.anchor_windows(k, opts);
+            tally.evals += 1;
+            if clamped {
+                tally.clamps += 1;
+            }
+        }
+        tally
+    }
+
+    /// Computes the per-terminal latency windows of device `k` around its
+    /// freshly set anchor.
+    ///
+    /// Start from the band radius `abstol + reltol·|anchor|` (using the
+    /// anchor magnitude only — never wider than the two-sided
+    /// `max(|v|,|anchor|)` band, so every window hit is also a band hit).
+    /// Then clip by the conservative region-stability radius: with every
+    /// terminal within `r` of its anchor, the swap-folded `vgs` moves by
+    /// at most `2r` and `vds` by at most `2r`, so
+    ///
+    /// * cutoff boundary (`vov = 0`): safe while `2r ≤ |vov|`,
+    /// * triode/saturation boundary (`vds = vov`): safe while
+    ///   `4r ≤ |vds − vov|` (both coordinates can move against it).
+    ///
+    /// A device parked on a boundary gets an empty-ish window and simply
+    /// re-evaluates — which the exact band-and-region test would force
+    /// anyway.
+    fn anchor_windows(&mut self, k: usize, opts: &LimitOpts) {
+        let (fd, fg, fs) = if self.pmos[k] {
+            (-self.anchor_vd[k], -self.anchor_vg[k], -self.anchor_vs[k])
+        } else {
+            (self.anchor_vd[k], self.anchor_vg[k], self.anchor_vs[k])
+        };
+        let (vgs, vds) = if fd >= fs {
+            (fg - fs, fd - fs)
+        } else {
+            (fg - fd, fs - fd)
+        };
+        let vov = vgs - self.vth0[k];
+        let r_region = if vov <= 0.0 {
+            -vov * 0.5
+        } else {
+            (vov * 0.5).min((vds - vov).abs() * 0.25)
+        };
+        let band = |a: f64| (opts.latency_abstol + opts.latency_reltol * a.abs()).min(r_region);
+        let (ad, ag, avs) = (self.anchor_vd[k], self.anchor_vg[k], self.anchor_vs[k]);
+        let (bd, bg, bs) = (band(ad), band(ag), band(avs));
+        self.win[k * 6..k * 6 + 6].copy_from_slice(&[
+            ad - bd,
+            ad + bd,
+            ag - bg,
+            ag + bg,
+            avs - bs,
+            avs + bs,
+        ]);
+        self.win2[k * 6..k * 6 + 6].copy_from_slice(&[
+            ad - 0.5 * bd,
+            ad + 0.5 * bd,
+            ag - 0.5 * bg,
+            ag + 0.5 * bg,
+            avs - 0.5 * bs,
+            avs + 0.5 * bs,
+        ]);
+    }
+
+    /// Drops every anchor so the next limited evaluation is unconditional.
+    /// Called when `gmin` changes: the frozen linearisations themselves
+    /// stay valid (they do not depend on gmin), but homotopy stages move
+    /// the solution in large steps and must not inherit stale anchors.
+    pub fn invalidate_anchors(&mut self) {
+        self.anchored.fill(false);
+        for k in 0..self.len {
+            self.win[k * 6..k * 6 + 6].copy_from_slice(&EMPTY_WIN);
+            self.win2[k * 6..k * 6 + 6].copy_from_slice(&EMPTY_WIN);
+        }
+    }
+}
+
+/// Whether a limited evaluation must be treated as non-converged.
+pub(crate) fn forces_iteration(tally: &BatchTally) -> bool {
+    tally.clamped()
+}
+
+/// SPICE3f5 `DEVfetlim`: limits the per-iteration excursion of a FET
+/// gate-source voltage relative to the threshold `vto`, with wide bands
+/// when the device is strongly on and tight bands around the threshold so
+/// Newton cannot leap across the square law. Returns the (possibly
+/// clamped) new voltage; returns `vnew` unchanged inside the bands — in
+/// particular `fetlim(v, v, vto) == v`, so a converged point is a fixed
+/// point.
+pub(crate) fn fetlim(vnew: f64, vold: f64, vto: f64) -> f64 {
+    let vtsthi = (2.0 * (vold - vto)).abs() + 2.0;
+    let vtstlo = vtsthi / 2.0 + 2.0;
+    let vtox = vto + 3.5;
+    let delv = vnew - vold;
+    if vold >= vto {
+        if vold >= vtox {
+            if delv <= 0.0 {
+                // Going off.
+                if vnew >= vtox {
+                    if -delv > vtstlo {
+                        return vold - vtstlo;
+                    }
+                } else {
+                    return vnew.max(vto + 2.0);
+                }
+            } else if delv >= vtsthi {
+                // Staying on.
+                return vold + vtsthi;
+            }
+        } else if delv <= 0.0 {
+            // Middle region, heading down.
+            return vnew.max(vto - 0.5);
+        } else {
+            // Middle region, heading up.
+            return vnew.min(vto + 4.0);
+        }
+    } else if delv <= 0.0 {
+        // Off, heading further off.
+        if -delv > vtsthi {
+            return vold - vtsthi;
+        }
+    } else {
+        // Off, heading on: approach the threshold gently.
+        let vtemp = vto + 0.5;
+        if vnew <= vtemp {
+            if delv > vtstlo {
+                return vold + vtstlo;
+            }
+        } else {
+            return vtemp;
+        }
+    }
+    vnew
+}
+
+/// SPICE3f5 `DEVlimvds`: limits the drain-source excursion (normal mode,
+/// `vnew`/`vold` source-referenced and `vold ≥ 0`). Like [`fetlim`], a
+/// converged point is a fixed point.
+pub(crate) fn limvds(vnew: f64, vold: f64) -> f64 {
+    if vold >= 3.5 {
+        if vnew > vold {
+            vnew.min(3.0 * vold + 2.0)
+        } else if vnew < 3.5 {
+            vnew.max(2.0)
+        } else {
+            vnew
+        }
+    } else if vnew > vold {
+        vnew.min(4.0)
+    } else {
+        vnew.max(-0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::MosParams;
+
+    fn grid() -> Vec<f64> {
+        let mut v = Vec::new();
+        let mut t = -3.0;
+        while t <= 3.0 {
+            v.push(t);
+            t += 0.17;
+        }
+        v
+    }
+
+    #[test]
+    fn fetlim_fixed_point_at_convergence() {
+        // A converged Newton point presents vnew == vold; a limiter that
+        // moved it would poison accepted solutions. (This is the property
+        // the broken-limiter mutant below violates.)
+        for &v in &grid() {
+            for &vto in &[0.45, 0.6, -0.2] {
+                assert_eq!(fetlim(v, v, vto), v, "v={v} vto={vto}");
+            }
+        }
+    }
+
+    #[test]
+    fn limvds_fixed_point_at_convergence() {
+        for &v in &grid() {
+            if v >= 0.0 {
+                assert_eq!(limvds(v, v), v, "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fetlim_never_amplifies_the_step() {
+        // The limiter may shorten the Newton excursion, never lengthen it
+        // or flip its direction.
+        for &vold in &grid() {
+            for &vnew in &grid() {
+                let lim = fetlim(vnew, vold, 0.45);
+                assert!(
+                    (lim - vold).abs() <= (vnew - vold).abs() + 1e-12,
+                    "vold={vold} vnew={vnew} lim={lim}"
+                );
+                assert!(
+                    (lim - vold) * (vnew - vold) >= 0.0,
+                    "direction flipped: vold={vold} vnew={vnew} lim={lim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fetlim_clamps_large_turn_on_step() {
+        // 0 V → 2.5 V gate step across vto = 0.45 must be shortened.
+        let lim = fetlim(2.5, 0.0, 0.45);
+        assert!(lim < 2.5, "got {lim}");
+        assert!(lim > 0.0);
+    }
+
+    #[test]
+    fn mutant_limiter_is_caught_by_the_property_suite() {
+        // Mutation test: the two realistic ways to break the limiter are
+        // pinned by properties the real fetlim satisfies, so a mutant
+        // cannot land silently.
+        // (1) Overshoot (momentum) violates the fixed point that
+        // `fetlim_fixed_point_at_convergence` asserts:
+        let overshoot = |vnew: f64, vold: f64| vnew + 0.1 * (vnew - vold) + 0.01;
+        assert_ne!(overshoot(1.0, 1.0), 1.0, "mutant must fail fixed-point");
+        assert_eq!(fetlim(1.0, 1.0, 0.45), 1.0);
+        // (2) Stalling (returning vold on every excursion) passes the
+        // fixed point but kills turn-on progress, which
+        // `fetlim_clamps_large_turn_on_step` requires to stay positive:
+        let stall = |_vnew: f64, vold: f64| vold;
+        assert!(stall(2.5, 0.0) <= 0.0, "mutant must fail progress");
+        assert!(fetlim(2.5, 0.0, 0.45) > 0.0);
+    }
+
+    #[test]
+    fn exact_batch_matches_scalar_evaluate_bitwise() {
+        let params = [
+            MosParams::nmos(320e-9, 1.2e-6),
+            MosParams::pmos(865e-9, 1.2e-6),
+            MosParams::nmos(1.28e-6, 1.2e-6).with_lambda(0.0),
+        ];
+        let ops: Vec<IterOp> = params
+            .iter()
+            .enumerate()
+            .map(|(k, p)| IterOp::Mosfet {
+                rd: Some(k),
+                rg: Some((k + 1) % 3),
+                rs: if k == 2 { None } else { Some((k + 2) % 3) },
+                params: *p,
+            })
+            .collect();
+        let mut batch = MosBatch::gather(&ops);
+        assert_eq!(batch.len(), 3);
+        let x = [1.9, 0.3, 2.5];
+        let tally = batch.eval_exact(&x);
+        assert_eq!(tally.evals, 3);
+        assert_eq!(tally.latency_hits, 0);
+        for (k, p) in params.iter().enumerate() {
+            let vd = x[k];
+            let vg = x[(k + 1) % 3];
+            let vs = if k == 2 { 0.0 } else { x[(k + 2) % 3] };
+            let op = p.evaluate(vd, vg, vs);
+            assert_eq!(batch.gdd[k].to_bits(), op.gdd.to_bits());
+            assert_eq!(batch.gdg[k].to_bits(), op.gdg.to_bits());
+            assert_eq!(batch.gds_node[k].to_bits(), op.gds_node.to_bits());
+            let i_const = op.id - op.gdd * vd - op.gdg * vg - op.gds_node * vs;
+            assert_eq!(batch.i_const[k].to_bits(), i_const.to_bits());
+        }
+    }
+
+    #[test]
+    fn latency_freezes_bits_within_band_and_releases_outside() {
+        let ops = [IterOp::Mosfet {
+            rd: Some(0),
+            rg: Some(1),
+            rs: None,
+            params: MosParams::nmos(320e-9, 1.2e-6),
+        }];
+        let mut batch = MosBatch::gather(&ops);
+        let opts = LimitOpts::default();
+        let x0 = [1.2, 2.5];
+        let t0 = batch.eval_limited(&x0, &opts);
+        assert_eq!(t0.evals, 1);
+        let frozen = (batch.gdd[0], batch.gdg[0], batch.i_const[0]);
+        // Sub-band wiggle: reuse, bit-identical outputs.
+        let x1 = [1.2 + 1e-7, 2.5 - 1e-7];
+        let t1 = batch.eval_limited(&x1, &opts);
+        assert_eq!(t1.latency_hits, 1);
+        assert_eq!(t1.evals, 0);
+        assert_eq!(batch.gdd[0].to_bits(), frozen.0.to_bits());
+        assert_eq!(batch.gdg[0].to_bits(), frozen.1.to_bits());
+        assert_eq!(batch.i_const[0].to_bits(), frozen.2.to_bits());
+        // Past the band: re-evaluates. (Check `gdd`, not `gdg`: the device
+        // sits in triode where gm depends only on vds, which did not move.)
+        let x2 = [1.2, 2.2];
+        let t2 = batch.eval_limited(&x2, &opts);
+        assert_eq!(t2.evals, 1);
+        assert_ne!(batch.gdd[0].to_bits(), frozen.0.to_bits());
+    }
+
+    #[test]
+    fn region_change_forces_reevaluation_even_inside_band() {
+        // Park the device just above threshold so a tiny wiggle crosses
+        // into cutoff: the region test must override the voltage band.
+        let ops = [IterOp::Mosfet {
+            rd: Some(0),
+            rg: Some(1),
+            rs: None,
+            params: MosParams::nmos(320e-9, 1.2e-6),
+        }];
+        let mut batch = MosBatch::gather(&ops);
+        let opts = LimitOpts {
+            latency_reltol: 1e-1,
+            latency_abstol: 1e-2,
+        };
+        let t0 = batch.eval_limited(&[2.0, 0.45 + 1e-3], &opts);
+        assert_eq!(t0.evals, 1);
+        let t1 = batch.eval_limited(&[2.0, 0.45 - 1e-3], &opts);
+        assert_eq!(t1.evals, 1, "cutoff crossing must re-evaluate");
+        assert_eq!(batch.i_const[0], 0.0);
+    }
+
+    #[test]
+    fn clamped_eval_reports_clamp() {
+        let ops = [IterOp::Mosfet {
+            rd: Some(0),
+            rg: Some(1),
+            rs: None,
+            params: MosParams::nmos(320e-9, 1.2e-6),
+        }];
+        let mut batch = MosBatch::gather(&ops);
+        let opts = LimitOpts::default();
+        // Anchor at gate off…
+        batch.eval_limited(&[0.0, 0.0], &opts);
+        // …then slam the gate to 2.5 V: fetlim must clamp and report.
+        let t = batch.eval_limited(&[2.5, 2.5], &opts);
+        assert_eq!(t.evals, 1);
+        assert_eq!(t.clamps, 1);
+        assert!(forces_iteration(&t));
+        // Converging to the clamp point releases it.
+        let t2 = batch.eval_limited(&[2.5, 2.5], &opts);
+        let t3 = batch.eval_limited(&[2.5, 2.5], &opts);
+        assert!(
+            !forces_iteration(&t3) || t2.clamps + t3.clamps < 2,
+            "clamp window must widen towards the trial point"
+        );
+    }
+}

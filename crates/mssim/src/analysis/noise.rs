@@ -17,6 +17,7 @@
 
 use crate::analysis::dcop::dc_operating_point_impl;
 use crate::analysis::mna::MnaLayout;
+use crate::analysis::plan::EngineSel;
 use crate::analysis::solution::Solution;
 use crate::complex::{Complex, ComplexMatrix};
 use crate::elements::Element;
@@ -123,13 +124,13 @@ pub(crate) fn noise_analysis_impl(
     circuit: &Circuit,
     output: NodeId,
     frequencies: &[f64],
-    reference: bool,
+    sel: EngineSel,
     mut probe: Probe<'_>,
 ) -> Result<NoiseResult, Error> {
     assert!(!output.is_ground(), "noise at ground is identically zero");
     crate::lint::preflight(circuit, "noise", crate::lint::LintContext::Dc)?;
     probe.emit(Event::AnalysisStart { analysis: "noise" });
-    let op = dc_operating_point_impl(circuit, reference, probe.reborrow())?;
+    let op = dc_operating_point_impl(circuit, sel, probe.reborrow())?;
     let layout = MnaLayout::new(circuit);
     let n = layout.size();
 

@@ -42,10 +42,38 @@
 //! equivalent to [`mna::solve_newton`] by construction.
 
 use super::mna::{self, MnaLayout, NewtonOpts, SolveContext};
+use super::mos_batch::{self, MosBatch};
 use crate::elements::{Element, MosParams};
 use crate::error::Error;
-use crate::linear::{DenseMatrix, LuFactors};
+use crate::linear::{DenseMatrix, LuFactors, SparseReplayLu};
 use crate::netlist::{Circuit, ElementId};
+
+pub use super::mos_batch::LimitOpts;
+
+/// How the batched MOSFET block evaluates devices.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) enum DeviceEval {
+    /// Every device, every iteration, through the exact arithmetic of
+    /// `MosParams::evaluate` — bit-for-bit identical to the reference
+    /// assembler.
+    #[default]
+    Exact,
+    /// SPICE-style `fetlim`/`limvds` voltage limiting plus device latency
+    /// (see [`MosBatch::eval_limited`]): equivalent to [`Exact`]
+    /// (DeviceEval::Exact) at solver tolerance, not bitwise.
+    Limited(LimitOpts),
+}
+
+/// Which solver backs an analysis run: the reference assembler or the
+/// compiled plan, and in the latter case how devices are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct EngineSel {
+    /// Run the naive per-iteration assembler.
+    pub reference: bool,
+    /// Device evaluation flavour of the plan path (ignored when
+    /// `reference` is set).
+    pub eval: DeviceEval,
+}
 
 /// Which analysis family the plan stamps for. The capacitor/inductor
 /// patterns differ structurally between DC (caps open behind gmin,
@@ -705,6 +733,16 @@ pub(crate) struct SolverStats {
     pub bypasses: u64,
     /// Base-matrix rebuilds.
     pub rebases: u64,
+    /// MOSFET evaluations actually performed by the batched device block
+    /// (latency hits are *not* counted here).
+    pub device_evals: u64,
+    /// Devices whose trial voltages were clamped by `fetlim`/`limvds`
+    /// (limited mode only; always 0 in exact mode).
+    pub limit_clamps: u64,
+    /// Devices that reused their previous linearisation because their
+    /// terminal voltages stayed inside the latency band with the
+    /// operating region unchanged (limited mode only).
+    pub latency_hits: u64,
 }
 
 /// Newton–Raphson solver driven by a [`StampPlan`], bit-for-bit equivalent
@@ -733,6 +771,16 @@ pub(crate) struct SolverStats {
 pub(crate) struct PlanSolver {
     plan: StampPlan,
     n: usize,
+    /// Packed struct-of-arrays block of every MOSFET in the plan; the
+    /// k-th entry corresponds to the k-th `IterOp::Mosfet` of the walk.
+    mos: MosBatch,
+    /// Device evaluation flavour (exact or limited).
+    eval_mode: DeviceEval,
+    /// Set when the most recent limited evaluation clamped a trial
+    /// voltage: device values were computed at a point other than `x`, so
+    /// the Newton bypass must not reuse them and the iteration cannot be
+    /// accepted as converged.
+    limit_pending: bool,
     /// Whether any demoted context-only atoms live in `iter_ops` (skips
     /// the per-solve refresh walk for the common all-device case).
     has_demoted: bool,
@@ -773,7 +821,24 @@ pub(crate) struct PlanSolver {
     last_reads: Vec<f64>,
     last_eval_gmin: u64,
     reads_valid: bool,
+    /// True when no `Switch`/`Diode` ops live in the walk: with every
+    /// MOSFET latent, `eval_dynamic` can skip the copy-out walk and the
+    /// bit comparison entirely — the recorded values are provably
+    /// unchanged.
+    dyn_all_mos: bool,
+    /// Packed rhs replay program (see [`RhsProg`]): one entry per rhs
+    /// contribution of the walk, skipping matrix-only ops entirely.
+    rhs_prog: Vec<RhsProg>,
     lu: LuFactors,
+    /// Structure-replay factorization engine of the limited path: frozen
+    /// pivot sequence + recorded fill-in replace the dense O(n³) sweep.
+    /// The exact path never touches it (its factors must stay bitwise).
+    slu: SparseReplayLu,
+    /// Structural nonzero pattern handed to `slu` (row-major u64 chunks)
+    /// and the base generation it was built against.
+    slu_pattern: Vec<u64>,
+    slu_pattern_gen: u64,
+    slu_pattern_valid: bool,
     lu_valid: bool,
     lu_base_gen: u64,
     lu_iter_mat_gen: u64,
@@ -794,6 +859,21 @@ pub(crate) struct PlanSolver {
     last_max_dv: f64,
 }
 
+/// One packed step of the rhs replay walk: the same operations
+/// `write_rhs` used to pull out of the full `iter_ops` list, in the same
+/// order (so every rhs entry keeps its accumulation order and bits), but
+/// stored in 12 bytes instead of a full op. Row `u32::MAX` marks a
+/// grounded terminal with no rhs entry.
+#[derive(Debug, Clone, Copy)]
+enum RhsProg {
+    /// `rhs[row] += iter_rhs_ctx[next]`
+    Ctx { row: u32 },
+    /// `rhs[rd] -= dyn_rhs_vals[next]; rhs[rs] += …` (MOSFET pair).
+    Mos { rd: u32, rs: u32 },
+    /// `rhs[rk] += dyn_rhs_vals[next]; rhs[ra] -= …` (diode pair).
+    Diode { rk: u32, ra: u32 },
+}
+
 /// Exact bit-pattern equality of two float slices (length included).
 /// `==` on floats would conflate ±0.0 and reject NaN; the caches must key
 /// on identity.
@@ -804,14 +884,36 @@ fn bits_eq(a: &[f64], b: &[f64]) -> bool {
 
 impl PlanSolver {
     /// Compiles `ckt` and readies all scratch storage.
-    pub fn new(ckt: &Circuit, layout: &MnaLayout, mode: PlanMode) -> Self {
+    pub fn new(ckt: &Circuit, layout: &MnaLayout, mode: PlanMode, eval: DeviceEval) -> Self {
         let plan = StampPlan::compile(ckt, layout, mode);
+        let mos = MosBatch::gather(&plan.iter_ops);
         let n = plan.n;
         let n_src = plan.sources.len();
         let has_demoted = plan
             .iter_ops
             .iter()
             .any(|op| matches!(op, IterOp::Mat(_) | IterOp::Rhs(_)));
+        let dyn_all_mos = !plan
+            .iter_ops
+            .iter()
+            .any(|op| matches!(op, IterOp::Switch { .. } | IterOp::Diode { .. }));
+        let row32 = |r: Option<usize>| r.map_or(u32::MAX, |r| r as u32);
+        let rhs_prog = plan
+            .iter_ops
+            .iter()
+            .filter_map(|op| match *op {
+                IterOp::Mat(_) | IterOp::Switch { .. } => None,
+                IterOp::Rhs(RhsOp { row, .. }) => Some(RhsProg::Ctx { row: row as u32 }),
+                IterOp::Mosfet { rd, rs, .. } => Some(RhsProg::Mos {
+                    rd: row32(rd),
+                    rs: row32(rs),
+                }),
+                IterOp::Diode { ra, rk, .. } => Some(RhsProg::Diode {
+                    rk: row32(rk),
+                    ra: row32(ra),
+                }),
+            })
+            .collect();
         // Exact slot counts per value list, so the first evaluation does
         // not reallocate mid-push.
         let (mut n_dyn_mat, mut n_dyn_rhs, mut n_ctx_mat, mut n_ctx_rhs) = (0, 0, 0, 0);
@@ -833,6 +935,9 @@ impl PlanSolver {
         PlanSolver {
             plan,
             n,
+            mos,
+            eval_mode: eval,
+            limit_pending: false,
             has_demoted,
             base: DenseMatrix::zeros(n),
             base_valid: false,
@@ -860,7 +965,13 @@ impl PlanSolver {
             last_reads: Vec::new(),
             last_eval_gmin: 0,
             reads_valid: false,
+            dyn_all_mos,
+            rhs_prog,
             lu: LuFactors::new(n),
+            slu: SparseReplayLu::new(n),
+            slu_pattern: Vec::new(),
+            slu_pattern_gen: 0,
+            slu_pattern_valid: false,
             lu_valid: false,
             lu_base_gen: 0,
             lu_iter_mat_gen: 0,
@@ -997,21 +1108,48 @@ impl PlanSolver {
     /// evaluation changes the bits, so an oscillation-free Newton tail
     /// keeps its factorization identity for free.
     fn eval_dynamic(&mut self, x: &[f64], gmin: f64) {
+        // Batched MOSFET pass: one tight loop over the packed
+        // struct-of-arrays block replaces per-device dispatch; the walk
+        // below only copies the results out in op order, preserving the
+        // reference assembler's accumulation order (and bits).
+        if self.mos.len() > 0 {
+            let tally = match self.eval_mode {
+                DeviceEval::Exact => self.mos.eval_exact(x),
+                DeviceEval::Limited(opts) => {
+                    if self.last_eval_gmin != gmin.to_bits() {
+                        // Homotopy stage change: drop stale anchors.
+                        self.mos.invalidate_anchors();
+                    }
+                    self.mos.eval_limited(x, &opts)
+                }
+            };
+            self.stats.device_evals += tally.evals;
+            self.stats.limit_clamps += tally.clamps;
+            self.stats.latency_hits += tally.latency_hits;
+            self.limit_pending = mos_batch::forces_iteration(&tally);
+            // Whole-batch latency hit with no other dynamic devices in the
+            // walk: every recorded value is provably bit-unchanged, so the
+            // copy-out walk and the generation comparison are skipped.
+            // Only the read snapshot below still needs refreshing.
+            if self.dyn_all_mos && tally.evals == 0 && tally.clamps == 0 {
+                self.snapshot_reads(x, gmin);
+                return;
+            }
+        }
         self.dyn_mat_scratch.clear();
         self.dyn_rhs_scratch.clear();
         let v = |r: Option<usize>| r.map_or(0.0, |r| x[r]);
+        let mut mk = 0;
         for op in &self.plan.iter_ops {
             match *op {
                 // Context-only atoms are refreshed per solve, not here.
                 IterOp::Mat(_) | IterOp::Rhs(_) => {}
-                IterOp::Mosfet { rd, rg, rs, params } => {
-                    let (vd, vg, vs) = (v(rd), v(rg), v(rs));
-                    let op = params.evaluate(vd, vg, vs);
-                    let i_const = op.id - op.gdd * vd - op.gdg * vg - op.gds_node * vs;
-                    self.dyn_mat_scratch.push(op.gdd);
-                    self.dyn_mat_scratch.push(op.gdg);
-                    self.dyn_mat_scratch.push(op.gds_node);
-                    self.dyn_rhs_scratch.push(i_const);
+                IterOp::Mosfet { .. } => {
+                    self.dyn_mat_scratch.push(self.mos.gdd[mk]);
+                    self.dyn_mat_scratch.push(self.mos.gdg[mk]);
+                    self.dyn_mat_scratch.push(self.mos.gds_node[mk]);
+                    self.dyn_rhs_scratch.push(self.mos.i_const[mk]);
+                    mk += 1;
                 }
                 IterOp::Switch {
                     rp,
@@ -1042,6 +1180,7 @@ impl PlanSolver {
                 }
             }
         }
+        debug_assert_eq!(mk, self.mos.len());
         if !bits_eq(&self.dyn_mat_scratch, &self.dyn_mat_vals) {
             std::mem::swap(&mut self.dyn_mat_vals, &mut self.dyn_mat_scratch);
             self.dyn_mat_gen = self.dyn_mat_gen.wrapping_add(1);
@@ -1050,6 +1189,12 @@ impl PlanSolver {
             std::mem::swap(&mut self.dyn_rhs_vals, &mut self.dyn_rhs_scratch);
             self.dyn_rhs_gen = self.dyn_rhs_gen.wrapping_add(1);
         }
+        self.snapshot_reads(x, gmin);
+    }
+
+    /// Records the solution entries and gmin the devices were last
+    /// evaluated (or latched) against, arming the Newton bypass.
+    fn snapshot_reads(&mut self, x: &[f64], gmin: f64) {
         self.last_reads.clear();
         self.last_reads
             .extend(self.plan.dyn_reads.iter().map(|&r| x[r]));
@@ -1067,38 +1212,138 @@ impl PlanSolver {
         let rhs = &mut self.rhs[..];
         let mut cc = 0;
         let mut dc = 0;
-        for op in &self.plan.iter_ops {
+        for op in &self.rhs_prog {
             match *op {
-                IterOp::Mat(_) | IterOp::Switch { .. } => {}
-                IterOp::Rhs(RhsOp { row, .. }) => {
-                    rhs[row] += self.iter_rhs_ctx[cc];
+                RhsProg::Ctx { row } => {
+                    rhs[row as usize] += self.iter_rhs_ctx[cc];
                     cc += 1;
                 }
-                IterOp::Mosfet { rd, rs, .. } => {
+                RhsProg::Mos { rd, rs } => {
                     let i_const = self.dyn_rhs_vals[dc];
                     dc += 1;
-                    if let Some(rd) = rd {
-                        rhs[rd] -= i_const;
+                    if rd != u32::MAX {
+                        rhs[rd as usize] -= i_const;
                     }
-                    if let Some(rs_row) = rs {
-                        rhs[rs_row] += i_const;
+                    if rs != u32::MAX {
+                        rhs[rs as usize] += i_const;
                     }
                 }
-                IterOp::Diode { ra, rk, .. } => {
+                RhsProg::Diode { rk, ra } => {
                     let i_const = self.dyn_rhs_vals[dc];
                     dc += 1;
                     // stamp_current(a → k): `to` (k) first, then `from` (a).
-                    if let Some(rk) = rk {
-                        rhs[rk] += i_const;
+                    if rk != u32::MAX {
+                        rhs[rk as usize] += i_const;
                     }
-                    if let Some(ra) = ra {
-                        rhs[ra] -= i_const;
+                    if ra != u32::MAX {
+                        rhs[ra as usize] -= i_const;
                     }
                 }
             }
         }
         debug_assert_eq!(cc, self.iter_rhs_ctx.len());
         debug_assert_eq!(dc, self.dyn_rhs_vals.len());
+    }
+}
+
+impl PlanSolver {
+    /// Rebuilds the structural nonzero pattern handed to the sparse
+    /// replay engine: base nonzeros, the diagonal, and every position an
+    /// iteration op can write (conditional MOSFET rows included). Base
+    /// *values* are constant within one base generation, so the scan of
+    /// its numeric nonzeros is structurally sound until the next rebase.
+    fn rebuild_slu_pattern(&mut self) {
+        let n = self.n;
+        let chunks = n.div_ceil(64);
+        let mut pat = std::mem::take(&mut self.slu_pattern);
+        pat.clear();
+        pat.resize(n * chunks, 0u64);
+        let set = |pat: &mut Vec<u64>, r: usize, c: usize| {
+            pat[r * chunks + c / 64] |= 1u64 << (c % 64);
+        };
+        let b = self.base.as_slice();
+        for r in 0..n {
+            for c in 0..n {
+                if b[r * n + c] != 0.0 {
+                    set(&mut pat, r, c);
+                }
+            }
+            set(&mut pat, r, r);
+        }
+        for op in &self.plan.iter_ops {
+            match *op {
+                IterOp::Mat(MatOp { idx, .. }) => set(&mut pat, idx / n, idx % n),
+                IterOp::Rhs(_) => {}
+                IterOp::Mosfet { rd, rg, rs, .. } => {
+                    for row in [rd, rs].into_iter().flatten() {
+                        set(&mut pat, row, row);
+                        for col in [rd, rg, rs].into_iter().flatten() {
+                            set(&mut pat, row, col);
+                        }
+                    }
+                }
+                IterOp::Switch { ra, rb, .. } | IterOp::Diode { ra, rk: rb, .. } => {
+                    for row in [ra, rb].into_iter().flatten() {
+                        set(&mut pat, row, row);
+                        for col in [ra, rb].into_iter().flatten() {
+                            set(&mut pat, row, col);
+                        }
+                    }
+                }
+            }
+        }
+        self.slu_pattern = pat;
+        self.slu.invalidate_structure();
+        self.slu_pattern_gen = self.base_gen;
+        self.slu_pattern_valid = true;
+    }
+
+    /// Factors the currently recorded system, stamping the generation
+    /// identity so `fresh`/`lu_hit` checks see the new factors. The exact
+    /// path uses the dense partial-pivot engine (bitwise contract); the
+    /// limited path goes through the sparse replay engine.
+    fn factor_current(&mut self, gmin: f64) -> Result<(), Error> {
+        self.lu_valid = false;
+        let n = self.n;
+        if matches!(self.eval_mode, DeviceEval::Limited(_)) && self.mos.len() > 0 {
+            if !self.slu_pattern_valid || self.slu_pattern_gen != self.base_gen {
+                self.rebuild_slu_pattern();
+            }
+            let PlanSolver {
+                slu,
+                slu_pattern,
+                base,
+                plan,
+                iter_mat_ctx,
+                dyn_mat_vals,
+                ..
+            } = self;
+            slu.factor_with(n, slu_pattern, |buf| {
+                fill_mat(
+                    buf,
+                    base,
+                    &plan.iter_ops,
+                    iter_mat_ctx,
+                    dyn_mat_vals,
+                    gmin,
+                    n,
+                )
+            })?;
+        } else {
+            let base = &self.base;
+            let iter_ops = &self.plan.iter_ops;
+            let ctx_vals = &self.iter_mat_ctx;
+            let dev_vals = &self.dyn_mat_vals;
+            self.lu.factor_with(n, |buf| {
+                fill_mat(buf, base, iter_ops, ctx_vals, dev_vals, gmin, n)
+            })?;
+        }
+        self.lu_base_gen = self.base_gen;
+        self.lu_iter_mat_gen = self.iter_mat_gen;
+        self.lu_dyn_mat_gen = self.dyn_mat_gen;
+        self.lu_valid = true;
+        self.stats.factorizations += 1;
+        Ok(())
     }
 }
 
@@ -1224,9 +1469,25 @@ impl PlanSolver {
             && self.lu_base_gen == self.base_gen
             && self.lu_iter_mat_gen == self.iter_mat_gen
             && self.lu_dyn_mat_gen == self.dyn_mat_gen;
+        // The sparse replay engine serves MOSFET circuits under limited
+        // evaluation only: switch conductances swing a dozen decades, for
+        // which a frozen pivot order is numerically fragile — and keeping
+        // MOSFET-free circuits on the dense engine keeps them bitwise
+        // identical to the reference even in limited mode.
+        let limited = matches!(self.eval_mode, DeviceEval::Limited(_)) && self.mos.len() > 0;
         self.write_rhs();
         if lu_hit {
-            self.lu.solve(&mut self.rhs);
+            if limited {
+                self.slu.solve(&mut self.rhs);
+            } else {
+                self.lu.solve(&mut self.rhs);
+            }
+        } else if limited {
+            // Limited path: replay the recorded elimination structure —
+            // no bitwise contract to honour, so the frozen-pivot sparse
+            // sweep replaces the dense O(n³) factorization.
+            self.factor_current(gmin)?;
+            self.slu.solve(&mut self.rhs);
         } else {
             // Factor miss: fuse the rhs forward-elimination into the
             // factorization sweep (one pass, as the reference assembler's
@@ -1299,6 +1560,7 @@ impl PlanSolver {
             // decides from the generation keys how much of the linear
             // solve can be reused.
             let unchanged = self.reads_valid
+                && !self.limit_pending
                 && self.last_eval_gmin == gmin_bits
                 && self
                     .plan
@@ -1309,6 +1571,10 @@ impl PlanSolver {
             if !unchanged {
                 self.eval_dynamic(x, opts.gmin);
             }
+            // A clamped limited evaluation linearised some device at a
+            // point other than the trial solution; the step may not be
+            // accepted until a clamp-free evaluation confirms it.
+            let clamp_forced = self.limit_pending;
             self.solve_linear(opts.gmin)?;
             let work = &self.rhs;
 
@@ -1323,7 +1589,7 @@ impl PlanSolver {
                 1.0
             };
 
-            let mut converged = damp == 1.0;
+            let mut converged = damp == 1.0 && !clamp_forced;
             for r in 0..n {
                 let delta = (work[r] - x[r]) * damp;
                 let tol = if r < node_rows {
@@ -1364,15 +1630,16 @@ pub(crate) enum SolverEngine {
 }
 
 impl SolverEngine {
-    /// Builds the engine for `ckt`; `reference` selects the naive path.
-    pub fn new(ckt: &Circuit, layout: &MnaLayout, mode: PlanMode, reference: bool) -> Self {
-        if reference {
+    /// Builds the engine for `ckt`; `sel` picks the reference path or the
+    /// plan path with its device-evaluation flavour.
+    pub fn new(ckt: &Circuit, layout: &MnaLayout, mode: PlanMode, sel: EngineSel) -> Self {
+        if sel.reference {
             SolverEngine::Reference {
                 mat: DenseMatrix::zeros(layout.size()),
                 work: Vec::new(),
             }
         } else {
-            SolverEngine::Plan(Box::new(PlanSolver::new(ckt, layout, mode)))
+            SolverEngine::Plan(Box::new(PlanSolver::new(ckt, layout, mode, sel.eval)))
         }
     }
 
@@ -1437,7 +1704,7 @@ mod tests {
         let layout = MnaLayout::new(ckt);
         let n = layout.size();
         let opts = NewtonOpts::default();
-        let mut plan = PlanSolver::new(ckt, &layout, mode);
+        let mut plan = PlanSolver::new(ckt, &layout, mode, DeviceEval::Exact);
         let mut mat = DenseMatrix::zeros(n);
         let mut work = Vec::new();
         let mut x_plan = vec![0.0; n];
@@ -1567,7 +1834,7 @@ mod tests {
         let layout = MnaLayout::new(&ckt);
         let n = layout.size();
         let opts = NewtonOpts::default();
-        let mut plan = PlanSolver::new(&ckt, &layout, PlanMode::Tran);
+        let mut plan = PlanSolver::new(&ckt, &layout, PlanMode::Tran, DeviceEval::Exact);
         let mut mat = DenseMatrix::zeros(n);
         let mut work = Vec::new();
         let mut x_plan = vec![0.0; n];
@@ -1617,7 +1884,7 @@ mod tests {
             inds: None,
             gshunt: 0.0,
         };
-        let mut plan = PlanSolver::new(&ckt, &layout, PlanMode::Dc);
+        let mut plan = PlanSolver::new(&ckt, &layout, PlanMode::Dc, DeviceEval::Exact);
         let mut x = vec![0.0; layout.size()];
         let got = plan.solve(&ckt, &layout, &mut x, ctx, &opts, "dc");
         let mut mat = DenseMatrix::zeros(layout.size());

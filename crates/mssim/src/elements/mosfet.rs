@@ -182,76 +182,126 @@ impl MosParams {
     /// drain terminal* (and out of the source), which is negative for a
     /// conducting PMOS pulling its drain up.
     pub fn evaluate(&self, vd: f64, vg: f64, vs: f64) -> MosOperatingPoint {
-        match self.polarity {
-            MosPolarity::Nmos => self.evaluate_n(vd, vg, vs),
-            MosPolarity::Pmos => {
-                // PMOS = NMOS with all voltages and the current negated.
-                let op = self.evaluate_n(-vd, -vg, -vs);
-                MosOperatingPoint {
-                    id: -op.id,
-                    // d(-f(-v))/dv = f'(-v): derivative signs are preserved.
-                    gdd: op.gdd,
-                    gdg: op.gdg,
-                    gds_node: op.gds_node,
-                    region: op.region,
-                }
-            }
+        let (id, gdd, gdg, gds_node, region) = eval_flat(
+            self.polarity == MosPolarity::Pmos,
+            self.vth0,
+            self.beta(),
+            self.lambda,
+            vd,
+            vg,
+            vs,
+        );
+        MosOperatingPoint {
+            id,
+            gdd,
+            gdg,
+            gds_node,
+            region,
         }
     }
+}
 
-    /// NMOS evaluation with drain/source swap for `vds < 0`.
-    fn evaluate_n(&self, vd: f64, vg: f64, vs: f64) -> MosOperatingPoint {
-        if vd >= vs {
-            let (ids, gm, gds, region) = self.channel_current(vg - vs, vd - vs);
-            // id = f(vgs, vds): did/dvd = gds, did/dvg = gm,
-            // did/dvs = -gm - gds.
-            MosOperatingPoint {
-                id: ids,
-                gdd: gds,
-                gdg: gm,
-                gds_node: -gm - gds,
-                region,
-            }
-        } else {
-            // Reverse mode: the physical source is the drain terminal.
-            let (ids_r, gm_r, gds_r, region) = self.channel_current(vg - vd, vs - vd);
-            // id = -f(vg - vd, vs - vd):
-            // did/dvd = gm_r + gds_r, did/dvg = -gm_r, did/dvs = -gds_r.
-            MosOperatingPoint {
-                id: -ids_r,
-                gdd: gm_r + gds_r,
-                gdg: -gm_r,
-                gds_node: -gds_r,
-                region,
-            }
-        }
+/// Flattened level-1 evaluation over pre-resolved parameters, shared by
+/// [`MosParams::evaluate`] and the SoA batch evaluator in the compiled
+/// stamp plan: both paths run this exact arithmetic sequence, so batching
+/// cannot perturb bit patterns. `beta` must be the precomputed `kp·W/L`.
+/// Returns `(id, gdd, gdg, gds_node, region)`.
+#[inline]
+pub(crate) fn eval_flat(
+    pmos: bool,
+    vth0: f64,
+    beta: f64,
+    lambda: f64,
+    vd: f64,
+    vg: f64,
+    vs: f64,
+) -> (f64, f64, f64, f64, MosRegion) {
+    if pmos {
+        // PMOS = NMOS with all voltages and the current negated;
+        // d(-f(-v))/dv = f'(-v): derivative signs are preserved.
+        let (id, gdd, gdg, gds_node, region) = eval_flat_n(vth0, beta, lambda, -vd, -vg, -vs);
+        (-id, gdd, gdg, gds_node, region)
+    } else {
+        eval_flat_n(vth0, beta, lambda, vd, vg, vs)
     }
+}
 
-    /// Square-law channel current for `vds >= 0`; returns
-    /// `(ids, gm, gds, region)`.
-    fn channel_current(&self, vgs: f64, vds: f64) -> (f64, f64, f64, MosRegion) {
-        debug_assert!(vds >= 0.0);
-        let beta = self.beta();
-        let vov = vgs - self.vth0;
-        if vov <= 0.0 {
-            return (0.0, 0.0, 0.0, MosRegion::Cutoff);
-        }
-        let clm = 1.0 + self.lambda * vds;
-        if vds < vov {
-            // Triode.
-            let core = vov * vds - 0.5 * vds * vds;
-            let ids = beta * core * clm;
-            let gm = beta * vds * clm;
-            let gds = beta * ((vov - vds) * clm + core * self.lambda);
-            (ids, gm, gds, MosRegion::Triode)
-        } else {
-            // Saturation.
-            let core = 0.5 * vov * vov;
-            let ids = beta * core * clm;
-            let gm = beta * vov * clm;
-            let gds = beta * core * self.lambda;
-            (ids, gm, gds, MosRegion::Saturation)
-        }
+/// NMOS evaluation with drain/source swap for `vds < 0`.
+#[inline]
+fn eval_flat_n(
+    vth0: f64,
+    beta: f64,
+    lambda: f64,
+    vd: f64,
+    vg: f64,
+    vs: f64,
+) -> (f64, f64, f64, f64, MosRegion) {
+    if vd >= vs {
+        let (ids, gm, gds, region) = channel_flat(vth0, beta, lambda, vg - vs, vd - vs);
+        // id = f(vgs, vds): did/dvd = gds, did/dvg = gm,
+        // did/dvs = -gm - gds.
+        (ids, gds, gm, -gm - gds, region)
+    } else {
+        // Reverse mode: the physical source is the drain terminal.
+        let (ids_r, gm_r, gds_r, region) = channel_flat(vth0, beta, lambda, vg - vd, vs - vd);
+        // id = -f(vg - vd, vs - vd):
+        // did/dvd = gm_r + gds_r, did/dvg = -gm_r, did/dvs = -gds_r.
+        (-ids_r, gm_r + gds_r, -gm_r, -gds_r, region)
+    }
+}
+
+/// Square-law channel current for `vds >= 0`; returns
+/// `(ids, gm, gds, region)`.
+#[inline]
+fn channel_flat(
+    vth0: f64,
+    beta: f64,
+    lambda: f64,
+    vgs: f64,
+    vds: f64,
+) -> (f64, f64, f64, MosRegion) {
+    debug_assert!(vds >= 0.0);
+    let vov = vgs - vth0;
+    if vov <= 0.0 {
+        return (0.0, 0.0, 0.0, MosRegion::Cutoff);
+    }
+    let clm = 1.0 + lambda * vds;
+    if vds < vov {
+        // Triode.
+        let core = vov * vds - 0.5 * vds * vds;
+        let ids = beta * core * clm;
+        let gm = beta * vds * clm;
+        let gds = beta * ((vov - vds) * clm + core * lambda);
+        (ids, gm, gds, MosRegion::Triode)
+    } else {
+        // Saturation.
+        let core = 0.5 * vov * vov;
+        let ids = beta * core * clm;
+        let gm = beta * vov * clm;
+        let gds = beta * core * lambda;
+        (ids, gm, gds, MosRegion::Saturation)
+    }
+}
+
+/// Operating region at the given terminal voltages without computing
+/// currents — the cheap half of the latency test: a device whose region
+/// *and* terminal voltages are (near-)unchanged may reuse its previous
+/// linearisation.
+#[inline]
+pub(crate) fn region_flat(pmos: bool, vth0: f64, vd: f64, vg: f64, vs: f64) -> MosRegion {
+    let (vd, vg, vs) = if pmos { (-vd, -vg, -vs) } else { (vd, vg, vs) };
+    let (vgs, vds) = if vd >= vs {
+        (vg - vs, vd - vs)
+    } else {
+        (vg - vd, vs - vd)
+    };
+    let vov = vgs - vth0;
+    if vov <= 0.0 {
+        MosRegion::Cutoff
+    } else if vds < vov {
+        MosRegion::Triode
+    } else {
+        MosRegion::Saturation
     }
 }
 

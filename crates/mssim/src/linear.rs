@@ -407,6 +407,303 @@ impl LuFactors {
     }
 }
 
+/// LU factorization over a frozen pivot sequence and structural pattern.
+///
+/// The first factorization runs the same dense partial-pivot elimination
+/// as [`LuFactors`], then records the pivot sequence and — from a
+/// caller-supplied structural pattern — the fill-in structure of the
+/// factors. Subsequent factorizations *replay* that elimination touching
+/// only structural positions, which on a sparse MNA system cuts the
+/// O(n³) sweep to roughly the factor's nonzero count. Triangular solves
+/// walk the same recorded structure.
+///
+/// The replay performs the same arithmetic as the dense elimination on
+/// every structural position; skipped positions are structurally zero,
+/// so results agree to rounding (not bitwise: the frozen pivot order can
+/// differ from what fresh partial pivoting would choose). A replayed
+/// pivot whose magnitude falls under the recorded threshold triggers a
+/// transparent fallback: the matrix is refilled, factored densely with
+/// fresh pivoting, and the structure re-recorded.
+#[derive(Debug, Clone)]
+pub struct SparseReplayLu {
+    n: usize,
+    /// Dense row-major storage; only structural positions are meaningful
+    /// after a replayed factorization (the rest stay 0.0 from `fill`).
+    lu: Vec<f64>,
+    swaps: Vec<usize>,
+    /// Stage-`k` multiplier rows (`r > k` with structural `(r, k)`).
+    mrows: Vec<u32>,
+    mrow_ptr: Vec<usize>,
+    /// Stage-`k` update columns (`c > k` with structural `(k, c)`).
+    ucols: Vec<u32>,
+    ucol_ptr: Vec<usize>,
+    /// Reciprocals of the U diagonal, so the back-substitution multiplies
+    /// instead of divides (no bitwise contract on this engine).
+    inv_diag: Vec<f64>,
+    /// Multiplier values aligned with `mrows` and U values aligned with
+    /// `ucols`: the triangular solves walk these contiguous copies instead
+    /// of striding through the dense buffer.
+    mvals: Vec<f64>,
+    uvals: Vec<f64>,
+    structured: bool,
+    /// Pivot acceptance threshold recorded by the structuring pass.
+    tol: f64,
+}
+
+impl SparseReplayLu {
+    /// An empty holder for `n × n` systems.
+    pub fn new(n: usize) -> Self {
+        SparseReplayLu {
+            n,
+            lu: vec![0.0; n * n],
+            swaps: vec![0; n],
+            mrows: Vec::new(),
+            mrow_ptr: Vec::new(),
+            ucols: Vec::new(),
+            ucol_ptr: Vec::new(),
+            inv_diag: vec![0.0; n],
+            mvals: Vec::new(),
+            uvals: Vec::new(),
+            structured: false,
+            tol: 0.0,
+        }
+    }
+
+    /// Drops the recorded structure (pattern or pivot sequence no longer
+    /// trustworthy — e.g. the base matrix was rebuilt).
+    pub fn invalidate_structure(&mut self) {
+        self.structured = false;
+    }
+
+    /// Factors an `n × n` matrix assembled into the internal buffer by
+    /// `fill`. `pattern` is the structural nonzero pattern of the
+    /// assembled matrix, row-major in `ceil(n/64)` `u64` chunks per row;
+    /// every position `fill` can make nonzero must be set (a superset is
+    /// fine — structurally-present numeric zeros replay as no-ops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SingularMatrix`] when even a fresh dense
+    /// factorization finds no acceptable pivot.
+    pub fn factor_with(
+        &mut self,
+        n: usize,
+        pattern: &[u64],
+        fill: impl Fn(&mut [f64]),
+    ) -> Result<(), Error> {
+        self.n = n;
+        self.lu.resize(n * n, 0.0);
+        self.swaps.resize(n, 0);
+        fill(&mut self.lu);
+        if n == 0 {
+            return Ok(());
+        }
+        if self.structured {
+            match self.replay() {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    // Frozen pivot went bad on the new values: refill (the
+                    // buffer is partially eliminated) and restructure.
+                    self.structured = false;
+                    fill(&mut self.lu);
+                }
+            }
+        }
+        self.dense_factor()?;
+        self.record_structure(pattern);
+        Ok(())
+    }
+
+    /// Replays the recorded elimination on the freshly filled buffer.
+    fn replay(&mut self) -> Result<(), Error> {
+        let n = self.n;
+        for k in 0..n {
+            let pr = self.swaps[k];
+            if pr != k {
+                for c in 0..n {
+                    self.lu.swap(k * n + c, pr * n + c);
+                }
+            }
+            let pivot = self.lu[k * n + k];
+            if pivot.abs() < self.tol {
+                return Err(Error::SingularMatrix { row: k });
+            }
+            // One reciprocal per stage instead of one divide per
+            // multiplier row; the divide's long latency otherwise
+            // serialises the elimination of short rows.
+            let inv = 1.0 / pivot;
+            self.inv_diag[k] = inv;
+            // Row k is final once stage k starts: snapshot its U values
+            // into the packed solve array.
+            for j in self.ucol_ptr[k]..self.ucol_ptr[k + 1] {
+                self.uvals[j] = self.lu[k * n + self.ucols[j] as usize];
+            }
+            for i in self.mrow_ptr[k]..self.mrow_ptr[k + 1] {
+                let r = self.mrows[i] as usize;
+                let factor = self.lu[r * n + k] * inv;
+                self.mvals[i] = factor;
+                if factor == 0.0 {
+                    self.lu[r * n + k] = 0.0;
+                    continue;
+                }
+                self.lu[r * n + k] = factor;
+                for j in self.ucol_ptr[k]..self.ucol_ptr[k + 1] {
+                    let c = self.ucols[j] as usize;
+                    self.lu[r * n + c] -= factor * self.lu[k * n + c];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fresh dense partial-pivot factorization (same algorithm and pivot
+    /// acceptance as [`LuFactors::factor_with`]), recording the swaps.
+    #[allow(clippy::needless_range_loop)] // mirrors LuFactors; pivot structure
+    fn dense_factor(&mut self) -> Result<(), Error> {
+        let n = self.n;
+        let scale = self
+            .lu
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(1e-30);
+        self.tol = scale * 1e-14;
+        for k in 0..n {
+            let mut pivot_row = k;
+            let mut pivot_mag = self.lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let mag = self.lu[r * n + k].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < self.tol {
+                return Err(Error::SingularMatrix { row: k });
+            }
+            self.swaps[k] = pivot_row;
+            if pivot_row != k {
+                for c in 0..n {
+                    self.lu.swap(k * n + c, pivot_row * n + c);
+                }
+            }
+            let pivot = self.lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = self.lu[r * n + k] / pivot;
+                if factor == 0.0 {
+                    self.lu[r * n + k] = 0.0;
+                    continue;
+                }
+                self.lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    self.lu[r * n + c] -= factor * self.lu[k * n + c];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Symbolically eliminates `pattern` under the recorded pivot
+    /// sequence, storing the resulting multiplier-row and update-column
+    /// lists (fill-in included).
+    fn record_structure(&mut self, pattern: &[u64]) {
+        let n = self.n;
+        let chunks = n.div_ceil(64);
+        debug_assert_eq!(pattern.len(), n * chunks);
+        let mut pat = pattern.to_vec();
+        self.mrows.clear();
+        self.ucols.clear();
+        self.mrow_ptr.clear();
+        self.ucol_ptr.clear();
+        self.mrow_ptr.push(0);
+        self.ucol_ptr.push(0);
+        let bit = |pat: &[u64], r: usize, c: usize| pat[r * chunks + c / 64] >> (c % 64) & 1 == 1;
+        for k in 0..n {
+            let pr = self.swaps[k];
+            if pr != k {
+                for ch in 0..chunks {
+                    pat.swap(k * chunks + ch, pr * chunks + ch);
+                }
+            }
+            for c in (k + 1)..n {
+                if bit(&pat, k, c) {
+                    self.ucols.push(c as u32);
+                }
+            }
+            for r in (k + 1)..n {
+                if bit(&pat, r, k) {
+                    self.mrows.push(r as u32);
+                    // Fill-in: row r picks up row k's upper structure.
+                    for ch in 0..chunks {
+                        let mut add = pat[k * chunks + ch];
+                        // Mask off columns ≤ k (already eliminated).
+                        let lo = k + 1;
+                        if ch * 64 < lo {
+                            let drop = (lo - ch * 64).min(64);
+                            if drop == 64 {
+                                add = 0;
+                            } else {
+                                add &= !0u64 << drop;
+                            }
+                        }
+                        pat[r * chunks + ch] |= add;
+                    }
+                }
+            }
+            self.mrow_ptr.push(self.mrows.len());
+            self.ucol_ptr.push(self.ucols.len());
+        }
+        self.inv_diag.resize(n, 0.0);
+        self.mvals.resize(self.mrows.len(), 0.0);
+        self.uvals.resize(self.ucols.len(), 0.0);
+        for k in 0..n {
+            self.inv_diag[k] = 1.0 / self.lu[k * n + k];
+            for j in self.ucol_ptr[k]..self.ucol_ptr[k + 1] {
+                self.uvals[j] = self.lu[k * n + self.ucols[j] as usize];
+            }
+            for i in self.mrow_ptr[k]..self.mrow_ptr[k + 1] {
+                self.mvals[i] = self.lu[self.mrows[i] as usize * n + k];
+            }
+        }
+        self.structured = true;
+    }
+
+    /// Solves `A·x = rhs` in place against the last factorization,
+    /// walking only the recorded structure. Matches [`LuFactors::solve`]
+    /// on every structural position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len()` does not match the factored dimension or no
+    /// factorization has been recorded.
+    pub fn solve(&self, rhs: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(rhs.len(), n, "rhs length must equal matrix dimension");
+        assert!(self.structured, "solve called before factor_with");
+        for k in 0..n {
+            let pr = self.swaps[k];
+            if pr != k {
+                rhs.swap(k, pr);
+            }
+        }
+        for k in 0..n {
+            let xk = rhs[k];
+            for i in self.mrow_ptr[k]..self.mrow_ptr[k + 1] {
+                let factor = self.mvals[i];
+                if factor != 0.0 {
+                    rhs[self.mrows[i] as usize] -= factor * xk;
+                }
+            }
+        }
+        for k in (0..n).rev() {
+            let mut sum = rhs[k];
+            for j in self.ucol_ptr[k]..self.ucol_ptr[k + 1] {
+                sum -= self.uvals[j] * rhs[self.ucols[j] as usize];
+            }
+            rhs[k] = sum * self.inv_diag[k];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,5 +894,177 @@ mod tests {
         lu.factor_from(&DenseMatrix::zeros(0)).unwrap();
         let mut rhs: Vec<f64> = vec![];
         lu.solve(&mut rhs);
+    }
+
+    // ------------------------------------------- SparseReplayLu
+
+    /// Row-major bitmask pattern of `m`'s nonzeros, `ceil(n/64)` words
+    /// per row (the format `SparseReplayLu::factor_with` expects).
+    fn pattern_of(m: &DenseMatrix) -> Vec<u64> {
+        let n = m.dim();
+        let words = n.div_ceil(64);
+        let mut pat = vec![0u64; n * words];
+        for r in 0..n {
+            for c in 0..n {
+                if m.get(r, c) != 0.0 {
+                    pat[r * words + c / 64] |= 1u64 << (c % 64);
+                }
+            }
+        }
+        pat
+    }
+
+    /// A sparse diagonally-loaded test matrix shaped like a small MNA
+    /// system: diagonal plus a few off-diagonal couplings.
+    fn sparse_system(n: usize, seed: u64) -> DenseMatrix {
+        let mut next = lcg(seed);
+        let mut m = DenseMatrix::zeros(n);
+        for r in 0..n {
+            m.set(r, r, 2.0 + next().abs());
+            let c1 = (r + 1) % n;
+            let c2 = (r * 3 + 1) % n;
+            m.add(r, c1, next());
+            m.add(r, c2, next());
+        }
+        m
+    }
+
+    #[test]
+    fn sparse_replay_matches_dense_solution() {
+        for (n, seed) in [(1usize, 31u64), (4, 37), (9, 41), (17, 43), (30, 47)] {
+            let m = sparse_system(n, seed);
+            let mut next = lcg(seed ^ 0xABCD);
+            let rhs0: Vec<f64> = (0..n).map(|_| next()).collect();
+
+            let mut direct = rhs0.clone();
+            m.clone().solve_in_place(&mut direct).unwrap();
+
+            let mut slu = SparseReplayLu::new(n);
+            slu.factor_with(n, &pattern_of(&m), |buf| buf.copy_from_slice(m.as_slice()))
+                .unwrap();
+            let mut replayed = rhs0.clone();
+            slu.solve(&mut replayed);
+
+            for (i, (a, b)) in direct.iter().zip(&replayed).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "n={n} seed={seed} x[{i}]: dense {a} vs replay {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_replay_refactorization_is_deterministic_and_tracks_values() {
+        let n = 12;
+        let m = sparse_system(n, 53);
+        let pat = pattern_of(&m);
+        let mut slu = SparseReplayLu::new(n);
+        slu.factor_with(n, &pat, |buf| buf.copy_from_slice(m.as_slice()))
+            .unwrap();
+        let mut a = vec![1.0; n];
+        slu.solve(&mut a);
+
+        // Same values again: the replayed factorization must reproduce
+        // the recorded one bitwise (same swaps, same arithmetic).
+        slu.factor_with(n, &pat, |buf| buf.copy_from_slice(m.as_slice()))
+            .unwrap();
+        let mut b = vec![1.0; n];
+        slu.solve(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // Perturbed values inside the same pattern: the replay must track
+        // them, agreeing with a fresh dense solve to rounding.
+        let mut m2 = m.clone();
+        for r in 0..n {
+            m2.add(r, r, 0.25);
+        }
+        slu.factor_with(n, &pat, |buf| buf.copy_from_slice(m2.as_slice()))
+            .unwrap();
+        let mut replayed = vec![1.0; n];
+        slu.solve(&mut replayed);
+        let mut direct = vec![1.0; n];
+        m2.solve_in_place(&mut direct).unwrap();
+        for (x, y) in direct.iter().zip(&replayed) {
+            assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sparse_replay_falls_back_when_the_frozen_pivot_degrades() {
+        // First factorization freezes a pivot order for this matrix…
+        let n = 6;
+        let mut m = DenseMatrix::zeros(n);
+        for r in 0..n {
+            m.set(r, r, 4.0);
+            m.set(r, (r + 1) % n, 1.0);
+        }
+        let mut slu = SparseReplayLu::new(n);
+        // Pattern must cover both value sets (dense here, which is an
+        // allowed superset).
+        let full = vec![u64::MAX; n];
+        slu.factor_with(n, &full, |buf| buf.copy_from_slice(m.as_slice()))
+            .unwrap();
+
+        // …then the values shift so that order's first pivot collapses.
+        // The replay must fail internally and transparently restructure
+        // with fresh pivoting instead of surfacing an error.
+        m.set(0, 0, 1e-18);
+        m.set(0, 1, 3.0);
+        m.set(1, 0, 2.0);
+        slu.factor_with(n, &full, |buf| buf.copy_from_slice(m.as_slice()))
+            .unwrap();
+        let mut replayed = vec![1.0; n];
+        slu.solve(&mut replayed);
+        let mut direct = vec![1.0; n];
+        m.clone().solve_in_place(&mut direct).unwrap();
+        for (x, y) in direct.iter().zip(&replayed) {
+            assert!((x - y).abs() <= 1e-10 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sparse_replay_invalidate_structure_forces_rerecord() {
+        let n = 8;
+        let m = sparse_system(n, 59);
+        let pat = pattern_of(&m);
+        let mut slu = SparseReplayLu::new(n);
+        slu.factor_with(n, &pat, |buf| buf.copy_from_slice(m.as_slice()))
+            .unwrap();
+
+        // A matrix with a *different* sparsity pattern is only legal after
+        // invalidation (the caller's contract when the base plan rebuilds).
+        let m2 = sparse_system(n, 61);
+        slu.invalidate_structure();
+        slu.factor_with(n, &pattern_of(&m2), |buf| {
+            buf.copy_from_slice(m2.as_slice())
+        })
+        .unwrap();
+        let mut replayed = vec![1.0; n];
+        slu.solve(&mut replayed);
+        let mut direct = vec![1.0; n];
+        m2.clone().solve_in_place(&mut direct).unwrap();
+        for (x, y) in direct.iter().zip(&replayed) {
+            assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sparse_replay_reports_singular_systems() {
+        let n = 3;
+        let mut m = DenseMatrix::zeros(n);
+        // Row 2 is a copy of row 1: rank 2.
+        m.set(0, 0, 1.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 1.0);
+        m.set(2, 0, 2.0);
+        m.set(2, 1, 1.0);
+        let mut slu = SparseReplayLu::new(n);
+        let got = slu.factor_with(n, &vec![u64::MAX; n], |buf| {
+            buf.copy_from_slice(m.as_slice())
+        });
+        assert!(matches!(got, Err(Error::SingularMatrix { .. })), "{got:?}");
     }
 }

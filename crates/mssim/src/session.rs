@@ -33,12 +33,15 @@ use crate::analysis::ac::{ac_analysis_impl, AcResult};
 use crate::analysis::dcop::{dc_operating_point_opts, DcSolution};
 use crate::analysis::dcsweep::{dc_sweep_impl, DcSweepResult};
 use crate::analysis::noise::{noise_analysis_impl, NoiseResult};
+use crate::analysis::plan::{DeviceEval, EngineSel};
 use crate::analysis::{RescuePolicy, Transient, TransientOutcome, TransientResult};
 use crate::analyze::{analyze_circuit, AnalyzeReport, Ranges};
 use crate::error::Error;
 use crate::netlist::{Circuit, ElementId, NodeId};
 use crate::telemetry::{dispatch, Event, Observer, Probe};
 use crate::verify::{verify_circuit, VerifyReport};
+
+pub use crate::analysis::plan::LimitOpts;
 
 /// One circuit, every analysis: the unified analysis entry point.
 ///
@@ -54,6 +57,8 @@ pub struct Session<'c, 'o> {
     circuit: &'c Circuit,
     observer: Option<&'o mut dyn Observer>,
     reference: bool,
+    limited: bool,
+    limit_opts: Option<LimitOpts>,
     dc_max_iter: Option<usize>,
 }
 
@@ -64,6 +69,8 @@ impl<'c, 'o> Session<'c, 'o> {
             circuit,
             observer: None,
             reference: false,
+            limited: false,
+            limit_opts: None,
             dc_max_iter: None,
         }
     }
@@ -103,6 +110,45 @@ impl<'c, 'o> Session<'c, 'o> {
         self
     }
 
+    /// Runs every analysis in this session with SPICE-style device
+    /// limiting and latency on the compiled stamp plan: MOSFET trial
+    /// voltages are clamped by the `fetlim`/`limvds` heuristics (taming
+    /// Newton overshoot on large steps) and devices whose terminal
+    /// voltages stayed inside a tolerance band with the operating region
+    /// unchanged reuse their previous linearisation, keeping the
+    /// factorization cache hot. Results agree with the default exact mode
+    /// to solver tolerance (typically within microvolts) but are not
+    /// bitwise identical; circuits without MOSFETs are unaffected.
+    /// Ignored when the reference solver is selected.
+    pub fn with_device_limiting(mut self, on: bool) -> Self {
+        self.limited = on;
+        self
+    }
+
+    /// [`with_device_limiting`](Self::with_device_limiting) with explicit
+    /// latency bands instead of the shipped defaults. Test and tuning
+    /// hook: the golden-equivalence and mutation tests use it to prove
+    /// the equivalence gate notices a broken (over-wide) latency check.
+    /// DC sweeps clamp the bands down to their own tighter defaults
+    /// regardless of what is passed here.
+    #[doc(hidden)]
+    pub fn with_limit_opts(mut self, opts: LimitOpts) -> Self {
+        self.limited = true;
+        self.limit_opts = Some(opts);
+        self
+    }
+
+    fn sel(&self) -> EngineSel {
+        EngineSel {
+            reference: self.reference,
+            eval: if self.limited {
+                DeviceEval::Limited(self.limit_opts.unwrap_or_default())
+            } else {
+                DeviceEval::Exact
+            },
+        }
+    }
+
     fn probe(&mut self) -> Probe<'_> {
         // Through the `&mut T: Observer` blanket impl: the trait-object
         // lifetime behind `&mut` is invariant and cannot shrink directly.
@@ -122,9 +168,9 @@ impl<'c, 'o> Session<'c, 'o> {
     /// [`Error::SingularMatrix`] for under-determined ones, and
     /// [`Error::NonConvergence`] if every continuation strategy fails.
     pub fn dc_operating_point(&mut self) -> Result<DcSolution, Error> {
-        let reference = self.reference;
+        let sel = self.sel();
         let max_iter = self.dc_max_iter;
-        dc_operating_point_opts(self.circuit, reference, max_iter, self.probe())
+        dc_operating_point_opts(self.circuit, sel, max_iter, self.probe())
     }
 
     /// Sweeps the DC value of `source` through `values`, solving the
@@ -136,9 +182,9 @@ impl<'c, 'o> Session<'c, 'o> {
     /// Returns [`Error::InvalidParameter`] if `source` is not a voltage
     /// source, and propagates operating-point errors.
     pub fn dc_sweep(&mut self, source: ElementId, values: &[f64]) -> Result<DcSweepResult, Error> {
-        let reference = self.reference;
+        let sel = self.sel();
         let circuit = self.circuit.clone();
-        dc_sweep_impl(circuit, source, values, reference, self.probe())
+        dc_sweep_impl(circuit, source, values, sel, self.probe())
     }
 
     /// Small-signal AC analysis: linearises every nonlinear device around
@@ -150,8 +196,8 @@ impl<'c, 'o> Session<'c, 'o> {
     /// Returns [`Error::InvalidParameter`] if `source` is not a voltage
     /// source, and propagates operating-point and solver errors.
     pub fn ac(&mut self, source: ElementId, frequencies: &[f64]) -> Result<AcResult, Error> {
-        let reference = self.reference;
-        ac_analysis_impl(self.circuit, source, frequencies, reference, self.probe())
+        let sel = self.sel();
+        ac_analysis_impl(self.circuit, source, frequencies, sel, self.probe())
     }
 
     /// Output-referred noise density at `output` across `frequencies`,
@@ -166,8 +212,8 @@ impl<'c, 'o> Session<'c, 'o> {
     ///
     /// Panics if `output` is the ground node.
     pub fn noise(&mut self, output: NodeId, frequencies: &[f64]) -> Result<NoiseResult, Error> {
-        let reference = self.reference;
-        noise_analysis_impl(self.circuit, output, frequencies, reference, self.probe())
+        let sel = self.sel();
+        noise_analysis_impl(self.circuit, output, frequencies, sel, self.probe())
     }
 
     /// Runs the configured transient analysis `tran` on the session's
@@ -180,8 +226,8 @@ impl<'c, 'o> Session<'c, 'o> {
     /// fails at some time point, and [`Error::SingularMatrix`] for
     /// under-determined systems.
     pub fn transient(&mut self, tran: &Transient) -> Result<TransientResult, Error> {
-        let reference = self.reference;
-        tran.run_with(self.circuit, reference, self.probe())
+        let sel = self.sel();
+        tran.run_with(self.circuit, sel, self.probe())
     }
 
     /// Runs `tran` under the convergence-rescue ladder `policy`.
@@ -210,8 +256,8 @@ impl<'c, 'o> Session<'c, 'o> {
         tran: &Transient,
         policy: &RescuePolicy,
     ) -> Result<TransientOutcome, Error> {
-        let reference = self.reference;
-        tran.run_rescued(self.circuit, reference, policy, self.probe())
+        let sel = self.sel();
+        tran.run_rescued(self.circuit, sel, policy, self.probe())
     }
 
     /// Statically verifies the session's circuit: full lint report plus

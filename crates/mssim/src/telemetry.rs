@@ -72,6 +72,16 @@ pub struct SolverCounters {
     pub bypasses: u64,
     /// Base-matrix rebuilds.
     pub rebases: u64,
+    /// MOSFET evaluations performed by the batched device block (latency
+    /// hits excluded).
+    pub device_evals: u64,
+    /// Devices whose trial voltages were clamped by the `fetlim`/`limvds`
+    /// limiting heuristics (limited mode only).
+    pub limit_clamps: u64,
+    /// Devices that reused their previous linearisation because their
+    /// terminal voltages stayed inside the latency band (limited mode
+    /// only).
+    pub latency_hits: u64,
 }
 
 impl SolverCounters {
@@ -86,6 +96,9 @@ impl SolverCounters {
                 .saturating_sub(before.back_substitutions),
             bypasses: self.bypasses.saturating_sub(before.bypasses),
             rebases: self.rebases.saturating_sub(before.rebases),
+            device_evals: self.device_evals.saturating_sub(before.device_evals),
+            limit_clamps: self.limit_clamps.saturating_sub(before.limit_clamps),
+            latency_hits: self.latency_hits.saturating_sub(before.latency_hits),
         }
     }
 }
@@ -98,6 +111,9 @@ impl From<SolverStats> for SolverCounters {
             back_substitutions: s.back_substitutions,
             bypasses: s.bypasses,
             rebases: s.rebases,
+            device_evals: s.device_evals,
+            limit_clamps: s.limit_clamps,
+            latency_hits: s.latency_hits,
         }
     }
 }
@@ -286,6 +302,7 @@ impl<T: Observer + ?Sized> Observer for &mut T {
 ///
 /// * `newton.solves`, `newton.iterations`, `plan.factorizations`,
 ///   `plan.back_substitutions`, `plan.bypasses`, `plan.rebases`,
+///   `newton.device_evals`, `newton.limit_clamps`, `newton.latency_hits`,
 ///   histogram `newton.max_dv`
 /// * `homotopy.direct_attempts`, `homotopy.gmin_steps`,
 ///   `homotopy.source_steps`
@@ -315,6 +332,9 @@ pub fn dispatch(obs: &mut dyn Observer, event: &Event) {
                 obs.counter("plan.back_substitutions", p.back_substitutions);
                 obs.counter("plan.bypasses", p.bypasses);
                 obs.counter("plan.rebases", p.rebases);
+                obs.counter("newton.device_evals", p.device_evals);
+                obs.counter("newton.limit_clamps", p.limit_clamps);
+                obs.counter("newton.latency_hits", p.latency_hits);
             }
             if let Some(dv) = max_dv {
                 obs.histogram("newton.max_dv", dv);
@@ -470,6 +490,9 @@ impl<'a> Probe<'a> {
                     self.counter("plan.back_substitutions", p.back_substitutions);
                     self.counter("plan.bypasses", p.bypasses);
                     self.counter("plan.rebases", p.rebases);
+                    self.counter("newton.device_evals", p.device_evals);
+                    self.counter("newton.limit_clamps", p.limit_clamps);
+                    self.counter("newton.latency_hits", p.latency_hits);
                 }
             }
         }
@@ -549,8 +572,15 @@ fn push_json_f64(buf: &mut String, v: f64) {
 
 fn push_json_counters(buf: &mut String, c: &SolverCounters) {
     buf.push_str(&format!(
-        "{{\"iterations\":{},\"factorizations\":{},\"back_substitutions\":{},\"bypasses\":{},\"rebases\":{}}}",
-        c.iterations, c.factorizations, c.back_substitutions, c.bypasses, c.rebases
+        "{{\"iterations\":{},\"factorizations\":{},\"back_substitutions\":{},\"bypasses\":{},\"rebases\":{},\"device_evals\":{},\"limit_clamps\":{},\"latency_hits\":{}}}",
+        c.iterations,
+        c.factorizations,
+        c.back_substitutions,
+        c.bypasses,
+        c.rebases,
+        c.device_evals,
+        c.limit_clamps,
+        c.latency_hits
     ));
 }
 
@@ -893,6 +923,9 @@ mod tests {
                     back_substitutions: 3,
                     bypasses: 0,
                     rebases: 1,
+                    device_evals: 12,
+                    limit_clamps: 1,
+                    latency_hits: 4,
                 }),
                 max_dv: Some(0.5),
             },
@@ -944,6 +977,9 @@ mod tests {
                     back_substitutions: 3,
                     bypasses: 0,
                     rebases: 1,
+                    device_evals: 12,
+                    limit_clamps: 1,
+                    latency_hits: 4,
                 },
             },
             Event::AnalyzeReport {

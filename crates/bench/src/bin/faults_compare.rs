@@ -1,0 +1,182 @@
+//! Cross-checks two `mssim-faults-v2` records for triage soundness.
+//!
+//! ```text
+//! cargo run -p bench --bin faults_compare -- triaged.json simulated.json
+//! ```
+//!
+//! The first record comes from a triaged campaign (`repro faults`), the
+//! second from a full simulated sweep of the same universe (`repro
+//! faults --no-triage`). A statically certified verdict claims to be
+//! *guaranteed*, so CI holds it to exactly that standard: every fault
+//! label must land in the same outcome class in both records, and any
+//! divergence on a `guaranteed_*` row is a soundness contradiction that
+//! fails the build. The parser is deliberately line-based — the exporter
+//! writes one `"key": value` pair per line — so the gate needs no JSON
+//! dependency.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One outcome row: the class it landed in and its static verdict tag
+/// (`None` when the row was simulated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    class: String,
+    static_verdict: Option<String>,
+}
+
+/// Extracts the string value from a `  "key": "value",` line.
+fn quoted_value(line: &str) -> Option<&str> {
+    let (_, rest) = line.split_once(':')?;
+    let rest = rest.trim().trim_end_matches(',');
+    rest.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Parses the exporter's per-outcome `label`/`class`/`static_verdict`
+/// lines into a label-keyed map. Returns an error line description when
+/// the record misses a field or repeats a label.
+fn parse_outcomes(text: &str, path: &str) -> Result<BTreeMap<String, Row>, String> {
+    if !text.contains("\"schema\": \"mssim-faults-v2\"") {
+        return Err(format!("{path}: not an mssim-faults-v2 record"));
+    }
+    let mut rows = BTreeMap::new();
+    let mut label: Option<String> = None;
+    let mut class: Option<String> = None;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("\"label\":") {
+            label = Some(
+                quoted_value(trimmed)
+                    .ok_or_else(|| format!("{path}: malformed label line: {trimmed}"))?
+                    .to_string(),
+            );
+        } else if trimmed.starts_with("\"class\":") {
+            class = Some(
+                quoted_value(trimmed)
+                    .ok_or_else(|| format!("{path}: malformed class line: {trimmed}"))?
+                    .to_string(),
+            );
+        } else if trimmed.starts_with("\"static_verdict\":") {
+            let l = label
+                .take()
+                .ok_or_else(|| format!("{path}: static_verdict before any label"))?;
+            let c = class
+                .take()
+                .ok_or_else(|| format!("{path}: outcome '{l}' has no class"))?;
+            let verdict = quoted_value(trimmed).map(str::to_string);
+            if rows
+                .insert(
+                    l.clone(),
+                    Row {
+                        class: c,
+                        static_verdict: verdict,
+                    },
+                )
+                .is_some()
+            {
+                return Err(format!("{path}: duplicate fault label '{l}'"));
+            }
+        }
+    }
+    if rows.is_empty() {
+        return Err(format!("{path}: no outcome rows found"));
+    }
+    Ok(rows)
+}
+
+fn run(triaged_path: &str, simulated_path: &str) -> Result<usize, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let triaged = parse_outcomes(&read(triaged_path)?, triaged_path)?;
+    let simulated = parse_outcomes(&read(simulated_path)?, simulated_path)?;
+
+    if triaged.len() != simulated.len() {
+        return Err(format!(
+            "universe mismatch: {} outcomes in {triaged_path}, {} in {simulated_path}",
+            triaged.len(),
+            simulated.len()
+        ));
+    }
+    let mut contradictions = 0usize;
+    let mut certified = 0usize;
+    for (label, t) in &triaged {
+        let Some(s) = simulated.get(label) else {
+            return Err(format!("{simulated_path}: missing fault '{label}'"));
+        };
+        if t.static_verdict.is_some() {
+            certified += 1;
+        }
+        if t.class != s.class {
+            contradictions += 1;
+            eprintln!(
+                "CONTRADICTION {label}: triaged={} ({}), simulated={}",
+                t.class,
+                t.static_verdict.as_deref().unwrap_or("simulated"),
+                s.class
+            );
+        }
+    }
+    println!(
+        "faults_compare: {} outcomes, {certified} statically certified, {contradictions} contradiction(s)",
+        triaged.len()
+    );
+    Ok(contradictions)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [triaged, simulated] = args.as_slice() else {
+        eprintln!("usage: faults_compare <triaged.json> <simulated.json>");
+        return ExitCode::from(2);
+    };
+    match run(triaged, simulated) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("faults_compare: static verdicts contradict the simulated sweep — failing");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("faults_compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECORD: &str = r#"{
+  "schema": "mssim-faults-v2",
+  "outcomes": [
+    {
+      "label": "a",
+      "class": "masked",
+      "static_verdict": null,
+      "vout": 0.1
+    },
+    {
+      "label": "b",
+      "class": "functional_fail",
+      "static_verdict": "guaranteed_fail",
+      "vout": null
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_labels_classes_and_verdicts() {
+        let rows = parse_outcomes(RECORD, "test").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows["a"].class, "masked");
+        assert_eq!(rows["a"].static_verdict, None);
+        assert_eq!(rows["b"].class, "functional_fail");
+        assert_eq!(rows["b"].static_verdict.as_deref(), Some("guaranteed_fail"));
+    }
+
+    #[test]
+    fn rejects_v1_records_and_empty_input() {
+        assert!(parse_outcomes("{\"schema\": \"mssim-faults-v1\"}", "t").is_err());
+        assert!(parse_outcomes("{\"schema\": \"mssim-faults-v2\"}", "t").is_err());
+    }
+}

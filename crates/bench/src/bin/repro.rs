@@ -48,6 +48,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let no_collapse = args.iter().any(|a| a == "--no-collapse");
+    let no_triage = args.iter().any(|a| a == "--no-triage");
+    let triage_only = args.iter().any(|a| a == "--triage-only");
     let mut selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -116,7 +118,7 @@ fn main() {
             "analyze" => analyze_report(&tech),
             "bench" => bench(&tech, fast),
             "trace" => trace(&tech),
-            "faults" => faults(&tech, fast, no_collapse),
+            "faults" => faults(&tech, fast, no_collapse, no_triage, triage_only),
             _ => unreachable!(),
         }
         eprintln!("  [{name} took {:.1}s]", t0.elapsed().as_secs_f64());
@@ -1096,21 +1098,33 @@ fn trace(tech: &Technology) {
 /// `results/FAULTS_mssim.json`. Static fault collapsing is on by default
 /// — plan-equivalent faults share one transient — and `--no-collapse`
 /// forces the full sweep; both paths produce bitwise-identical verdicts
-/// and JSON, which CI cross-checks with `cmp`. Exits nonzero if any
-/// outcome fails the classification gate, so CI catches both solver
-/// regressions and campaign bookkeeping drift.
-fn faults(tech: &Technology, fast: bool, no_collapse: bool) {
+/// and JSON, which CI cross-checks with `cmp` (pass `--no-triage` on
+/// both arms of that pair, since triaged rows legitimately skip their
+/// transients). Krawczyk triage is also on by default: fault classes
+/// whose guaranteed Vout enclosure lands entirely inside (or entirely
+/// outside) the Eq. 2 classification bands are pre-classified without a
+/// transient, and the run fails unless triage statically resolves at
+/// least 20 % of the switch-level universe. `--triage-only` prints the
+/// per-class verdict/enclosure tables for both universes and exits
+/// without simulating anything. Exits nonzero if any outcome fails the
+/// classification gate, so CI catches both solver regressions and
+/// campaign bookkeeping drift.
+fn faults(tech: &Technology, fast: bool, no_collapse: bool, no_triage: bool, triage_only: bool) {
     use bench::campaign;
     use mssim::telemetry::MemoryRecorder;
     use pwm_perceptron::faults::{
-        switch_adder_campaign_observed, weighted_adder_campaign_observed, CampaignConfig,
-        FaultClass,
+        switch_adder_campaign_observed, switch_adder_triage, weighted_adder_campaign_observed,
+        weighted_adder_triage, CampaignConfig, FaultClass,
     };
     use pwmcell::AdderSpec;
 
-    println!("\n== Fault-injection campaign — 3x3 switch-level adder, single-fault universe ==");
+    let weights = [7u32, 5, 3];
+    let duties = [0.30, 0.50, 0.70];
     let mut config = CampaignConfig {
         collapse: !no_collapse,
+        // Triage implies the collapse partition, so a `--no-collapse`
+        // full sweep also runs untriaged.
+        triage: !no_triage && !no_collapse,
         ..CampaignConfig::default()
     };
     if fast {
@@ -1118,8 +1132,31 @@ fn faults(tech: &Technology, fast: bool, no_collapse: bool) {
         config.steps_per_period = 60;
         config.avg_periods = 2;
     }
-    let weights = [7u32, 5, 3];
-    let duties = [0.30, 0.50, 0.70];
+
+    if triage_only {
+        let t0 = Instant::now();
+        let switch = switch_adder_triage(tech, AdderSpec::paper_3x3(), &weights, &duties, &config)
+            .expect("the switch-level universe must triage");
+        let mos = weighted_adder_triage(tech, AdderSpec::paper_3x3(), &weights, &duties, &config)
+            .expect("the MOS universe must triage");
+        let wall_ns = t0.elapsed().as_nanos();
+        triage_table("switch-level", &switch);
+        triage_table("transistor-level (MOS)", &mos);
+        println!(
+            "triage-only: both universes classified statically in {:.2} ms, zero transients run",
+            wall_ns as f64 / 1e6
+        );
+        if switch.stats.triage_ratio() < 0.20 {
+            eprintln!(
+                "faults: triage resolves only {:.1}% of the switch universe (< 20%) — failing",
+                switch.stats.triage_ratio() * 100.0
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!("\n== Fault-injection campaign — 3x3 switch-level adder, single-fault universe ==");
     let mut rec = MemoryRecorder::new();
     let report = switch_adder_campaign_observed(
         tech,
@@ -1137,6 +1174,7 @@ fn faults(tech: &Technology, fast: bool, no_collapse: bool) {
             vec![
                 o.label.clone(),
                 o.class.tag().to_string(),
+                o.static_verdict.map_or("-".into(), |v| v.tag().to_string()),
                 o.vout.map_or("-".into(), |v| f(v, 3)),
                 o.error_v.map_or("-".into(), |e| f(e, 3)),
                 o.rescue_attempts.to_string(),
@@ -1152,7 +1190,7 @@ fn faults(tech: &Technology, fast: bool, no_collapse: bool) {
                 f(report.analytic_vout, 3),
                 f(report.golden_vout, 3),
             ),
-            &["fault", "class", "Vout", "|err| V", "rescues"],
+            &["fault", "class", "static", "Vout", "|err| V", "rescues"],
             &table
         )
     );
@@ -1179,6 +1217,26 @@ fn faults(tech: &Technology, fast: bool, no_collapse: bool) {
         );
     } else {
         println!("  static collapsing disabled (--no-collapse): full sweep");
+    }
+    if let Some(t) = &report.triage {
+        println!(
+            "  static triage: {} masked + {} failed of {} certified without a transient ({:.1}%), {} simulated",
+            t.masked,
+            t.failed,
+            t.universe,
+            t.triage_ratio() * 100.0,
+            t.simulated
+        );
+        if t.triage_ratio() < 0.20 {
+            eprintln!(
+                "faults: triage resolves only {:.1}% of the switch universe (< 20%) — failing",
+                t.triage_ratio() * 100.0
+            );
+            std::process::exit(1);
+        }
+    } else if !no_triage && !no_collapse {
+        eprintln!("faults: triaged campaign recorded no triage statistics — failing");
+        std::process::exit(1);
     }
     let partials = report
         .outcomes
@@ -1265,6 +1323,16 @@ fn faults(tech: &Technology, fast: bool, no_collapse: bool) {
             stats.universe, stats.classes, stats.simulated, stats.golden
         );
     }
+    if let Some(t) = &mos.triage {
+        println!(
+            "  static triage: {} masked + {} failed of {} certified without a transient ({:.1}%), {} simulated",
+            t.masked,
+            t.failed,
+            t.universe,
+            t.triage_ratio() * 100.0,
+            t.simulated
+        );
+    }
     let mos_json = campaign::to_json(&mos, &config, fast);
     let mos_path = results_dir().join("FAULTS_mos_mssim.json");
     match std::fs::write(&mos_path, &mos_json) {
@@ -1280,6 +1348,56 @@ fn faults(tech: &Technology, fast: bool, no_collapse: bool) {
         std::process::exit(1);
     }
     println!("faults: every MOS outcome classified");
+}
+
+/// Renders one universe's `--triage-only` verdict table: per fault class
+/// the static verdict, the guaranteed Vout enclosure and its width, and
+/// the Krawczyk contraction factor β (certifiable iff β < 1).
+fn triage_table(which: &str, report: &pwm_perceptron::faults::TriageReport) {
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.kind.to_string(),
+                r.verdict.tag().to_string(),
+                r.enclosure.map_or("-".into(), |(lo, hi)| {
+                    format!("[{}, {}]", f(lo, 3), f(hi, 3))
+                }),
+                r.enclosure.map_or("-".into(), |(lo, hi)| f(hi - lo, 3)),
+                r.beta.map_or("-".into(), |b| f(b, 3)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Static triage — {which} ({} faults, analytic {} V)",
+                report.rows.len(),
+                f(report.analytic_vout, 3),
+            ),
+            &[
+                "fault",
+                "kind",
+                "static verdict",
+                "enclosure V",
+                "width V",
+                "beta"
+            ],
+            &table
+        )
+    );
+    println!(
+        "  collapse: {} faults -> {} classes; triage: {} masked + {} failed certified ({:.1}%), {} still need transients",
+        report.collapse.universe,
+        report.collapse.classes,
+        report.stats.masked,
+        report.stats.failed,
+        report.stats.triage_ratio() * 100.0,
+        report.stats.simulated
+    );
 }
 
 fn scaling(tech: &Technology) {

@@ -1,15 +1,21 @@
 //! `repro faults` — export and gating of the fault-injection campaign.
 //!
 //! The campaign itself lives in [`pwm_perceptron::faults`]; this module
-//! renders its report as the schema-versioned `mssim-faults-v1` JSON
+//! renders its report as the schema-versioned `mssim-faults-v2` JSON
 //! record (`results/FAULTS_mssim.json`) and implements the CI gate: every
 //! enumerated fault must land in exactly one of the four outcome classes
 //! with a coherent record behind it, or the `repro` run fails.
+//!
+//! v2 adds per-row `static_verdict`/`enclosure` fields and a top-level
+//! `triage` object (all `null` on non-triaged runs, so the collapsed /
+//! uncollapsed `cmp` gate in CI keeps working bitwise): a row resolved by
+//! the static triage tier carries its guaranteed verdict and Vout
+//! enclosure instead of a measured output.
 
 use pwm_perceptron::faults::{CampaignConfig, CampaignReport, FaultClass};
 
 /// Schema tag of the exported record.
-pub const FAULTS_SCHEMA: &str = "mssim-faults-v1";
+pub const FAULTS_SCHEMA: &str = "mssim-faults-v2";
 
 /// The four class tags, in report order.
 pub const CLASS_TAGS: [&str; 4] = ["masked", "degraded", "functional_fail", "solver_fail"];
@@ -86,6 +92,17 @@ pub fn to_json(report: &CampaignReport, config: &CampaignConfig, fast: bool) -> 
         "  \"rescue_attempts\": {},\n",
         report.rescue_attempts()
     ));
+    match &report.triage {
+        Some(t) => out.push_str(&format!(
+            "  \"triage\": {{ \"universe\": {}, \"masked\": {}, \"failed\": {}, \"simulated\": {}, \"ratio\": {:.6} }},\n",
+            t.universe,
+            t.masked,
+            t.failed,
+            t.simulated,
+            t.triage_ratio()
+        )),
+        None => out.push_str("  \"triage\": null,\n"),
+    }
     out.push_str("  \"outcomes\": [\n");
     let outcomes = sorted_outcomes(report);
     for (i, o) in outcomes.iter().enumerate() {
@@ -93,6 +110,20 @@ pub fn to_json(report: &CampaignReport, config: &CampaignConfig, fast: bool) -> 
         out.push_str(&format!("      \"label\": \"{}\",\n", esc(&o.label)));
         out.push_str(&format!("      \"kind\": \"{}\",\n", o.kind));
         out.push_str(&format!("      \"class\": \"{}\",\n", o.class.tag()));
+        out.push_str(&format!(
+            "      \"static_verdict\": {},\n",
+            match o.static_verdict {
+                Some(v) => format!("\"{}\"", v.tag()),
+                None => "null".into(),
+            }
+        ));
+        out.push_str(&format!(
+            "      \"enclosure\": {},\n",
+            match o.enclosure {
+                Some((lo, hi)) => format!("[{lo:.9e}, {hi:.9e}]"),
+                None => "null".into(),
+            }
+        ));
         out.push_str(&format!("      \"vout\": {},\n", opt_num(o.vout)));
         out.push_str(&format!("      \"error_v\": {},\n", opt_num(o.error_v)));
         out.push_str(&format!(
@@ -128,7 +159,9 @@ pub fn to_json(report: &CampaignReport, config: &CampaignConfig, fast: bool) -> 
 /// classified. A clean row satisfies:
 ///
 /// * any measured `vout` is finite,
-/// * `Masked`/`Degraded`/`FunctionalFail` rows carry a measured output,
+/// * `Masked`/`Degraded`/`FunctionalFail` rows carry a measured output —
+///   or a static verdict backed by a guaranteed enclosure (the triage
+///   tier's rows never ran a transient),
 /// * `SolverFail` rows carry an explanation — either the ladder's
 ///   `Partial` verdict or a recorded solver error,
 /// * class counts tile the universe exactly.
@@ -138,10 +171,11 @@ pub fn unclassified(report: &CampaignReport) -> Vec<String> {
         .iter()
         .filter(|o| {
             let finite = o.vout.is_none_or(f64::is_finite);
+            let statically_resolved = o.static_verdict.is_some() && o.enclosure.is_some();
             let coherent = match o.class {
                 FaultClass::Masked
                 | FaultClass::Degraded { .. }
-                | FaultClass::FunctionalFail { .. } => o.vout.is_some(),
+                | FaultClass::FunctionalFail { .. } => o.vout.is_some() || statically_resolved,
                 FaultClass::SolverFail { partial } => partial || o.error.is_some(),
             };
             !(finite && coherent)
@@ -245,8 +279,43 @@ mod tests {
             rescue_attempts: 0,
             rescue_recoveries: 0,
             error: None, // hard solver failure with no recorded reason
+            static_verdict: None,
+            enclosure: None,
         });
         let bad = unclassified(&report);
         assert_eq!(bad, vec!["bogus".to_string()]);
+    }
+
+    /// Statically-resolved rows carry no measured output but must still
+    /// pass the gate, and the v2 document records their verdict and
+    /// enclosure.
+    #[test]
+    fn triaged_campaign_passes_the_gate_and_exports_verdicts() {
+        let config = CampaignConfig {
+            periods: 8,
+            steps_per_period: 40,
+            avg_periods: 2,
+            triage: true,
+            ..CampaignConfig::default()
+        };
+        let report = switch_adder_campaign(
+            &Technology::umc65_like(),
+            AdderSpec::new(1, 2),
+            &[3],
+            &[0.4],
+            &config,
+        )
+        .unwrap();
+        assert!(
+            unclassified(&report).is_empty(),
+            "statically-resolved rows must classify cleanly"
+        );
+        let stats = report.triage.expect("triaged run records stats");
+        assert!(stats.masked + stats.failed > 0, "triage resolves something");
+        let json = to_json(&report, &config, true);
+        assert!(json.contains("\"schema\": \"mssim-faults-v2\""));
+        assert!(json.contains("\"triage\": { \"universe\":"));
+        assert!(json.contains("\"static_verdict\": \"guaranteed_"));
+        assert!(json.contains("\"enclosure\": ["));
     }
 }

@@ -81,8 +81,9 @@ pub fn hot_path(tech: &Technology, repeats: usize, fast: bool) -> Vec<HotPathRow
 
 /// Abstract-interpreter statistics recorded alongside the timing rows:
 /// how long the interval analyzer takes on the campaign's 3×3 adder
-/// fixture and how far static fault collapsing shrinks its single-fault
-/// universe.
+/// fixture, how far static fault collapsing shrinks its single-fault
+/// universe, and how much of that universe the Krawczyk triage tier
+/// resolves without a single transient.
 #[derive(Debug, Clone, Copy)]
 pub struct AnalyzeStats {
     /// Wall-clock of one widened [`mssim::analyze_circuit`] pass over the
@@ -92,6 +93,12 @@ pub struct AnalyzeStats {
     pub universe: usize,
     /// Class representatives that still need their own transient.
     pub simulated: usize,
+    /// Wall-clock of one full triage pass (collapse + enclosure solve +
+    /// verdict classification) over the same universe, nanoseconds.
+    pub triage_wall_ns: f64,
+    /// Faults statically resolved (`GuaranteedMasked` + `GuaranteedFail`)
+    /// by the triage tier.
+    pub triage_resolved: usize,
 }
 
 impl AnalyzeStats {
@@ -99,6 +106,14 @@ impl AnalyzeStats {
     /// campaign actually simulates (1.0 means collapsing saved nothing).
     pub fn collapse_ratio(&self) -> f64 {
         self.simulated as f64 / self.universe.max(1) as f64
+    }
+
+    /// `triage_resolved / universe` — the fraction of the universe the
+    /// static triage tier settles without simulating (0.0 means triage
+    /// saved nothing). The `repro faults` gate requires ≥ 0.20 on the
+    /// switch-level universe.
+    pub fn triage_ratio(&self) -> f64 {
+        self.triage_resolved as f64 / self.universe.max(1) as f64
     }
 }
 
@@ -141,10 +156,26 @@ pub fn analyze_stats(tech: &Technology) -> AnalyzeStats {
         &mssim::faults::UniverseConfig::default(),
     );
     let collapse = collapse_faults(&ckt, &universe);
+    let triage_config = pwm_perceptron::faults::CampaignConfig {
+        triage: true,
+        ..Default::default()
+    };
+    let t1 = Instant::now();
+    let triage = pwm_perceptron::faults::switch_adder_triage(
+        tech,
+        AdderSpec::paper_3x3(),
+        &[7, 5, 3],
+        &[0.30, 0.50, 0.70],
+        &triage_config,
+    )
+    .expect("the shipped 3x3 adder must triage");
+    let triage_wall_ns = t1.elapsed().as_nanos() as f64;
     AnalyzeStats {
         analyze_wall_ns,
         universe: universe.len(),
         simulated: collapse.n_simulated,
+        triage_wall_ns,
+        triage_resolved: triage.stats.masked + triage.stats.failed,
     }
 }
 
@@ -187,6 +218,18 @@ pub fn to_json(
     out.push_str(&format!(
         "  \"collapse_ratio\": {:.4},\n",
         analyze.collapse_ratio()
+    ));
+    out.push_str(&format!(
+        "  \"triage_wall_ns\": {:.0},\n",
+        analyze.triage_wall_ns
+    ));
+    out.push_str(&format!(
+        "  \"triage_resolved\": {},\n",
+        analyze.triage_resolved
+    ));
+    out.push_str(&format!(
+        "  \"triage_ratio\": {:.4},\n",
+        analyze.triage_ratio()
     ));
     out.push_str("  \"entries\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -610,6 +653,8 @@ mod tests {
             analyze_wall_ns: 1.0e6,
             universe: 49,
             simulated: 47,
+            triage_wall_ns: 2.0e6,
+            triage_resolved: 18,
         };
         let json = to_json(&[r], 1, true, 1.0, &stats);
         assert!(json.contains("\"schema\": \"mssim-bench-v1\""));
@@ -617,17 +662,26 @@ mod tests {
         assert!(json.contains("\"telemetry_overhead\": 1.0000"));
         assert!(json.contains("\"collapse_ratio\": 0.9592"));
         assert!(json.contains("\"analyze_wall_ns\": 1000000"));
+        assert!(json.contains("\"triage_wall_ns\": 2000000"));
+        assert!(json.contains("\"triage_ratio\": 0.3673"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     /// The recorded analyzer statistics come from the real fixture: the
-    /// widened pass is deny-clean (asserted inside) and collapsing the
-    /// 49-fault universe must save transients.
+    /// widened pass is deny-clean (asserted inside), collapsing the
+    /// 49-fault universe must save transients, and the triage tier must
+    /// clear the ≥ 20 % acceptance floor on the switch-level universe.
     #[test]
     fn analyze_stats_measures_the_campaign_fixture() {
         let stats = analyze_stats(&Technology::umc65_like());
         assert!(stats.analyze_wall_ns > 0.0);
         assert!(stats.simulated < stats.universe);
         assert!(stats.collapse_ratio() < 1.0);
+        assert!(stats.triage_wall_ns > 0.0);
+        assert!(
+            stats.triage_ratio() >= 0.20,
+            "triage must statically resolve >= 20% of the switch universe, got {:.4}",
+            stats.triage_ratio()
+        );
     }
 }

@@ -31,11 +31,25 @@
 //! identical transients, the collapsed report's outcomes are
 //! bitwise identical to the uncollapsed ones — only fewer transients
 //! run.
+//!
+//! With [`CampaignConfig::triage`] enabled, a *static triage tier* runs
+//! between collapsing and simulation: each class representative's
+//! faulted netlist is pushed through the guaranteed interval solver
+//! ([`mssim::analyze::triage_circuit`]), and a class whose settled-output
+//! enclosure certifies as `GuaranteedMasked` or `GuaranteedFail` against
+//! the Eq. 2 bands is classified right there — only the
+//! `NeedsSimulation` bucket reaches the transient/rescue pipeline.
+//! Statically-resolved rows carry their verdict and enclosure in
+//! [`FaultOutcome::static_verdict`] / [`FaultOutcome::enclosure`], and
+//! the certified class tag is the one a transient would have produced
+//! (the soundness proptests and the CI contradiction gate check exactly
+//! that).
 
 use mssim::faults::UniverseConfig;
 use mssim::prelude::{
-    collapse_faults, Circuit, CollapseMember, Error as SimError, LabeledFault, NodeId,
-    RescuePolicy, Session, Transient, TransientOutcome, Waveform,
+    collapse_faults, triage_circuit, Circuit, CollapseMember, Error as SimError, LabeledFault,
+    NodeId, Ranges, RescuePolicy, Session, StaticVerdict, Transient, TransientOutcome,
+    TriageVerdict, VerdictBands, Waveform,
 };
 use mssim::sweep;
 use mssim::telemetry::{dispatch, Event, Observer};
@@ -102,6 +116,12 @@ pub struct FaultOutcome {
     pub rescue_recoveries: usize,
     /// Solver error display, for `SolverFail` rows.
     pub error: Option<String>,
+    /// Static triage verdict, when the triage tier classified this row
+    /// without a transient ([`CampaignConfig::triage`]). `None` on
+    /// simulated rows and in non-triaged campaigns.
+    pub static_verdict: Option<StaticVerdict>,
+    /// Guaranteed Vout enclosure `(lo, hi)` backing a static verdict.
+    pub enclosure: Option<(f64, f64)>,
 }
 
 /// Knobs of a fault campaign.
@@ -135,6 +155,12 @@ pub struct CampaignConfig {
     /// reproducible rung for rung; the collapsed outcomes are bitwise
     /// identical either way.
     pub collapse: bool,
+    /// Statically triage each plan-equivalence class through the
+    /// guaranteed interval solver before simulating: classes certified
+    /// `GuaranteedMasked`/`GuaranteedFail` against the Eq. 2 bands skip
+    /// the transient entirely. Implies the collapse partition (the
+    /// triage tier works per class). Off by default.
+    pub triage: bool,
 }
 
 impl Default for CampaignConfig {
@@ -149,6 +175,7 @@ impl Default for CampaignConfig {
             rescue: RescuePolicy::default(),
             universe: UniverseConfig::default(),
             collapse: false,
+            triage: false,
         }
     }
 }
@@ -168,6 +195,32 @@ pub struct CollapseStats {
     pub golden: usize,
 }
 
+/// Static-triage statistics of one campaign run (present on the report
+/// only when [`CampaignConfig::triage`] was enabled). Counts are over
+/// the whole universe: replicas inherit their representative's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriageStats {
+    /// Faults in the enumerated universe.
+    pub universe: usize,
+    /// Faults certified `GuaranteedMasked` without a transient.
+    pub masked: usize,
+    /// Faults certified `GuaranteedFail` without a transient.
+    pub failed: usize,
+    /// Faults left for the transient/rescue pipeline (golden-class rows
+    /// included — the golden transient runs regardless).
+    pub simulated: usize,
+}
+
+impl TriageStats {
+    /// Fraction of the universe resolved without simulation.
+    pub fn triage_ratio(&self) -> f64 {
+        if self.universe == 0 {
+            return 0.0;
+        }
+        (self.masked + self.failed) as f64 / self.universe as f64
+    }
+}
+
 /// A finished campaign: the references and every fault's verdict, in
 /// universe order.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,6 +233,8 @@ pub struct CampaignReport {
     pub outcomes: Vec<FaultOutcome>,
     /// Collapsing statistics, when static collapsing ran.
     pub collapse: Option<CollapseStats>,
+    /// Triage statistics, when the static triage tier ran.
+    pub triage: Option<TriageStats>,
 }
 
 impl CampaignReport {
@@ -489,9 +544,14 @@ fn run_campaign_over(
         rescue_attempts: measured.rescue_attempts,
         rescue_recoveries: measured.rescue_recoveries,
         error: measured.error,
+        static_verdict: None,
+        enclosure: None,
     };
 
-    if !config.collapse {
+    // Triage works per plan-equivalence class, so it implies the
+    // collapse partition.
+    let collapse_on = config.collapse || config.triage;
+    if !collapse_on {
         let run_one = |lf: &LabeledFault, _i: usize| outcome_of(lf, measure_fault(lf));
         let outcomes = match observer {
             Some(obs) => sweep::sweep_observed(&universe, obs, run_one),
@@ -502,6 +562,7 @@ fn run_campaign_over(
             golden_vout,
             outcomes,
             collapse: None,
+            triage: None,
         });
     }
 
@@ -517,11 +578,65 @@ fn run_campaign_over(
         simulated: collapse.n_simulated,
         golden: collapse.n_golden,
     };
+
+    // Static triage tier: push each representative's *applied* faulted
+    // netlist through the guaranteed interval solver and keep whatever
+    // certifies. Point ranges — all interval width comes from waveform
+    // hulls and unresolved switch branches of the faulted topology.
+    let triage_at: Vec<Option<TriageVerdict>> = if config.triage {
+        let bands = VerdictBands {
+            center: analytic_vout,
+            masked: config.masked_epsilon,
+            fail: config.fail_epsilon,
+        };
+        collapse
+            .members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                if !matches!(m, CollapseMember::Representative) {
+                    return None;
+                }
+                // A fault that fails to apply is left for the transient
+                // path, which owns the error reporting.
+                let faulty = universe[i].fault.apply(&ckt).ok()?;
+                Some(triage_circuit(&faulty, output, &Ranges::default(), &bands))
+            })
+            .collect()
+    } else {
+        vec![None; universe.len()]
+    };
+    let certified = |i: usize| {
+        triage_at[i]
+            .as_ref()
+            .map(|t| t.verdict)
+            .filter(|v| *v != StaticVerdict::NeedsSimulation)
+    };
+    let verdict_of = |i: usize| match collapse.members[i] {
+        CollapseMember::Golden => None,
+        CollapseMember::Representative => certified(i),
+        CollapseMember::ReplicaOf(rep) => certified(rep),
+    };
+    let tstats = config.triage.then(|| {
+        let masked = (0..universe.len())
+            .filter(|&i| verdict_of(i) == Some(StaticVerdict::GuaranteedMasked))
+            .count();
+        let failed = (0..universe.len())
+            .filter(|&i| verdict_of(i) == Some(StaticVerdict::GuaranteedFail))
+            .count();
+        TriageStats {
+            universe: universe.len(),
+            masked,
+            failed,
+            simulated: universe.len() - masked - failed,
+        }
+    });
+
     let rep_indices: Vec<usize> = collapse
         .members
         .iter()
         .enumerate()
-        .filter(|(_, m)| matches!(m, CollapseMember::Representative))
+        .filter(|&(i, m)| matches!(m, CollapseMember::Representative) && certified(i).is_none())
         .map(|(i, _)| i)
         .collect();
     let run_rep = |&i: &usize, _k: usize| measure_fault(&universe[i]);
@@ -536,6 +651,17 @@ fn run_campaign_over(
                     golden: stats.golden,
                 },
             );
+            if let Some(t) = &tstats {
+                dispatch(
+                    obs,
+                    &Event::FaultTriage {
+                        universe: t.universe,
+                        masked: t.masked,
+                        failed: t.failed,
+                        simulated: t.simulated,
+                    },
+                );
+            }
             sweep::sweep_observed(&rep_indices, obs, run_rep)
         }
         None => sweep::sweep(&rep_indices, run_rep),
@@ -544,20 +670,50 @@ fn run_campaign_over(
     for (&i, m) in rep_indices.iter().zip(rep_results) {
         measured_at[i] = Some(m);
     }
+    // A statically-certified class never ran a transient: its rows carry
+    // the guaranteed verdict and enclosure instead of a measurement. The
+    // class tag is the one the transient would have produced — certified
+    // masked is `Masked`, certified fail is `FunctionalFail` with the
+    // *proven lower bound* of the output error.
+    let static_outcome = |lf: &LabeledFault, t: &TriageVerdict| {
+        let class = match t.verdict {
+            StaticVerdict::GuaranteedMasked => FaultClass::Masked,
+            StaticVerdict::GuaranteedFail => FaultClass::FunctionalFail {
+                error_v: t.error.map(|e| e.lo).unwrap_or(f64::INFINITY),
+            },
+            StaticVerdict::NeedsSimulation => unreachable!("certified classes only"),
+        };
+        FaultOutcome {
+            label: lf.label.clone(),
+            kind: lf.fault.kind(),
+            vout: None,
+            error_v: None,
+            class,
+            rescue_attempts: 0,
+            rescue_recoveries: 0,
+            error: None,
+            static_verdict: Some(t.verdict),
+            enclosure: t.vout.map(|iv| (iv.lo, iv.hi)),
+        }
+    };
     let outcomes = universe
         .iter()
         .enumerate()
         .map(|(i, lf)| {
-            let measured = match collapse.members[i] {
-                CollapseMember::Golden => golden.clone(),
-                CollapseMember::Representative => measured_at[i]
-                    .clone()
-                    .expect("representative was simulated"),
-                CollapseMember::ReplicaOf(rep) => measured_at[rep]
-                    .clone()
-                    .expect("replica points at a simulated representative"),
+            let rep = match collapse.members[i] {
+                CollapseMember::Golden => return outcome_of(lf, golden.clone()),
+                CollapseMember::Representative => i,
+                CollapseMember::ReplicaOf(rep) => rep,
             };
-            outcome_of(lf, measured)
+            if certified(rep).is_some() {
+                let t = triage_at[rep].as_ref().expect("certified class triaged");
+                static_outcome(lf, t)
+            } else {
+                let measured = measured_at[rep]
+                    .clone()
+                    .expect("uncertified representative was simulated");
+                outcome_of(lf, measured)
+            }
         })
         .collect();
 
@@ -566,6 +722,7 @@ fn run_campaign_over(
         golden_vout,
         outcomes,
         collapse: Some(stats),
+        triage: tstats,
     })
 }
 
@@ -671,6 +828,188 @@ pub fn weighted_adder_campaign_observed(
     observer: &mut dyn Observer,
 ) -> Result<CampaignReport, CoreError> {
     run_weighted_campaign(tech, spec, weights, duties, config, Some(observer))
+}
+
+/// One row of a triage-only report: a fault's static verdict and the
+/// enclosure that backs it, with no transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriageRow {
+    /// The fault's campaign label (`kind:target`).
+    pub label: String,
+    /// The fault kind tag (`switch_stuck_open`, …).
+    pub kind: &'static str,
+    /// The static verdict (golden-class rows are `NeedsSimulation`:
+    /// they ride the golden transient, which a campaign runs anyway).
+    pub verdict: StaticVerdict,
+    /// Guaranteed Vout enclosure `(lo, hi)` when one was certified.
+    pub enclosure: Option<(f64, f64)>,
+    /// Krawczyk contraction bound β of the class's DC system (`None`
+    /// for golden-class rows and faults that fail to apply).
+    pub beta: Option<f64>,
+}
+
+/// A triage-only pass over a fault universe: verdicts and statistics
+/// with zero transients. Produced by [`switch_adder_triage`] /
+/// [`weighted_adder_triage`], printed by `repro faults --triage-only`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriageReport {
+    /// Eq. 2 analytic output, the band center.
+    pub analytic_vout: f64,
+    /// One row per enumerated fault, in universe order.
+    pub rows: Vec<TriageRow>,
+    /// The collapse partition triage worked over.
+    pub collapse: CollapseStats,
+    /// Verdict counts, identical in definition to a triaged campaign's
+    /// [`CampaignReport::triage`] stats.
+    pub stats: TriageStats,
+}
+
+fn run_triage_over(fixture: CampaignFixture, config: &CampaignConfig) -> TriageReport {
+    assert!(
+        config.masked_epsilon > 0.0 && config.fail_epsilon > config.masked_epsilon,
+        "epsilons must satisfy 0 < masked < fail"
+    );
+    let CampaignFixture {
+        ckt,
+        output,
+        universe,
+        analytic_vout,
+        ..
+    } = fixture;
+    let collapse = collapse_faults(&ckt, &universe);
+    let cstats = CollapseStats {
+        universe: universe.len(),
+        classes: collapse.n_classes,
+        simulated: collapse.n_simulated,
+        golden: collapse.n_golden,
+    };
+    let bands = VerdictBands {
+        center: analytic_vout,
+        masked: config.masked_epsilon,
+        fail: config.fail_epsilon,
+    };
+    let triage_at: Vec<Option<TriageVerdict>> = collapse
+        .members
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            if !matches!(m, CollapseMember::Representative) {
+                return None;
+            }
+            let faulty = universe[i].fault.apply(&ckt).ok()?;
+            Some(triage_circuit(&faulty, output, &Ranges::default(), &bands))
+        })
+        .collect();
+    let rows: Vec<TriageRow> = universe
+        .iter()
+        .enumerate()
+        .map(|(i, lf)| {
+            let rep = match collapse.members[i] {
+                CollapseMember::Golden => None,
+                CollapseMember::Representative => Some(i),
+                CollapseMember::ReplicaOf(rep) => Some(rep),
+            };
+            let t = rep.and_then(|r| triage_at[r].as_ref());
+            TriageRow {
+                label: lf.label.clone(),
+                kind: lf.fault.kind(),
+                verdict: t
+                    .map(|t| t.verdict)
+                    .unwrap_or(StaticVerdict::NeedsSimulation),
+                enclosure: t.and_then(|t| t.vout.map(|iv| (iv.lo, iv.hi))),
+                beta: t.map(|t| t.beta),
+            }
+        })
+        .collect();
+    let masked = rows
+        .iter()
+        .filter(|r| r.verdict == StaticVerdict::GuaranteedMasked)
+        .count();
+    let failed = rows
+        .iter()
+        .filter(|r| r.verdict == StaticVerdict::GuaranteedFail)
+        .count();
+    let stats = TriageStats {
+        universe: rows.len(),
+        masked,
+        failed,
+        simulated: rows.len() - masked - failed,
+    };
+    TriageReport {
+        analytic_vout,
+        rows,
+        collapse: cstats,
+        stats,
+    }
+}
+
+/// Triage-only pass over the switch-level adder's single-fault universe:
+/// enumerates and collapses the universe, statically triages every class
+/// representative, and returns per-fault verdicts — no transient runs,
+/// golden included.
+///
+/// The verdicts and statistics are exactly what a triaged campaign
+/// ([`CampaignConfig::triage`]) would resolve statically; only the
+/// `NeedsSimulation` rows would go on to simulate.
+///
+/// # Errors
+///
+/// As for [`switch_adder_campaign`] on malformed inputs.
+///
+/// # Panics
+///
+/// Panics if `fail_epsilon ≤ masked_epsilon`.
+pub fn switch_adder_triage(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+    config: &CampaignConfig,
+) -> Result<TriageReport, CoreError> {
+    let (ckt, adder) = adder_fixture(tech, spec, weights, duties, config.frequency)?;
+    let universe = switch_adder_universe(&ckt, &adder, &config.universe);
+    let analytic_vout = analytic::adder_vout(tech.vdd.value(), duties, weights, spec.bits);
+    Ok(run_triage_over(
+        CampaignFixture {
+            ckt,
+            output: adder.output,
+            universe,
+            analytic_vout,
+            limited: false,
+        },
+        config,
+    ))
+}
+
+/// [`switch_adder_triage`] over the transistor-level (Fig. 3) adder.
+///
+/// # Errors
+///
+/// As for [`switch_adder_campaign`] on malformed inputs.
+///
+/// # Panics
+///
+/// Panics if `fail_epsilon ≤ masked_epsilon`.
+pub fn weighted_adder_triage(
+    tech: &Technology,
+    spec: AdderSpec,
+    weights: &[u32],
+    duties: &[f64],
+    config: &CampaignConfig,
+) -> Result<TriageReport, CoreError> {
+    let (ckt, adder) = weighted_adder_fixture(tech, spec, weights, duties, config.frequency)?;
+    let universe = weighted_adder_universe(&ckt, &adder, &config.universe);
+    let analytic_vout = analytic::adder_vout(tech.vdd.value(), duties, weights, spec.bits);
+    Ok(run_triage_over(
+        CampaignFixture {
+            ckt,
+            output: adder.output,
+            universe,
+            analytic_vout,
+            limited: true,
+        },
+        config,
+    ))
 }
 
 #[cfg(test)]
@@ -800,8 +1139,11 @@ mod tests {
                 rescue_attempts: 0,
                 rescue_recoveries: 0,
                 error: Some("boom".into()),
+                static_verdict: None,
+                enclosure: None,
             }],
             collapse: None,
+            triage: None,
         };
         assert!(report.error_summary().is_none(), "no settled outputs");
     }
@@ -921,6 +1263,153 @@ mod tests {
         assert_eq!(
             rec.counter_value("sweep.points"),
             plain.outcomes.len() as u64
+        );
+    }
+
+    /// The triage acceptance property on the paper's 3×3 universe: every
+    /// statically-certified verdict agrees with the fully-simulated class
+    /// tag (zero contradictions), and the tier resolves a real share of
+    /// the universe without running its transients.
+    #[test]
+    fn triaged_campaign_never_contradicts_the_full_sweep() {
+        let tech = Technology::umc65_like();
+        let config = CampaignConfig {
+            periods: 6,
+            steps_per_period: 40,
+            avg_periods: 1,
+            ..CampaignConfig::default()
+        };
+        let weights = [7, 5, 3];
+        let duties = [0.3, 0.5, 0.7];
+        let full = switch_adder_campaign(&tech, AdderSpec::paper_3x3(), &weights, &duties, &config)
+            .unwrap();
+        let triaged_config = CampaignConfig {
+            triage: true,
+            ..config
+        };
+        let triaged = switch_adder_campaign(
+            &tech,
+            AdderSpec::paper_3x3(),
+            &weights,
+            &duties,
+            &triaged_config,
+        )
+        .unwrap();
+        let stats = triaged.triage.expect("triaged run records stats");
+        assert_eq!(stats.universe, full.outcomes.len());
+        assert_eq!(
+            stats.universe,
+            stats.masked + stats.failed + stats.simulated
+        );
+        assert!(
+            stats.masked + stats.failed > 0,
+            "the tier must resolve part of the universe statically"
+        );
+        for (t, f) in triaged.outcomes.iter().zip(&full.outcomes) {
+            assert_eq!(t.label, f.label);
+            if let Some(v) = t.static_verdict {
+                assert_ne!(v, StaticVerdict::NeedsSimulation);
+                assert_eq!(
+                    t.class.tag(),
+                    f.class.tag(),
+                    "static verdict contradicts simulation on {}",
+                    t.label
+                );
+                assert!(t.enclosure.is_some(), "certified rows carry an enclosure");
+            } else {
+                assert_eq!(t.class.tag(), f.class.tag());
+            }
+        }
+        // Triage implies collapsing even when collapse is off.
+        assert!(triaged.collapse.is_some());
+    }
+
+    /// A triage-only pass runs zero transients, covers the whole
+    /// universe, is deterministic, and its statistics match the triaged
+    /// campaign's.
+    #[test]
+    fn triage_only_report_matches_the_triaged_campaign() {
+        let tech = Technology::umc65_like();
+        let config = CampaignConfig {
+            periods: 6,
+            steps_per_period: 40,
+            avg_periods: 1,
+            triage: true,
+            ..CampaignConfig::default()
+        };
+        let weights = [7, 5, 3];
+        let duties = [0.3, 0.5, 0.7];
+        let only =
+            switch_adder_triage(&tech, AdderSpec::paper_3x3(), &weights, &duties, &config).unwrap();
+        let campaign =
+            switch_adder_campaign(&tech, AdderSpec::paper_3x3(), &weights, &duties, &config)
+                .unwrap();
+        assert_eq!(only.rows.len(), campaign.outcomes.len());
+        assert_eq!(Some(only.stats), campaign.triage);
+        assert_eq!(Some(only.collapse), campaign.collapse);
+        for (r, o) in only.rows.iter().zip(&campaign.outcomes) {
+            assert_eq!(r.label, o.label);
+            match o.static_verdict {
+                Some(v) => {
+                    assert_eq!(r.verdict, v);
+                    assert_eq!(r.enclosure, o.enclosure);
+                }
+                None => assert_eq!(r.verdict, StaticVerdict::NeedsSimulation),
+            }
+        }
+        let again =
+            switch_adder_triage(&tech, AdderSpec::paper_3x3(), &weights, &duties, &config).unwrap();
+        assert_eq!(only, again, "triage-only pass must be deterministic");
+    }
+
+    /// A triaged, observed campaign reports the tier through the
+    /// telemetry vocabulary, and only uncertified representatives fan
+    /// out over the sweep.
+    #[test]
+    fn triaged_campaign_reports_through_the_observer() {
+        use mssim::telemetry::MemoryRecorder;
+        let tech = Technology::umc65_like();
+        let config = CampaignConfig {
+            periods: 6,
+            steps_per_period: 40,
+            avg_periods: 1,
+            triage: true,
+            ..CampaignConfig::default()
+        };
+        let mut rec = MemoryRecorder::new();
+        let report = switch_adder_campaign_observed(
+            &tech,
+            AdderSpec::paper_3x3(),
+            &[7, 5, 3],
+            &[0.3, 0.5, 0.7],
+            &config,
+            &mut rec,
+        )
+        .unwrap();
+        let stats = report.triage.unwrap();
+        assert_eq!(rec.counter_value("triage.universe"), stats.universe as u64);
+        assert_eq!(rec.counter_value("triage.masked"), stats.masked as u64);
+        assert_eq!(rec.counter_value("triage.failed"), stats.failed as u64);
+        assert_eq!(
+            rec.counter_value("triage.simulated"),
+            stats.simulated as u64
+        );
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::FaultTriage { .. })));
+        let simulated_reps = report
+            .outcomes
+            .iter()
+            .filter(|o| o.static_verdict.is_none())
+            .count();
+        // Every sweep point is an uncertified representative, so the
+        // fan-out stays strictly below the collapse partition's count.
+        assert!(rec.counter_value("sweep.points") <= simulated_reps as u64);
+        assert!(
+            rec.counter_value("sweep.points")
+                < report.collapse.unwrap().simulated as u64
+                    + u64::from(stats.masked + stats.failed == 0)
         );
     }
 }

@@ -70,8 +70,8 @@ pub use dataset::Dataset;
 pub use duty::DutyCycle;
 pub use error::CoreError;
 pub use faults::{
-    switch_adder_campaign, switch_adder_campaign_observed, CampaignConfig, CampaignReport,
-    FaultClass, FaultOutcome,
+    switch_adder_campaign, switch_adder_campaign_observed, switch_adder_triage, CampaignConfig,
+    CampaignReport, FaultClass, FaultOutcome, TriageReport, TriageRow, TriageStats,
 };
 pub use layer::{HardLayer, Mlp};
 pub use multiclass::WtaClassifier;

@@ -1,0 +1,130 @@
+//! Soundness of the static fault-triage tier against the simulator.
+//!
+//! A `GuaranteedMasked` / `GuaranteedFail` verdict is produced from a
+//! Krawczyk solution enclosure alone — no transient ever runs — so its
+//! one obligation is to never contradict what the full simulated sweep
+//! would have concluded. These properties randomise the switch-level
+//! adder (shape, weights, duty cycles) and hold the triage tier to that
+//! contract on every generated universe.
+
+use mssim::StaticVerdict;
+use proptest::prelude::*;
+use pwm_perceptron::faults::{switch_adder_campaign, CampaignConfig, FaultClass};
+use pwmcell::{AdderSpec, Technology};
+
+/// Short campaigns keep each case affordable: the classification gap
+/// between `GuaranteedMasked` (≤ 0.05 V) and `GuaranteedFail` (> 0.25 V)
+/// is wide enough that six settled periods classify identically to the
+/// paper-quality run.
+fn fast_config(triage: bool) -> CampaignConfig {
+    CampaignConfig {
+        periods: 6,
+        steps_per_period: 40,
+        avg_periods: 1,
+        triage,
+        ..CampaignConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Over random switch-level universes, every statically certified
+    /// verdict agrees with the class the full simulated sweep assigns to
+    /// the same fault — and the two campaigns classify the whole
+    /// universe identically.
+    #[test]
+    fn certified_verdicts_never_contradict_the_simulated_sweep(
+        bits in 2u32..=3,
+        raw_weights in prop::collection::vec(1u32..=7, 1..=2),
+        raw_duties in prop::collection::vec(0.05f64..=0.95, 2),
+    ) {
+        let inputs = raw_weights.len();
+        let spec = AdderSpec::new(inputs, bits);
+        let max_weight = (1u32 << bits) - 1;
+        let weights: Vec<u32> = raw_weights.iter().map(|w| w.min(&max_weight)).copied().collect();
+        let duties = &raw_duties[..inputs];
+        let tech = Technology::umc65_like();
+
+        let full = switch_adder_campaign(&tech, spec, &weights, duties, &fast_config(false))
+            .expect("full sweep simulates");
+        let triaged = switch_adder_campaign(&tech, spec, &weights, duties, &fast_config(true))
+            .expect("triaged campaign runs");
+
+        prop_assert_eq!(full.outcomes.len(), triaged.outcomes.len());
+        let stats = triaged.triage.expect("triaged campaign records stats");
+        prop_assert_eq!(
+            stats.masked + stats.failed + stats.simulated,
+            stats.universe,
+            "triage stats tile the universe"
+        );
+
+        for (f, t) in full.outcomes.iter().zip(&triaged.outcomes) {
+            prop_assert_eq!(&f.label, &t.label, "campaigns enumerate identically");
+            prop_assert_eq!(
+                f.class.tag(),
+                t.class.tag(),
+                "fault '{}' classified {} simulated but {} triaged",
+                f.label,
+                f.class.tag(),
+                t.class.tag()
+            );
+            match t.static_verdict {
+                Some(StaticVerdict::GuaranteedMasked) => {
+                    prop_assert!(
+                        matches!(f.class, FaultClass::Masked),
+                        "'{}' certified masked, simulation says {}",
+                        f.label,
+                        f.class.tag()
+                    );
+                }
+                Some(StaticVerdict::GuaranteedFail) => {
+                    prop_assert!(
+                        matches!(f.class, FaultClass::FunctionalFail { .. }),
+                        "'{}' certified fail, simulation says {}",
+                        f.label,
+                        f.class.tag()
+                    );
+                }
+                Some(StaticVerdict::NeedsSimulation) | None => {}
+            }
+            if t.static_verdict.is_some_and(|v| v != StaticVerdict::NeedsSimulation) {
+                let (lo, hi) = t.enclosure.expect("certified rows carry their enclosure");
+                prop_assert!(lo <= hi && lo.is_finite() && hi.is_finite());
+                if let Some(vout) = f.vout {
+                    // The settled simulated output of the same fault must
+                    // live inside the guaranteed DC enclosure, up to the
+                    // finite settling of one short transient.
+                    prop_assert!(
+                        vout >= lo - 0.05 && vout <= hi + 0.05,
+                        "'{}' simulated to {:.4} V outside enclosure [{:.4}, {:.4}]",
+                        f.label,
+                        vout,
+                        lo,
+                        hi
+                    );
+                }
+            }
+        }
+    }
+
+    /// A triaged campaign is a pure reduction of the simulated one: it
+    /// never invents outcomes, and re-running it is deterministic.
+    #[test]
+    fn triage_is_deterministic(duty in 0.10f64..=0.90) {
+        let tech = Technology::umc65_like();
+        let spec = AdderSpec::new(1, 2);
+        let a = switch_adder_campaign(&tech, spec, &[3], &[duty], &fast_config(true))
+            .expect("campaign runs");
+        let b = switch_adder_campaign(&tech, spec, &[3], &[duty], &fast_config(true))
+            .expect("campaign runs");
+        prop_assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            prop_assert_eq!(&x.label, &y.label);
+            prop_assert_eq!(x.class.tag(), y.class.tag());
+            prop_assert_eq!(x.static_verdict, y.static_verdict);
+            prop_assert_eq!(x.enclosure, y.enclosure);
+            prop_assert_eq!(x.vout, y.vout);
+        }
+    }
+}

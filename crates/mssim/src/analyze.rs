@@ -64,12 +64,13 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::ops::{Add as _, Mul as _, Neg as _};
+use std::ops::{Add as _, Mul as _, Neg as _, Sub as _};
 
 use crate::analysis::mna::{self, MnaLayout, NewtonOpts};
 use crate::analysis::plan::{IterOp, MatOp, PlanMode, RhsOp, StampPlan, ValRef};
 use crate::elements::{Element, MosParams};
 use crate::faults::{Fault, LabeledFault};
+use crate::linear::{DenseMatrix, LuFactors};
 use crate::lint::{Diagnostic, LintCode, Severity};
 use crate::netlist::{Circuit, ElementId, NodeId};
 use crate::waveform::Waveform;
@@ -157,6 +158,37 @@ impl Interval {
             hi: 1.0 / self.lo,
         }
     }
+
+    /// Midpoint of the interval.
+    pub fn mid(&self) -> f64 {
+        0.5 * self.lo + 0.5 * self.hi
+    }
+
+    /// Width `hi − lo` of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Interval quotient `self / other`, or `None` when `other` contains
+    /// zero (the quotient would be unbounded). Endpoint division is
+    /// monotone like the other IEEE-754 operations, so the same
+    /// soundness convention applies.
+    pub fn checked_div(self, other: Interval) -> Option<Interval> {
+        if other.lo <= 0.0 && 0.0 <= other.hi {
+            return None;
+        }
+        Some(self.mul(Interval {
+            lo: 1.0 / other.hi,
+            hi: 1.0 / other.lo,
+        }))
+    }
+
+    /// Intersection of two intervals, or `None` when they are disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
 }
 
 /// Interval sum (exact endpoint addition).
@@ -197,6 +229,18 @@ impl std::ops::Neg for Interval {
         Interval {
             lo: -self.hi,
             hi: -self.lo,
+        }
+    }
+}
+
+/// Interval difference (exact endpoint subtraction).
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+
+    fn sub(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo - other.hi,
+            hi: self.hi - other.lo,
         }
     }
 }
@@ -308,37 +352,128 @@ impl Ranges {
         self
     }
 
-    /// Derives the widening a [`Fault`]'s perturbation declares.
-    /// Parametric faults (drift, droop, brownout) widen the matching
-    /// range; structural faults (stuck devices, opens, shorts, bridges,
-    /// PWM timing) return point ranges — they are analysed by abstracting
-    /// the *applied* faulty netlist instead.
-    pub fn for_fault(fault: &Fault) -> Self {
+    /// Derives the widening a [`Fault`]'s perturbation declares against
+    /// the `golden` netlist it targets: an envelope over the golden
+    /// circuit's parameters that covers both the nominal and the faulted
+    /// parameterisation.
+    ///
+    /// Every variant yields a non-point envelope for its affected
+    /// element. Parametric faults (drift, droop, brownout, forced
+    /// open/short/stuck resistances, PWM timing) get the exact
+    /// multiplicative window between nominal and forced value;
+    /// topology-adding faults (MOSFET shorts, capacitor leaks, net
+    /// bridges), whose faulty netlist gains an element the golden plan
+    /// lacks, get a conservative site-marking window instead — analysing
+    /// them precisely still requires abstracting the *applied* faulty
+    /// netlist.
+    pub fn for_fault(fault: &Fault, golden: &Circuit) -> Self {
+        use crate::faults::{OPEN_OHMS, SHORT_OHMS};
         let ranges = Ranges::default();
-        match fault {
-            Fault::ResistorDrift { id, factor } => {
-                let (lo, hi) = (factor.min(1.0), factor.max(1.0));
-                ranges.with_element_scale(*id, lo, hi)
+        // Multiplicative window spanning nominal (×1) and every listed
+        // forced-over-nominal resistance factor.
+        let hull1 = |factors: &[f64]| {
+            let lo = factors.iter().fold(1.0f64, |a, &f| a.min(f)).max(1e-18);
+            let hi = factors.iter().fold(1.0f64, |a, &f| a.max(f));
+            (lo, hi.max(lo * (1.0 + 1e-9)))
+        };
+        match *fault {
+            Fault::SwitchStuckOpen(id) => {
+                let w = match golden.element(id) {
+                    Element::Switch { r_on, r_off, .. } => {
+                        hull1(&[OPEN_OHMS / r_on, OPEN_OHMS / r_off])
+                    }
+                    _ => (1.0, OPEN_OHMS),
+                };
+                ranges.with_element_scale(id, w.0, w.1)
             }
+            Fault::SwitchStuckClosed(id) => {
+                let w = match golden.element(id) {
+                    Element::Switch { r_on, r_off, .. } => {
+                        hull1(&[SHORT_OHMS / r_on, SHORT_OHMS / r_off])
+                    }
+                    _ => (SHORT_OHMS, 1.0),
+                };
+                ranges.with_element_scale(id, w.0, w.1)
+            }
+            // Stuck-open collapses W to 1e-9·W; the window spans the
+            // starved and nominal channel.
+            Fault::MosfetStuckOpen(id) => ranges.with_element_scale(id, 1e-9, 1.0),
+            // Stuck-short adds a SHORT_OHMS drain–source bridge the
+            // golden plan lacks; mark the site with a window covering
+            // the added 1/SHORT_OHMS siemens of channel conductance.
+            Fault::MosfetStuckShort(id) => ranges.with_element_scale(id, 1.0, 1.0 / SHORT_OHMS),
+            Fault::ResistorOpen(id) => {
+                let w = match golden.element(id) {
+                    Element::Resistor { ohms, .. } => hull1(&[OPEN_OHMS / ohms]),
+                    _ => (1.0, OPEN_OHMS),
+                };
+                ranges.with_element_scale(id, w.0, w.1)
+            }
+            Fault::ResistorShort(id) => {
+                let w = match golden.element(id) {
+                    Element::Resistor { ohms, .. } => hull1(&[SHORT_OHMS / ohms]),
+                    _ => (SHORT_OHMS, 1.0),
+                };
+                ranges.with_element_scale(id, w.0, w.1)
+            }
+            Fault::ResistorDrift { id, factor } => {
+                let w = hull1(&[factor]);
+                ranges.with_element_scale(id, w.0, w.1)
+            }
+            // The leak path (conductance 1/ohms) is bounded relative to
+            // the capacitor's companion conductance C/dt: their ratio is
+            // dt/(R·C), largest at the slowest admissible timestep.
+            Fault::CapacitorLeak { id, ohms } => {
+                let hi = match golden.element(id) {
+                    Element::Capacitor { farads, .. } => 1.0 + ranges.dt.hi / (farads * ohms),
+                    _ => 1.0 + 1.0 / ohms,
+                };
+                ranges.with_element_scale(id, 1.0, hi.max(1.0 + 1e-9))
+            }
+            // A bridge perturbs every conductance incident on the
+            // bridged nets by an amount with no usable relative bound;
+            // the declared envelope widens the global tolerance to the
+            // maximum the range language expresses, so every element at
+            // the fault site (and elsewhere) is non-point.
+            Fault::NetBridge { .. } => ranges.with_tolerance(0.999),
             Fault::SupplyDroop { factor, .. } => {
-                ranges.with_supply_scale(factor.min(1.0), factor.max(1.0))
+                let (lo, hi) = (factor.min(1.0), factor.max(1.0));
+                ranges.with_supply_scale(lo, hi.max(lo + 1e-9))
             }
             Fault::SupplyBrownout { .. } => ranges.with_supply_scale(0.0, 1.0),
-            _ => ranges,
+            // Timing faults perturb the pulse train's time-average; per
+            // period the duty error is bounded by one edge displacement
+            // per edge plus the glitch shift, expressed as a
+            // multiplicative window on the source's hull.
+            Fault::PwmJitter { id, ref jitter } => {
+                let j = (2.0 * jitter.edge_jitter.abs() + jitter.glitch_duty.abs()).max(1e-6);
+                ranges.with_element_scale(id, (1.0 - j).max(1e-6), 1.0 + j)
+            }
+            Fault::PwmDutyShift { id, delta } => {
+                let j = delta.abs().max(1e-6);
+                ranges.with_element_scale(id, (1.0 - j).max(1e-6), 1.0 + j)
+            }
         }
     }
 
     /// Multiplicative parameter window of `id`: the override when one
     /// exists, else the global tolerance window `[1−t, 1+t]`.
     fn scale_of(&self, id: ElementId) -> Interval {
+        self.scale_override(id).unwrap_or(Interval {
+            lo: 1.0 - self.tolerance,
+            hi: 1.0 + self.tolerance,
+        })
+    }
+
+    /// The explicit per-element override of `id`, if any. Sources are
+    /// widened only through this path (plus the supply window) — the
+    /// global tolerance fallback is for device parameters, not source
+    /// values.
+    fn scale_override(&self, id: ElementId) -> Option<Interval> {
         self.overrides
             .iter()
             .find(|(e, _)| *e == id)
             .map(|&(_, s)| s)
-            .unwrap_or(Interval {
-                lo: 1.0 - self.tolerance,
-                hi: 1.0 + self.tolerance,
-            })
     }
 
     /// Node-voltage window: the explicit one, or ±(2·max source hull
@@ -548,9 +683,16 @@ fn abstract_plan(ckt: &Circuit, plan: &StampPlan, ranges: &Ranges) -> AbstractSt
                     | Element::CurrentSource { waveform, .. } => waveform,
                     _ => unreachable!("source list points at a non-source"),
                 };
-                waveform_hull(w)
+                let hull = waveform_hull(w)
                     .mul(ranges.supply_scale)
-                    .mul(Interval::point(sign))
+                    .mul(Interval::point(sign));
+                // Explicit per-source overrides (PWM timing-fault
+                // envelopes) widen the hull; the global tolerance
+                // fallback deliberately does not apply to sources.
+                match ranges.scale_override(id) {
+                    Some(s) => hull.mul(s),
+                    None => hull,
+                }
             }
         }
     };
@@ -1171,6 +1313,402 @@ pub fn analyze_circuit(ckt: &Circuit, ranges: &Ranges) -> AnalyzeReport {
 }
 
 // ---------------------------------------------------------------------
+// Guaranteed solution enclosures (Krawczyk + interval Gauss–Seidel)
+// ---------------------------------------------------------------------
+
+/// Maximum number of interval Gauss–Seidel refinement sweeps; each sweep
+/// either strictly tightens some component or terminates the loop.
+const MAX_GS_SWEEPS: usize = 64;
+
+/// A guaranteed componentwise enclosure of the solution set of an
+/// interval linear system `[A]·x = [b]`: for every concrete `A ∈ [A]`,
+/// `b ∈ [b]` with `A` nonsingular, the solution `A⁻¹b` lies inside
+/// `rows`. Produced by [`solve_enclosure`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Enclosure {
+    /// Componentwise solution enclosure, or `None` when no enclosure
+    /// could be certified (singular/non-finite midpoint system, or a
+    /// contraction bound ≥ 1).
+    pub rows: Option<Vec<Interval>>,
+    /// Krawczyk contraction bound `β = ‖I − R·[A]‖∞` of the
+    /// midpoint-preconditioned system; `β ≥ 1` (or ∞) is the
+    /// proven-divergence early-out.
+    pub beta: f64,
+    /// Interval Gauss–Seidel refinement sweeps performed.
+    pub sweeps: usize,
+}
+
+impl Enclosure {
+    /// `true` when a guaranteed enclosure was certified.
+    pub fn is_certified(&self) -> bool {
+        self.rows.is_some()
+    }
+
+    fn uncertified(beta: f64) -> Self {
+        Enclosure {
+            rows: None,
+            beta,
+            sweeps: 0,
+        }
+    }
+}
+
+/// Turns one abstract MNA system into a guaranteed solution enclosure.
+///
+/// The solver is the Krawczyk operator over the midpoint-preconditioned
+/// system: `R` is the LU inverse of the midpoint matrix, and when the
+/// contraction bound `β = ‖I − R·[A]‖∞` is below 1 every solution lies
+/// inside `x̃ ± ‖R·([b] − [A]·x̃)‖∞ / (1 − β)` around the approximate
+/// midpoint solution `x̃ = R·mid([b])`. That box is then tightened by
+/// interval Gauss–Seidel on `(R·[A])·x = R·[b]`, whose diagonal is
+/// bounded away from zero by `1 − β`. A singular or non-finite midpoint
+/// system, or `β ≥ 1`, is a *proven-divergence early-out*: no enclosure
+/// is returned and the caller must fall back to simulation.
+///
+/// Soundness follows the module convention: endpoint arithmetic with
+/// IEEE-754-monotone `+`, `×`, `÷`, and `R·([b] − [A]·x̃) ⊆ R·[b] −
+/// (R·[A])·x̃` by subdistributivity, so the computed radius only ever
+/// over-approximates. Dense `O(n³)` work is fine at MNA sizes.
+pub fn solve_enclosure(stamp: &AbstractStamp) -> Enclosure {
+    let n = stamp.size();
+    if n == 0 {
+        return Enclosure {
+            rows: Some(Vec::new()),
+            beta: 0.0,
+            sweeps: 0,
+        };
+    }
+    for r in 0..n {
+        if !stamp.rhs_interval(r).is_finite() {
+            return Enclosure::uncertified(f64::INFINITY);
+        }
+        for c in 0..n {
+            if !stamp.mat_interval(r, c).is_finite() {
+                return Enclosure::uncertified(f64::INFINITY);
+            }
+        }
+    }
+    // Precondition by R = inverse of the midpoint matrix.
+    let mut mid = DenseMatrix::zeros(n);
+    for r in 0..n {
+        for c in 0..n {
+            mid.set(r, c, stamp.mat_interval(r, c).mid());
+        }
+    }
+    let mut lu = LuFactors::new(n);
+    if lu.factor_from(&mid).is_err() {
+        return Enclosure::uncertified(f64::INFINITY);
+    }
+    // R column by column (row-major).
+    let mut rmat = vec![0.0; n * n];
+    for j in 0..n {
+        let mut col = vec![0.0; n];
+        col[j] = 1.0;
+        lu.solve(&mut col);
+        for (i, &v) in col.iter().enumerate() {
+            if !v.is_finite() {
+                return Enclosure::uncertified(f64::INFINITY);
+            }
+            rmat[i * n + j] = v;
+        }
+    }
+    // M = R·[A]; β = ‖I − M‖∞.
+    let mut m = vec![Interval::point(0.0); n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = Interval::point(0.0);
+            for k in 0..n {
+                acc = acc.add(Interval::point(rmat[i * n + k]).mul(stamp.mat_interval(k, j)));
+            }
+            m[i * n + j] = acc;
+        }
+    }
+    let mut beta = 0.0f64;
+    for i in 0..n {
+        let mut row = 0.0;
+        for j in 0..n {
+            let c = if i == j {
+                Interval::point(1.0).sub(m[i * n + j])
+            } else {
+                m[i * n + j].neg()
+            };
+            row += c.mag();
+        }
+        beta = beta.max(row);
+    }
+    // NaN β (from non-finite interval products) must also refuse to
+    // certify, so the comparison is written to send NaN to the early-out.
+    if beta.is_nan() || beta >= 1.0 {
+        return Enclosure::uncertified(beta);
+    }
+    // r = R·[b] and the approximate midpoint solution x̃ = R·mid([b]).
+    let mut rvec = vec![Interval::point(0.0); n];
+    let mut xt = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = Interval::point(0.0);
+        let mut mid_acc = 0.0;
+        for k in 0..n {
+            acc = acc.add(Interval::point(rmat[i * n + k]).mul(stamp.rhs_interval(k)));
+            mid_acc += rmat[i * n + k] * stamp.rhs_interval(k).mid();
+        }
+        rvec[i] = acc;
+        xt[i] = mid_acc;
+    }
+    if xt.iter().any(|v| !v.is_finite()) {
+        return Enclosure::uncertified(beta);
+    }
+    // Krawczyk box: x̃ ± ‖z‖∞/(1−β) with z = R·[b] − M·x̃.
+    let mut znorm = 0.0f64;
+    for i in 0..n {
+        let mut acc = rvec[i];
+        for j in 0..n {
+            acc = acc.sub(m[i * n + j].mul(Interval::point(xt[j])));
+        }
+        znorm = znorm.max(acc.mag());
+    }
+    if !znorm.is_finite() {
+        return Enclosure::uncertified(beta);
+    }
+    let rad = znorm / (1.0 - beta);
+    let mut x: Vec<Interval> = xt
+        .iter()
+        .map(|&v| Interval::new(v - rad, v + rad))
+        .collect();
+    // Interval Gauss–Seidel on M·x = r: every concrete solution already
+    // inside the box stays inside each tightened component, and the
+    // diagonal `M_ii ∋ 1 − C_ii` keeps away from zero because |C_ii| ≤
+    // β < 1, so the checked division always succeeds.
+    let mut sweeps = 0;
+    while sweeps < MAX_GS_SWEEPS {
+        let mut improved = false;
+        for i in 0..n {
+            let mut acc = rvec[i];
+            for j in 0..n {
+                if j != i {
+                    acc = acc.sub(m[i * n + j].mul(x[j]));
+                }
+            }
+            let Some(q) = acc.checked_div(m[i * n + i]) else {
+                continue;
+            };
+            // A numerically empty intersection can only come from
+            // accumulated rounding; keep the proven outer component.
+            if let Some(tight) = q.intersect(&x[i]) {
+                if tight.lo > x[i].lo || tight.hi < x[i].hi {
+                    improved = true;
+                }
+                x[i] = tight;
+            }
+        }
+        sweeps += 1;
+        if !improved {
+            break;
+        }
+    }
+    Enclosure {
+        rows: Some(x),
+        beta,
+        sweeps,
+    }
+}
+
+/// A circuit's guaranteed DC solution enclosure, addressable by node.
+/// Produced by [`dc_enclosure`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcEnclosure {
+    enclosure: Enclosure,
+    /// System row of each node id (ground and branch-only ids map to
+    /// `None`).
+    node_row: Vec<Option<usize>>,
+}
+
+impl DcEnclosure {
+    /// `true` when the solver certified an enclosure.
+    pub fn is_certified(&self) -> bool {
+        self.enclosure.is_certified()
+    }
+
+    /// Krawczyk contraction bound β of the preconditioned system.
+    pub fn beta(&self) -> f64 {
+        self.enclosure.beta
+    }
+
+    /// Interval Gauss–Seidel sweeps spent refining the enclosure.
+    pub fn sweeps(&self) -> usize {
+        self.enclosure.sweeps
+    }
+
+    /// Guaranteed DC voltage enclosure of `node` (ground is exactly 0),
+    /// or `None` when no enclosure was certified.
+    pub fn node_interval(&self, node: NodeId) -> Option<Interval> {
+        if node.index() == 0 {
+            return Some(Interval::point(0.0));
+        }
+        let row = (*self.node_row.get(node.index())?)?;
+        self.enclosure.rows.as_ref().map(|rows| rows[row])
+    }
+}
+
+/// Computes the guaranteed enclosure of every DC node voltage of `ckt`
+/// over `ranges`: abstract DC assembly ([`abstract_dc_stamp`]) followed
+/// by the interval solver ([`solve_enclosure`]).
+pub fn dc_enclosure(ckt: &Circuit, ranges: &Ranges) -> DcEnclosure {
+    let layout = MnaLayout::new(ckt);
+    let plan = StampPlan::compile(ckt, &layout, PlanMode::Dc);
+    let stamp = abstract_plan(ckt, &plan, ranges);
+    let node_row = (0..ckt.node_count())
+        .map(|i| layout.node_row(NodeId(i)))
+        .collect();
+    DcEnclosure {
+        enclosure: solve_enclosure(&stamp),
+        node_row,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static verdict triage
+// ---------------------------------------------------------------------
+
+/// Pre-classification of one fault class by the static triage tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StaticVerdict {
+    /// The guaranteed output-error enclosure lies entirely inside the
+    /// masked band: every in-envelope circuit settles masked.
+    GuaranteedMasked,
+    /// The guaranteed output-error enclosure lies entirely beyond the
+    /// fail threshold: every in-envelope circuit is a functional fail.
+    GuaranteedFail,
+    /// Nothing could be certified either way; the transient/rescue
+    /// pipeline decides.
+    NeedsSimulation,
+}
+
+impl StaticVerdict {
+    /// Stable machine-readable tag (used in exported JSON).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StaticVerdict::GuaranteedMasked => "guaranteed_masked",
+            StaticVerdict::GuaranteedFail => "guaranteed_fail",
+            StaticVerdict::NeedsSimulation => "needs_simulation",
+        }
+    }
+}
+
+/// The Eq. 2 classification bands triage compares an enclosure against:
+/// `|Vout − center| ≤ masked` is masked, `> fail` is a functional fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictBands {
+    /// Analytic settled output voltage (the band center).
+    pub center: f64,
+    /// Masked epsilon, volts.
+    pub masked: f64,
+    /// Functional-fail epsilon, volts.
+    pub fail: f64,
+}
+
+/// Outcome of statically triaging one circuit against [`VerdictBands`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriageVerdict {
+    /// The static verdict.
+    pub verdict: StaticVerdict,
+    /// Guaranteed Vout enclosure, when one was certified.
+    pub vout: Option<Interval>,
+    /// Guaranteed `|Vout − center|` enclosure, when one was certified.
+    pub error: Option<Interval>,
+    /// Krawczyk contraction bound β of the DC system.
+    pub beta: f64,
+    /// MS034 (`enclosure-unbounded`) / MS035 (`verdict-certified`)
+    /// diagnostics derived from the attempt.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Statically triages `ckt`: computes the guaranteed DC enclosure of the
+/// `output` node over `ranges` and compares it against `bands`.
+///
+/// A certified enclosure whose error band falls entirely inside the
+/// masked band yields [`StaticVerdict::GuaranteedMasked`]; entirely past
+/// the fail threshold yields [`StaticVerdict::GuaranteedFail`] (both
+/// reported as MS035). Anything else — including an uncertified
+/// enclosure, reported as MS034 — is [`StaticVerdict::NeedsSimulation`].
+/// The enclosure is sound for the *settled* output of the monotone RC
+/// networks the campaign engine drives (see DESIGN.md §13), and the
+/// `NeedsSimulation` bucket absorbs every case where that certification
+/// does not apply.
+pub fn triage_circuit(
+    ckt: &Circuit,
+    output: NodeId,
+    ranges: &Ranges,
+    bands: &VerdictBands,
+) -> TriageVerdict {
+    let enc = dc_enclosure(ckt, ranges);
+    let out_name = ckt.node_name(output).to_owned();
+    match enc.node_interval(output) {
+        Some(iv) if iv.is_finite() => {
+            let err_hi = (iv.lo - bands.center)
+                .abs()
+                .max((iv.hi - bands.center).abs());
+            let err_lo = if iv.contains(bands.center) {
+                0.0
+            } else {
+                (iv.lo - bands.center)
+                    .abs()
+                    .min((iv.hi - bands.center).abs())
+            };
+            let err = Interval::new(err_lo, err_hi);
+            let verdict = if err.hi <= bands.masked {
+                StaticVerdict::GuaranteedMasked
+            } else if err.lo > bands.fail {
+                StaticVerdict::GuaranteedFail
+            } else {
+                StaticVerdict::NeedsSimulation
+            };
+            let mut diagnostics = Vec::new();
+            if verdict != StaticVerdict::NeedsSimulation {
+                diagnostics.push(Diagnostic {
+                    code: LintCode::VerdictCertified,
+                    severity: LintCode::VerdictCertified.default_severity(),
+                    elements: vec![out_name],
+                    message: format!(
+                        "settled output certified {} without simulation: Vout ∈ [{:.6}, {:.6}] V vs analytic {:.6} V (β = {:.3e})",
+                        verdict.tag(),
+                        iv.lo,
+                        iv.hi,
+                        bands.center,
+                        enc.beta()
+                    ),
+                    suggestion: None,
+                });
+            }
+            TriageVerdict {
+                verdict,
+                vout: Some(iv),
+                error: Some(err),
+                beta: enc.beta(),
+                diagnostics,
+            }
+        }
+        _ => TriageVerdict {
+            verdict: StaticVerdict::NeedsSimulation,
+            vout: None,
+            error: None,
+            beta: enc.beta(),
+            diagnostics: vec![Diagnostic {
+                code: LintCode::EnclosureUnbounded,
+                severity: LintCode::EnclosureUnbounded.default_severity(),
+                elements: vec![out_name],
+                message: format!(
+                    "no guaranteed solution enclosure: contraction bound β = {:.3e} (≥ 1 means the preconditioned intervals are too wide to contract)",
+                    enc.beta()
+                ),
+                suggestion: Some(
+                    "tighten the declared ranges, or let the transient pipeline decide".to_owned(),
+                ),
+            }],
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
 // Canonical plan keys and static fault collapsing
 // ---------------------------------------------------------------------
 
@@ -1418,6 +1956,7 @@ mod tests {
     use super::*;
     use crate::faults::{single_fault_universe, UniverseConfig, OPEN_OHMS};
     use crate::lint::LintCode;
+    use crate::waveform::Jitter;
 
     /// The mixed fixture from `verify.rs`: every element family except
     /// switches, structurally sound.
@@ -1683,23 +2222,243 @@ mod tests {
         assert!(analyze_circuit(&ok, &Ranges::default()).is_clean());
     }
 
+    /// Satellite audit: every one of the 13 `Fault` variants must
+    /// declare a non-point envelope for its affected element — a point
+    /// envelope would let the triage tier certify a faulted circuit
+    /// from golden-identical intervals.
     #[test]
-    fn ranges_for_fault_widens_parametric_faults_only() {
-        let ckt = mixed_circuit();
-        let r1 = ckt.find_element("R1").unwrap();
-        let drift = Ranges::for_fault(&Fault::ResistorDrift {
-            id: r1,
-            factor: 2.0,
-        });
+    fn ranges_for_fault_covers_all_thirteen_variants() {
+        let mixed = mixed_circuit();
+        let sw = switch_circuit();
+        let r1 = mixed.find_element("R1").unwrap();
+        let c1 = mixed.find_element("C1").unwrap();
+        let m1 = mixed.find_element("M1").unwrap();
+        let v1 = mixed.find_element("V1").unwrap();
+        let su = sw.find_element("SU").unwrap();
+        let out = mixed.find_node("out").unwrap();
+        let nonpoint = |r: &Ranges, id: ElementId| {
+            let s = r.scale_of(id);
+            assert!(s.width() > 0.0, "point envelope for {id}: {s:?}");
+        };
+        // Switches: both stuck polarities span nominal and forced value.
+        nonpoint(&Ranges::for_fault(&Fault::SwitchStuckOpen(su), &sw), su);
+        nonpoint(&Ranges::for_fault(&Fault::SwitchStuckClosed(su), &sw), su);
+        // MOSFETs: starved channel / added drain–source short.
+        nonpoint(&Ranges::for_fault(&Fault::MosfetStuckOpen(m1), &mixed), m1);
+        nonpoint(&Ranges::for_fault(&Fault::MosfetStuckShort(m1), &mixed), m1);
+        // Resistors: hard faults span the forced factor, drift is exact.
+        nonpoint(&Ranges::for_fault(&Fault::ResistorOpen(r1), &mixed), r1);
+        nonpoint(&Ranges::for_fault(&Fault::ResistorShort(r1), &mixed), r1);
+        let drift = Ranges::for_fault(
+            &Fault::ResistorDrift {
+                id: r1,
+                factor: 2.0,
+            },
+            &mixed,
+        );
         assert_eq!(drift.scale_of(r1), Interval::new(1.0, 2.0));
-        let v1 = ckt.find_element("V1").unwrap();
-        let droop = Ranges::for_fault(&Fault::SupplyDroop {
-            id: v1,
-            factor: 0.9,
-        });
+        // Capacitor leak widens the capacitor's own envelope.
+        nonpoint(
+            &Ranges::for_fault(&Fault::CapacitorLeak { id: c1, ohms: 1e5 }, &mixed),
+            c1,
+        );
+        // A bridge has no single element to widen: the global tolerance
+        // blows up instead, so every element (fault site included) is
+        // non-point.
+        let bridge = Ranges::for_fault(
+            &Fault::NetBridge {
+                a: out,
+                b: Circuit::GND,
+                ohms: 100.0,
+            },
+            &mixed,
+        );
+        nonpoint(&bridge, r1);
+        nonpoint(&bridge, c1);
+        // Supplies: droop keeps the exact window, brownout spans 0..=1.
+        let droop = Ranges::for_fault(
+            &Fault::SupplyDroop {
+                id: v1,
+                factor: 0.9,
+            },
+            &mixed,
+        );
         assert_eq!(droop.supply_scale, Interval::new(0.9, 1.0));
-        let open = Ranges::for_fault(&Fault::ResistorOpen(r1));
-        assert_eq!(open, Ranges::default());
+        let brownout = Ranges::for_fault(
+            &Fault::SupplyBrownout {
+                id: v1,
+                v_low: 0.5,
+                t_start: 1e-7,
+                t_end: 5e-7,
+                t_ramp: 1e-8,
+            },
+            &mixed,
+        );
+        assert!(brownout.supply_scale.width() > 0.0);
+        // PWM timing faults widen the driving source's envelope.
+        nonpoint(
+            &Ranges::for_fault(
+                &Fault::PwmJitter {
+                    id: v1,
+                    jitter: Jitter::edges(1, 0.05, 64),
+                },
+                &mixed,
+            ),
+            v1,
+        );
+        nonpoint(
+            &Ranges::for_fault(&Fault::PwmDutyShift { id: v1, delta: 0.1 }, &mixed),
+            v1,
+        );
+    }
+
+    /// 2.5 V through a 1k/3k divider: analytic out = 1.875 V.
+    fn divider_circuit() -> Circuit {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(2.5));
+        ckt.resistor("R1", vin, out, 1e3);
+        ckt.resistor("R2", out, Circuit::GND, 3e3);
+        ckt
+    }
+
+    /// The certified DC enclosure must contain every corner draw of the
+    /// widened divider, and degenerate to a point at point ranges.
+    #[test]
+    fn dc_enclosure_encloses_divider_corners() {
+        let ckt = divider_circuit();
+        let out = ckt.find_node("out").unwrap();
+        let enc = dc_enclosure(&ckt, &Ranges::default().with_tolerance(0.05));
+        assert!(enc.is_certified(), "β = {}", enc.beta());
+        let iv = enc.node_interval(out).unwrap();
+        for s1 in [0.95, 1.0, 1.05] {
+            for s2 in [0.95, 1.0, 1.05] {
+                let v = 2.5 * (3e3 * s2) / (1e3 * s1 + 3e3 * s2);
+                assert!(iv.contains(v), "corner {v} outside {iv:?}");
+            }
+        }
+        let tight = dc_enclosure(&ckt, &Ranges::default());
+        let iv = tight.node_interval(out).unwrap();
+        assert!(iv.contains(1.875) && iv.width() < 1e-9, "{iv:?}");
+        // Ground is exactly zero by convention.
+        assert_eq!(
+            tight.node_interval(Circuit::GND),
+            Some(Interval::point(0.0))
+        );
+    }
+
+    /// MS035 mutation: a certifiable point-range divider is statically
+    /// masked against its analytic band and statically failed against a
+    /// distant one — both certified, neither emits MS034.
+    #[test]
+    fn ms035_fires_on_certified_verdicts() {
+        let ckt = divider_circuit();
+        let out = ckt.find_node("out").unwrap();
+        let bands = VerdictBands {
+            center: 1.875,
+            masked: 0.05,
+            fail: 0.25,
+        };
+        let t = triage_circuit(&ckt, out, &Ranges::default(), &bands);
+        assert_eq!(t.verdict, StaticVerdict::GuaranteedMasked);
+        assert!(t
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::VerdictCertified && d.severity == Severity::Info));
+        assert!(t
+            .diagnostics
+            .iter()
+            .all(|d| d.code != LintCode::EnclosureUnbounded));
+        assert!(t.error.unwrap().hi <= bands.masked);
+        let far = VerdictBands {
+            center: 0.0,
+            masked: 0.05,
+            fail: 0.25,
+        };
+        let t = triage_circuit(&ckt, out, &Ranges::default(), &far);
+        assert_eq!(t.verdict, StaticVerdict::GuaranteedFail);
+        assert!(
+            t.diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::VerdictCertified
+                    && d.message.contains("guaranteed_fail"))
+        );
+    }
+
+    /// MS034 mutation: the maximal (bridge-style) envelope defeats the
+    /// contraction bound; triage falls back to simulation, says why, and
+    /// does not emit the certification info code.
+    #[test]
+    fn ms034_fires_when_enclosure_cannot_be_certified() {
+        let ckt = divider_circuit();
+        let out = ckt.find_node("out").unwrap();
+        let wide = Ranges::default().with_tolerance(0.999);
+        let enc = dc_enclosure(&ckt, &wide);
+        assert!(!enc.is_certified());
+        assert!(enc.beta() >= 1.0, "β = {}", enc.beta());
+        let bands = VerdictBands {
+            center: 1.875,
+            masked: 0.05,
+            fail: 0.25,
+        };
+        let t = triage_circuit(&ckt, out, &wide, &bands);
+        assert_eq!(t.verdict, StaticVerdict::NeedsSimulation);
+        assert!(t.vout.is_none() && t.error.is_none());
+        assert!(t
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::EnclosureUnbounded && d.severity == Severity::Warn));
+        assert!(t
+            .diagnostics
+            .iter()
+            .all(|d| d.code != LintCode::VerdictCertified));
+    }
+
+    /// The load-bearing triage case for the campaign gate: a stuck-closed
+    /// pull-up hard-shorts `out` to the rail, and the enclosure of the
+    /// *applied* faulty netlist certifies the functional fail with no
+    /// transient.
+    #[test]
+    fn triage_certifies_stuck_closed_switch_fail() {
+        let golden = switch_circuit();
+        let su = golden.find_element("SU").unwrap();
+        let faulty = Fault::SwitchStuckClosed(su).apply(&golden).unwrap();
+        let out = faulty.find_node("out").unwrap();
+        // Golden out sits at ~0 V (pull-down ON, pull-up OFF).
+        let bands = VerdictBands {
+            center: 0.0,
+            masked: 0.05,
+            fail: 0.25,
+        };
+        let t = triage_circuit(&faulty, out, &Ranges::default(), &bands);
+        assert_eq!(t.verdict, StaticVerdict::GuaranteedFail, "β = {}", t.beta);
+        let vout = t.vout.unwrap();
+        assert!(
+            vout.lo > 2.0,
+            "shorted output must sit near the rail: {vout:?}"
+        );
+    }
+
+    /// An empty system is trivially certified; a non-finite stamp is a
+    /// proven early-out, not a panic.
+    #[test]
+    fn solve_enclosure_handles_degenerate_systems() {
+        let ckt = Circuit::new();
+        let layout = MnaLayout::new(&ckt);
+        let plan = StampPlan::compile(&ckt, &layout, PlanMode::Dc);
+        let stamp = abstract_plan(&ckt, &plan, &Ranges::default());
+        let enc = solve_enclosure(&stamp);
+        assert_eq!(enc.rows, Some(Vec::new()));
+        // A singular (all-zero) system: one floating node.
+        let mut floating = Circuit::new();
+        let a = floating.node("a");
+        let b = floating.node("b");
+        floating.resistor("R1", a, b, 1e3);
+        let layout = MnaLayout::new(&floating);
+        let plan = StampPlan::compile(&floating, &layout, PlanMode::Dc);
+        let stamp = abstract_plan(&floating, &plan, &Ranges::default());
+        assert!(!solve_enclosure(&stamp).is_certified());
     }
 
     #[test]

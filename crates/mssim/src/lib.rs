@@ -28,7 +28,10 @@
 //! * numeric abstract interpretation ([`analyze`]): interval analysis of
 //!   compiled stamp plans over declared parameter ranges (singular or
 //!   sign-indefinite pivots, overflow, cancellation, certified condition
-//!   bounds) plus static fault collapsing for campaign universes,
+//!   bounds), a Krawczyk interval solver turning abstract stamps into
+//!   guaranteed DC solution enclosures with static verdict triage
+//!   ([`triage_circuit`]), plus static fault collapsing for campaign
+//!   universes,
 //! * a transient convergence-rescue ladder
 //!   ([`Session::transient_rescued`]): timestep cutting, backward-Euler
 //!   fallback and per-point gmin shunting, degrading gracefully to a
@@ -86,7 +89,10 @@ pub mod units;
 pub mod verify;
 pub mod waveform;
 
-pub use analyze::{analyze_circuit, AnalyzeReport, Ranges};
+pub use analyze::{
+    analyze_circuit, triage_circuit, AnalyzeReport, Ranges, StaticVerdict, TriageVerdict,
+    VerdictBands,
+};
 pub use error::Error;
 pub use netlist::{Circuit, ElementId, NodeId};
 pub use session::Session;
@@ -101,8 +107,9 @@ pub mod prelude {
         TransientResult,
     };
     pub use crate::analyze::{
-        analyze_circuit, collapse_faults, plan_key, AnalyzeReport, Collapse, CollapseMember,
-        Interval, Ranges,
+        analyze_circuit, collapse_faults, dc_enclosure, plan_key, solve_enclosure, triage_circuit,
+        AnalyzeReport, Collapse, CollapseMember, DcEnclosure, Enclosure, Interval, Ranges,
+        StaticVerdict, TriageVerdict, VerdictBands,
     };
     pub use crate::elements::{MosParams, MosPolarity};
     pub use crate::error::Error;

@@ -44,10 +44,13 @@
 //! | MS031 | `non-finite-stamp-range` | deny     | stamp interval reaches NaN/∞/overflow over declared ranges |
 //! | MS032 | `catastrophic-cancellation` | warn  | contributions cancel beyond ~12 decades of their magnitude |
 //! | MS033 | `interval-ill-conditioned` | warn   | certified condition bound > 1e12 over declared ranges |
+//! | MS034 | `enclosure-unbounded`    | warn     | interval solver could not certify a solution enclosure |
+//! | MS035 | `verdict-certified`      | info     | settled-output verdict certified without simulation |
 //!
-//! MS030–MS033 are derived by the abstract interpreter in
+//! MS030–MS035 are derived by the abstract interpreter in
 //! [`crate::analyze`] (they need declared parameter ranges), not by the
-//! pattern-based [`lint`] pass.
+//! pattern-based [`lint`] pass; MS034/MS035 come from its interval
+//! solution solver ([`crate::analyze::triage_circuit`]).
 //!
 //! ¹ downgraded to warn for transient analysis started from initial
 //! conditions (UIC), where inductor and capacitor companion models make
@@ -87,6 +90,9 @@ use crate::netlist::Circuit;
 pub enum Severity {
     /// The diagnostic is suppressed entirely.
     Allow,
+    /// Purely informational: a positive certificate (e.g. MS035), never
+    /// a defect. Reported, never blocks analysis.
+    Info,
     /// The diagnostic is reported but does not block analysis.
     Warn,
     /// The diagnostic blocks analysis ([`Error::LintRejected`]).
@@ -97,6 +103,7 @@ impl std::fmt::Display for Severity {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             Severity::Allow => "allow",
+            Severity::Info => "info",
             Severity::Warn => "warn",
             Severity::Deny => "deny",
         })
@@ -174,6 +181,19 @@ pub enum LintCode {
     /// numeric certificate form of MS022, valid over the whole declared
     /// range. Derived by [`crate::analyze`].
     IntervalIllConditioned,
+    /// MS034: the interval linear solver could not certify a solution
+    /// enclosure for the abstract MNA system — the Krawczyk contraction
+    /// bound is ≥ 1 (or the midpoint system is singular/non-finite), so
+    /// nothing can be concluded statically and the circuit must be
+    /// simulated. Derived by [`crate::analyze::triage_circuit`].
+    EnclosureUnbounded,
+    /// MS035: the settled-output verdict of a faulted circuit was
+    /// certified statically — the guaranteed Vout enclosure lies
+    /// entirely inside (masked) or entirely outside (fail) the
+    /// classification bands, so no transient is needed. A positive
+    /// certificate, reported at info level. Derived by
+    /// [`crate::analyze::triage_circuit`].
+    VerdictCertified,
 }
 
 /// All analog lint codes, in report order.
@@ -196,6 +216,8 @@ pub const ALL_CODES: &[LintCode] = &[
     LintCode::NonFiniteStampRange,
     LintCode::CatastrophicCancellation,
     LintCode::IntervalIllConditioned,
+    LintCode::EnclosureUnbounded,
+    LintCode::VerdictCertified,
 ];
 
 impl LintCode {
@@ -220,6 +242,8 @@ impl LintCode {
             LintCode::NonFiniteStampRange => "MS031",
             LintCode::CatastrophicCancellation => "MS032",
             LintCode::IntervalIllConditioned => "MS033",
+            LintCode::EnclosureUnbounded => "MS034",
+            LintCode::VerdictCertified => "MS035",
         }
     }
 
@@ -244,6 +268,8 @@ impl LintCode {
             LintCode::NonFiniteStampRange => "non-finite-stamp-range",
             LintCode::CatastrophicCancellation => "catastrophic-cancellation",
             LintCode::IntervalIllConditioned => "interval-ill-conditioned",
+            LintCode::EnclosureUnbounded => "enclosure-unbounded",
+            LintCode::VerdictCertified => "verdict-certified",
         }
     }
 
@@ -254,7 +280,9 @@ impl LintCode {
             | LintCode::ShortedElement
             | LintCode::IllConditionedBlock
             | LintCode::CatastrophicCancellation
-            | LintCode::IntervalIllConditioned => Severity::Warn,
+            | LintCode::IntervalIllConditioned
+            | LintCode::EnclosureUnbounded => Severity::Warn,
+            LintCode::VerdictCertified => Severity::Info,
             _ => Severity::Deny,
         }
     }

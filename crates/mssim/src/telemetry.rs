@@ -256,6 +256,18 @@ pub enum Event {
         /// Faults statically indistinguishable from the golden netlist.
         golden: usize,
     },
+    /// The static triage tier pre-classified a campaign universe from
+    /// guaranteed solution enclosures before any transient ran.
+    FaultTriage {
+        /// Faults in the input universe.
+        universe: usize,
+        /// Faults certified `GuaranteedMasked` without simulation.
+        masked: usize,
+        /// Faults certified `GuaranteedFail` without simulation.
+        failed: usize,
+        /// Faults left for the transient/rescue pipeline.
+        simulated: usize,
+    },
 }
 
 /// Receiver for instrumentation emitted during an analysis.
@@ -313,6 +325,8 @@ impl<T: Observer + ?Sized> Observer for &mut T {
 /// * `sweep.points`, histogram `sweep.wall_ns`
 /// * `analyze.runs`, `analyze.denials`, `analyze.warnings`
 /// * `collapse.universe`, `collapse.simulated`
+/// * `triage.universe`, `triage.masked`, `triage.failed`,
+///   `triage.simulated`
 ///
 /// Public so engines layered on top of `mssim` (e.g. fault-campaign
 /// drivers) can report through the same vocabulary instead of
@@ -391,6 +405,17 @@ pub fn dispatch(obs: &mut dyn Observer, event: &Event) {
         } => {
             obs.counter("collapse.universe", universe as u64);
             obs.counter("collapse.simulated", simulated as u64);
+        }
+        Event::FaultTriage {
+            universe,
+            masked,
+            failed,
+            simulated,
+        } => {
+            obs.counter("triage.universe", universe as u64);
+            obs.counter("triage.masked", masked as u64);
+            obs.counter("triage.failed", failed as u64);
+            obs.counter("triage.simulated", simulated as u64);
         }
         Event::AnalysisStart { .. } | Event::AnalysisEnd { .. } | Event::SolverReport { .. } => {}
     }
@@ -724,6 +749,16 @@ fn event_json(event: &Event) -> String {
                 "{{\"event\":\"fault_collapse\",\"universe\":{universe},\"classes\":{classes},\"simulated\":{simulated},\"golden\":{golden}}}"
             ));
         }
+        Event::FaultTriage {
+            universe,
+            masked,
+            failed,
+            simulated,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"fault_triage\",\"universe\":{universe},\"masked\":{masked},\"failed\":{failed},\"simulated\":{simulated}}}"
+            ));
+        }
     }
     s
 }
@@ -992,6 +1027,12 @@ mod tests {
                 simulated: 47,
                 golden: 2,
             },
+            Event::FaultTriage {
+                universe: 49,
+                masked: 2,
+                failed: 18,
+                simulated: 29,
+            },
             Event::AnalysisEnd {
                 analysis: "transient",
             },
@@ -1017,6 +1058,10 @@ mod tests {
         assert_eq!(rec.counter_value("tran.rescue_recoveries"), 1);
         assert_eq!(rec.counter_value("tran.rescue_exhausted"), 0);
         assert_eq!(rec.counter_value("sweep.points"), 1);
+        assert_eq!(rec.counter_value("triage.universe"), 49);
+        assert_eq!(rec.counter_value("triage.masked"), 2);
+        assert_eq!(rec.counter_value("triage.failed"), 18);
+        assert_eq!(rec.counter_value("triage.simulated"), 29);
         assert_eq!(rec.histogram_values("tran.dt"), &[1e-9]);
         assert_eq!(rec.histogram_values("tran.lte"), &[1e-5, 1e-1]);
         assert_eq!(rec.histogram_values("newton.max_dv"), &[0.5]);

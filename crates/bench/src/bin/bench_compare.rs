@@ -13,6 +13,14 @@
 //!    least 1.0× (the plan path never loses to the reference), and the
 //!    batched-MOS headline `tran_adder3x3_mos` must be at least 5.0×.
 //!
+//! When **both** records carry a `serve` section (written by `repro
+//! serve`), the inference-engine gates also run: hot-set cache hit rate
+//! ≥ 90%, batched speedup over the naive per-query circuit path ≥ 10×,
+//! zero classification divergences, and the hot-set p99 latency within
+//! 2× of the baseline. Records without a serve section (plain `repro
+//! bench` output) skip these with an info line, so the bench-smoke job
+//! stays green.
+//!
 //! The parser is a deliberate hand-rolled scan over the fixed
 //! `mssim-bench-v1` schema (the workspace has no JSON dependency and the
 //! writer in `bench::hotpath` is equally hand-rolled).
@@ -28,6 +36,15 @@ const GLOBAL_FLOOR: f64 = 1.0;
 /// Fixture-specific absolute floors on the new record: `(name, floor)`.
 /// `tran_adder3x3_mos` carries the batched-MOS tentpole's ≥5× contract.
 const ENTRY_FLOORS: &[(&str, f64)] = &[("tran_adder3x3_mos", 5.0)];
+
+/// Minimum hot-set cache hit rate in the new serve section.
+const SERVE_HIT_RATE_FLOOR: f64 = 0.90;
+
+/// Minimum batched speedup over the naive per-query circuit path.
+const SERVE_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// Max tolerated hot-set p99 latency growth over the baseline record.
+const SERVE_P99_GROWTH: f64 = 2.0;
 
 /// One `(name, speedup)` pair scanned out of a bench record.
 #[derive(Debug)]
@@ -66,6 +83,86 @@ fn scan_entries(text: &str) -> Vec<Entry> {
         pos = after;
     }
     entries
+}
+
+/// The serve-section metrics the gate cares about.
+#[derive(Debug)]
+struct Serve {
+    speedup_vs_naive: f64,
+    divergences: f64,
+    hotset_p99_ns: f64,
+    hotset_hit_rate: f64,
+}
+
+/// Scans the `serve` section out of a record, if present. The section
+/// sits before `"entries"` and never contains bare `"name"`/`"speedup"`
+/// keys, so the entry scanner is unaffected by it.
+fn scan_serve(text: &str) -> Option<Serve> {
+    let start = text.find("\"serve\"")?;
+    let end = text.find("\"entries\"").unwrap_or(text.len());
+    let region = &text[start..end];
+    let (speedup_vs_naive, _) = scan_number(region, "speedup_vs_naive", 0)?;
+    let (divergences, _) = scan_number(region, "divergences", 0)?;
+    let hot = region.find("\"stream\": \"hotset\"")?;
+    let (hotset_p99_ns, after) = scan_number(region, "p99_ns", hot)?;
+    let (hotset_hit_rate, _) = scan_number(region, "hit_rate", after)?;
+    Some(Serve {
+        speedup_vs_naive,
+        divergences,
+        hotset_p99_ns,
+        hotset_hit_rate,
+    })
+}
+
+/// Runs the serve gates when both records carry a serve section; returns
+/// the number of failed gates.
+fn compare_serve(baseline: Option<Serve>, fresh: Option<Serve>) -> usize {
+    let (base, new) = match (baseline, fresh) {
+        (Some(b), Some(n)) => (b, n),
+        (b, n) => {
+            println!(
+                "bench_compare: serve gates skipped (baseline {}, new {})",
+                if b.is_some() { "present" } else { "absent" },
+                if n.is_some() { "present" } else { "absent" },
+            );
+            return 0;
+        }
+    };
+    let mut failures = 0usize;
+    println!("bench_compare: inference-engine serve gates");
+    let p99_ceiling = base.hotset_p99_ns * SERVE_P99_GROWTH;
+    let checks: [(&str, f64, f64, bool); 4] = [
+        (
+            "hotset hit_rate",
+            new.hotset_hit_rate,
+            SERVE_HIT_RATE_FLOOR,
+            new.hotset_hit_rate >= SERVE_HIT_RATE_FLOOR,
+        ),
+        (
+            "speedup_vs_naive",
+            new.speedup_vs_naive,
+            SERVE_SPEEDUP_FLOOR,
+            new.speedup_vs_naive >= SERVE_SPEEDUP_FLOOR,
+        ),
+        ("divergences", new.divergences, 0.0, new.divergences == 0.0),
+        (
+            "hotset p99_ns",
+            new.hotset_p99_ns,
+            p99_ceiling,
+            new.hotset_p99_ns <= p99_ceiling,
+        ),
+    ];
+    for (name, value, bound, ok) in checks {
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  {} {:<18} {value:.4} (bound {bound:.4})",
+            if ok { "ok  " } else { "FAIL" },
+            name
+        );
+    }
+    failures
 }
 
 fn main() -> ExitCode {
@@ -156,6 +253,8 @@ fn main() -> ExitCode {
             floor
         );
     }
+
+    failures += compare_serve(scan_serve(&baseline_text), scan_serve(&new_text));
 
     if failures > 0 {
         eprintln!("bench_compare: {failures} fixture(s) regressed or fell below a floor");

@@ -42,6 +42,7 @@ const EXPERIMENTS: &[&str] = &[
     "bench",
     "trace",
     "faults",
+    "serve",
 ];
 
 fn main() {
@@ -50,9 +51,29 @@ fn main() {
     let no_collapse = args.iter().any(|a| a == "--no-collapse");
     let no_triage = args.iter().any(|a| a == "--no-triage");
     let triage_only = args.iter().any(|a| a == "--triage-only");
+    let queries = args
+        .iter()
+        .position(|a| a == "--queries")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("--queries expects a positive integer, got '{v}'");
+                std::process::exit(2);
+            })
+        });
+    let mut skip_next = false;
     let mut selected: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--queries" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
         .map(|s| s.as_str())
         .collect();
     if selected.is_empty() || selected.contains(&"all") {
@@ -119,6 +140,7 @@ fn main() {
             "bench" => bench(&tech, fast),
             "trace" => trace(&tech),
             "faults" => faults(&tech, fast, no_collapse, no_triage, triage_only),
+            "serve" => serve(queries, fast),
             _ => unreachable!(),
         }
         eprintln!("  [{name} took {:.1}s]", t0.elapsed().as_secs_f64());
@@ -1398,6 +1420,103 @@ fn triage_table(which: &str, report: &pwm_perceptron::faults::TriageReport) {
         report.stats.triage_ratio() * 100.0,
         report.stats.simulated
     );
+}
+
+/// Load harness for the batched inference engine: serves deterministic
+/// uniform and hot-set query streams through tiered [`InferenceEngine`]
+/// configurations, prints latency/throughput/cache metrics, merges the
+/// `serve` section into `results/BENCH_mssim.json` and gates the
+/// acceptance thresholds (≥10× naive circuit throughput, ≥90 % hot-set
+/// hit rate, zero classification divergences) so CI can fail on
+/// regressions.
+fn serve(queries: Option<usize>, fast: bool) {
+    use bench::serve as sv;
+
+    let mut config = sv::ServeConfig::default();
+    if fast {
+        config.queries = 2_000;
+    }
+    if let Some(q) = queries {
+        config.queries = q;
+    }
+    println!("\n== Serve — batched inference engine load harness ==");
+    println!(
+        "{} queries/stream, duty grid {} levels, hot set {} @ p={:.2}, seed {:#x}",
+        config.queries, config.resolution, config.hot_set, config.hot_prob, config.seed
+    );
+    let report = sv::run(&config);
+
+    let row = |s: &bench::serve::StreamReport| {
+        vec![
+            s.stream.to_string(),
+            format!("{}", s.queries),
+            f(s.p50_ns as f64 / 1e3, 1),
+            f(s.p99_ns as f64 / 1e3, 1),
+            f(s.qps, 0),
+            f(s.hit_rate * 100.0, 1),
+            format!(
+                "{}/{}/{}",
+                s.tier_analytic, s.tier_switch_level, s.tier_circuit
+            ),
+        ]
+    };
+    let table = vec![
+        row(&report.uniform),
+        row(&report.switch),
+        row(&report.hotset),
+    ];
+    let header = [
+        "stream",
+        "queries",
+        "p50 µs",
+        "p99 µs",
+        "qps",
+        "hit %",
+        "evals a/s/c",
+    ];
+    println!(
+        "{}",
+        render_table("Serve — per-stream metrics", &header, &table)
+    );
+    println!(
+        "naive per-query circuit baseline: {:.1} qps — hot-set speedup {:.1}x, divergences {}",
+        report.naive_qps, report.speedup_vs_naive, report.divergences
+    );
+
+    let path = results_dir().join("BENCH_mssim.json");
+    let existing = std::fs::read_to_string(&path).ok();
+    let merged = sv::merge_into_bench_json(existing.as_deref(), &report, &config);
+    match std::fs::write(&path, &merged) {
+        Ok(()) => println!("wrote {} ({} bytes)", path.display(), merged.len()),
+        Err(e) => eprintln!("  warning: could not write {}: {e}", path.display()),
+    }
+
+    let mut failures = 0usize;
+    if report.speedup_vs_naive < 10.0 {
+        eprintln!(
+            "serve: hot-set throughput is only {:.1}x the naive circuit path (< 10x) — failing",
+            report.speedup_vs_naive
+        );
+        failures += 1;
+    }
+    if report.hotset.hit_rate < 0.90 {
+        eprintln!(
+            "serve: hot-set cache hit rate {:.1}% < 90% — failing",
+            report.hotset.hit_rate * 100.0
+        );
+        failures += 1;
+    }
+    if report.divergences > 0 {
+        eprintln!(
+            "serve: {} classification divergence(s) vs unbatched evaluation — failing",
+            report.divergences
+        );
+        failures += 1;
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("serve: all acceptance gates passed");
 }
 
 fn scaling(tech: &Technology) {

@@ -11,7 +11,7 @@ use pwm_perceptron::duty::DutyCycle;
 use pwm_perceptron::eval::{AnalyticEvaluator, CircuitEvaluator, Evaluator, SwitchLevelEvaluator};
 use pwm_perceptron::robustness::{self, McSummary, VariationSpec};
 use pwm_perceptron::train::{train, TrainConfig};
-use pwm_perceptron::{PwmPerceptron, Reference, WeightVector};
+use pwm_perceptron::{PwmPerceptron, Query, Reference, WeightVector};
 use pwmcell::analytic;
 use pwmcell::{AdderSpec, AdderTestbench, InverterTestbench, MeasureSpec, SimQuality, Technology};
 
@@ -316,11 +316,10 @@ pub fn mc_switch_level(tech: &Technology, trials: usize, seed: u64) -> Vec<(usiz
         .iter()
         .enumerate()
         .map(|(i, (duties, weights))| {
-            let s = robustness::adder_vout_monte_carlo(
+            let query = Query::from_raw(duties, weights, 3).expect("Table II rows are valid");
+            let s = robustness::switch_corner_monte_carlo(
                 tech,
-                duties,
-                weights,
-                3,
+                &query,
                 &VariationSpec::typical_65nm(),
                 trials,
                 seed + i as u64,

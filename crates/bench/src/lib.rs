@@ -11,5 +11,6 @@ pub mod campaign;
 pub mod experiments;
 pub mod hotpath;
 pub mod output;
+pub mod serve;
 
 pub use experiments::*;

@@ -15,6 +15,7 @@
 //! nonlinearity).
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 
 use mssim::prelude::{Hertz, Volts};
 use pwmcell::{analytic, AdderSpec, AdderTestbench, PwmNode, SimQuality, Technology};
@@ -23,12 +24,20 @@ use rand::{Rng, SeedableRng};
 
 use crate::duty::DutyCycle;
 use crate::error::CoreError;
+use crate::infer::{Eval, Query, Tier};
 use crate::weight::WeightVector;
 
 /// Computes the weighted-adder output voltage for a set of PWM inputs.
 ///
 /// Implementations must be deterministic for the same inputs unless they
 /// explicitly model noise (see [`NoisyEvaluator`]).
+///
+/// The serving surface is [`Evaluator::evaluate`] /
+/// [`Evaluator::evaluate_batch`] over [`Query`]/[`Eval`]; `vout` remains
+/// as the low-level single-shot entry point the defaults are built on.
+/// Implementations override `evaluate_batch` where amortization exists —
+/// the circuit tier reuses one prepared testbench per weight vector and
+/// fans measurements over the work-stealing sweep driver.
 pub trait Evaluator {
     /// Average output voltage for the given duty cycles and weights.
     ///
@@ -42,6 +51,32 @@ pub trait Evaluator {
     /// The supply voltage this evaluator models (needed to resolve
     /// ratiometric references).
     fn vdd(&self) -> Volts;
+
+    /// The fidelity tier this evaluator answers at.
+    fn tier(&self) -> Tier {
+        Tier::Analytic
+    }
+
+    /// Answers one [`Query`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Evaluator::vout`].
+    fn evaluate(&self, query: &Query) -> Result<Eval, CoreError> {
+        Ok(Eval {
+            vout: self.vout(query.duties(), query.weights())?,
+            tier: self.tier(),
+            cached: false,
+        })
+    }
+
+    /// Answers a batch of queries, one result per query in order.
+    ///
+    /// The default maps [`Evaluator::evaluate`] sequentially; tiers with
+    /// per-batch amortization or internal parallelism override it.
+    fn evaluate_batch(&self, queries: &[Query]) -> Vec<Result<Eval, CoreError>> {
+        queries.iter().map(|q| self.evaluate(q)).collect()
+    }
 }
 
 fn check_dims(duties: &[DutyCycle], weights: &WeightVector) -> Result<(), CoreError> {
@@ -151,6 +186,16 @@ impl Evaluator for SwitchLevelEvaluator {
     fn vdd(&self) -> Volts {
         self.vdd
     }
+
+    fn tier(&self) -> Tier {
+        Tier::SwitchLevel
+    }
+
+    fn evaluate_batch(&self, queries: &[Query]) -> Vec<Result<Eval, CoreError>> {
+        // The PSS model is pure computation — fan it over the sweep
+        // driver's worker pool.
+        mssim::sweep::sweep(queries, |q, _| self.evaluate(q))
+    }
 }
 
 /// The transistor-level reference: builds the full Fig. 3 adder and runs
@@ -208,17 +253,64 @@ impl Evaluator for CircuitEvaluator {
     fn vdd(&self) -> Volts {
         self.vdd
     }
+
+    fn tier(&self) -> Tier {
+        Tier::Circuit
+    }
+
+    fn evaluate_batch(&self, queries: &[Query]) -> Vec<Result<Eval, CoreError>> {
+        // Group query indices by weight vector so netlist construction
+        // and transient planning are paid once per group; each group's
+        // duty vectors then fan over the sweep driver against one
+        // prepared runner (bitwise identical to measure_at).
+        let mut groups: HashMap<(Vec<u32>, u32), Vec<usize>> = HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            groups
+                .entry((q.weights().as_slice().to_vec(), q.weights().bits()))
+                .or_default()
+                .push(i);
+        }
+        let mut out: Vec<Option<Result<Eval, CoreError>>> = vec![None; queries.len()];
+        for ((weights, bits), indices) in groups {
+            let spec = AdderSpec::new(weights.len(), bits);
+            let tb = AdderTestbench::new(&self.tech, spec);
+            let runner = tb.batch_runner(&weights, self.frequency, self.vdd, &self.quality);
+            let duty_sets: Vec<Vec<f64>> = indices
+                .iter()
+                .map(|&i| DutyCycle::to_raw(queries[i].duties()))
+                .collect();
+            let measured = mssim::sweep::sweep(&duty_sets, |d, _| runner.measure(d));
+            for (&i, m) in indices.iter().zip(measured) {
+                out[i] = Some(
+                    m.map(|m| Eval {
+                        vout: m.vout,
+                        tier: Tier::Circuit,
+                        cached: false,
+                    })
+                    .map_err(CoreError::from),
+                );
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
 }
 
 /// Wraps any evaluator with additive Gaussian output noise — models
 /// comparator input noise and residual ripple for robustness studies.
 ///
-/// Deterministic for a given seed. Uses interior mutability for the RNG,
-/// so it is not `Sync`; clone per thread for parallel sweeps.
+/// Deterministic for a given seed. Single-shot calls draw from one
+/// sequential RNG stream (interior mutability, so the wrapper is not
+/// `Sync`; clone per thread for parallel sweeps). Batched calls instead
+/// derive an independent RNG per query index via the sweep driver's
+/// SplitMix64 hash, so [`Evaluator::evaluate_batch`] is order-invariant
+/// and bitwise-reproducible across worker counts.
 #[derive(Debug)]
 pub struct NoisyEvaluator<E> {
     inner: E,
     sigma: f64,
+    seed: u64,
     rng: RefCell<StdRng>,
 }
 
@@ -236,6 +328,7 @@ impl<E: Evaluator> NoisyEvaluator<E> {
         NoisyEvaluator {
             inner,
             sigma,
+            seed,
             rng: RefCell::new(StdRng::seed_from_u64(seed)),
         }
     }
@@ -244,21 +337,48 @@ impl<E: Evaluator> NoisyEvaluator<E> {
     pub fn inner(&self) -> &E {
         &self.inner
     }
+
+    /// Box–Muller: two uniforms → one normal deviate.
+    fn gauss(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
 }
 
 impl<E: Evaluator> Evaluator for NoisyEvaluator<E> {
     fn vout(&self, duties: &[DutyCycle], weights: &WeightVector) -> Result<Volts, CoreError> {
         let clean = self.inner.vout(duties, weights)?;
-        // Box–Muller: two uniforms → one normal deviate.
-        let mut rng = self.rng.borrow_mut();
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let z = Self::gauss(&mut self.rng.borrow_mut());
         Ok(Volts(clean.value() + self.sigma * z))
     }
 
     fn vdd(&self) -> Volts {
         self.inner.vdd()
+    }
+
+    fn tier(&self) -> Tier {
+        self.inner.tier()
+    }
+
+    fn evaluate_batch(&self, queries: &[Query]) -> Vec<Result<Eval, CoreError>> {
+        // Per-query seeding on (base seed, index) keeps the batch
+        // deterministic regardless of evaluation order or worker count —
+        // the sequential `vout` stream is deliberately not consumed.
+        self.inner
+            .evaluate_batch(queries)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.map(|e| {
+                    let mut rng = mssim::sweep::trial_rng(self.seed, i);
+                    Eval {
+                        vout: Volts(e.vout.value() + self.sigma * Self::gauss(&mut rng)),
+                        ..e
+                    }
+                })
+            })
+            .collect()
     }
 }
 

@@ -54,9 +54,11 @@ use mssim::prelude::{
 use mssim::sweep;
 use mssim::telemetry::{dispatch, Event, Observer};
 use pwmcell::faults::{switch_adder_universe, weighted_adder_universe};
-use pwmcell::{analytic, AdderSpec, SwitchAdder, Technology, WeightedAdder};
+use pwmcell::{AdderSpec, SwitchAdder, Technology, WeightedAdder};
 
 use crate::error::CoreError;
+use crate::eval::{AnalyticEvaluator, Evaluator};
+use crate::infer::Query;
 use crate::robustness::McSummary;
 use crate::weight::WeightVector;
 
@@ -426,6 +428,21 @@ fn weighted_adder_fixture(
     Ok((ckt, adder))
 }
 
+/// Eq.-2 golden reference for a campaign fixture, computed through the
+/// same [`Evaluator`] surface the serving engine dispatches to.
+fn analytic_reference(
+    tech: &Technology,
+    duties: &[f64],
+    weights: &[u32],
+    bits: u32,
+) -> Result<f64, CoreError> {
+    let query = Query::from_raw(duties, weights, bits)?;
+    Ok(AnalyticEvaluator::new(tech.vdd)
+        .evaluate(&query)?
+        .vout
+        .value())
+}
+
 /// Everything [`run_campaign_over`] needs that depends on which cell
 /// family (switch-level or transistor-level) the campaign targets.
 struct CampaignFixture {
@@ -450,7 +467,7 @@ fn run_campaign(
 ) -> Result<CampaignReport, CoreError> {
     let (ckt, adder) = adder_fixture(tech, spec, weights, duties, config.frequency)?;
     let universe = switch_adder_universe(&ckt, &adder, &config.universe);
-    let analytic_vout = analytic::adder_vout(tech.vdd.value(), duties, weights, spec.bits);
+    let analytic_vout = analytic_reference(tech, duties, weights, spec.bits)?;
     let fixture = CampaignFixture {
         ckt,
         output: adder.output,
@@ -471,7 +488,7 @@ fn run_weighted_campaign(
 ) -> Result<CampaignReport, CoreError> {
     let (ckt, adder) = weighted_adder_fixture(tech, spec, weights, duties, config.frequency)?;
     let universe = weighted_adder_universe(&ckt, &adder, &config.universe);
-    let analytic_vout = analytic::adder_vout(tech.vdd.value(), duties, weights, spec.bits);
+    let analytic_vout = analytic_reference(tech, duties, weights, spec.bits)?;
     let fixture = CampaignFixture {
         ckt,
         output: adder.output,
@@ -968,7 +985,7 @@ pub fn switch_adder_triage(
 ) -> Result<TriageReport, CoreError> {
     let (ckt, adder) = adder_fixture(tech, spec, weights, duties, config.frequency)?;
     let universe = switch_adder_universe(&ckt, &adder, &config.universe);
-    let analytic_vout = analytic::adder_vout(tech.vdd.value(), duties, weights, spec.bits);
+    let analytic_vout = analytic_reference(tech, duties, weights, spec.bits)?;
     Ok(run_triage_over(
         CampaignFixture {
             ckt,
@@ -999,7 +1016,7 @@ pub fn weighted_adder_triage(
 ) -> Result<TriageReport, CoreError> {
     let (ckt, adder) = weighted_adder_fixture(tech, spec, weights, duties, config.frequency)?;
     let universe = weighted_adder_universe(&ckt, &adder, &config.universe);
-    let analytic_vout = analytic::adder_vout(tech.vdd.value(), duties, weights, spec.bits);
+    let analytic_vout = analytic_reference(tech, duties, weights, spec.bits)?;
     Ok(run_triage_over(
         CampaignFixture {
             ckt,

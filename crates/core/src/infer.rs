@@ -1,0 +1,846 @@
+//! Batched inference engine — the evaluator stack as a serving product.
+//!
+//! The paper's perceptron is ultimately an inference device: Eq. 2 gives a
+//! closed-form output that the circuit tiers merely refine. PWM inputs are
+//! low-resolution discrete (3-bit weights × bounded duty resolution), so
+//! throughput lives in memoization and batching, not per-query transients.
+//! This module packages that observation behind one call site:
+//!
+//! * [`Query`] / [`Eval`] — the serving request/response pair used by
+//!   [`Evaluator::evaluate`] and [`Evaluator::evaluate_batch`].
+//! * [`TierPolicy`] — how much output error the caller tolerates, and
+//!   therefore which fidelity [`Tier`] must answer.
+//! * [`MemoCache`] — a sharded, duty-quantized memo cache with hit/miss/
+//!   eviction counters surfaced through the [`Observer`] telemetry layer
+//!   as `infer.*` counters and an `InferBatch` event.
+//! * [`InferenceEngine`] — tiered dispatch (analytic fast path, escalating
+//!   to switch-level / transistor tiers only when the tolerance demands
+//!   it) over the cache, with per-tier counts in the report.
+//!
+//! The engine itself implements [`Evaluator`], so every consumer that is
+//! generic over the trait ([`crate::PwmPerceptron`], [`crate::HardLayer`],
+//! [`crate::WtaClassifier`], training, metrics) can serve through it
+//! unchanged.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use mssim::prelude::Volts;
+use mssim::telemetry::{dispatch, Event, Observer};
+
+use crate::duty::DutyCycle;
+use crate::error::CoreError;
+use crate::eval::{AnalyticEvaluator, CircuitEvaluator, Evaluator, SwitchLevelEvaluator};
+use crate::weight::WeightVector;
+
+/// Fidelity tier of an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tier {
+    /// Paper Eq. 2 — closed form, ~ns.
+    Analytic,
+    /// Periodic-steady-state switch model — ~µs.
+    SwitchLevel,
+    /// Transistor-level transient on [`mssim`] — the reference, ~ms–s.
+    Circuit,
+}
+
+impl Tier {
+    /// Stable index for per-tier accounting (`0..3`).
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Analytic => 0,
+            Tier::SwitchLevel => 1,
+            Tier::Circuit => 2,
+        }
+    }
+
+    /// Human-readable tier name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Analytic => "analytic",
+            Tier::SwitchLevel => "switch-level",
+            Tier::Circuit => "circuit",
+        }
+    }
+}
+
+/// One inference request: a duty-cycle vector and the weight vector it
+/// multiplies. Dimensions are validated at construction, so an existing
+/// `Query` is always internally consistent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    duties: Vec<DutyCycle>,
+    weights: WeightVector,
+}
+
+impl Query {
+    /// Creates a query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `duties` and `weights`
+    /// differ in length.
+    pub fn new(duties: Vec<DutyCycle>, weights: WeightVector) -> Result<Self, CoreError> {
+        if duties.len() != weights.len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: weights.len(),
+                got: duties.len(),
+            });
+        }
+        Ok(Query { duties, weights })
+    }
+
+    /// Creates a query from raw duty values and weight magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDuty`] / [`CoreError::InvalidWeight`]
+    /// for out-of-range values and [`CoreError::DimensionMismatch`] for
+    /// ragged inputs.
+    pub fn from_raw(duties: &[f64], weights: &[u32], bits: u32) -> Result<Self, CoreError> {
+        Query::new(
+            DutyCycle::try_from_slice(duties)?,
+            WeightVector::new(weights.to_vec(), bits)?,
+        )
+    }
+
+    /// The duty-cycle vector.
+    pub fn duties(&self) -> &[DutyCycle] {
+        &self.duties
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &WeightVector {
+        &self.weights
+    }
+
+    /// The query with every duty snapped to `levels` equidistant values
+    /// (rails included) — the cache's input alphabet.
+    pub fn quantized(&self, levels: u32) -> Query {
+        Query {
+            duties: self.duties.iter().map(|d| d.quantized(levels)).collect(),
+            weights: self.weights.clone(),
+        }
+    }
+}
+
+/// One inference response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eval {
+    /// Average output voltage (paper Eq. 2 semantics).
+    pub vout: Volts,
+    /// Fidelity tier that produced (or originally produced, for cached
+    /// responses) the value.
+    pub tier: Tier,
+    /// Whether the value was served from the memo cache.
+    pub cached: bool,
+}
+
+/// How much output-voltage error the caller tolerates, and the certified
+/// error bounds of the cheap tiers — together they decide which [`Tier`]
+/// must answer.
+///
+/// The defaults come from the `repro xval` cross-validation experiment:
+/// the analytic tier tracks the transistor-level reference within a few
+/// tens of millivolts and the switch-level tier within ~20 mV on the
+/// paper's Table II rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierPolicy {
+    tolerance: f64,
+    analytic_error: f64,
+    switch_error: f64,
+}
+
+/// Default certified |analytic − circuit| bound in volts (`repro xval`).
+pub const ANALYTIC_ERROR_BOUND: f64 = 0.05;
+/// Default certified |switch-level − circuit| bound in volts.
+pub const SWITCH_ERROR_BOUND: f64 = 0.02;
+
+impl TierPolicy {
+    /// Accept any answer within `tolerance_volts` of the transistor-level
+    /// reference; the engine picks the cheapest tier whose certified
+    /// error bound fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance_volts` is negative or NaN.
+    pub fn tolerance(tolerance_volts: f64) -> Self {
+        assert!(
+            tolerance_volts >= 0.0,
+            "tolerance must be non-negative volts"
+        );
+        TierPolicy {
+            tolerance: tolerance_volts,
+            analytic_error: ANALYTIC_ERROR_BOUND,
+            switch_error: SWITCH_ERROR_BOUND,
+        }
+    }
+
+    /// Any tolerance — the analytic fast path always answers.
+    pub fn analytic() -> Self {
+        Self::tolerance(f64::INFINITY)
+    }
+
+    /// Demand switch-level fidelity (tolerance between the two bounds).
+    pub fn switch_level() -> Self {
+        Self::tolerance(SWITCH_ERROR_BOUND)
+    }
+
+    /// Demand the transistor-level reference (zero tolerance).
+    pub fn circuit() -> Self {
+        Self::tolerance(0.0)
+    }
+
+    /// Overrides the certified per-tier error bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= switch_error <= analytic_error`.
+    pub fn with_error_bounds(mut self, analytic_error: f64, switch_error: f64) -> Self {
+        assert!(
+            (0.0..=analytic_error).contains(&switch_error),
+            "bounds must satisfy 0 <= switch <= analytic"
+        );
+        self.analytic_error = analytic_error;
+        self.switch_error = switch_error;
+        self
+    }
+
+    /// The caller's tolerance in volts.
+    pub fn tolerance_volts(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The cheapest tier whose certified error bound fits the tolerance.
+    pub fn demanded_tier(&self) -> Tier {
+        if self.tolerance >= self.analytic_error {
+            Tier::Analytic
+        } else if self.tolerance >= self.switch_error {
+            Tier::SwitchLevel
+        } else {
+            Tier::Circuit
+        }
+    }
+}
+
+impl Default for TierPolicy {
+    fn default() -> Self {
+        TierPolicy::analytic()
+    }
+}
+
+/// Cache key: duty indices on the `resolution`-level grid plus the exact
+/// weight vector and producing tier. Weights are part of the key, so a
+/// weight mutation can never be served a stale entry — it simply misses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    duties: Vec<u16>,
+    weights: Vec<u32>,
+    bits: u32,
+    tier: u8,
+}
+
+/// Counter snapshot of a [`MemoCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to an evaluator.
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries discarded by capacity eviction.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded memo cache keyed on quantized duty/weight vectors.
+///
+/// Lock granularity is one `RwLock` per shard, so concurrent batch
+/// workers mostly touch disjoint shards. Capacity is enforced per shard
+/// with epoch eviction: a shard that reaches its capacity is flushed
+/// whole (deterministic, and never serves a stale value — keys carry the
+/// full weight vector, so mutated weights miss instead of colliding).
+#[derive(Debug)]
+pub struct MemoCache {
+    shards: Vec<RwLock<HashMap<CacheKey, f64>>>,
+    resolution: u32,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+const SHARDS: usize = 16;
+
+impl MemoCache {
+    /// Cache with `resolution` duty levels and room for roughly
+    /// `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution < 2` or `capacity == 0`.
+    pub fn new(resolution: u32, capacity: usize) -> Self {
+        assert!(resolution >= 2, "need at least two duty levels");
+        assert!(capacity > 0, "capacity must be positive");
+        MemoCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            resolution,
+            shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The duty grid resolution (levels).
+    pub fn resolution(&self) -> u32 {
+        self.resolution
+    }
+
+    /// Current number of live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("cache lock poisoned").clear();
+        }
+    }
+
+    fn key(&self, query: &Query, tier: Tier) -> CacheKey {
+        let top = (self.resolution - 1) as f64;
+        CacheKey {
+            duties: query
+                .duties
+                .iter()
+                .map(|d| (d.value() * top).round() as u16)
+                .collect(),
+            weights: query.weights.as_slice().to_vec(),
+            bits: query.weights.bits(),
+            tier: tier.index() as u8,
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<f64> {
+        let shard = self.shards[self.shard_of(key)]
+            .read()
+            .expect("cache lock poisoned");
+        let found = shard.get(key).copied();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn insert(&self, key: CacheKey, vout: f64) {
+        let mut shard = self.shards[self.shard_of(&key)]
+            .write()
+            .expect("cache lock poisoned");
+        if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
+            self.evictions
+                .fetch_add(shard.len() as u64, Ordering::Relaxed);
+            shard.clear();
+        }
+        if shard.insert(key, vout).is_none() {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-tier evaluation counts plus cache statistics — the engine's
+/// serving report.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InferReport {
+    /// Total queries answered.
+    pub queries: u64,
+    /// Evaluations performed by each tier, indexed by [`Tier::index`]
+    /// (cache hits perform none).
+    pub tier_evals: [u64; 3],
+    /// Cache counters (zeroed when no cache is configured).
+    pub cache: CacheStats,
+}
+
+impl InferReport {
+    /// Evaluations the given tier performed.
+    pub fn evals(&self, tier: Tier) -> u64 {
+        self.tier_evals[tier.index()]
+    }
+}
+
+/// Tiered, memoized, batched dispatch over the evaluator stack.
+///
+/// The analytic tier is always present; switch-level and circuit tiers
+/// are optional escalation targets. Dispatch picks the cheapest tier the
+/// [`TierPolicy`] allows, degraded to the best *configured* tier: a
+/// policy demanding the transistor-level reference on an engine without
+/// a circuit tier is answered by the highest tier available.
+///
+/// When a [`MemoCache`] is configured, queries are first snapped onto the
+/// cache's duty grid (the PWM input alphabet is discrete, so serving
+/// streams are expected to live on the grid already — quantization is
+/// then the identity) and answered from the cache when possible.
+///
+/// # Examples
+///
+/// ```
+/// use pwm_perceptron::prelude::*;
+///
+/// # fn main() -> Result<(), pwm_perceptron::CoreError> {
+/// let engine = InferenceEngine::paper().with_cache(16, 1 << 16);
+/// let q = Query::from_raw(&[0.7, 0.8, 0.9], &[7, 7, 7], 3)?;
+/// let first = engine.evaluate(&q)?;
+/// let second = engine.evaluate(&q)?;
+/// assert!(!first.cached && second.cached);
+/// assert_eq!(first.vout, second.vout);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct InferenceEngine {
+    analytic: AnalyticEvaluator,
+    switch: Option<SwitchLevelEvaluator>,
+    circuit: Option<CircuitEvaluator>,
+    policy: TierPolicy,
+    cache: Option<MemoCache>,
+    queries: AtomicU64,
+    tier_evals: [AtomicU64; 3],
+}
+
+impl InferenceEngine {
+    /// Engine with only the analytic tier at the given supply.
+    pub fn new(vdd: Volts) -> Self {
+        InferenceEngine {
+            analytic: AnalyticEvaluator::new(vdd),
+            switch: None,
+            circuit: None,
+            policy: TierPolicy::default(),
+            cache: None,
+            queries: AtomicU64::new(0),
+            tier_evals: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+
+    /// Engine at the paper's 2.5 V supply.
+    pub fn paper() -> Self {
+        Self::new(Volts(2.5))
+    }
+
+    /// Adds (or replaces) the switch-level escalation tier.
+    pub fn with_switch_tier(mut self, evaluator: SwitchLevelEvaluator) -> Self {
+        self.switch = Some(evaluator);
+        self
+    }
+
+    /// Adds (or replaces) the transistor-level escalation tier.
+    pub fn with_circuit_tier(mut self, evaluator: CircuitEvaluator) -> Self {
+        self.circuit = Some(evaluator);
+        self
+    }
+
+    /// Sets the dispatch policy.
+    pub fn with_policy(mut self, policy: TierPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables the memo cache with the given duty resolution and
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// As for [`MemoCache::new`].
+    pub fn with_cache(mut self, resolution: u32, capacity: usize) -> Self {
+        self.cache = Some(MemoCache::new(resolution, capacity));
+        self
+    }
+
+    /// The dispatch policy.
+    pub fn policy(&self) -> TierPolicy {
+        self.policy
+    }
+
+    /// The memo cache, when configured.
+    pub fn cache(&self) -> Option<&MemoCache> {
+        self.cache.as_ref()
+    }
+
+    /// The tier that will answer under the current policy and configured
+    /// tiers.
+    pub fn resolved_tier(&self) -> Tier {
+        match self.policy.demanded_tier() {
+            Tier::Circuit if self.circuit.is_some() => Tier::Circuit,
+            Tier::Circuit if self.switch.is_some() => Tier::SwitchLevel,
+            Tier::SwitchLevel if self.switch.is_some() => Tier::SwitchLevel,
+            Tier::SwitchLevel if self.circuit.is_some() => Tier::Circuit,
+            _ => Tier::Analytic,
+        }
+    }
+
+    fn tier_evaluator(&self, tier: Tier) -> &dyn Evaluator {
+        match tier {
+            Tier::Analytic => &self.analytic,
+            Tier::SwitchLevel => self.switch.as_ref().expect("switch tier configured"),
+            Tier::Circuit => self.circuit.as_ref().expect("circuit tier configured"),
+        }
+    }
+
+    /// The query the engine actually evaluates: snapped onto the cache's
+    /// duty grid when a cache is configured, unchanged otherwise.
+    pub fn admitted(&self, query: &Query) -> Query {
+        match &self.cache {
+            Some(cache) => query.quantized(cache.resolution()),
+            None => query.clone(),
+        }
+    }
+
+    /// Answers one query through the tiered dispatch and memo cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors.
+    pub fn evaluate(&self, query: &Query) -> Result<Eval, CoreError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let tier = self.resolved_tier();
+        let evaluator = self.tier_evaluator(tier);
+        let Some(cache) = &self.cache else {
+            self.tier_evals[tier.index()].fetch_add(1, Ordering::Relaxed);
+            return evaluator.evaluate(query);
+        };
+        let admitted = query.quantized(cache.resolution());
+        let key = cache.key(&admitted, tier);
+        if let Some(vout) = cache.lookup(&key) {
+            return Ok(Eval {
+                vout: Volts(vout),
+                tier,
+                cached: true,
+            });
+        }
+        self.tier_evals[tier.index()].fetch_add(1, Ordering::Relaxed);
+        let eval = evaluator.evaluate(&admitted)?;
+        cache.insert(key, eval.vout.value());
+        Ok(eval)
+    }
+
+    /// Answers a batch: cache hits are served immediately, distinct
+    /// misses are deduplicated and fanned over the selected tier's
+    /// batched evaluator (which amortizes circuit construction and
+    /// parallelises over the work-stealing sweep driver).
+    pub fn evaluate_batch(&self, queries: &[Query]) -> Vec<Result<Eval, CoreError>> {
+        self.queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let tier = self.resolved_tier();
+        let evaluator = self.tier_evaluator(tier);
+        let Some(cache) = &self.cache else {
+            self.tier_evals[tier.index()].fetch_add(queries.len() as u64, Ordering::Relaxed);
+            return evaluator.evaluate_batch(queries);
+        };
+
+        let mut out: Vec<Option<Result<Eval, CoreError>>> = vec![None; queries.len()];
+        // Key → position in the deduplicated miss list.
+        let mut miss_of: HashMap<CacheKey, usize> = HashMap::new();
+        let mut misses: Vec<Query> = Vec::new();
+        // Per input query: which miss slot serves it (None = cache hit).
+        let mut slot_of: Vec<Option<usize>> = Vec::with_capacity(queries.len());
+        for (i, query) in queries.iter().enumerate() {
+            let admitted = query.quantized(cache.resolution());
+            let key = cache.key(&admitted, tier);
+            if let Some(vout) = cache.lookup(&key) {
+                out[i] = Some(Ok(Eval {
+                    vout: Volts(vout),
+                    tier,
+                    cached: true,
+                }));
+                slot_of.push(None);
+            } else {
+                let slot = *miss_of.entry(key).or_insert_with(|| {
+                    misses.push(admitted);
+                    misses.len() - 1
+                });
+                slot_of.push(Some(slot));
+            }
+        }
+
+        self.tier_evals[tier.index()].fetch_add(misses.len() as u64, Ordering::Relaxed);
+        let computed = evaluator.evaluate_batch(&misses);
+        for (key, slot) in miss_of {
+            if let Ok(eval) = &computed[slot] {
+                cache.insert(key, eval.vout.value());
+            }
+        }
+        for (i, slot) in slot_of.iter().enumerate() {
+            if let Some(slot) = slot {
+                out[i] = Some(computed[*slot].clone());
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
+
+    /// [`InferenceEngine::evaluate_batch`] with telemetry: dispatches one
+    /// [`Event::InferBatch`] describing the batch to `observer`, which
+    /// derives the `infer.*` counters through the standard vocabulary.
+    pub fn evaluate_batch_observed(
+        &self,
+        queries: &[Query],
+        observer: &mut dyn Observer,
+    ) -> Vec<Result<Eval, CoreError>> {
+        let before = self.report();
+        let out = self.evaluate_batch(queries);
+        let after = self.report();
+        dispatch(
+            observer,
+            &Event::InferBatch {
+                queries: queries.len(),
+                cache_hits: after.cache.hits - before.cache.hits,
+                cache_misses: after.cache.misses - before.cache.misses,
+                evictions: after.cache.evictions - before.cache.evictions,
+                analytic: after.evals(Tier::Analytic) - before.evals(Tier::Analytic),
+                switch_level: after.evals(Tier::SwitchLevel) - before.evals(Tier::SwitchLevel),
+                circuit: after.evals(Tier::Circuit) - before.evals(Tier::Circuit),
+            },
+        );
+        out
+    }
+
+    /// Serving report: total queries, per-tier evaluation counts and
+    /// cache statistics.
+    pub fn report(&self) -> InferReport {
+        InferReport {
+            queries: self.queries.load(Ordering::Relaxed),
+            tier_evals: [
+                self.tier_evals[0].load(Ordering::Relaxed),
+                self.tier_evals[1].load(Ordering::Relaxed),
+                self.tier_evals[2].load(Ordering::Relaxed),
+            ],
+            cache: self
+                .cache
+                .as_ref()
+                .map(MemoCache::stats)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Drops every cached entry (a weight-space retraining boundary).
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
+    }
+}
+
+impl Evaluator for InferenceEngine {
+    fn vout(&self, duties: &[DutyCycle], weights: &WeightVector) -> Result<Volts, CoreError> {
+        let query = Query::new(duties.to_vec(), weights.clone())?;
+        Ok(self.evaluate(&query)?.vout)
+    }
+
+    fn vdd(&self) -> Volts {
+        self.analytic.vdd()
+    }
+
+    fn tier(&self) -> Tier {
+        self.resolved_tier()
+    }
+
+    fn evaluate(&self, query: &Query) -> Result<Eval, CoreError> {
+        InferenceEngine::evaluate(self, query)
+    }
+
+    fn evaluate_batch(&self, queries: &[Query]) -> Vec<Result<Eval, CoreError>> {
+        InferenceEngine::evaluate_batch(self, queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(duties: &[f64]) -> Query {
+        Query::from_raw(duties, &[7, 5, 3], 3).unwrap()
+    }
+
+    #[test]
+    fn query_validates_dimensions() {
+        let err = Query::from_raw(&[0.5], &[7, 7], 3).unwrap_err();
+        assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+        let q = query(&[0.1, 0.5, 0.9]);
+        assert_eq!(q.duties().len(), 3);
+        assert_eq!(q.weights().as_slice(), &[7, 5, 3]);
+    }
+
+    #[test]
+    fn policy_picks_the_cheapest_sufficient_tier() {
+        assert_eq!(TierPolicy::analytic().demanded_tier(), Tier::Analytic);
+        assert_eq!(
+            TierPolicy::tolerance(0.1).demanded_tier(),
+            Tier::Analytic,
+            "loose tolerance stays on the fast path"
+        );
+        assert_eq!(
+            TierPolicy::tolerance(0.03).demanded_tier(),
+            Tier::SwitchLevel
+        );
+        assert_eq!(
+            TierPolicy::switch_level().demanded_tier(),
+            Tier::SwitchLevel
+        );
+        assert_eq!(TierPolicy::tolerance(0.001).demanded_tier(), Tier::Circuit);
+        assert_eq!(TierPolicy::circuit().demanded_tier(), Tier::Circuit);
+    }
+
+    #[test]
+    fn unconfigured_tiers_degrade_to_best_available() {
+        let engine = InferenceEngine::paper().with_policy(TierPolicy::circuit());
+        assert_eq!(engine.resolved_tier(), Tier::Analytic);
+        let engine = engine.with_switch_tier(SwitchLevelEvaluator::paper());
+        assert_eq!(engine.resolved_tier(), Tier::SwitchLevel);
+    }
+
+    #[test]
+    fn cache_hits_after_first_evaluation() {
+        let engine = InferenceEngine::paper().with_cache(16, 1024);
+        let q = query(&[0.25, 0.5, 0.75]);
+        let a = engine.evaluate(&q).unwrap();
+        let b = engine.evaluate(&q).unwrap();
+        assert!(!a.cached);
+        assert!(b.cached);
+        assert_eq!(a.vout, b.vout);
+        assert_eq!(a.tier, Tier::Analytic);
+        let report = engine.report();
+        assert_eq!(report.queries, 2);
+        assert_eq!(report.cache.hits, 1);
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.evals(Tier::Analytic), 1);
+    }
+
+    #[test]
+    fn batch_deduplicates_misses() {
+        let engine = InferenceEngine::paper().with_cache(16, 1024);
+        let qs = vec![
+            query(&[0.25, 0.5, 0.75]),
+            query(&[0.25, 0.5, 0.75]),
+            query(&[0.0, 0.0, 1.0]),
+        ];
+        let out = engine.evaluate_batch(&qs);
+        assert!(out.iter().all(Result::is_ok));
+        let report = engine.report();
+        // Two distinct keys computed once each; the duplicate shares.
+        assert_eq!(report.evals(Tier::Analytic), 2);
+        assert_eq!(out[0].as_ref().unwrap().vout, out[1].as_ref().unwrap().vout);
+    }
+
+    #[test]
+    fn batched_and_single_evaluation_agree_bitwise() {
+        let cached = InferenceEngine::paper().with_cache(32, 1024);
+        let plain = InferenceEngine::paper();
+        let qs: Vec<Query> = (0..20)
+            .map(|i| {
+                let step = i as f64 / 31.0;
+                Query::from_raw(&[step, 1.0 - step, 0.5], &[7, 5, 3], 3).unwrap()
+            })
+            .collect();
+        let batch = cached.evaluate_batch(&qs);
+        for (q, b) in qs.iter().zip(&batch) {
+            let single = plain.evaluate(&q.quantized(32)).unwrap();
+            assert_eq!(single.vout, b.as_ref().unwrap().vout);
+        }
+    }
+
+    #[test]
+    fn eviction_flushes_but_never_serves_stale_values() {
+        // Capacity of one entry per shard: every distinct key in the same
+        // shard evicts its predecessor.
+        let engine = InferenceEngine::paper().with_cache(64, 1);
+        let analytic = AnalyticEvaluator::paper();
+        for i in 0..64 {
+            let d = i as f64 / 63.0;
+            let q = query(&[d, d, d]);
+            let got = engine.evaluate(&q).unwrap().vout;
+            let expect = analytic.vout(q.duties(), q.weights()).unwrap();
+            assert_eq!(got, expect, "entry {i}");
+        }
+        assert!(engine.report().cache.evictions > 0, "evictions exercised");
+    }
+
+    #[test]
+    fn observed_batch_reports_infer_counters() {
+        use mssim::telemetry::MemoryRecorder;
+        let engine = InferenceEngine::paper().with_cache(16, 1024);
+        let qs = vec![query(&[0.5, 0.5, 0.5]), query(&[0.5, 0.5, 0.5])];
+        let mut rec = MemoryRecorder::new();
+        let out = engine.evaluate_batch_observed(&qs, &mut rec);
+        assert!(out.iter().all(Result::is_ok));
+        assert_eq!(rec.counter_value("infer.queries"), 2);
+        // Both lookups miss (insertion happens after the batch computes),
+        // but the duplicate deduplicates down to one evaluation.
+        assert_eq!(rec.counter_value("infer.cache_misses"), 2);
+        assert_eq!(rec.counter_value("infer.tier_analytic"), 1);
+        assert!(rec.events().iter().any(|e| matches!(
+            e,
+            Event::InferBatch {
+                queries: 2,
+                cache_misses: 2,
+                analytic: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn engine_is_an_evaluator() {
+        // Resolution 11 puts 0.7/0.8/0.9 exactly on the duty grid.
+        let engine = InferenceEngine::paper().with_cache(11, 1024);
+        let e: &dyn Evaluator = &engine;
+        let w = WeightVector::new(vec![7, 7, 7], 3).unwrap();
+        let d: Vec<DutyCycle> = [0.7, 0.8, 0.9].iter().map(|&x| DutyCycle::new(x)).collect();
+        let v = e.vout(&d, &w).unwrap();
+        assert!((v.value() - 2.0).abs() < 0.01);
+        assert_eq!(e.vdd(), Volts(2.5));
+    }
+}

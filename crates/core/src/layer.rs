@@ -19,6 +19,7 @@
 use crate::duty::DutyCycle;
 use crate::error::CoreError;
 use crate::eval::Evaluator;
+use crate::infer::Query;
 use crate::weight::SignedWeightVector;
 
 /// Duty cycle used to encode logic low between layers.
@@ -108,14 +109,24 @@ impl HardLayer {
         }
         let mut extended = duties.to_vec();
         extended.push(DutyCycle::ONE); // the bias input
-        let mut out = Vec::with_capacity(self.neurons.len());
+                                       // Both halves of every neuron go through one batched call; the
+                                       // (pos, neg) per-neuron order matches the historical sequential
+                                       // path, so stream-seeded noisy evaluators see the same draws when
+                                       // the default sequential batch applies.
+        let mut queries = Vec::with_capacity(self.neurons.len() * 2);
         for neuron in &self.neurons {
             let (pos, neg) = neuron.split();
-            let vp = evaluator.vout(&extended, &pos)?;
-            let vn = evaluator.vout(&extended, &neg)?;
-            out.push(vp.value() > vn.value());
+            queries.push(Query::new(extended.clone(), pos)?);
+            queries.push(Query::new(extended.clone(), neg)?);
         }
-        Ok(out)
+        let evals = evaluator
+            .evaluate_batch(&queries)
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(evals
+            .chunks_exact(2)
+            .map(|pair| pair[0].vout.value() > pair[1].vout.value())
+            .collect())
     }
 
     /// Evaluates the layer and re-encodes the decisions as near-rail duty

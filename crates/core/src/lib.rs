@@ -17,7 +17,10 @@
 //!   [`eval::AnalyticEvaluator`] (paper Eq. 2, instant),
 //!   [`eval::SwitchLevelEvaluator`] (periodic-steady-state switch model,
 //!   microseconds), and [`eval::CircuitEvaluator`] (full transistor-level
-//!   transient on [`mssim`], the reference).
+//!   transient on [`mssim`], the reference) — all behind one
+//!   [`eval::Evaluator`] trait with batched entry points.
+//! * [`infer`] — the batched inference engine: tiered dispatch over the
+//!   evaluators, a duty-quantized memo cache, and serving telemetry.
 //! * [`PwmPerceptron`] / [`DifferentialPerceptron`] — classification with
 //!   a comparator against an absolute or ratiometric reference.
 //! * [`train`] — hardware-in-the-loop integer perceptron learning
@@ -57,6 +60,7 @@ pub mod energy;
 pub mod error;
 pub mod eval;
 pub mod faults;
+pub mod infer;
 pub mod layer;
 pub mod metrics;
 pub mod multiclass;
@@ -69,11 +73,34 @@ pub use comparator::Comparator;
 pub use dataset::Dataset;
 pub use duty::DutyCycle;
 pub use error::CoreError;
+pub use eval::Evaluator;
 pub use faults::{
     switch_adder_campaign, switch_adder_campaign_observed, switch_adder_triage, CampaignConfig,
     CampaignReport, FaultClass, FaultOutcome, TriageReport, TriageRow, TriageStats,
 };
+pub use infer::{Eval, InferenceEngine, Query, Tier, TierPolicy};
 pub use layer::{HardLayer, Mlp};
 pub use multiclass::WtaClassifier;
 pub use perceptron::{DifferentialPerceptron, PwmPerceptron, Reference};
 pub use weight::{SignedWeightVector, WeightVector};
+
+/// Curated re-exports — the stable serving surface in one `use`.
+///
+/// ```
+/// use pwm_perceptron::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::comparator::Comparator;
+    pub use crate::duty::DutyCycle;
+    pub use crate::error::CoreError;
+    pub use crate::eval::{
+        AnalyticEvaluator, CircuitEvaluator, Evaluator, NoisyEvaluator, SwitchLevelEvaluator,
+    };
+    pub use crate::infer::{
+        CacheStats, Eval, InferReport, InferenceEngine, MemoCache, Query, Tier, TierPolicy,
+    };
+    pub use crate::layer::{HardLayer, Mlp};
+    pub use crate::multiclass::WtaClassifier;
+    pub use crate::perceptron::{DifferentialPerceptron, PwmPerceptron, Reference};
+    pub use crate::weight::{SignedWeightVector, WeightVector};
+}

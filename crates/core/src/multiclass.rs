@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 use crate::duty::DutyCycle;
 use crate::error::CoreError;
 use crate::eval::Evaluator;
+use crate::infer::Query;
 use crate::weight::WeightVector;
 
 /// A winner-take-all classifier: one unsigned weight vector per class,
@@ -69,15 +70,22 @@ impl<E: Evaluator> WtaClassifier<E> {
         &mut self.classes
     }
 
-    /// All class adder outputs.
+    /// All class adder outputs, through one batched evaluator call (the
+    /// class order matches the historical sequential path).
     ///
     /// # Errors
     ///
     /// Propagates evaluator errors.
     pub fn scores(&self, duties: &[DutyCycle]) -> Result<Vec<Volts>, CoreError> {
-        self.classes
+        let queries = self
+            .classes
             .iter()
-            .map(|w| self.evaluator.vout(duties, w))
+            .map(|w| Query::new(duties.to_vec(), w.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.evaluator
+            .evaluate_batch(&queries)
+            .into_iter()
+            .map(|r| r.map(|e| e.vout))
             .collect()
     }
 

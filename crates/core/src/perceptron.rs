@@ -7,6 +7,7 @@ use crate::dataset::Dataset;
 use crate::duty::DutyCycle;
 use crate::error::CoreError;
 use crate::eval::Evaluator;
+use crate::infer::Query;
 use crate::weight::{SignedWeightVector, WeightVector};
 
 /// The comparator reference of Fig. 1.
@@ -124,7 +125,26 @@ impl<E: Evaluator> PwmPerceptron<E> {
     /// Propagates evaluator errors (dimension mismatch, simulation
     /// failure).
     pub fn forward(&self, duties: &[DutyCycle]) -> Result<Volts, CoreError> {
-        self.evaluator.vout(duties, &self.weights)
+        let query = Query::new(duties.to_vec(), self.weights.clone())?;
+        Ok(self.evaluator.evaluate(&query)?.vout)
+    }
+
+    /// The analog weighted sums for a batch of inputs, through the
+    /// evaluator's amortized batch path.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first evaluator error.
+    pub fn forward_batch(&self, inputs: &[Vec<DutyCycle>]) -> Result<Vec<Volts>, CoreError> {
+        let queries = inputs
+            .iter()
+            .map(|d| Query::new(d.clone(), self.weights.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.evaluator
+            .evaluate_batch(&queries)
+            .into_iter()
+            .map(|r| r.map(|e| e.vout))
+            .collect()
     }
 
     /// Classifies one sample: `vout > reference`.
@@ -138,6 +158,24 @@ impl<E: Evaluator> PwmPerceptron<E> {
         let v = self.forward(duties)?;
         let vref = self.reference.resolve(self.evaluator.vdd());
         Ok(self.comparator.compare(v, vref))
+    }
+
+    /// Classifies a batch of inputs, resetting the comparator before each
+    /// sample (matching [`Self::accuracy`] semantics).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first evaluator error.
+    pub fn classify_batch(&mut self, inputs: &[Vec<DutyCycle>]) -> Result<Vec<bool>, CoreError> {
+        let vouts = self.forward_batch(inputs)?;
+        let vref = self.reference.resolve(self.evaluator.vdd());
+        Ok(vouts
+            .into_iter()
+            .map(|v| {
+                self.comparator.reset();
+                self.comparator.compare(v, vref)
+            })
+            .collect())
     }
 
     /// Fraction of `data` classified correctly.
@@ -215,9 +253,7 @@ impl<E: Evaluator> DifferentialPerceptron<E> {
     ///
     /// Propagates evaluator errors.
     pub fn forward(&self, duties: &[DutyCycle]) -> Result<Volts, CoreError> {
-        let (pos, neg) = self.weights.split();
-        let vp = self.evaluator.vout(duties, &pos)?;
-        let vn = self.evaluator.vout(duties, &neg)?;
+        let (vp, vn) = self.halves(duties)?;
         Ok(vp - vn)
     }
 
@@ -227,10 +263,48 @@ impl<E: Evaluator> DifferentialPerceptron<E> {
     ///
     /// Propagates evaluator errors.
     pub fn classify(&mut self, duties: &[DutyCycle]) -> Result<bool, CoreError> {
-        let (pos, neg) = self.weights.split();
-        let vp = self.evaluator.vout(duties, &pos)?;
-        let vn = self.evaluator.vout(duties, &neg)?;
+        let (vp, vn) = self.halves(duties)?;
         Ok(self.comparator.compare(vp, vn))
+    }
+
+    /// Evaluates the positive and negative adder halves, in that order
+    /// (the order matters for stream-seeded noisy evaluators).
+    fn halves(&self, duties: &[DutyCycle]) -> Result<(Volts, Volts), CoreError> {
+        let (pos, neg) = self.weights.split();
+        let vp = self
+            .evaluator
+            .evaluate(&Query::new(duties.to_vec(), pos)?)?
+            .vout;
+        let vn = self
+            .evaluator
+            .evaluate(&Query::new(duties.to_vec(), neg)?)?
+            .vout;
+        Ok((vp, vn))
+    }
+
+    /// The differential sums for a batch of inputs: positive and negative
+    /// halves of every sample go through one [`Evaluator::evaluate_batch`]
+    /// call, so the circuit tier builds at most two netlists.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first evaluator error.
+    pub fn forward_batch(&self, inputs: &[Vec<DutyCycle>]) -> Result<Vec<Volts>, CoreError> {
+        let (pos, neg) = self.weights.split();
+        let mut queries = Vec::with_capacity(inputs.len() * 2);
+        for d in inputs {
+            queries.push(Query::new(d.clone(), pos.clone())?);
+            queries.push(Query::new(d.clone(), neg.clone())?);
+        }
+        let evals = self
+            .evaluator
+            .evaluate_batch(&queries)
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(evals
+            .chunks_exact(2)
+            .map(|pair| pair[0].vout - pair[1].vout)
+            .collect())
     }
 
     /// Fraction of `data` classified correctly.

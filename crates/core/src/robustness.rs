@@ -16,6 +16,9 @@ use pwmcell::{PwmNode, Technology};
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::eval::{Evaluator, SwitchLevelEvaluator};
+use crate::infer::Query;
+
 /// Standard deviations of the varied parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationSpec {
@@ -160,13 +163,65 @@ impl McSummary {
 }
 
 /// Monte-Carlo distribution of the weighted-adder output voltage under
-/// global process corners (switch-level model — thousands of trials per
-/// second). Deterministic in `seed`; trials run in parallel.
+/// global process corners. Each trial draws a perturbed [`Technology`]
+/// and answers the query through a [`SwitchLevelEvaluator`] — the same
+/// [`Evaluator`] surface the serving engine uses, so the distribution is
+/// exactly what a deployed classifier would see. Deterministic in `seed`;
+/// trials run in parallel.
 ///
 /// # Panics
 ///
-/// Panics if `trials == 0` or inputs are out of range (see
-/// [`PwmNode::weighted_adder`]).
+/// Panics if `trials == 0`.
+pub fn switch_corner_monte_carlo(
+    tech: &Technology,
+    query: &Query,
+    spec: &VariationSpec,
+    trials: usize,
+    seed: u64,
+) -> McSummary {
+    assert!(trials > 0, "need at least one trial");
+    let samples = sweep::monte_carlo(trials, seed, |rng, _| corner_vout(tech, query, spec, rng));
+    McSummary::try_from_samples(samples).expect("trials > 0 yields samples")
+}
+
+/// [`switch_corner_monte_carlo`] with telemetry: per-trial wall times,
+/// worker indices and steal counts are delivered to `observer` via
+/// [`mssim::sweep::monte_carlo_observed`]. The sample distribution is
+/// identical to the unobserved version with the same seed.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn switch_corner_monte_carlo_observed(
+    tech: &Technology,
+    query: &Query,
+    spec: &VariationSpec,
+    trials: usize,
+    seed: u64,
+    observer: &mut dyn mssim::telemetry::Observer,
+) -> McSummary {
+    assert!(trials > 0, "need at least one trial");
+    let samples = sweep::monte_carlo_observed(trials, seed, observer, |rng, _| {
+        corner_vout(tech, query, spec, rng)
+    });
+    McSummary::try_from_samples(samples).expect("trials > 0 yields samples")
+}
+
+/// One corner draw evaluated through the trait surface.
+fn corner_vout(tech: &Technology, query: &Query, spec: &VariationSpec, rng: &mut StdRng) -> f64 {
+    let t = perturbed_technology(tech, spec, rng);
+    SwitchLevelEvaluator::new(t)
+        .vout(query.duties(), query.weights())
+        .expect("query dimensions are validated at construction")
+        .value()
+}
+
+/// Superseded spelling of [`switch_corner_monte_carlo`] over raw slices.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the raw inputs are out of range.
+#[deprecated(note = "build a `Query` and call `switch_corner_monte_carlo`")]
 #[allow(clippy::too_many_arguments)]
 pub fn adder_vout_monte_carlo(
     tech: &Technology,
@@ -177,32 +232,17 @@ pub fn adder_vout_monte_carlo(
     trials: usize,
     seed: u64,
 ) -> McSummary {
-    assert!(trials > 0, "need at least one trial");
-    let samples = sweep::monte_carlo(trials, seed, |rng, _| {
-        let t = perturbed_technology(tech, spec, rng);
-        PwmNode::weighted_adder(
-            &t,
-            duties,
-            weights,
-            bits,
-            t.frequency.value(),
-            t.vdd.value(),
-            t.cout_adder.value(),
-        )
-        .steady_state_average()
-    });
-    McSummary::try_from_samples(samples).expect("trials > 0 yields samples")
+    let query = Query::from_raw(duties, weights, bits).expect("raw inputs in range");
+    switch_corner_monte_carlo(tech, &query, spec, trials, seed)
 }
 
-/// [`adder_vout_monte_carlo`] with telemetry: per-trial wall times,
-/// worker indices and steal counts are delivered to `observer` via
-/// [`mssim::sweep::monte_carlo_observed`]. The sample distribution is
-/// identical to the unobserved version with the same seed.
+/// Superseded spelling of [`switch_corner_monte_carlo_observed`] over raw
+/// slices.
 ///
 /// # Panics
 ///
-/// Panics if `trials == 0` or inputs are out of range (see
-/// [`PwmNode::weighted_adder`]).
+/// Panics if `trials == 0` or the raw inputs are out of range.
+#[deprecated(note = "build a `Query` and call `switch_corner_monte_carlo_observed`")]
 #[allow(clippy::too_many_arguments)]
 pub fn adder_vout_monte_carlo_observed(
     tech: &Technology,
@@ -214,21 +254,8 @@ pub fn adder_vout_monte_carlo_observed(
     seed: u64,
     observer: &mut dyn mssim::telemetry::Observer,
 ) -> McSummary {
-    assert!(trials > 0, "need at least one trial");
-    let samples = sweep::monte_carlo_observed(trials, seed, observer, |rng, _| {
-        let t = perturbed_technology(tech, spec, rng);
-        PwmNode::weighted_adder(
-            &t,
-            duties,
-            weights,
-            bits,
-            t.frequency.value(),
-            t.vdd.value(),
-            t.cout_adder.value(),
-        )
-        .steady_state_average()
-    });
-    McSummary::try_from_samples(samples).expect("trials > 0 yields samples")
+    let query = Query::from_raw(duties, weights, bits).expect("raw inputs in range");
+    switch_corner_monte_carlo_observed(tech, &query, spec, trials, seed, observer)
 }
 
 /// Output voltage across a frequency sweep (switch-level) — supports the
@@ -281,18 +308,15 @@ mod tests {
         assert_eq!(s.std, 0.0);
     }
 
+    fn query(duties: &[f64], weights: &[u32]) -> Query {
+        Query::from_raw(duties, weights, 3).unwrap()
+    }
+
     #[test]
     fn zero_variation_gives_zero_spread() {
         let tech = Technology::umc65_like();
-        let s = adder_vout_monte_carlo(
-            &tech,
-            &[0.5, 0.5, 0.5],
-            &[7, 7, 7],
-            3,
-            &VariationSpec::none(),
-            16,
-            1,
-        );
+        let q = query(&[0.5, 0.5, 0.5], &[7, 7, 7]);
+        let s = switch_corner_monte_carlo(&tech, &q, &VariationSpec::none(), 16, 1);
         assert!(s.std < 1e-12, "std = {}", s.std);
     }
 
@@ -311,11 +335,9 @@ mod tests {
             tech.cout_adder.value(),
         )
         .steady_state_average();
-        let s = adder_vout_monte_carlo(
+        let s = switch_corner_monte_carlo(
             &tech,
-            &duties,
-            &weights,
-            3,
+            &query(&duties, &weights),
             &VariationSpec::typical_65nm(),
             64,
             7,
@@ -334,8 +356,9 @@ mod tests {
     fn monte_carlo_is_seed_deterministic() {
         let tech = Technology::umc65_like();
         let spec = VariationSpec::typical_65nm();
-        let a = adder_vout_monte_carlo(&tech, &[0.5], &[7], 3, &spec, 8, 3);
-        let b = adder_vout_monte_carlo(&tech, &[0.5], &[7], 3, &spec, 8, 3);
+        let q = query(&[0.5], &[7]);
+        let a = switch_corner_monte_carlo(&tech, &q, &spec, 8, 3);
+        let b = switch_corner_monte_carlo(&tech, &q, &spec, 8, 3);
         assert_eq!(a.samples, b.samples);
     }
 
@@ -344,13 +367,25 @@ mod tests {
         use mssim::telemetry::MemoryRecorder;
         let tech = Technology::umc65_like();
         let spec = VariationSpec::typical_65nm();
-        let plain = adder_vout_monte_carlo(&tech, &[0.5], &[7], 3, &spec, 8, 3);
+        let q = query(&[0.5], &[7]);
+        let plain = switch_corner_monte_carlo(&tech, &q, &spec, 8, 3);
         let mut rec = MemoryRecorder::new();
-        let observed =
-            adder_vout_monte_carlo_observed(&tech, &[0.5], &[7], 3, &spec, 8, 3, &mut rec);
+        let observed = switch_corner_monte_carlo_observed(&tech, &q, &spec, 8, 3, &mut rec);
         assert_eq!(plain.samples, observed.samples);
         assert_eq!(rec.counter_value("sweep.points"), 8);
         assert_eq!(rec.histogram_values("sweep.wall_ns").len(), 8);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_raw_slice_wrappers_are_bitwise_identical() {
+        let tech = Technology::umc65_like();
+        let spec = VariationSpec::typical_65nm();
+        let duties = [0.2, 0.6, 0.8];
+        let weights = [5, 6, 7];
+        let old = adder_vout_monte_carlo(&tech, &duties, &weights, 3, &spec, 16, 7);
+        let new = switch_corner_monte_carlo(&tech, &query(&duties, &weights), &spec, 16, 7);
+        assert_eq!(old.samples, new.samples);
     }
 
     #[test]

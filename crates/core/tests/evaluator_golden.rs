@@ -1,0 +1,289 @@
+//! Golden tests for the `Evaluator`-trait migration: every consumer that
+//! moved onto `evaluate`/`evaluate_batch` must produce outputs **bitwise
+//! identical** to the pre-trait computation it replaced. Each golden
+//! below re-derives the historical path from primitives (`PwmNode`,
+//! `analytic::adder_vout`, per-call `vout`) and `assert_eq!`s against the
+//! migrated API — no tolerances.
+
+use mssim::sweep;
+use mssim::units::{Farads, Hertz};
+use pwm_perceptron::prelude::*;
+use pwm_perceptron::robustness::{perturbed_technology, switch_corner_monte_carlo, VariationSpec};
+use pwmcell::{analytic, PwmNode, SimQuality, Technology};
+
+fn duties(values: &[f64]) -> Vec<DutyCycle> {
+    values.iter().copied().map(DutyCycle::new).collect()
+}
+
+/// Small output caps + 50 MHz so circuit-tier transients settle quickly.
+fn quick_tech() -> Technology {
+    let mut t = Technology::umc65_like();
+    t.cout_inverter = Farads(100e-15);
+    t.cout_adder = Farads(500e-15);
+    t.frequency = Hertz(50e6);
+    t
+}
+
+/// `PwmPerceptron::forward` (now routed through `Evaluator::evaluate`)
+/// against the raw primitives, at both fidelity tiers.
+#[test]
+fn perceptron_forward_matches_the_primitive_computation() {
+    let tech = Technology::umc65_like();
+    let weights = WeightVector::new(vec![7, 3, 4], 3).unwrap();
+    let input = duties(&[0.8, 0.2, 0.5]);
+
+    let analytic_p = PwmPerceptron::new(
+        AnalyticEvaluator::new(tech.vdd),
+        weights.clone(),
+        Reference::ratiometric(0.5),
+    );
+    let golden = analytic::adder_vout(tech.vdd.value(), &[0.8, 0.2, 0.5], &[7, 3, 4], 3);
+    assert_eq!(analytic_p.forward(&input).unwrap().value(), golden);
+
+    let switch_p = PwmPerceptron::new(
+        SwitchLevelEvaluator::new(tech.clone()),
+        weights,
+        Reference::ratiometric(0.5),
+    );
+    let node = PwmNode::weighted_adder(
+        &tech,
+        &[0.8, 0.2, 0.5],
+        &[7, 3, 4],
+        3,
+        tech.frequency.value(),
+        tech.vdd.value(),
+        tech.cout_adder.value(),
+    );
+    assert_eq!(
+        switch_p.forward(&input).unwrap().value(),
+        node.steady_state_average()
+    );
+}
+
+/// `forward_batch` agrees bitwise with the sequential single-query path.
+#[test]
+fn perceptron_forward_batch_matches_sequential_forward() {
+    let p = PwmPerceptron::new(
+        SwitchLevelEvaluator::paper(),
+        WeightVector::new(vec![7, 7, 7], 3).unwrap(),
+        Reference::ratiometric(0.5),
+    );
+    let inputs: Vec<Vec<DutyCycle>> = [
+        [0.70, 0.80, 0.90],
+        [0.50, 0.50, 0.50],
+        [0.05, 0.95, 0.40],
+        [1.00, 0.00, 0.25],
+    ]
+    .iter()
+    .map(|row| duties(row))
+    .collect();
+    let batched = p.forward_batch(&inputs).unwrap();
+    for (input, b) in inputs.iter().zip(&batched) {
+        assert_eq!(p.forward(input).unwrap(), *b);
+    }
+}
+
+/// The differential perceptron equals pos-rail minus neg-rail, each half
+/// computed directly through the evaluator it wraps.
+#[test]
+fn differential_forward_matches_manual_halves() {
+    let signed = SignedWeightVector::new(vec![7, -3, 2], 3).unwrap();
+    let eval = AnalyticEvaluator::paper();
+    let p = DifferentialPerceptron::new(eval, signed.clone());
+    let input = duties(&[0.9, 0.4, 0.6]);
+    let (pos, neg) = signed.split();
+    let golden =
+        eval.vout(&input, &pos).unwrap().value() - eval.vout(&input, &neg).unwrap().value();
+    assert_eq!(p.forward(&input).unwrap().value(), golden);
+}
+
+/// `HardLayer::forward` (now one batched call) against the historical
+/// per-neuron sequential comparisons.
+#[test]
+fn hard_layer_matches_manual_per_neuron_comparisons() {
+    let layer = HardLayer::new(vec![
+        SignedWeightVector::new(vec![7, 7, -4], 3).unwrap(),
+        SignedWeightVector::new(vec![-5, -5, 7], 3).unwrap(),
+        SignedWeightVector::new(vec![1, 2, 3], 3).unwrap(),
+    ])
+    .unwrap();
+    let eval = SwitchLevelEvaluator::paper();
+    // Neurons are (inputs + bias)-wide: three weights → two inputs.
+    for raw in [[0.1, 0.9], [0.8, 0.2], [0.0, 1.0]] {
+        let input = duties(&raw);
+        let mut extended = input.clone();
+        extended.push(DutyCycle::ONE);
+        let golden: Vec<bool> = layer
+            .neurons()
+            .iter()
+            .map(|neuron| {
+                let (pos, neg) = neuron.split();
+                eval.vout(&extended, &pos).unwrap().value()
+                    > eval.vout(&extended, &neg).unwrap().value()
+            })
+            .collect();
+        assert_eq!(layer.forward(&eval, &input).unwrap(), golden);
+    }
+}
+
+/// `WtaClassifier::scores` (one batched call) against per-class `vout`.
+#[test]
+fn wta_scores_match_per_class_vout() {
+    let classes = vec![
+        WeightVector::new(vec![7, 1, 1], 3).unwrap(),
+        WeightVector::new(vec![1, 7, 1], 3).unwrap(),
+        WeightVector::new(vec![1, 1, 7], 3).unwrap(),
+    ];
+    let eval = SwitchLevelEvaluator::paper();
+    let wta = WtaClassifier::new(eval.clone(), classes.clone()).unwrap();
+    let input = duties(&[0.2, 0.9, 0.4]);
+    let scores = wta.scores(&input).unwrap();
+    for (class, score) in classes.iter().zip(&scores) {
+        assert_eq!(eval.vout(&input, class).unwrap(), *score);
+    }
+}
+
+/// The re-curated `switch_corner_monte_carlo` against the historical
+/// inline loop: one global corner per trial (`perturbed_technology`),
+/// evaluated by the switch-level PSS model, over the same
+/// `sweep::monte_carlo` RNG streams.
+#[test]
+fn switch_corner_mc_matches_the_direct_corner_loop() {
+    let tech = Technology::umc65_like();
+    let spec = VariationSpec::typical_65nm();
+    let query = Query::from_raw(&[0.7, 0.8, 0.9], &[7, 7, 7], 3).unwrap();
+    let summary = switch_corner_monte_carlo(&tech, &query, &spec, 24, 0xFEED);
+
+    let golden = sweep::monte_carlo(24, 0xFEED, |rng, _| {
+        let corner = perturbed_technology(&tech, &spec, rng);
+        SwitchLevelEvaluator::new(corner)
+            .vout(query.duties(), query.weights())
+            .unwrap()
+            .value()
+    });
+    let golden = pwm_perceptron::robustness::McSummary::from_samples(golden);
+    assert_eq!(summary.mean, golden.mean);
+    assert_eq!(summary.std, golden.std);
+    assert_eq!(summary.min, golden.min);
+    assert_eq!(summary.max, golden.max);
+}
+
+/// The circuit tier's amortized batch path (one netlist + plan reused
+/// per weight group) against fresh per-query transients.
+#[test]
+fn circuit_batch_matches_sequential_vout_bitwise() {
+    let eval = CircuitEvaluator::new(quick_tech(), SimQuality::fast());
+    let weights = WeightVector::new(vec![7, 5, 3], 3).unwrap();
+    let queries: Vec<Query> = [[0.3, 0.5, 0.7], [0.9, 0.1, 0.5], [0.5, 0.5, 0.5]]
+        .iter()
+        .map(|row| Query::new(duties(row), weights.clone()).unwrap())
+        .collect();
+    let batched = eval.evaluate_batch(&queries);
+    for (q, b) in queries.iter().zip(batched) {
+        let b = b.unwrap();
+        assert_eq!(eval.vout(q.duties(), q.weights()).unwrap(), b.vout);
+        assert_eq!(b.tier, Tier::Circuit);
+    }
+}
+
+/// The noisy wrapper's single-shot draw stream is untouched by the
+/// migration: a fresh wrapper replays the same sequence, and `evaluate`
+/// consumes the very same stream as `vout`.
+#[test]
+fn noisy_single_shot_stream_is_reproducible_across_entry_points() {
+    let weights = WeightVector::new(vec![7, 3, 4], 3).unwrap();
+    let inputs = [[0.8, 0.2, 0.5], [0.1, 0.9, 0.3], [0.5, 0.5, 0.5]];
+
+    let via_vout = NoisyEvaluator::new(AnalyticEvaluator::paper(), 0.05, 42);
+    let a: Vec<f64> = inputs
+        .iter()
+        .map(|row| via_vout.vout(&duties(row), &weights).unwrap().value())
+        .collect();
+
+    let via_evaluate = NoisyEvaluator::new(AnalyticEvaluator::paper(), 0.05, 42);
+    let b: Vec<f64> = inputs
+        .iter()
+        .map(|row| {
+            let q = Query::new(duties(row), weights.clone()).unwrap();
+            via_evaluate.evaluate(&q).unwrap().vout.value()
+        })
+        .collect();
+    assert_eq!(a, b);
+}
+
+/// Regression for the batch-seeding fix: batched noisy evaluation keys
+/// each draw on (base seed, query index), so results are invariant under
+/// reordering of the batch — the draw follows the query, not the
+/// evaluation sequence.
+#[test]
+fn noisy_batch_draws_are_order_invariant() {
+    let weights = WeightVector::new(vec![7, 3, 4], 3).unwrap();
+    let queries: Vec<Query> = [[0.8, 0.2, 0.5], [0.1, 0.9, 0.3], [0.5, 0.5, 0.5]]
+        .iter()
+        .map(|row| Query::new(duties(row), weights.clone()).unwrap())
+        .collect();
+
+    let eval = NoisyEvaluator::new(AnalyticEvaluator::paper(), 0.05, 7);
+    let forward: Vec<f64> = eval
+        .evaluate_batch(&queries)
+        .into_iter()
+        .map(|e| e.unwrap().vout.value())
+        .collect();
+
+    // Same queries, new wrapper: identical (the RefCell stream the
+    // single-shot path uses plays no part in batching).
+    let replay: Vec<f64> = NoisyEvaluator::new(AnalyticEvaluator::paper(), 0.05, 7)
+        .evaluate_batch(&queries)
+        .into_iter()
+        .map(|e| e.unwrap().vout.value())
+        .collect();
+    assert_eq!(forward, replay);
+
+    // Reversed batch: each query carries its own index, so position in
+    // the submission order must not change any draw.
+    let reversed_queries: Vec<Query> = queries.iter().rev().cloned().collect();
+    let mut reversed: Vec<f64> = NoisyEvaluator::new(AnalyticEvaluator::paper(), 0.05, 7)
+        .evaluate_batch(&reversed_queries)
+        .into_iter()
+        .map(|e| e.unwrap().vout.value())
+        .collect();
+    reversed.reverse();
+    assert_ne!(
+        forward, reversed,
+        "distinct queries at distinct indices draw distinct noise"
+    );
+
+    // The contract that matters for sweep workers: chunking the batch
+    // does not exist at this API level, but duplicate submissions of the
+    // same query at the same index must agree even interleaved with
+    // other work.
+    let doubled: Vec<Query> = queries.iter().chain(queries.iter()).cloned().collect();
+    let twice: Vec<f64> = NoisyEvaluator::new(AnalyticEvaluator::paper(), 0.05, 7)
+        .evaluate_batch(&doubled)
+        .into_iter()
+        .map(|e| e.unwrap().vout.value())
+        .collect();
+    assert_eq!(&twice[..queries.len()], forward.as_slice());
+}
+
+/// The `#[deprecated]` raw-slice robustness wrappers still forward to
+/// computations that agree bitwise with the `Query`-based spelling.
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_stay_bitwise_faithful() {
+    let tech = Technology::umc65_like();
+    let spec = VariationSpec::typical_65nm();
+    let old = pwm_perceptron::robustness::adder_vout_monte_carlo(
+        &tech,
+        &[0.3, 0.6, 0.9],
+        &[1, 2, 4],
+        3,
+        &spec,
+        16,
+        99,
+    );
+    let query = Query::from_raw(&[0.3, 0.6, 0.9], &[1, 2, 4], 3).unwrap();
+    let new = switch_corner_monte_carlo(&tech, &query, &spec, 16, 99);
+    assert_eq!(old.mean, new.mean);
+    assert_eq!(old.std, new.std);
+}

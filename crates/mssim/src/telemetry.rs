@@ -268,6 +268,24 @@ pub enum Event {
         /// Faults left for the transient/rescue pipeline.
         simulated: usize,
     },
+    /// A serving engine layered on `mssim` answered one inference batch
+    /// (memo-cache hits plus per-tier evaluations).
+    InferBatch {
+        /// Queries in the batch.
+        queries: usize,
+        /// Queries answered from the memo cache.
+        cache_hits: u64,
+        /// Queries that fell through to an evaluator.
+        cache_misses: u64,
+        /// Cache entries discarded by capacity eviction during the batch.
+        evictions: u64,
+        /// Evaluations answered by the analytic tier.
+        analytic: u64,
+        /// Evaluations answered by the switch-level tier.
+        switch_level: u64,
+        /// Evaluations answered by the transistor-level tier.
+        circuit: u64,
+    },
 }
 
 /// Receiver for instrumentation emitted during an analysis.
@@ -327,6 +345,9 @@ impl<T: Observer + ?Sized> Observer for &mut T {
 /// * `collapse.universe`, `collapse.simulated`
 /// * `triage.universe`, `triage.masked`, `triage.failed`,
 ///   `triage.simulated`
+/// * `infer.queries`, `infer.cache_hits`, `infer.cache_misses`,
+///   `infer.cache_evictions`, `infer.tier_analytic`,
+///   `infer.tier_switch_level`, `infer.tier_circuit`
 ///
 /// Public so engines layered on top of `mssim` (e.g. fault-campaign
 /// drivers) can report through the same vocabulary instead of
@@ -416,6 +437,23 @@ pub fn dispatch(obs: &mut dyn Observer, event: &Event) {
             obs.counter("triage.masked", masked as u64);
             obs.counter("triage.failed", failed as u64);
             obs.counter("triage.simulated", simulated as u64);
+        }
+        Event::InferBatch {
+            queries,
+            cache_hits,
+            cache_misses,
+            evictions,
+            analytic,
+            switch_level,
+            circuit,
+        } => {
+            obs.counter("infer.queries", queries as u64);
+            obs.counter("infer.cache_hits", cache_hits);
+            obs.counter("infer.cache_misses", cache_misses);
+            obs.counter("infer.cache_evictions", evictions);
+            obs.counter("infer.tier_analytic", analytic);
+            obs.counter("infer.tier_switch_level", switch_level);
+            obs.counter("infer.tier_circuit", circuit);
         }
         Event::AnalysisStart { .. } | Event::AnalysisEnd { .. } | Event::SolverReport { .. } => {}
     }
@@ -759,6 +797,19 @@ fn event_json(event: &Event) -> String {
                 "{{\"event\":\"fault_triage\",\"universe\":{universe},\"masked\":{masked},\"failed\":{failed},\"simulated\":{simulated}}}"
             ));
         }
+        Event::InferBatch {
+            queries,
+            cache_hits,
+            cache_misses,
+            evictions,
+            analytic,
+            switch_level,
+            circuit,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"infer_batch\",\"queries\":{queries},\"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses},\"evictions\":{evictions},\"analytic\":{analytic},\"switch_level\":{switch_level},\"circuit\":{circuit}}}"
+            ));
+        }
     }
     s
 }
@@ -1033,6 +1084,15 @@ mod tests {
                 failed: 18,
                 simulated: 29,
             },
+            Event::InferBatch {
+                queries: 100,
+                cache_hits: 90,
+                cache_misses: 10,
+                evictions: 0,
+                analytic: 7,
+                switch_level: 2,
+                circuit: 1,
+            },
             Event::AnalysisEnd {
                 analysis: "transient",
             },
@@ -1062,6 +1122,12 @@ mod tests {
         assert_eq!(rec.counter_value("triage.masked"), 2);
         assert_eq!(rec.counter_value("triage.failed"), 18);
         assert_eq!(rec.counter_value("triage.simulated"), 29);
+        assert_eq!(rec.counter_value("infer.queries"), 100);
+        assert_eq!(rec.counter_value("infer.cache_hits"), 90);
+        assert_eq!(rec.counter_value("infer.cache_misses"), 10);
+        assert_eq!(rec.counter_value("infer.tier_analytic"), 7);
+        assert_eq!(rec.counter_value("infer.tier_switch_level"), 2);
+        assert_eq!(rec.counter_value("infer.tier_circuit"), 1);
         assert_eq!(rec.histogram_values("tran.dt"), &[1e-9]);
         assert_eq!(rec.histogram_values("tran.lte"), &[1e-5, 1e-1]);
         assert_eq!(rec.histogram_values("newton.max_dv"), &[0.5]);

@@ -60,6 +60,6 @@ pub use perceptron_circuit::{PerceptronCircuit, PerceptronTestbench};
 pub use switch_model::{PwmNode, SwitchCell};
 pub use tech::Technology;
 pub use testbench::{
-    AdderMeasurement, AdderTestbench, InverterMeasurement, InverterTestbench, MeasureSpec,
-    SimQuality,
+    AdderBatchBench, AdderMeasurement, AdderTestbench, InverterMeasurement, InverterTestbench,
+    MeasureSpec, SimQuality,
 };

@@ -437,6 +437,137 @@ impl AdderTestbench {
         let units = self.spec.inputs as f64 * (self.spec.max_weight() as f64);
         (r_cell / units) * self.tech.cout_adder.value()
     }
+
+    /// Prepares a reusable runner for repeated measurements that differ
+    /// only in duty cycles: the circuit, transient plan and waveform
+    /// parameters are built once, and each [`AdderBatchBench::measure`]
+    /// swaps input waveforms on a clone (waveform edits do not change the
+    /// matrix structure, so the solver's symbolic work is identical).
+    ///
+    /// Produces bitwise-identical measurements to [`Self::measure_at`]
+    /// with the same arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` do not match the adder dimensions or are out
+    /// of range.
+    pub fn batch_runner(
+        &self,
+        weights: &[u32],
+        frequency: Hertz,
+        vdd: Volts,
+        quality: &SimQuality,
+    ) -> AdderBatchBench {
+        let period = frequency.period().value();
+
+        let mut ckt = Circuit::new();
+        let vdd_node = ckt.node("vdd");
+        let vdd_src = ckt.vsource("VDD", vdd_node, Circuit::GND, Waveform::dc(vdd.value()));
+        let adder = WeightedAdder::build(&mut ckt, &self.tech, "dut", vdd_node, weights, self.spec);
+        // Placeholder stimulus; measure() replaces each waveform. Built
+        // through the same constructor as measure_at so element ordering
+        // (and therefore matrix ordering) matches exactly.
+        let vin_srcs: Vec<ElementId> = (0..self.spec.inputs)
+            .map(|i| {
+                ckt.vsource(
+                    &format!("VIN{i}"),
+                    adder.inputs[i],
+                    Circuit::GND,
+                    Waveform::pwm_with_edges(
+                        vdd.value(),
+                        frequency.value(),
+                        0.5,
+                        self.tech.edge_fraction(frequency),
+                    ),
+                )
+            })
+            .collect();
+
+        let tau = self.output_tau(vdd);
+        let (dt, t_stop, win) = quality.plan(period, tau);
+        AdderBatchBench {
+            ckt,
+            vin_srcs,
+            vdd_src,
+            output: adder.output,
+            edge_fraction: self.tech.edge_fraction(frequency),
+            frequency,
+            vdd,
+            period,
+            dt,
+            t_stop,
+            win,
+        }
+    }
+}
+
+/// Reusable measurement runner for one adder configuration (weights,
+/// frequency, supply, quality) across many duty-cycle vectors.
+///
+/// Created by [`AdderTestbench::batch_runner`]. The runner is `Sync`, so
+/// a batch of duty vectors can be fanned over `mssim::sweep::sweep`; each
+/// measurement clones the prepared circuit and swaps input waveforms,
+/// skipping netlist construction and transient planning.
+#[derive(Debug, Clone)]
+pub struct AdderBatchBench {
+    ckt: Circuit,
+    vin_srcs: Vec<ElementId>,
+    vdd_src: ElementId,
+    output: NodeId,
+    edge_fraction: f64,
+    frequency: Hertz,
+    vdd: Volts,
+    period: f64,
+    dt: f64,
+    t_stop: f64,
+    win: usize,
+}
+
+impl AdderBatchBench {
+    /// Runs one measurement for the given duty-cycle vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duties` does not match the adder's input count.
+    pub fn measure(&self, duties: &[f64]) -> Result<AdderMeasurement, Error> {
+        assert_eq!(duties.len(), self.vin_srcs.len(), "one duty per input");
+        let mut ckt = self.ckt.clone();
+        for (&src, &d) in self.vin_srcs.iter().zip(duties) {
+            ckt.set_waveform(
+                src,
+                Waveform::pwm_with_edges(
+                    self.vdd.value(),
+                    self.frequency.value(),
+                    d,
+                    self.edge_fraction,
+                ),
+            )?;
+        }
+
+        let result = Session::new(&ckt)
+            .transient(&Transient::new(self.dt, self.t_stop).use_initial_conditions())?;
+
+        let vout_trace = result.voltage(self.output);
+        let vout = vout_trace.steady_state_average(self.period, self.win);
+        let (_, t_end) = vout_trace.span();
+        let t_win = t_end - self.win as f64 * self.period;
+        let ripple = vout_trace.ripple_between(t_win, t_end);
+        let power = result
+            .source_power(self.vdd_src)?
+            .as_trace()
+            .average_between(t_win, t_end);
+
+        Ok(AdderMeasurement {
+            vout: Volts(vout),
+            ripple: Volts(ripple),
+            supply_power: Watts(power),
+            vdd: self.vdd,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -509,6 +640,24 @@ mod tests {
             "vout {:.3} vs Eq.2 {expect:.3}",
             m.vout.value()
         );
+    }
+
+    #[test]
+    fn batch_runner_matches_measure_at_bitwise() {
+        let tech = quick_tech();
+        let tb = AdderTestbench::paper(&tech);
+        let weights = [7, 5, 3];
+        let quality = SimQuality::fast();
+        let runner = tb.batch_runner(&weights, tech.frequency, tech.vdd, &quality);
+        for duties in [[0.7, 0.8, 0.9], [0.0, 0.5, 1.0], [0.25, 0.25, 0.25]] {
+            let reference = tb
+                .measure_at(&duties, &weights, tech.frequency, tech.vdd, &quality)
+                .unwrap();
+            let batched = runner.measure(&duties).unwrap();
+            assert_eq!(batched.vout, reference.vout, "{duties:?}");
+            assert_eq!(batched.ripple, reference.ripple, "{duties:?}");
+            assert_eq!(batched.supply_power, reference.supply_power, "{duties:?}");
+        }
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use pwm_perceptron::dataset::Dataset;
 use pwm_perceptron::elasticity::accuracy_vs_vdd;
 use pwm_perceptron::eval::{CircuitEvaluator, SwitchLevelEvaluator};
-use pwm_perceptron::robustness::{adder_vout_monte_carlo, VariationSpec};
+use pwm_perceptron::robustness::{switch_corner_monte_carlo, VariationSpec};
 use pwm_perceptron::train::{train, TrainConfig};
-use pwm_perceptron::{PwmPerceptron, Reference, WeightVector};
+use pwm_perceptron::{PwmPerceptron, Query, Reference, WeightVector};
 use pwmcell::{SimQuality, Technology};
 
 /// Train on the boolean majority task with the switch-level evaluator,
@@ -79,15 +79,9 @@ fn variation_tolerance_across_table2() {
         ([0.50, 0.50, 0.50], [1, 2, 4]),
         ([0.80, 0.20, 0.50], [7, 3, 4]),
     ] {
-        let s = adder_vout_monte_carlo(
-            &tech,
-            &duties,
-            &weights,
-            3,
-            &VariationSpec::typical_65nm(),
-            48,
-            0xFEED,
-        );
+        let query = Query::from_raw(&duties, &weights, 3).unwrap();
+        let s =
+            switch_corner_monte_carlo(&tech, &query, &VariationSpec::typical_65nm(), 48, 0xFEED);
         assert!(
             s.relative_std() < 0.05,
             "{duties:?}/{weights:?}: cv = {}",

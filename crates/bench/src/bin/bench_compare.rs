@@ -21,6 +21,14 @@
 //! bench` output) skip these with an info line, so the bench-smoke job
 //! stays green.
 //!
+//! When the **new** record carries a `chaos` section (written by `repro
+//! chaos`), the resilience gates run on each stream: availability (single
+//! and batched) ≥ 99.9%, zero escaped panics, zero degraded answers
+//! outside their certified bound, zero classification divergences on
+//! full-fidelity answers. These are absolute floors — the baseline record
+//! is not consulted — and are skipped with an info line when the section
+//! is absent.
+//!
 //! The parser is a deliberate hand-rolled scan over the fixed
 //! `mssim-bench-v1` schema (the workspace has no JSON dependency and the
 //! writer in `bench::hotpath` is equally hand-rolled).
@@ -45,6 +53,9 @@ const SERVE_SPEEDUP_FLOOR: f64 = 10.0;
 
 /// Max tolerated hot-set p99 latency growth over the baseline record.
 const SERVE_P99_GROWTH: f64 = 2.0;
+
+/// Minimum availability of every chaos stream (single and batched pass).
+const CHAOS_AVAILABILITY_FLOOR: f64 = 0.999;
 
 /// One `(name, speedup)` pair scanned out of a bench record.
 #[derive(Debug)]
@@ -165,6 +176,113 @@ fn compare_serve(baseline: Option<Serve>, fresh: Option<Serve>) -> usize {
     failures
 }
 
+/// The chaos-stream metrics the gate cares about.
+#[derive(Debug)]
+struct ChaosStream {
+    stream: String,
+    availability: f64,
+    batch_availability: f64,
+    panics: f64,
+    bound_violations: f64,
+    divergences: f64,
+}
+
+/// Scans the `chaos` section's streams out of a record, if present. The
+/// section sits before `"entries"` and never contains bare
+/// `"name"`/`"speedup"` keys, so the entry scanner is unaffected by it.
+fn scan_chaos(text: &str) -> Option<Vec<ChaosStream>> {
+    let start = text.find("  \"chaos\": {")?;
+    // Brace-match to the end of the chaos object so sibling sections
+    // (serve, entries) never leak into the stream scan.
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut end = text.len();
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let region = &text[start..end];
+    let mut streams = Vec::new();
+    let mut pos = 0usize;
+    while let Some((stream, after)) = scan_string(region, "stream", pos) {
+        let (availability, p) = scan_number(region, "availability", after)?;
+        let (bound_violations, p) = scan_number(region, "bound_violations", p)?;
+        let (divergences, p) = scan_number(region, "divergences", p)?;
+        let (panics, p) = scan_number(region, "panics", p)?;
+        let (batch_availability, p) = scan_number(region, "batch_availability", p)?;
+        streams.push(ChaosStream {
+            stream,
+            availability,
+            batch_availability,
+            panics,
+            bound_violations,
+            divergences,
+        });
+        pos = p;
+    }
+    if streams.is_empty() {
+        return None;
+    }
+    Some(streams)
+}
+
+/// Runs the chaos resilience gates on the new record's streams; returns
+/// the number of failed gates. Absolute floors only — no baseline
+/// comparison.
+fn compare_chaos(fresh: Option<Vec<ChaosStream>>) -> usize {
+    let Some(streams) = fresh else {
+        println!("bench_compare: chaos gates skipped (no chaos section in new record)");
+        return 0;
+    };
+    let mut failures = 0usize;
+    println!("bench_compare: resilience chaos gates");
+    for s in &streams {
+        let checks: [(&str, f64, f64, bool); 5] = [
+            (
+                "availability",
+                s.availability,
+                CHAOS_AVAILABILITY_FLOOR,
+                s.availability >= CHAOS_AVAILABILITY_FLOOR,
+            ),
+            (
+                "batch_availability",
+                s.batch_availability,
+                CHAOS_AVAILABILITY_FLOOR,
+                s.batch_availability >= CHAOS_AVAILABILITY_FLOOR,
+            ),
+            ("panics", s.panics, 0.0, s.panics == 0.0),
+            (
+                "bound_violations",
+                s.bound_violations,
+                0.0,
+                s.bound_violations == 0.0,
+            ),
+            ("divergences", s.divergences, 0.0, s.divergences == 0.0),
+        ];
+        for (name, value, bound, ok) in checks {
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "  {} {:<10} {:<18} {value:.4} (bound {bound:.4})",
+                if ok { "ok  " } else { "FAIL" },
+                s.stream,
+                name
+            );
+        }
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [baseline_path, new_path] = args.as_slice() else {
@@ -255,6 +373,7 @@ fn main() -> ExitCode {
     }
 
     failures += compare_serve(scan_serve(&baseline_text), scan_serve(&new_text));
+    failures += compare_chaos(scan_chaos(&new_text));
 
     if failures > 0 {
         eprintln!("bench_compare: {failures} fixture(s) regressed or fell below a floor");

@@ -8,9 +8,11 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod experiments;
 pub mod hotpath;
 pub mod output;
+pub mod section;
 pub mod serve;
 
 pub use experiments::*;

@@ -1,0 +1,110 @@
+//! Shared helpers for splicing named top-level sections into the
+//! `mssim-bench-v1` JSON document.
+//!
+//! The bench document is hand-rendered (no serde in this workspace), so
+//! sections like `"serve"` and `"chaos"` are merged textually: each is a
+//! two-space-indented object inserted immediately before `"entries"`,
+//! replacing any previous section of the same name. [`strip_section`]
+//! and [`merge_section`] implement that splice generically; `serve` and
+//! `chaos` keep thin, section-specific wrappers.
+
+/// Removes an existing two-space-indented `"<key>": {...},` section from
+/// a `mssim-bench-v1` document, if present.
+pub fn strip_section(text: &str, key: &str) -> String {
+    let marker = format!("  \"{key}\": {{");
+    let Some(start) = text.find(&marker) else {
+        return text.to_string();
+    };
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut end = start;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Swallow a trailing comma and the line break.
+    let rest = &text[end..];
+    let rest = rest.strip_prefix(',').unwrap_or(rest);
+    let rest = rest.strip_prefix('\n').unwrap_or(rest);
+    format!("{}{}", &text[..start], rest)
+}
+
+/// Merges `section` (a rendered `  "<key>": {...}` object) into an
+/// existing `mssim-bench-v1` document — inserted immediately before
+/// `"entries"`, replacing any previous section of the same `key` — or
+/// synthesizes a minimal document when none exists.
+pub fn merge_section(existing: Option<&str>, key: &str, section: &str) -> String {
+    match existing {
+        Some(text) => {
+            let text = strip_section(text, key);
+            let marker = "  \"entries\": [";
+            match text.find(marker) {
+                Some(pos) => format!("{}{},\n{}", &text[..pos], section, &text[pos..]),
+                // No entries array — append before the closing brace.
+                None => {
+                    let trimmed = text.trim_end().trim_end_matches('}').trim_end();
+                    let sep = if trimmed.ends_with('{') { "" } else { "," };
+                    format!("{trimmed}{sep}\n{section}\n}}\n")
+                }
+            }
+        }
+        None => format!(
+            "{{\n  \"schema\": \"mssim-bench-v1\",\n  \"mode\": \"{key}-only\",\n{section},\n  \"entries\": [\n  ]\n}}\n"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str =
+        "{\n  \"schema\": \"mssim-bench-v1\",\n  \"repeats\": 3,\n  \"entries\": [\n  ]\n}\n";
+
+    #[test]
+    fn merge_inserts_before_entries_and_replaces_on_remerge() {
+        let section = "  \"chaos\": {\n    \"availability\": 1.0\n  }";
+        let merged = merge_section(Some(BASE), "chaos", section);
+        assert!(merged.find("\"chaos\"").unwrap() < merged.find("\"entries\"").unwrap());
+        assert!(merged.contains("\"repeats\": 3"));
+        let remerged = merge_section(Some(&merged), "chaos", section);
+        assert_eq!(remerged.matches("\"chaos\"").count(), 1);
+    }
+
+    #[test]
+    fn strip_removes_only_the_named_section() {
+        let serve = "  \"serve\": {\n    \"queries\": 10\n  }";
+        let chaos = "  \"chaos\": {\n    \"availability\": 1.0\n  }";
+        let doc = merge_section(
+            Some(&merge_section(Some(BASE), "serve", serve)),
+            "chaos",
+            chaos,
+        );
+        let stripped = strip_section(&doc, "serve");
+        assert!(!stripped.contains("\"serve\""));
+        assert!(stripped.contains("\"chaos\""));
+        assert!(stripped.contains("\"entries\""));
+    }
+
+    #[test]
+    fn strip_without_the_section_is_identity() {
+        assert_eq!(strip_section(BASE, "chaos"), BASE);
+    }
+
+    #[test]
+    fn merge_without_existing_document_synthesizes_one() {
+        let section = "  \"chaos\": {\n    \"availability\": 1.0\n  }";
+        let doc = merge_section(None, "chaos", section);
+        assert!(doc.contains("\"schema\": \"mssim-bench-v1\""));
+        assert!(doc.find("\"chaos\"").unwrap() < doc.find("\"entries\"").unwrap());
+    }
+}

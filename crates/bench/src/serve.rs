@@ -110,9 +110,14 @@ pub fn serve_tech() -> Technology {
 }
 
 /// The `p`-quantile (0..=1) of raw latency samples, nanoseconds.
+/// An empty sample set has no order statistics; it reports 0 rather
+/// than panicking so degenerate streams (e.g. a chaos run whose every
+/// query was shed) still render a report.
 pub fn percentile_ns(samples: &mut [u64], p: f64) -> u64 {
-    assert!(!samples.is_empty(), "need at least one sample");
     assert!((0.0..=1.0).contains(&p), "quantile must be in 0..=1");
+    if samples.is_empty() {
+        return 0;
+    }
     samples.sort_unstable();
     let idx = ((samples.len() - 1) as f64 * p).round() as usize;
     samples[idx]
@@ -310,30 +315,7 @@ pub fn to_json(report: &ServeReport, config: &ServeConfig) -> String {
 /// Removes an existing two-space-indented `"serve": {...},` section from
 /// a `mssim-bench-v1` document, if present.
 pub fn strip_serve_section(text: &str) -> String {
-    let Some(start) = text.find("  \"serve\": {") else {
-        return text.to_string();
-    };
-    let bytes = text.as_bytes();
-    let mut depth = 0usize;
-    let mut end = start;
-    for (i, &b) in bytes.iter().enumerate().skip(start) {
-        match b {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    end = i + 1;
-                    break;
-                }
-            }
-            _ => {}
-        }
-    }
-    // Swallow a trailing comma and the line break.
-    let rest = &text[end..];
-    let rest = rest.strip_prefix(',').unwrap_or(rest);
-    let rest = rest.strip_prefix('\n').unwrap_or(rest);
-    format!("{}{}", &text[..start], rest)
+    crate::section::strip_section(text, "serve")
 }
 
 /// Merges the serve section into an existing `mssim-bench-v1` document
@@ -344,25 +326,7 @@ pub fn merge_into_bench_json(
     report: &ServeReport,
     config: &ServeConfig,
 ) -> String {
-    let serve = to_json(report, config);
-    match existing {
-        Some(text) => {
-            let text = strip_serve_section(text);
-            let marker = "  \"entries\": [";
-            match text.find(marker) {
-                Some(pos) => format!("{}{},\n{}", &text[..pos], serve, &text[pos..]),
-                // No entries array — append before the closing brace.
-                None => {
-                    let trimmed = text.trim_end().trim_end_matches('}').trim_end();
-                    let sep = if trimmed.ends_with('{') { "" } else { "," };
-                    format!("{trimmed}{sep}\n{serve}\n}}\n")
-                }
-            }
-        }
-        None => format!(
-            "{{\n  \"schema\": \"mssim-bench-v1\",\n  \"mode\": \"serve-only\",\n{serve},\n  \"entries\": [\n  ]\n}}\n"
-        ),
-    }
+    crate::section::merge_section(existing, "serve", &to_json(report, config))
 }
 
 #[cfg(test)]
@@ -415,6 +379,13 @@ mod tests {
         assert_eq!(percentile_ns(&mut xs, 0.0), 1);
         assert_eq!(percentile_ns(&mut xs, 1.0), 100);
         assert_eq!(percentile_ns(&mut xs, 0.5), 51);
+    }
+
+    #[test]
+    fn empty_sample_set_reports_zero_latency() {
+        let mut xs: Vec<u64> = Vec::new();
+        assert_eq!(percentile_ns(&mut xs, 0.5), 0);
+        assert_eq!(percentile_ns(&mut xs, 0.99), 0);
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub enum CoreError {
     EmptyDataset,
     /// The underlying circuit simulation failed.
     Simulation(mssim::Error),
+    /// An internal invariant of the serving stack was violated — a bug,
+    /// reported as a structured error instead of a panic so one bad query
+    /// cannot take down a serving process.
+    Internal {
+        /// Which invariant broke.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +52,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::EmptyDataset => write!(f, "dataset has no samples"),
             CoreError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            CoreError::Internal { reason } => {
+                write!(f, "internal serving invariant violated: {reason}")
+            }
         }
     }
 }

@@ -17,14 +17,14 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use mssim::prelude::{Hertz, Volts};
+use mssim::prelude::{Hertz, RescuePolicy, Volts};
 use pwmcell::{analytic, AdderSpec, AdderTestbench, PwmNode, SimQuality, Technology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::duty::DutyCycle;
 use crate::error::CoreError;
-use crate::infer::{Eval, Query, Tier};
+use crate::infer::{Eval, Query, Tier, ANALYTIC_ERROR_BOUND};
 use crate::weight::WeightVector;
 
 /// Computes the weighted-adder output voltage for a set of PWM inputs.
@@ -67,6 +67,8 @@ pub trait Evaluator {
             vout: self.vout(query.duties(), query.weights())?,
             tier: self.tier(),
             cached: false,
+            degraded: false,
+            error_bound: 0.0,
         })
     }
 
@@ -200,12 +202,19 @@ impl Evaluator for SwitchLevelEvaluator {
 
 /// The transistor-level reference: builds the full Fig. 3 adder and runs
 /// an [`mssim`] transient for every evaluation. Slow but authoritative.
+///
+/// With [`CircuitEvaluator::with_rescue`], transient solver trouble is
+/// first handled by the solver's own rescue ladder; a run that still ends
+/// early is served as a *degraded* answer (averaged over the clamped
+/// window, flagged [`Eval::degraded`] with the analytic error bound)
+/// instead of an error — the measurement that exists beats no measurement.
 #[derive(Debug, Clone)]
 pub struct CircuitEvaluator {
     tech: Technology,
     quality: SimQuality,
     frequency: Hertz,
     vdd: Volts,
+    rescue: Option<RescuePolicy>,
 }
 
 impl CircuitEvaluator {
@@ -219,6 +228,7 @@ impl CircuitEvaluator {
             quality,
             frequency,
             vdd,
+            rescue: None,
         }
     }
 
@@ -232,6 +242,27 @@ impl CircuitEvaluator {
     pub fn with_frequency(mut self, frequency: Hertz) -> Self {
         self.frequency = frequency;
         self
+    }
+
+    /// Enables the transient rescue ladder: partially-rescued runs are
+    /// served as degraded answers instead of errors.
+    pub fn with_rescue(mut self, policy: RescuePolicy) -> Self {
+        self.rescue = Some(policy);
+        self
+    }
+
+    /// Maps a rescued measurement to an [`Eval`]: a partial rescue is a
+    /// degraded circuit answer carrying the analytic bound (the loosest
+    /// certified bound — the clamped-window average is at least as close
+    /// to the true steady state as the closed form is).
+    fn rescued_eval(m: pwmcell::RescuedAdderMeasurement) -> Eval {
+        Eval {
+            vout: m.measurement.vout,
+            tier: Tier::Circuit,
+            cached: false,
+            degraded: m.partial,
+            error_bound: if m.partial { ANALYTIC_ERROR_BOUND } else { 0.0 },
+        }
     }
 }
 
@@ -258,6 +289,25 @@ impl Evaluator for CircuitEvaluator {
         Tier::Circuit
     }
 
+    fn evaluate(&self, query: &Query) -> Result<Eval, CoreError> {
+        let Some(policy) = &self.rescue else {
+            return Ok(Eval {
+                vout: self.vout(query.duties(), query.weights())?,
+                tier: Tier::Circuit,
+                cached: false,
+                degraded: false,
+                error_bound: 0.0,
+            });
+        };
+        check_dims(query.duties(), query.weights())?;
+        let weights = query.weights();
+        let spec = AdderSpec::new(weights.len(), weights.bits());
+        let tb = AdderTestbench::new(&self.tech, spec);
+        let runner = tb.batch_runner(weights.as_slice(), self.frequency, self.vdd, &self.quality);
+        let m = runner.measure_rescued(&DutyCycle::to_raw(query.duties()), policy)?;
+        Ok(Self::rescued_eval(m))
+    }
+
     fn evaluate_batch(&self, queries: &[Query]) -> Vec<Result<Eval, CoreError>> {
         // Group query indices by weight vector so netlist construction
         // and transient planning are paid once per group; each group's
@@ -279,20 +329,24 @@ impl Evaluator for CircuitEvaluator {
                 .iter()
                 .map(|&i| DutyCycle::to_raw(queries[i].duties()))
                 .collect();
-            let measured = mssim::sweep::sweep(&duty_sets, |d, _| runner.measure(d));
+            let measured = mssim::sweep::sweep(&duty_sets, |d, _| match &self.rescue {
+                Some(policy) => runner.measure_rescued(d, policy),
+                None => runner.measure(d).map(|m| pwmcell::RescuedAdderMeasurement {
+                    measurement: m,
+                    partial: false,
+                    rescue_attempts: 0,
+                }),
+            });
             for (&i, m) in indices.iter().zip(measured) {
-                out[i] = Some(
-                    m.map(|m| Eval {
-                        vout: m.vout,
-                        tier: Tier::Circuit,
-                        cached: false,
-                    })
-                    .map_err(CoreError::from),
-                );
+                out[i] = Some(m.map(Self::rescued_eval).map_err(CoreError::from));
             }
         }
         out.into_iter()
-            .map(|r| r.expect("every query answered"))
+            .map(|r| {
+                r.unwrap_or(Err(CoreError::Internal {
+                    reason: "circuit batch grouping left a query unanswered",
+                }))
+            })
             .collect()
     }
 }

